@@ -1,0 +1,730 @@
+//! The dispute-resolution engine.
+//!
+//! For every link instance (topic, seq, subscriber) the auditor confronts
+//! the publisher's and subscriber's entries with each other and with the
+//! registered public keys, realizing the paper's Lemmas 1–3:
+//!
+//! * **Unforgeability** — an entry whose recorded counterpart signature is
+//!   invalid is a fabrication (exchanged signatures are transport-enforced
+//!   valid, requirement (4));
+//! * **Completeness** — a valid counterpart entry proves the transmission,
+//!   so a missing entry is recovered as *hidden*;
+//! * **Correctness** — when the two sides disagree on the data, the side
+//!   whose claim the *other party's* signature endorses wins; the other
+//!   entry is falsified.
+//!
+//! Theorem 1 (faithful components are always classified valid) and
+//! Theorem 2 (in a collusion-free system every unfaithful act is detected)
+//! follow from this per-link analysis and are exercised as integration
+//! tests.
+
+use crate::classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
+use adlp_crypto::pkcs1;
+use adlp_crypto::sha256::{binding_digest, Digest};
+use adlp_logger::{Direction, KeyRegistry, LogEntry, LogStore};
+use adlp_pubsub::{NodeId, Topic};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The auditor: public keys + topology.
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    keys: KeyRegistry,
+    topology: HashMap<Topic, NodeId>,
+    /// Cap on missing seqs reported per gap anomaly.
+    gap_report_limit: usize,
+}
+
+/// What a component did wrong, as established by the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The topic involved.
+    pub topic: Topic,
+    /// The sequence number involved.
+    pub seq: u64,
+    /// The kind of unfaithful act.
+    pub kind: ViolationKind,
+}
+
+/// Kinds of unfaithful acts attributable to a single component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// Hid a publication record (Lemma 2).
+    HidPublication,
+    /// Hid a receipt record (Lemma 2).
+    HidReceipt,
+    /// Logged data contradicting provable evidence (Lemma 3).
+    FalsifiedLog,
+    /// Entered a record of a transmission that never happened (Lemma 1).
+    FabricatedLog,
+    /// Entered a replayed (duplicate-seq) record.
+    ReplayedLog,
+}
+
+/// Per-component audit outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComponentVerdict {
+    /// Entries classified valid.
+    pub valid_entries: usize,
+    /// Established violations.
+    pub violations: Vec<Violation>,
+}
+
+impl ComponentVerdict {
+    /// Whether the audit found this component faithful.
+    pub fn is_faithful(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The complete audit output.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Per-link results.
+    pub links: Vec<LinkAudit>,
+    /// Recovered hidden records (L̂_H).
+    pub hidden: Vec<HiddenRecord>,
+    /// Per-component verdicts.
+    pub verdicts: BTreeMap<NodeId, ComponentVerdict>,
+    /// Non-attributable suspicious observations.
+    pub anomalies: Vec<Anomaly>,
+    /// Entries rejected before link analysis (authenticity failures etc.),
+    /// with their reasons.
+    pub rejected_entries: Vec<(LogEntry, InvalidReason)>,
+}
+
+impl AuditReport {
+    /// Components with at least one established violation.
+    pub fn unfaithful_components(&self) -> Vec<(&NodeId, &ComponentVerdict)> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| !v.is_faithful())
+            .collect()
+    }
+
+    /// Whether every observed entry was classified valid and nothing was
+    /// hidden — the ideal system (`L_C* = L_C = L_{V,f}`).
+    ///
+    /// Two classes of observation do not spoil a clear report because they
+    /// are not evidence of wrongdoing:
+    ///
+    /// * **sequence gaps** — acknowledgement gating legitimately skips
+    ///   per-connection sends (the protocol's non-cooperation penalty);
+    /// * **unproven entries** — a publisher whose send was never
+    ///   acknowledged (e.g. messages in flight at shutdown) cannot prove
+    ///   it, but is not thereby convicted (Lemma 1 cuts both ways).
+    ///
+    /// Both still appear in the report for forensic review.
+    pub fn all_clear(&self) -> bool {
+        let acceptable = |c: &EntryClass| matches!(c, EntryClass::Valid | EntryClass::Unproven);
+        self.hidden.is_empty()
+            && self.rejected_entries.is_empty()
+            && self
+                .anomalies
+                .iter()
+                .all(|a| matches!(a, Anomaly::SequenceGap { .. }))
+            && self.verdicts.values().all(ComponentVerdict::is_faithful)
+            && self.links.iter().all(|l| {
+                l.publisher_entry.as_ref().is_none_or(&acceptable)
+                    && l.subscriber_entry.as_ref().is_none_or(&acceptable)
+            })
+    }
+
+    /// Total links audited.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn record_violation(&mut self, who: &NodeId, topic: &Topic, seq: u64, kind: ViolationKind) {
+        self.verdicts
+            .entry(who.clone())
+            .or_default()
+            .violations
+            .push(Violation {
+                topic: topic.clone(),
+                seq,
+                kind,
+            });
+    }
+
+    fn record_valid(&mut self, who: &NodeId) {
+        self.verdicts.entry(who.clone()).or_default().valid_entries += 1;
+    }
+}
+
+/// One side's evidence for a link, after authenticity screening.
+struct SideEvidence {
+    /// Digest of the data this side claims.
+    claimed: Digest,
+    /// Acknowledgement fields (publisher side): `(h(D_y), s_y)` verified
+    /// against the subscriber's key.
+    ack: Option<AckEvidence>,
+    /// Subscriber side: whether the recorded `s_x` verifies the claimed
+    /// digest under the publisher's key.
+    peer_sig_valid: bool,
+}
+
+struct AckEvidence {
+    hash: Digest,
+    sig_valid: bool,
+}
+
+impl Auditor {
+    /// Creates an auditor over a key registry.
+    pub fn new(keys: KeyRegistry) -> Self {
+        Auditor {
+            keys,
+            topology: HashMap::new(),
+            gap_report_limit: 16,
+        }
+    }
+
+    /// Supplies the topic→publisher topology (from the master, or from
+    /// deployment records).
+    pub fn with_topology(mut self, topology: impl IntoIterator<Item = (Topic, NodeId)>) -> Self {
+        self.topology.extend(topology);
+        self
+    }
+
+    /// Audits everything in a store (undecodable records are rejected).
+    pub fn audit_store(&self, store: &LogStore) -> AuditReport {
+        let entries: Vec<LogEntry> = store
+            .entries()
+            .into_iter()
+            .filter_map(Result::ok)
+            .collect();
+        self.audit(&entries)
+    }
+
+    /// Audits a set of entries.
+    pub fn audit(&self, entries: &[LogEntry]) -> AuditReport {
+        let mut report = AuditReport::default();
+
+        // Phase 1: per-entry screening (authenticity, publisher ownership,
+        // duplicates). Aggregated entries are expanded into per-link views.
+        let mut pub_entries: BTreeMap<(Topic, u64, NodeId), PubView<'_>> = BTreeMap::new();
+        let mut sub_entries: BTreeMap<(Topic, u64, NodeId), &LogEntry> = BTreeMap::new();
+        // Naive-scheme publisher entries name no subscriber; they pair by
+        // (topic, seq) with every subscriber record of that transmission.
+        let mut naive_pubs: BTreeMap<(Topic, u64), PubView<'_>> = BTreeMap::new();
+
+        for entry in entries {
+            if let Some(reason) = self.screen(entry) {
+                if reason == InvalidReason::AuthenticityFailure {
+                    report.anomalies.push(Anomaly::ImpersonationSuspected {
+                        claimed: entry.component.clone(),
+                        topic: entry.topic.clone(),
+                        seq: entry.seq,
+                    });
+                }
+                report.rejected_entries.push((entry.clone(), reason));
+                continue;
+            }
+            match entry.direction {
+                Direction::Out => {
+                    if !entry.is_adlp() && entry.peer.is_none() {
+                        naive_pubs.insert(
+                            (entry.topic.clone(), entry.seq),
+                            PubView { entry, ack_of: None },
+                        );
+                    } else if entry.acks.is_empty() {
+                        let subscriber = entry.peer.clone().unwrap_or_else(|| NodeId::new("?"));
+                        let key = (entry.topic.clone(), entry.seq, subscriber.clone());
+                        if pub_entries.contains_key(&key) {
+                            report.record_violation(
+                                &entry.component,
+                                &entry.topic,
+                                entry.seq,
+                                ViolationKind::ReplayedLog,
+                            );
+                            report
+                                .rejected_entries
+                                .push((entry.clone(), InvalidReason::DuplicateSeq));
+                            continue;
+                        }
+                        pub_entries.insert(key, PubView { entry, ack_of: None });
+                    } else {
+                        // Aggregated: one view per acknowledged subscriber.
+                        for (i, ack) in entry.acks.iter().enumerate() {
+                            let key =
+                                (entry.topic.clone(), entry.seq, ack.subscriber.clone());
+                            pub_entries.insert(key, PubView { entry, ack_of: Some(i) });
+                        }
+                    }
+                }
+                Direction::In => {
+                    let key = (entry.topic.clone(), entry.seq, entry.component.clone());
+                    if sub_entries.contains_key(&key) {
+                        report.record_violation(
+                            &entry.component,
+                            &entry.topic,
+                            entry.seq,
+                            ViolationKind::ReplayedLog,
+                        );
+                        report
+                            .rejected_entries
+                            .push((entry.clone(), InvalidReason::DuplicateSeq));
+                        continue;
+                    }
+                    sub_entries.insert(key, entry);
+                }
+            }
+        }
+
+        // Phase 2: per-link confrontation.
+        let mut link_keys: BTreeSet<(Topic, u64, NodeId)> = BTreeSet::new();
+        link_keys.extend(pub_entries.keys().cloned());
+        link_keys.extend(sub_entries.keys().cloned());
+        let mut consumed_naive: BTreeSet<(Topic, u64)> = BTreeSet::new();
+
+        for key in link_keys {
+            let (topic, seq, subscriber) = key.clone();
+            let pub_side = pub_entries.get(&key).or_else(|| {
+                let nk = (topic.clone(), seq);
+                let view = naive_pubs.get(&nk);
+                if view.is_some() {
+                    consumed_naive.insert(nk);
+                }
+                view
+            });
+            let publisher = self
+                .topology
+                .get(&topic)
+                .cloned()
+                .or_else(|| {
+                    pub_side
+                        .map(|v| v.entry.component.clone())
+                        .or_else(|| sub_entries.get(&key).and_then(|e| e.peer.clone()))
+                })
+                .unwrap_or_else(|| NodeId::new("?"));
+            let link = self.audit_link(
+                &topic,
+                seq,
+                &publisher,
+                &subscriber,
+                pub_side,
+                sub_entries.get(&key).copied(),
+                &mut report,
+            );
+            report.hidden.extend(link.hidden.iter().cloned());
+            report.links.push(link);
+        }
+
+        // Naive publisher entries nobody subscribed against: lone, unprovable.
+        for ((topic, seq), view) in &naive_pubs {
+            if consumed_naive.contains(&(topic.clone(), *seq)) {
+                continue;
+            }
+            let publisher = self
+                .topology
+                .get(topic)
+                .cloned()
+                .unwrap_or_else(|| view.entry.component.clone());
+            let link = self.audit_link(
+                topic,
+                *seq,
+                &publisher,
+                &NodeId::new("?"),
+                Some(view),
+                None,
+                &mut report,
+            );
+            report.links.push(link);
+        }
+
+        // Phase 3: sequence-gap anomalies per (topic, subscriber).
+        self.detect_gaps(&mut report);
+
+        report
+    }
+
+    /// Pre-link screening. Returns a rejection reason, if any.
+    fn screen(&self, entry: &LogEntry) -> Option<InvalidReason> {
+        if entry.direction == Direction::Out {
+            if let Some(owner) = self.topology.get(&entry.topic) {
+                if owner != &entry.component {
+                    return Some(InvalidReason::WrongPublisher);
+                }
+            }
+        }
+        if let Some(own_sig) = &entry.own_sig {
+            let Some(key) = self.keys.get(&entry.component) else {
+                return Some(InvalidReason::UnknownComponent);
+            };
+            // Signatures cover the binding digest h(seq ‖ h(D)): a
+            // relabeled sequence number fails right here instead of
+            // framing the counterpart.
+            let bound =
+                binding_digest(entry.topic.as_str(), entry.seq, &entry.payload.digest());
+            if !pkcs1::verify_digest(&key, &bound, own_sig) {
+                return Some(InvalidReason::AuthenticityFailure);
+            }
+        }
+        None
+    }
+
+    fn pub_evidence(&self, view: &PubView<'_>, subscriber: &NodeId) -> SideEvidence {
+        let entry = view.entry;
+        let claimed = entry.payload.digest();
+        let sub_key = self.keys.get(subscriber);
+        let seq = entry.seq;
+        let ack = match view.ack_of {
+            Some(i) => {
+                let a = &entry.acks[i];
+                Some(AckEvidence {
+                    hash: a.hash,
+                    sig_valid: sub_key
+                        .as_ref()
+                        .map(|k| {
+                            pkcs1::verify_digest(
+                                k,
+                                &binding_digest(entry.topic.as_str(), seq, &a.hash),
+                                &a.sig,
+                            )
+                        })
+                        .unwrap_or(false),
+                })
+            }
+            None => match (&entry.peer_hash, &entry.peer_sig) {
+                (Some(h), Some(s)) => Some(AckEvidence {
+                    hash: *h,
+                    sig_valid: sub_key
+                        .as_ref()
+                        .map(|k| {
+                            pkcs1::verify_digest(
+                                k,
+                                &binding_digest(entry.topic.as_str(), seq, h),
+                                s,
+                            )
+                        })
+                        .unwrap_or(false),
+                }),
+                _ => None,
+            },
+        };
+        SideEvidence {
+            claimed,
+            ack,
+            peer_sig_valid: false,
+        }
+    }
+
+    fn sub_evidence(&self, entry: &LogEntry, publisher: &NodeId) -> SideEvidence {
+        let claimed = entry.payload.digest();
+        let peer_sig_valid = match (&entry.peer_sig, self.keys.get(publisher)) {
+            (Some(s), Some(k)) => pkcs1::verify_digest(
+                &k,
+                &binding_digest(entry.topic.as_str(), entry.seq, &claimed),
+                s,
+            ),
+            _ => false,
+        };
+        SideEvidence {
+            claimed,
+            ack: None,
+            peer_sig_valid,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn audit_link(
+        &self,
+        topic: &Topic,
+        seq: u64,
+        publisher: &NodeId,
+        subscriber: &NodeId,
+        pub_view: Option<&PubView<'_>>,
+        sub_entry: Option<&LogEntry>,
+        report: &mut AuditReport,
+    ) -> LinkAudit {
+        let mut link = LinkAudit {
+            topic: topic.clone(),
+            seq,
+            publisher: publisher.clone(),
+            subscriber: subscriber.clone(),
+            publisher_entry: None,
+            subscriber_entry: None,
+            hidden: Vec::new(),
+        };
+
+        // Naive-scheme entries (Definition 2) carry no signatures: nothing
+        // can be proven or refuted — exactly the paper's point in §III-B.
+        // They classify as Unproven, and a conflict between the two sides is
+        // reported as a non-attributable anomaly.
+        let naive = pub_view.map(|v| !v.entry.is_adlp()).unwrap_or(false)
+            || sub_entry.map(|e| !e.is_adlp()).unwrap_or(false);
+        if naive {
+            link.publisher_entry = pub_view.map(|_| EntryClass::Unproven);
+            link.subscriber_entry = sub_entry.map(|_| EntryClass::Unproven);
+            if let (Some(p), Some(s)) = (pub_view, sub_entry) {
+                if p.entry.payload.digest() != s.payload.digest() {
+                    report.anomalies.push(Anomaly::ConflictingEvidence {
+                        topic: topic.clone(),
+                        seq,
+                        parties: (publisher.clone(), subscriber.clone()),
+                    });
+                }
+            }
+            return link;
+        }
+
+        let p = pub_view.map(|v| self.pub_evidence(v, subscriber));
+        let s = sub_entry.map(|e| self.sub_evidence(e, publisher));
+
+        match (p, s) {
+            (Some(p), Some(s)) => self.judge_dispute(topic, seq, publisher, subscriber, p, s, &mut link, report),
+            (Some(p), None) => {
+                // Only the publisher reported (Lemma 2: the subscriber's
+                // receipt is exposed by its own acknowledgement).
+                match &p.ack {
+                    Some(ack) if ack.sig_valid => {
+                        if ack.hash == p.claimed {
+                            link.publisher_entry = Some(EntryClass::Valid);
+                            report.record_valid(publisher);
+                            link.hidden.push(HiddenRecord {
+                                component: subscriber.clone(),
+                                direction: Direction::In,
+                                topic: topic.clone(),
+                                seq,
+                                proven_by: publisher.clone(),
+                            });
+                            report.record_violation(
+                                subscriber,
+                                topic,
+                                seq,
+                                ViolationKind::HidReceipt,
+                            );
+                        } else {
+                            // The subscriber committed to different data
+                            // than the publisher claims: the publisher's
+                            // own record convicts it (Lemma 3 i).
+                            link.publisher_entry =
+                                Some(EntryClass::Invalid(InvalidReason::FalsifiedPayload));
+                            report.record_violation(
+                                publisher,
+                                topic,
+                                seq,
+                                ViolationKind::FalsifiedLog,
+                            );
+                            link.hidden.push(HiddenRecord {
+                                component: subscriber.clone(),
+                                direction: Direction::In,
+                                topic: topic.clone(),
+                                seq,
+                                proven_by: publisher.clone(),
+                            });
+                        }
+                    }
+                    Some(_) => {
+                        // Invalid acknowledgement signature: fabrication
+                        // (Lemma 1 — a real ack is transport-enforced valid).
+                        link.publisher_entry =
+                            Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                        report.record_violation(
+                            publisher,
+                            topic,
+                            seq,
+                            ViolationKind::FabricatedLog,
+                        );
+                    }
+                    None => {
+                        // No acknowledgement at all: unproven (Lemma 1 — the
+                        // publisher's entry alone cannot prove publication).
+                        link.publisher_entry = Some(EntryClass::Unproven);
+                    }
+                }
+            }
+            (None, Some(s)) => {
+                // Only the subscriber reported.
+                if s.peer_sig_valid {
+                    // s_x proves the publication (Lemma 2): publisher hid.
+                    link.subscriber_entry = Some(EntryClass::Valid);
+                    report.record_valid(subscriber);
+                    link.hidden.push(HiddenRecord {
+                        component: publisher.clone(),
+                        direction: Direction::Out,
+                        topic: topic.clone(),
+                        seq,
+                        proven_by: subscriber.clone(),
+                    });
+                    report.record_violation(publisher, topic, seq, ViolationKind::HidPublication);
+                } else {
+                    // Invalid s_x: the subscriber made the record up
+                    // (Lemma 1 — fabrication; Figure 8's case (b)).
+                    link.subscriber_entry =
+                        Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                    report.record_violation(subscriber, topic, seq, ViolationKind::FabricatedLog);
+                }
+            }
+            (None, None) => unreachable!("link key without any entry"),
+        }
+        link
+    }
+
+    /// Both sides present: the dispute-resolution core (Lemma 3).
+    #[allow(clippy::too_many_arguments)]
+    fn judge_dispute(
+        &self,
+        topic: &Topic,
+        seq: u64,
+        publisher: &NodeId,
+        subscriber: &NodeId,
+        p: SideEvidence,
+        s: SideEvidence,
+        link: &mut LinkAudit,
+        report: &mut AuditReport,
+    ) {
+        let ack_valid = p.ack.as_ref().is_some_and(|a| a.sig_valid);
+        let ack_hash = p.ack.as_ref().map(|a| a.hash);
+
+        if p.claimed == s.claimed {
+            // Agreement on the data. Check the cross-signatures.
+            if !s.peer_sig_valid {
+                // The subscriber's recorded s_x is invalid although it agrees
+                // on the data: it cannot have received this from the
+                // transport (requirement (4)) — fabricated record.
+                link.subscriber_entry =
+                    Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                report.record_violation(subscriber, topic, seq, ViolationKind::FabricatedLog);
+            } else {
+                link.subscriber_entry = Some(EntryClass::Valid);
+                report.record_valid(subscriber);
+            }
+            match (ack_valid, ack_hash) {
+                (true, Some(h)) if h == p.claimed => {
+                    link.publisher_entry = Some(EntryClass::Valid);
+                    report.record_valid(publisher);
+                }
+                (true, Some(_)) => {
+                    // Valid ack over a *different* hash than both parties
+                    // claim — inconsistent publisher record.
+                    link.publisher_entry = Some(EntryClass::Valid);
+                    report.record_valid(publisher);
+                    report.anomalies.push(Anomaly::InconsistentAck {
+                        topic: topic.clone(),
+                        seq,
+                        publisher: publisher.clone(),
+                    });
+                }
+                (false, Some(_)) => {
+                    link.publisher_entry =
+                        Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                    report.record_violation(publisher, topic, seq, ViolationKind::FabricatedLog);
+                }
+                (_, None) => {
+                    // No ack recorded, but the subscriber's (valid) entry
+                    // corroborates the publication.
+                    if s.peer_sig_valid {
+                        link.publisher_entry = Some(EntryClass::Valid);
+                        report.record_valid(publisher);
+                    } else {
+                        link.publisher_entry = Some(EntryClass::Unproven);
+                    }
+                }
+            }
+            return;
+        }
+
+        // The two sides disagree on the data (the motivating dispute of
+        // Figure 3). Decide using the cross-signatures.
+        let sub_endorses_pub_claim = ack_valid && ack_hash == Some(p.claimed);
+        let pub_endorses_sub_claim = s.peer_sig_valid;
+
+        match (pub_endorses_sub_claim, sub_endorses_pub_claim) {
+            (true, false) => {
+                // The publisher's key signed what the subscriber recorded:
+                // the publisher *did* send s.claimed, its log says
+                // otherwise — falsified (Lemma 3 i).
+                link.publisher_entry = Some(EntryClass::Invalid(InvalidReason::FalsifiedPayload));
+                report.record_violation(publisher, topic, seq, ViolationKind::FalsifiedLog);
+                link.subscriber_entry = Some(EntryClass::Valid);
+                report.record_valid(subscriber);
+            }
+            (false, true) => {
+                // The subscriber acknowledged what the publisher claims but
+                // logged something else — falsified (Lemma 3 ii).
+                link.publisher_entry = Some(EntryClass::Valid);
+                report.record_valid(publisher);
+                link.subscriber_entry = Some(EntryClass::Invalid(InvalidReason::FalsifiedPayload));
+                report.record_violation(subscriber, topic, seq, ViolationKind::FalsifiedLog);
+            }
+            (true, true) => {
+                // Each side holds the other's valid signature over a
+                // *different* payload: impossible without collusion or key
+                // compromise — both records are suspect.
+                link.publisher_entry =
+                    Some(EntryClass::Invalid(InvalidReason::UnresolvableConflict));
+                link.subscriber_entry =
+                    Some(EntryClass::Invalid(InvalidReason::UnresolvableConflict));
+                report.anomalies.push(Anomaly::ConflictingEvidence {
+                    topic: topic.clone(),
+                    seq,
+                    parties: (publisher.clone(), subscriber.clone()),
+                });
+            }
+            (false, false) => {
+                // Neither side's claim is endorsed by the other's key.
+                // Whoever recorded an *invalid* counterpart signature
+                // fabricated it (Lemma 1).
+                if p.ack.is_some() {
+                    link.publisher_entry =
+                        Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                    report.record_violation(publisher, topic, seq, ViolationKind::FabricatedLog);
+                } else {
+                    link.publisher_entry = Some(EntryClass::Unproven);
+                }
+                link.subscriber_entry =
+                    Some(EntryClass::Invalid(InvalidReason::FabricatedPeerSignature));
+                report.record_violation(subscriber, topic, seq, ViolationKind::FabricatedLog);
+            }
+        }
+    }
+
+    /// Detects per-link sequence gaps (possible pairwise hiding — the
+    /// unobservable collusion case of §III-B).
+    fn detect_gaps(&self, report: &mut AuditReport) {
+        let mut per_link: BTreeMap<(Topic, NodeId), BTreeSet<u64>> = BTreeMap::new();
+        for l in &report.links {
+            per_link
+                .entry((l.topic.clone(), l.subscriber.clone()))
+                .or_default()
+                .insert(l.seq);
+        }
+        for ((topic, subscriber), seqs) in per_link {
+            let (&lo, &hi) = match (seqs.first(), seqs.last()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if hi - lo + 1 == seqs.len() as u64 {
+                continue;
+            }
+            // A forged seq can make the range astronomically wide; walk the
+            // observed seqs instead of the full range so enumeration stays
+            // O(entries), and cap the sample.
+            let mut missing: Vec<u64> = Vec::new();
+            let mut prev = lo;
+            'scan: for &s in seqs.iter().skip(1) {
+                let mut gap = prev + 1;
+                while gap < s {
+                    missing.push(gap);
+                    if missing.len() >= self.gap_report_limit {
+                        break 'scan;
+                    }
+                    gap += 1;
+                }
+                prev = s;
+            }
+            report.anomalies.push(Anomaly::SequenceGap {
+                topic,
+                subscriber,
+                missing,
+            });
+        }
+    }
+}
+
+struct PubView<'a> {
+    entry: &'a LogEntry,
+    /// Index into `entry.acks` when this view came from an aggregated entry.
+    ack_of: Option<usize>,
+}

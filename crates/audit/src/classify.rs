@@ -1,0 +1,179 @@
+//! Classification vocabulary (the paper's Figure 5).
+
+use adlp_logger::Direction;
+use adlp_pubsub::{NodeId, Topic};
+use std::fmt;
+
+/// The auditor's verdict on one observed log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryClass {
+    /// The entry is consistent with all available evidence (L̂_V).
+    Valid,
+    /// The entry is provably wrong (L̂_I).
+    Invalid(InvalidReason),
+    /// A publisher entry with no usable acknowledgement and no counterpart
+    /// corroboration: by Lemma 1 it *cannot prove* the publication. It is
+    /// not provably false either — a faithful publisher facing a
+    /// non-acknowledging subscriber produces exactly this.
+    Unproven,
+}
+
+impl EntryClass {
+    /// Whether the class is [`EntryClass::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, EntryClass::Valid)
+    }
+}
+
+/// Why an entry was classified invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InvalidReason {
+    /// The entry's own signature does not verify under the claimed
+    /// component's registered key — tampering or impersonation ("no
+    /// component can write a log entry as if it was created by someone
+    /// else", §IV-B).
+    AuthenticityFailure,
+    /// The claimed component has no registered key.
+    UnknownComponent,
+    /// An `out` entry for a topic owned by a different component (the
+    /// unique-publisher rule of §II).
+    WrongPublisher,
+    /// The logged data contradicts the counterpart's cryptographically
+    /// provable record (Lemma 3 — falsification).
+    FalsifiedPayload,
+    /// The recorded counterpart signature is invalid: since exchanged
+    /// signatures are transport-enforced valid (requirement (4)), the
+    /// component must have made the record up (Lemma 1 — fabrication).
+    FabricatedPeerSignature,
+    /// A second entry for the same (topic, seq, link) — replay.
+    DuplicateSeq,
+    /// Entries conflict in a way no single-component explanation covers;
+    /// collusion suspected.
+    UnresolvableConflict,
+}
+
+impl fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvalidReason::AuthenticityFailure => "own signature fails authenticity check",
+            InvalidReason::UnknownComponent => "component has no registered key",
+            InvalidReason::WrongPublisher => "entry for a topic owned by another publisher",
+            InvalidReason::FalsifiedPayload => "payload contradicts counterpart's provable record",
+            InvalidReason::FabricatedPeerSignature => "recorded counterpart signature is invalid",
+            InvalidReason::DuplicateSeq => "duplicate sequence number (replay)",
+            InvalidReason::UnresolvableConflict => "unresolvable conflict (collusion suspected)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A log entry that *should* exist but was never entered (an element of
+/// L̂_H), recovered from counterpart evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HiddenRecord {
+    /// The component that hid its entry.
+    pub component: NodeId,
+    /// Which side of the transmission it hid.
+    pub direction: Direction,
+    /// The topic.
+    pub topic: Topic,
+    /// The sequence number.
+    pub seq: u64,
+    /// The counterpart whose entry proves the transmission.
+    pub proven_by: NodeId,
+}
+
+/// The audit result for one link instance (topic, seq, subscriber).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkAudit {
+    /// The topic.
+    pub topic: Topic,
+    /// The sequence number.
+    pub seq: u64,
+    /// The publisher (from topology).
+    pub publisher: NodeId,
+    /// The subscriber on this link.
+    pub subscriber: NodeId,
+    /// Verdict on the publisher's entry (`None` when absent).
+    pub publisher_entry: Option<EntryClass>,
+    /// Verdict on the subscriber's entry (`None` when absent).
+    pub subscriber_entry: Option<EntryClass>,
+    /// Hidden entries recovered on this link.
+    pub hidden: Vec<HiddenRecord>,
+}
+
+/// Observations that are suspicious but not attributable to a single
+/// component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Anomaly {
+    /// Both sides of a link carry internally valid but mutually
+    /// contradictory evidence — only collusion (or key compromise) explains
+    /// it.
+    ConflictingEvidence {
+        /// The topic.
+        topic: Topic,
+        /// The sequence number.
+        seq: u64,
+        /// The two components involved.
+        parties: (NodeId, NodeId),
+    },
+    /// An entry claims authorship by a component whose key rejects it:
+    /// someone may be impersonating `claimed`.
+    ImpersonationSuspected {
+        /// The component named in the forged entry (the victim).
+        claimed: NodeId,
+        /// The topic of the forged entry.
+        topic: Topic,
+        /// The sequence number of the forged entry.
+        seq: u64,
+    },
+    /// Sequence numbers on a link have gaps: transmissions may have been
+    /// hidden by *both* parties (a colluding pair is unobservable, §III-B).
+    SequenceGap {
+        /// The topic.
+        topic: Topic,
+        /// The subscriber of the gapped link.
+        subscriber: NodeId,
+        /// Missing sequence numbers (bounded sample).
+        missing: Vec<u64>,
+    },
+    /// A publisher entry records an acknowledgement hash that matches
+    /// neither its own claimed payload nor the subscriber's record.
+    InconsistentAck {
+        /// The topic.
+        topic: Topic,
+        /// The sequence number.
+        seq: u64,
+        /// The publisher.
+        publisher: NodeId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_class_helpers() {
+        assert!(EntryClass::Valid.is_valid());
+        assert!(!EntryClass::Invalid(InvalidReason::FalsifiedPayload).is_valid());
+        assert!(!EntryClass::Unproven.is_valid());
+    }
+
+    #[test]
+    fn invalid_reason_display_is_informative() {
+        for r in [
+            InvalidReason::AuthenticityFailure,
+            InvalidReason::UnknownComponent,
+            InvalidReason::WrongPublisher,
+            InvalidReason::FalsifiedPayload,
+            InvalidReason::FabricatedPeerSignature,
+            InvalidReason::DuplicateSeq,
+            InvalidReason::UnresolvableConflict,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Human-readable rendering of audit results — what a third-party
+//! investigator (the paper's NTSB motivating example) would actually read.
+
+use crate::auditor::{AuditReport, ViolationKind};
+use crate::classify::{Anomaly, EntryClass};
+use std::fmt;
+
+/// Wrapper that renders an [`AuditReport`] as a forensic summary.
+///
+/// ```
+/// use adlp_audit::{AuditReport, render::Rendered};
+/// let report = AuditReport::default();
+/// let text = Rendered(&report).to_string();
+/// assert!(text.contains("AUDIT SUMMARY"));
+/// ```
+pub struct Rendered<'a>(pub &'a AuditReport);
+
+impl fmt::Display for Rendered<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        writeln!(f, "=== AUDIT SUMMARY ===")?;
+        writeln!(
+            f,
+            "links audited: {}   hidden records recovered: {}   rejected entries: {}",
+            r.links.len(),
+            r.hidden.len(),
+            r.rejected_entries.len()
+        )?;
+
+        writeln!(f, "\n-- component verdicts --")?;
+        if r.verdicts.is_empty() {
+            writeln!(f, "  (no components produced auditable entries)")?;
+        }
+        for (component, verdict) in &r.verdicts {
+            if verdict.is_faithful() {
+                writeln!(
+                    f,
+                    "  {component:<20} FAITHFUL    ({} valid entries)",
+                    verdict.valid_entries
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  {component:<20} UNFAITHFUL  ({} valid, {} violations)",
+                    verdict.valid_entries,
+                    verdict.violations.len()
+                )?;
+                for v in &verdict.violations {
+                    writeln!(
+                        f,
+                        "      {} on {}#{}",
+                        violation_label(v.kind),
+                        v.topic,
+                        v.seq
+                    )?;
+                }
+            }
+        }
+
+        if !r.hidden.is_empty() {
+            writeln!(f, "\n-- hidden records (recovered from counterpart evidence) --")?;
+            for h in &r.hidden {
+                writeln!(
+                    f,
+                    "  {} hid its '{}' record for {}#{} (proven by {})",
+                    h.component, h.direction, h.topic, h.seq, h.proven_by
+                )?;
+            }
+        }
+
+        if !r.rejected_entries.is_empty() {
+            writeln!(f, "\n-- rejected entries --")?;
+            for (e, reason) in &r.rejected_entries {
+                writeln!(
+                    f,
+                    "  {} {} {}#{}: {}",
+                    e.component, e.direction, e.topic, e.seq, reason
+                )?;
+            }
+        }
+
+        if !r.anomalies.is_empty() {
+            writeln!(f, "\n-- anomalies (not attributable to one component) --")?;
+            for a in &r.anomalies {
+                writeln!(f, "  {}", anomaly_label(a))?;
+            }
+        }
+
+        let unproven = r
+            .links
+            .iter()
+            .filter(|l| {
+                l.publisher_entry == Some(EntryClass::Unproven)
+                    || l.subscriber_entry == Some(EntryClass::Unproven)
+            })
+            .count();
+        if unproven > 0 {
+            writeln!(f, "\n{unproven} link(s) carry unproven records (no counterpart evidence).")?;
+        }
+        Ok(())
+    }
+}
+
+fn violation_label(kind: ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::HidPublication => "hid a publication record",
+        ViolationKind::HidReceipt => "hid a receipt record",
+        ViolationKind::FalsifiedLog => "falsified logged data",
+        ViolationKind::FabricatedLog => "fabricated a log entry",
+        ViolationKind::ReplayedLog => "replayed a log entry",
+    }
+}
+
+fn anomaly_label(a: &Anomaly) -> String {
+    match a {
+        Anomaly::ConflictingEvidence { topic, seq, parties } => format!(
+            "conflicting evidence on {topic}#{seq} between {} and {} (collusion suspected)",
+            parties.0, parties.1
+        ),
+        Anomaly::ImpersonationSuspected { claimed, topic, seq } => {
+            format!("entry claiming authorship by {claimed} on {topic}#{seq} fails authenticity — impersonation suspected")
+        }
+        Anomaly::SequenceGap {
+            topic,
+            subscriber,
+            missing,
+        } => format!(
+            "sequence gap on {topic}→{subscriber}: missing {missing:?} (pairwise hiding cannot be ruled out)"
+        ),
+        Anomaly::InconsistentAck { topic, seq, publisher } => {
+            format!("{publisher}'s entry for {topic}#{seq} records an acknowledgement over unexpected data")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::{ComponentVerdict, Violation};
+    use adlp_logger::Direction;
+    use adlp_pubsub::{NodeId, Topic};
+
+    #[test]
+    fn empty_report_renders() {
+        let r = AuditReport::default();
+        let s = Rendered(&r).to_string();
+        assert!(s.contains("AUDIT SUMMARY"));
+        assert!(s.contains("no components"));
+    }
+
+    #[test]
+    fn violations_and_hidden_render() {
+        let mut r = AuditReport::default();
+        r.verdicts.insert(
+            NodeId::new("det"),
+            ComponentVerdict {
+                valid_entries: 2,
+                violations: vec![Violation {
+                    topic: Topic::new("image"),
+                    seq: 3,
+                    kind: ViolationKind::FalsifiedLog,
+                }],
+            },
+        );
+        r.hidden.push(crate::classify::HiddenRecord {
+            component: NodeId::new("det"),
+            direction: Direction::In,
+            topic: Topic::new("image"),
+            seq: 4,
+            proven_by: NodeId::new("cam"),
+        });
+        let s = Rendered(&r).to_string();
+        assert!(s.contains("UNFAITHFUL"));
+        assert!(s.contains("falsified logged data"));
+        assert!(s.contains("hid its 'in' record"));
+    }
+
+    #[test]
+    fn anomalies_render() {
+        let mut r = AuditReport::default();
+        r.anomalies.push(Anomaly::ConflictingEvidence {
+            topic: Topic::new("plan"),
+            seq: 1,
+            parties: (NodeId::new("a"), NodeId::new("b")),
+        });
+        r.anomalies.push(Anomaly::SequenceGap {
+            topic: Topic::new("plan"),
+            subscriber: NodeId::new("b"),
+            missing: vec![2, 3],
+        });
+        let s = Rendered(&r).to_string();
+        assert!(s.contains("collusion suspected"));
+        assert!(s.contains("sequence gap"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates every table and figure of the paper's evaluation section and
+//! prints them in the paper's layout.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_all
+//! ```
+//!
+//! Environment knobs: `ADLP_SAMPLES` (Table I samples, default 3000),
+//! `ADLP_WINDOW_MS` (scenario window, default 3000), `ADLP_KEY_BITS`
+//! (default 1024).
+
+use adlp_bench::experiments::KEY_BITS;
+use adlp_bench::report::*;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let samples = env_usize("ADLP_SAMPLES", 3000);
+    let window = Duration::from_millis(env_usize("ADLP_WINDOW_MS", 3000) as u64);
+    let key_bits = env_usize("ADLP_KEY_BITS", KEY_BITS);
+
+    print_table1(samples, key_bits);
+    print_fig13(window, key_bits);
+    print_fig14(window, key_bits);
+    print_table2(window, key_bits);
+    print_table3(key_bits);
+    print_fig15(window, key_bits);
+    print_table4(window, key_bits);
+}

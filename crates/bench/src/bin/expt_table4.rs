@@ -1,0 +1,19 @@
+//! Table IV: system-wide log generation rate (see `expt_all` for every experiment at once).
+
+use adlp_bench::experiments::KEY_BITS;
+use adlp_bench::report::*;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let key_bits = env_usize("ADLP_KEY_BITS", KEY_BITS);
+    #[allow(unused_variables)]
+    let window = Duration::from_millis(env_usize("ADLP_WINDOW_MS", 3000) as u64);
+    print_table4(window, key_bits);
+}

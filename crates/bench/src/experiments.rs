@@ -1,0 +1,464 @@
+//! The seven experiments of the paper's evaluation section.
+
+use crate::stats::mean_std;
+use adlp_core::{AdlpConfig, Scheme};
+use adlp_crypto::{pkcs1, sha256::Sha256, RsaKeyPair};
+use adlp_logger::Direction;
+use adlp_pubsub::wire::FRAME_PREAMBLE_LEN;
+use adlp_sim::{fanout_app, self_driving_app, PayloadKind, Scenario};
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Key width used by the harnesses — the paper's RSA-1024.
+pub const KEY_BITS: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Table I — hashing / hashing+signing time per data type
+// ---------------------------------------------------------------------------
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct CryptoTimeRow {
+    /// Data-type label.
+    pub label: String,
+    /// Serialized size `|D|`.
+    pub size: usize,
+    /// Hashing-only mean (ms).
+    pub hash_avg_ms: f64,
+    /// Hashing-only stdev (ms).
+    pub hash_std_ms: f64,
+    /// Hashing+signing mean (ms).
+    pub sign_avg_ms: f64,
+    /// Hashing+signing stdev (ms).
+    pub sign_std_ms: f64,
+}
+
+/// Reproduces Table I: average times to hash / hash+sign Steering, Scan and
+/// Image payloads (`samples` = 3000 in the paper).
+pub fn table1_crypto_times(samples: usize, key_bits: usize) -> Vec<CryptoTimeRow> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAD1);
+    let keys = RsaKeyPair::generate(key_bits, &mut rng);
+    let kinds = [PayloadKind::Steering, PayloadKind::Scan, PayloadKind::Image];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let mut body = vec![0u8; 16];
+        body.extend_from_slice(&kind.generate(1));
+        debug_assert_eq!(body.len(), kind.body_len());
+
+        let mut hash_ms = Vec::with_capacity(samples);
+        let mut sign_ms = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let mut h = Sha256::new();
+            h.update(&body);
+            let digest = h.finalize();
+            hash_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(&digest);
+
+            let t1 = Instant::now();
+            let mut h = Sha256::new();
+            h.update(&body);
+            let digest = h.finalize();
+            let sig = pkcs1::sign_digest(keys.private_key(), &digest).expect("sign");
+            sign_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(&sig);
+        }
+        let (hash_avg_ms, hash_std_ms) = mean_std(&hash_ms);
+        let (sign_avg_ms, sign_std_ms) = mean_std(&sign_ms);
+        rows.push(CryptoTimeRow {
+            label: kind.label(),
+            size: kind.body_len(),
+            hash_avg_ms,
+            hash_std_ms,
+            sign_avg_ms,
+            sign_std_ms,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — message latency vs data size, ADLP vs baseline
+// ---------------------------------------------------------------------------
+
+/// One series point of Figure 13.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Serialized message size `|D|`.
+    pub size: usize,
+    /// Mean pub→sub latency under the base scheme (ms).
+    pub base_ms: f64,
+    /// Mean pub→sub latency under ADLP (ms).
+    pub adlp_ms: f64,
+}
+
+/// Reproduces Figure 13: average end-to-end message latency from publisher
+/// to subscriber over a size sweep, base vs ADLP.
+pub fn fig13_message_latency(
+    sizes: &[usize],
+    window: Duration,
+    key_bits: usize,
+) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut ms = [0.0f64; 2];
+        for (i, scheme) in [Scheme::Base, Scheme::adlp()].into_iter().enumerate() {
+            // Rate low enough that even ~1 MB messages keep up.
+            let report = Scenario::new(fanout_app(PayloadKind::Custom(size), 1, 20.0))
+                .scheme(scheme)
+                .key_bits(key_bits)
+                .duration(window)
+                .seed(7 + size as u64)
+                .run();
+            ms[i] = report
+                .mean_latency_ns
+                .get(&("data".into(), "sink0".into()))
+                .map_or(f64::NAN, |ns| ns / 1e6);
+        }
+        rows.push(LatencyRow {
+            size,
+            base_ms: ms[0],
+            adlp_ms: ms[1],
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — publisher CPU utilization vs number of subscribers
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 14.
+#[derive(Debug, Clone)]
+pub struct PublisherCpuRow {
+    /// Number of Image subscribers.
+    pub subscribers: usize,
+    /// Publisher CPU (percent of one core) with no logging.
+    pub none_pct: f64,
+    /// With base logging.
+    pub base_pct: f64,
+    /// With ADLP.
+    pub adlp_pct: f64,
+}
+
+/// Reproduces Figure 14: CPU utilization attributed to the Image publisher
+/// for 1–`max_subs` subscribers under the three schemes.
+pub fn fig14_publisher_cpu(
+    max_subs: usize,
+    window: Duration,
+    key_bits: usize,
+) -> Vec<PublisherCpuRow> {
+    let mut rows = Vec::new();
+    for subs in 1..=max_subs {
+        let mut pct = [0.0f64; 3];
+        for (i, scheme) in [Scheme::NoLogging, Scheme::Base, Scheme::adlp()]
+            .into_iter()
+            .enumerate()
+        {
+            let report = Scenario::new(fanout_app(PayloadKind::Image, subs, 20.0))
+                .scheme(scheme)
+                .key_bits(key_bits)
+                .duration(window)
+                .measure_cpu_of("feeder")
+                .seed(100 + subs as u64)
+                .run();
+            pct[i] = report.node_cpu_percent.unwrap_or(f64::NAN);
+        }
+        rows.push(PublisherCpuRow {
+            subscribers: subs,
+            none_pct: pct[0],
+            base_pct: pct[1],
+            adlp_pct: pct[2],
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table II — system-wide CPU running the self-driving application
+// ---------------------------------------------------------------------------
+
+/// Table II: system-wide CPU utilization (percent of the machine).
+#[derive(Debug, Clone)]
+pub struct SystemCpuRow {
+    /// Configuration label (Idle / No Logging / Base Logging / ADLP).
+    pub label: String,
+    /// Mean utilization, percent of all cores.
+    pub avg_pct: f64,
+}
+
+/// Reproduces Table II: process-wide CPU while running the full
+/// self-driving graph under each scheme, plus the idle baseline.
+pub fn table2_system_cpu(window: Duration, key_bits: usize) -> Vec<SystemCpuRow> {
+    let mut rows = Vec::new();
+    // Idle: measure this process doing nothing.
+    let probe = adlp_sim::CpuProbe::start();
+    std::thread::sleep(window.min(Duration::from_secs(1)));
+    rows.push(SystemCpuRow {
+        label: "Idle".into(),
+        avg_pct: probe.utilization_percent_of_machine(),
+    });
+    for (label, scheme) in [
+        ("No Logging", Scheme::NoLogging),
+        ("Base Logging", Scheme::Base),
+        ("ADLP", Scheme::adlp()),
+    ] {
+        let report = Scenario::new(self_driving_app())
+            .scheme(scheme)
+            .key_bits(key_bits)
+            .duration(window)
+            .seed(200)
+            .run();
+        rows.push(SystemCpuRow {
+            label: label.into(),
+            avg_pct: report.process_cpu_percent / adlp_sim::metrics::cpu_count() as f64,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table III — message and log entry sizes
+// ---------------------------------------------------------------------------
+
+/// One block of Table III (one data type).
+#[derive(Debug, Clone)]
+pub struct SizeRow {
+    /// Data-type label.
+    pub label: String,
+    /// Serialized body size `|D|`.
+    pub body: usize,
+    /// On-the-wire message size under base (`|D| + 4`).
+    pub base_message: usize,
+    /// On-the-wire message size under ADLP (`|D| + 4 + |sig|`).
+    pub adlp_message: usize,
+    /// Base publisher entry bytes.
+    pub base_pub_entry: usize,
+    /// Base subscriber entry bytes.
+    pub base_sub_entry: usize,
+    /// ADLP publisher entry bytes.
+    pub adlp_pub_entry: usize,
+    /// ADLP subscriber entry bytes (storing `h(D)`).
+    pub adlp_sub_entry: usize,
+}
+
+/// Reproduces Table III by actually transmitting one message of each type
+/// under each scheme and reading back the stored entry sizes.
+pub fn table3_sizes(key_bits: usize) -> Vec<SizeRow> {
+    let sig_len = key_bits / 8;
+    let kinds = [PayloadKind::Steering, PayloadKind::Scan, PayloadKind::Image];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let mut entry_sizes = [[0usize; 2]; 2]; // [scheme][direction]
+        for (si, scheme) in [Scheme::Base, Scheme::adlp()].into_iter().enumerate() {
+            let report = run_single_message(kind, scheme, key_bits);
+            for e in report.logger.store().entries() {
+                let e = e.expect("decodable entry");
+                let size = e.encoded_len();
+                match e.direction {
+                    Direction::Out => entry_sizes[si][0] = size,
+                    Direction::In => entry_sizes[si][1] = size,
+                }
+            }
+        }
+        rows.push(SizeRow {
+            label: kind.label(),
+            body: kind.body_len(),
+            base_message: kind.body_len() + FRAME_PREAMBLE_LEN,
+            adlp_message: kind.body_len() + FRAME_PREAMBLE_LEN + sig_len,
+            base_pub_entry: entry_sizes[0][0],
+            base_sub_entry: entry_sizes[0][1],
+            adlp_pub_entry: entry_sizes[1][0],
+            adlp_sub_entry: entry_sizes[1][1],
+        });
+    }
+    rows
+}
+
+/// Runs a 1-publisher/1-subscriber link just long enough for one message
+/// to complete its full protocol round.
+fn run_single_message(
+    kind: PayloadKind,
+    scheme: Scheme,
+    key_bits: usize,
+) -> adlp_sim::ScenarioReport {
+    // Very low rate so exactly a couple of messages flow; we only read the
+    // first pub/sub entry pair of each direction, so extras are harmless.
+    Scenario::new(fanout_app(kind, 1, 10.0))
+        .scheme(scheme)
+        .key_bits(key_bits)
+        .warmup(Duration::from_millis(50))
+        .duration(Duration::from_millis(250))
+        .seed(300)
+        .run()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15 — log generation rates per data type
+// ---------------------------------------------------------------------------
+
+/// One group of Figure 15.
+#[derive(Debug, Clone)]
+pub struct LogRateRow {
+    /// Data-type label.
+    pub label: String,
+    /// Publication rate used (Hz).
+    pub hz: f64,
+    /// Base scheme log rate (KB/s).
+    pub base_kbps: f64,
+    /// ADLP with subscriber storing `h(D)` (KB/s).
+    pub adlp_hash_kbps: f64,
+    /// ADLP with subscriber storing the data (KB/s).
+    pub adlp_data_kbps: f64,
+}
+
+/// Reproduces Figure 15: per-type log generation rate for Steering and
+/// Image under base, ADLP-h(D) and ADLP-data.
+pub fn fig15_log_rates(window: Duration, key_bits: usize) -> Vec<LogRateRow> {
+    let mut rows = Vec::new();
+    for (kind, hz) in [(PayloadKind::Steering, 20.0), (PayloadKind::Image, 20.0)] {
+        let schemes = [
+            Scheme::Base,
+            Scheme::Adlp(AdlpConfig::new()),
+            Scheme::Adlp(AdlpConfig::new().storing_data()),
+        ];
+        let mut kbps = [0.0f64; 3];
+        for (i, scheme) in schemes.into_iter().enumerate() {
+            let report = Scenario::new(fanout_app(kind, 1, hz))
+                .scheme(scheme)
+                .key_bits(key_bits)
+                .duration(window)
+                .seed(400 + i as u64)
+                .run();
+            kbps[i] = report.volume.bytes as f64 / 1e3 / report.elapsed.as_secs_f64();
+        }
+        rows.push(LogRateRow {
+            label: kind.label(),
+            hz,
+            base_kbps: kbps[0],
+            adlp_hash_kbps: kbps[1],
+            adlp_data_kbps: kbps[2],
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — system-wide log generation rate
+// ---------------------------------------------------------------------------
+
+/// Table IV: system-wide log generation rate.
+#[derive(Debug, Clone)]
+pub struct SystemLogRateRow {
+    /// Scheme label.
+    pub label: String,
+    /// Log generation rate in Mb/s.
+    pub mbps: f64,
+}
+
+/// Reproduces Table IV: the full self-driving app's log generation rate
+/// under base vs ADLP (subscribers storing hashes in both).
+///
+/// Two ADLP rows are reported. With per-acknowledgement publisher entries
+/// (the prototype's §V-B step 6), a topic with k subscribers stores its
+/// data k times, so ADLP costs ≈ k× base on fan-out topics — visibly more
+/// than the paper's +1.1 %. With **aggregated** publisher logging (the
+/// paper's §VI-E optimization: one entry per publication), ADLP lands
+/// within a few percent of base, which is the only configuration
+/// arithmetically consistent with the paper's Table IV numbers.
+pub fn table4_system_log_rate(window: Duration, key_bits: usize) -> Vec<SystemLogRateRow> {
+    let mut rows = Vec::new();
+    let configs = [
+        ("Base", Scheme::Base),
+        ("ADLP", Scheme::adlp()),
+        ("ADLP-agg", Scheme::Adlp(AdlpConfig::new().aggregated())),
+    ];
+    for (label, scheme) in configs {
+        let report = Scenario::new(self_driving_app())
+            .scheme(scheme)
+            .key_bits(key_bits)
+            .duration(window)
+            .base_stores_hash(true)
+            .seed(500)
+            .run();
+        rows.push(SystemLogRateRow {
+            label: label.into(),
+            mbps: report.log_rate_mbps(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests with shrunken parameters; shape assertions only.
+
+    #[test]
+    fn table1_shape() {
+        let rows = table1_crypto_times(20, 512);
+        assert_eq!(rows.len(), 3);
+        // Hashing grows with size…
+        assert!(rows[2].hash_avg_ms > rows[0].hash_avg_ms);
+        // …and for small payloads the signature dominates clearly. (For
+        // ~1 MB payloads hashing dominates and the signing increment can
+        // drown in timer noise at this tiny sample count, so only a loose
+        // bound is asserted there.)
+        assert!(
+            rows[0].sign_avg_ms > rows[0].hash_avg_ms * 2.0,
+            "steering: {:?}",
+            rows[0]
+        );
+        for r in &rows {
+            assert!(r.sign_avg_ms >= r.hash_avg_ms * 0.7, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig13_adlp_is_slower_but_same_order() {
+        let rows = fig13_message_latency(&[1_000], Duration::from_millis(500), 512);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].base_ms.is_finite());
+        assert!(rows[0].adlp_ms.is_finite());
+        assert!(rows[0].adlp_ms >= rows[0].base_ms * 0.5, "{rows:?}");
+    }
+
+    #[test]
+    fn table3_matches_paper_arithmetic() {
+        let rows = table3_sizes(1024);
+        let steering = &rows[0];
+        assert_eq!(steering.base_message, 24);
+        assert_eq!(steering.adlp_message, 152); // the paper's value exactly
+        assert!(steering.adlp_pub_entry > steering.base_pub_entry);
+        let image = &rows[2];
+        assert_eq!(image.adlp_message, 921_773); // paper value exactly
+        // Subscriber storing h(D): entry stays tiny for ~900 KB data.
+        assert!(image.adlp_sub_entry < 500, "{image:?}");
+        assert!(image.base_sub_entry > 900_000);
+    }
+
+    #[test]
+    fn fig15_hash_mode_beats_data_mode_for_images() {
+        let rows = fig15_log_rates(Duration::from_millis(400), 512);
+        let image = rows.iter().find(|r| r.label == "Image").unwrap();
+        assert!(
+            image.adlp_hash_kbps < image.adlp_data_kbps,
+            "storing hashes must reduce the log rate: {image:?}"
+        );
+    }
+
+    #[test]
+    fn table4_aggregated_adlp_close_to_base() {
+        let rows = table4_system_log_rate(Duration::from_millis(600), 512);
+        assert_eq!(rows.len(), 3);
+        let base = rows[0].mbps;
+        let adlp = rows[1].mbps;
+        let adlp_agg = rows[2].mbps;
+        assert!(base > 0.0 && adlp > 0.0 && adlp_agg > 0.0);
+        // Per-ack entries duplicate fan-out data; aggregation recovers the
+        // paper's "only ~1% over base" headline (loose bound for noise).
+        assert!(adlp_agg < base * 1.4, "base={base} adlp_agg={adlp_agg}");
+        assert!(adlp > adlp_agg, "per-ack must exceed aggregated");
+    }
+}

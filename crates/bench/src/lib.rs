@@ -1,0 +1,18 @@
+//! Experiment harnesses regenerating every table and figure of the ADLP
+//! paper's evaluation (§VI).
+//!
+//! Each experiment is a library function returning structured rows, so the
+//! `expt_*` binaries can print paper-style tables and the test suite can
+//! smoke-run shrunken configurations. Absolute numbers differ from the
+//! paper (compiled Rust on a modern host vs Python on a 2017 NUC); the
+//! *shapes* — who wins, scaling in payload size and subscriber count —
+//! are the reproduction targets recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod report;
+pub mod stats;
+
+pub use experiments::{
+    fig13_message_latency, fig14_publisher_cpu, fig15_log_rates, table1_crypto_times,
+    table2_system_cpu, table3_sizes, table4_system_log_rate,
+};

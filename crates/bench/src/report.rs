@@ -1,0 +1,110 @@
+//! Paper-style table printers for the experiment harnesses.
+
+use crate::experiments::*;
+use crate::stats::fmt_bytes;
+use std::time::Duration;
+
+pub fn print_table1(samples: usize, key_bits: usize) {
+    println!("== Table I: hashing and signing time for different data types ==");
+    println!("   (RSA-{key_bits}, SHA-256, {samples} samples)");
+    println!(
+        "{:<10} {:>9}  {:>24}  {:>24}",
+        "Type", "Size(B)", "Hashing only avg(stdev)", "Hash+Sign avg(stdev)"
+    );
+    for r in table1_crypto_times(samples, key_bits) {
+        println!(
+            "{:<10} {:>9}  {:>12.3} ms ({:.3})  {:>12.3} ms ({:.3})",
+            r.label,
+            fmt_bytes(r.size as u64),
+            r.hash_avg_ms,
+            r.hash_std_ms,
+            r.sign_avg_ms,
+            r.sign_std_ms
+        );
+    }
+    println!();
+}
+
+pub fn print_fig13(window: Duration, key_bits: usize) {
+    println!("== Figure 13: average message latency publisher → subscriber ==");
+    println!("{:<12} {:>12} {:>12}", "Size(B)", "Base(ms)", "ADLP(ms)");
+    let sizes = [20, 1_000, 10_000, 100_000, 500_000, 921_641];
+    for r in fig13_message_latency(&sizes, window, key_bits) {
+        println!(
+            "{:<12} {:>12.3} {:>12.3}",
+            fmt_bytes(r.size as u64),
+            r.base_ms,
+            r.adlp_ms
+        );
+    }
+    println!();
+}
+
+pub fn print_fig14(window: Duration, key_bits: usize) {
+    println!("== Figure 14: Image publisher CPU vs number of subscribers ==");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "#Subs", "NoLog(%)", "Base(%)", "ADLP(%)"
+    );
+    for r in fig14_publisher_cpu(4, window, key_bits) {
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>12.2}",
+            r.subscribers, r.none_pct, r.base_pct, r.adlp_pct
+        );
+    }
+    println!();
+}
+
+pub fn print_table2(window: Duration, key_bits: usize) {
+    println!("== Table II: system-wide CPU, self-driving application ==");
+    println!("{:<14} {:>10}", "Config", "Avg(%)");
+    for r in table2_system_cpu(window, key_bits) {
+        println!("{:<14} {:>10.2}", r.label, r.avg_pct);
+    }
+    println!();
+}
+
+pub fn print_table3(key_bits: usize) {
+    println!("== Table III: message and log entry sizes (bytes) ==");
+    println!(
+        "{:<10} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+        "Type", "Msg base", "Msg ADLP", "Pub base", "Sub base", "Pub ADLP", "Sub ADLP"
+    );
+    for r in table3_sizes(key_bits) {
+        println!(
+            "{:<10} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+            r.label,
+            fmt_bytes(r.base_message as u64),
+            fmt_bytes(r.adlp_message as u64),
+            fmt_bytes(r.base_pub_entry as u64),
+            fmt_bytes(r.base_sub_entry as u64),
+            fmt_bytes(r.adlp_pub_entry as u64),
+            fmt_bytes(r.adlp_sub_entry as u64)
+        );
+    }
+    println!();
+}
+
+pub fn print_fig15(window: Duration, key_bits: usize) {
+    println!("== Figure 15: log generation rates (KB/s) ==");
+    println!(
+        "{:<10} {:>6} {:>12} {:>14} {:>14}",
+        "Type", "Hz", "Base", "ADLP h(D)", "ADLP D"
+    );
+    for r in fig15_log_rates(window, key_bits) {
+        println!(
+            "{:<10} {:>6.0} {:>12.2} {:>14.2} {:>14.2}",
+            r.label, r.hz, r.base_kbps, r.adlp_hash_kbps, r.adlp_data_kbps
+        );
+    }
+    println!();
+}
+
+pub fn print_table4(window: Duration, key_bits: usize) {
+    println!("== Table IV: system-wide log generation rate ==");
+    println!("{:<8} {:>12}", "Scheme", "Mb/s");
+    for r in table4_system_log_rate(window, key_bits) {
+        println!("{:<8} {:>12.3}", r.label, r.mbps);
+    }
+    println!();
+}

@@ -1,0 +1,46 @@
+//! Small statistics helpers for the experiment harnesses.
+
+/// Sample mean and (population) standard deviation.
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Formats a byte count with thousands separators (paper-style tables).
+pub fn fmt_bytes(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(0), "0");
+        assert_eq!(fmt_bytes(999), "999");
+        assert_eq!(fmt_bytes(1000), "1,000");
+        assert_eq!(fmt_bytes(921641), "921,641");
+    }
+}

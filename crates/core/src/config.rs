@@ -1,0 +1,150 @@
+//! Logging-scheme configuration.
+
+/// Which logging scheme a node runs — the three columns of the paper's
+/// CPU-overhead comparison (Figure 14, Table II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scheme {
+    /// No logging at all (baseline "(i) no logging").
+    NoLogging,
+    /// The naive scheme of Definition 2: entries carry the raw data, no
+    /// cryptography, no acknowledgements ("(ii) base logging").
+    Base,
+    /// The full protocol ("(iii) ADLP").
+    Adlp(AdlpConfig),
+}
+
+impl Default for Scheme {
+    fn default() -> Self {
+        Scheme::Adlp(AdlpConfig::default())
+    }
+}
+
+impl Scheme {
+    /// Default ADLP configuration.
+    pub fn adlp() -> Self {
+        Scheme::Adlp(AdlpConfig::default())
+    }
+
+    /// Short label used by the experiment harnesses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::NoLogging => "no-logging",
+            Scheme::Base => "base",
+            Scheme::Adlp(_) => "adlp",
+        }
+    }
+}
+
+/// Tunables of the ADLP scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdlpConfig {
+    /// Subscribers store `h(I_y)` instead of the data in their log entries
+    /// (§IV-A "`h(I_y)` vs `I_y`"; the paper's default for the storage
+    /// results of Table III / Figure 15).
+    pub subscriber_stores_hash: bool,
+    /// Publishers withhold the next message on a connection until the
+    /// previous one is acknowledged (§V-B step 2). Disable for the
+    /// ack-gating ablation.
+    pub gate_on_ack: bool,
+    /// Aggregated logging (§VI-E): one publisher entry per publication
+    /// carrying all subscribers' acknowledgements, instead of one entry per
+    /// acknowledgement.
+    pub aggregated_publisher_log: bool,
+    /// Subscribers drop messages whose sequence number does not increase
+    /// (transport-level replay defense, complementing the audit-time
+    /// freshness argument of Lemma 1).
+    pub drop_replayed: bool,
+    /// Publishers verify `s_y` in acknowledgements on receipt (against the
+    /// logger's key registry) and ignore invalid ones, keeping the
+    /// connection gated — an online version of requirement (4)'s
+    /// enforcement.
+    pub verify_acks: bool,
+}
+
+impl Default for AdlpConfig {
+    fn default() -> Self {
+        AdlpConfig {
+            subscriber_stores_hash: true,
+            gate_on_ack: true,
+            aggregated_publisher_log: false,
+            drop_replayed: true,
+            verify_acks: false,
+        }
+    }
+}
+
+impl AdlpConfig {
+    /// Paper-default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribers store the raw data instead of its hash (the `D''_y`
+    /// variant in Figure 15).
+    pub fn storing_data(mut self) -> Self {
+        self.subscriber_stores_hash = false;
+        self
+    }
+
+    /// Disables acknowledgement gating.
+    pub fn without_gating(mut self) -> Self {
+        self.gate_on_ack = false;
+        self
+    }
+
+    /// Enables aggregated publisher logging.
+    pub fn aggregated(mut self) -> Self {
+        self.aggregated_publisher_log = true;
+        self
+    }
+
+    /// Enables online acknowledgement verification at publishers.
+    pub fn verifying_acks(mut self) -> Self {
+        self.verify_acks = true;
+        self
+    }
+
+    /// Disables the transport-level replay defense.
+    pub fn allowing_replays(mut self) -> Self {
+        self.drop_replayed = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AdlpConfig::default();
+        assert!(c.subscriber_stores_hash);
+        assert!(c.gate_on_ack);
+        assert!(!c.aggregated_publisher_log);
+        assert!(c.drop_replayed);
+        assert!(!c.verify_acks);
+        assert_eq!(Scheme::default(), Scheme::Adlp(c));
+    }
+
+    #[test]
+    fn builder_variants() {
+        let c = AdlpConfig::new()
+            .storing_data()
+            .without_gating()
+            .aggregated()
+            .verifying_acks()
+            .allowing_replays();
+        assert!(!c.subscriber_stores_hash);
+        assert!(!c.gate_on_ack);
+        assert!(c.aggregated_publisher_log);
+        assert!(c.verify_acks);
+        assert!(!c.drop_replayed);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scheme::NoLogging.label(), "no-logging");
+        assert_eq!(Scheme::Base.label(), "base");
+        assert_eq!(Scheme::adlp().label(), "adlp");
+    }
+}

@@ -1,0 +1,113 @@
+//! Component identities: a node id bound to an RSA key pair.
+
+use adlp_crypto::rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+use adlp_crypto::sha256::Digest;
+use adlp_crypto::{pkcs1, CryptoError, Signature};
+use adlp_pubsub::NodeId;
+use rand::RngCore;
+use std::fmt;
+use std::sync::Arc;
+
+/// A component's cryptographic identity.
+///
+/// Generated at logging-thread startup in the prototype (§V-B step 1); the
+/// public half is registered with the trusted logger, the private half never
+/// leaves the component (except by explicit sharing, which is exactly the
+/// collusion model).
+#[derive(Clone)]
+pub struct ComponentIdentity {
+    id: NodeId,
+    key: Arc<RsaPrivateKey>,
+}
+
+impl ComponentIdentity {
+    /// Generates a fresh identity with a `bits`-bit RSA key (the paper uses
+    /// 1024; tests use smaller keys for speed).
+    pub fn generate<R: RngCore + ?Sized>(id: impl Into<NodeId>, bits: usize, rng: &mut R) -> Self {
+        ComponentIdentity {
+            id: id.into(),
+            key: Arc::new(RsaKeyPair::generate(bits, rng).into_private_key()),
+        }
+    }
+
+    /// Rebuilds an identity from a stored private key (see
+    /// [`crate::keystore::IdentityStore`]).
+    pub fn from_parts(id: NodeId, key: RsaPrivateKey) -> Self {
+        ComponentIdentity {
+            id,
+            key: Arc::new(key),
+        }
+    }
+
+    /// The component id.
+    pub fn id(&self) -> &NodeId {
+        &self.id
+    }
+
+    /// The public key (for registration with the logger).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.key.public_key()
+    }
+
+    /// Signature length in bytes (128 for RSA-1024).
+    pub fn signature_len(&self) -> usize {
+        self.key.public_key().modulus_len()
+    }
+
+    /// Signs a precomputed digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] (e.g. a key too small for the encoding).
+    pub fn sign_digest(&self, digest: &Digest) -> Result<Signature, CryptoError> {
+        pkcs1::sign_digest(&self.key, digest)
+    }
+
+    /// The private key — exposed **only** to model collusion, where
+    /// components from the same non-compliant vendor share key material to
+    /// forge each other's acknowledgements.
+    pub fn private_key(&self) -> &Arc<RsaPrivateKey> {
+        &self.key
+    }
+}
+
+impl fmt::Debug for ComponentIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentIdentity")
+            .field("id", &self.id)
+            .field("modulus_bits", &(self.signature_len() * 8))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::sha256;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_and_verify_through_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ident = ComponentIdentity::generate("camera", 512, &mut rng);
+        assert_eq!(ident.id().as_str(), "camera");
+        assert_eq!(ident.signature_len(), 64);
+        let d = sha256(b"frame");
+        let sig = ident.sign_digest(&d).unwrap();
+        assert!(pkcs1::verify_digest(ident.public_key(), &d, &sig));
+        assert!(!pkcs1::verify_digest(
+            ident.public_key(),
+            &sha256(b"other"),
+            &sig
+        ));
+    }
+
+    #[test]
+    fn debug_hides_private_material() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ident = ComponentIdentity::generate("camera", 128, &mut rng);
+        let dbg = format!("{ident:?}");
+        assert!(dbg.contains("camera"));
+        assert!(!dbg.contains("RsaPrivateKey {"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The naive-scheme interceptor (Definition 2): log entries with raw data,
+//! no cryptography, no acknowledgements.
+
+use crate::events::LogEvent;
+use crate::logging::EventSink;
+use adlp_pubsub::{Clock, ConnectionInfo, LinkInterceptor, RecvOutcome, Topic};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Interceptor for the base logging scheme.
+pub struct BaseInterceptor {
+    clock: Arc<dyn Clock>,
+    sink: EventSink,
+    /// Last sequence number logged per published topic — the publisher
+    /// writes one entry per *publication*, not per subscriber connection.
+    last_logged: Mutex<HashMap<Topic, u64>>,
+}
+
+impl fmt::Debug for BaseInterceptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BaseInterceptor").finish_non_exhaustive()
+    }
+}
+
+impl BaseInterceptor {
+    /// Creates the interceptor.
+    pub fn new(clock: Arc<dyn Clock>, sink: EventSink) -> Self {
+        BaseInterceptor {
+            clock,
+            sink,
+            last_logged: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl LinkInterceptor for BaseInterceptor {
+    fn on_send(&self, conn: &ConnectionInfo, body: Vec<u8>) -> Vec<u8> {
+        let seq = u64::from_le_bytes(body[..8].try_into().expect("header seq"));
+        let mut last = self.last_logged.lock();
+        if last.get(&conn.topic) != Some(&seq) {
+            last.insert(conn.topic.clone(), seq);
+            self.sink.submit(LogEvent::BasePublication {
+                topic: conn.topic.clone(),
+                seq,
+                stamp_ns: self.clock.now_ns(),
+                body: Arc::new(body.clone()),
+            });
+        }
+        body
+    }
+
+    fn on_recv(&self, conn: &ConnectionInfo, body: Vec<u8>) -> RecvOutcome {
+        if body.len() < 8 {
+            return RecvOutcome::drop_message();
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+        self.sink.submit(LogEvent::BaseReceipt {
+            topic: conn.topic.clone(),
+            seq,
+            stamp_ns: self.clock.now_ns(),
+            publisher: conn.publisher.clone(),
+            body: body.clone(),
+        });
+        RecvOutcome::deliver(body)
+    }
+}

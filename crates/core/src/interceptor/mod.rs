@@ -1,0 +1,7 @@
+//! Transport-layer interceptors implementing the logging schemes.
+
+mod adlp;
+mod base;
+
+pub use adlp::AdlpInterceptor;
+pub use base::BaseInterceptor;

@@ -1,0 +1,549 @@
+//! The per-node logging thread.
+//!
+//! "For logging operations, we created a Logging Thread that runs in
+//! parallel with each node's main thread. One logging thread is created per
+//! ROS node, no matter how many topics the node publishes and subscribes"
+//! (§V-B). Transport hooks push [`LogEvent`]s; this thread converts them to
+//! [`LogEntry`]s — applying the node's [`BehaviorProfile`] — and submits
+//! them to the trusted logger.
+
+use crate::behavior::{falsify_body, BehaviorProfile, LinkRole, LogBehavior};
+use crate::events::LogEvent;
+use crate::identity::ComponentIdentity;
+use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_crypto::sha256::{binding_digest, sha256, Digest};
+use adlp_crypto::{pkcs1, Signature};
+use adlp_logger::{Direction, LogEntry, LoggerHandle, PayloadRecord};
+use adlp_pubsub::{NodeId, Topic};
+use crossbeam::channel::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Command {
+    Event(Box<LogEvent>),
+    Flush(Sender<()>),
+}
+
+/// Handle to a running logging thread.
+#[derive(Debug)]
+pub struct LoggingThread {
+    tx: Sender<Command>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A cloneable submitter for transport hooks.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    tx: Sender<Command>,
+}
+
+impl EventSink {
+    /// Pushes an event; never blocks on logging work.
+    pub fn submit(&self, event: LogEvent) {
+        let _ = self.tx.send(Command::Event(Box::new(event)));
+    }
+}
+
+/// Everything the worker needs to turn events into entries.
+pub(crate) struct LoggingContext {
+    /// The node's id (used verbatim for Base-scheme entries).
+    pub node_id: NodeId,
+    /// ADLP identity; `None` under the Base scheme.
+    pub identity: Option<ComponentIdentity>,
+    /// The node's (mis)behavior.
+    pub behavior: BehaviorProfile,
+    /// Whether subscribers store `h(I_y)` instead of `I_y`.
+    pub subscriber_stores_hash: bool,
+    /// The trusted logger.
+    pub logger: LoggerHandle,
+}
+
+impl LoggingThread {
+    /// Spawns the thread.
+    pub(crate) fn spawn(ctx: LoggingContext) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let worker = std::thread::Builder::new()
+            .name(format!("lg-{}", ctx.node_id))
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Event(event) => {
+                            if let Some(entry) = build_entry(&ctx, *event) {
+                                ctx.logger.submit(entry);
+                            }
+                        }
+                        Command::Flush(reply) => {
+                            let _ = reply.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn logging thread");
+        LoggingThread {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// A submitter handle for transport hooks.
+    pub fn sink(&self) -> EventSink {
+        EventSink {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Blocks until all previously submitted events were handed to the
+    /// logger.
+    pub fn flush(&self) {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if self.tx.send(Command::Flush(tx)).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+}
+
+impl Drop for LoggingThread {
+    fn drop(&mut self) {
+        // Sever our sender; the worker drains and exits once all EventSinks
+        // are gone too.
+        let (dead_tx, _) = crossbeam::channel::unbounded();
+        self.tx = dead_tx;
+        if let Some(w) = self.worker.take() {
+            if w.is_finished() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// Applies behavior and constructs the entry (or `None` when hiding).
+fn build_entry(ctx: &LoggingContext, event: LogEvent) -> Option<LogEntry> {
+    let role = if event.is_publication() {
+        LinkRole::Publisher
+    } else {
+        LinkRole::Subscriber
+    };
+    let behavior = ctx.behavior.link(role, event.topic()).clone();
+    if matches!(behavior, LogBehavior::Hide) {
+        return None;
+    }
+
+    let mut entry = match event {
+        LogEvent::AckedPublication {
+            topic,
+            seq,
+            stamp_ns,
+            body,
+            own_sig,
+            subscriber,
+            peer_hash,
+            peer_sig,
+        } => {
+            let (payload, own_sig, peer_hash, peer_sig) = apply_pub_falsification(
+                ctx,
+                &behavior,
+                &topic,
+                seq,
+                &body,
+                own_sig,
+                Some(peer_hash),
+                Some(peer_sig),
+            );
+            LogEntry {
+                component: ctx.node_id.clone(),
+                topic,
+                direction: Direction::Out,
+                seq,
+                timestamp_ns: ctx.behavior.skewed_timestamp(stamp_ns),
+                payload,
+                own_sig: Some(own_sig),
+                peer_sig,
+                peer_hash,
+                peer: Some(subscriber),
+                acks: Vec::new(),
+            }
+        }
+        LogEvent::UnackedPublication {
+            topic,
+            seq,
+            stamp_ns,
+            body,
+            own_sig,
+            subscriber,
+        } => {
+            let (payload, own_sig, _, _) =
+                apply_pub_falsification(ctx, &behavior, &topic, seq, &body, own_sig, None, None);
+            LogEntry {
+                component: ctx.node_id.clone(),
+                topic,
+                direction: Direction::Out,
+                seq,
+                timestamp_ns: ctx.behavior.skewed_timestamp(stamp_ns),
+                payload,
+                own_sig: Some(own_sig),
+                peer_sig: None,
+                peer_hash: None,
+                peer: Some(subscriber),
+                acks: Vec::new(),
+            }
+        }
+        LogEvent::AggregatedPublication {
+            topic,
+            seq,
+            stamp_ns,
+            body,
+            own_sig,
+            acks,
+        } => {
+            let (payload, own_sig, _, _) =
+                apply_pub_falsification(ctx, &behavior, &topic, seq, &body, own_sig, None, None);
+            LogEntry {
+                component: ctx.node_id.clone(),
+                topic,
+                direction: Direction::Out,
+                seq,
+                timestamp_ns: ctx.behavior.skewed_timestamp(stamp_ns),
+                payload,
+                own_sig: Some(own_sig),
+                peer_sig: None,
+                peer_hash: None,
+                peer: None,
+                acks,
+            }
+        }
+        LogEvent::Receipt {
+            topic,
+            seq,
+            stamp_ns,
+            publisher,
+            body,
+            body_digest,
+            peer_sig,
+            own_sig,
+        } => {
+            let (payload, own_sig, peer_sig) = apply_sub_falsification(
+                ctx,
+                &behavior,
+                &topic,
+                seq,
+                body,
+                body_digest,
+                own_sig,
+                peer_sig,
+            );
+            LogEntry {
+                component: ctx.node_id.clone(),
+                topic,
+                direction: Direction::In,
+                seq,
+                timestamp_ns: ctx.behavior.skewed_timestamp(stamp_ns),
+                payload,
+                own_sig: Some(own_sig),
+                peer_sig: Some(peer_sig),
+                peer_hash: None,
+                peer: Some(publisher),
+                acks: Vec::new(),
+            }
+        }
+        LogEvent::BasePublication {
+            topic,
+            seq,
+            stamp_ns,
+            body,
+        } => {
+            let data = match behavior {
+                LogBehavior::Falsify | LogBehavior::FalsifyWithPeerKey(_) => falsify_body(&body),
+                _ => body.as_ref().clone(),
+            };
+            LogEntry::naive(
+                ctx.node_id.clone(),
+                topic,
+                Direction::Out,
+                seq,
+                ctx.behavior.skewed_timestamp(stamp_ns),
+                data,
+            )
+        }
+        LogEvent::BaseReceipt {
+            topic,
+            seq,
+            stamp_ns,
+            publisher,
+            body,
+        } => {
+            let data = match behavior {
+                LogBehavior::Falsify | LogBehavior::FalsifyWithPeerKey(_) => falsify_body(&body),
+                _ => body,
+            };
+            let mut e = LogEntry::naive(
+                ctx.node_id.clone(),
+                topic,
+                Direction::In,
+                seq,
+                ctx.behavior.skewed_timestamp(stamp_ns),
+                data,
+            );
+            if ctx.subscriber_stores_hash {
+                // Base logging can also store h(D) (the paper's Table IV
+                // measures it in this mode).
+                e.payload = PayloadRecord::Hash(e.payload.digest());
+            }
+            e.peer = Some(publisher);
+            e
+        }
+    };
+
+    if let LogBehavior::ImpersonateAs(victim) = &behavior {
+        entry.component = victim.clone();
+    }
+    Some(entry)
+}
+
+/// Publisher-side falsification: rewrite the body, re-sign with our key,
+/// and (under collusion) re-forge the peer's acknowledgement over the lie.
+fn apply_pub_falsification(
+    ctx: &LoggingContext,
+    behavior: &LogBehavior,
+    topic: &Topic,
+    seq: u64,
+    body: &Arc<Vec<u8>>,
+    own_sig: Signature,
+    peer_hash: Option<Digest>,
+    peer_sig: Option<Signature>,
+) -> (PayloadRecord, Signature, Option<Digest>, Option<Signature>) {
+    match behavior {
+        LogBehavior::Falsify => {
+            let fake = falsify_body(body);
+            let binding = binding_digest(topic.as_str(), seq, &sha256(&fake));
+            let sig = sign_own(ctx, &binding).unwrap_or(own_sig);
+            (PayloadRecord::Data(fake), sig, peer_hash, peer_sig)
+        }
+        LogBehavior::FalsifyWithPeerKey(peer_key) => {
+            // A colluding pair fabricates a fully consistent lie: the fake
+            // payload, the publisher's re-signature, and the subscriber's
+            // "acknowledgement" forged with the shared private key.
+            let fake = falsify_body(body);
+            let digest = sha256(&fake);
+            let binding = binding_digest(topic.as_str(), seq, &digest);
+            let sig = sign_own(ctx, &binding).unwrap_or(own_sig);
+            let forged = forge_with(peer_key, &binding);
+            (PayloadRecord::Data(fake), sig, Some(digest), forged)
+        }
+        _ => (
+            PayloadRecord::Data(body.as_ref().clone()),
+            own_sig,
+            peer_hash,
+            peer_sig,
+        ),
+    }
+}
+
+/// Subscriber-side falsification.
+fn apply_sub_falsification(
+    ctx: &LoggingContext,
+    behavior: &LogBehavior,
+    topic: &Topic,
+    seq: u64,
+    body: Vec<u8>,
+    body_digest: Digest,
+    own_sig: Signature,
+    peer_sig: Signature,
+) -> (PayloadRecord, Signature, Signature) {
+    let store = |body: Vec<u8>, digest: Digest| {
+        if ctx.subscriber_stores_hash {
+            PayloadRecord::Hash(digest)
+        } else {
+            PayloadRecord::Data(body)
+        }
+    };
+    match behavior {
+        LogBehavior::Falsify => {
+            let fake = falsify_body(&body);
+            let digest = sha256(&fake);
+            let sig = sign_own(ctx, &binding_digest(topic.as_str(), seq, &digest)).unwrap_or(own_sig);
+            // Keeps the real s_x: the subscriber cannot forge the
+            // publisher's signature over its lie (Lemma 3 ii).
+            (store(fake, digest), sig, peer_sig)
+        }
+        LogBehavior::FalsifyWithPeerKey(peer_key) => {
+            let fake = falsify_body(&body);
+            let digest = sha256(&fake);
+            let binding = binding_digest(topic.as_str(), seq, &digest);
+            let sig = sign_own(ctx, &binding).unwrap_or(own_sig);
+            let forged = forge_with(peer_key, &binding).unwrap_or(peer_sig);
+            (store(fake, digest), sig, forged)
+        }
+        _ => (store(body, body_digest), own_sig, peer_sig),
+    }
+}
+
+fn sign_own(ctx: &LoggingContext, digest: &Digest) -> Option<Signature> {
+    ctx.identity
+        .as_ref()
+        .and_then(|i| i.sign_digest(digest).ok())
+}
+
+fn forge_with(key: &Arc<RsaPrivateKey>, digest: &Digest) -> Option<Signature> {
+    pkcs1::sign_digest(key, digest).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_logger::LogServer;
+    use adlp_pubsub::Topic;
+    use rand::SeedableRng;
+
+    fn ctx(behavior: BehaviorProfile, store_hash: bool) -> (LoggingContext, LogServer) {
+        let server = LogServer::spawn();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let identity = ComponentIdentity::generate("pub", 512, &mut rng);
+        server
+            .handle()
+            .register_key(identity.id(), identity.public_key().clone())
+            .unwrap();
+        (
+            LoggingContext {
+                node_id: NodeId::new("pub"),
+                identity: Some(identity),
+                behavior,
+                subscriber_stores_hash: store_hash,
+                logger: server.handle(),
+            },
+            server,
+        )
+    }
+
+    fn receipt_event(ctx: &LoggingContext, body: Vec<u8>) -> LogEvent {
+        let digest = sha256(&body);
+        let own_sig = ctx
+            .identity
+            .as_ref()
+            .unwrap()
+            .sign_digest(&binding_digest("image", 5, &digest))
+            .unwrap();
+        LogEvent::Receipt {
+            topic: Topic::new("image"),
+            seq: 5,
+            stamp_ns: 1000,
+            publisher: NodeId::new("cam"),
+            body,
+            body_digest: digest,
+            peer_sig: Signature::from_bytes(vec![9u8; 64]),
+            own_sig,
+        }
+    }
+
+    #[test]
+    fn faithful_receipt_stores_hash() {
+        let (c, _server) = ctx(BehaviorProfile::faithful(), true);
+        let body = vec![1u8; 64];
+        let entry = build_entry(&c, receipt_event(&c, body.clone())).unwrap();
+        assert_eq!(entry.direction, Direction::In);
+        assert_eq!(entry.payload, PayloadRecord::Hash(sha256(&body)));
+        assert_eq!(entry.peer, Some(NodeId::new("cam")));
+        assert_eq!(entry.timestamp_ns, 1000);
+    }
+
+    #[test]
+    fn store_data_mode_keeps_payload() {
+        let (c, _server) = ctx(BehaviorProfile::faithful(), false);
+        let body = vec![1u8; 64];
+        let entry = build_entry(&c, receipt_event(&c, body.clone())).unwrap();
+        assert_eq!(entry.payload, PayloadRecord::Data(body));
+    }
+
+    #[test]
+    fn hide_suppresses_entry() {
+        let profile = BehaviorProfile::faithful().with_link(
+            LinkRole::Subscriber,
+            Topic::new("image"),
+            LogBehavior::Hide,
+        );
+        let (c, _server) = ctx(profile, true);
+        assert!(build_entry(&c, receipt_event(&c, vec![1u8; 32])).is_none());
+    }
+
+    #[test]
+    fn falsify_changes_payload_and_resigns() {
+        let profile = BehaviorProfile::faithful().with_link(
+            LinkRole::Subscriber,
+            Topic::new("image"),
+            LogBehavior::Falsify,
+        );
+        let (c, _server) = ctx(profile, true);
+        let body = vec![1u8; 64];
+        let entry = build_entry(&c, receipt_event(&c, body.clone())).unwrap();
+        let real_digest = sha256(&body);
+        let PayloadRecord::Hash(claimed) = entry.payload else {
+            panic!("expected hash payload");
+        };
+        assert_ne!(claimed, real_digest);
+        // The falsified entry still passes the authenticity check (3): the
+        // component re-signed its own lie (over the binding digest).
+        let pk = c.identity.as_ref().unwrap().public_key();
+        assert!(pkcs1::verify_digest(
+            pk,
+            &binding_digest("image", 5, &claimed),
+            entry.own_sig.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn impersonation_rewrites_component() {
+        let profile = BehaviorProfile::faithful().with_link(
+            LinkRole::Subscriber,
+            Topic::new("image"),
+            LogBehavior::ImpersonateAs(NodeId::new("victim")),
+        );
+        let (c, _server) = ctx(profile, true);
+        let entry = build_entry(&c, receipt_event(&c, vec![1u8; 32])).unwrap();
+        assert_eq!(entry.component, NodeId::new("victim"));
+    }
+
+    #[test]
+    fn timestamp_skew_applied() {
+        let profile = BehaviorProfile::faithful().with_timestamp_skew_ns(-600);
+        let (c, _server) = ctx(profile, true);
+        let entry = build_entry(&c, receipt_event(&c, vec![1u8; 32])).unwrap();
+        assert_eq!(entry.timestamp_ns, 400);
+    }
+
+    #[test]
+    fn thread_processes_and_flushes() {
+        let (c, server) = ctx(BehaviorProfile::faithful(), true);
+        let thread = LoggingThread::spawn(c);
+        let sink = thread.sink();
+        sink.submit(LogEvent::BasePublication {
+            topic: Topic::new("t"),
+            seq: 1,
+            stamp_ns: 1,
+            body: Arc::new(vec![0u8; 20]),
+        });
+        thread.flush();
+        server.handle().flush().unwrap();
+        assert_eq!(server.handle().store().len(), 1);
+    }
+
+    #[test]
+    fn base_falsify_flips_payload() {
+        let profile = BehaviorProfile::faithful().with_link(
+            LinkRole::Publisher,
+            Topic::new("t"),
+            LogBehavior::Falsify,
+        );
+        let (c, _server) = ctx(profile, true);
+        let body = vec![0u8; 20];
+        let entry = build_entry(
+            &c,
+            LogEvent::BasePublication {
+                topic: Topic::new("t"),
+                seq: 1,
+                stamp_ns: 1,
+                body: Arc::new(body.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(entry.payload, PayloadRecord::Data(falsify_body(&body)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Modular arithmetic: gcd, modular inverse, and modular exponentiation.
+
+use super::{BigUint, Montgomery};
+use crate::CryptoError;
+
+impl BigUint {
+    /// Greatest common divisor (binary GCD).
+    ///
+    /// ```
+    /// use adlp_crypto::BigUint;
+    /// let a = BigUint::from_u64(48);
+    /// let b = BigUint::from_u64(36);
+    /// assert_eq!(a.gcd(&b), BigUint::from_u64(12));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        // Factor out common powers of two.
+        let a_tz = a.trailing_zeros();
+        let b_tz = b.trailing_zeros();
+        let common = a_tz.min(b_tz);
+        a = a >> a_tz;
+        b = b >> b_tz;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return a << common;
+            }
+            b = &b >> b.trailing_zeros();
+        }
+    }
+
+    /// Number of trailing zero bits (0 for zero).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Modular inverse of `self` modulo `m` via the extended Euclidean
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NotInvertible`] when `gcd(self, m) != 1`, and
+    /// [`CryptoError::DivisionByZero`] for a zero modulus.
+    pub fn mod_inverse(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        // Track coefficients with explicit signs: t is the coefficient of the
+        // original `self` in the current remainder.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem_internal(m);
+        let mut t0 = (BigUint::zero(), false); // (magnitude, negative?)
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1).expect("r1 non-zero");
+            // t2 = t0 - q * t1 over signed values.
+            let qt1 = &q * &t1.0;
+            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem_internal(m);
+        Ok(if neg && !mag.is_zero() { m - &mag } else { mag })
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli and plain
+    /// square-and-multiply with Knuth-D reduction otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] for a zero modulus.
+    ///
+    /// ```
+    /// use adlp_crypto::BigUint;
+    /// let base = BigUint::from_u64(4);
+    /// let exp = BigUint::from_u64(13);
+    /// let m = BigUint::from_u64(497);
+    /// assert_eq!(base.mod_pow(&exp, &m).unwrap(), BigUint::from_u64(445));
+    /// ```
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        if !m.is_even() {
+            let mont = Montgomery::new(m).expect("odd modulus checked");
+            return Ok(mont.mod_pow(self, exp));
+        }
+        Ok(self.mod_pow_plain(exp, m))
+    }
+
+    /// Square-and-multiply with full reduction after every step. Exposed for
+    /// cross-checking the Montgomery path (and benchmarking the difference).
+    pub fn mod_pow_plain(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        let mut result = BigUint::one().rem_internal(m);
+        let mut base = self.rem_internal(m);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = (&result * &base).rem_internal(m);
+            }
+            base = base.square().rem_internal(m);
+        }
+        result
+    }
+
+    /// `(self + other) mod m`, assuming both operands are already reduced.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let s = self + other;
+        if &s >= m {
+            &s - m
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`, assuming both operands are already reduced.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        if self >= other {
+            self - other
+        } else {
+            &(m - other) + self
+        }
+    }
+}
+
+/// Signed subtraction over (magnitude, negative?) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with equal signs: compare magnitudes.
+        (an, bn) if an == bn => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, an)
+            } else {
+                (&b.0 - &a.0, !an)
+            }
+        }
+        // Signs differ: magnitudes add, sign follows `a`.
+        (an, _) => (&a.0 + &b.0, an),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from_u64(7)),
+            BigUint::from_u64(7)
+        );
+        assert_eq!(
+            BigUint::from_u64(7).gcd(&BigUint::zero()),
+            BigUint::from_u64(7)
+        );
+        let a = BigUint::from_u64(2 * 3 * 5 * 7 * 11);
+        let b = BigUint::from_u64(3 * 7 * 13);
+        assert_eq!(a.gcd(&b), BigUint::from_u64(21));
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        let inv = BigUint::from_u64(3)
+            .mod_inverse(&BigUint::from_u64(11))
+            .unwrap();
+        assert_eq!(inv, BigUint::from_u64(4)); // 3*4 = 12 ≡ 1 (mod 11)
+    }
+
+    #[test]
+    fn mod_inverse_not_coprime() {
+        assert_eq!(
+            BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)),
+            Err(CryptoError::NotInvertible)
+        );
+    }
+
+    #[test]
+    fn mod_inverse_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // prime
+        for _ in 0..50 {
+            let a = BigUint::random_below(&m, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.mod_inverse(&m).unwrap();
+            assert_eq!((&a * &inv).rem_internal(&m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_plain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let base = BigUint::random_bits(200, &mut rng);
+            let exp = BigUint::random_bits(40, &mut rng);
+            let mut m = BigUint::random_bits(190, &mut rng);
+            m.set_bit(0); // force odd → Montgomery path
+            assert_eq!(
+                base.mod_pow(&exp, &m).unwrap(),
+                base.mod_pow_plain(&exp, &m)
+            );
+        }
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        let base = BigUint::from_u64(7);
+        let exp = BigUint::from_u64(5);
+        let m = BigUint::from_u64(100);
+        assert_eq!(base.mod_pow(&exp, &m).unwrap(), BigUint::from_u64(7)); // 16807 mod 100
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = BigUint::from_u64(13);
+        assert_eq!(
+            BigUint::from_u64(5).mod_pow(&BigUint::zero(), &m).unwrap(),
+            BigUint::one()
+        );
+        assert_eq!(
+            BigUint::from_u64(5).mod_pow(&BigUint::one(), &m).unwrap(),
+            BigUint::from_u64(5)
+        );
+        assert!(BigUint::from_u64(5)
+            .mod_pow(&BigUint::one(), &BigUint::one())
+            .unwrap()
+            .is_zero());
+        assert_eq!(
+            BigUint::from_u64(5).mod_pow(&BigUint::one(), &BigUint::zero()),
+            Err(CryptoError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p.
+        let p = BigUint::from_u64(1_000_000_007);
+        let exp = &p - &BigUint::one();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            let a = BigUint::random_below(&p, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a.mod_pow(&exp, &p).unwrap(), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_add_sub() {
+        let m = BigUint::from_u64(10);
+        let a = BigUint::from_u64(7);
+        let b = BigUint::from_u64(8);
+        assert_eq!(a.mod_add(&b, &m), BigUint::from_u64(5));
+        assert_eq!(a.mod_sub(&b, &m), BigUint::from_u64(9));
+        assert_eq!(b.mod_sub(&a, &m), BigUint::one());
+    }
+}

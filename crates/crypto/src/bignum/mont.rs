@@ -1,0 +1,248 @@
+//! Montgomery modular multiplication (CIOS) and windowed exponentiation.
+
+use super::BigUint;
+use crate::CryptoError;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd modulus.
+///
+/// # Example
+///
+/// ```
+/// use adlp_crypto::{BigUint, bignum::Montgomery};
+///
+/// let m = BigUint::from_u64(97);
+/// let mont = Montgomery::new(&m).unwrap();
+/// let r = mont.mod_pow(&BigUint::from_u64(5), &BigUint::from_u64(3));
+/// assert_eq!(r, BigUint::from_u64(28)); // 125 mod 97
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: Vec<u64>,
+    n_big: BigUint,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64·len(n))`.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Builds a context for odd modulus `n > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NotInvertible`] for even moduli and
+    /// [`CryptoError::DivisionByZero`] for zero.
+    pub fn new(n: &BigUint) -> Result<Self, CryptoError> {
+        if n.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if n.is_even() || n.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        let limbs = n.limbs.clone();
+        let s = limbs.len();
+        // Newton iteration for the inverse of n[0] mod 2^64 (5 steps suffice).
+        let mut inv = limbs[0];
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(limbs[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(limbs[0].wrapping_mul(inv), 1);
+        let r2 = (BigUint::one() << (2 * 64 * s)).rem_internal(n);
+        let mut r2_limbs = r2.limbs;
+        r2_limbs.resize(s, 0);
+        Ok(Montgomery {
+            n: limbs,
+            n_big: n.clone(),
+            n0inv: inv.wrapping_neg(),
+            r2: r2_limbs,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n_big
+    }
+
+    /// CIOS Montgomery product of two fully-reduced, `s`-limb operands.
+    /// Returns `a·b·R^{-1} mod n` as `s` limbs.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n.len();
+        debug_assert!(a.len() == s && b.len() == s);
+        let mut t = vec![0u64; s + 2];
+        for &ai in a {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..s {
+                let sum = u128::from(t[j]) + u128::from(ai) * u128::from(b[j]) + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = u128::from(t[s]) + carry;
+            t[s] = sum as u64;
+            t[s + 1] += (sum >> 64) as u64;
+
+            // m chosen so that (t + m·n) ≡ 0 mod 2^64; add m·n and shift.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let sum = u128::from(t[0]) + u128::from(m) * u128::from(self.n[0]);
+            let mut carry = sum >> 64;
+            for j in 1..s {
+                let sum = u128::from(t[j]) + u128::from(m) * u128::from(self.n[j]) + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = u128::from(t[s]) + carry;
+            t[s - 1] = sum as u64;
+            t[s] = t[s + 1] + (sum >> 64) as u64;
+            t[s + 1] = 0;
+        }
+        // Final conditional subtraction: result < 2n at this point.
+        if t[s] != 0 || cmp_limbs(&t[..s], &self.n) != std::cmp::Ordering::Less {
+            let borrow = super::arith::sub_limbs_in_place(&mut t[..s], &self.n);
+            let _ = t[s].wrapping_sub(borrow);
+        }
+        t.truncate(s);
+        t
+    }
+
+    /// Converts to Montgomery form (`a·R mod n`).
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let mut reduced = a.rem_internal(&self.n_big).limbs;
+        reduced.resize(self.n.len(), 0);
+        self.mont_mul(&reduced, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// `(a * b) mod n` through a Montgomery round-trip.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod n` using a 4-bit fixed window.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_internal(&self.n_big);
+        }
+        let base_m = self.to_mont(base);
+        // table[i] = base^i in Montgomery form
+        let mut table = Vec::with_capacity(16);
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        table.push(self.mont_mul(&one, &self.r2)); // R mod n == mont(1)
+        table.push(base_m.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &base_m));
+        }
+
+        let bits = exp.bits();
+        let windows = bits.div_ceil(4);
+        let mut acc = table[window_at(exp, windows - 1)].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let digit = window_at(exp, w);
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Extracts the `w`-th 4-bit window (little-endian) of `exp`.
+fn window_at(exp: &BigUint, w: usize) -> usize {
+    let bit = w * 4;
+    let limb = bit / 64;
+    let off = bit % 64;
+    let lo = exp.limbs.get(limb).copied().unwrap_or(0) >> off;
+    let val = if off > 60 {
+        let hi = exp.limbs.get(limb + 1).copied().unwrap_or(0);
+        lo | (hi << (64 - off))
+    } else {
+        lo
+    };
+    (val & 0xf) as usize
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_even_or_trivial_moduli() {
+        assert!(Montgomery::new(&BigUint::from_u64(10)).is_err());
+        assert!(Montgomery::new(&BigUint::zero()).is_err());
+        assert!(Montgomery::new(&BigUint::one()).is_err());
+    }
+
+    #[test]
+    fn mul_matches_plain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut m = BigUint::random_bits(256, &mut rng);
+            m.set_bit(0);
+            let mont = Montgomery::new(&m).unwrap();
+            let a = BigUint::random_below(&m, &mut rng);
+            let b = BigUint::random_below(&m, &mut rng);
+            assert_eq!(mont.mul(&a, &b), (&a * &b).rem_internal(&m));
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_plain_many_widths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for bits in [64usize, 65, 128, 512, 1024] {
+            let mut m = BigUint::random_bits(bits, &mut rng);
+            m.set_bit(0);
+            let mont = Montgomery::new(&m).unwrap();
+            let base = BigUint::random_below(&m, &mut rng);
+            let exp = BigUint::random_bits(bits.min(96), &mut rng);
+            assert_eq!(
+                mont.mod_pow(&base, &exp),
+                base.mod_pow_plain(&exp, &m),
+                "width {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod_pow_zero_exponent() {
+        let m = BigUint::from_u64(97);
+        let mont = Montgomery::new(&m).unwrap();
+        assert_eq!(
+            mont.mod_pow(&BigUint::from_u64(12), &BigUint::zero()),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn base_larger_than_modulus() {
+        let m = BigUint::from_u64(97);
+        let mont = Montgomery::new(&m).unwrap();
+        let base = BigUint::from_u64(97 * 5 + 3);
+        assert_eq!(
+            mont.mod_pow(&base, &BigUint::from_u64(2)),
+            BigUint::from_u64(9)
+        );
+    }
+}

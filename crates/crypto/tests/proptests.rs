@@ -1,0 +1,153 @@
+//! Property-based tests for the cryptographic substrate.
+
+use adlp_crypto::bignum::Montgomery;
+use adlp_crypto::sha256::{sha256, Sha256};
+use adlp_crypto::{pkcs1, BigUint, RsaKeyPair};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        let out = v.to_bytes_be();
+        // Round-trips modulo leading zeros.
+        let trimmed: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(out, trimmed);
+    }
+
+    #[test]
+    fn hex_roundtrip(v in arb_biguint(64)) {
+        prop_assert_eq!(BigUint::from_hex(&v.to_hex()).unwrap(), v);
+    }
+
+    #[test]
+    fn add_commutative(a in arb_biguint(96), b in arb_biguint(96)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_biguint(64), b in arb_biguint(64), c in arb_biguint(64)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_biguint(96), b in arb_biguint(96)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_biguint(48), b in arb_biguint(48), c in arb_biguint(48)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(96), b in arb_biguint(96)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_identity(a in arb_biguint(128), b in arb_biguint(64)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in arb_biguint(64), s in 0usize..200) {
+        let two_s = BigUint::one() << s;
+        prop_assert_eq!(&a << s, &a * &two_s);
+        let (q, _) = a.div_rem(&two_s).unwrap();
+        prop_assert_eq!(&a >> s, q);
+    }
+
+    #[test]
+    fn square_matches_mul(a in arb_biguint(96)) {
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn montgomery_matches_plain_modpow(
+        base in arb_biguint(40),
+        exp in arb_biguint(8),
+        modulus in arb_biguint(40),
+    ) {
+        prop_assume!(modulus.bits() > 1);
+        let mut m = modulus;
+        m.set_bit(0); // force odd
+        let mont = Montgomery::new(&m).unwrap();
+        prop_assert_eq!(mont.mod_pow(&base, &exp), base.mod_pow_plain(&exp, &m));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in arb_biguint(31)) {
+        // 2^255 - 19, a known prime; a < 2^248 < m, so gcd(a, m) = 1 for
+        // every non-zero a.
+        let m = BigUint::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        ).unwrap();
+        prop_assume!(!a.is_zero());
+        let inv = a.mod_inverse(&m).unwrap();
+        prop_assert_eq!((&a * &inv).div_rem(&m).unwrap().1, BigUint::one());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint(32), b in arb_biguint(32)) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(a.div_rem(&g).unwrap().1.is_zero());
+        prop_assert!(b.div_rem(&g).unwrap().1.is_zero());
+    }
+
+    #[test]
+    fn sha256_incremental_any_split(data in proptest::collection::vec(any::<u8>(), 0..2048), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_distinct_for_prefix_flip(mut data in proptest::collection::vec(any::<u8>(), 1..512), idx in any::<prop::sample::Index>()) {
+        let original = sha256(&data);
+        let i = idx.index(data.len());
+        data[i] ^= 0xff;
+        prop_assert_ne!(sha256(&data), original);
+    }
+}
+
+proptest! {
+    // Signing with real keys is costly; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pkcs1_sign_verify(message in proptest::collection::vec(any::<u8>(), 0..1024), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let sig = pkcs1::sign(kp.private_key(), &message).unwrap();
+        prop_assert!(pkcs1::verify(kp.public_key(), &message, &sig));
+        // Any bit flip in the message must invalidate the signature.
+        if !message.is_empty() {
+            let mut tampered = message.clone();
+            tampered[0] ^= 1;
+            prop_assert!(!pkcs1::verify(kp.public_key(), &tampered, &sig));
+        }
+    }
+
+    #[test]
+    fn rsa_raw_roundtrip(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(256, &mut rng);
+        let m = BigUint::random_below(kp.public_key().modulus(), &mut rng);
+        let s = kp.private_key().raw_sign(&m).unwrap();
+        prop_assert_eq!(kp.public_key().raw_verify(&s).unwrap(), m);
+    }
+}

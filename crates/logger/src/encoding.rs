@@ -1,0 +1,157 @@
+//! Varint-based binary encoding primitives (the role protocol buffers play
+//! in the paper's prototype, §V-B step 5).
+
+use crate::LogError;
+
+/// Appends an unsigned LEB128 varint.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, advancing the slice.
+///
+/// # Errors
+///
+/// Returns [`LogError::Malformed`] on truncation or overlong encodings.
+pub fn read_uvarint(input: &mut &[u8]) -> Result<u64, LogError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some((&byte, rest)) = input.split_first() else {
+            return Err(LogError::Malformed("varint (truncated)"));
+        };
+        *input = rest;
+        if shift == 63 && byte > 1 {
+            return Err(LogError::Malformed("varint (overflow)"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(LogError::Malformed("varint (too long)"));
+        }
+    }
+}
+
+/// Appends a length-delimited byte string.
+pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_uvarint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-delimited byte string, advancing the slice.
+///
+/// # Errors
+///
+/// Returns [`LogError::Malformed`] on truncation.
+pub fn read_bytes<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], LogError> {
+    let len = read_uvarint(input)? as usize;
+    if input.len() < len {
+        return Err(LogError::Malformed("bytes (truncated)"));
+    }
+    let (head, rest) = input.split_at(len);
+    *input = rest;
+    Ok(head)
+}
+
+/// Appends a length-delimited UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+/// Reads a length-delimited UTF-8 string, advancing the slice.
+///
+/// # Errors
+///
+/// Returns [`LogError::Malformed`] on truncation or invalid UTF-8.
+pub fn read_str<'a>(input: &mut &'a [u8]) -> Result<&'a str, LogError> {
+    std::str::from_utf8(read_bytes(input)?).map_err(|_| LogError::Malformed("string (utf-8)"))
+}
+
+/// Encoded size of a varint.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "length of {v}");
+            let mut s = buf.as_slice();
+            assert_eq!(read_uvarint(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_truncated() {
+        let mut s: &[u8] = &[0x80];
+        assert!(read_uvarint(&mut s).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(read_uvarint(&mut empty).is_err());
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes would exceed 64 bits.
+        let mut s: &[u8] = &[0xff; 11];
+        assert!(read_uvarint(&mut s).is_err());
+    }
+
+    #[test]
+    fn bytes_and_str_roundtrip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"payload");
+        write_str(&mut buf, "steering");
+        let mut s = buf.as_slice();
+        assert_eq!(read_bytes(&mut s).unwrap(), b"payload");
+        assert_eq!(read_str(&mut s).unwrap(), "steering");
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut s = buf.as_slice();
+        assert!(read_str(&mut s).is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[1, 2, 3, 4]);
+        buf.truncate(3);
+        let mut s = buf.as_slice();
+        assert!(read_bytes(&mut s).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Public-key registry.
+//!
+//! The paper assumes each component generates a key pair and that "its
+//! public key is securely transferred to the logger" (§II-A). The registry
+//! is first-write-wins: once a component's key is on file, a conflicting
+//! registration is rejected — a component cannot silently rotate identity.
+
+use crate::LogError;
+use adlp_crypto::RsaPublicKey;
+use adlp_pubsub::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe map from component id to its registered public key.
+#[derive(Debug, Clone, Default)]
+pub struct KeyRegistry {
+    keys: Arc<RwLock<HashMap<NodeId, RsaPublicKey>>>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `key` for `component`.
+    ///
+    /// Re-registering the identical key is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::KeyConflict`] when a *different* key is already
+    /// on file.
+    pub fn register(&self, component: &NodeId, key: RsaPublicKey) -> Result<(), LogError> {
+        let mut keys = self.keys.write();
+        match keys.get(component) {
+            Some(existing) if existing == &key => Ok(()),
+            Some(_) => Err(LogError::KeyConflict(component.to_string())),
+            None => {
+                keys.insert(component.clone(), key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Looks up a component's key.
+    pub fn get(&self, component: &NodeId) -> Option<RsaPublicKey> {
+        self.keys.read().get(component).cloned()
+    }
+
+    /// Looks up a key or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownComponent`] when no key is registered.
+    pub fn require(&self, component: &NodeId) -> Result<RsaPublicKey, LogError> {
+        self.get(component)
+            .ok_or_else(|| LogError::UnknownComponent(component.to_string()))
+    }
+
+    /// All registered component ids (sorted, for deterministic audits).
+    pub fn components(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.keys.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::RsaKeyPair;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> RsaPublicKey {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(128, &mut rng).public_key().clone()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = KeyRegistry::new();
+        let id = NodeId::new("camera");
+        let k = key(1);
+        reg.register(&id, k.clone()).unwrap();
+        assert_eq!(reg.get(&id), Some(k.clone()));
+        assert_eq!(reg.require(&id).unwrap(), k);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_key_rejected_identical_ok() {
+        let reg = KeyRegistry::new();
+        let id = NodeId::new("camera");
+        reg.register(&id, key(1)).unwrap();
+        reg.register(&id, key(1)).unwrap(); // same key ⇒ idempotent
+        assert!(matches!(
+            reg.register(&id, key(2)),
+            Err(LogError::KeyConflict(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_component_errors() {
+        let reg = KeyRegistry::new();
+        assert!(matches!(
+            reg.require(&NodeId::new("ghost")),
+            Err(LogError::UnknownComponent(_))
+        ));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn components_sorted() {
+        let reg = KeyRegistry::new();
+        reg.register(&NodeId::new("b"), key(1)).unwrap();
+        reg.register(&NodeId::new("a"), key(2)).unwrap();
+        assert_eq!(
+            reg.components(),
+            vec![NodeId::new("a"), NodeId::new("b")]
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = KeyRegistry::new();
+        let reg2 = reg.clone();
+        reg.register(&NodeId::new("x"), key(3)).unwrap();
+        assert!(reg2.get(&NodeId::new("x")).is_some());
+    }
+}

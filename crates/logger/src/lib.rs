@@ -1,0 +1,71 @@
+//! The trusted logger substrate for ADLP.
+//!
+//! The paper assumes "a trusted logger that is not necessarily part of the
+//! underlying data distribution system ... \[with\] a tamper-resistant or
+//! tamper-evident logging mechanism in place" (§II-A). This crate provides
+//! that whole substrate:
+//!
+//! * [`entry`] — the log-entry model: the naive scheme of Definition 2 and
+//!   the ADLP-extended entries of Figure 9, with a compact binary encoding
+//!   (standing in for the prototype's protocol buffers);
+//! * [`keyreg`] — the public-key registry the logger keeps for verifying
+//!   entry authenticity;
+//! * [`store`] — an append-only, hash-chained store with tamper-evidence
+//!   verification;
+//! * [`merkle`] — Merkle-tree commitments over the store with inclusion
+//!   proofs, for handing third-party investigators a succinct commitment;
+//! * [`server`] — the log server: a push-only sink ("log entries are simply
+//!   pushed into the server", §V-B) so that a logger failure can never stall
+//!   the data-distribution side;
+//! * [`stats`] — byte/rate accounting used to reproduce the paper's log
+//!   generation-rate experiments (Figure 15, Table IV).
+
+pub mod encoding;
+pub mod entry;
+pub mod keyreg;
+pub mod merkle;
+pub mod persist;
+pub mod remote;
+pub mod server;
+pub mod stats;
+pub mod store;
+
+pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
+pub use keyreg::KeyRegistry;
+pub use remote::{RemoteLogClient, RemoteLogEndpoint};
+pub use server::{LogServer, LoggerHandle};
+pub use stats::LogStats;
+pub use store::{LogStore, TamperEvidence};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the logging substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogError {
+    /// An encoded entry could not be decoded.
+    Malformed(&'static str),
+    /// A component tried to register a key conflicting with an existing one.
+    KeyConflict(String),
+    /// No key registered for a component.
+    UnknownComponent(String),
+    /// The server was shut down.
+    ServerClosed,
+    /// Index out of range.
+    NoSuchEntry(usize),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Malformed(what) => write!(f, "malformed {what}"),
+            LogError::KeyConflict(c) => write!(f, "conflicting key registration for {c}"),
+            LogError::UnknownComponent(c) => write!(f, "no key registered for {c}"),
+            LogError::ServerClosed => write!(f, "log server closed"),
+            LogError::NoSuchEntry(i) => write!(f, "no log entry at index {i}"),
+        }
+    }
+}
+
+impl Error for LogError {}

@@ -1,0 +1,435 @@
+//! Merkle-tree commitments over the log.
+//!
+//! A third-party investigator (the paper's motivating NTSB example) can be
+//! handed the Merkle root as a succinct commitment to the full log; any
+//! individual entry can later be proven included with an
+//! `O(log n)` [`InclusionProof`].
+
+use adlp_crypto::sha256::{Digest, Sha256};
+
+/// Domain-separation prefixes guard against leaf/node confusion attacks.
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+fn leaf_hash(data: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(data.as_bytes());
+    h.finalize()
+}
+
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_PREFIX]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// A Merkle tree over record hashes.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes, levels.last() = [root].
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A proof that a leaf is included under a root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling hashes from leaf level to the root.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves` (record hashes from the store). Odd nodes
+    /// are promoted unchanged (Bitcoin-style duplication is avoided to keep
+    /// proofs unambiguous).
+    pub fn build(leaves: &[Digest]) -> Self {
+        let mut levels = Vec::new();
+        let mut current: Vec<Digest> = leaves.iter().map(leaf_hash).collect();
+        levels.push(current.clone());
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    node_hash(&pair[0], &pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            levels.push(next.clone());
+            current = next;
+        }
+        MerkleTree { levels }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// The root commitment (`None` for an empty tree).
+    pub fn root(&self) -> Option<Digest> {
+        if self.leaf_count() == 0 {
+            return None;
+        }
+        self.levels.last().and_then(|l| l.first()).copied()
+    }
+
+    /// Builds an inclusion proof for leaf `index`.
+    ///
+    /// Returns `None` when the index is out of range.
+    pub fn prove(&self, index: usize) -> Option<InclusionProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = idx ^ 1;
+            if sibling < level.len() {
+                siblings.push(level[sibling]);
+            }
+            idx /= 2;
+        }
+        Some(InclusionProof {
+            leaf_index: index,
+            siblings,
+        })
+    }
+
+    /// Verifies that `record_hash` at the proof's index is committed by
+    /// `root`, for a tree of `leaf_count` leaves.
+    pub fn verify(
+        root: &Digest,
+        leaf_count: usize,
+        record_hash: &Digest,
+        proof: &InclusionProof,
+    ) -> bool {
+        if proof.leaf_index >= leaf_count {
+            return false;
+        }
+        let mut acc = leaf_hash(record_hash);
+        let mut idx = proof.leaf_index;
+        let mut width = leaf_count;
+        let mut sibs = proof.siblings.iter();
+        while width > 1 {
+            let sibling_idx = idx ^ 1;
+            if sibling_idx < width {
+                let Some(s) = sibs.next() else { return false };
+                acc = if idx % 2 == 0 {
+                    node_hash(&acc, s)
+                } else {
+                    node_hash(s, &acc)
+                };
+            }
+            idx /= 2;
+            width = width.div_ceil(2);
+        }
+        sibs.next().is_none() && acc == *root
+    }
+}
+
+/// A consistency proof (RFC 6962 §2.1.2): evidence that the log of
+/// `old_count` leaves is a prefix of the log of `new_count` leaves — i.e.
+/// the logger only ever *appended*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// Old tree size the proof speaks about.
+    pub old_count: usize,
+    /// New tree size.
+    pub new_count: usize,
+    /// Proof nodes, oldest-subtree first.
+    pub nodes: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Internal hash of the leaf range `[lo, hi)` of `leaves` (RFC 6962's
+    /// `MTH`, with the largest-power-of-two split).
+    fn range_hash(leaves: &[Digest], lo: usize, hi: usize) -> Digest {
+        debug_assert!(lo < hi);
+        if hi - lo == 1 {
+            return leaf_hash(&leaves[lo]);
+        }
+        let k = largest_power_of_two_below(hi - lo);
+        node_hash(
+            &Self::range_hash(leaves, lo, lo + k),
+            &Self::range_hash(leaves, lo + k, hi),
+        )
+    }
+
+    /// Builds a consistency proof between the first `old_count` leaves and
+    /// the full set. Returns `None` when `old_count` is 0 or exceeds the
+    /// leaf count.
+    pub fn prove_consistency(leaves: &[Digest], old_count: usize) -> Option<ConsistencyProof> {
+        if old_count == 0 || old_count > leaves.len() {
+            return None;
+        }
+        let mut nodes = Vec::new();
+        subproof(leaves, 0, leaves.len(), old_count, true, &mut nodes);
+        Some(ConsistencyProof {
+            old_count,
+            new_count: leaves.len(),
+            nodes,
+        })
+    }
+
+    /// Verifies a consistency proof against the two roots (RFC 6962
+    /// §2.1.4).
+    pub fn verify_consistency(
+        old_root: &Digest,
+        new_root: &Digest,
+        proof: &ConsistencyProof,
+    ) -> bool {
+        let m = proof.old_count;
+        let n = proof.new_count;
+        if m == 0 || m > n {
+            return false;
+        }
+        if m == n {
+            return proof.nodes.is_empty() && old_root == new_root;
+        }
+        // Walk up from the split position, reconstructing both roots.
+        let mut node = m - 1;
+        let mut last = n - 1;
+        while node % 2 == 1 {
+            node /= 2;
+            last /= 2;
+        }
+        let mut iter = proof.nodes.iter();
+        let (mut old_hash, mut new_hash) = if node != 0 {
+            let Some(first) = iter.next() else { return false };
+            (*first, *first)
+        } else {
+            // The old tree is a left-aligned perfect subtree: its root is
+            // the anchor.
+            (*old_root, *old_root)
+        };
+        let mut node_idx = node;
+        let mut last_idx = last;
+        for sibling in iter {
+            if last_idx == 0 {
+                return false; // proof longer than the path
+            }
+            if node_idx % 2 == 1 || node_idx == last_idx {
+                old_hash = node_hash(sibling, &old_hash);
+                new_hash = node_hash(sibling, &new_hash);
+                while node_idx % 2 == 0 && node_idx != 0 {
+                    node_idx /= 2;
+                    last_idx /= 2;
+                }
+            } else {
+                new_hash = node_hash(&new_hash, sibling);
+            }
+            node_idx /= 2;
+            last_idx /= 2;
+        }
+        old_hash == *old_root && new_hash == *new_root && last_idx == 0
+    }
+}
+
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n > 1);
+    let mut k = 1;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+/// RFC 6962 SUBPROOF over the range `[lo, hi)`.
+fn subproof(
+    leaves: &[Digest],
+    lo: usize,
+    hi: usize,
+    m: usize,
+    complete: bool,
+    out: &mut Vec<Digest>,
+) {
+    let n = hi - lo;
+    if m == n {
+        if !complete {
+            out.push(MerkleTree::range_hash(leaves, lo, hi));
+        }
+        return;
+    }
+    let k = largest_power_of_two_below(n);
+    if m <= k {
+        subproof(leaves, lo, lo + k, m, complete, out);
+        out.push(MerkleTree::range_hash(leaves, lo + k, hi));
+    } else {
+        subproof(leaves, lo + k, hi, m - k, false, out);
+        out.push(MerkleTree::range_hash(leaves, lo, lo + k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::sha256;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| sha256(format!("record-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_no_root() {
+        let t = MerkleTree::build(&[]);
+        assert_eq!(t.root(), None);
+        assert_eq!(t.leaf_count(), 0);
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let l = leaves(1);
+        let t = MerkleTree::build(&l);
+        assert_eq!(t.root(), Some(leaf_hash(&l[0])));
+        let proof = t.prove(0).unwrap();
+        assert!(proof.siblings.is_empty());
+        assert!(MerkleTree::verify(&t.root().unwrap(), 1, &l[0], &proof));
+    }
+
+    #[test]
+    fn all_proofs_verify_for_many_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 9, 16, 31, 33] {
+            let l = leaves(n);
+            let t = MerkleTree::build(&l);
+            let root = t.root().unwrap();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = t.prove(i).unwrap();
+                assert!(
+                    MerkleTree::verify(&root, n, leaf, &proof),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails() {
+        let l = leaves(8);
+        let t = MerkleTree::build(&l);
+        let root = t.root().unwrap();
+        let proof = t.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&root, 8, &l[4], &proof));
+        assert!(!MerkleTree::verify(&root, 8, &sha256(b"fake"), &proof));
+    }
+
+    #[test]
+    fn wrong_index_or_tampered_siblings_fail() {
+        let l = leaves(8);
+        let t = MerkleTree::build(&l);
+        let root = t.root().unwrap();
+        let mut proof = t.prove(3).unwrap();
+        proof.leaf_index = 2;
+        assert!(!MerkleTree::verify(&root, 8, &l[3], &proof));
+        let mut proof = t.prove(3).unwrap();
+        proof.siblings[0] = sha256(b"evil");
+        assert!(!MerkleTree::verify(&root, 8, &l[3], &proof));
+        let mut proof = t.prove(3).unwrap();
+        proof.siblings.push(sha256(b"extra"));
+        assert!(!MerkleTree::verify(&root, 8, &l[3], &proof));
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let l = leaves(9);
+        let base = MerkleTree::build(&l).root().unwrap();
+        for i in 0..9 {
+            let mut l2 = l.clone();
+            l2[i] = sha256(b"mutant");
+            assert_ne!(MerkleTree::build(&l2).root().unwrap(), base, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn pairwise_build_equals_rfc_range_hash() {
+        // The level-by-level pairing construction must coincide with RFC
+        // 6962's largest-power-of-two split for every size.
+        for n in 1usize..=65 {
+            let l = leaves(n);
+            let built = MerkleTree::build(&l).root().unwrap();
+            let ranged = MerkleTree::range_hash(&l, 0, n);
+            assert_eq!(built, ranged, "n={n}");
+        }
+    }
+
+    #[test]
+    fn consistency_proofs_verify_for_all_prefix_pairs() {
+        for n in 1usize..=48 {
+            let l = leaves(n);
+            let new_root = MerkleTree::build(&l).root().unwrap();
+            for m in 1..=n {
+                let old_root = MerkleTree::build(&l[..m]).root().unwrap();
+                let proof = MerkleTree::prove_consistency(&l, m).unwrap();
+                assert!(
+                    MerkleTree::verify_consistency(&old_root, &new_root, &proof),
+                    "m={m} n={n} proof_len={}",
+                    proof.nodes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_fails_for_rewritten_history() {
+        let l = leaves(12);
+        let old_root = MerkleTree::build(&l[..7]).root().unwrap();
+        // The "new" log rewrote entry 3.
+        let mut forged = l.clone();
+        forged[3] = sha256(b"rewritten");
+        let forged_root = MerkleTree::build(&forged).root().unwrap();
+        let proof = MerkleTree::prove_consistency(&forged, 7).unwrap();
+        assert!(!MerkleTree::verify_consistency(
+            &old_root,
+            &forged_root,
+            &proof
+        ));
+    }
+
+    #[test]
+    fn consistency_fails_for_tampered_proof() {
+        let l = leaves(20);
+        let old_root = MerkleTree::build(&l[..9]).root().unwrap();
+        let new_root = MerkleTree::build(&l).root().unwrap();
+        let mut proof = MerkleTree::prove_consistency(&l, 9).unwrap();
+        if let Some(first) = proof.nodes.first_mut() {
+            *first = sha256(b"evil");
+        }
+        assert!(!MerkleTree::verify_consistency(&old_root, &new_root, &proof));
+        let mut truncated = MerkleTree::prove_consistency(&l, 9).unwrap();
+        truncated.nodes.pop();
+        assert!(!MerkleTree::verify_consistency(&old_root, &new_root, &truncated));
+    }
+
+    #[test]
+    fn consistency_equal_sizes_is_trivial() {
+        let l = leaves(5);
+        let root = MerkleTree::build(&l).root().unwrap();
+        let proof = MerkleTree::prove_consistency(&l, 5).unwrap();
+        assert!(proof.nodes.is_empty());
+        assert!(MerkleTree::verify_consistency(&root, &root, &proof));
+    }
+
+    #[test]
+    fn consistency_bad_bounds_rejected() {
+        let l = leaves(5);
+        assert!(MerkleTree::prove_consistency(&l, 0).is_none());
+        assert!(MerkleTree::prove_consistency(&l, 6).is_none());
+    }
+
+    #[test]
+    fn out_of_range_proof_rejected() {
+        let l = leaves(4);
+        let t = MerkleTree::build(&l);
+        assert!(t.prove(4).is_none());
+        let proof = InclusionProof {
+            leaf_index: 10,
+            siblings: vec![],
+        };
+        assert!(!MerkleTree::verify(&t.root().unwrap(), 4, &l[0], &proof));
+    }
+}

@@ -1,0 +1,309 @@
+//! Remote logging over TCP.
+//!
+//! The paper's logger "could be a remote log server" (§II-A); this module
+//! exposes a [`crate::LogServer`] over a TCP socket. Components connect with a
+//! [`RemoteLogClient`] and push length-prefixed encoded entries — the same
+//! fire-and-forget discipline as the in-process handle ("log entries are
+//! simply pushed into the server", §V-B), so a dead server never stalls a
+//! component. Key registration is a small request/response exchange.
+
+use crate::entry::LogEntry;
+use crate::server::LoggerHandle;
+use crate::LogError;
+use adlp_crypto::RsaPublicKey;
+use adlp_pubsub::wire::{read_frame, write_frame};
+use adlp_pubsub::NodeId;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Frame tags of the remote protocol.
+const TAG_ENTRY: u8 = 1;
+const TAG_REGISTER_KEY: u8 = 2;
+const TAG_OK: u8 = 3;
+const TAG_ERR: u8 = 4;
+
+/// A TCP front-end for a log server.
+#[derive(Debug)]
+pub struct RemoteLogEndpoint {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RemoteLogEndpoint {
+    /// Binds an ephemeral localhost port and serves `handle` over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] never; propagates socket errors as
+    /// [`std::io::Error`] converted into `LogError::ServerClosed`.
+    pub fn bind(handle: LoggerHandle) -> Result<Self, LogError> {
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).map_err(|_| LogError::ServerClosed)?;
+        let addr = listener.local_addr().map_err(|_| LogError::ServerClosed)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("adlp-log-tcp".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let handle = handle.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("adlp-log-conn".into())
+                        .spawn(move || serve_connection(stream, handle));
+                }
+            })
+            .expect("spawn tcp log endpoint");
+        Ok(RemoteLogEndpoint {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for RemoteLogEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            if t.is_finished() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: LoggerHandle) {
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        match frame.split_first() {
+            Some((&TAG_ENTRY, body)) => {
+                if let Ok(entry) = LogEntry::decode(body) {
+                    handle.submit(entry);
+                }
+                // Fire-and-forget: no reply even for malformed entries (a
+                // broken component must not be able to stall on us).
+            }
+            Some((&TAG_REGISTER_KEY, body)) => {
+                let reply = register_from_frame(&handle, body);
+                let tag = if reply.is_ok() { TAG_OK } else { TAG_ERR };
+                let _ = write_frame(&mut write_half, &[tag]);
+            }
+            _ => return, // unknown tag: drop the connection
+        }
+    }
+}
+
+fn register_from_frame(handle: &LoggerHandle, body: &[u8]) -> Result<(), LogError> {
+    // body = u16 name_len ‖ name ‖ key bytes
+    if body.len() < 2 {
+        return Err(LogError::Malformed("register frame"));
+    }
+    let name_len = u16::from_le_bytes(body[..2].try_into().expect("2 bytes")) as usize;
+    if body.len() < 2 + name_len {
+        return Err(LogError::Malformed("register frame (name)"));
+    }
+    let name = std::str::from_utf8(&body[2..2 + name_len])
+        .map_err(|_| LogError::Malformed("register frame (utf-8)"))?;
+    let key = RsaPublicKey::from_bytes(&body[2 + name_len..])
+        .map_err(|_| LogError::Malformed("register frame (key)"))?;
+    handle.register_key(&NodeId::new(name), key)
+}
+
+/// Client side: pushes entries to a remote endpoint.
+#[derive(Debug)]
+pub struct RemoteLogClient {
+    stream: TcpStream,
+}
+
+impl RemoteLogClient {
+    /// Connects to a remote log endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when the endpoint is unreachable.
+    pub fn connect(addr: SocketAddr) -> Result<Self, LogError> {
+        let stream = TcpStream::connect(addr).map_err(|_| LogError::ServerClosed)?;
+        stream.set_nodelay(true).map_err(|_| LogError::ServerClosed)?;
+        Ok(RemoteLogClient { stream })
+    }
+
+    /// Pushes an entry (fire-and-forget).
+    pub fn submit(&mut self, entry: &LogEntry) {
+        let mut frame = Vec::with_capacity(1 + 64);
+        frame.push(TAG_ENTRY);
+        frame.extend_from_slice(&entry.encode());
+        let _ = write_frame(&mut self.stream, &frame);
+    }
+
+    /// Registers a public key and waits for the server's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::KeyConflict`] (reported by the server) or
+    /// [`LogError::ServerClosed`] on transport failure.
+    pub fn register_key(
+        &mut self,
+        component: &NodeId,
+        key: &RsaPublicKey,
+    ) -> Result<(), LogError> {
+        let name = component.as_str().as_bytes();
+        let mut frame = Vec::new();
+        frame.push(TAG_REGISTER_KEY);
+        frame.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        frame.extend_from_slice(name);
+        frame.extend_from_slice(&key.to_bytes());
+        write_frame(&mut self.stream, &frame).map_err(|_| LogError::ServerClosed)?;
+        let reply = read_frame(&mut self.stream)
+            .map_err(|_| LogError::ServerClosed)?
+            .ok_or(LogError::ServerClosed)?;
+        match reply.first() {
+            Some(&TAG_OK) => Ok(()),
+            Some(&TAG_ERR) => Err(LogError::KeyConflict(component.to_string())),
+            _ => Err(LogError::Malformed("register reply")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Direction;
+    use crate::server::LogServer;
+    use adlp_crypto::RsaKeyPair;
+    use adlp_pubsub::Topic;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("remote_cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq * 7,
+            vec![seq as u8; 32],
+        )
+    }
+
+    fn wait_until(pred: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !pred() {
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn entries_flow_over_tcp() {
+        let server = LogServer::spawn();
+        let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
+        let mut client = RemoteLogClient::connect(endpoint.addr()).unwrap();
+        for i in 0..20 {
+            client.submit(&entry(i));
+        }
+        let h = server.handle();
+        wait_until(|| h.store().len() == 20);
+        assert!(h.store().verify_chain().is_ok());
+        assert_eq!(h.store().entry(5).unwrap().seq, 5);
+    }
+
+    #[test]
+    fn key_registration_over_tcp() {
+        let server = LogServer::spawn();
+        let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
+        let mut client = RemoteLogClient::connect(endpoint.addr()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let kp = RsaKeyPair::generate(128, &mut rng);
+        client
+            .register_key(&NodeId::new("remote_cam"), kp.public_key())
+            .unwrap();
+        assert!(server.handle().keys().get(&NodeId::new("remote_cam")).is_some());
+        // Conflicting key is rejected end-to-end.
+        let kp2 = RsaKeyPair::generate(128, &mut rng);
+        assert!(matches!(
+            client.register_key(&NodeId::new("remote_cam"), kp2.public_key()),
+            Err(LogError::KeyConflict(_))
+        ));
+        // Identical key is idempotent.
+        client
+            .register_key(&NodeId::new("remote_cam"), kp.public_key())
+            .unwrap();
+    }
+
+    #[test]
+    fn malformed_entries_are_dropped_silently() {
+        let server = LogServer::spawn();
+        let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
+        let mut stream = TcpStream::connect(endpoint.addr()).unwrap();
+        // Garbage entry body.
+        write_frame(&mut stream, &[TAG_ENTRY, 0xde, 0xad]).unwrap();
+        // A valid one afterwards still lands.
+        let mut frame = vec![TAG_ENTRY];
+        frame.extend_from_slice(&entry(1).encode());
+        write_frame(&mut stream, &frame).unwrap();
+        let h = server.handle();
+        wait_until(|| h.store().len() == 1);
+    }
+
+    #[test]
+    fn multiple_clients() {
+        let server = LogServer::spawn();
+        let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
+        let addr = endpoint.addr();
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            threads.push(std::thread::spawn(move || {
+                let mut c = RemoteLogClient::connect(addr).unwrap();
+                for i in 0..25 {
+                    c.submit(&entry(t * 100 + i));
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let h = server.handle();
+        wait_until(|| h.store().len() == 100);
+        assert!(h.store().verify_chain().is_ok());
+    }
+
+    #[test]
+    fn connect_after_shutdown_fails() {
+        let server = LogServer::spawn();
+        let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
+        let addr = endpoint.addr();
+        endpoint.shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        // The listener socket is gone once the endpoint drops; connecting
+        // after an explicit shutdown (and drop) errors.
+        drop(endpoint);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(RemoteLogClient::connect(addr).is_err());
+    }
+}

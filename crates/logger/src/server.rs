@@ -1,0 +1,300 @@
+//! The log server.
+//!
+//! Components *push* entries into the server over a channel and never wait
+//! for it — "there is no dependence of the ROS side on the log server; log
+//! entries are simply pushed into the server. Hence, ADLP is free from a
+//! single-point failure" (§V-B). The server thread encodes, accounts, and
+//! appends each entry to the tamper-evident [`LogStore`].
+
+use crate::entry::LogEntry;
+use crate::keyreg::KeyRegistry;
+use crate::stats::LogStats;
+use crate::store::LogStore;
+use crate::LogError;
+use adlp_crypto::RsaPublicKey;
+use adlp_pubsub::NodeId;
+use crossbeam::channel::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Command {
+    Append(Box<LogEntry>),
+    RegisterKey(NodeId, Box<RsaPublicKey>, Sender<Result<(), LogError>>),
+    Flush(Sender<()>),
+    /// Simulates a log-server crash: the worker exits immediately,
+    /// abandoning anything still queued.
+    Terminate,
+}
+
+/// Cheap-to-clone handle components use to talk to the server.
+#[derive(Debug, Clone)]
+pub struct LoggerHandle {
+    tx: Sender<Command>,
+    keys: KeyRegistry,
+    stats: LogStats,
+    store: LogStore,
+}
+
+impl LoggerHandle {
+    /// Pushes a log entry; never blocks on server-side work. Errors are
+    /// deliberately swallowed: a dead logger must not disturb the data
+    /// distribution system.
+    pub fn submit(&self, entry: LogEntry) {
+        let _ = self.tx.send(Command::Append(Box::new(entry)));
+    }
+
+    /// Registers a component's public key (paper §V-B step 1), waiting for
+    /// the server's acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::KeyConflict`] for a conflicting re-registration
+    /// or [`LogError::ServerClosed`] if the server is gone.
+    pub fn register_key(&self, component: &NodeId, key: RsaPublicKey) -> Result<(), LogError> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::RegisterKey(component.clone(), Box::new(key), tx))
+            .map_err(|_| LogError::ServerClosed)?;
+        rx.recv().map_err(|_| LogError::ServerClosed)?
+    }
+
+    /// Blocks until every entry submitted before this call is stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] if the server is gone.
+    pub fn flush(&self) -> Result<(), LogError> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::Flush(tx))
+            .map_err(|_| LogError::ServerClosed)?;
+        rx.recv().map_err(|_| LogError::ServerClosed)
+    }
+
+    /// The key registry (shared with the server).
+    pub fn keys(&self) -> &KeyRegistry {
+        &self.keys
+    }
+
+    /// Volume accounting (shared with the server).
+    pub fn stats(&self) -> &LogStats {
+        &self.stats
+    }
+
+    /// The underlying store (shared with the server). Reads are safe at any
+    /// time; the auditor uses this view.
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+}
+
+/// The trusted logger service.
+#[derive(Debug)]
+pub struct LogServer {
+    handle: LoggerHandle,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl LogServer {
+    /// Spawns the server thread and returns the service.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use adlp_logger::{LogServer, LogEntry, Direction};
+    /// use adlp_pubsub::{NodeId, Topic};
+    ///
+    /// let server = LogServer::spawn();
+    /// let handle = server.handle();
+    /// handle.submit(LogEntry::naive(
+    ///     NodeId::new("camera"), Topic::new("image"),
+    ///     Direction::Out, 1, 42, vec![0u8; 8],
+    /// ));
+    /// handle.flush().unwrap();
+    /// assert_eq!(handle.store().len(), 1);
+    /// ```
+    pub fn spawn() -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let keys = KeyRegistry::new();
+        let stats = LogStats::new();
+        let store = LogStore::new();
+        let handle = LoggerHandle {
+            tx,
+            keys: keys.clone(),
+            stats: stats.clone(),
+            store: store.clone(),
+        };
+        let worker = std::thread::Builder::new()
+            .name("adlp-log-server".into())
+            .spawn(move || Self::serve(rx, keys, stats, store))
+            .expect("spawn log server");
+        LogServer {
+            handle,
+            worker: Some(worker),
+        }
+    }
+
+    fn serve(rx: Receiver<Command>, keys: KeyRegistry, stats: LogStats, store: LogStore) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Append(entry) => {
+                    let encoded = entry.encode();
+                    stats.record(&entry.component, &entry.topic, encoded.len());
+                    store.append_encoded(encoded);
+                }
+                Command::RegisterKey(component, key, reply) => {
+                    let _ = reply.send(keys.register(&component, *key));
+                }
+                Command::Flush(reply) => {
+                    let _ = reply.send(());
+                }
+                Command::Terminate => return,
+            }
+        }
+    }
+
+    /// A handle for components (and the auditor) to use.
+    pub fn handle(&self) -> LoggerHandle {
+        self.handle.clone()
+    }
+
+    /// Stops the server after draining queued commands.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Simulates a crash of the trusted logger: the worker thread exits
+    /// immediately. Outstanding handles keep working without error — their
+    /// submissions are silently lost — which is exactly the failure
+    /// isolation the paper claims ("any failure at the log server does not
+    /// interrupt a normal operation of the ROS nodes", §V-B). Used by
+    /// failure-injection tests.
+    pub fn kill(&self) {
+        let _ = self.handle.tx.send(Command::Terminate);
+        if let Some(w) = &self.worker {
+            // Wait for the worker to observe the command so the crash is
+            // fully effective when this returns.
+            while !w.is_finished() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping our command sender closes the channel once all handles do;
+        // replace it with a dead channel to sever ours now.
+        let (dead_tx, _) = crossbeam::channel::unbounded();
+        self.handle.tx = dead_tx;
+        if let Some(w) = self.worker.take() {
+            // The worker exits when every outstanding handle is dropped; to
+            // guarantee progress we only join when it is already finished.
+            if w.is_finished() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for LogServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Direction;
+    use adlp_crypto::RsaKeyPair;
+    use adlp_pubsub::Topic;
+    use rand::SeedableRng;
+
+    fn entry(seq: u64, bytes: usize) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![0u8; bytes],
+        )
+    }
+
+    #[test]
+    fn submit_flush_and_read_back() {
+        let server = LogServer::spawn();
+        let h = server.handle();
+        for i in 0..100 {
+            h.submit(entry(i, 10));
+        }
+        h.flush().unwrap();
+        assert_eq!(h.store().len(), 100);
+        assert_eq!(h.stats().snapshot().entries, 100);
+        assert!(h.store().verify_chain().is_ok());
+        assert_eq!(h.store().entry(7).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn key_registration_via_server() {
+        let server = LogServer::spawn();
+        let h = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let kp = RsaKeyPair::generate(128, &mut rng);
+        h.register_key(&NodeId::new("cam"), kp.public_key().clone())
+            .unwrap();
+        assert!(h.keys().get(&NodeId::new("cam")).is_some());
+        let kp2 = RsaKeyPair::generate(128, &mut rng);
+        assert!(matches!(
+            h.register_key(&NodeId::new("cam"), kp2.public_key().clone()),
+            Err(LogError::KeyConflict(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_encoded_bytes() {
+        let server = LogServer::spawn();
+        let h = server.handle();
+        let e = entry(1, 100);
+        let expect = e.encoded_len() as u64;
+        h.submit(e);
+        h.flush().unwrap();
+        assert_eq!(h.stats().snapshot().bytes, expect);
+        assert_eq!(h.store().total_bytes(), expect);
+    }
+
+    #[test]
+    fn killed_server_never_blocks_clients() {
+        let server = LogServer::spawn();
+        let h = server.handle();
+        h.submit(entry(1, 8));
+        h.flush().unwrap();
+        server.kill();
+        // Submissions after the crash are lost but never block or panic.
+        for i in 0..100 {
+            h.submit(entry(i, 8));
+        }
+        assert_eq!(h.store().len(), 1);
+        // Synchronous operations now report the failure.
+        assert!(matches!(h.flush(), Err(LogError::ServerClosed)));
+    }
+
+    #[test]
+    fn many_concurrent_submitters() {
+        let server = LogServer::spawn();
+        let h = server.handle();
+        let mut threads = Vec::new();
+        for t in 0..8 {
+            let h = h.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    h.submit(entry(t * 100 + i, 16));
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        h.flush().unwrap();
+        assert_eq!(h.store().len(), 400);
+        assert!(h.store().verify_chain().is_ok());
+    }
+}

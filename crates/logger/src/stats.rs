@@ -1,0 +1,143 @@
+//! Log-volume accounting.
+//!
+//! Reproduces the measurements behind the paper's Figure 15 (per-topic log
+//! generation rates) and Table IV (system-wide rate): every accepted entry
+//! adds its encoded size to global, per-topic, and per-component counters,
+//! and rates are derived over an observation window.
+
+use adlp_pubsub::{NodeId, Topic};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe byte/entry counters.
+#[derive(Debug, Clone, Default)]
+pub struct LogStats {
+    inner: Arc<Mutex<StatsInner>>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    total_entries: u64,
+    total_bytes: u64,
+    by_topic: HashMap<Topic, (u64, u64)>,
+    by_component: HashMap<NodeId, (u64, u64)>,
+}
+
+/// A point-in-time view of accumulated volume.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VolumeSnapshot {
+    /// Entries accepted.
+    pub entries: u64,
+    /// Encoded bytes accepted.
+    pub bytes: u64,
+    /// Per-topic `(entries, bytes)`.
+    pub by_topic: Vec<(Topic, u64, u64)>,
+    /// Per-component `(entries, bytes)`.
+    pub by_component: Vec<(NodeId, u64, u64)>,
+}
+
+impl VolumeSnapshot {
+    /// Bytes for one topic.
+    pub fn topic_bytes(&self, topic: &Topic) -> u64 {
+        self.by_topic
+            .iter()
+            .find(|(t, _, _)| t == topic)
+            .map_or(0, |&(_, _, b)| b)
+    }
+
+    /// Megabits per second over `elapsed` (the paper reports Mb/s).
+    pub fn rate_mbps(&self, elapsed: std::time::Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / 1_000_000.0 / elapsed.as_secs_f64()
+    }
+}
+
+impl LogStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted entry of `bytes` encoded bytes.
+    pub fn record(&self, component: &NodeId, topic: &Topic, bytes: usize) {
+        let mut s = self.inner.lock();
+        s.total_entries += 1;
+        s.total_bytes += bytes as u64;
+        let t = s.by_topic.entry(topic.clone()).or_default();
+        t.0 += 1;
+        t.1 += bytes as u64;
+        let c = s.by_component.entry(component.clone()).or_default();
+        c.0 += 1;
+        c.1 += bytes as u64;
+    }
+
+    /// Copies the counters (sorted for determinism).
+    pub fn snapshot(&self) -> VolumeSnapshot {
+        let s = self.inner.lock();
+        let mut by_topic: Vec<_> = s
+            .by_topic
+            .iter()
+            .map(|(t, &(n, b))| (t.clone(), n, b))
+            .collect();
+        by_topic.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut by_component: Vec<_> = s
+            .by_component
+            .iter()
+            .map(|(c, &(n, b))| (c.clone(), n, b))
+            .collect();
+        by_component.sort_by(|a, b| a.0.cmp(&b.0));
+        VolumeSnapshot {
+            entries: s.total_entries,
+            bytes: s.total_bytes,
+            by_topic,
+            by_component,
+        }
+    }
+
+    /// Resets all counters (used between experiment phases).
+    pub fn reset(&self) {
+        *self.inner.lock() = StatsInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn accumulates_by_topic_and_component() {
+        let stats = LogStats::new();
+        stats.record(&NodeId::new("cam"), &Topic::new("image"), 1000);
+        stats.record(&NodeId::new("det"), &Topic::new("image"), 350);
+        stats.record(&NodeId::new("cam"), &Topic::new("image"), 1000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.entries, 3);
+        assert_eq!(snap.bytes, 2350);
+        assert_eq!(snap.topic_bytes(&Topic::new("image")), 2350);
+        assert_eq!(snap.topic_bytes(&Topic::new("scan")), 0);
+        assert_eq!(snap.by_component.len(), 2);
+    }
+
+    #[test]
+    fn rate_computation() {
+        let stats = LogStats::new();
+        // 1,000,000 bytes over 2 s = 4 Mb/s.
+        stats.record(&NodeId::new("n"), &Topic::new("t"), 1_000_000);
+        let snap = stats.snapshot();
+        let rate = snap.rate_mbps(Duration::from_secs(2));
+        assert!((rate - 4.0).abs() < 1e-9, "{rate}");
+        assert_eq!(snap.rate_mbps(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = LogStats::new();
+        stats.record(&NodeId::new("n"), &Topic::new("t"), 5);
+        stats.reset();
+        assert_eq!(stats.snapshot(), VolumeSnapshot::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Time sources.
+//!
+//! ADLP's temporal-causality analysis (paper §IV-B2) needs timestamps that
+//! unfaithful components can *manipulate*, so the clock is pluggable:
+//! production code uses [`SystemClock`], tests use [`ManualClock`], and the
+//! timing-disruption behavior wraps any clock in an [`OffsetClock`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Nanoseconds since the Unix epoch.
+pub type TimestampNs = u64;
+
+/// A source of timestamps for message headers and log entries.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Current time in nanoseconds since the Unix epoch.
+    fn now_ns(&self) -> TimestampNs;
+}
+
+/// Wall-clock time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> TimestampNs {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system clock before Unix epoch")
+            .as_nanos() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic tests. Every read also
+/// advances by one nanosecond so consecutive events get distinct, ordered
+/// timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock starting at `start_ns`.
+    pub fn new(start_ns: TimestampNs) -> Self {
+        ManualClock {
+            now: Arc::new(AtomicU64::new(start_ns)),
+        }
+    }
+
+    /// Advances the clock.
+    pub fn advance_ns(&self, delta: u64) {
+        self.now.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute time.
+    pub fn set_ns(&self, t: TimestampNs) {
+        self.now.store(t, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> TimestampNs {
+        self.now.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// A clock with a signed offset from an inner clock — the primitive used to
+/// model the paper's *timing disruption* behavior, where an unfaithful
+/// component reports skewed timestamps in its log entries.
+#[derive(Debug, Clone)]
+pub struct OffsetClock<C> {
+    inner: C,
+    offset_ns: Arc<AtomicI64>,
+}
+
+impl<C: Clock> OffsetClock<C> {
+    /// Wraps `inner` with an initial offset.
+    pub fn new(inner: C, offset_ns: i64) -> Self {
+        OffsetClock {
+            inner,
+            offset_ns: Arc::new(AtomicI64::new(offset_ns)),
+        }
+    }
+
+    /// Changes the offset at run time.
+    pub fn set_offset_ns(&self, offset: i64) {
+        self.offset_ns.store(offset, Ordering::SeqCst);
+    }
+}
+
+impl<C: Clock> Clock for OffsetClock<C> {
+    fn now_ns(&self) -> TimestampNs {
+        let base = self.inner.now_ns();
+        base.saturating_add_signed(self.offset_ns.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_enough() {
+        let c = SystemClock;
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert!(a > 1_500_000_000 * 1_000_000_000, "sane epoch time");
+    }
+
+    #[test]
+    fn manual_clock_orders_reads() {
+        let c = ManualClock::new(100);
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b > a);
+        c.advance_ns(50);
+        assert!(c.now_ns() >= 152);
+        c.set_ns(10);
+        assert_eq!(c.now_ns(), 10);
+    }
+
+    #[test]
+    fn offset_clock_shifts_time() {
+        let base = ManualClock::new(1000);
+        let skewed = OffsetClock::new(base.clone(), -200);
+        assert_eq!(skewed.now_ns(), 800);
+        skewed.set_offset_ns(500);
+        assert_eq!(skewed.now_ns(), 1501);
+    }
+
+    #[test]
+    fn offset_clock_saturates_at_zero() {
+        let base = ManualClock::new(10);
+        let skewed = OffsetClock::new(base, -1_000_000);
+        assert_eq!(skewed.now_ns(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Transport-layer interception — the hook ADLP plugs into.
+//!
+//! The ADLP prototype modifies the ROS transport layer in `rospy` so that
+//! signing, acknowledgement, and logging happen beneath the application
+//! (§V-B, Figure 12). [`LinkInterceptor`] is that seam: a node installs one
+//! interceptor and every connection consults it
+//!
+//! * before sending a body ([`LinkInterceptor::on_send`] — ADLP appends the
+//!   publisher's signature),
+//! * when deciding whether a connection may carry the next message
+//!   ([`LinkInterceptor::may_send`] — ADLP's ack gating),
+//! * when a body arrives ([`LinkInterceptor::on_recv`] — ADLP strips and
+//!   verifies the signature, produces the signed acknowledgement reply, and
+//!   emits the subscriber's log entry), and
+//! * when a reverse-channel frame arrives at the publisher
+//!   ([`LinkInterceptor::on_return`] — ADLP matches the acknowledgement and
+//!   emits the publisher's log entry).
+//!
+//! The default implementations make [`NoopInterceptor`] (and any plain node)
+//! behave like stock ROS: bodies pass through untouched and no reverse
+//! traffic is generated.
+
+use crate::types::{NodeId, Topic};
+use crate::wire::Handshake;
+use std::fmt;
+
+/// Immutable facts about one publisher→subscriber connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionInfo {
+    /// The topic (also the paper's unique data type).
+    pub topic: Topic,
+    /// The publishing component.
+    pub publisher: NodeId,
+    /// The subscribing component.
+    pub subscriber: NodeId,
+    /// Extension fields exchanged in the handshake (the *peer's* fields, as
+    /// seen from each side).
+    pub peer_fields: Handshake,
+}
+
+/// What to do with a received body.
+#[derive(Debug, Clone, Default)]
+pub struct RecvOutcome {
+    /// Body to deliver to the application layer (`None` drops the message).
+    pub deliver: Option<Vec<u8>>,
+    /// Frame to send back to the publisher on the reverse channel.
+    pub reply: Option<Vec<u8>>,
+}
+
+impl RecvOutcome {
+    /// Delivers the body unchanged, with no reply.
+    pub fn deliver(body: Vec<u8>) -> Self {
+        RecvOutcome {
+            deliver: Some(body),
+            reply: None,
+        }
+    }
+
+    /// Drops the message entirely.
+    pub fn drop_message() -> Self {
+        RecvOutcome::default()
+    }
+}
+
+/// Transport-layer hooks invoked on every connection of a node.
+///
+/// Implementations must be thread-safe: connections invoke hooks
+/// concurrently from their I/O threads.
+pub trait LinkInterceptor: Send + Sync + fmt::Debug {
+    /// Extra handshake fields this side contributes when a connection for
+    /// `topic` is set up (`publishing` distinguishes the two roles).
+    fn handshake_fields(&self, topic: &Topic, publishing: bool) -> Vec<(String, String)> {
+        let _ = (topic, publishing);
+        Vec::new()
+    }
+
+    /// Whether the publisher may send the next message on this connection.
+    /// ADLP returns `false` while the previous message is unacknowledged
+    /// ("If the acknowledgement to the previously published message has not
+    /// been received ... the new message is not sent", §V-B step 2).
+    fn may_send(&self, conn: &ConnectionInfo) -> bool {
+        let _ = conn;
+        true
+    }
+
+    /// Transforms an outgoing body just before framing.
+    fn on_send(&self, conn: &ConnectionInfo, body: Vec<u8>) -> Vec<u8> {
+        let _ = conn;
+        body
+    }
+
+    /// Handles an incoming body on the subscriber side.
+    fn on_recv(&self, conn: &ConnectionInfo, body: Vec<u8>) -> RecvOutcome {
+        let _ = conn;
+        RecvOutcome::deliver(body)
+    }
+
+    /// Handles a reverse-channel frame on the publisher side.
+    fn on_return(&self, conn: &ConnectionInfo, frame: Vec<u8>) {
+        let _ = (conn, frame);
+    }
+
+    /// Notifies that a connection was established (both sides).
+    fn on_connect(&self, conn: &ConnectionInfo, publishing: bool) {
+        let _ = (conn, publishing);
+    }
+}
+
+/// The identity interceptor: plain ROS-like behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopInterceptor;
+
+impl LinkInterceptor for NoopInterceptor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_passes_bodies_through() {
+        let conn = ConnectionInfo {
+            topic: Topic::new("t"),
+            publisher: NodeId::new("p"),
+            subscriber: NodeId::new("s"),
+            peer_fields: Handshake::new(),
+        };
+        let i = NoopInterceptor;
+        assert!(i.may_send(&conn));
+        assert_eq!(i.on_send(&conn, vec![1, 2]), vec![1, 2]);
+        let out = i.on_recv(&conn, vec![3, 4]);
+        assert_eq!(out.deliver, Some(vec![3, 4]));
+        assert!(out.reply.is_none());
+        assert!(i.handshake_fields(&conn.topic, true).is_empty());
+    }
+
+    #[test]
+    fn recv_outcome_constructors() {
+        assert!(RecvOutcome::drop_message().deliver.is_none());
+        assert_eq!(RecvOutcome::deliver(vec![9]).deliver, Some(vec![9]));
+    }
+}

@@ -1,0 +1,206 @@
+//! The master: a registry mapping each topic to its unique publisher,
+//! mirroring the ROS master's name service.
+//!
+//! The paper's system model requires that "there can be no two components
+//! who publish the same data type" (§II) — the master enforces this, which
+//! is what lets an auditor resolve a data type to the component accountable
+//! for producing it.
+
+use crate::transport::inproc::ConnectHandle;
+use crate::types::{NodeId, Topic};
+use crate::PubSubError;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// How a subscriber reaches a publisher.
+#[derive(Debug, Clone)]
+pub enum Contact {
+    /// In-process control channel to the publisher's accept loop.
+    InProc(ConnectHandle),
+    /// TCP listener address of the publisher.
+    Tcp(SocketAddr),
+}
+
+#[derive(Debug, Clone)]
+struct PublisherEntry {
+    node: NodeId,
+    contact: Contact,
+}
+
+/// Shared name service for a pub/sub graph.
+///
+/// Cheap to clone; all clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Master {
+    inner: Arc<MasterInner>,
+}
+
+#[derive(Debug, Default)]
+struct MasterInner {
+    topics: Mutex<HashMap<Topic, PublisherEntry>>,
+    nodes: Mutex<HashSet<NodeId>>,
+}
+
+impl Master {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::DuplicateNode`] if the id is taken.
+    pub fn register_node(&self, id: &NodeId) -> Result<(), PubSubError> {
+        let mut nodes = self.inner.nodes.lock();
+        if !nodes.insert(id.clone()) {
+            return Err(PubSubError::DuplicateNode(id.clone()));
+        }
+        Ok(())
+    }
+
+    /// Removes a node id (e.g. so a restarted component can re-register).
+    pub fn unregister_node(&self, id: &NodeId) {
+        self.inner.nodes.lock().remove(id);
+    }
+
+    /// Claims a topic for `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::TopicAlreadyPublished`] if another publisher
+    /// owns the topic.
+    pub fn register_publisher(
+        &self,
+        topic: &Topic,
+        node: &NodeId,
+        contact: Contact,
+    ) -> Result<(), PubSubError> {
+        let mut topics = self.inner.topics.lock();
+        if topics.contains_key(topic) {
+            return Err(PubSubError::TopicAlreadyPublished(topic.clone()));
+        }
+        topics.insert(
+            topic.clone(),
+            PublisherEntry {
+                node: node.clone(),
+                contact,
+            },
+        );
+        Ok(())
+    }
+
+    /// Releases a topic if `node` owns it.
+    pub fn unregister_publisher(&self, topic: &Topic, node: &NodeId) {
+        let mut topics = self.inner.topics.lock();
+        if topics.get(topic).is_some_and(|e| &e.node == node) {
+            topics.remove(topic);
+        }
+    }
+
+    /// Resolves a topic to its publisher.
+    pub fn lookup(&self, topic: &Topic) -> Option<(NodeId, Contact)> {
+        self.inner
+            .topics
+            .lock()
+            .get(topic)
+            .map(|e| (e.node.clone(), e.contact.clone()))
+    }
+
+    /// The publisher node of a topic, if any (the auditor's `type → producer`
+    /// mapping).
+    pub fn publisher_of(&self, topic: &Topic) -> Option<NodeId> {
+        self.inner.topics.lock().get(topic).map(|e| e.node.clone())
+    }
+
+    /// All currently advertised topics with their publishers.
+    pub fn topology(&self) -> Vec<(Topic, NodeId)> {
+        let mut v: Vec<_> = self
+            .inner
+            .topics
+            .lock()
+            .iter()
+            .map(|(t, e)| (t.clone(), e.node.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::inproc;
+
+    fn inproc_contact() -> Contact {
+        let (handle, _queue) = inproc::control_channel();
+        Contact::InProc(handle)
+    }
+
+    #[test]
+    fn node_registration_is_unique() {
+        let m = Master::new();
+        let id = NodeId::new("camera");
+        m.register_node(&id).unwrap();
+        assert_eq!(
+            m.register_node(&id),
+            Err(PubSubError::DuplicateNode(id.clone()))
+        );
+        m.unregister_node(&id);
+        m.register_node(&id).unwrap();
+    }
+
+    #[test]
+    fn one_publisher_per_topic() {
+        let m = Master::new();
+        let t = Topic::new("image");
+        m.register_publisher(&t, &NodeId::new("cam1"), inproc_contact())
+            .unwrap();
+        assert_eq!(
+            m.register_publisher(&t, &NodeId::new("cam2"), inproc_contact()),
+            Err(PubSubError::TopicAlreadyPublished(t.clone()))
+        );
+        assert_eq!(m.publisher_of(&t), Some(NodeId::new("cam1")));
+    }
+
+    #[test]
+    fn unregister_requires_owner() {
+        let m = Master::new();
+        let t = Topic::new("image");
+        m.register_publisher(&t, &NodeId::new("cam"), inproc_contact())
+            .unwrap();
+        m.unregister_publisher(&t, &NodeId::new("intruder"));
+        assert!(m.lookup(&t).is_some());
+        m.unregister_publisher(&t, &NodeId::new("cam"));
+        assert!(m.lookup(&t).is_none());
+    }
+
+    #[test]
+    fn topology_lists_everything_sorted() {
+        let m = Master::new();
+        m.register_publisher(&Topic::new("scan"), &NodeId::new("lidar"), inproc_contact())
+            .unwrap();
+        m.register_publisher(&Topic::new("image"), &NodeId::new("cam"), inproc_contact())
+            .unwrap();
+        let topo = m.topology();
+        assert_eq!(
+            topo,
+            vec![
+                (Topic::new("image"), NodeId::new("cam")),
+                (Topic::new("scan"), NodeId::new("lidar")),
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Master::new();
+        let m2 = m.clone();
+        m.register_publisher(&Topic::new("t"), &NodeId::new("n"), inproc_contact())
+            .unwrap();
+        assert!(m2.lookup(&Topic::new("t")).is_some());
+    }
+}

@@ -1,0 +1,829 @@
+//! Nodes, publishers and subscriptions.
+//!
+//! A [`Node`] is a software component (`c_i` in the paper). It advertises
+//! topics (outputs `O_i`) and subscribes to topics (inputs `I_i`). All
+//! transport-layer behavior — signing, acknowledgement, gating — is injected
+//! via the node's [`LinkInterceptor`], so applications written against this
+//! API are unaware of whether ADLP is active (the paper's "transparent to
+//! the application layer" property).
+
+use crate::clock::{Clock, SystemClock};
+use crate::interceptor::{ConnectionInfo, LinkInterceptor, NoopInterceptor};
+use crate::master::{Contact, Master};
+use crate::message::{Header, Message};
+use crate::stats::NodeStats;
+use crate::transport::{inproc, tcp, FrameDuplex};
+use crate::types::{NodeId, Topic};
+use crate::wire::Handshake;
+use crate::PubSubError;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Which transport a node's publishers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Crossbeam channels within the process (fast, default).
+    #[default]
+    InProc,
+    /// Real TCP sockets on localhost (like TCPROS).
+    Tcp,
+}
+
+/// Per-subscription quality-of-service options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubscribeOptions {
+    /// Bounds the publisher→subscriber queue to this many frames (ROS
+    /// `queue_size`); a full queue drops new frames at the publisher.
+    /// `None` = unbounded.
+    pub queue_size: Option<usize>,
+}
+
+impl SubscribeOptions {
+    /// Unbounded subscription (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the queue bound.
+    pub fn with_queue_size(mut self, n: usize) -> Self {
+        self.queue_size = Some(n);
+        self
+    }
+}
+
+/// Configures and registers a [`Node`].
+///
+/// # Example
+///
+/// ```
+/// use adlp_pubsub::{Master, NodeBuilder, SystemClock};
+/// use std::sync::Arc;
+///
+/// let master = Master::new();
+/// let node = NodeBuilder::new("planner")
+///     .clock(Arc::new(SystemClock))
+///     .build(&master)?;
+/// assert_eq!(node.id().as_str(), "planner");
+/// # Ok::<(), adlp_pubsub::PubSubError>(())
+/// ```
+#[derive(Debug)]
+pub struct NodeBuilder {
+    id: NodeId,
+    clock: Arc<dyn Clock>,
+    interceptor: Arc<dyn LinkInterceptor>,
+    transport: TransportKind,
+}
+
+impl NodeBuilder {
+    /// Starts building a node with the given id.
+    pub fn new(id: impl Into<NodeId>) -> Self {
+        NodeBuilder {
+            id: id.into(),
+            clock: Arc::new(SystemClock),
+            interceptor: Arc::new(NoopInterceptor),
+            transport: TransportKind::InProc,
+        }
+    }
+
+    /// Sets the timestamp source.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs a transport-layer interceptor (e.g. ADLP).
+    pub fn interceptor(mut self, interceptor: Arc<dyn LinkInterceptor>) -> Self {
+        self.interceptor = interceptor;
+        self
+    }
+
+    /// Selects the transport for topics this node publishes.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Registers the node with the master.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::DuplicateNode`] for a taken id.
+    pub fn build(self, master: &Master) -> Result<Node, PubSubError> {
+        master.register_node(&self.id)?;
+        Ok(Node {
+            shared: Arc::new(NodeShared {
+                id: self.id,
+                master: master.clone(),
+                clock: self.clock,
+                interceptor: self.interceptor,
+                stats: NodeStats::new(),
+                transport: self.transport,
+            }),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct NodeShared {
+    id: NodeId,
+    master: Master,
+    clock: Arc<dyn Clock>,
+    interceptor: Arc<dyn LinkInterceptor>,
+    stats: NodeStats,
+    transport: TransportKind,
+}
+
+/// A registered software component.
+#[derive(Debug, Clone)]
+pub struct Node {
+    shared: Arc<NodeShared>,
+}
+
+impl Node {
+    /// This node's id.
+    pub fn id(&self) -> &NodeId {
+        &self.shared.id
+    }
+
+    /// Traffic counters for this node.
+    pub fn stats(&self) -> &NodeStats {
+        &self.shared.stats
+    }
+
+    /// The node's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.shared.clock
+    }
+
+    /// Claims `topic` and starts accepting subscribers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::TopicAlreadyPublished`] if the topic is owned,
+    /// or transport errors when binding a TCP listener.
+    pub fn advertise(&self, topic: impl Into<Topic>) -> Result<Publisher, PubSubError> {
+        let topic = topic.into();
+        let shared = Arc::new(PubShared {
+            topic: topic.clone(),
+            node: Arc::clone(&self.shared),
+            conns: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            tcp_addr: Mutex::new(None),
+        });
+        match self.shared.transport {
+            TransportKind::InProc => {
+                let (handle, queue) = inproc::control_channel();
+                self.shared
+                    .master
+                    .register_publisher(&topic, &self.shared.id, Contact::InProc(handle))?;
+                let accept_shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("pa-{}", self.shared.id))
+                    .spawn(move || {
+                        while let Ok(req) = queue.recv() {
+                            if accept_shared.closed.load(Ordering::SeqCst) {
+                                let _ = req.reply.send(Err(PubSubError::Disconnected));
+                                continue;
+                            }
+                            let reply_hs = accept_shared.local_handshake();
+                            match accept_shared.admit(req.handshake, req.duplex) {
+                                Ok(()) => {
+                                    let _ = req.reply.send(Ok(reply_hs));
+                                }
+                                Err(e) => {
+                                    let _ = req.reply.send(Err(e));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn accept thread");
+            }
+            TransportKind::Tcp => {
+                let listener = tcp::bind()?;
+                let addr = listener.local_addr()?;
+                *shared.tcp_addr.lock() = Some(addr);
+                self.shared
+                    .master
+                    .register_publisher(&topic, &self.shared.id, Contact::Tcp(addr))?;
+                let accept_shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("pa-{}", self.shared.id))
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if accept_shared.closed.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(mut stream) = stream else { continue };
+                            let reply_hs = accept_shared.local_handshake();
+                            let Ok(peer_hs) = tcp::accept_handshake(&mut stream, &reply_hs) else {
+                                continue;
+                            };
+                            let queue_size = peer_hs
+                                .get("queue_size")
+                                .and_then(|v| v.parse().ok());
+                            let Ok(duplex) = tcp::bridge_stream_with(stream, queue_size) else {
+                                continue;
+                            };
+                            let _ = accept_shared.admit(peer_hs, duplex);
+                        }
+                    })
+                    .expect("spawn accept thread");
+            }
+        }
+        Ok(Publisher { shared })
+    }
+
+    /// Connects to `topic`'s publisher; `callback` runs on the connection's
+    /// reader thread for every delivered message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::NoSuchTopic`] when nothing publishes `topic`,
+    /// or connection errors.
+    pub fn subscribe<F>(
+        &self,
+        topic: impl Into<Topic>,
+        callback: F,
+    ) -> Result<Subscription, PubSubError>
+    where
+        F: Fn(Message) + Send + 'static,
+    {
+        self.subscribe_with(topic, SubscribeOptions::default(), callback)
+    }
+
+    /// Like [`Node::subscribe`], with explicit QoS options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::subscribe`].
+    pub fn subscribe_with<F>(
+        &self,
+        topic: impl Into<Topic>,
+        options: SubscribeOptions,
+        callback: F,
+    ) -> Result<Subscription, PubSubError>
+    where
+        F: Fn(Message) + Send + 'static,
+    {
+        let topic = topic.into();
+        let (pub_node, contact) = self
+            .shared
+            .master
+            .lookup(&topic)
+            .ok_or_else(|| PubSubError::NoSuchTopic(topic.clone()))?;
+
+        let mut hs = Handshake::new()
+            .with("topic", topic.as_str())
+            .with("subscriber", self.shared.id.as_str());
+        if let Some(q) = options.queue_size {
+            hs = hs.with("queue_size", q.to_string());
+        }
+        for (k, v) in self.shared.interceptor.handshake_fields(&topic, false) {
+            hs = hs.with(k, v);
+        }
+
+        let (duplex, peer_hs) = match contact {
+            Contact::InProc(handle) => inproc::dial_with(&handle, hs, options.queue_size)?,
+            Contact::Tcp(addr) => tcp::dial(addr, &hs)?,
+        };
+
+        let info = ConnectionInfo {
+            topic,
+            publisher: pub_node,
+            subscriber: self.shared.id.clone(),
+            peer_fields: peer_hs,
+        };
+        self.shared.interceptor.on_connect(&info, false);
+
+        let closed = Arc::new(AtomicBool::new(false));
+        let reader_closed = Arc::clone(&closed);
+        let node_shared = Arc::clone(&self.shared);
+        let reader_info = info.clone();
+        let handle = thread::Builder::new()
+            .name(format!("sr-{}", reader_info.subscriber))
+            .spawn(move || {
+                loop {
+                    let body = match duplex.rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(b) => b,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if reader_closed.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    };
+                    if reader_closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    node_shared.stats.record_receive(body.len());
+                    let outcome = node_shared.interceptor.on_recv(&reader_info, body);
+                    if let Some(reply) = outcome.reply {
+                        if duplex.send(reply) {
+                            node_shared.stats.record_reply();
+                        }
+                    }
+                    match outcome.deliver {
+                        Some(body) => match Message::decode(&body) {
+                            Ok(msg) => callback(msg),
+                            Err(_) => node_shared.stats.record_recv_dropped(),
+                        },
+                        None => node_shared.stats.record_recv_dropped(),
+                    }
+                }
+            })
+            .expect("spawn subscriber thread");
+
+        Ok(Subscription {
+            info,
+            closed,
+            handle: Some(handle),
+        })
+    }
+
+    /// Subscribes and returns a bounded message queue instead of running a
+    /// callback — for applications that prefer polling (e.g. a control
+    /// loop draining the latest sensor frame).
+    ///
+    /// The returned [`Subscription`] must be kept alive; dropping it stops
+    /// delivery.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::subscribe`].
+    pub fn subscribe_queue(
+        &self,
+        topic: impl Into<Topic>,
+        options: SubscribeOptions,
+    ) -> Result<(Subscription, crossbeam::channel::Receiver<Message>), PubSubError> {
+        let (tx, rx) = match options.queue_size {
+            Some(cap) => crossbeam::channel::bounded(cap.max(1)),
+            None => crossbeam::channel::unbounded(),
+        };
+        let sub = self.subscribe_with(topic, options, move |msg| {
+            // Bounded + full → drop the message (queue_size semantics).
+            let _ = tx.try_send(msg);
+        })?;
+        Ok((sub, rx))
+    }
+
+    /// Deregisters the node id from the master (publishers must be closed
+    /// separately).
+    pub fn shutdown(&self) {
+        self.shared.master.unregister_node(&self.shared.id);
+    }
+}
+
+#[derive(Debug)]
+struct PubShared {
+    topic: Topic,
+    node: Arc<NodeShared>,
+    conns: Mutex<Vec<Arc<PubConn>>>,
+    seq: AtomicU64,
+    closed: AtomicBool,
+    tcp_addr: Mutex<Option<SocketAddr>>,
+}
+
+#[derive(Debug)]
+struct PubConn {
+    info: ConnectionInfo,
+    duplex: FrameDuplex,
+    alive: AtomicBool,
+}
+
+impl PubShared {
+    fn local_handshake(&self) -> Handshake {
+        let mut hs = Handshake::new()
+            .with("topic", self.topic.as_str())
+            .with("publisher", self.node.id.as_str());
+        for (k, v) in self.node.interceptor.handshake_fields(&self.topic, true) {
+            hs = hs.with(k, v);
+        }
+        hs
+    }
+
+    /// Validates a subscriber handshake and installs the connection.
+    fn admit(self: &Arc<Self>, peer_hs: Handshake, duplex: FrameDuplex) -> Result<(), PubSubError> {
+        if peer_hs.get("topic") != Some(self.topic.as_str()) {
+            return Err(PubSubError::Malformed("handshake (topic mismatch)"));
+        }
+        let subscriber = peer_hs
+            .get("subscriber")
+            .ok_or(PubSubError::Malformed("handshake (missing subscriber)"))?;
+        let info = ConnectionInfo {
+            topic: self.topic.clone(),
+            publisher: self.node.id.clone(),
+            subscriber: NodeId::new(subscriber),
+            peer_fields: peer_hs,
+        };
+        self.node.interceptor.on_connect(&info, true);
+        let conn = Arc::new(PubConn {
+            info,
+            duplex,
+            alive: AtomicBool::new(true),
+        });
+
+        // Reverse-channel reader: acknowledgement frames → interceptor.
+        let ret_conn = Arc::clone(&conn);
+        let node = Arc::clone(&self.node);
+        let closed = Arc::clone(self);
+        thread::Builder::new()
+            .name(format!("pr-{}", node.id))
+            .spawn(move || {
+                loop {
+                    let frame = match ret_conn
+                        .duplex
+                        .rx
+                        .recv_timeout(Duration::from_millis(50))
+                    {
+                        Ok(f) => f,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if closed.closed.load(Ordering::SeqCst)
+                                || !ret_conn.alive.load(Ordering::SeqCst)
+                            {
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            ret_conn.alive.store(false, Ordering::SeqCst);
+                            return;
+                        }
+                    };
+                    node.stats.record_return();
+                    node.interceptor.on_return(&ret_conn.info, frame);
+                }
+            })
+            .expect("spawn return reader");
+
+        self.conns.lock().push(conn);
+        Ok(())
+    }
+}
+
+/// Outcome of one [`Publisher::publish`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Sequence number assigned to this publication.
+    pub seq: u64,
+    /// Timestamp stamped into the header.
+    pub stamp_ns: u64,
+    /// Connections the message was sent on.
+    pub sent: usize,
+    /// Connections skipped by `may_send` gating (ADLP's unacknowledged-
+    /// message penalty).
+    pub skipped: usize,
+}
+
+/// The sending half of a topic.
+#[derive(Debug)]
+pub struct Publisher {
+    shared: Arc<PubShared>,
+}
+
+impl Publisher {
+    /// The topic this publisher owns.
+    pub fn topic(&self) -> &Topic {
+        &self.shared.topic
+    }
+
+    /// Number of live subscriber connections.
+    pub fn connection_count(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .iter()
+            .filter(|c| c.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Blocks until at least `n` subscribers are connected or `timeout`
+    /// elapses; returns whether the target was reached.
+    pub fn wait_for_subscribers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.connection_count() < n {
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Publishes `payload` to all connected subscribers.
+    ///
+    /// The header (sequence number + timestamp) is stamped here; the node's
+    /// interceptor may transform the body per connection (ADLP appends the
+    /// signature — computed once per publication, not per subscriber) and may
+    /// gate individual connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::Disconnected`] after [`Publisher::close`].
+    pub fn publish(&self, payload: &[u8]) -> Result<PublishReport, PubSubError> {
+        let s = &self.shared;
+        if s.closed.load(Ordering::SeqCst) {
+            return Err(PubSubError::Disconnected);
+        }
+        let seq = s.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let stamp_ns = s.node.clock.now_ns();
+        let msg = Message::new(Header { seq, stamp_ns }, payload.to_vec());
+        let body = msg.encode();
+        s.node.stats.record_publish();
+
+        let conns: Vec<Arc<PubConn>> = s.conns.lock().clone();
+        let mut sent = 0;
+        let mut skipped = 0;
+        for conn in &conns {
+            if !conn.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            if !s.node.interceptor.may_send(&conn.info) {
+                s.node.stats.record_send_skipped();
+                skipped += 1;
+                continue;
+            }
+            let out_body = s.node.interceptor.on_send(&conn.info, body.clone());
+            let len = out_body.len();
+            match conn.duplex.try_send(out_body) {
+                crate::transport::SendOutcome::Sent => {
+                    s.node.stats.record_send(len);
+                    sent += 1;
+                }
+                crate::transport::SendOutcome::Dropped => {
+                    s.node.stats.record_send_dropped();
+                }
+                crate::transport::SendOutcome::Disconnected => {
+                    conn.alive.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        // Drop dead connections.
+        if conns.iter().any(|c| !c.alive.load(Ordering::SeqCst)) {
+            s.conns.lock().retain(|c| c.alive.load(Ordering::SeqCst));
+        }
+        Ok(PublishReport {
+            seq,
+            stamp_ns,
+            sent,
+            skipped,
+        })
+    }
+
+    /// Stops accepting subscribers, releases the topic, and severs all
+    /// connections.
+    pub fn close(&self) {
+        let s = &self.shared;
+        if s.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        s.node.master.unregister_publisher(&s.topic, &s.node.id);
+        // Wake a blocked TCP accept loop so it can observe `closed`.
+        if let Some(addr) = *s.tcp_addr.lock() {
+            let _ = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        }
+        s.conns.lock().clear();
+    }
+}
+
+impl Drop for Publisher {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A live subscription; dropping it (or calling [`Subscription::close`])
+/// stops the reader thread.
+#[derive(Debug)]
+pub struct Subscription {
+    info: ConnectionInfo,
+    closed: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Subscription {
+    /// Connection facts (topic, publisher, peer handshake fields).
+    pub fn info(&self) -> &ConnectionInfo {
+        &self.info
+    }
+
+    /// Stops the reader thread and waits for it to exit.
+    pub fn close(&mut self) {
+        self.closed.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::atomic::AtomicUsize;
+
+    fn wait_until(pred: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !pred() {
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn single_pub_single_sub_inproc() {
+        let master = Master::new();
+        let p = NodeBuilder::new("cam").build(&master).unwrap();
+        let s = NodeBuilder::new("det").build(&master).unwrap();
+        let publisher = p.advertise("image").unwrap();
+
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        let _sub = s
+            .subscribe("image", move |m| got2.lock().push((m.header.seq, m.payload.to_vec())))
+            .unwrap();
+
+        publisher.publish(b"frame-a").unwrap();
+        publisher.publish(b"frame-b").unwrap();
+        wait_until(|| got.lock().len() == 2);
+        let msgs = got.lock();
+        assert_eq!(msgs[0], (1, b"frame-a".to_vec()));
+        assert_eq!(msgs[1], (2, b"frame-b".to_vec()));
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let master = Master::new();
+        let p = NodeBuilder::new("lidar").build(&master).unwrap();
+        let publisher = p.advertise("scan").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut subs = Vec::new();
+        for i in 0..4 {
+            let s = NodeBuilder::new(format!("sub{i}")).build(&master).unwrap();
+            let c = Arc::clone(&count);
+            subs.push((
+                s.clone(),
+                s.subscribe("scan", move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap(),
+            ));
+        }
+        assert!(publisher.wait_for_subscribers(4, Duration::from_secs(2)));
+        let report = publisher.publish(&[0u8; 100]).unwrap();
+        assert_eq!(report.sent, 4);
+        wait_until(|| count.load(Ordering::SeqCst) == 4);
+    }
+
+    #[test]
+    fn subscribe_unknown_topic_fails() {
+        let master = Master::new();
+        let n = NodeBuilder::new("n").build(&master).unwrap();
+        assert!(matches!(
+            n.subscribe("nope", |_| {}),
+            Err(PubSubError::NoSuchTopic(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_topic_rejected_across_nodes() {
+        let master = Master::new();
+        let a = NodeBuilder::new("a").build(&master).unwrap();
+        let b = NodeBuilder::new("b").build(&master).unwrap();
+        let _pa = a.advertise("t").unwrap();
+        assert!(matches!(
+            b.advertise("t"),
+            Err(PubSubError::TopicAlreadyPublished(_))
+        ));
+    }
+
+    #[test]
+    fn close_releases_topic_for_readvertise() {
+        let master = Master::new();
+        let a = NodeBuilder::new("a").build(&master).unwrap();
+        let pa = a.advertise("t").unwrap();
+        pa.close();
+        assert!(pa.publish(b"x").is_err());
+        let b = NodeBuilder::new("b").build(&master).unwrap();
+        let _pb = b.advertise("t").unwrap();
+    }
+
+    #[test]
+    fn manual_clock_stamps_headers() {
+        let master = Master::new();
+        let clock = ManualClock::new(7_000);
+        let p = NodeBuilder::new("p")
+            .clock(Arc::new(clock))
+            .build(&master)
+            .unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let stamps = Arc::new(Mutex::new(Vec::new()));
+        let st = Arc::clone(&stamps);
+        let _sub = s.subscribe("t", move |m| st.lock().push(m.header.stamp_ns)).unwrap();
+        publisher.publish(b"x").unwrap();
+        wait_until(|| !stamps.lock().is_empty());
+        assert!(stamps.lock()[0] >= 7_000);
+    }
+
+    #[test]
+    fn tcp_transport_end_to_end() {
+        let master = Master::new();
+        let p = NodeBuilder::new("cam")
+            .transport(TransportKind::Tcp)
+            .build(&master)
+            .unwrap();
+        let publisher = p.advertise("image").unwrap();
+        let s = NodeBuilder::new("det").build(&master).unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        let _sub = s
+            .subscribe("image", move |m| got2.lock().push(m.payload.len()))
+            .unwrap();
+        publisher.publish(&vec![9u8; 50_000]).unwrap();
+        wait_until(|| !got.lock().is_empty());
+        assert_eq!(got.lock()[0], 50_000);
+    }
+
+    #[test]
+    fn bounded_queue_drops_when_subscriber_stalls() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p").build(&master).unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        // The callback blocks until released, so the bounded queue fills
+        // and further sends drop at the publisher.
+        let gate = Arc::new((Mutex::new(false), parking_lot::Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let _sub = s
+            .subscribe_with(
+                "t",
+                SubscribeOptions::new().with_queue_size(2),
+                move |_| {
+                    let (lock, cvar) = &*gate2;
+                    let mut released = lock.lock();
+                    while !*released {
+                        cvar.wait(&mut released);
+                    }
+                },
+            )
+            .unwrap();
+        // 1 in-callback + 2 queued; everything beyond drops.
+        for _ in 0..10 {
+            publisher.publish(&[0u8; 8]).unwrap();
+        }
+        wait_until(|| p.stats().snapshot().send_dropped > 0);
+        let snap = p.stats().snapshot();
+        assert!(snap.sent <= 4, "sent {} exceeds queue bound", snap.sent);
+        assert!(snap.send_dropped >= 6);
+        // Release the subscriber so teardown is clean.
+        let (lock, cvar) = &*gate;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+
+    #[test]
+    fn polled_subscription_delivers_messages() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p").build(&master).unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let (_sub, rx) = s
+            .subscribe_queue("t", SubscribeOptions::new().with_queue_size(8))
+            .unwrap();
+        publisher.publish(b"a").unwrap();
+        publisher.publish(b"b").unwrap();
+        let m1 = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let m2 = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(m1.payload.as_ref(), b"a");
+        assert_eq!(m2.payload.as_ref(), b"b");
+        assert_eq!(m2.header.seq, 2);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p").build(&master).unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let _sub = s.subscribe("t", |_| {}).unwrap();
+        publisher.publish(&[0u8; 10]).unwrap();
+        wait_until(|| s.stats().snapshot().received == 1);
+        let ps = p.stats().snapshot();
+        assert_eq!(ps.published, 1);
+        assert_eq!(ps.sent, 1);
+        assert_eq!(ps.bytes_sent, 26); // 16-byte header + 10-byte payload
+        assert_eq!(s.stats().snapshot().bytes_received, 26);
+    }
+}

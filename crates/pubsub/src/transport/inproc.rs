@@ -1,0 +1,120 @@
+//! In-process transport: connection requests travel over a control channel
+//! to the publisher's accept loop; data flows over [`FrameDuplex`] channels.
+
+use super::{duplex_pair_with, FrameDuplex};
+use crate::wire::Handshake;
+use crate::PubSubError;
+use crossbeam::channel::{Receiver, Sender};
+
+/// A pending connection request from a subscriber.
+#[derive(Debug)]
+pub struct ConnectRequest {
+    /// The subscriber's handshake (topic, ids, extension fields).
+    pub handshake: Handshake,
+    /// The publisher-side endpoint of the new connection.
+    pub duplex: FrameDuplex,
+    /// Channel on which the publisher returns its own handshake (or an
+    /// error, e.g. when it is shutting down).
+    pub reply: Sender<Result<Handshake, PubSubError>>,
+}
+
+/// The accept side held by a publisher.
+pub type AcceptQueue = Receiver<ConnectRequest>;
+
+/// The connect side stored at the master.
+pub type ConnectHandle = Sender<ConnectRequest>;
+
+/// Creates the control channel for a new in-process publisher.
+pub fn control_channel() -> (ConnectHandle, AcceptQueue) {
+    crossbeam::channel::unbounded()
+}
+
+/// Dials an in-process publisher: sends a connect request and waits for the
+/// publisher's handshake.
+///
+/// # Errors
+///
+/// Returns [`PubSubError::Disconnected`] when the publisher is gone, or the
+/// error the publisher chose to reply with.
+pub fn dial(
+    handle: &ConnectHandle,
+    handshake: Handshake,
+) -> Result<(FrameDuplex, Handshake), PubSubError> {
+    dial_with(handle, handshake, None)
+}
+
+/// Like [`dial`], bounding the publisher→subscriber direction to
+/// `forward_cap` frames (ROS `queue_size`; full queue drops).
+///
+/// # Errors
+///
+/// Same as [`dial`].
+pub fn dial_with(
+    handle: &ConnectHandle,
+    handshake: Handshake,
+    forward_cap: Option<usize>,
+) -> Result<(FrameDuplex, Handshake), PubSubError> {
+    // The pair's first endpoint owns the bounded forward direction; hand
+    // that one to the publisher.
+    let (theirs, mine) = duplex_pair_with(forward_cap);
+    let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+    handle
+        .send(ConnectRequest {
+            handshake,
+            duplex: theirs,
+            reply: reply_tx,
+        })
+        .map_err(|_| PubSubError::Disconnected)?;
+    let peer_handshake = reply_rx.recv().map_err(|_| PubSubError::Disconnected)??;
+    Ok((mine, peer_handshake))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_and_accept() {
+        let (handle, queue) = control_channel();
+        let t = std::thread::spawn(move || {
+            let req = queue.recv().unwrap();
+            assert_eq!(req.handshake.get("subscriber"), Some("s1"));
+            req.reply
+                .send(Ok(Handshake::new().with("publisher", "p1")))
+                .unwrap();
+            // Echo one frame back.
+            let frame = req.duplex.rx.recv().unwrap();
+            req.duplex.send(frame);
+        });
+        let (duplex, peer) = dial(&handle, Handshake::new().with("subscriber", "s1")).unwrap();
+        assert_eq!(peer.get("publisher"), Some("p1"));
+        duplex.send(vec![42]);
+        assert_eq!(duplex.rx.recv().unwrap(), vec![42]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dial_dead_publisher_errors() {
+        let (handle, queue) = control_channel();
+        drop(queue);
+        assert_eq!(
+            dial(&handle, Handshake::new()).unwrap_err(),
+            PubSubError::Disconnected
+        );
+    }
+
+    #[test]
+    fn publisher_may_reject() {
+        let (handle, queue) = control_channel();
+        std::thread::spawn(move || {
+            let req = queue.recv().unwrap();
+            req.reply
+                .send(Err(PubSubError::Malformed("handshake (rejected)")))
+                .unwrap();
+        });
+        assert!(matches!(
+            dial(&handle, Handshake::new()),
+            Err(PubSubError::Malformed(_))
+        ));
+    }
+}

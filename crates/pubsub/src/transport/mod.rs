@@ -1,0 +1,135 @@
+//! Connection transports.
+//!
+//! Both transports present the same abstraction to the node layer: a
+//! [`FrameDuplex`] — a pair of crossbeam channels carrying whole frames in
+//! each direction. The in-process transport wires channels directly; the TCP
+//! transport bridges real sockets to channels with reader/writer threads
+//! (point-to-point TCP is what ROS uses, §III-B of the paper).
+//!
+//! The forward (data) direction may be **bounded** — ROS's `queue_size` —
+//! in which case a send to a full queue drops the frame instead of
+//! blocking, bounding publisher-side memory under slow subscribers.
+
+pub mod inproc;
+pub mod tcp;
+
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+
+/// Outcome of pushing a frame toward the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued for delivery.
+    Sent,
+    /// Dropped: the bounded queue was full (`queue_size` policy).
+    Dropped,
+    /// The peer is gone.
+    Disconnected,
+}
+
+/// One endpoint of a bidirectional framed connection.
+#[derive(Debug, Clone)]
+pub struct FrameDuplex {
+    /// Frames to the peer.
+    pub tx: Sender<Vec<u8>>,
+    /// Frames from the peer.
+    pub rx: Receiver<Vec<u8>>,
+    /// Whether a full outgoing queue drops frames (bounded QoS) instead of
+    /// blocking.
+    pub drop_on_full: bool,
+}
+
+impl FrameDuplex {
+    /// Sends a frame; `false` when the peer is gone. Kept for callers that
+    /// do not care about QoS drops.
+    pub fn send(&self, frame: Vec<u8>) -> bool {
+        !matches!(self.try_send(frame), SendOutcome::Disconnected)
+    }
+
+    /// Sends a frame, reporting the QoS outcome.
+    pub fn try_send(&self, frame: Vec<u8>) -> SendOutcome {
+        match self.tx.try_send(frame) {
+            Ok(()) => SendOutcome::Sent,
+            Err(TrySendError::Full(f)) => {
+                if self.drop_on_full {
+                    SendOutcome::Dropped
+                } else if self.tx.send(f).is_ok() {
+                    SendOutcome::Sent
+                } else {
+                    SendOutcome::Disconnected
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => SendOutcome::Disconnected,
+        }
+    }
+}
+
+/// Creates a connected pair of duplex endpoints over in-process channels.
+/// `forward_cap` bounds the first endpoint's outgoing (data) direction;
+/// the reverse (acknowledgement) direction is always unbounded.
+pub fn duplex_pair_with(forward_cap: Option<usize>) -> (FrameDuplex, FrameDuplex) {
+    let (fwd_tx, fwd_rx) = match forward_cap {
+        Some(cap) => crossbeam::channel::bounded(cap.max(1)),
+        None => crossbeam::channel::unbounded(),
+    };
+    let (rev_tx, rev_rx) = crossbeam::channel::unbounded();
+    (
+        FrameDuplex {
+            tx: fwd_tx,
+            rx: rev_rx,
+            drop_on_full: forward_cap.is_some(),
+        },
+        FrameDuplex {
+            tx: rev_tx,
+            rx: fwd_rx,
+            drop_on_full: false,
+        },
+    )
+}
+
+/// Creates an unbounded connected pair.
+pub fn duplex_pair() -> (FrameDuplex, FrameDuplex) {
+    duplex_pair_with(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_pair_is_cross_wired() {
+        let (a, b) = duplex_pair();
+        assert!(a.send(vec![1]));
+        assert!(b.send(vec![2]));
+        assert_eq!(b.rx.recv().unwrap(), vec![1]);
+        assert_eq!(a.rx.recv().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn send_to_dropped_peer_fails() {
+        let (a, b) = duplex_pair();
+        drop(b);
+        assert!(!a.send(vec![1]));
+        assert_eq!(a.try_send(vec![2]), SendOutcome::Disconnected);
+    }
+
+    #[test]
+    fn bounded_forward_drops_when_full() {
+        let (a, b) = duplex_pair_with(Some(2));
+        assert_eq!(a.try_send(vec![1]), SendOutcome::Sent);
+        assert_eq!(a.try_send(vec![2]), SendOutcome::Sent);
+        assert_eq!(a.try_send(vec![3]), SendOutcome::Dropped);
+        assert_eq!(b.rx.recv().unwrap(), vec![1]);
+        assert_eq!(a.try_send(vec![4]), SendOutcome::Sent);
+        // Reverse direction stays unbounded.
+        for i in 0..100u8 {
+            assert_eq!(b.try_send(vec![i]), SendOutcome::Sent);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let (a, _b) = duplex_pair_with(Some(0));
+        assert_eq!(a.try_send(vec![1]), SendOutcome::Sent);
+        assert_eq!(a.try_send(vec![2]), SendOutcome::Dropped);
+    }
+}

@@ -1,0 +1,128 @@
+//! Identifier newtypes: node ids and topic names.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Unique identifier of a software component (a ROS node in the paper).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(Arc<str>);
+
+impl NodeId {
+    /// Creates a node id.
+    pub fn new(name: impl Into<String>) -> Self {
+        NodeId(Arc::from(name.into().into_boxed_str()))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId::new(s)
+    }
+}
+
+impl From<String> for NodeId {
+    fn from(s: String) -> Self {
+        NodeId::new(s)
+    }
+}
+
+impl AsRef<str> for NodeId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A topic name. Topics double as the paper's unique data *types*: the
+/// master enforces that at most one publisher owns each topic, so a correct
+/// type label uniquely identifies the producer (§II of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topic(Arc<str>);
+
+impl Topic {
+    /// Creates a topic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topic(Arc::from(name.into().into_boxed_str()))
+    }
+
+    /// The topic as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Topic({})", self.0)
+    }
+}
+
+impl From<&str> for Topic {
+    fn from(s: &str) -> Self {
+        Topic::new(s)
+    }
+}
+
+impl From<String> for Topic {
+    fn from(s: String) -> Self {
+        Topic::new(s)
+    }
+}
+
+impl AsRef<str> for Topic {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_compare_by_content() {
+        assert_eq!(NodeId::new("a"), NodeId::from("a"));
+        assert_ne!(NodeId::new("a"), NodeId::new("b"));
+        let mut set = HashSet::new();
+        set.insert(Topic::new("image"));
+        assert!(set.contains(&Topic::from("image")));
+    }
+
+    #[test]
+    fn display_is_bare_name() {
+        assert_eq!(NodeId::new("camera").to_string(), "camera");
+        assert_eq!(Topic::new("scan").to_string(), "scan");
+        assert_eq!(format!("{:?}", Topic::new("scan")), "Topic(scan)");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let t = Topic::new("image");
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert_eq!(t.as_str(), "image");
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for wire formats and messages.
+
+use adlp_pubsub::wire::{encode_frame, read_frame, write_frame, Handshake};
+use adlp_pubsub::{Header, Message};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn message_roundtrip(seq in any::<u64>(), stamp in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let msg = Message::new(Header { seq, stamp_ns: stamp }, payload);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn frame_roundtrip_sequences(bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 0..10)) {
+        let mut buf = Vec::new();
+        for b in &bodies {
+            write_frame(&mut buf, b).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for b in &bodies {
+            prop_assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b.clone());
+        }
+        prop_assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_overhead_constant(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert_eq!(encode_frame(&body).len(), body.len() + 4);
+    }
+
+    #[test]
+    fn handshake_roundtrip(fields in proptest::collection::btree_map("[a-z_]{1,12}", "[ -~]{0,32}", 0..8)) {
+        let mut hs = Handshake::new();
+        for (k, v) in &fields {
+            hs = hs.with(k.clone(), v.clone());
+        }
+        let decoded = Handshake::decode(&hs.encode()).unwrap();
+        for (k, v) in &fields {
+            prop_assert_eq!(decoded.get(k), Some(v.as_str()));
+        }
+    }
+
+    #[test]
+    fn truncated_message_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Message::decode(&bytes);
+        let _ = Handshake::decode(&bytes);
+        let mut cur = Cursor::new(bytes);
+        let _ = read_frame(&mut cur);
+    }
+}

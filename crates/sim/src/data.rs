@@ -1,0 +1,118 @@
+//! Synthetic sensor payloads matching the paper's data types.
+//!
+//! Table I/III use three representative types; `|D|` below is the
+//! serialized message size *including* the 16-byte header:
+//!
+//! | Type     | \|D\| (bytes) | payload bytes |
+//! |----------|---------------|---------------|
+//! | Steering | 20            | 4             |
+//! | Scan     | 8 705         | 8 689         |
+//! | Image    | 921 641       | 921 625       |
+
+use adlp_pubsub::HEADER_LEN;
+
+/// The paper's serialized size for a Steering message.
+pub const STEERING_BODY_LEN: usize = 20;
+/// The paper's serialized size for a LIDAR Scan message.
+pub const SCAN_BODY_LEN: usize = 8_705;
+/// The paper's serialized size for a camera Image message.
+pub const IMAGE_BODY_LEN: usize = 921_641;
+
+/// A data type published in the self-driving application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// 4-byte steering angle (total body 20 B).
+    Steering,
+    /// LIDAR scan (total body 8 705 B).
+    Scan,
+    /// Camera image (total body 921 641 B).
+    Image,
+    /// Arbitrary body size (≥ 16) for sweeps.
+    Custom(usize),
+}
+
+impl PayloadKind {
+    /// Total serialized body size `|D|` (header + payload).
+    pub fn body_len(self) -> usize {
+        match self {
+            PayloadKind::Steering => STEERING_BODY_LEN,
+            PayloadKind::Scan => SCAN_BODY_LEN,
+            PayloadKind::Image => IMAGE_BODY_LEN,
+            PayloadKind::Custom(n) => n.max(HEADER_LEN),
+        }
+    }
+
+    /// Application payload size (body minus the 16-byte header).
+    pub fn payload_len(self) -> usize {
+        self.body_len() - HEADER_LEN
+    }
+
+    /// Human-readable label (matching the paper's tables).
+    pub fn label(self) -> String {
+        match self {
+            PayloadKind::Steering => "Steering".into(),
+            PayloadKind::Scan => "Scan".into(),
+            PayloadKind::Image => "Image".into(),
+            PayloadKind::Custom(n) => format!("Custom({n})"),
+        }
+    }
+
+    /// Generates a deterministic payload for the `tick`-th publication: a
+    /// cheap xorshift fill so contents differ per tick (real sensor frames
+    /// never repeat) without measurable generation cost.
+    pub fn generate(self, tick: u64) -> Vec<u8> {
+        let n = self.payload_len();
+        let mut out = vec![0u8; n];
+        let mut state = tick.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        // Fill 8 bytes at a time; the tail is handled by the same word.
+        let mut i = 0;
+        while i < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bytes = state.to_le_bytes();
+            let take = (n - i).min(8);
+            out[i..i + take].copy_from_slice(&bytes[..take]);
+            i += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_are_exact() {
+        assert_eq!(PayloadKind::Steering.body_len(), 20);
+        assert_eq!(PayloadKind::Scan.body_len(), 8705);
+        assert_eq!(PayloadKind::Image.body_len(), 921_641);
+        assert_eq!(PayloadKind::Steering.payload_len(), 4);
+    }
+
+    #[test]
+    fn custom_sizes_clamped_to_header() {
+        assert_eq!(PayloadKind::Custom(10).body_len(), 16);
+        assert_eq!(PayloadKind::Custom(1000).body_len(), 1000);
+        assert_eq!(PayloadKind::Custom(1000).payload_len(), 984);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_tick_dependent() {
+        let a1 = PayloadKind::Scan.generate(1);
+        let a2 = PayloadKind::Scan.generate(1);
+        let b = PayloadKind::Scan.generate(2);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.len(), PayloadKind::Scan.payload_len());
+    }
+
+    #[test]
+    fn generated_image_has_full_size() {
+        assert_eq!(
+            PayloadKind::Image.generate(7).len(),
+            IMAGE_BODY_LEN - HEADER_LEN
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! The scenario runner: builds an [`AppSpec`] under a scheme/behavior
+//! assignment, runs it for a wall-clock window, and collects every metric
+//! the paper's evaluation reports.
+
+use crate::app::{AppSpec, DriveSpec};
+use crate::metrics::{CpuProbe, ThreadCpuProbe};
+use adlp_audit::{AuditReport, Auditor};
+use adlp_core::{AdlpNode, AdlpNodeBuilder, BehaviorProfile, Scheme};
+use adlp_logger::{LogServer, LoggerHandle};
+use adlp_pubsub::stats::StatsSnapshot;
+use adlp_pubsub::{Master, Publisher, TransportKind};
+use adlp_logger::stats::VolumeSnapshot;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A configured experiment.
+#[derive(Debug)]
+pub struct Scenario {
+    app: AppSpec,
+    default_scheme: Scheme,
+    schemes: BTreeMap<String, Scheme>,
+    behaviors: BTreeMap<String, BehaviorProfile>,
+    duration: Duration,
+    warmup: Duration,
+    key_bits: usize,
+    transport: TransportKind,
+    seed: u64,
+    /// Node whose thread-attributed CPU should be measured.
+    cpu_node: Option<String>,
+    base_stores_hash: bool,
+}
+
+/// Everything measured during a run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Wall-clock measurement window (after warmup).
+    pub elapsed: Duration,
+    /// Log volume accounting (per topic/component byte counts).
+    pub volume: VolumeSnapshot,
+    /// Per-node middleware statistics.
+    pub node_stats: BTreeMap<String, StatsSnapshot>,
+    /// Number of stored log records.
+    pub store_len: usize,
+    /// Process CPU utilization over the window, percent of one core.
+    pub process_cpu_percent: f64,
+    /// Thread-attributed CPU of the `cpu_node`, if one was named.
+    pub node_cpu_percent: Option<f64>,
+    /// Handle to the logger (store, keys, stats) for further analysis.
+    pub logger: LoggerHandle,
+    /// Topic → publisher topology of the run.
+    pub topology: Vec<(adlp_pubsub::Topic, adlp_pubsub::NodeId)>,
+    /// Per-subscription mean latency (topic, subscriber) → mean ns, from
+    /// header stamps.
+    pub mean_latency_ns: BTreeMap<(String, String), f64>,
+    /// Raw per-subscription latency samples (ns), capped at 100k per link;
+    /// source data for percentile reporting.
+    pub latency_samples_ns: BTreeMap<(String, String), Vec<u64>>,
+}
+
+impl ScenarioReport {
+    /// Runs the auditor over everything this scenario logged.
+    pub fn audit(&self) -> AuditReport {
+        Auditor::new(self.logger.keys().clone())
+            .with_topology(self.topology.iter().cloned())
+            .audit_store(self.logger.store())
+    }
+
+    /// System-wide log generation rate in Mb/s (Table IV's quantity).
+    pub fn log_rate_mbps(&self) -> f64 {
+        self.volume.rate_mbps(self.elapsed)
+    }
+
+    /// The q-th latency percentile (0.0–1.0) for a link, in milliseconds.
+    pub fn latency_percentile_ms(&self, topic: &str, subscriber: &str, q: f64) -> Option<f64> {
+        let samples = self
+            .latency_samples_ns
+            .get(&(topic.to_string(), subscriber.to_string()))?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx] as f64 / 1e6)
+    }
+}
+
+impl Scenario {
+    /// Creates a scenario over an application graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails validation.
+    pub fn new(app: AppSpec) -> Self {
+        app.validate().expect("invalid application graph");
+        Scenario {
+            app,
+            default_scheme: Scheme::adlp(),
+            schemes: BTreeMap::new(),
+            behaviors: BTreeMap::new(),
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(200),
+            key_bits: 1024,
+            transport: TransportKind::InProc,
+            seed: 42,
+            cpu_node: None,
+            base_stores_hash: false,
+        }
+    }
+
+    /// Sets the scheme for every node.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.default_scheme = scheme;
+        self
+    }
+
+    /// Overrides the scheme for one node.
+    pub fn scheme_for(mut self, node: &str, scheme: Scheme) -> Self {
+        self.schemes.insert(node.into(), scheme);
+        self
+    }
+
+    /// Installs a behavior profile for one node.
+    pub fn behavior(mut self, node: &str, profile: BehaviorProfile) -> Self {
+        self.behaviors.insert(node.into(), profile);
+        self
+    }
+
+    /// Measurement window (excluding warmup).
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Warmup before measurement starts.
+    pub fn warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// RSA key width (1024 = paper; tests use 512).
+    pub fn key_bits(mut self, bits: usize) -> Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Transport selection.
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// RNG seed for key generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Names the node whose thread-attributed CPU is measured (Figure 14's
+    /// "publisher CPU utilization").
+    pub fn measure_cpu_of(mut self, node: &str) -> Self {
+        self.cpu_node = Some(node.into());
+        self
+    }
+
+    /// Base-scheme subscribers store `h(D)` instead of the data (Table IV's
+    /// configuration).
+    pub fn base_stores_hash(mut self, yes: bool) -> Self {
+        self.base_stores_hash = yes;
+        self
+    }
+
+    /// Builds the graph, runs it, and collects the report.
+    pub fn run(&self) -> ScenarioReport {
+        let master = Master::new();
+        let server = LogServer::spawn();
+        let handle = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        // Build nodes.
+        let mut nodes: BTreeMap<String, Arc<AdlpNode>> = BTreeMap::new();
+        for spec in &self.app.nodes {
+            let scheme = self
+                .schemes
+                .get(&spec.id)
+                .unwrap_or(&self.default_scheme)
+                .clone();
+            let behavior = self
+                .behaviors
+                .get(&spec.id)
+                .cloned()
+                .unwrap_or_else(BehaviorProfile::faithful);
+            let node = AdlpNodeBuilder::new(spec.id.as_str())
+                .scheme(scheme)
+                .behavior(behavior)
+                .key_bits(self.key_bits)
+                .transport(self.transport)
+                .base_subscriber_stores_hash(self.base_stores_hash)
+                .build(&master, &handle, &mut rng)
+                .expect("node construction");
+            nodes.insert(spec.id.clone(), Arc::new(node));
+        }
+
+        // Advertise every topic.
+        let mut publishers: BTreeMap<String, Arc<Publisher>> = BTreeMap::new();
+        for spec in &self.app.nodes {
+            let node = &nodes[&spec.id];
+            for p in &spec.publishes {
+                publishers.insert(
+                    p.topic.clone(),
+                    Arc::new(node.advertise(p.topic.as_str()).expect("advertise")),
+                );
+            }
+        }
+
+        // Latency accounting per (topic, subscriber): raw samples, capped.
+        type LatCell = Arc<parking_lot::Mutex<Vec<u64>>>;
+        const MAX_SAMPLES: usize = 100_000;
+        let mut latencies: BTreeMap<(String, String), LatCell> = BTreeMap::new();
+
+        // Wire subscriptions; trigger-driven publications publish from the
+        // subscriber callback (the node's `sr-` thread).
+        let mut subscriptions = Vec::new();
+        for spec in &self.app.nodes {
+            let node = &nodes[&spec.id];
+            for input in spec.all_inputs() {
+                // Outputs triggered by this input.
+                let outs: Vec<_> = spec
+                    .publishes
+                    .iter()
+                    .filter(|p| matches!(&p.drive, DriveSpec::OnInput { topic } if *topic == input))
+                    .map(|p| {
+                        (
+                            Arc::clone(&publishers[&p.topic]),
+                            p.payload,
+                            Arc::new(AtomicU64::new(0)),
+                        )
+                    })
+                    .collect();
+                let cell: LatCell = Arc::new(parking_lot::Mutex::new(Vec::new()));
+                latencies.insert((input.clone(), spec.id.clone()), Arc::clone(&cell));
+                let clock = adlp_pubsub::SystemClock;
+                let sub = node
+                    .subscribe(input.as_str(), move |msg| {
+                        use adlp_pubsub::Clock;
+                        let now = clock.now_ns();
+                        if now > msg.header.stamp_ns {
+                            let mut samples = cell.lock();
+                            if samples.len() < MAX_SAMPLES {
+                                samples.push(now - msg.header.stamp_ns);
+                            }
+                        }
+                        for (publisher, payload, tick) in &outs {
+                            let t = tick.fetch_add(1, Ordering::Relaxed);
+                            let _ = publisher.publish(&payload.generate(t));
+                        }
+                    })
+                    .expect("subscribe");
+                subscriptions.push(sub);
+            }
+        }
+
+        // Periodic drivers.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut drivers = Vec::new();
+        for spec in &self.app.nodes {
+            for p in &spec.publishes {
+                let DriveSpec::Periodic { hz } = p.drive else {
+                    continue;
+                };
+                let publisher = Arc::clone(&publishers[&p.topic]);
+                let payload = p.payload;
+                let stop2 = Arc::clone(&stop);
+                let period = Duration::from_secs_f64(1.0 / hz);
+                drivers.push(
+                    std::thread::Builder::new()
+                        .name(format!("dr-{}", spec.id))
+                        .spawn(move || {
+                            let mut tick = 0u64;
+                            let mut next = Instant::now();
+                            while !stop2.load(Ordering::SeqCst) {
+                                let _ = publisher.publish(&payload.generate(tick));
+                                tick += 1;
+                                next += period;
+                                let now = Instant::now();
+                                if next > now {
+                                    std::thread::sleep(next - now);
+                                } else {
+                                    next = now; // cannot keep up; don't spiral
+                                }
+                            }
+                        })
+                        .expect("spawn driver"),
+                );
+            }
+        }
+
+        // Warmup, then measure.
+        std::thread::sleep(self.warmup);
+        handle.stats().reset();
+        let cpu = CpuProbe::start();
+        let node_cpu = self
+            .cpu_node
+            .as_deref()
+            .map(ThreadCpuProbe::for_node);
+        let t0 = Instant::now();
+        std::thread::sleep(self.duration);
+        let elapsed = t0.elapsed();
+        let process_cpu_percent = cpu.utilization_percent();
+        let node_cpu_percent = node_cpu.map(|p| p.utilization_percent());
+
+        // Tear down: stop drivers, close publishers, flush logging.
+        stop.store(true, Ordering::SeqCst);
+        for d in drivers {
+            let _ = d.join();
+        }
+        let topology = master.topology();
+        for (_, p) in publishers.iter() {
+            p.close();
+        }
+        for sub in &mut subscriptions {
+            sub.close();
+        }
+        for node in nodes.values() {
+            let _ = node.flush();
+        }
+
+        let mut node_stats = BTreeMap::new();
+        for (id, node) in &nodes {
+            node_stats.insert(id.clone(), node.stats().snapshot());
+        }
+        let mut mean_latency_ns = BTreeMap::new();
+        let mut latency_samples_ns = BTreeMap::new();
+        for (k, cell) in latencies {
+            let samples = std::mem::take(&mut *cell.lock());
+            if !samples.is_empty() {
+                let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+                mean_latency_ns.insert(k.clone(), mean);
+            }
+            latency_samples_ns.insert(k, samples);
+        }
+
+        ScenarioReport {
+            elapsed,
+            volume: handle.stats().snapshot(),
+            node_stats,
+            store_len: handle.store().len(),
+            process_cpu_percent,
+            node_cpu_percent,
+            logger: handle,
+            topology,
+            mean_latency_ns,
+            latency_samples_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{fanout_app, self_driving_app};
+    use crate::data::PayloadKind;
+
+    #[test]
+    fn fanout_scenario_runs_and_logs() {
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(100), 2, 50.0))
+            .key_bits(512)
+            .duration(Duration::from_millis(500))
+            .run();
+        // The feeder published, both sinks received, entries were logged.
+        assert!(report.node_stats["feeder"].published > 5);
+        assert!(report.node_stats["sink0"].received > 5);
+        assert!(report.store_len > 10);
+        assert!(report.volume.bytes > 0);
+        let audit = report.audit();
+        assert!(audit.all_clear(), "faithful run must audit clean");
+    }
+
+    #[test]
+    fn self_driving_app_flows_end_to_end() {
+        let report = Scenario::new(self_driving_app())
+            .key_bits(512)
+            .duration(Duration::from_millis(800))
+            .run();
+        // Data flowed all the way to the actuator.
+        assert!(
+            report.node_stats["actuator"].received > 0,
+            "stats: {:?}",
+            report.node_stats
+        );
+        // Latencies were recorded for the image link.
+        assert!(report
+            .mean_latency_ns
+            .keys()
+            .any(|(t, s)| t == "image" && s == "lanedet"));
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(128), 1, 100.0))
+            .key_bits(512)
+            .duration(Duration::from_millis(500))
+            .run();
+        let p50 = report.latency_percentile_ms("data", "sink0", 0.5).unwrap();
+        let p99 = report.latency_percentile_ms("data", "sink0", 0.99).unwrap();
+        assert!(p50 > 0.0);
+        assert!(p99 >= p50, "p99 {p99} must dominate p50 {p50}");
+        assert!(report.latency_percentile_ms("ghost", "sink0", 0.5).is_none());
+        // Mean sits within the sample range.
+        let mean = report.mean_latency_ns[&("data".into(), "sink0".into())] / 1e6;
+        let p0 = report.latency_percentile_ms("data", "sink0", 0.0).unwrap();
+        let p100 = report.latency_percentile_ms("data", "sink0", 1.0).unwrap();
+        assert!(mean >= p0 && mean <= p100);
+    }
+
+    #[test]
+    fn no_logging_scheme_produces_empty_store() {
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 1, 50.0))
+            .scheme(Scheme::NoLogging)
+            .duration(Duration::from_millis(300))
+            .run();
+        assert_eq!(report.store_len, 0);
+        assert!(report.node_stats["sink0"].received > 0);
+    }
+
+    #[test]
+    fn base_scheme_logs_but_without_signatures() {
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 1, 50.0))
+            .scheme(Scheme::Base)
+            .duration(Duration::from_millis(300))
+            .run();
+        assert!(report.store_len > 0);
+        for e in report.logger.store().entries() {
+            assert!(!e.unwrap().is_adlp());
+        }
+    }
+
+    #[test]
+    fn unfaithful_node_detected_in_scenario() {
+        use adlp_core::{LinkRole, LogBehavior};
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 1, 50.0))
+            .key_bits(512)
+            .behavior(
+                "sink0",
+                BehaviorProfile::faithful().with_link(
+                    LinkRole::Subscriber,
+                    adlp_pubsub::Topic::new("data"),
+                    LogBehavior::Hide,
+                ),
+            )
+            .duration(Duration::from_millis(400))
+            .run();
+        let audit = report.audit();
+        assert!(!audit.all_clear());
+        let unfaithful = audit.unfaithful_components();
+        assert_eq!(unfaithful.len(), 1);
+        assert_eq!(unfaithful[0].0.as_str(), "sink0");
+    }
+}

@@ -1,0 +1,106 @@
+//! Everything over real wires and disks: TCP pub/sub transport, a TCP log
+//! server, durable identities, log persistence, and an RFC 6962
+//! consistency proof that the on-disk checkpoint is an honest prefix of
+//! the final log.
+//!
+//! ```text
+//! cargo run --release --example remote_pipeline
+//! ```
+
+use adlp::audit::Auditor;
+use adlp::core::{AdlpNodeBuilder, IdentityStore, Scheme};
+use adlp::logger::merkle::MerkleTree;
+use adlp::logger::{persist, LogServer};
+use adlp::pubsub::{Master, TransportKind};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let master = Master::new();
+    let server = LogServer::spawn();
+    let handle = server.handle();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+
+    // Durable identities: a rebooted component keeps its key.
+    let tmp = std::env::temp_dir().join(format!("adlp-remote-{}", std::process::id()));
+    let keystore = IdentityStore::open(&tmp)?;
+    let cam_ident = keystore.load_or_generate(&"camera".into(), 1024, &mut rng)?;
+    let det_ident = keystore.load_or_generate(&"detector".into(), 1024, &mut rng)?;
+    println!("identities persisted under {}", tmp.display());
+
+    let camera = AdlpNodeBuilder::new("camera")
+        .scheme(Scheme::adlp())
+        .identity(cam_ident)
+        .transport(TransportKind::Tcp)
+        .build(&master, &handle, &mut rng)?;
+    let detector = AdlpNodeBuilder::new("detector")
+        .scheme(Scheme::adlp())
+        .identity(det_ident)
+        .build(&master, &handle, &mut rng)?;
+
+    let publisher = camera.advertise("image")?;
+    let _sub = detector.subscribe("image", |_| {})?;
+
+    // First batch of frames, then a durable checkpoint.
+    for i in 0..4u8 {
+        while camera.pending_acks() > 0 {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        publisher.publish(&vec![i; 2048])?;
+    }
+    while camera.pending_acks() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    camera.flush()?;
+    detector.flush()?;
+
+    let ckpt_path = tmp.join("checkpoint.adlp");
+    persist::save_store(handle.store(), &ckpt_path)?;
+    let ckpt_leaves = handle.store().record_hashes();
+    let ckpt_root = MerkleTree::build(&ckpt_leaves).root().unwrap();
+    println!(
+        "checkpoint: {} entries persisted, merkle root {ckpt_root}",
+        ckpt_leaves.len()
+    );
+
+    // Second batch.
+    for i in 4..8u8 {
+        while camera.pending_acks() > 0 {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        publisher.publish(&vec![i; 2048])?;
+    }
+    while camera.pending_acks() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    camera.flush()?;
+    detector.flush()?;
+
+    // Prove the checkpoint is a prefix of the final log (append-only).
+    let final_leaves = handle.store().record_hashes();
+    let final_root = MerkleTree::build(&final_leaves).root().unwrap();
+    let proof = MerkleTree::prove_consistency(&final_leaves, ckpt_leaves.len()).unwrap();
+    let consistent = MerkleTree::verify_consistency(&ckpt_root, &final_root, &proof);
+    println!(
+        "final log: {} entries, consistency with checkpoint: {} ({} proof nodes)",
+        final_leaves.len(),
+        consistent,
+        proof.nodes.len()
+    );
+    assert!(consistent);
+
+    // Reload the checkpoint from disk and audit the final log.
+    let reloaded = persist::load_store(&ckpt_path)?;
+    println!("reloaded checkpoint: {} entries, chain ok: {}", reloaded.len(), reloaded.verify_chain().is_ok());
+
+    let report = Auditor::new(handle.keys().clone())
+        .with_topology(master.topology())
+        .audit_store(handle.store());
+    println!(
+        "audit: {} links, all clear = {}",
+        report.link_count(),
+        report.all_clear()
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+    Ok(())
+}

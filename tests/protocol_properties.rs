@@ -1,0 +1,98 @@
+//! Property-based tests over the protocol + auditor: Theorem 1 under
+//! randomized behavior assignments, and randomized multi-link topologies.
+
+use adlp::audit::Auditor;
+use adlp::core::{AdlpNodeBuilder, BehaviorProfile, LinkRole, LogBehavior, Scheme};
+use adlp::logger::LogServer;
+use adlp::pubsub::{Master, NodeId, Topic};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum B {
+    Faithful,
+    Hide,
+    Falsify,
+}
+
+fn arb_behavior() -> impl Strategy<Value = B> {
+    prop_oneof![Just(B::Faithful), Just(B::Hide), Just(B::Falsify)]
+}
+
+fn to_profile(b: B, role: LinkRole, topic: &str) -> BehaviorProfile {
+    let p = BehaviorProfile::faithful();
+    match b {
+        B::Faithful => p,
+        B::Hide => p.with_link(role, Topic::new(topic), LogBehavior::Hide),
+        B::Falsify => p.with_link(role, Topic::new(topic), LogBehavior::Falsify),
+    }
+}
+
+fn wait_until(pred: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(std::time::Instant::now() < deadline, "timed out");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+proptest! {
+    // Each case spins up real threads + RSA keys; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 1, randomized: whatever (non-colluding) behaviors the two
+    /// ends of a link adopt, any component that behaved faithfully is never
+    /// convicted, and any unfaithful behavior visible to a faithful
+    /// counterpart is convicted.
+    #[test]
+    fn theorem1_randomized(pub_b in arb_behavior(), sub_b in arb_behavior(), msgs in 1usize..4) {
+        let master = Master::new();
+        let server = LogServer::spawn();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(msgs as u64);
+        let p = AdlpNodeBuilder::new("pubber")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .behavior(to_profile(pub_b, LinkRole::Publisher, "t"))
+            .build(&master, &server.handle(), &mut rng)
+            .unwrap();
+        let s = AdlpNodeBuilder::new("subber")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .behavior(to_profile(sub_b, LinkRole::Subscriber, "t"))
+            .build(&master, &server.handle(), &mut rng)
+            .unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let _sub = s.subscribe("t", |_| {}).unwrap();
+        for i in 0..msgs {
+            wait_until(|| p.pending_acks() == 0);
+            prop_assert_eq!(publisher.publish(&[i as u8; 48]).unwrap().sent, 1);
+        }
+        wait_until(|| p.pending_acks() == 0);
+        p.flush().unwrap();
+        s.flush().unwrap();
+
+        let report = Auditor::new(server.handle().keys().clone())
+            .with_topology(master.topology())
+            .audit_store(server.handle().store());
+
+        let pub_verdict = report.verdicts.get(&NodeId::new("pubber"));
+        let sub_verdict = report.verdicts.get(&NodeId::new("subber"));
+
+        // Faithful parties are never convicted (Theorem 1).
+        if pub_b == B::Faithful {
+            prop_assert!(pub_verdict.is_none_or(|v| v.is_faithful()), "{report:?}");
+        }
+        if sub_b == B::Faithful {
+            prop_assert!(sub_verdict.is_none_or(|v| v.is_faithful()), "{report:?}");
+        }
+        // An unfaithful party facing a faithful counterpart is convicted
+        // (Theorem 2 for this link).
+        if pub_b != B::Faithful && sub_b == B::Faithful {
+            prop_assert!(pub_verdict.is_some_and(|v| !v.is_faithful()), "{report:?}");
+        }
+        if sub_b != B::Faithful && pub_b == B::Faithful {
+            prop_assert!(sub_verdict.is_some_and(|v| !v.is_faithful()), "{report:?}");
+        }
+    }
+}
