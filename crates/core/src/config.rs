@@ -1,4 +1,14 @@
 //! Logging-scheme configuration.
+//!
+//! Besides the scheme selector this module re-exports the fault-tolerance
+//! knobs from the transport and logging layers, so every tunable a
+//! deployment needs lives behind one import path:
+//! [`ResilienceConfig`] (ack deadlines, retry/backoff, socket timeouts),
+//! [`FaultConfig`] (deterministic fault injection), and
+//! [`ReconnectConfig`] (log-client outage buffering and redial policy).
+
+pub use adlp_logger::ReconnectConfig;
+pub use adlp_pubsub::{FaultConfig, ResilienceConfig};
 
 /// Which logging scheme a node runs — the three columns of the paper's
 /// CPU-overhead comparison (Figure 14, Table II).

@@ -183,7 +183,7 @@ impl LinkInterceptor for AdlpInterceptor {
         let mut current = self.current.lock();
         let needs_new = current
             .get(&conn.topic)
-            .map_or(true, |c| c.seq != seq);
+            .is_none_or(|c| c.seq != seq);
         if needs_new {
             // New publication: hash + sign once. The signature covers the
             // binding digest h(seq ‖ h(D)) so auditors can recompute it
@@ -240,7 +240,7 @@ impl LinkInterceptor for AdlpInterceptor {
         // of every n-th publication.
         if let Some(n) = self.behavior.corrupt_signature_every {
             let count = self.sends_counter.fetch_add(1, Ordering::Relaxed) + 1;
-            if count % n == 0 {
+            if count.is_multiple_of(n) {
                 if let Some(last) = frame.last_mut() {
                     *last ^= 0xff;
                 }
@@ -368,6 +368,27 @@ impl LinkInterceptor for AdlpInterceptor {
             peer_hash,
             peer_sig,
         });
+    }
+
+    fn on_disconnect(&self, conn: &ConnectionInfo) {
+        // The link died (peer vanished, or resilience retries were
+        // exhausted): the publication still awaiting its ack becomes
+        // unacked-publication evidence immediately, instead of lingering
+        // until node shutdown. The auditor classifies it exactly like a
+        // withheld ack — a dead subscriber and a mute one are
+        // indistinguishable, and both leave the publisher provably honest.
+        let key = (conn.topic.clone(), conn.subscriber.clone());
+        let removed = self.pending.lock().remove(&key);
+        if let Some(p) = removed {
+            self.sink.submit(LogEvent::UnackedPublication {
+                topic: key.0,
+                seq: p.seq,
+                stamp_ns: p.stamp_ns,
+                body: p.body,
+                own_sig: p.sig,
+                subscriber: key.1,
+            });
+        }
     }
 }
 

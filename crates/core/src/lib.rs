@@ -70,8 +70,9 @@ pub mod logging;
 pub mod node;
 pub mod protocol;
 
+pub use adlp_pubsub::{FaultStats, LinkEvent, LinkHealth};
 pub use behavior::{BehaviorProfile, LinkRole, LogBehavior};
-pub use config::{AdlpConfig, Scheme};
+pub use config::{AdlpConfig, FaultConfig, ReconnectConfig, ResilienceConfig, Scheme};
 pub use identity::ComponentIdentity;
 pub use keystore::IdentityStore;
 pub use node::{AdlpNode, AdlpNodeBuilder};

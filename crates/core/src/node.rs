@@ -12,8 +12,9 @@ use crate::AdlpError;
 use adlp_crypto::Signature;
 use adlp_logger::LoggerHandle;
 use adlp_pubsub::{
-    Clock, Master, Message, Node, NodeBuilder, NodeId, NodeStats, Publisher, SubscribeOptions,
-    Subscription, SystemClock, Topic, TransportKind,
+    Clock, FaultConfig, FaultStats, LinkEvent, Master, Message, Node, NodeBuilder, NodeId,
+    NodeStats, Publisher, ResilienceConfig, SubscribeOptions, Subscription, SystemClock, Topic,
+    TransportKind,
 };
 use rand::RngCore;
 use std::sync::Arc;
@@ -32,6 +33,8 @@ pub struct AdlpNodeBuilder {
     key_bits: usize,
     identity: Option<ComponentIdentity>,
     base_stores_hash: bool,
+    resilience: ResilienceConfig,
+    faults: Option<FaultConfig>,
 }
 
 impl AdlpNodeBuilder {
@@ -46,7 +49,24 @@ impl AdlpNodeBuilder {
             key_bits: PAPER_KEY_BITS,
             identity: None,
             base_stores_hash: false,
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
+    }
+
+    /// Configures ack deadlines, retries and I/O timeouts for links this
+    /// node publishes on (passed through to the middleware; defaults inert,
+    /// preserving the paper's indefinite withhold-until-ack penalty).
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Installs deterministic fault injection on the node's outgoing links
+    /// (testing/simulation only).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Selects the logging scheme.
@@ -118,12 +138,19 @@ impl AdlpNodeBuilder {
         rng: &mut R,
     ) -> Result<AdlpNode, AdlpError> {
         let behavior = Arc::new(self.behavior);
+        let make_builder = || {
+            let mut nb = NodeBuilder::new(self.id.clone())
+                .clock(Arc::clone(&self.clock))
+                .transport(self.transport)
+                .resilience(self.resilience.clone());
+            if let Some(f) = &self.faults {
+                nb = nb.faults(f.clone());
+            }
+            nb
+        };
         let (node, identity, logging, adlp) = match &self.scheme {
             Scheme::NoLogging => {
-                let node = NodeBuilder::new(self.id.clone())
-                    .clock(Arc::clone(&self.clock))
-                    .transport(self.transport)
-                    .build(master)?;
+                let node = make_builder().build(master)?;
                 (node, None, None, None)
             }
             Scheme::Base => {
@@ -138,11 +165,7 @@ impl AdlpNodeBuilder {
                     Arc::clone(&self.clock),
                     logging.sink(),
                 ));
-                let node = NodeBuilder::new(self.id.clone())
-                    .clock(Arc::clone(&self.clock))
-                    .transport(self.transport)
-                    .interceptor(interceptor)
-                    .build(master)?;
+                let node = make_builder().interceptor(interceptor).build(master)?;
                 (node, None, Some(logging), None)
             }
             Scheme::Adlp(config) => {
@@ -170,9 +193,7 @@ impl AdlpNodeBuilder {
                     )
                     .with_keys(logger.keys().clone()),
                 );
-                let node = NodeBuilder::new(self.id.clone())
-                    .clock(Arc::clone(&self.clock))
-                    .transport(self.transport)
+                let node = make_builder()
                     .interceptor(Arc::clone(&interceptor) as Arc<dyn adlp_pubsub::LinkInterceptor>)
                     .build(master)?;
                 (node, Some(identity), Some(logging), Some(interceptor))
@@ -219,6 +240,18 @@ impl AdlpNode {
     /// Middleware traffic counters.
     pub fn stats(&self) -> &NodeStats {
         self.node.stats()
+    }
+
+    /// Drains the link-health events (ack timeouts, degradations,
+    /// recoveries, teardowns) accumulated since the last call.
+    pub fn take_link_events(&self) -> Vec<LinkEvent> {
+        self.node.take_events()
+    }
+
+    /// Counters for injected transport faults (all zero unless the node was
+    /// built with [`AdlpNodeBuilder::faults`]).
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        self.node.fault_stats()
     }
 
     /// Claims a topic.
@@ -638,6 +671,58 @@ mod tests {
             assert_eq!(r.sent, 1);
         }
         wait_until(|| s.stats().snapshot().received == 4);
+    }
+
+    #[test]
+    fn ack_deadline_tears_down_mute_link_and_flushes_evidence() {
+        // With a configured ack deadline, a subscriber that never acks is
+        // torn down after the retries run out, and the pending publication
+        // is flushed as unproven evidence immediately — the auditor sees
+        // the same record it would after an explicit flush.
+        let master = Master::new();
+        let server = LogServer::spawn();
+        let h = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let p = AdlpNodeBuilder::new("cam")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .resilience(
+                ResilienceConfig::new()
+                    .with_ack_timeout(Duration::from_millis(30))
+                    .with_max_retries(2)
+                    .with_retry_backoff(Duration::from_millis(5)),
+            )
+            .build(&master, &h, &mut rng)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let s = AdlpNodeBuilder::new("det")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .behavior(BehaviorProfile::faithful().withholding_acks(Topic::new("image")))
+            .build(&master, &h, &mut rng)
+            .unwrap();
+        let publisher = p.advertise("image").unwrap();
+        let _sub = s.subscribe("image", |_| {}).unwrap();
+        publisher.publish(&[9u8; 16]).unwrap();
+
+        // Teardown flushes the pending ack without an explicit flush call.
+        wait_until(|| p.pending_acks() == 0);
+        let events = p.take_link_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, LinkEvent::TornDown { subscriber, .. } if subscriber == &NodeId::new("det"))),
+            "expected a teardown event, got {events:?}"
+        );
+        p.flush().unwrap();
+        let entries: Vec<_> = h.store().entries().into_iter().map(Result::unwrap).collect();
+        let pub_entries: Vec<_> = entries
+            .iter()
+            .filter(|e| e.direction == Direction::Out)
+            .collect();
+        assert_eq!(pub_entries.len(), 1, "evidence flushed exactly once");
+        assert!(pub_entries[0].peer_sig.is_none(), "unproven: no ack");
+        assert_eq!(pub_entries[0].peer, Some(NodeId::new("det")));
     }
 
     #[test]

@@ -10,8 +10,8 @@ pub(crate) fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(longer.len() + 1);
     let mut carry = 0u64;
-    for i in 0..longer.len() {
-        let (mut sum, mut c) = longer[i].overflowing_add(carry);
+    for (i, &limb) in longer.iter().enumerate() {
+        let (mut sum, mut c) = limb.overflowing_add(carry);
         if let Some(&s) = shorter.get(i) {
             let (sum2, c2) = sum.overflowing_add(s);
             sum = sum2;
@@ -31,8 +31,8 @@ pub(crate) fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
 pub(crate) fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) -> u64 {
     debug_assert!(a.len() >= b.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
-        let (mut diff, mut br) = a[i].overflowing_sub(borrow);
+    for (i, limb) in a.iter_mut().enumerate() {
+        let (mut diff, mut br) = limb.overflowing_sub(borrow);
         if let Some(&s) = b.get(i) {
             let (diff2, br2) = diff.overflowing_sub(s);
             diff = diff2;
@@ -41,7 +41,7 @@ pub(crate) fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) -> u64 {
             // Nothing left to subtract and no borrow: remaining limbs copy over.
             break;
         }
-        a[i] = diff;
+        *limb = diff;
         borrow = u64::from(br);
     }
     borrow

@@ -231,7 +231,7 @@ impl BigUint {
 
     /// Whether the lowest bit is clear.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -245,7 +245,7 @@ impl BigUint {
     /// Value of bit `i` (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to one, growing as needed.

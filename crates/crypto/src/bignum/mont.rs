@@ -111,7 +111,9 @@ impl Montgomery {
         self.mont_mul(&reduced, &self.r2)
     }
 
-    /// Converts out of Montgomery form.
+    /// Converts out of Montgomery form (named for symmetry with `to_mont`,
+    /// not as a constructor).
+    #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, a: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.n.len()];
         one[0] = 1;

@@ -25,7 +25,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Returns [`CryptoError::Malformed`] for odd length or non-hex characters.
 pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     let s = s.as_bytes();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::Malformed("hex string (odd length)"));
     }
     let mut out = Vec::with_capacity(s.len() / 2);

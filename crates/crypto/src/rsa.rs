@@ -301,7 +301,7 @@ impl RsaKeyPair {
     ///
     /// Panics if `bits < 32` or `bits` is odd.
     pub fn generate<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> Self {
-        assert!(bits >= 32 && bits % 2 == 0, "invalid RSA modulus width");
+        assert!(bits >= 32 && bits.is_multiple_of(2), "invalid RSA modulus width");
         let e = BigUint::from_u64(PUBLIC_EXPONENT);
         loop {
             let p = crate::prime::random_prime(bits / 2, rng);

@@ -32,9 +32,9 @@ pub mod store;
 
 pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
 pub use keyreg::KeyRegistry;
-pub use remote::{RemoteLogClient, RemoteLogEndpoint};
+pub use remote::{ReconnectConfig, RemoteLogClient, RemoteLogEndpoint};
 pub use server::{LogServer, LoggerHandle};
-pub use stats::LogStats;
+pub use stats::{ClientStats, ClientStatsSnapshot, LogStats};
 pub use store::{LogStore, TamperEvidence};
 
 use std::error::Error;
@@ -54,6 +54,8 @@ pub enum LogError {
     ServerClosed,
     /// Index out of range.
     NoSuchEntry(usize),
+    /// Underlying I/O failure (TCP endpoint or client).
+    Io(String),
 }
 
 impl fmt::Display for LogError {
@@ -64,6 +66,7 @@ impl fmt::Display for LogError {
             LogError::UnknownComponent(c) => write!(f, "no key registered for {c}"),
             LogError::ServerClosed => write!(f, "log server closed"),
             LogError::NoSuchEntry(i) => write!(f, "no log entry at index {i}"),
+            LogError::Io(e) => write!(f, "log transport i/o error: {e}"),
         }
     }
 }

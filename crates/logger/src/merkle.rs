@@ -119,7 +119,7 @@ impl MerkleTree {
             let sibling_idx = idx ^ 1;
             if sibling_idx < width {
                 let Some(s) = sibs.next() else { return false };
-                acc = if idx % 2 == 0 {
+                acc = if idx.is_multiple_of(2) {
                     node_hash(&acc, s)
                 } else {
                     node_hash(s, &acc)
@@ -216,7 +216,7 @@ impl MerkleTree {
             if node_idx % 2 == 1 || node_idx == last_idx {
                 old_hash = node_hash(sibling, &old_hash);
                 new_hash = node_hash(sibling, &new_hash);
-                while node_idx % 2 == 0 && node_idx != 0 {
+                while node_idx.is_multiple_of(2) && node_idx != 0 {
                     node_idx /= 2;
                     last_idx /= 2;
                 }

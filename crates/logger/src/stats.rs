@@ -8,7 +8,79 @@
 use adlp_pubsub::{NodeId, Topic};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Delivery and outage counters for one [`crate::RemoteLogClient`].
+///
+/// The invariant the fault-injection tests lean on: every submitted entry
+/// ends up either `delivered` (written to the server socket), still
+/// `buffered`, or `spilled` — nothing vanishes unaccounted during an
+/// outage.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    submitted: AtomicU64,
+    delivered: AtomicU64,
+    buffered: AtomicU64,
+    spilled: AtomicU64,
+    reconnects: AtomicU64,
+    connected: AtomicBool,
+}
+
+/// A point-in-time copy of [`ClientStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStatsSnapshot {
+    /// Entries handed to the client.
+    pub submitted: u64,
+    /// Entries fully written to the server socket.
+    pub delivered: u64,
+    /// Entries currently held in the outage buffer.
+    pub buffered: u64,
+    /// Entries dropped because the outage buffer was full.
+    pub spilled: u64,
+    /// Successful re-establishments after an outage.
+    pub reconnects: u64,
+    /// Whether the socket is currently believed up.
+    pub connected: bool,
+}
+
+impl ClientStats {
+    pub(crate) fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_buffered(&self, n: u64) {
+        self.buffered.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_spilled(&self) {
+        self.spilled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reconnected(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_connected(&self, up: bool) {
+        self.connected.store(up, Ordering::SeqCst);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> ClientStatsSnapshot {
+        ClientStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            buffered: self.buffered.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            connected: self.connected.load(Ordering::SeqCst),
+        }
+    }
+}
 
 /// Thread-safe byte/entry counters.
 #[derive(Debug, Clone, Default)]

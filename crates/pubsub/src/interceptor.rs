@@ -104,6 +104,15 @@ pub trait LinkInterceptor: Send + Sync + fmt::Debug {
     fn on_connect(&self, conn: &ConnectionInfo, publishing: bool) {
         let _ = (conn, publishing);
     }
+
+    /// Notifies that a publisher-side connection is being torn down (peer
+    /// disconnect, or resilience retries exhausted). ADLP flushes the
+    /// link's pending acknowledgements as unacked-publication evidence
+    /// here, so a dead subscriber leaves an auditable trace instead of a
+    /// silently wedged link.
+    fn on_disconnect(&self, conn: &ConnectionInfo) {
+        let _ = conn;
+    }
 }
 
 /// The identity interceptor: plain ROS-like behavior.

@@ -46,6 +46,7 @@ pub mod interceptor;
 pub mod master;
 pub mod message;
 pub mod node;
+pub mod resilience;
 pub mod stats;
 pub mod transport;
 pub mod types;
@@ -56,7 +57,9 @@ pub use interceptor::{ConnectionInfo, LinkInterceptor, NoopInterceptor, RecvOutc
 pub use master::Master;
 pub use message::{Header, Message, HEADER_LEN};
 pub use node::{Node, NodeBuilder, PublishReport, Publisher, SubscribeOptions, Subscription, TransportKind};
-pub use stats::NodeStats;
+pub use resilience::{LinkEvent, LinkHealth, ResilienceConfig};
+pub use stats::{LinkStats, LinkStatsSnapshot, NodeStats};
+pub use transport::faults::{FaultConfig, FaultStats};
 pub use types::{NodeId, Topic};
 
 use std::error::Error;

@@ -11,17 +11,19 @@ use crate::clock::{Clock, SystemClock};
 use crate::interceptor::{ConnectionInfo, LinkInterceptor, NoopInterceptor};
 use crate::master::{Contact, Master};
 use crate::message::{Header, Message};
-use crate::stats::NodeStats;
+use crate::resilience::{LinkEvent, LinkHealth, ResilienceConfig};
+use crate::stats::{LinkStats, LinkStatsSnapshot, NodeStats};
+use crate::transport::faults::{FaultConfig, FaultStats, FaultyTransport};
 use crate::transport::{inproc, tcp, FrameDuplex};
 use crate::types::{NodeId, Topic};
 use crate::wire::Handshake;
 use crate::PubSubError;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which transport a node's publishers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +78,8 @@ pub struct NodeBuilder {
     clock: Arc<dyn Clock>,
     interceptor: Arc<dyn LinkInterceptor>,
     transport: TransportKind,
+    resilience: ResilienceConfig,
+    faults: Option<FaultConfig>,
 }
 
 impl NodeBuilder {
@@ -86,6 +90,8 @@ impl NodeBuilder {
             clock: Arc::new(SystemClock),
             interceptor: Arc::new(NoopInterceptor),
             transport: TransportKind::InProc,
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
     }
 
@@ -107,6 +113,21 @@ impl NodeBuilder {
         self
     }
 
+    /// Configures ack deadlines, retries and I/O timeouts for links this
+    /// node publishes on. The default config is inert, preserving the
+    /// paper's withhold-until-acked semantics.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Installs deterministic fault injection on every outgoing link this
+    /// node publishes on (testing/simulation only).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Registers the node with the master.
     ///
     /// # Errors
@@ -122,6 +143,10 @@ impl NodeBuilder {
                 interceptor: self.interceptor,
                 stats: NodeStats::new(),
                 transport: self.transport,
+                resilience: self.resilience,
+                faults: self.faults,
+                fault_stats: Arc::new(FaultStats::default()),
+                events: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -135,6 +160,28 @@ struct NodeShared {
     interceptor: Arc<dyn LinkInterceptor>,
     stats: NodeStats,
     transport: TransportKind,
+    resilience: ResilienceConfig,
+    faults: Option<FaultConfig>,
+    fault_stats: Arc<FaultStats>,
+    events: Mutex<Vec<LinkEvent>>,
+}
+
+impl NodeShared {
+    fn push_event(&self, event: LinkEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+/// FNV-1a over a node/topic pair — a stable per-link salt for fault
+/// injection and backoff jitter, so each link gets an independent but
+/// reproducible random stream.
+fn link_salt(topic: &Topic, subscriber: &NodeId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in topic.as_str().bytes().chain([0u8]).chain(subscriber.as_str().bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A registered software component.
@@ -157,6 +204,18 @@ impl Node {
     /// The node's clock.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.shared.clock
+    }
+
+    /// Drains the link-health events (ack timeouts, degradations,
+    /// recoveries, teardowns) recorded since the last call.
+    pub fn take_events(&self) -> Vec<LinkEvent> {
+        std::mem::take(&mut *self.shared.events.lock())
+    }
+
+    /// Counters for injected faults across all of this node's links
+    /// (all zero unless [`NodeBuilder::faults`] was configured).
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        &self.shared.fault_stats
     }
 
     /// Claims `topic` and starts accepting subscribers.
@@ -201,7 +260,7 @@ impl Node {
                             }
                         }
                     })
-                    .expect("spawn accept thread");
+                    .map_err(|e| PubSubError::Io(format!("spawn accept thread: {e}")))?;
             }
             TransportKind::Tcp => {
                 let listener = tcp::bind()?;
@@ -226,13 +285,19 @@ impl Node {
                             let queue_size = peer_hs
                                 .get("queue_size")
                                 .and_then(|v| v.parse().ok());
-                            let Ok(duplex) = tcp::bridge_stream_with(stream, queue_size) else {
+                            let timeouts = tcp::SocketTimeouts {
+                                read: accept_shared.node.resilience.io_read_timeout,
+                                write: accept_shared.node.resilience.io_write_timeout,
+                            };
+                            let Ok(duplex) =
+                                tcp::bridge_stream_tuned(stream, queue_size, timeouts)
+                            else {
                                 continue;
                             };
                             let _ = accept_shared.admit(peer_hs, duplex);
                         }
                     })
-                    .expect("spawn accept thread");
+                    .map_err(|e| PubSubError::Io(format!("spawn accept thread: {e}")))?;
             }
         }
         Ok(Publisher { shared })
@@ -289,7 +354,14 @@ impl Node {
 
         let (duplex, peer_hs) = match contact {
             Contact::InProc(handle) => inproc::dial_with(&handle, hs, options.queue_size)?,
-            Contact::Tcp(addr) => tcp::dial(addr, &hs)?,
+            Contact::Tcp(addr) => tcp::dial_tuned(
+                addr,
+                &hs,
+                tcp::SocketTimeouts {
+                    read: self.shared.resilience.io_read_timeout,
+                    write: self.shared.resilience.io_write_timeout,
+                },
+            )?,
         };
 
         let info = ConnectionInfo {
@@ -337,7 +409,7 @@ impl Node {
                     }
                 }
             })
-            .expect("spawn subscriber thread");
+            .map_err(|e| PubSubError::Io(format!("spawn subscriber thread: {e}")))?;
 
         Ok(Subscription {
             info,
@@ -389,11 +461,149 @@ struct PubShared {
     tcp_addr: Mutex<Option<SocketAddr>>,
 }
 
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_TORN_DOWN: u8 = 2;
+
+/// The frame whose acknowledgement the publisher is currently waiting on
+/// (only populated when `ResilienceConfig::ack_timeout` is set).
+#[derive(Debug)]
+struct AwaitState {
+    seq: u64,
+    frame: Vec<u8>,
+    deadline: Instant,
+    retries: u32,
+}
+
 #[derive(Debug)]
 struct PubConn {
     info: ConnectionInfo,
     duplex: FrameDuplex,
     alive: AtomicBool,
+    health: AtomicU8,
+    salt: u64,
+    link_stats: Arc<LinkStats>,
+    awaiting: Mutex<Option<AwaitState>>,
+}
+
+impl PubConn {
+    fn health(&self) -> LinkHealth {
+        match self.health.load(Ordering::SeqCst) {
+            HEALTH_HEALTHY => LinkHealth::Healthy,
+            HEALTH_DEGRADED => LinkHealth::Degraded,
+            _ => LinkHealth::TornDown,
+        }
+    }
+
+    /// Closes the link exactly once: flags it dead, records the event, and
+    /// lets the interceptor flush pending acks as evidence.
+    fn tear_down(&self, node: &NodeShared) {
+        self.alive.store(false, Ordering::SeqCst);
+        if self.health.swap(HEALTH_TORN_DOWN, Ordering::SeqCst) != HEALTH_TORN_DOWN {
+            node.push_event(LinkEvent::TornDown {
+                topic: self.info.topic.clone(),
+                subscriber: self.info.subscriber.clone(),
+            });
+            node.interceptor.on_disconnect(&self.info);
+        }
+    }
+
+    /// A reverse frame arrived: the in-flight deadline is cancelled and a
+    /// degraded link recovers. The interceptor still decides ack validity;
+    /// liveness and accountability are separate concerns.
+    fn note_return_progress(&self, node: &NodeShared) {
+        *self.awaiting.lock() = None;
+        if self
+            .health
+            .compare_exchange(
+                HEALTH_DEGRADED,
+                HEALTH_HEALTHY,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            node.push_event(LinkEvent::Recovered {
+                topic: self.info.topic.clone(),
+                subscriber: self.info.subscriber.clone(),
+            });
+        }
+    }
+
+    /// How long the reverse reader may block before the armed ack deadline
+    /// (if any) needs attention. The idle tick is capped at the configured
+    /// ack timeout: a publish can arm a deadline *while the reader is
+    /// already blocked*, so sleeping longer than one timeout period would
+    /// let that deadline slip unobserved past the ack's arrival.
+    fn tick_wait(&self, node: &NodeShared) -> Duration {
+        const IDLE_TICK: Duration = Duration::from_millis(50);
+        let idle = node
+            .resilience
+            .ack_timeout
+            .map_or(IDLE_TICK, |t| t.min(IDLE_TICK));
+        match self.awaiting.lock().as_ref() {
+            Some(state) => state
+                .deadline
+                .saturating_duration_since(Instant::now())
+                .min(idle),
+            None => idle,
+        }
+    }
+
+    /// Called from the reverse-reader tick: if the in-flight ack is overdue,
+    /// degrade the link and retry the frame, or tear the link down once
+    /// retries are exhausted.
+    fn check_ack_deadline(&self, node: &NodeShared) {
+        let Some(timeout) = node.resilience.ack_timeout else {
+            return;
+        };
+        let mut guard = self.awaiting.lock();
+        let Some(state) = guard.as_mut() else { return };
+        if Instant::now() < state.deadline {
+            return;
+        }
+        let attempt = state.retries + 1;
+        node.push_event(LinkEvent::AckTimeout {
+            topic: self.info.topic.clone(),
+            subscriber: self.info.subscriber.clone(),
+            seq: state.seq,
+            attempt,
+        });
+        if self
+            .health
+            .compare_exchange(
+                HEALTH_HEALTHY,
+                HEALTH_DEGRADED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            node.push_event(LinkEvent::Degraded {
+                topic: self.info.topic.clone(),
+                subscriber: self.info.subscriber.clone(),
+            });
+        }
+        if state.retries >= node.resilience.max_retries {
+            *guard = None;
+            drop(guard);
+            self.tear_down(node);
+            return;
+        }
+        state.retries = attempt;
+        let frame = state.frame.clone();
+        state.deadline = Instant::now() + timeout + node.resilience.backoff_for(attempt, self.salt);
+        drop(guard);
+        self.link_stats.record_retry();
+        match self.duplex.try_send(frame) {
+            crate::transport::SendOutcome::Sent => {}
+            crate::transport::SendOutcome::Dropped => {
+                self.link_stats.record_send_dropped();
+                node.stats.record_send_dropped();
+            }
+            crate::transport::SendOutcome::Disconnected => self.tear_down(node),
+        }
+    }
 }
 
 impl PubShared {
@@ -422,25 +632,55 @@ impl PubShared {
             peer_fields: peer_hs,
         };
         self.node.interceptor.on_connect(&info, true);
+        let salt = link_salt(&info.topic, &info.subscriber);
+        let link_stats = Arc::new(LinkStats::new());
+
+        // Interpose fault injection on the forward direction when asked to.
+        let duplex = match &self.node.faults {
+            Some(cfg) if !cfg.is_transparent() => {
+                let qos_link = Arc::clone(&link_stats);
+                let qos_node = self.node.stats.clone();
+                FaultyTransport::wrap(
+                    duplex,
+                    cfg.clone(),
+                    salt,
+                    Arc::clone(&self.node.fault_stats),
+                    move || {
+                        qos_link.record_send_dropped();
+                        qos_node.record_send_dropped();
+                    },
+                )
+            }
+            _ => duplex,
+        };
+
         let conn = Arc::new(PubConn {
             info,
             duplex,
             alive: AtomicBool::new(true),
+            health: AtomicU8::new(HEALTH_HEALTHY),
+            salt,
+            link_stats,
+            awaiting: Mutex::new(None),
         });
 
         // Reverse-channel reader: acknowledgement frames → interceptor.
+        // Its idle tick doubles as the ack-deadline clock when resilience
+        // is active.
         let ret_conn = Arc::clone(&conn);
         let node = Arc::clone(&self.node);
         let closed = Arc::clone(self);
         thread::Builder::new()
             .name(format!("pr-{}", node.id))
             .spawn(move || {
+                let resilient = node.resilience.is_active();
                 loop {
-                    let frame = match ret_conn
-                        .duplex
-                        .rx
-                        .recv_timeout(Duration::from_millis(50))
-                    {
+                    let wait = if resilient {
+                        ret_conn.tick_wait(&node)
+                    } else {
+                        Duration::from_millis(50)
+                    };
+                    let frame = match ret_conn.duplex.rx.recv_timeout(wait) {
                         Ok(f) => f,
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                             if closed.closed.load(Ordering::SeqCst)
@@ -448,18 +688,27 @@ impl PubShared {
                             {
                                 return;
                             }
+                            if resilient {
+                                ret_conn.check_ack_deadline(&node);
+                                if !ret_conn.alive.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                            }
                             continue;
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                            ret_conn.alive.store(false, Ordering::SeqCst);
+                            ret_conn.tear_down(&node);
                             return;
                         }
                     };
                     node.stats.record_return();
+                    if resilient {
+                        ret_conn.note_return_progress(&node);
+                    }
                     node.interceptor.on_return(&ret_conn.info, frame);
                 }
             })
-            .expect("spawn return reader");
+            .map_err(|e| PubSubError::Io(format!("spawn return reader: {e}")))?;
 
         self.conns.lock().push(conn);
         Ok(())
@@ -502,6 +751,39 @@ impl Publisher {
             .count()
     }
 
+    /// Health of the link to `subscriber`, or `None` for an unknown peer
+    /// (including links already pruned after teardown — the teardown is
+    /// still visible as a [`LinkEvent::TornDown`] in [`Node::take_events`]).
+    pub fn link_health(&self, subscriber: &NodeId) -> Option<LinkHealth> {
+        self.shared
+            .conns
+            .lock()
+            .iter()
+            .find(|c| &c.info.subscriber == subscriber)
+            .map(|c| c.health())
+    }
+
+    /// Per-link traffic snapshots (subscriber id, counters).
+    pub fn link_stats(&self) -> Vec<(NodeId, LinkStatsSnapshot)> {
+        self.shared
+            .conns
+            .lock()
+            .iter()
+            .map(|c| (c.info.subscriber.clone(), c.link_stats.snapshot()))
+            .collect()
+    }
+
+    /// Subscribers whose links are currently degraded.
+    pub fn degraded_links(&self) -> Vec<NodeId> {
+        self.shared
+            .conns
+            .lock()
+            .iter()
+            .filter(|c| c.health() == LinkHealth::Degraded)
+            .map(|c| c.info.subscriber.clone())
+            .collect()
+    }
+
     /// Blocks until at least `n` subscribers are connected or `timeout`
     /// elapses; returns whether the target was reached.
     pub fn wait_for_subscribers(&self, n: usize, timeout: Duration) -> bool {
@@ -537,6 +819,7 @@ impl Publisher {
         s.node.stats.record_publish();
 
         let conns: Vec<Arc<PubConn>> = s.conns.lock().clone();
+        let resilient = s.node.resilience.is_active();
         let mut sent = 0;
         let mut skipped = 0;
         for conn in &conns {
@@ -550,16 +833,34 @@ impl Publisher {
             }
             let out_body = s.node.interceptor.on_send(&conn.info, body.clone());
             let len = out_body.len();
+            // Arm the ack deadline before handing the frame to the duplex,
+            // so a fast ack can never race an unarmed timer.
+            if resilient {
+                if let Some(timeout) = s.node.resilience.ack_timeout {
+                    *conn.awaiting.lock() = Some(AwaitState {
+                        seq,
+                        frame: out_body.clone(),
+                        deadline: Instant::now() + timeout,
+                        retries: 0,
+                    });
+                }
+            }
             match conn.duplex.try_send(out_body) {
                 crate::transport::SendOutcome::Sent => {
                     s.node.stats.record_send(len);
+                    conn.link_stats.record_send();
                     sent += 1;
                 }
                 crate::transport::SendOutcome::Dropped => {
                     s.node.stats.record_send_dropped();
+                    conn.link_stats.record_send_dropped();
+                    if resilient {
+                        // Nothing in flight after a QoS drop.
+                        *conn.awaiting.lock() = None;
+                    }
                 }
                 crate::transport::SendOutcome::Disconnected => {
-                    conn.alive.store(false, Ordering::SeqCst);
+                    conn.tear_down(&s.node);
                 }
             }
         }
@@ -809,6 +1110,225 @@ mod tests {
         assert_eq!(m1.payload.as_ref(), b"a");
         assert_eq!(m2.payload.as_ref(), b"b");
         assert_eq!(m2.header.seq, 2);
+    }
+
+    /// Acks every message immediately; used to exercise deadline recovery.
+    #[derive(Debug)]
+    struct EchoAck {
+        /// Delay applied before acking, simulating a slow subscriber.
+        delay: Duration,
+    }
+
+    impl LinkInterceptor for EchoAck {
+        fn on_recv(&self, _conn: &ConnectionInfo, body: Vec<u8>) -> crate::RecvOutcome {
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            crate::RecvOutcome {
+                deliver: Some(body),
+                reply: Some(b"ack".to_vec()),
+            }
+        }
+    }
+
+    /// Records disconnect notifications.
+    #[derive(Debug, Default)]
+    struct DisconnectSpy {
+        disconnected: Arc<AtomicUsize>,
+    }
+
+    impl LinkInterceptor for DisconnectSpy {
+        fn on_disconnect(&self, _conn: &ConnectionInfo) {
+            self.disconnected.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn ack_deadline_degrades_then_tears_down_mute_subscriber() {
+        let master = Master::new();
+        let disconnected = Arc::new(AtomicUsize::new(0));
+        let p = NodeBuilder::new("p")
+            .interceptor(Arc::new(DisconnectSpy {
+                disconnected: Arc::clone(&disconnected),
+            }))
+            .resilience(
+                ResilienceConfig::new()
+                    .with_ack_timeout(Duration::from_millis(30))
+                    .with_max_retries(2)
+                    .with_retry_backoff(Duration::from_millis(5)),
+            )
+            .build(&master)
+            .unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        // NoopInterceptor on the subscriber never acks.
+        let _sub = s.subscribe("t", |_| {}).unwrap();
+        assert!(publisher.wait_for_subscribers(1, Duration::from_secs(2)));
+        publisher.publish(b"x").unwrap();
+
+        // Degraded within the deadline window, torn down after retries.
+        wait_until(|| disconnected.load(Ordering::SeqCst) == 1);
+        let events = p.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::AckTimeout { seq: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::Degraded { .. })));
+        assert!(matches!(events.last(), Some(LinkEvent::TornDown { .. })));
+        // Retries were attempted and counted per link.
+        let links = publisher.link_stats();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].1.retries, 2);
+        assert_eq!(
+            publisher.link_health(&NodeId::new("s")),
+            Some(LinkHealth::TornDown)
+        );
+    }
+
+    #[test]
+    fn slow_ack_degrades_then_recovers() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p")
+            .resilience(
+                ResilienceConfig::new()
+                    .with_ack_timeout(Duration::from_millis(20))
+                    .with_max_retries(20)
+                    .with_retry_backoff(Duration::from_millis(5)),
+            )
+            .build(&master)
+            .unwrap();
+        let s = NodeBuilder::new("s")
+            .interceptor(Arc::new(EchoAck {
+                delay: Duration::from_millis(120),
+            }))
+            .build(&master)
+            .unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let _sub = s.subscribe("t", |_| {}).unwrap();
+        assert!(publisher.wait_for_subscribers(1, Duration::from_secs(2)));
+        publisher.publish(b"x").unwrap();
+
+        wait_until(|| {
+            p.take_events()
+                .iter()
+                .any(|e| matches!(e, LinkEvent::Recovered { .. }))
+        });
+        assert_eq!(
+            publisher.link_health(&NodeId::new("s")),
+            Some(LinkHealth::Healthy)
+        );
+    }
+
+    #[test]
+    fn inert_resilience_keeps_links_healthy_without_acks() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p").build(&master).unwrap();
+        let s = NodeBuilder::new("s").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let _sub = s.subscribe("t", |_| {}).unwrap();
+        assert!(publisher.wait_for_subscribers(1, Duration::from_secs(2)));
+        publisher.publish(b"x").unwrap();
+        thread::sleep(Duration::from_millis(120));
+        assert!(p.take_events().is_empty());
+        assert_eq!(
+            publisher.link_health(&NodeId::new("s")),
+            Some(LinkHealth::Healthy)
+        );
+    }
+
+    #[test]
+    fn link_stats_attribute_qos_drops_to_the_slow_link() {
+        let master = Master::new();
+        let p = NodeBuilder::new("p").build(&master).unwrap();
+        let slow = NodeBuilder::new("slow").build(&master).unwrap();
+        let fast = NodeBuilder::new("fast").build(&master).unwrap();
+        let publisher = p.advertise("t").unwrap();
+        let gate = Arc::new((Mutex::new(false), parking_lot::Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let _slow_sub = slow
+            .subscribe_with(
+                "t",
+                SubscribeOptions::new().with_queue_size(1),
+                move |_| {
+                    let (lock, cvar) = &*gate2;
+                    let mut released = lock.lock();
+                    while !*released {
+                        cvar.wait(&mut released);
+                    }
+                },
+            )
+            .unwrap();
+        let _fast_sub = fast.subscribe("t", |_| {}).unwrap();
+        assert!(publisher.wait_for_subscribers(2, Duration::from_secs(2)));
+        for _ in 0..8 {
+            publisher.publish(&[0u8; 4]).unwrap();
+        }
+        wait_until(|| p.stats().snapshot().send_dropped > 0);
+        let links = publisher.link_stats();
+        let slow_snap = links
+            .iter()
+            .find(|(id, _)| id.as_str() == "slow")
+            .map(|(_, s)| *s)
+            .unwrap();
+        let fast_snap = links
+            .iter()
+            .find(|(id, _)| id.as_str() == "fast")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert!(slow_snap.send_dropped > 0);
+        assert_eq!(fast_snap.send_dropped, 0);
+        assert_eq!(fast_snap.sent, 8);
+        // Node-wide aggregate matches the per-link attribution.
+        assert_eq!(
+            p.stats().snapshot().send_dropped,
+            slow_snap.send_dropped + fast_snap.send_dropped
+        );
+        let (lock, cvar) = &*gate;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_deterministic() {
+        let run = || {
+            let master = Master::new();
+            let p = NodeBuilder::new("p")
+                .faults(FaultConfig::seeded(42).with_drop_rate(0.4))
+                .build(&master)
+                .unwrap();
+            let s = NodeBuilder::new("s").build(&master).unwrap();
+            let publisher = p.advertise("t").unwrap();
+            let seen = Arc::new(AtomicUsize::new(0));
+            let seen2 = Arc::clone(&seen);
+            let _sub = s
+                .subscribe("t", move |_| {
+                    seen2.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+            assert!(publisher.wait_for_subscribers(1, Duration::from_secs(2)));
+            for _ in 0..50 {
+                publisher.publish(b"x").unwrap();
+            }
+            let stats = Arc::clone(p.fault_stats());
+            wait_until(|| {
+                stats.forwarded.load(Ordering::Relaxed)
+                    + stats.dropped.load(Ordering::Relaxed)
+                    == 50
+            });
+            wait_until(|| {
+                seen.load(Ordering::SeqCst) as u64 == stats.forwarded.load(Ordering::Relaxed)
+            });
+            (
+                seen.load(Ordering::SeqCst),
+                stats.dropped.load(Ordering::Relaxed),
+            )
+        };
+        let (seen1, dropped1) = run();
+        assert!(dropped1 > 0, "40% drop rate must drop something");
+        assert_eq!(seen1 as u64 + dropped1, 50);
+        // Same seed (and same per-link salt) → identical fault decisions.
+        assert_eq!(run(), (seen1, dropped1));
     }
 
     #[test]

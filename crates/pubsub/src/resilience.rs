@@ -1,0 +1,189 @@
+//! Link resilience: ack deadlines, bounded retries with backoff, and the
+//! protocol events that make degradation observable.
+//!
+//! The paper's withhold-until-ack penalty (§V-B step 2) is intentionally
+//! indefinite: a publisher facing a mute subscriber simply never sends
+//! again on that link. That is the correct *accountability* behavior, but
+//! operationally it wedges the connection forever. [`ResilienceConfig`]
+//! adds an opt-in deadline: when the acknowledgement to the in-flight
+//! message is overdue the link is marked [`LinkHealth::Degraded`], a
+//! [`LinkEvent`] is emitted, and the frame is retried a bounded number of
+//! times with exponential backoff (plus deterministic jitter) before the
+//! link is torn down cleanly — converting a silent wedge into accounted,
+//! auditable evidence (the interceptor's pending acknowledgements are
+//! flushed as unacked-publication entries on teardown).
+//!
+//! Everything here defaults **off** (`ack_timeout: None`) so the paper's
+//! original semantics are untouched unless explicitly requested.
+
+use crate::types::{NodeId, Topic};
+use std::time::Duration;
+
+/// Publisher-side fault handling knobs. Disabled by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// How long to wait for the acknowledgement of an in-flight message
+    /// before acting. `None` (default) keeps the paper's indefinite
+    /// withholding behavior.
+    pub ack_timeout: Option<Duration>,
+    /// Retransmissions attempted after an ack timeout before the link is
+    /// torn down.
+    pub max_retries: u32,
+    /// Base delay added on top of `ack_timeout` between retries; doubles
+    /// each attempt.
+    pub retry_backoff: Duration,
+    /// Fraction of the backoff (0.0–1.0) added as deterministic per-link
+    /// jitter, de-synchronizing retry storms across links.
+    pub retry_jitter: f64,
+    /// Read timeout for TCP reader threads; a socket silent for this long
+    /// is treated as a dead peer. `None` (default) blocks forever.
+    pub io_read_timeout: Option<Duration>,
+    /// Write timeout for TCP writer threads.
+    pub io_write_timeout: Option<Duration>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            ack_timeout: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(100),
+            retry_jitter: 0.2,
+            io_read_timeout: None,
+            io_write_timeout: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The do-nothing config (paper semantics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables the ack deadline.
+    pub fn with_ack_timeout(mut self, timeout: Duration) -> Self {
+        self.ack_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry bound.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the backoff base.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets TCP socket timeouts.
+    pub fn with_io_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.io_read_timeout = Some(read);
+        self.io_write_timeout = Some(write);
+        self
+    }
+
+    /// Whether any deadline handling is active.
+    pub fn is_active(&self) -> bool {
+        self.ack_timeout.is_some()
+    }
+
+    /// Delay before retry number `attempt` (0-based): exponential backoff
+    /// with deterministic jitter derived from `salt` (e.g. a link hash).
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.retry_backoff.as_nanos() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20));
+        // Deterministic jitter in [0, retry_jitter): same link, same delays.
+        let jitter_frac = (salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64
+            / (1u64 << 24) as f64
+            * self.retry_jitter.clamp(0.0, 1.0);
+        Duration::from_nanos(exp.saturating_add((exp as f64 * jitter_frac) as u64))
+    }
+}
+
+/// Health of one publisher→subscriber link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkHealth {
+    /// Acks (if expected) are arriving within the deadline.
+    #[default]
+    Healthy,
+    /// At least one ack deadline expired; retries may be in flight.
+    Degraded,
+    /// Retries were exhausted and the connection was closed.
+    TornDown,
+}
+
+/// An observable protocol event on a publisher link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The ack for `seq` did not arrive within the deadline; retry
+    /// `attempt` (1-based) was scheduled (or the link moved to teardown).
+    AckTimeout {
+        /// Topic of the link.
+        topic: Topic,
+        /// Subscriber at the far end.
+        subscriber: NodeId,
+        /// Sequence number of the overdue publication.
+        seq: u64,
+        /// Which retry this timeout triggered (1-based); `max_retries + 1`
+        /// means retries were exhausted.
+        attempt: u32,
+    },
+    /// The link entered [`LinkHealth::Degraded`].
+    Degraded {
+        /// Topic of the link.
+        topic: Topic,
+        /// Subscriber at the far end.
+        subscriber: NodeId,
+    },
+    /// An ack arrived on a degraded link; back to [`LinkHealth::Healthy`].
+    Recovered {
+        /// Topic of the link.
+        topic: Topic,
+        /// Subscriber at the far end.
+        subscriber: NodeId,
+    },
+    /// Retries were exhausted; the connection was closed and pending
+    /// acknowledgements handed to the interceptor as evidence.
+    TornDown {
+        /// Topic of the link.
+        topic: Topic,
+        /// Subscriber at the far end.
+        subscriber: NodeId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let c = ResilienceConfig::default();
+        assert!(!c.is_active());
+        assert!(c.io_read_timeout.is_none());
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let c = ResilienceConfig::new()
+            .with_ack_timeout(Duration::from_millis(50))
+            .with_retry_backoff(Duration::from_millis(10));
+        let b0 = c.backoff_for(0, 42);
+        let b1 = c.backoff_for(1, 42);
+        let b2 = c.backoff_for(2, 42);
+        assert!(b0 < b1 && b1 < b2);
+        assert_eq!(b1, c.backoff_for(1, 42));
+        // Jitter differentiates links.
+        assert_ne!(c.backoff_for(1, 42), c.backoff_for(1, 43));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let c = ResilienceConfig::default();
+        let _ = c.backoff_for(u32::MAX, 7);
+    }
+}

@@ -49,6 +49,55 @@ pub struct StatsSnapshot {
     pub returns_received: u64,
 }
 
+/// Per-connection counters for one publisher→subscriber link, so QoS
+/// drops and retries are attributable to a specific slow or faulty peer
+/// (the node-wide [`NodeStats`] only aggregates).
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    sent: AtomicU64,
+    send_dropped: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// A point-in-time copy of one link's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStatsSnapshot {
+    /// Frames sent on this link.
+    pub sent: u64,
+    /// Frames dropped on this link by the bounded-queue QoS policy.
+    pub send_dropped: u64,
+    /// Frames retransmitted after an ack deadline expired.
+    pub retries: u64,
+}
+
+impl LinkStats {
+    /// Creates fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_send_dropped(&self) {
+        self.send_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> LinkStatsSnapshot {
+        LinkStatsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            send_dropped: self.send_dropped.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
 impl NodeStats {
     /// Creates fresh counters.
     pub fn new() -> Self {

@@ -11,11 +11,31 @@ use crate::PubSubError;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
+use std::time::Duration;
+
+/// Socket-level deadlines for one bridged stream. `None` fields block
+/// forever (the default, matching stock TCPROS).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketTimeouts {
+    /// Applied to the reader thread's socket: a link silent for this long
+    /// is treated as dead and the duplex disconnects.
+    pub read: Option<Duration>,
+    /// Applied to the writer thread's socket: a send stalled for this long
+    /// (peer not draining, send buffer full) disconnects the duplex.
+    pub write: Option<Duration>,
+}
+
+impl SocketTimeouts {
+    /// No deadlines (block forever).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
 
 /// Wraps an established, handshake-complete stream into a [`FrameDuplex`]
 /// by spawning a reader and a writer thread.
 pub fn bridge_stream(stream: TcpStream) -> Result<FrameDuplex, PubSubError> {
-    bridge_stream_with(stream, None)
+    bridge_stream_tuned(stream, None, SocketTimeouts::none())
 }
 
 /// Like [`bridge_stream`], bounding the *outgoing* direction to `out_cap`
@@ -28,9 +48,29 @@ pub fn bridge_stream_with(
     stream: TcpStream,
     out_cap: Option<usize>,
 ) -> Result<FrameDuplex, PubSubError> {
+    bridge_stream_tuned(stream, out_cap, SocketTimeouts::none())
+}
+
+/// Full-control variant: queue bound plus socket read/write deadlines.
+///
+/// A timeout firing is indistinguishable from a dead peer by design — the
+/// reader (or writer) thread exits and the duplex reports disconnection,
+/// which the owning node converts into teardown + evidence flushing rather
+/// than an indefinitely wedged thread.
+///
+/// # Errors
+///
+/// Propagates socket errors (including failures to apply the timeouts).
+pub fn bridge_stream_tuned(
+    stream: TcpStream,
+    out_cap: Option<usize>,
+    timeouts: SocketTimeouts,
+) -> Result<FrameDuplex, PubSubError> {
     stream.set_nodelay(true)?;
     let read_half = stream.try_clone()?;
     let write_half = stream;
+    read_half.set_read_timeout(timeouts.read)?;
+    write_half.set_write_timeout(timeouts.write)?;
 
     let (in_tx, in_rx) = crossbeam::channel::unbounded::<Vec<u8>>();
     let (out_tx, out_rx) = match out_cap {
@@ -47,9 +87,10 @@ pub fn bridge_stream_with(
                     break;
                 }
             }
-            // EOF or error: dropping in_tx closes the receiving side.
+            // EOF, error, or read timeout: dropping in_tx closes the
+            // receiving side.
         })
-        .expect("spawn tcp reader");
+        .map_err(|e| PubSubError::Io(format!("spawn tcp reader: {e}")))?;
 
     thread::Builder::new()
         .name("tcp-frame-writer".into())
@@ -69,7 +110,7 @@ pub fn bridge_stream_with(
                 let _ = s.shutdown(std::net::Shutdown::Write);
             }
         })
-        .expect("spawn tcp writer");
+        .map_err(|e| PubSubError::Io(format!("spawn tcp writer: {e}")))?;
 
     Ok(FrameDuplex {
         tx: out_tx,
@@ -95,12 +136,29 @@ pub fn bind() -> Result<TcpListener, PubSubError> {
 /// Returns transport errors, or [`PubSubError::Disconnected`] if the
 /// publisher closes during the handshake.
 pub fn dial(addr: SocketAddr, handshake: &Handshake) -> Result<(FrameDuplex, Handshake), PubSubError> {
+    dial_tuned(addr, handshake, SocketTimeouts::none())
+}
+
+/// Like [`dial`], applying socket deadlines to the bridged stream. The
+/// handshake runs under the same deadlines, so a publisher that accepts
+/// but never answers cannot wedge the subscriber forever.
+///
+/// # Errors
+///
+/// Same as [`dial`].
+pub fn dial_tuned(
+    addr: SocketAddr,
+    handshake: &Handshake,
+    timeouts: SocketTimeouts,
+) -> Result<(FrameDuplex, Handshake), PubSubError> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(timeouts.read)?;
+    stream.set_write_timeout(timeouts.write)?;
     write_frame(&mut stream, &handshake.encode())?;
     let peer_frame = read_frame(&mut stream)?.ok_or(PubSubError::Disconnected)?;
     let peer = Handshake::decode(&peer_frame)?;
-    Ok((bridge_stream(stream)?, peer))
+    Ok((bridge_stream_tuned(stream, None, timeouts)?, peer))
 }
 
 /// Publisher side of the handshake on a freshly accepted stream: reads the

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace only uses `crossbeam::channel` (MPMC channels with
+//! bounded/unbounded flavors, `try_send`, and `recv_timeout`). The build
+//! environment has no crates.io access, so this crate implements that API
+//! subset over `std::sync` primitives: a `Mutex<VecDeque>` plus two
+//! condvars. It favors correctness and API fidelity over raw throughput;
+//! the message rates exercised here (tens of thousands of frames per
+//! second) are far below what this implementation sustains.
+
+pub mod channel;

@@ -1,0 +1,47 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>`: `None` about a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = TestRng::from_seed(11);
+        let s = of(any::<u8>());
+        let mut nones = 0;
+        let mut somes = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => nones += 1,
+                Some(_) => somes += 1,
+            }
+        }
+        assert!(nones > 0 && somes > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An abstract index resolved against a concrete collection length with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Wraps a raw random value.
+    pub fn from_raw(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Resolves to a valid index for a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero, matching proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}

@@ -1,0 +1,127 @@
+//! String generation from a small regex subset: sequences of character
+//! classes (or literal characters) with optional `{m}` / `{m,n}`
+//! repetition, e.g. `"[a-z_]{1,16}"` or `"[ -~]{0,32}"`.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax this subset does not support (unbalanced brackets,
+/// malformed repetition counts) — a test-authoring error, not a runtime
+/// condition.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let class = parse_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            parse_counts(&spec, pattern)
+        } else {
+            (1, 1)
+        };
+        let n = rng.range_usize(lo, hi);
+        for _ in 0..n {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Expands a bracketed class body (`a-z_`, ` -~`, …) into its members.
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class in {pattern:?}");
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                members.push(char::from_u32(c).expect("ascii range"));
+            }
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    members
+}
+
+/// Parses `m` or `m,n` repetition counts.
+fn parse_counts(spec: &str, pattern: &str) -> (usize, usize) {
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse(lo), parse(hi));
+            assert!(lo <= hi, "inverted repetition in {pattern:?}");
+            (lo, hi)
+        }
+        None => {
+            let n = parse(spec);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_literal() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = generate_pattern("[a-c_]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..100 {
+            let s = generate_pattern("[ -~]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::from_seed(14);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            saw_empty |= generate_pattern("[a-z]{0,2}", &mut rng).is_empty();
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,197 @@
+//! Test execution: configuration, the per-test RNG, and the case loop.
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded without counting.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Terminal failure of a whole property test.
+#[derive(Debug, Clone)]
+pub struct TestError(pub String);
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Deterministic generator feeding the strategies (xoshiro256++ seeded via
+/// SplitMix64 from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is negligible for test-data generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in the inclusive range `[lo, hi]`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64;
+        lo + self.below(span + 1) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Random bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Drives a property: generates cases and applies the test closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded from `name` (reproducible
+    /// across runs, distinct across tests).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(seed),
+        }
+    }
+
+    /// Runs the property until `config.cases` cases pass, a case fails, or
+    /// too many cases are rejected by `prop_assume!`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = self.config.cases.saturating_mul(16).saturating_add(256);
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        return Err(TestError(format!(
+                            "too many cases rejected by prop_assume! \
+                             ({rejected} rejects, {passed} passes)"
+                        )));
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(TestError(format!(
+                        "property failed after {passed} passing case(s): {msg}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_seed(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = rng.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -5,10 +5,12 @@
 use crate::app::{AppSpec, DriveSpec};
 use crate::metrics::{CpuProbe, ThreadCpuProbe};
 use adlp_audit::{AuditReport, Auditor};
-use adlp_core::{AdlpNode, AdlpNodeBuilder, BehaviorProfile, Scheme};
+use adlp_core::{
+    AdlpNode, AdlpNodeBuilder, BehaviorProfile, FaultConfig, LinkEvent, ResilienceConfig, Scheme,
+};
 use adlp_logger::{LogServer, LoggerHandle};
 use adlp_pubsub::stats::StatsSnapshot;
-use adlp_pubsub::{Master, Publisher, TransportKind};
+use adlp_pubsub::{Master, Publisher, SubscribeOptions, TransportKind};
 use adlp_logger::stats::VolumeSnapshot;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -31,6 +33,16 @@ pub struct Scenario {
     /// Node whose thread-attributed CPU should be measured.
     cpu_node: Option<String>,
     base_stores_hash: bool,
+    /// Fault-tolerance knobs applied to every node.
+    resilience: ResilienceConfig,
+    /// Per-publisher injected link faults.
+    faults: BTreeMap<String, FaultConfig>,
+    /// Per-subscriber bounded queue depths (ROS `queue_size`).
+    queue_sizes: BTreeMap<String, usize>,
+    /// Per-subscriber artificial callback latency (a "slow subscriber").
+    callback_delays: BTreeMap<String, Duration>,
+    /// Kill the trusted logger this long into the measurement window.
+    logger_outage_after: Option<Duration>,
 }
 
 /// Everything measured during a run.
@@ -58,6 +70,9 @@ pub struct ScenarioReport {
     /// Raw per-subscription latency samples (ns), capped at 100k per link;
     /// source data for percentile reporting.
     pub latency_samples_ns: BTreeMap<(String, String), Vec<u64>>,
+    /// Link-health events (ack timeouts, degradations, teardowns) drained
+    /// from each node at the end of the run.
+    pub link_events: BTreeMap<String, Vec<LinkEvent>>,
 }
 
 impl ScenarioReport {
@@ -108,7 +123,47 @@ impl Scenario {
             seed: 42,
             cpu_node: None,
             base_stores_hash: false,
+            resilience: ResilienceConfig::default(),
+            faults: BTreeMap::new(),
+            queue_sizes: BTreeMap::new(),
+            callback_delays: BTreeMap::new(),
+            logger_outage_after: None,
         }
+    }
+
+    /// Installs fault-tolerance knobs (ack deadlines, retries, socket
+    /// timeouts) on every node.
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = config;
+        self
+    }
+
+    /// Injects deterministic link faults on one publisher's outgoing links
+    /// (a "flapping link" when drops and delays are enabled).
+    pub fn faults_for(mut self, node: &str, config: FaultConfig) -> Self {
+        self.faults.insert(node.into(), config);
+        self
+    }
+
+    /// Bounds one subscriber's per-link queue; a full queue drops new
+    /// frames at the publisher (counted, never silent).
+    pub fn subscriber_queue(mut self, node: &str, depth: usize) -> Self {
+        self.queue_sizes.insert(node.into(), depth);
+        self
+    }
+
+    /// Adds artificial latency to one subscriber's callback — a slow
+    /// consumer that backs up its delivery queue.
+    pub fn subscriber_delay(mut self, node: &str, delay: Duration) -> Self {
+        self.callback_delays.insert(node.into(), delay);
+        self
+    }
+
+    /// Crashes the trusted logger this far into the measurement window;
+    /// the data plane must keep flowing (§V-B's failure-isolation claim).
+    pub fn logger_outage_after(mut self, after: Duration) -> Self {
+        self.logger_outage_after = Some(after);
+        self
     }
 
     /// Sets the scheme for every node.
@@ -193,12 +248,17 @@ impl Scenario {
                 .get(&spec.id)
                 .cloned()
                 .unwrap_or_else(BehaviorProfile::faithful);
-            let node = AdlpNodeBuilder::new(spec.id.as_str())
+            let mut builder = AdlpNodeBuilder::new(spec.id.as_str())
                 .scheme(scheme)
                 .behavior(behavior)
                 .key_bits(self.key_bits)
                 .transport(self.transport)
                 .base_subscriber_stores_hash(self.base_stores_hash)
+                .resilience(self.resilience.clone());
+            if let Some(faults) = self.faults.get(&spec.id) {
+                builder = builder.faults(faults.clone());
+            }
+            let node = builder
                 .build(&master, &handle, &mut rng)
                 .expect("node construction");
             nodes.insert(spec.id.clone(), Arc::new(node));
@@ -243,9 +303,17 @@ impl Scenario {
                 let cell: LatCell = Arc::new(parking_lot::Mutex::new(Vec::new()));
                 latencies.insert((input.clone(), spec.id.clone()), Arc::clone(&cell));
                 let clock = adlp_pubsub::SystemClock;
+                let mut options = SubscribeOptions::new();
+                if let Some(&depth) = self.queue_sizes.get(&spec.id) {
+                    options = options.with_queue_size(depth);
+                }
+                let callback_delay = self.callback_delays.get(&spec.id).copied();
                 let sub = node
-                    .subscribe(input.as_str(), move |msg| {
+                    .subscribe_with(input.as_str(), options, move |msg| {
                         use adlp_pubsub::Clock;
+                        if let Some(delay) = callback_delay {
+                            std::thread::sleep(delay);
+                        }
                         let now = clock.now_ns();
                         if now > msg.header.stamp_ns {
                             let mut samples = cell.lock();
@@ -307,7 +375,14 @@ impl Scenario {
             .as_deref()
             .map(ThreadCpuProbe::for_node);
         let t0 = Instant::now();
-        std::thread::sleep(self.duration);
+        match self.logger_outage_after {
+            Some(after) if after < self.duration => {
+                std::thread::sleep(after);
+                server.kill();
+                std::thread::sleep(self.duration - after);
+            }
+            _ => std::thread::sleep(self.duration),
+        }
         let elapsed = t0.elapsed();
         let process_cpu_percent = cpu.utilization_percent();
         let node_cpu_percent = node_cpu.map(|p| p.utilization_percent());
@@ -329,8 +404,10 @@ impl Scenario {
         }
 
         let mut node_stats = BTreeMap::new();
+        let mut link_events = BTreeMap::new();
         for (id, node) in &nodes {
             node_stats.insert(id.clone(), node.stats().snapshot());
+            link_events.insert(id.clone(), node.take_link_events());
         }
         let mut mean_latency_ns = BTreeMap::new();
         let mut latency_samples_ns = BTreeMap::new();
@@ -354,6 +431,7 @@ impl Scenario {
             topology,
             mean_latency_ns,
             latency_samples_ns,
+            link_events,
         }
     }
 }
@@ -436,6 +514,120 @@ mod tests {
         for e in report.logger.store().entries() {
             assert!(!e.unwrap().is_adlp());
         }
+    }
+
+    /// Faults may legitimately split a publication/receipt pair across the
+    /// logger cut (losing one side's deposit), which the auditor reports as
+    /// a hidden record — but deposited entries are all genuine, so none may
+    /// be rejected or classified as falsified, fabricated, or replayed.
+    fn only_evidence_loss_violations(audit: &AuditReport) -> bool {
+        use adlp_audit::ViolationKind;
+        audit.rejected_entries.is_empty()
+            && audit
+                .verdicts
+                .values()
+                .flat_map(|v| v.violations.iter())
+                .all(|v| {
+                    matches!(
+                        v.kind,
+                        ViolationKind::HidPublication | ViolationKind::HidReceipt
+                    )
+                })
+    }
+
+    #[test]
+    fn logger_outage_mid_run_keeps_data_plane_flowing() {
+        // The trusted logger crashes halfway through the window; messages
+        // keep flowing (§V-B failure isolation) and the surviving log
+        // prefix still audits without bogus convictions.
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 2, 100.0))
+            .key_bits(512)
+            .duration(Duration::from_millis(600))
+            .logger_outage_after(Duration::from_millis(200))
+            .run();
+        // Traffic continued for the full window, far beyond what the
+        // pre-outage window alone could produce.
+        assert!(
+            report.node_stats["sink0"].received > 20,
+            "stats: {:?}",
+            report.node_stats
+        );
+        // A log prefix was deposited before the crash.
+        assert!(report.store_len > 0);
+        let audit = report.audit();
+        assert!(
+            only_evidence_loss_violations(&audit),
+            "outage must not manufacture falsification evidence: {:?}",
+            audit.verdicts
+        );
+    }
+
+    #[test]
+    fn slow_subscriber_degrades_link_but_audits_clean() {
+        // One sink acknowledges slowly (its callback sleeps past the ack
+        // deadline): the link degrades and recovers, retries stay invisible
+        // to the auditor (replay defense drops the duplicates un-logged),
+        // and the audit is indistinguishable from a fault-free run.
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 2, 50.0))
+            .key_bits(512)
+            .duration(Duration::from_millis(600))
+            .resilience(
+                ResilienceConfig::new()
+                    .with_ack_timeout(Duration::from_millis(10))
+                    .with_max_retries(1000)
+                    .with_retry_backoff(Duration::from_millis(5)),
+            )
+            .subscriber_delay("sink0", Duration::from_millis(40))
+            .run();
+        assert!(report.node_stats["sink0"].received > 0);
+        assert!(report.node_stats["sink1"].received > 0);
+        let feeder_events = &report.link_events["feeder"];
+        assert!(
+            feeder_events
+                .iter()
+                .any(|e| matches!(e, LinkEvent::AckTimeout { subscriber, .. } if subscriber.as_str() == "sink0")),
+            "slow link must trip the ack deadline: {feeder_events:?}"
+        );
+        let audit = report.audit();
+        assert!(
+            audit.all_clear(),
+            "slow-but-honest subscriber must audit clean: {:?}",
+            audit.verdicts
+        );
+    }
+
+    #[test]
+    fn flapping_link_recovers_via_retries_and_audits_clean() {
+        // Injected drops and delays on the publisher's links; the ack
+        // deadline re-sends lost frames, the replay defense absorbs
+        // duplicates, and every deposited entry still classifies correctly.
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 1, 100.0))
+            .key_bits(512)
+            .duration(Duration::from_millis(600))
+            .resilience(
+                ResilienceConfig::new()
+                    .with_ack_timeout(Duration::from_millis(15))
+                    .with_max_retries(1000)
+                    .with_retry_backoff(Duration::from_millis(5)),
+            )
+            .faults_for(
+                "feeder",
+                FaultConfig::seeded(7)
+                    .with_drop_rate(0.3)
+                    .with_delay(0.2, Duration::from_millis(10)),
+            )
+            .run();
+        assert!(
+            report.node_stats["sink0"].received > 5,
+            "retries must push data through the flapping link: {:?}",
+            report.node_stats
+        );
+        let audit = report.audit();
+        assert!(
+            audit.all_clear(),
+            "transport faults must not implicate honest nodes: {:?}",
+            audit.verdicts
+        );
     }
 
     #[test]

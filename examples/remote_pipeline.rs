@@ -40,6 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let publisher = camera.advertise("image")?;
     let _sub = detector.subscribe("image", |_| {})?;
+    // The TCP link is wired asynchronously; publishing into zero
+    // connections is a silent no-op, so wait for the detector to attach.
+    while publisher.connection_count() == 0 {
+        std::thread::sleep(Duration::from_micros(300));
+    }
 
     // First batch of frames, then a durable checkpoint.
     for i in 0..4u8 {

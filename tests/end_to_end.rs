@@ -37,6 +37,9 @@ fn full_stack_over_tcp_transport() {
         .unwrap();
     let publisher = p.advertise("image").unwrap();
     let _sub = s.subscribe("image", |_| {}).unwrap();
+    // The TCP link attaches asynchronously; a publish before that is a
+    // silent no-op (sent == 0).
+    wait_until(|| publisher.connection_count() == 1);
     for i in 0..3 {
         // Wait for the previous ack so gating never skips (and seqs stay
         // contiguous).

@@ -2,7 +2,7 @@
 //! without misbehavior, checked end-to-end (traffic flowed, logs audited,
 //! store tamper-evident).
 
-use adlp::core::{BehaviorProfile, LinkRole, LogBehavior, Scheme};
+use adlp::core::{BehaviorProfile, LinkRole, LogBehavior};
 use adlp::pubsub::Topic;
 use adlp::sim::{self_driving_app, AppSpec, NodeSpec, PayloadKind, Scenario};
 use std::time::Duration;
