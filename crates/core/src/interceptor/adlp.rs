@@ -6,7 +6,9 @@ use crate::config::AdlpConfig;
 use crate::events::LogEvent;
 use crate::identity::ComponentIdentity;
 use crate::logging::EventSink;
-use crate::protocol::{attach_signature, decode_ack, encode_ack, split_signature, SIG_LEN_FIELD};
+use crate::protocol::{
+    attach_signature, decode_ack, encode_ack, header_seq, split_signature, SIG_LEN_FIELD,
+};
 use adlp_crypto::sha256::{binding_digest, sha256};
 use adlp_crypto::{pkcs1, Signature};
 use adlp_logger::{AckRecord, KeyRegistry};
@@ -55,6 +57,10 @@ pub struct AdlpInterceptor {
     replays_dropped: AtomicU64,
     /// Count of acknowledgements ignored as invalid.
     invalid_acks: AtomicU64,
+    /// Count of messages not signed/acknowledged because the signing
+    /// operation itself failed (cannot happen for a well-formed key; kept
+    /// so the degradation is observable rather than a panic).
+    sign_failures: AtomicU64,
     /// Outgoing-message counter (drives the requirement-(4) violation
     /// model).
     sends_counter: AtomicU64,
@@ -90,6 +96,7 @@ impl AdlpInterceptor {
             keys: None,
             replays_dropped: AtomicU64::new(0),
             invalid_acks: AtomicU64::new(0),
+            sign_failures: AtomicU64::new(0),
             sends_counter: AtomicU64::new(0),
         }
     }
@@ -109,6 +116,11 @@ impl AdlpInterceptor {
     /// Acknowledgements ignored as cryptographically invalid so far.
     pub fn invalid_acks(&self) -> u64 {
         self.invalid_acks.load(Ordering::Relaxed)
+    }
+
+    /// Messages left unsigned/unacknowledged because signing failed.
+    pub fn sign_failures(&self) -> u64 {
+        self.sign_failures.load(Ordering::Relaxed)
     }
 
     /// Signature length of the counterpart on a connection, from its
@@ -177,7 +189,11 @@ impl LinkInterceptor for AdlpInterceptor {
     }
 
     fn on_send(&self, conn: &ConnectionInfo, body: Vec<u8>) -> Vec<u8> {
-        let seq = u64::from_le_bytes(body[..8].try_into().expect("header seq"));
+        // A body without a middleware header cannot be attributed to a
+        // publication; forward it untouched rather than panicking.
+        let Some(seq) = header_seq(&body) else {
+            return body;
+        };
         let stamp_ns = self.clock.now_ns();
 
         let mut current = self.current.lock();
@@ -189,10 +205,16 @@ impl LinkInterceptor for AdlpInterceptor {
             // binding digest h(seq ‖ h(D)) so auditors can recompute it
             // from logged fields (freshness, §IV-A).
             let digest = binding_digest(conn.topic.as_str(), seq, &sha256(&body));
-            let sig = self
-                .identity
-                .sign_digest(&digest)
-                .expect("signing cannot fail for a well-formed key");
+            let sig = match self.identity.sign_digest(&digest) {
+                Ok(sig) => sig,
+                Err(_) => {
+                    // Cannot happen for a well-formed key; degrade to an
+                    // unsigned (hence unloggable, subscriber-rejected) send
+                    // instead of tearing down the publisher.
+                    self.sign_failures.fetch_add(1, Ordering::Relaxed);
+                    return body;
+                }
+            };
             // Aggregated mode: the previous publication's entry is emitted
             // when a new one starts (all acks that will come have come).
             if self.config.aggregated_publisher_log {
@@ -218,7 +240,11 @@ impl LinkInterceptor for AdlpInterceptor {
                 },
             );
         }
-        let cur = current.get(&conn.topic).expect("just inserted");
+        let Some(cur) = current.get(&conn.topic) else {
+            // Unreachable: inserted above when absent. Forward unsigned
+            // rather than panicking if the invariant ever breaks.
+            return body;
+        };
         let sig = cur.sig.clone();
 
         // Remember M_x for this subscriber until the acknowledgement
@@ -254,10 +280,9 @@ impl LinkInterceptor for AdlpInterceptor {
         let Ok((body, peer_sig)) = split_signature(frame, sig_len) else {
             return RecvOutcome::drop_message();
         };
-        if body.len() < 8 {
+        let Some(seq) = header_seq(&body) else {
             return RecvOutcome::drop_message();
-        }
-        let seq = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+        };
         let stamp_ns = self.clock.now_ns();
 
         // Replay defense: per link, only strictly increasing sequence
@@ -279,10 +304,17 @@ impl LinkInterceptor for AdlpInterceptor {
         // §V-B step 4: hash, sign, acknowledge. The ack carries h(I_y);
         // the signature covers the binding digest h(seq ‖ h(I_y)).
         let payload_digest = sha256(&body);
-        let own_sig = self
-            .identity
-            .sign_digest(&binding_digest(conn.topic.as_str(), seq, &payload_digest))
-            .expect("signing cannot fail for a well-formed key");
+        let binding = binding_digest(conn.topic.as_str(), seq, &payload_digest);
+        let own_sig = match self.identity.sign_digest(&binding) {
+            Ok(sig) => sig,
+            Err(_) => {
+                // Cannot happen for a well-formed key; without a signature
+                // there is no log entry and no ack, so drop (an unlogged
+                // delivery would violate the accountability invariant).
+                self.sign_failures.fetch_add(1, Ordering::Relaxed);
+                return RecvOutcome::drop_message();
+            }
+        };
         let reply = if self.behavior.withholds_ack(&conn.topic) {
             None
         } else {
@@ -429,7 +461,8 @@ mod tests {
             behavior: BehaviorProfile::faithful(),
             subscriber_stores_hash: true,
             logger: server.handle(),
-        });
+        })
+        .unwrap();
         let interceptor = AdlpInterceptor::new(
             det.clone(),
             config,

@@ -3,6 +3,7 @@
 
 use crate::events::LogEvent;
 use crate::logging::EventSink;
+use crate::protocol::header_seq;
 use adlp_pubsub::{Clock, ConnectionInfo, LinkInterceptor, RecvOutcome, Topic};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -37,7 +38,11 @@ impl BaseInterceptor {
 
 impl LinkInterceptor for BaseInterceptor {
     fn on_send(&self, conn: &ConnectionInfo, body: Vec<u8>) -> Vec<u8> {
-        let seq = u64::from_le_bytes(body[..8].try_into().expect("header seq"));
+        // A body without a header cannot be attributed to a publication;
+        // forward it untouched rather than panicking mid-protocol.
+        let Some(seq) = header_seq(&body) else {
+            return body;
+        };
         let mut last = self.last_logged.lock();
         if last.get(&conn.topic) != Some(&seq) {
             last.insert(conn.topic.clone(), seq);
@@ -52,10 +57,9 @@ impl LinkInterceptor for BaseInterceptor {
     }
 
     fn on_recv(&self, conn: &ConnectionInfo, body: Vec<u8>) -> RecvOutcome {
-        if body.len() < 8 {
+        let Some(seq) = header_seq(&body) else {
             return RecvOutcome::drop_message();
-        }
-        let seq = u64::from_le_bytes(body[..8].try_into().expect("checked length"));
+        };
         self.sink.submit(LogEvent::BaseReceipt {
             topic: conn.topic.clone(),
             seq,

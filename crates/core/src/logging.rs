@@ -13,9 +13,10 @@ use crate::identity::ComponentIdentity;
 use adlp_crypto::rsa::RsaPrivateKey;
 use adlp_crypto::sha256::{binding_digest, sha256, Digest};
 use adlp_crypto::{pkcs1, Signature};
-use adlp_logger::{Direction, LogEntry, LoggerHandle, PayloadRecord};
+use adlp_logger::{Direction, LogEntry, LogError, LoggerHandle, PayloadRecord};
 use adlp_pubsub::{NodeId, Topic};
 use crossbeam::channel::Sender;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -29,18 +30,26 @@ enum Command {
 pub struct LoggingThread {
     tx: Sender<Command>,
     worker: Option<JoinHandle<()>>,
+    lost: Arc<AtomicU64>,
 }
 
 /// A cloneable submitter for transport hooks.
 #[derive(Debug, Clone)]
 pub struct EventSink {
     tx: Sender<Command>,
+    /// Events the sink could not enqueue (worker gone). Shared with the
+    /// owning [`LoggingThread`] so losses are observable, not silent.
+    lost: Arc<AtomicU64>,
 }
 
 impl EventSink {
-    /// Pushes an event; never blocks on logging work.
+    /// Pushes an event; never blocks on logging work. An event that cannot
+    /// be enqueued (the worker exited) is counted, not silently dropped —
+    /// unlogged activity is exactly what an auditor needs to know about.
     pub fn submit(&self, event: LogEvent) {
-        let _ = self.tx.send(Command::Event(Box::new(event)));
+        if self.tx.send(Command::Event(Box::new(event))).is_err() {
+            self.lost.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -60,7 +69,11 @@ pub(crate) struct LoggingContext {
 
 impl LoggingThread {
     /// Spawns the thread.
-    pub(crate) fn spawn(ctx: LoggingContext) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
+    pub(crate) fn spawn(ctx: LoggingContext) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let worker = std::thread::Builder::new()
             .name(format!("lg-{}", ctx.node_id))
@@ -73,23 +86,31 @@ impl LoggingThread {
                             }
                         }
                         Command::Flush(reply) => {
+                            // adlp-lint: allow(discarded-fallible) — the flush requester may have timed out; nothing left to acknowledge
                             let _ = reply.send(());
                         }
                     }
                 }
             })
-            .expect("spawn logging thread");
-        LoggingThread {
+            .map_err(|e| LogError::Io(format!("spawn logging thread: {e}")))?;
+        Ok(LoggingThread {
             tx,
             worker: Some(worker),
-        }
+            lost: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// A submitter handle for transport hooks.
     pub fn sink(&self) -> EventSink {
         EventSink {
             tx: self.tx.clone(),
+            lost: Arc::clone(&self.lost),
         }
+    }
+
+    /// Events that could not be enqueued because the worker was gone.
+    pub fn events_lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
     }
 
     /// Blocks until all previously submitted events were handed to the
@@ -512,7 +533,7 @@ mod tests {
     #[test]
     fn thread_processes_and_flushes() {
         let (c, server) = ctx(BehaviorProfile::faithful(), true);
-        let thread = LoggingThread::spawn(c);
+        let thread = LoggingThread::spawn(c).unwrap();
         let sink = thread.sink();
         sink.submit(LogEvent::BasePublication {
             topic: Topic::new("t"),

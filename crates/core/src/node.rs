@@ -160,7 +160,7 @@ impl AdlpNodeBuilder {
                     behavior: (*behavior).clone(),
                     subscriber_stores_hash: self.base_stores_hash,
                     logger: logger.clone(),
-                });
+                })?;
                 let interceptor = Arc::new(BaseInterceptor::new(
                     Arc::clone(&self.clock),
                     logging.sink(),
@@ -182,7 +182,7 @@ impl AdlpNodeBuilder {
                     behavior: (*behavior).clone(),
                     subscriber_stores_hash: config.subscriber_stores_hash,
                     logger: logger.clone(),
-                });
+                })?;
                 let interceptor = Arc::new(
                     AdlpInterceptor::new(
                         identity.clone(),
@@ -430,8 +430,7 @@ fn fake_body(seq: u64, payload: &[u8]) -> Vec<u8> {
 fn now() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock before epoch")
-        .as_nanos() as u64
+        .map_or(0, |d| d.as_nanos() as u64)
 }
 
 #[cfg(test)]

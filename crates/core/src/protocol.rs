@@ -22,6 +22,14 @@ pub fn attach_signature(mut body: Vec<u8>, sig: &Signature) -> Vec<u8> {
     body
 }
 
+/// Reads the middleware header's sequence number (the first 8 body bytes,
+/// little-endian); `None` for bodies too short to carry a header. The
+/// panic-free parse every interceptor hot path uses.
+pub fn header_seq(body: &[u8]) -> Option<u64> {
+    let head: [u8; 8] = body.get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(head))
+}
+
 /// Splits a received `M_x` into `(D, s_x)` given the announced signature
 /// length.
 ///
@@ -55,11 +63,12 @@ pub fn decode_ack(frame: &[u8], sig_len: usize) -> Result<(Digest, Signature), P
     if frame.len() != DIGEST_LEN + sig_len {
         return Err(PubSubError::Malformed("adlp ack (wrong length)"));
     }
-    let arr: [u8; DIGEST_LEN] = frame[..DIGEST_LEN].try_into().expect("32 bytes");
-    Ok((
-        Digest::from(arr),
-        Signature::from_bytes(frame[DIGEST_LEN..].to_vec()),
-    ))
+    let (head, sig) = frame
+        .split_at_checked(DIGEST_LEN)
+        .ok_or(PubSubError::Malformed("adlp ack (wrong length)"))?;
+    let digest =
+        Digest::from_slice(head).ok_or(PubSubError::Malformed("adlp ack (digest)"))?;
+    Ok((digest, Signature::from_bytes(sig.to_vec())))
 }
 
 #[cfg(test)]

@@ -10,10 +10,11 @@ const ALPHABET: &[u8; 16] = b"0123456789abcdef";
 /// assert_eq!(adlp_crypto::hex::encode(&[0xde, 0xad]), "dead");
 /// ```
 pub fn encode(bytes: &[u8]) -> String {
+    let digit = |nibble: u8| char::from(ALPHABET.get(nibble as usize & 0xf).copied().unwrap_or(b'0'));
     let mut s = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
-        s.push(ALPHABET[(b >> 4) as usize] as char);
-        s.push(ALPHABET[(b & 0xf) as usize] as char);
+        s.push(digit(b >> 4));
+        s.push(digit(b & 0xf));
     }
     s
 }
@@ -30,7 +31,9 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     for pair in s.chunks_exact(2) {
-        out.push(val(pair[0])? << 4 | val(pair[1])?);
+        if let [hi, lo] = *pair {
+            out.push(val(hi)? << 4 | val(lo)?);
+        }
     }
     Ok(out)
 }

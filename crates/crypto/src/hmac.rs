@@ -9,7 +9,7 @@
 //! third-party tampering). The `crypto_ops` bench quantifies the speedup;
 //! DESIGN.md discusses the trade-off.
 
-use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+use crate::sha256::{Digest, Sha256};
 
 const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
@@ -43,18 +43,22 @@ impl HmacSha256 {
     /// Derives the instance from a key of any length (longer-than-block
     /// keys are hashed first, per RFC 2104).
     pub fn new(key: &[u8]) -> Self {
-        let mut block = [0u8; BLOCK_LEN];
-        if key.len() > BLOCK_LEN {
-            let digest = crate::sha256::sha256(key);
-            block[..DIGEST_LEN].copy_from_slice(digest.as_bytes());
+        let hashed;
+        let key_bytes: &[u8] = if key.len() > BLOCK_LEN {
+            hashed = crate::sha256::sha256(key);
+            hashed.as_bytes()
         } else {
-            block[..key.len()].copy_from_slice(key);
+            key
+        };
+        let mut block = [0u8; BLOCK_LEN];
+        for (b, k) in block.iter_mut().zip(key_bytes) {
+            *b = *k;
         }
         let mut inner_pad = [0u8; BLOCK_LEN];
         let mut outer_pad = [0u8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            inner_pad[i] = block[i] ^ IPAD;
-            outer_pad[i] = block[i] ^ OPAD;
+        for ((ip, op), b) in inner_pad.iter_mut().zip(outer_pad.iter_mut()).zip(block) {
+            *ip = b ^ IPAD;
+            *op = b ^ OPAD;
         }
         HmacSha256 {
             inner_pad,
@@ -76,12 +80,7 @@ impl HmacSha256 {
 
     /// Verifies a tag in constant time.
     pub fn verify(&self, message: &[u8], tag: &Digest) -> bool {
-        let expect = self.tag(message);
-        let mut diff = 0u8;
-        for (a, b) in expect.as_bytes().iter().zip(tag.as_bytes()) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        self.tag(message).ct_eq(tag)
     }
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod bignum;
+pub mod ct;
 pub mod hex;
 pub mod hmac;
 pub mod pkcs1;
@@ -41,6 +42,7 @@ pub mod rsa;
 pub mod sha256;
 
 pub use bignum::BigUint;
+pub use ct::constant_time_eq;
 pub use pkcs1::Signature;
 pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha256::{sha256, Digest, Sha256};

@@ -56,7 +56,7 @@ impl fmt::Debug for Signature {
             f,
             "Signature({} bytes, {}…)",
             self.0.len(),
-            crate::hex::encode(&self.0[..self.0.len().min(8)])
+            crate::hex::encode(self.0.get(..self.0.len().min(8)).unwrap_or(&[]))
         )
     }
 }
@@ -140,7 +140,7 @@ pub fn verify_digest(key: &RsaPublicKey, digest: &Digest, signature: &Signature)
         return false;
     };
     match emsa_pkcs1_v15_encode(digest, k) {
-        Ok(expected) => constant_time_eq(&em, &expected),
+        Ok(expected) => crate::ct::constant_time_eq(&em, &expected),
         Err(_) => false,
     }
 }
@@ -148,19 +148,6 @@ pub fn verify_digest(key: &RsaPublicKey, digest: &Digest, signature: &Signature)
 /// Verifies a signature over a message.
 pub fn verify(key: &RsaPublicKey, message: &[u8], signature: &Signature) -> bool {
     verify_digest(key, &crate::sha256::sha256(message), signature)
-}
-
-/// Constant-time byte-slice comparison (length leak is fine: lengths are
-/// public protocol constants).
-fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (x, y) in a.iter().zip(b) {
-        diff |= x ^ y;
-    }
-    diff == 0
 }
 
 #[cfg(test)]

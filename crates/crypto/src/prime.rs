@@ -53,10 +53,16 @@ fn miller_rabin<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) ->
     let n_minus_1 = n - &one;
     let s = n_minus_1.trailing_zeros();
     let d = &n_minus_1 >> s;
-    let mont = Montgomery::new(n).expect("odd modulus > 2");
+    // Callers guarantee n odd and > 3 (after the small-prime sieve); treat
+    // any contract violation as "not prime" rather than panicking.
+    let Ok(mont) = Montgomery::new(n) else {
+        return false;
+    };
 
     let two = BigUint::from_u64(2);
-    let span = n_minus_1.checked_sub(&two).expect("n > 3 after small primes");
+    let Some(span) = n_minus_1.checked_sub(&two) else {
+        return false;
+    };
     'witness: for _ in 0..rounds {
         // a ∈ [2, n-2]
         let a = &BigUint::random_below(&span, rng) + &two;

@@ -110,15 +110,16 @@ impl RsaPublicKey {
 }
 
 fn take_field(bytes: &[u8]) -> Result<(&[u8], &[u8]), CryptoError> {
-    if bytes.len() < 4 {
-        return Err(CryptoError::Malformed("public key (truncated length)"));
-    }
-    let len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-    let rest = &bytes[4..];
-    if rest.len() < len {
-        return Err(CryptoError::Malformed("public key (truncated field)"));
-    }
-    Ok((&rest[..len], &rest[len..]))
+    let (len_bytes, rest) = bytes
+        .split_at_checked(4)
+        .ok_or(CryptoError::Malformed("public key (truncated length)"))?;
+    let len = u32::from_be_bytes(
+        len_bytes
+            .try_into()
+            .map_err(|_| CryptoError::Malformed("public key (truncated length)"))?,
+    ) as usize;
+    rest.split_at_checked(len)
+        .ok_or(CryptoError::Malformed("public key (truncated field)"))
 }
 
 impl fmt::Debug for RsaPublicKey {
@@ -318,7 +319,11 @@ impl RsaKeyPair {
             let q1 = &q - &one;
             // λ(n) = lcm(p-1, q-1)
             let g = p1.gcd(&q1);
-            let lambda = (&p1 * &q1).div_rem(&g).expect("gcd non-zero").0;
+            // gcd of positive numbers is non-zero; re-draw primes if any of
+            // these structurally-guaranteed steps ever fails.
+            let Ok((lambda, _)) = (&p1 * &q1).div_rem(&g) else {
+                continue;
+            };
             let d = match e.mod_inverse(&lambda) {
                 Ok(d) => d,
                 Err(_) => continue, // e not coprime with λ(n); rare
@@ -329,9 +334,15 @@ impl RsaKeyPair {
                 Ok(v) => v,
                 Err(_) => continue,
             };
-            let public = RsaPublicKey::new(n, e.clone()).expect("odd modulus");
-            let mont_p = Montgomery::new(&p).expect("odd prime");
-            let mont_q = Montgomery::new(&q).expect("odd prime");
+            let Ok(public) = RsaPublicKey::new(n, e.clone()) else {
+                continue;
+            };
+            let Ok(mont_p) = Montgomery::new(&p) else {
+                continue;
+            };
+            let Ok(mont_q) = Montgomery::new(&q) else {
+                continue;
+            };
             return RsaKeyPair {
                 private: RsaPrivateKey {
                     public,

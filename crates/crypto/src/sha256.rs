@@ -43,9 +43,23 @@ impl Digest {
         Ok(Digest(arr))
     }
 
+    /// Checked construction from a byte slice; `None` unless exactly
+    /// [`DIGEST_LEN`] bytes. The panic-free counterpart of
+    /// `From<[u8; DIGEST_LEN]>` for wire-format decoding.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; DIGEST_LEN] = bytes.try_into().ok()?;
+        Some(Digest(arr))
+    }
+
     /// Borrows the raw bytes.
     pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
         &self.0
+    }
+
+    /// Constant-time equality, for digests standing in for secrets (MAC
+    /// tags, expected signature encodings).
+    pub fn ct_eq(&self, other: &Digest) -> bool {
+        crate::ct::constant_time_eq(&self.0, &other.0)
     }
 }
 

@@ -1,0 +1,220 @@
+//! CLI entry point: `cargo run -p adlp-lint --release -- [flags] [paths…]`.
+//!
+//! Modes:
+//! * default — scan, print a summary and any divergence from the
+//!   baseline; exit 0 regardless (informational).
+//! * `--deny` — exit 1 on any regression against the baseline *or* any
+//!   stale baseline entry (the CI gate).
+//! * `--write-baseline` — rewrite `lint-baseline.toml` from the scan.
+//! * `--all` — print every diagnostic, baseline-covered or not.
+//! * `--list-rules` — describe the rules and exit.
+
+use adlp_lint::baseline::{Baseline, Delta};
+use adlp_lint::{analyze, count_by_key, rules, scan_workspace, FileReport};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    write_baseline: bool,
+    all: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adlp-lint [--deny] [--write-baseline] [--all] [--list-rules]\n\
+         \x20                [--root DIR] [--baseline FILE] [paths…]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        deny: false,
+        write_baseline: false,
+        all: false,
+        list_rules: false,
+        root: None,
+        baseline: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--all" => args.all = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => args.root = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--help" | "-h" => usage(),
+            _ if a.starts_with('-') => usage(),
+            _ => args.paths.push(PathBuf::from(a)),
+        }
+    }
+    args
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory whose Cargo.toml declares `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list_rules {
+        for r in rules::ALL {
+            println!("{:<22} {}", r.id, r.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = args.root.clone().or_else(find_root) else {
+        eprintln!("adlp-lint: could not locate the workspace root (use --root)");
+        return ExitCode::from(2);
+    };
+
+    // Scan: the whole workspace, or just the paths given.
+    let reports: BTreeMap<String, FileReport> = if args.paths.is_empty() {
+        scan_workspace(&root)
+    } else {
+        let mut out = BTreeMap::new();
+        for p in &args.paths {
+            let Ok(source) = std::fs::read_to_string(p) else {
+                eprintln!("adlp-lint: cannot read {}", p.display());
+                return ExitCode::from(2);
+            };
+            let rel = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.insert(rel.clone(), analyze(&rel, &source));
+        }
+        out
+    };
+
+    let counts = count_by_key(&reports);
+    let total: usize = counts.values().sum();
+    let suppressed: usize = reports.values().map(|r| r.suppressed).sum();
+    let files_scanned = reports.len();
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    if args.write_baseline {
+        let mut per_rule: BTreeMap<String, usize> = BTreeMap::new();
+        for (key, n) in &counts {
+            if let Some((_, rule)) = key.rsplit_once(':') {
+                *per_rule.entry(rule.to_owned()).or_default() += n;
+            }
+        }
+        let per_rule_line = per_rule
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let header = format!(
+            "adlp-lint baseline — accepted pre-existing debt, ratcheted down over time.\n\
+             Regenerate with: cargo run -p adlp-lint --release -- --write-baseline\n\
+             total = {total} across {files} file:rule keys ({per_rule_line})\n\
+             A scan above any count fails --deny; below it, this file must be rewritten.",
+            files = counts.len(),
+        );
+        let text = Baseline::render(&counts, &header);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("adlp-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} violations over {} keys)",
+            baseline_path.display(),
+            total,
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("adlp-lint: {} is corrupt: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let deltas = baseline.compare(&counts);
+    let mut regressions = 0usize;
+    let mut stale = 0usize;
+    for d in &deltas {
+        match d {
+            Delta::Regression(key, base, cur) => {
+                regressions += 1;
+                println!("REGRESSION {key}: {cur} violation(s), baseline allows {base}");
+                // Show the offending diagnostics for regressed keys.
+                if let Some((path, rule)) = key.rsplit_once(':') {
+                    if let Some(report) = reports.get(path) {
+                        for diag in report.diags.iter().filter(|d| d.rule == rule) {
+                            println!("  {diag}");
+                        }
+                    }
+                }
+            }
+            Delta::Stale(key, base, cur) => {
+                stale += 1;
+                println!(
+                    "STALE {key}: baseline records {base} but only {cur} remain — \
+                     run --write-baseline to ratchet down"
+                );
+            }
+        }
+    }
+
+    if args.all {
+        for report in reports.values() {
+            for d in &report.diags {
+                println!("{d}");
+            }
+        }
+    }
+
+    println!(
+        "adlp-lint: {files_scanned} files, {total} violation(s) \
+         ({} baselined), {suppressed} suppressed inline, \
+         {regressions} regression(s), {stale} stale baseline key(s)",
+        baseline.total(),
+    );
+
+    if args.deny && (regressions > 0 || stale > 0) {
+        eprintln!(
+            "adlp-lint: failing (--deny): fix regressions and/or re-run \
+             --write-baseline for ratcheted keys"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

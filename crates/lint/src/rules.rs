@@ -1,0 +1,473 @@
+//! The five ADLP invariant rules.
+//!
+//! Each rule maps to a guarantee in the paper (see DESIGN.md §3.7):
+//! panicking hot paths break the audit model's hide/crash distinction,
+//! variable-time comparisons leak what signatures/digests are being
+//! checked, ambient time/randomness breaks seeded replay of the fault
+//! sim, poisoned-lock unwraps turn one panic into a cascade, and
+//! discarded fallible sends silently lose the evidence the protocol
+//! exists to keep.
+
+use crate::lexer::TokKind;
+use crate::{Diagnostic, FileCtx};
+
+/// A single lint rule: id, rationale, path scope, and checker.
+pub struct Rule {
+    pub id: &'static str,
+    pub rationale: &'static str,
+    pub applies: fn(&str) -> bool,
+    pub check: fn(&FileCtx, &mut Vec<Diagnostic>),
+}
+
+/// All rules, in reporting order.
+pub const ALL: &[Rule] = &[
+    Rule {
+        id: "no-panic-paths",
+        rationale: "a panicking component is indistinguishable from a hiding one \
+                    in the audit model (Lemma 2), so protocol crates must not panic",
+        applies: |p| {
+            ["crates/core/src/", "crates/pubsub/src/", "crates/logger/src/", "crates/crypto/src/"]
+                .iter()
+                .any(|pre| p.starts_with(pre))
+        },
+        check: no_panic_paths,
+    },
+    Rule {
+        id: "constant-time-crypto",
+        rationale: "variable-time digest/signature comparison leaks match length \
+                    (timing side channel); use the blessed constant_time_eq helper",
+        applies: |p| p.starts_with("crates/crypto/src/"),
+        check: constant_time_crypto,
+    },
+    Rule {
+        id: "sim-determinism",
+        rationale: "the sim and fault injector must replay exactly from a seed; \
+                    ambient clocks/randomness must flow through the Clock/rng abstractions",
+        applies: |p| {
+            p.starts_with("crates/sim/src/") || p == "crates/pubsub/src/transport/faults.rs"
+        },
+        check: sim_determinism,
+    },
+    Rule {
+        id: "lock-hygiene",
+        rationale: "poisoned-lock unwraps cascade one panic into many, and a guard \
+                    held across socket I/O stalls every peer of that lock",
+        applies: in_src,
+        check: lock_hygiene,
+    },
+    Rule {
+        id: "discarded-fallible",
+        rationale: "a discarded protocol send or log submission silently loses the \
+                    evidence accountability depends on; handle, count, or suppress with a reason",
+        applies: in_src,
+        check: discarded_fallible,
+    },
+];
+
+fn in_src(p: &str) -> bool {
+    p.contains("/src/") || p.starts_with("src/")
+}
+
+fn push(out: &mut Vec<Diagnostic>, ctx: &FileCtx, rule: &'static str, i: usize, msg: String) {
+    out.push(Diagnostic {
+        rule,
+        path: ctx.path.clone(),
+        line: ctx.toks[i].line,
+        col: ctx.toks[i].col,
+        message: msg,
+    });
+}
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (slice patterns, array literals in `for … in [..]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn",
+    "else", "enum", "extern", "fn", "for", "if", "impl", "in", "let", "loop",
+    "match", "mod", "move", "mut", "pub", "ref", "return", "self", "Self",
+    "static", "struct", "super", "trait", "type", "union", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Rule 1: `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` and direct indexing in protocol-crate non-test code.
+fn no_panic_paths(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test(i) || ctx.in_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // .unwrap( / .expect(
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            push(
+                out,
+                ctx,
+                "no-panic-paths",
+                i,
+                format!(".{}() panics on the error path; return a typed error instead", t.text),
+            );
+            continue;
+        }
+        // panic!( … ) family
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(
+                out,
+                ctx,
+                "no-panic-paths",
+                i,
+                format!("{}! aborts the component; protocol code must degrade, not die", t.text),
+            );
+            continue;
+        }
+        // Direct indexing: `expr[…]` can panic on out-of-range.
+        if t.is_punct("[") && i > 0 {
+            let p = &toks[i - 1];
+            let indexable = match p.kind {
+                TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                TokKind::Num | TokKind::Str => true,
+                TokKind::Punct => p.text == ")" || p.text == "]" || p.text == "?",
+                _ => false,
+            };
+            if indexable {
+                push(
+                    out,
+                    ctx,
+                    "no-panic-paths",
+                    i,
+                    "direct indexing panics out-of-range; use .get()/.get_mut() or \
+                     a checked split"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+/// Identifier words that mark an operand as secret-adjacent.
+const SENSITIVE: &[&str] = &[
+    "digest", "digests", "sig", "sigs", "signature", "signatures", "hash",
+    "hashes", "hmac", "mac", "tag", "em",
+];
+/// Identifier words that mark a comparison as numeric/structural (length
+/// checks and the like are fine at variable time).
+const NUMERIC: &[&str] = &[
+    "len", "length", "count", "size", "bits", "capacity", "width", "empty",
+    "num", "idx", "index",
+];
+/// Functions allowed to compare secret bytes directly — they *are* the
+/// constant-time implementations.
+const BLESSED_FNS: &[&str] = &["constant_time_eq", "ct_eq", "ct_ne"];
+
+/// Rule 2: `==`/`!=` over digest/signature-like operands in the crypto
+/// crate, outside the blessed constant-time helpers.
+fn constant_time_crypto(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct("==") || toks[i].is_punct("!=")) {
+            continue;
+        }
+        if ctx.in_test(i) || ctx.in_attr(i) {
+            continue;
+        }
+        if ctx
+            .enclosing_fn(i)
+            .is_some_and(|f| BLESSED_FNS.contains(&f))
+        {
+            continue;
+        }
+        let mut sensitive = false;
+        let mut numeric = false;
+        let mut classify = |idx: usize| {
+            if let Some(t) = toks.get(idx) {
+                if t.kind == TokKind::Ident {
+                    for w in t.text.split('_') {
+                        let w = w.to_ascii_lowercase();
+                        if SENSITIVE.contains(&w.as_str()) {
+                            sensitive = true;
+                        }
+                        if NUMERIC.contains(&w.as_str()) || w.starts_with("is") {
+                            numeric = true;
+                        }
+                    }
+                }
+            }
+        };
+        // Walk a bounded window of expression tokens on each side,
+        // stopping at statement/operator boundaries.
+        let boundary = |idx: usize| {
+            toks.get(idx).is_none_or(|t| {
+                matches!(
+                    t.text.as_str(),
+                    ";" | "{" | "}" | "," | "&&" | "||" | "=" | "==" | "!=" | "return"
+                        | "if" | "while" | "let" | "match" | "assert"
+                )
+            })
+        };
+        let mut j = i;
+        let mut balance = 0i32;
+        for _ in 0..16 {
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+            let t = &toks[j];
+            if t.is_punct(")") || t.is_punct("]") {
+                balance += 1;
+            } else if t.is_punct("(") || t.is_punct("[") {
+                balance -= 1;
+                if balance < 0 {
+                    break;
+                }
+            }
+            if balance == 0 && boundary(j) {
+                break;
+            }
+            classify(j);
+        }
+        let mut j = i;
+        let mut balance = 0i32;
+        for _ in 0..16 {
+            j += 1;
+            if j >= toks.len() {
+                break;
+            }
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                balance += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                balance -= 1;
+                if balance < 0 {
+                    break;
+                }
+            }
+            if balance == 0 && boundary(j) {
+                break;
+            }
+            classify(j);
+        }
+        if sensitive && !numeric {
+            push(
+                out,
+                ctx,
+                "constant-time-crypto",
+                i,
+                "variable-time comparison of digest/signature bytes; route through \
+                 constant_time_eq"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Rule 3: ambient time or randomness in the sim / fault injector.
+fn sim_determinism(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test(i) || ctx.in_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            // Instant::now / SystemTime::now
+            "Instant" | "SystemTime" => {
+                toks.get(i + 1).is_some_and(|a| a.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|b| b.is_ident("now"))
+            }
+            "thread_rng" | "from_entropy" | "from_os_rng" => true,
+            // rand::random
+            "random" => {
+                i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("rand")
+            }
+            _ => false,
+        };
+        if flagged {
+            push(
+                out,
+                ctx,
+                "sim-determinism",
+                i,
+                format!(
+                    "`{}` injects ambient nondeterminism; derive time from the Clock \
+                     abstraction and randomness from the scenario seed",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Method names that perform socket/channel I/O; holding a lock guard
+/// across them is the deadlock/stall heuristic this rule encodes.
+const IO_CALLS: &[&str] = &[
+    "write_all", "read_exact", "read_to_end", "connect", "connect_timeout",
+    "accept", "recv", "recv_timeout", "send_frame", "shutdown",
+];
+
+/// Rule 4: `.lock().unwrap()`-style poison panics, and lock guards held
+/// across socket I/O (heuristic: a `let g = ….lock();` binding whose
+/// enclosing block performs I/O before the guard dies).
+fn lock_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.toks;
+    // Precompute brace depth per token for the guard-scope scan.
+    let mut depth = vec![0u32; toks.len()];
+    let mut d = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("}") {
+            d = d.saturating_sub(1);
+        }
+        depth[i] = d;
+        if t.is_punct("{") {
+            d += 1;
+        }
+    }
+    for i in 0..toks.len() {
+        if ctx.in_test(i) || ctx.in_attr(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // .lock().unwrap() / .read().expect(…) / .write().unwrap()
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct("("))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(")"))
+            && toks.get(i + 3).is_some_and(|a| a.is_punct("."))
+            && toks
+                .get(i + 4)
+                .is_some_and(|a| a.is_ident("unwrap") || a.is_ident("expect"))
+        {
+            push(
+                out,
+                ctx,
+                "lock-hygiene",
+                i,
+                format!(
+                    ".{}().{}() panics when the lock is poisoned, cascading one \
+                     panic into many; use the poison-recovering lock API",
+                    t.text, toks[i + 4].text
+                ),
+            );
+            continue;
+        }
+        // let guard = ….lock();  followed by I/O inside the guard's scope.
+        if t.is_ident("let")
+            && toks.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("="))
+        {
+            let guard = &toks[i + 1].text;
+            if guard == "_" {
+                continue; // dropped immediately, holds nothing
+            }
+            // Find the end of the statement and whether it takes a guard.
+            let mut j = i + 3;
+            let mut takes_guard = false;
+            while j < toks.len() && !toks[j].is_punct(";") && !toks[j].is_punct("{") {
+                if toks[j].kind == TokKind::Ident
+                    && matches!(toks[j].text.as_str(), "lock" | "read" | "write")
+                    && toks[j - 1].is_punct(".")
+                    && toks.get(j + 1).is_some_and(|a| a.is_punct("("))
+                    && toks.get(j + 2).is_some_and(|a| a.is_punct(")"))
+                {
+                    takes_guard = true;
+                }
+                j += 1;
+            }
+            if !takes_guard || j >= toks.len() || !toks[j].is_punct(";") {
+                continue;
+            }
+            let scope_depth = depth[i];
+            let mut k = j + 1;
+            while k < toks.len() && depth[k] >= scope_depth {
+                // An explicit drop(guard) ends the held range.
+                if toks[k].is_ident("drop")
+                    && toks.get(k + 1).is_some_and(|a| a.is_punct("("))
+                    && toks.get(k + 2).is_some_and(|a| a.is_ident(guard))
+                {
+                    break;
+                }
+                if toks[k].kind == TokKind::Ident
+                    && IO_CALLS.contains(&toks[k].text.as_str())
+                    && toks[k - 1].is_punct(".")
+                    && toks.get(k + 1).is_some_and(|a| a.is_punct("("))
+                {
+                    push(
+                        out,
+                        ctx,
+                        "lock-hygiene",
+                        k,
+                        format!(
+                            "socket/channel I/O `.{}()` while lock guard `{}` (bound at \
+                             line {}) is live; drop the guard before blocking",
+                            toks[k].text, guard, toks[i].line
+                        ),
+                    );
+                    break; // one report per guard
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Call names whose `Result` carries protocol evidence.
+const FALLIBLE_SENDS: &[&str] = &[
+    "publish", "submit", "send", "try_send", "send_frame", "append", "flush",
+    "log_event",
+];
+
+/// Rule 5: `let _ = <protocol send / log submission>;` discards delivery
+/// or persistence failures the accountability argument depends on.
+fn discarded_fallible(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("let")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("=")))
+        {
+            continue;
+        }
+        if ctx.in_test(i) || ctx.in_attr(i) {
+            continue;
+        }
+        let mut j = i + 3;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident
+                && FALLIBLE_SENDS.contains(&t.text.as_str())
+                && toks.get(j + 1).is_some_and(|a| a.is_punct("("))
+                && (j == 0 || toks[j - 1].is_punct(".") || toks[j - 1].is_punct("::"))
+            {
+                push(
+                    out,
+                    ctx,
+                    "discarded-fallible",
+                    j,
+                    format!(
+                        "`let _ =` discards the Result of `{}`; a lost send/submission \
+                         is lost evidence — handle it, count it, or allow() with a reason",
+                        t.text
+                    ),
+                );
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Looks up a rule by id (used by the CLI for `--list-rules`).
+pub fn by_id(id: &str) -> Option<&'static Rule> {
+    ALL.iter().find(|r| r.id == id)
+}

@@ -1,0 +1,6 @@
+// Known-bad fixture for `constant-time-crypto`: an early-exit comparison
+// of secret digests. Analyzed under a virtual `crates/crypto/src/` path.
+
+pub fn verify(expected_digest: &[u8], actual_digest: &[u8]) -> bool {
+    expected_digest == actual_digest
+}

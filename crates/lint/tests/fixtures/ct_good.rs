@@ -1,0 +1,18 @@
+// Known-good fixture for `constant-time-crypto`: the comparison lives in a
+// blessed helper, and length comparisons of sensitive values stay allowed
+// (lengths are public).
+
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+pub fn right_length(sig: &[u8], expected_len: usize) -> bool {
+    sig.len() == expected_len
+}

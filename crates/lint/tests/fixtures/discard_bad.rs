@@ -1,0 +1,14 @@
+// Known-bad fixture for `discarded-fallible`: the Result of a protocol
+// send is thrown away with `let _ =`.
+
+pub struct Channel;
+
+impl Channel {
+    pub fn send(&self, _frame: u32) -> Result<(), ()> {
+        Err(())
+    }
+}
+
+pub fn fire_and_forget(ch: &Channel) {
+    let _ = ch.send(1);
+}

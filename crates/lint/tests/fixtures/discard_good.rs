@@ -1,0 +1,18 @@
+// Known-good fixture for `discarded-fallible`: the failed send is counted
+// instead of discarded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Channel;
+
+impl Channel {
+    pub fn send(&self, _frame: u32) -> Result<(), ()> {
+        Err(())
+    }
+}
+
+pub fn counted(ch: &Channel, lost: &AtomicU64) {
+    if ch.send(1).is_err() {
+        lost.fetch_add(1, Ordering::Relaxed);
+    }
+}

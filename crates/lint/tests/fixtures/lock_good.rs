@@ -1,0 +1,17 @@
+// Known-good fixture for `lock-hygiene`: poison is recovered, and the
+// guard is released before any socket I/O starts.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn poison_recovered(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn io_after_release(m: &Mutex<Vec<u8>>, sock: &mut std::net::TcpStream) {
+    let data = {
+        let guard = m.lock();
+        guard.unwrap_or_else(|e| e.into_inner()).clone()
+    };
+    let _written = sock.write_all(&data);
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for `no-panic-paths`: every construct below panics on
+// hostile input. Analyzed under a virtual `crates/core/src/` path.
+
+pub fn parse_header(v: &[u8]) -> u8 {
+    let head = v[0];
+    let parsed: u64 = core::str::from_utf8(v).unwrap().parse().expect("number");
+    if parsed > 9 {
+        panic!("bad header");
+    }
+    head
+}

@@ -1,0 +1,20 @@
+// Known-good fixture for `no-panic-paths`: checked parsing in non-test
+// code; unwrap/indexing freely inside `#[cfg(test)]` regions.
+
+pub fn parse_header(v: &[u8]) -> Option<u8> {
+    let head = v.first().copied()?;
+    let (fixed, _rest) = v.split_at_checked(8)?;
+    let _ = fixed;
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v[0], 1);
+        let n: u64 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for `sim-determinism`: ambient wall-clock reads in
+// what should be seed-driven code. Analyzed under a virtual
+// `crates/sim/src/` path.
+
+pub fn ambient() -> u64 {
+    let started = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _keep = (started, wall);
+    0
+}

@@ -1,0 +1,8 @@
+// Fixture: a violation waived by a well-formed allow directive (rule id +
+// mandatory reason). The waived match must count as suppressed, not as a
+// violation.
+
+pub fn documented(v: &[u8]) -> u8 {
+    // adlp-lint: allow(no-panic-paths) — fixture: bounds established by the caller
+    v[0]
+}

@@ -1,0 +1,7 @@
+// Fixture: a reasonless allow directive. The directive must NOT suppress
+// the violation, and must itself be reported.
+
+pub fn undocumented(v: &[u8]) -> u8 {
+    // adlp-lint: allow(no-panic-paths)
+    v[0]
+}

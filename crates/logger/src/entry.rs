@@ -291,13 +291,11 @@ impl LogEntry {
 }
 
 fn read_digest(s: &mut &[u8]) -> Result<Digest, LogError> {
-    if s.len() < DIGEST_LEN {
-        return Err(LogError::Malformed("entry (truncated digest)"));
-    }
-    let (head, rest) = s.split_at(DIGEST_LEN);
+    let (head, rest) = s
+        .split_at_checked(DIGEST_LEN)
+        .ok_or(LogError::Malformed("entry (truncated digest)"))?;
     *s = rest;
-    let arr: [u8; DIGEST_LEN] = head.try_into().expect("exact length");
-    Ok(Digest::from(arr))
+    Digest::from_slice(head).ok_or(LogError::Malformed("entry (truncated digest)"))
 }
 
 #[cfg(test)]

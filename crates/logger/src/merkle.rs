@@ -53,11 +53,11 @@ impl MerkleTree {
         while current.len() > 1 {
             let mut next = Vec::with_capacity(current.len().div_ceil(2));
             for pair in current.chunks(2) {
-                next.push(if pair.len() == 2 {
-                    node_hash(&pair[0], &pair[1])
-                } else {
-                    pair[0]
-                });
+                match pair {
+                    [a, b] => next.push(node_hash(a, b)),
+                    [a] => next.push(*a),
+                    _ => {}
+                }
             }
             levels.push(next.clone());
             current = next;
@@ -87,10 +87,10 @@ impl MerkleTree {
         }
         let mut siblings = Vec::new();
         let mut idx = index;
-        for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = idx ^ 1;
-            if sibling < level.len() {
-                siblings.push(level[sibling]);
+        let (_, below_root) = self.levels.split_last()?;
+        for level in below_root {
+            if let Some(s) = level.get(idx ^ 1) {
+                siblings.push(*s);
             }
             idx /= 2;
         }
@@ -151,7 +151,9 @@ impl MerkleTree {
     fn range_hash(leaves: &[Digest], lo: usize, hi: usize) -> Digest {
         debug_assert!(lo < hi);
         if hi - lo == 1 {
-            return leaf_hash(&leaves[lo]);
+            // `lo < hi <= leaves.len()` at every call site; an empty-range
+            // digest is returned rather than panicking if that ever breaks.
+            return leaves.get(lo).map_or_else(|| leaf_hash(&Digest::from([0u8; 32])), leaf_hash);
         }
         let k = largest_power_of_two_below(hi - lo);
         node_hash(

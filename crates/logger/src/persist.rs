@@ -70,7 +70,8 @@ pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
     if on_disk.is_empty() {
         file.write_all(MAGIC).map_err(io_err)?;
     }
-    let fresh = &memory[on_disk.len()..];
+    // `on_disk.len() <= memory.len()` was checked above.
+    let fresh = memory.get(on_disk.len()..).unwrap_or(&[]);
     for encoded in fresh {
         file.write_all(&(encoded.len() as u32).to_le_bytes())
             .map_err(io_err)?;

@@ -201,18 +201,20 @@ fn serve_connection(stream: TcpStream, handle: LoggerHandle) {
 
 fn register_from_frame(handle: &LoggerHandle, body: &[u8]) -> Result<(), LogError> {
     // body = u16 name_len ‖ name ‖ key bytes
-    if body.len() < 2 {
-        return Err(LogError::Malformed("register frame"));
-    }
-    let name_len =
-        u16::from_le_bytes(body[..2].try_into().map_err(|_| LogError::Malformed("register frame"))?)
-            as usize;
-    if body.len() < 2 + name_len {
-        return Err(LogError::Malformed("register frame (name)"));
-    }
-    let name = std::str::from_utf8(&body[2..2 + name_len])
+    let (len_bytes, rest) = body
+        .split_at_checked(2)
+        .ok_or(LogError::Malformed("register frame"))?;
+    let name_len = u16::from_le_bytes(
+        len_bytes
+            .try_into()
+            .map_err(|_| LogError::Malformed("register frame"))?,
+    ) as usize;
+    let (name_bytes, key_bytes) = rest
+        .split_at_checked(name_len)
+        .ok_or(LogError::Malformed("register frame (name)"))?;
+    let name = std::str::from_utf8(name_bytes)
         .map_err(|_| LogError::Malformed("register frame (utf-8)"))?;
-    let key = RsaPublicKey::from_bytes(&body[2 + name_len..])
+    let key = RsaPublicKey::from_bytes(key_bytes)
         .map_err(|_| LogError::Malformed("register frame (key)"))?;
     handle.register_key(&NodeId::new(name), key)
 }
@@ -291,7 +293,11 @@ impl RemoteLogClient {
     /// the buffer is full).
     pub fn submit(&mut self, entry: &LogEntry) {
         self.stats.note_submitted();
-        let _ = self.cmd_tx.send(Cmd::Entry(Box::new(entry.clone())));
+        if self.cmd_tx.send(Cmd::Entry(Box::new(entry.clone()))).is_err() {
+            // Worker gone (shutdown race): account for the entry as spilled
+            // so the nothing-vanishes-silently invariant holds.
+            self.stats.note_spilled();
+        }
     }
 
     /// Registers a public key and waits for the server's verdict. The key
@@ -384,6 +390,7 @@ impl Worker {
                     key,
                     reply,
                 }) => {
+                    // adlp-lint: allow(discarded-fallible) — the registering caller may have timed out; the verdict has no other home
                     let _ = reply.send(self.handle_register(&component, &key));
                 }
                 Ok(Cmd::Flush(tx)) => self.pending_flushes.push(tx),
@@ -394,6 +401,7 @@ impl Worker {
                     self.try_reconnect();
                     self.drain_buffer();
                     for tx in self.pending_flushes.drain(..) {
+                        // adlp-lint: allow(discarded-fallible) — final drain during shutdown; the flush caller may be gone
                         let _ = tx.send(self.buffer.is_empty());
                     }
                     return;
@@ -507,6 +515,7 @@ impl Worker {
     fn answer_flushes(&mut self) {
         if self.buffer.is_empty() && self.connected() && !self.pending_flushes.is_empty() {
             for tx in self.pending_flushes.drain(..) {
+                // adlp-lint: allow(discarded-fallible) — a flush caller that stopped waiting loses nothing but its own answer
                 let _ = tx.send(true);
             }
         }

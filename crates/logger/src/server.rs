@@ -35,11 +35,13 @@ pub struct LoggerHandle {
 }
 
 impl LoggerHandle {
-    /// Pushes a log entry; never blocks on server-side work. Errors are
-    /// deliberately swallowed: a dead logger must not disturb the data
-    /// distribution system.
+    /// Pushes a log entry; never blocks on server-side work. A dead logger
+    /// must not disturb the data distribution system, so failures do not
+    /// propagate — but they are counted in [`LogStats`], not hidden.
     pub fn submit(&self, entry: LogEntry) {
-        let _ = self.tx.send(Command::Append(Box::new(entry)));
+        if self.tx.send(Command::Append(Box::new(entry))).is_err() {
+            self.stats.note_lost();
+        }
     }
 
     /// Registers a component's public key (paper §V-B step 1), waiting for
@@ -113,6 +115,20 @@ impl LogServer {
     /// assert_eq!(handle.store().len(), 1);
     /// ```
     pub fn spawn() -> Self {
+        // Public constructor kept infallible for API compatibility; thread
+        // creation only fails when the OS is out of resources, before any
+        // protocol traffic exists. Fallible callers use `try_spawn`.
+        // adlp-lint: allow(no-panic-paths) — documented startup panic; try_spawn is the fallible alternative
+        Self::try_spawn().expect("spawn log server")
+    }
+
+    /// Like [`LogServer::spawn`], but reports thread-creation failure
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
+    pub fn try_spawn() -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let keys = KeyRegistry::new();
         let stats = LogStats::new();
@@ -126,11 +142,11 @@ impl LogServer {
         let worker = std::thread::Builder::new()
             .name("adlp-log-server".into())
             .spawn(move || Self::serve(rx, keys, stats, store))
-            .expect("spawn log server");
-        LogServer {
+            .map_err(|e| LogError::Io(format!("spawn log server: {e}")))?;
+        Ok(LogServer {
             handle,
             worker: Some(worker),
-        }
+        })
     }
 
     fn serve(rx: Receiver<Command>, keys: KeyRegistry, stats: LogStats, store: LogStore) {
@@ -142,9 +158,11 @@ impl LogServer {
                     store.append_encoded(encoded);
                 }
                 Command::RegisterKey(component, key, reply) => {
+                    // adlp-lint: allow(discarded-fallible) — the registering caller may have stopped waiting for its verdict
                     let _ = reply.send(keys.register(&component, *key));
                 }
                 Command::Flush(reply) => {
+                    // adlp-lint: allow(discarded-fallible) — the flush caller may have stopped waiting; nothing to recover
                     let _ = reply.send(());
                 }
                 Command::Terminate => return,
@@ -169,6 +187,7 @@ impl LogServer {
     /// interrupt a normal operation of the ROS nodes", §V-B). Used by
     /// failure-injection tests.
     pub fn kill(&self) {
+        // adlp-lint: allow(discarded-fallible) — killing an already-dead server is a no-op by design
         let _ = self.handle.tx.send(Command::Terminate);
         if let Some(w) = &self.worker {
             // Wait for the worker to observe the command so the crash is

@@ -92,6 +92,7 @@ pub struct LogStats {
 struct StatsInner {
     total_entries: u64,
     total_bytes: u64,
+    lost: u64,
     by_topic: HashMap<Topic, (u64, u64)>,
     by_component: HashMap<NodeId, (u64, u64)>,
 }
@@ -103,6 +104,10 @@ pub struct VolumeSnapshot {
     pub entries: u64,
     /// Encoded bytes accepted.
     pub bytes: u64,
+    /// Entries submitted after the server died — dropped by design ("any
+    /// failure at the log server does not interrupt a normal operation of
+    /// the ROS nodes", §V-B) but counted so the loss is observable.
+    pub lost: u64,
     /// Per-topic `(entries, bytes)`.
     pub by_topic: Vec<(Topic, u64, u64)>,
     /// Per-component `(entries, bytes)`.
@@ -146,6 +151,11 @@ impl LogStats {
         c.1 += bytes as u64;
     }
 
+    /// Counts an entry that could not reach the (dead) server.
+    pub(crate) fn note_lost(&self) {
+        self.inner.lock().lost += 1;
+    }
+
     /// Copies the counters (sorted for determinism).
     pub fn snapshot(&self) -> VolumeSnapshot {
         let s = self.inner.lock();
@@ -164,6 +174,7 @@ impl LogStats {
         VolumeSnapshot {
             entries: s.total_entries,
             bytes: s.total_bytes,
+            lost: s.lost,
             by_topic,
             by_component,
         }

@@ -61,14 +61,14 @@ impl Message {
     ///
     /// Returns [`PubSubError::Malformed`] if shorter than [`HEADER_LEN`].
     pub fn decode(body: &[u8]) -> Result<Self, PubSubError> {
-        if body.len() < HEADER_LEN {
-            return Err(PubSubError::Malformed("message body (too short)"));
-        }
-        let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-        let stamp_ns = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+        let too_short = || PubSubError::Malformed("message body (too short)");
+        let (seq_bytes, rest) = body.split_at_checked(8).ok_or_else(too_short)?;
+        let (stamp_bytes, payload) = rest.split_at_checked(8).ok_or_else(too_short)?;
+        let seq = u64::from_le_bytes(seq_bytes.try_into().map_err(|_| too_short())?);
+        let stamp_ns = u64::from_le_bytes(stamp_bytes.try_into().map_err(|_| too_short())?);
         Ok(Message {
             header: Header { seq, stamp_ns },
-            payload: Bytes::copy_from_slice(&body[HEADER_LEN..]),
+            payload: Bytes::copy_from_slice(payload),
         })
     }
 }

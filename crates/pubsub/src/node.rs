@@ -246,15 +246,18 @@ impl Node {
                     .spawn(move || {
                         while let Ok(req) = queue.recv() {
                             if accept_shared.closed.load(Ordering::SeqCst) {
+                                // adlp-lint: allow(discarded-fallible) — the connecting peer may already have given up waiting
                                 let _ = req.reply.send(Err(PubSubError::Disconnected));
                                 continue;
                             }
                             let reply_hs = accept_shared.local_handshake();
                             match accept_shared.admit(req.handshake, req.duplex) {
                                 Ok(()) => {
+                                    // adlp-lint: allow(discarded-fallible) — the connecting peer may already have given up waiting
                                     let _ = req.reply.send(Ok(reply_hs));
                                 }
                                 Err(e) => {
+                                    // adlp-lint: allow(discarded-fallible) — the connecting peer may already have given up waiting
                                     let _ = req.reply.send(Err(e));
                                 }
                             }
@@ -438,7 +441,7 @@ impl Node {
             None => crossbeam::channel::unbounded(),
         };
         let sub = self.subscribe_with(topic, options, move |msg| {
-            // Bounded + full → drop the message (queue_size semantics).
+            // adlp-lint: allow(discarded-fallible) — bounded + full → drop the message; that is exactly queue_size backpressure semantics
             let _ = tx.try_send(msg);
         })?;
         Ok((sub, rx))

@@ -171,6 +171,7 @@ impl FaultyTransport {
         thread::Builder::new()
             .name("fault-injector".into())
             .spawn(move || injector.run(outer_rx))
+            // adlp-lint: allow(no-panic-paths) — test-harness link setup before any traffic; the injector owns the only copy of the duplex, so there is no caller to hand an error to
             .expect("spawn fault injector");
         outer
     }
@@ -199,16 +200,15 @@ impl Injector {
         let mut delayed: Vec<(Instant, Vec<u8>)> = Vec::new();
         let mut held: Option<Vec<u8>> = None;
         loop {
+            // adlp-lint: allow(sim-determinism) — which frames get delayed (and by how much) is decided by the seeded RNG above; Instant only paces their physical delivery
             let now = Instant::now();
-            let mut i = 0;
-            while i < delayed.len() {
-                if delayed[i].0 <= now {
-                    let (_, frame) = delayed.remove(i);
-                    if !self.emit(frame) {
-                        return;
-                    }
-                } else {
-                    i += 1;
+            let (ready, still): (Vec<_>, Vec<_>) = std::mem::take(&mut delayed)
+                .into_iter()
+                .partition(|(due, _)| *due <= now);
+            delayed = still;
+            for (_, frame) in ready {
+                if !self.emit(frame) {
+                    return;
                 }
             }
             if self.severed {
@@ -247,6 +247,7 @@ impl Injector {
                 let span = self.config.max_delay.as_millis().max(1) as u64;
                 let wait = Duration::from_millis(self.rng.next_u64() % span);
                 self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                // adlp-lint: allow(sim-determinism) — the delay amount is seeded; Instant only anchors the wall-clock due time
                 delayed.push((Instant::now() + wait, frame));
                 continue;
             }

@@ -102,17 +102,20 @@ impl Handshake {
     pub fn decode(mut bytes: &[u8]) -> Result<Self, PubSubError> {
         let mut fields = BTreeMap::new();
         while !bytes.is_empty() {
-            if bytes.len() < 2 {
-                return Err(PubSubError::Malformed("handshake (truncated length)"));
-            }
-            let len = u16::from_le_bytes(bytes[..2].try_into().expect("2 bytes")) as usize;
-            bytes = &bytes[2..];
-            if bytes.len() < len {
-                return Err(PubSubError::Malformed("handshake (truncated record)"));
-            }
-            let record = std::str::from_utf8(&bytes[..len])
+            let (len_bytes, rest) = bytes
+                .split_at_checked(2)
+                .ok_or(PubSubError::Malformed("handshake (truncated length)"))?;
+            let len = u16::from_le_bytes(
+                len_bytes
+                    .try_into()
+                    .map_err(|_| PubSubError::Malformed("handshake (truncated length)"))?,
+            ) as usize;
+            let (record_bytes, rest) = rest
+                .split_at_checked(len)
+                .ok_or(PubSubError::Malformed("handshake (truncated record)"))?;
+            let record = std::str::from_utf8(record_bytes)
                 .map_err(|_| PubSubError::Malformed("handshake (utf-8)"))?;
-            bytes = &bytes[len..];
+            bytes = rest;
             let (k, v) = record
                 .split_once('=')
                 .ok_or(PubSubError::Malformed("handshake (missing '=')"))?;

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when every receiver is gone; carries
@@ -132,8 +132,15 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
+/// Recovers from a poisoned std lock operation: a sender or receiver that
+/// panicked mid-operation must not wedge the channel for every other clone,
+/// so poison is swallowed and the queue stays usable.
+fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
 fn lock<'a, T>(m: &'a Mutex<VecDeque<T>>) -> MutexGuard<'a, VecDeque<T>> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    recover(m.lock())
 }
 
 impl<T> Sender<T> {
@@ -151,10 +158,8 @@ impl<T> Sender<T> {
             }
             match shared.cap {
                 Some(cap) if queue.len() >= cap => {
-                    let (q, timeout) = shared
-                        .not_full
-                        .wait_timeout(queue, Duration::from_millis(100))
-                        .unwrap_or_else(|e| e.into_inner());
+                    let (q, timeout) =
+                        recover(shared.not_full.wait_timeout(queue, Duration::from_millis(100)));
                     queue = q;
                     let _ = timeout;
                 }
@@ -221,11 +226,12 @@ impl<T> Receiver<T> {
             if shared.disconnected_for_recv() {
                 return Err(RecvError);
             }
-            queue = shared
-                .not_empty
-                .wait_timeout(queue, Duration::from_millis(100))
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            queue = recover(
+                shared
+                    .not_empty
+                    .wait_timeout(queue, Duration::from_millis(100)),
+            )
+            .0;
         }
     }
 
@@ -254,11 +260,7 @@ impl<T> Receiver<T> {
             else {
                 return Err(RecvTimeoutError::Timeout);
             };
-            queue = shared
-                .not_empty
-                .wait_timeout(queue, remaining)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            queue = recover(shared.not_empty.wait_timeout(queue, remaining)).0;
         }
     }
 

@@ -10,6 +10,17 @@ use std::ops::{Deref, DerefMut};
 use std::sync::{self, WaitTimeoutResult};
 use std::time::Duration;
 
+/// Recovers the protected value from a poisoned std lock operation.
+///
+/// A std lock poisons when a holder panics; `parking_lot` does not track
+/// poison at all. Funneling every acquisition through this one helper keeps
+/// the recovery policy in a single place — the `lock-hygiene` workspace lint
+/// exists precisely so ad-hoc `.lock().unwrap()` poison propagation cannot
+/// creep back in at call sites.
+fn recover<G>(result: Result<G, sync::PoisonError<G>>) -> G {
+    result.unwrap_or_else(sync::PoisonError::into_inner)
+}
+
 /// A mutual-exclusion lock without poisoning.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
@@ -32,7 +43,7 @@ impl<T> Mutex<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        recover(self.inner.into_inner())
     }
 }
 
@@ -40,7 +51,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            inner: Some(recover(self.inner.lock())),
         }
     }
 
@@ -57,7 +68,7 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        recover(self.inner.get_mut())
     }
 }
 
@@ -110,7 +121,7 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        recover(self.inner.into_inner())
     }
 }
 
@@ -118,20 +129,20 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            inner: recover(self.inner.read()),
         }
     }
 
     /// Acquires the exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            inner: recover(self.inner.write()),
         }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        recover(self.inner.get_mut())
     }
 }
 
@@ -184,7 +195,7 @@ impl Condvar {
     /// Blocks until notified, releasing the guard while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present");
-        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        let inner = recover(self.inner.wait(inner));
         guard.inner = Some(inner);
     }
 
@@ -196,10 +207,7 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard present");
-        let (inner, result) = self
-            .inner
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(|e| e.into_inner());
+        let (inner, result) = recover(self.inner.wait_timeout(inner, timeout));
         guard.inner = Some(inner);
         result
     }

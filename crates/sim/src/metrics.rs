@@ -92,6 +92,7 @@ impl CpuProbe {
     pub fn start() -> Self {
         CpuProbe {
             start_cpu: process_cpu_seconds(),
+            // adlp-lint: allow(sim-determinism) — a CPU-utilization probe measures physical time; it feeds reports, never protocol decisions
             start_wall: Instant::now(),
         }
     }
@@ -137,6 +138,7 @@ impl ThreadCpuProbe {
         ThreadCpuProbe {
             prefixes,
             start_cpu,
+            // adlp-lint: allow(sim-determinism) — a CPU-utilization probe measures physical time; it feeds reports, never protocol decisions
             start_wall: Instant::now(),
         }
     }

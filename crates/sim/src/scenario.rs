@@ -73,6 +73,10 @@ pub struct ScenarioReport {
     /// Link-health events (ack timeouts, degradations, teardowns) drained
     /// from each node at the end of the run.
     pub link_events: BTreeMap<String, Vec<LinkEvent>>,
+    /// Publish calls that returned an error during the run (e.g. a link
+    /// torn down mid-measurement). Counted so dropped traffic is visible
+    /// in the report instead of silently vanishing.
+    pub publish_failures: u64,
 }
 
 impl ScenarioReport {
@@ -280,6 +284,7 @@ impl Scenario {
         type LatCell = Arc<parking_lot::Mutex<Vec<u64>>>;
         const MAX_SAMPLES: usize = 100_000;
         let mut latencies: BTreeMap<(String, String), LatCell> = BTreeMap::new();
+        let publish_failures = Arc::new(AtomicU64::new(0));
 
         // Wire subscriptions; trigger-driven publications publish from the
         // subscriber callback (the node's `sr-` thread).
@@ -308,6 +313,7 @@ impl Scenario {
                     options = options.with_queue_size(depth);
                 }
                 let callback_delay = self.callback_delays.get(&spec.id).copied();
+                let relay_failures = Arc::clone(&publish_failures);
                 let sub = node
                     .subscribe_with(input.as_str(), options, move |msg| {
                         use adlp_pubsub::Clock;
@@ -323,7 +329,9 @@ impl Scenario {
                         }
                         for (publisher, payload, tick) in &outs {
                             let t = tick.fetch_add(1, Ordering::Relaxed);
-                            let _ = publisher.publish(&payload.generate(t));
+                            if publisher.publish(&payload.generate(t)).is_err() {
+                                relay_failures.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                     .expect("subscribe");
@@ -342,17 +350,22 @@ impl Scenario {
                 let publisher = Arc::clone(&publishers[&p.topic]);
                 let payload = p.payload;
                 let stop2 = Arc::clone(&stop);
+                let driver_failures = Arc::clone(&publish_failures);
                 let period = Duration::from_secs_f64(1.0 / hz);
                 drivers.push(
                     std::thread::Builder::new()
                         .name(format!("dr-{}", spec.id))
                         .spawn(move || {
                             let mut tick = 0u64;
+                            // adlp-lint: allow(sim-determinism) — publish pacing is physical time by design; logical state (ticks, payloads) is seed-driven
                             let mut next = Instant::now();
                             while !stop2.load(Ordering::SeqCst) {
-                                let _ = publisher.publish(&payload.generate(tick));
+                                if publisher.publish(&payload.generate(tick)).is_err() {
+                                    driver_failures.fetch_add(1, Ordering::Relaxed);
+                                }
                                 tick += 1;
                                 next += period;
+                                // adlp-lint: allow(sim-determinism) — drift correction for the pacing loop; measurement, not decision
                                 let now = Instant::now();
                                 if next > now {
                                     std::thread::sleep(next - now);
@@ -374,6 +387,7 @@ impl Scenario {
             .cpu_node
             .as_deref()
             .map(ThreadCpuProbe::for_node);
+        // adlp-lint: allow(sim-determinism) — the measurement window is wall-clock by definition (Table IV reports real rates); protocol state stays seed-driven
         let t0 = Instant::now();
         match self.logger_outage_after {
             Some(after) if after < self.duration => {
@@ -400,6 +414,7 @@ impl Scenario {
             sub.close();
         }
         for node in nodes.values() {
+            // adlp-lint: allow(discarded-fallible) — after a deliberate logger_outage_after kill, flush reports ServerClosed by design
             let _ = node.flush();
         }
 
@@ -432,6 +447,7 @@ impl Scenario {
             mean_latency_ns,
             latency_samples_ns,
             link_events,
+            publish_failures: publish_failures.load(Ordering::Relaxed),
         }
     }
 }
