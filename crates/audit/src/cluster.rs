@@ -1,0 +1,243 @@
+//! Auditing a sharded, replicated logger cluster.
+//!
+//! Cluster audit runs in two layers. First the **replica layer**: every
+//! replica's log is compared against its shard's quorum log
+//! ([`ClusterView`]); a replica holding *conflicting* content is tamper
+//! evidence in itself — the cluster's replicas are untrusted for integrity
+//! — and is flagged before any per-entry classification runs. When an
+//! [`EpochSeal`] is supplied, each shard's live root is also checked
+//! against the signed cross-shard super-root, catching whole-shard
+//! rollback. Then the **entry layer**: the quorum logs of all shards are
+//! merged and handed to the ordinary [`Auditor`], so every per-component
+//! lemma of the paper applies unchanged to the clustered deployment.
+
+use crate::auditor::{AuditReport, Auditor};
+use adlp_cluster::{ClusterView, EpochSeal, ReplicaDivergence};
+use adlp_crypto::RsaPublicKey;
+use adlp_logger::{KeyRegistry, LogEntry};
+use adlp_pubsub::{NodeId, Topic};
+
+/// Whether/how an epoch seal was checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealCheck {
+    /// No seal was supplied; only replica cross-checking ran.
+    NotChecked,
+    /// The seal's signature and super-root verified, and every shard's
+    /// live root matched its anchored root.
+    Verified,
+    /// The seal's own signature or super-root derivation failed.
+    BadSeal,
+    /// The seal verified but these shards' live state contradicted it
+    /// (rollback or rewrite after sealing).
+    ShardMismatch(Vec<usize>),
+}
+
+/// The cluster-level audit outcome.
+#[derive(Debug, Clone)]
+pub struct ClusterAuditReport {
+    /// Replicas whose content conflicts with their shard's quorum log —
+    /// tamper evidence naming shard and replica.
+    pub divergences: Vec<ReplicaDivergence>,
+    /// (shard, replica, records behind) for fail-stop laggards. Forensic
+    /// context, not evidence of wrongdoing.
+    pub lagging: Vec<(usize, usize, usize)>,
+    /// Epoch-seal verification outcome.
+    pub seal: SealCheck,
+    /// Quorum-log records that failed to decode as entries.
+    pub undecodable: usize,
+    /// The ordinary per-component audit over the merged quorum logs.
+    pub report: AuditReport,
+}
+
+impl ClusterAuditReport {
+    /// Whether the cluster is clean: no diverged replica, no seal trouble,
+    /// every record decodable, and the entry-level audit all clear.
+    /// Lagging replicas do not spoil a clear report (fail-stop is within
+    /// the trust model).
+    pub fn all_clear(&self) -> bool {
+        self.divergences.is_empty()
+            && matches!(self.seal, SealCheck::NotChecked | SealCheck::Verified)
+            && self.undecodable == 0
+            && self.report.all_clear()
+    }
+}
+
+/// An [`Auditor`] extended with cluster-level evidence gathering.
+#[derive(Debug, Clone)]
+pub struct ClusterAuditor {
+    inner: Auditor,
+}
+
+impl ClusterAuditor {
+    /// Creates a cluster auditor over the given key registry.
+    pub fn new(keys: KeyRegistry) -> Self {
+        ClusterAuditor {
+            inner: Auditor::new(keys),
+        }
+    }
+
+    /// Declares the topic → publisher topology (required for hidden-entry
+    /// recovery, as for the plain [`Auditor`]).
+    #[must_use]
+    pub fn with_topology(mut self, topology: impl IntoIterator<Item = (Topic, NodeId)>) -> Self {
+        self.inner = self.inner.with_topology(topology);
+        self
+    }
+
+    /// Audits a gathered cluster view without an epoch seal.
+    pub fn audit_view(&self, view: &ClusterView) -> ClusterAuditReport {
+        self.run(view, SealCheck::NotChecked)
+    }
+
+    /// Audits a gathered cluster view against a sealed epoch: the seal
+    /// must verify under `sealing_key` and every shard's live root must
+    /// match its anchored root.
+    pub fn audit_sealed_view(
+        &self,
+        view: &ClusterView,
+        seal: &EpochSeal,
+        sealing_key: &RsaPublicKey,
+    ) -> ClusterAuditReport {
+        let check = if !seal.verify(sealing_key) {
+            SealCheck::BadSeal
+        } else {
+            let mismatched: Vec<usize> = view
+                .shards
+                .iter()
+                .filter(|s| !seal.verify_shard(s.shard, &s.root, s.records.len()))
+                .map(|s| s.shard)
+                .collect();
+            if mismatched.is_empty() {
+                SealCheck::Verified
+            } else {
+                SealCheck::ShardMismatch(mismatched)
+            }
+        };
+        self.run(view, check)
+    }
+
+    fn run(&self, view: &ClusterView, seal: SealCheck) -> ClusterAuditReport {
+        let mut entries: Vec<LogEntry> = Vec::with_capacity(view.total_records());
+        let mut undecodable = 0usize;
+        for decoded in view.entries() {
+            match decoded {
+                Ok(e) => entries.push(e),
+                Err(_) => undecodable += 1,
+            }
+        }
+        ClusterAuditReport {
+            divergences: view.divergences(),
+            lagging: view.lagging(),
+            seal,
+            undecodable,
+            report: self.inner.audit(&entries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_cluster::{ClusterConfig, LoggerCluster};
+    use adlp_crypto::RsaKeyPair;
+    use adlp_logger::{Direction, LogEntry};
+    use rand::SeedableRng;
+
+    fn entry(seq: u64, body: Vec<u8>) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            body,
+        )
+    }
+
+    fn fill(cluster: &LoggerCluster) {
+        for shard in 0..cluster.shard_count() {
+            for slot in cluster.shard_replicas(shard) {
+                for seq in 0..4 {
+                    slot.handle().try_submit(entry(seq, vec![5u8; 16])).unwrap();
+                }
+                slot.handle().flush().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn clean_cluster_audits_clear_with_verified_seal() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(2)).unwrap();
+        fill(&cluster);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let seal = cluster.seal_epoch(kp.private_key()).unwrap();
+        let view = cluster.view();
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        let report = auditor.audit_sealed_view(&view, &seal, kp.public_key());
+        assert_eq!(report.seal, SealCheck::Verified);
+        assert!(report.divergences.is_empty());
+        assert!(report.all_clear(), "clean cluster must audit clear");
+    }
+
+    #[test]
+    fn diverged_replica_is_flagged_with_identity() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        fill(&cluster);
+        cluster
+            .replica(0, 1)
+            .unwrap()
+            .handle()
+            .store()
+            .tamper_with_record(2, entry(2, vec![9u8; 16]).encode())
+            .unwrap();
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        let report = auditor.audit_view(&cluster.view());
+        assert!(!report.all_clear());
+        assert_eq!(
+            report.divergences,
+            vec![ReplicaDivergence {
+                shard: 0,
+                replica: 1,
+                first_divergent_index: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn shard_rollback_after_sealing_is_caught() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::new(2)).unwrap();
+        fill(&cluster);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let seal = cluster.seal_epoch(kp.private_key()).unwrap();
+
+        // All replicas of shard 1 keep writing after the seal: the live
+        // root no longer matches the anchored one.
+        for slot in cluster.shard_replicas(1) {
+            slot.handle().try_submit(entry(99, vec![1u8; 8])).unwrap();
+            slot.handle().flush().unwrap();
+        }
+        let auditor = ClusterAuditor::new(cluster.keys().clone());
+        let report = auditor.audit_sealed_view(&cluster.view(), &seal, kp.public_key());
+        assert_eq!(report.seal, SealCheck::ShardMismatch(vec![1]));
+        assert!(!report.all_clear());
+    }
+
+    #[test]
+    fn lagging_replica_does_not_spoil_clear() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        fill(&cluster);
+        // One replica restarts empty: lagging, not diverged.
+        cluster.kill_replica(0, 2);
+        cluster.restart_replica(0, 2).unwrap();
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        let report = auditor.audit_view(&cluster.view());
+        assert!(report.divergences.is_empty());
+        assert_eq!(report.lagging, vec![(0, 2, 4)]);
+        assert!(report.all_clear(), "fail-stop lag is within the trust model");
+    }
+}

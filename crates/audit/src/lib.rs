@@ -36,6 +36,7 @@
 
 pub mod auditor;
 pub mod causality;
+pub mod cluster;
 pub mod classify;
 pub mod collusion;
 pub mod incremental;
@@ -44,6 +45,7 @@ pub mod render;
 
 pub use auditor::{AuditReport, Auditor, ComponentVerdict, Violation, ViolationKind};
 pub use causality::{CausalityChecker, CausalityViolation, FlowStep};
+pub use cluster::{ClusterAuditReport, ClusterAuditor, SealCheck};
 pub use classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
 pub use collusion::CollusionGroups;
 pub use incremental::AuditSession;

@@ -1,0 +1,33 @@
+//! Cluster deposit throughput: 1 vs 3 vs 5 shards, R=1/W=1 vs R=3/W=2.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_cluster
+//! ```
+//!
+//! Prints the table and writes `BENCH_cluster.json` to the working
+//! directory (override with `ADLP_CLUSTER_JSON`). Environment knobs:
+//! `ADLP_WINDOW_MS` (default 3000), `ADLP_KEY_BITS` (default 1024).
+
+use adlp_bench::experiments::{cluster_throughput, KEY_BITS};
+use adlp_bench::report::{cluster_json, print_cluster};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let window = Duration::from_millis(env_usize("ADLP_WINDOW_MS", 3000) as u64);
+    let key_bits = env_usize("ADLP_KEY_BITS", KEY_BITS);
+    let rows = cluster_throughput(window, key_bits);
+    print_cluster(&rows);
+    let path =
+        std::env::var("ADLP_CLUSTER_JSON").unwrap_or_else(|_| "BENCH_cluster.json".into());
+    match std::fs::write(&path, cluster_json(&rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

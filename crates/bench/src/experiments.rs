@@ -389,11 +389,86 @@ pub fn table4_system_log_rate(window: Duration, key_bits: usize) -> Vec<SystemLo
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Cluster — deposit throughput across shard/replication configurations
+// ---------------------------------------------------------------------------
+
+/// One row of the cluster throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ClusterRow {
+    /// Number of shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Write quorum.
+    pub write_quorum: usize,
+    /// Quorum-acknowledged deposits per second.
+    pub entries_per_sec: f64,
+    /// Log generation rate over quorum-acked deposits, KB/s.
+    pub kbps: f64,
+    /// Mean wall-clock time to reach the write quorum, microseconds.
+    pub mean_quorum_latency_us: f64,
+    /// Deposits that failed their write quorum (should be 0 here: no
+    /// faults are injected).
+    pub entries_lost: u64,
+}
+
+/// Cluster deposit throughput: 1 vs 3 vs 5 shards, unreplicated (R=1/W=1)
+/// vs quorum-replicated (R=3/W=2). Eight publishers spread links across
+/// the ring so sharding has work to distribute.
+pub fn cluster_throughput(window: Duration, key_bits: usize) -> Vec<ClusterRow> {
+    use adlp_cluster::ClusterConfig;
+    let mut rows = Vec::new();
+    for (i, &shards) in [1usize, 3, 5].iter().enumerate() {
+        for (j, config) in [
+            ClusterConfig::new(shards),
+            ClusterConfig::replicated(shards),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (replicas, write_quorum) = (config.replicas, config.write_quorum);
+            let report = Scenario::new(fanout_app(PayloadKind::Custom(256), 8, 120.0))
+                .key_bits(key_bits)
+                .duration(window)
+                .seed(600 + (i * 2 + j) as u64)
+                .cluster(config)
+                .run();
+            let cluster = report.cluster.as_ref().expect("cluster run");
+            let secs = report.elapsed.as_secs_f64();
+            rows.push(ClusterRow {
+                shards,
+                replicas,
+                write_quorum,
+                entries_per_sec: cluster.stats.acked as f64 / secs,
+                kbps: report.volume.bytes as f64 / 1e3 / secs,
+                mean_quorum_latency_us: cluster.stats.mean_quorum_latency_ns as f64 / 1e3,
+                entries_lost: cluster.stats.entries_lost,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     // Smoke tests with shrunken parameters; shape assertions only.
+
+    #[test]
+    fn cluster_throughput_shape() {
+        let rows = cluster_throughput(Duration::from_millis(300), 512);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.entries_per_sec > 0.0, "{r:?}");
+            assert_eq!(r.entries_lost, 0, "no faults injected: {r:?}");
+            assert!(r.mean_quorum_latency_us > 0.0, "{r:?}");
+        }
+        // Both replication settings appear for every shard count.
+        assert!(rows.iter().filter(|r| r.replicas == 3).count() == 3);
+        assert!(rows.iter().filter(|r| r.replicas == 1).count() == 3);
+    }
 
     #[test]
     fn table1_shape() {

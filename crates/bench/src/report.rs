@@ -100,6 +100,49 @@ pub fn print_fig15(window: Duration, key_bits: usize) {
     println!();
 }
 
+pub fn print_cluster(rows: &[ClusterRow]) {
+    println!("== Cluster: deposit throughput by shard/replication config ==");
+    println!(
+        "{:<7} {:<9} {:>12} {:>12} {:>14} {:>8}",
+        "Shards", "R/W", "Entries/s", "KB/s", "Quorum(us)", "Lost"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:<9} {:>12.1} {:>12.2} {:>14.1} {:>8}",
+            r.shards,
+            format!("{}/{}", r.replicas, r.write_quorum),
+            r.entries_per_sec,
+            r.kbps,
+            r.mean_quorum_latency_us,
+            r.entries_lost
+        );
+    }
+    println!();
+}
+
+/// Serializes cluster rows as a JSON document (hand-rolled: the workspace
+/// carries no serialization dependency).
+pub fn cluster_json(rows: &[ClusterRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"cluster_throughput\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"replicas\": {}, \"write_quorum\": {}, \
+             \"entries_per_sec\": {:.3}, \"kbps\": {:.3}, \
+             \"mean_quorum_latency_us\": {:.3}, \"entries_lost\": {}}}{}\n",
+            r.shards,
+            r.replicas,
+            r.write_quorum,
+            r.entries_per_sec,
+            r.kbps,
+            r.mean_quorum_latency_us,
+            r.entries_lost,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 pub fn print_table4(window: Duration, key_bits: usize) {
     println!("== Table IV: system-wide log generation rate ==");
     println!("{:<8} {:>12}", "Scheme", "Mb/s");

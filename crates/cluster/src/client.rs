@@ -1,0 +1,360 @@
+//! The deposit router: shards, fans out, and counts quorums.
+
+use crate::cluster::{LoggerCluster, ReplicaSlot};
+use crate::config::ClusterConfig;
+use crate::ring::HashRing;
+use crate::stats::ClusterStats;
+use adlp_crypto::RsaPublicKey;
+use adlp_logger::stats::LogStats;
+use adlp_logger::{KeyRegistry, LogEntry, LogError, ReconnectConfig, RemoteLogClient};
+use adlp_pubsub::{NodeId, Topic};
+use parking_lot::Mutex;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One replica's deposit lane. Implementations report whether a *live*
+/// replica accepted the entry — the quorum signal.
+pub trait ReplicaSink: Send + Sync + fmt::Debug {
+    /// Attempts to deliver `entry`; returns whether a live replica took it.
+    fn deposit(&self, entry: &LogEntry) -> bool;
+    /// Blocks until previously accepted entries are stored (best effort);
+    /// returns whether the replica confirmed.
+    fn flush_replica(&self) -> bool;
+}
+
+/// In-process sink over a [`ReplicaSlot`] (the sim/bench path).
+#[derive(Debug)]
+struct SlotSink {
+    slot: Arc<ReplicaSlot>,
+}
+
+impl ReplicaSink for SlotSink {
+    fn deposit(&self, entry: &LogEntry) -> bool {
+        self.slot.handle().try_submit(entry.clone()).is_ok()
+    }
+
+    fn flush_replica(&self) -> bool {
+        self.slot.handle().flush().is_ok()
+    }
+}
+
+/// TCP sink layered on the reconnecting [`RemoteLogClient`] (PR 1): while
+/// a replica is unreachable the client buffers the outage locally
+/// (per-replica, hence per-shard buffering) and replays on reconnect, but
+/// a buffered entry does **not** count toward the write quorum — only a
+/// connected replica does.
+pub struct RemoteReplicaSink {
+    client: Mutex<RemoteLogClient>,
+    flush_timeout: Duration,
+}
+
+impl fmt::Debug for RemoteReplicaSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteReplicaSink").finish_non_exhaustive()
+    }
+}
+
+impl RemoteReplicaSink {
+    /// Connects to one replica endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors from [`RemoteLogClient::connect_with`].
+    pub fn connect(addr: SocketAddr, config: ReconnectConfig) -> Result<Self, LogError> {
+        Ok(RemoteReplicaSink {
+            client: Mutex::new(RemoteLogClient::connect_with(addr, config)?),
+            flush_timeout: Duration::from_millis(500),
+        })
+    }
+}
+
+impl ReplicaSink for RemoteReplicaSink {
+    fn deposit(&self, entry: &LogEntry) -> bool {
+        let mut client = self.client.lock();
+        client.submit(entry);
+        client.stats().snapshot().connected
+    }
+
+    fn flush_replica(&self) -> bool {
+        self.client.lock().flush(self.flush_timeout)
+    }
+}
+
+/// A shard's replica lanes plus the per-shard ordering lock.
+struct ShardLanes {
+    /// Serializes fan-outs so all replicas see entries in one order —
+    /// the property that makes cross-replica divergence detection sharp.
+    order: Mutex<()>,
+    replicas: Vec<Box<dyn ReplicaSink>>,
+}
+
+impl fmt::Debug for ShardLanes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardLanes")
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+/// The cluster deposit client: routes each entry to its shard via the
+/// consistent-hash ring, fans it out to all R replicas, and accounts the
+/// W-of-R quorum outcome. Shaped like [`adlp_logger::LoggerHandle`] so the
+/// core logging pipeline can target either interchangeably.
+#[derive(Debug)]
+pub struct ClusterLogClient {
+    ring: HashRing,
+    config: ClusterConfig,
+    keys: KeyRegistry,
+    shards: Vec<ShardLanes>,
+    stats: ClusterStats,
+    volume: LogStats,
+}
+
+impl ClusterLogClient {
+    /// An in-process client over a [`LoggerCluster`]'s replica slots.
+    pub fn in_proc(cluster: &LoggerCluster) -> Self {
+        let sinks = (0..cluster.shard_count())
+            .map(|shard| {
+                cluster
+                    .shard_replicas(shard)
+                    .iter()
+                    .map(|slot| Box::new(SlotSink { slot: Arc::clone(slot) }) as Box<dyn ReplicaSink>)
+                    .collect()
+            })
+            .collect();
+        Self::from_sinks(cluster.config().clone(), cluster.keys().clone(), sinks)
+    }
+
+    /// A client over arbitrary sinks (one inner `Vec` per shard). Used by
+    /// [`ClusterLogClient::remote`] and by tests that fake replicas.
+    pub fn from_sinks(
+        config: ClusterConfig,
+        keys: KeyRegistry,
+        sinks: Vec<Vec<Box<dyn ReplicaSink>>>,
+    ) -> Self {
+        let ring = HashRing::new(config.shards, config.vnodes);
+        let stats = ClusterStats::new(config.shards);
+        let shards = sinks
+            .into_iter()
+            .map(|replicas| ShardLanes {
+                order: Mutex::new(()),
+                replicas,
+            })
+            .collect();
+        ClusterLogClient {
+            ring,
+            config,
+            keys,
+            shards,
+            stats,
+            volume: LogStats::new(),
+        }
+    }
+
+    /// A TCP client: one reconnecting connection per replica endpoint
+    /// (`addrs` holds one inner `Vec` per shard, in ring order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when `addrs` disagrees with the
+    /// configuration, or connection errors.
+    pub fn remote(
+        config: ClusterConfig,
+        keys: KeyRegistry,
+        addrs: &[Vec<SocketAddr>],
+        reconnect: ReconnectConfig,
+    ) -> Result<Self, LogError> {
+        config.validate()?;
+        if addrs.len() != config.shards || addrs.iter().any(|a| a.len() != config.replicas) {
+            return Err(LogError::Malformed("cluster endpoints (shape)"));
+        }
+        let mut sinks: Vec<Vec<Box<dyn ReplicaSink>>> = Vec::with_capacity(addrs.len());
+        for shard in addrs {
+            let mut lanes: Vec<Box<dyn ReplicaSink>> = Vec::with_capacity(shard.len());
+            for addr in shard {
+                lanes.push(Box::new(RemoteReplicaSink::connect(
+                    *addr,
+                    reconnect.clone(),
+                )?));
+            }
+            sinks.push(lanes);
+        }
+        Ok(Self::from_sinks(config, keys, sinks))
+    }
+
+    /// The shard the ring assigns to a (publisher, topic) link.
+    pub fn shard_for(&self, publisher: &NodeId, topic: &Topic) -> usize {
+        self.ring.shard_for(publisher, topic)
+    }
+
+    /// Deposits an entry: routes it to its shard, fans it out to every
+    /// replica in one serialized order, and accounts the quorum outcome.
+    /// Never blocks on a dead replica and never errors — like
+    /// [`adlp_logger::LoggerHandle::submit`], all degradation is counted
+    /// ([`ClusterStats`]), never silent.
+    pub fn submit(&self, entry: LogEntry) {
+        let shard_idx = self.ring.shard_for(&entry.component, &entry.topic);
+        let Some(lane) = self.shards.get(shard_idx) else {
+            // Unreachable by construction (the ring only emits known
+            // shards), but if it ever happens the loss is still counted.
+            self.stats
+                .note_deposit(shard_idx, 0, 0, self.config.write_quorum, Duration::ZERO);
+            return;
+        };
+        let encoded_len = entry.encoded_len();
+        let started = Instant::now();
+        let guard = lane.order.lock();
+        let mut accepted = 0usize;
+        let mut refused = 0usize;
+        for sink in &lane.replicas {
+            if sink.deposit(&entry) {
+                accepted += 1;
+            } else {
+                refused += 1;
+            }
+        }
+        drop(guard);
+        self.stats.note_deposit(
+            shard_idx,
+            accepted,
+            refused,
+            self.config.write_quorum,
+            started.elapsed(),
+        );
+        if accepted >= self.config.write_quorum {
+            self.volume.record(&entry.component, &entry.topic, encoded_len);
+        }
+    }
+
+    /// Registers a component key cluster-wide (the registry is shared by
+    /// every replica of every shard, including ones restarted later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::KeyConflict`] for a conflicting registration.
+    pub fn register_key(&self, component: &NodeId, key: RsaPublicKey) -> Result<(), LogError> {
+        self.keys.register(component, key)
+    }
+
+    /// Flushes every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when some shard could not confirm
+    /// a write-quorum of flushes (its durable state is in doubt).
+    pub fn flush(&self) -> Result<(), LogError> {
+        let mut all_quorate = true;
+        for lane in &self.shards {
+            let confirmed = lane
+                .replicas
+                .iter()
+                .filter(|sink| sink.flush_replica())
+                .count();
+            all_quorate &= confirmed >= self.config.write_quorum;
+        }
+        if all_quorate {
+            Ok(())
+        } else {
+            Err(LogError::ServerClosed)
+        }
+    }
+
+    /// The cluster-wide key registry.
+    pub fn keys(&self) -> &KeyRegistry {
+        &self.keys
+    }
+
+    /// Quorum/failover accounting.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Volume accounting over quorum-acknowledged deposits (mirrors the
+    /// single logger's [`LogStats`], so reports read one source either way).
+    pub fn volume(&self) -> &LogStats {
+        &self.volume
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_logger::Direction;
+
+    fn entry(publisher: &str, topic: &str, seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new(publisher),
+            Topic::new(topic),
+            Direction::Out,
+            seq,
+            seq,
+            vec![3u8; 24],
+        )
+    }
+
+    #[test]
+    fn quorum_met_with_one_replica_down() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(2)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        cluster.kill_replica(0, 0);
+        cluster.kill_replica(1, 2);
+        for seq in 0..20 {
+            client.submit(entry("cam", "image", seq));
+            client.submit(entry("lidar", "scan", seq));
+        }
+        client.flush().unwrap();
+        let s = client.stats().snapshot();
+        assert_eq!(s.submitted, 40);
+        assert_eq!(s.entries_lost, 0, "2 of 3 replicas ≥ W=2: no loss");
+        assert!(s.failovers > 0, "dead replicas must show as failovers");
+        assert!(s.balanced());
+        assert_eq!(client.volume().snapshot().entries, 40);
+    }
+
+    #[test]
+    fn quorum_failure_is_counted_never_silent() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        cluster.kill_replica(0, 0);
+        cluster.kill_replica(0, 1);
+        for seq in 0..10 {
+            client.submit(entry("cam", "image", seq));
+        }
+        let s = client.stats().snapshot();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.entries_lost, 10, "1 of 3 replicas < W=2: all lost");
+        assert_eq!(s.acked, 0);
+        assert!(s.balanced());
+        assert!(client.flush().is_err(), "sub-quorum flush must not claim durability");
+    }
+
+    #[test]
+    fn shard_depths_track_routing() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::new(3)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        for i in 0..30 {
+            client.submit(entry(&format!("node{i}"), "t", 1));
+        }
+        client.flush().unwrap();
+        let s = client.stats().snapshot();
+        assert_eq!(s.shard_depth.iter().sum::<u64>(), 30);
+        assert!(
+            s.shard_depth.iter().filter(|&&d| d > 0).count() > 1,
+            "30 publishers must spread over shards: {:?}",
+            s.shard_depth
+        );
+        // Replica stores agree with the routing counts.
+        for (shard, &depth) in s.shard_depth.iter().enumerate() {
+            for slot in cluster.shard_replicas(shard) {
+                assert_eq!(slot.handle().store().len() as u64, depth);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The replica fleet: N shards × R replica [`LogServer`] backends.
+
+use crate::config::ClusterConfig;
+use crate::epoch::EpochSeal;
+use crate::view::{self, ClusterView};
+use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_logger::{KeyRegistry, LogError, LogServer, LoggerHandle};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One replica backend of one shard. The inner [`LogServer`] can be killed
+/// (simulated crash) and later replaced by a fresh, empty server — the
+/// fail-stop lifecycle the trust model allows replicas.
+#[derive(Debug)]
+pub struct ReplicaSlot {
+    shard: usize,
+    index: usize,
+    server: Mutex<LogServer>,
+}
+
+impl ReplicaSlot {
+    /// A handle to the replica's current server incarnation.
+    pub fn handle(&self) -> LoggerHandle {
+        self.server.lock().handle()
+    }
+
+    /// Shard this replica belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Replica index within the shard.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Simulates a crash of this replica (fail-stop: the store freezes,
+    /// new submissions are refused).
+    pub fn kill(&self) {
+        self.server.lock().kill();
+    }
+
+    /// Replaces a (killed) replica with a fresh, *empty* server sharing the
+    /// cluster key registry — a rolling-restart step. The restarted replica
+    /// re-enters as a lagging follower; it must never masquerade as having
+    /// history it does not hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
+    pub fn restart(&self, keys: KeyRegistry) -> Result<(), LogError> {
+        let fresh = LogServer::try_spawn_with_keys(keys)?;
+        *self.server.lock() = fresh;
+        Ok(())
+    }
+}
+
+/// A sharded, replicated trusted-logger cluster.
+///
+/// All replicas share one [`KeyRegistry`], so a key registered once is
+/// honored cluster-wide (including by replicas restarted later).
+#[derive(Debug)]
+pub struct LoggerCluster {
+    config: ClusterConfig,
+    keys: KeyRegistry,
+    shards: Vec<Vec<Arc<ReplicaSlot>>>,
+    epoch: AtomicU64,
+}
+
+impl LoggerCluster {
+    /// Spawns `shards × replicas` backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for an invalid configuration and
+    /// [`LogError::Io`] when a backend thread cannot be created.
+    pub fn spawn(config: ClusterConfig) -> Result<Self, LogError> {
+        config.validate()?;
+        let keys = KeyRegistry::new();
+        let mut shards = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let mut replicas = Vec::with_capacity(config.replicas);
+            for index in 0..config.replicas {
+                let server = LogServer::try_spawn_with_keys(keys.clone())?;
+                replicas.push(Arc::new(ReplicaSlot {
+                    shard,
+                    index,
+                    server: Mutex::new(server),
+                }));
+            }
+            shards.push(replicas);
+        }
+        Ok(LoggerCluster {
+            config,
+            keys,
+            shards,
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The cluster-wide key registry (shared by every replica).
+    pub fn keys(&self) -> &KeyRegistry {
+        &self.keys
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The replica slots of one shard.
+    pub fn shard_replicas(&self, shard: usize) -> &[Arc<ReplicaSlot>] {
+        self.shards.get(shard).map_or(&[], Vec::as_slice)
+    }
+
+    /// One replica slot, if it exists.
+    pub fn replica(&self, shard: usize, replica: usize) -> Option<&Arc<ReplicaSlot>> {
+        self.shards.get(shard).and_then(|s| s.get(replica))
+    }
+
+    /// Kills one replica (fail-stop crash). Returns whether the slot exists.
+    pub fn kill_replica(&self, shard: usize, replica: usize) -> bool {
+        match self.replica(shard, replica) {
+            Some(slot) => {
+                slot.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restarts one replica as a fresh, empty follower.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::NoSuchEntry`] for an unknown slot and
+    /// [`LogError::Io`] when the replacement thread cannot be created.
+    pub fn restart_replica(&self, shard: usize, replica: usize) -> Result<(), LogError> {
+        let slot = self
+            .replica(shard, replica)
+            .ok_or(LogError::NoSuchEntry(replica))?;
+        slot.restart(self.keys.clone())
+    }
+
+    /// Gathers every replica's store and cross-checks them (see
+    /// [`crate::view`]).
+    pub fn view(&self) -> ClusterView {
+        view::gather(self)
+    }
+
+    /// Seals the next epoch: collects per-shard quorum Merkle roots and
+    /// anchors them under one signed cross-shard super-root. Epoch numbers
+    /// increase monotonically per cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when signing fails (e.g. an
+    /// undersized sealing key).
+    pub fn seal_epoch(&self, sealing_key: &RsaPrivateKey) -> Result<EpochSeal, LogError> {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let view = self.view();
+        EpochSeal::build(epoch, view.shard_roots(), sealing_key)
+            .map_err(|_| LogError::Malformed("epoch seal (signing)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_logger::{Direction, LogEntry};
+    use adlp_pubsub::{NodeId, Topic};
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![0u8; 16],
+        )
+    }
+
+    #[test]
+    fn spawn_kill_restart_lifecycle() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(2)).unwrap();
+        assert_eq!(cluster.shard_count(), 2);
+        let slot = cluster.replica(0, 1).unwrap().clone();
+        slot.handle().try_submit(entry(1)).unwrap();
+        slot.handle().flush().unwrap();
+        assert_eq!(slot.handle().store().len(), 1);
+
+        cluster.kill_replica(0, 1);
+        assert!(slot.handle().try_submit(entry(2)).is_err());
+
+        cluster.restart_replica(0, 1).unwrap();
+        slot.handle().try_submit(entry(3)).unwrap();
+        slot.handle().flush().unwrap();
+        assert_eq!(slot.handle().store().len(), 1, "restart is empty (lagging)");
+    }
+
+    #[test]
+    fn replicas_share_one_key_registry() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(2)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::SeedableRng;
+        let kp = adlp_crypto::RsaKeyPair::generate(128, &mut rng);
+        cluster
+            .keys()
+            .register(&NodeId::new("cam"), kp.public_key().clone())
+            .unwrap();
+        for shard in 0..cluster.shard_count() {
+            for slot in cluster.shard_replicas(shard) {
+                assert!(slot.handle().keys().get(&NodeId::new("cam")).is_some());
+            }
+        }
+        // A restarted replica also sees the registration.
+        cluster.restart_replica(1, 0).unwrap();
+        let slot = cluster.replica(1, 0).unwrap();
+        assert!(slot.handle().keys().get(&NodeId::new("cam")).is_some());
+    }
+
+    #[test]
+    fn invalid_config_refused() {
+        let mut config = ClusterConfig::new(2);
+        config.write_quorum = 3;
+        assert!(LoggerCluster::spawn(config).is_err());
+    }
+}

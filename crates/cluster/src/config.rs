@@ -1,0 +1,106 @@
+//! Cluster topology and quorum configuration.
+
+use adlp_logger::LogError;
+
+/// Shape of a logger cluster: how many shards, how many replicas per
+/// shard, and how many replica acknowledgements a deposit needs before it
+/// counts as durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of shards the consistent-hash ring spreads entries over.
+    pub shards: usize,
+    /// Replicas per shard; every entry is fanned out to all of them.
+    pub replicas: usize,
+    /// Write quorum W: a deposit is acknowledged once W replicas of its
+    /// shard accepted it. `W ≤ replicas`.
+    pub write_quorum: usize,
+    /// Virtual nodes per shard on the hash ring (smooths the key
+    /// distribution; purely deterministic).
+    pub vnodes: usize,
+}
+
+impl ClusterConfig {
+    /// A single-replica cluster of `shards` shards (R=1, W=1).
+    pub fn new(shards: usize) -> Self {
+        ClusterConfig {
+            shards: shards.max(1),
+            replicas: 1,
+            write_quorum: 1,
+            vnodes: 16,
+        }
+    }
+
+    /// Sets the replication factor R (write quorum clamped to stay `≤ R`).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self.write_quorum = self.write_quorum.min(self.replicas);
+        self
+    }
+
+    /// Sets the write quorum W.
+    pub fn with_write_quorum(mut self, quorum: usize) -> Self {
+        self.write_quorum = quorum.max(1);
+        self
+    }
+
+    /// Sets the number of virtual ring nodes per shard.
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// The paper-style R=3/W=2 replication profile.
+    pub fn replicated(shards: usize) -> Self {
+        ClusterConfig::new(shards)
+            .with_replicas(3)
+            .with_write_quorum(2)
+    }
+
+    /// Checks the internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when `write_quorum > replicas` or a
+    /// field is zero.
+    pub fn validate(&self) -> Result<(), LogError> {
+        if self.shards == 0 || self.replicas == 0 || self.vnodes == 0 {
+            return Err(LogError::Malformed("cluster config (zero dimension)"));
+        }
+        if self.write_quorum == 0 || self.write_quorum > self.replicas {
+            return Err(LogError::Malformed("cluster config (write quorum)"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_single_logger_equivalent() {
+        let c = ClusterConfig::default();
+        assert_eq!((c.shards, c.replicas, c.write_quorum), (1, 1, 1));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn quorum_clamped_to_replicas() {
+        let c = ClusterConfig::new(3).with_write_quorum(5).with_replicas(3);
+        assert_eq!(c.write_quorum, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_quorum_rejected() {
+        let mut c = ClusterConfig::replicated(3);
+        c.write_quorum = 4;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! `adlp-cluster`: a sharded, quorum-replicated trusted-logger cluster.
+//!
+//! The paper's trusted logger is a single deposit point (§II-A); this crate
+//! scales it out without weakening its audit guarantees:
+//!
+//! * [`ring`] — a deterministic consistent-hash ring keyed on
+//!   (publisher identity, topic) that assigns every log entry to a shard;
+//! * [`cluster`] — [`cluster::LoggerCluster`]: N shards × R replica
+//!   [`adlp_logger::LogServer`] backends sharing one key registry, with
+//!   kill/restart hooks for fault drills;
+//! * [`client`] — [`client::ClusterLogClient`]: the deposit router that fans
+//!   each entry out to a shard's replicas and counts W-of-R quorum
+//!   acknowledgement; degradation is always counted
+//!   ([`stats::ClusterStats`]), never silent;
+//! * [`epoch`] — epoch sealing: per-shard Merkle roots anchored under one
+//!   signed cross-shard super-root, so no shard can be rolled back
+//!   independently;
+//! * [`view`] — cross-replica comparison: a gathered [`view::ClusterView`]
+//!   classifies every replica as consistent, lagging (fail-stop; a strict
+//!   prefix of the quorum log), or *diverged* (conflicting content — tamper
+//!   evidence naming the shard and replica).
+//!
+//! # Trust model
+//!
+//! Replicas are **fail-stop for availability, untrusted for integrity**: a
+//! crashed or lagging replica only costs redundancy, while any replica that
+//! *rewrites* history is exposed by cross-replica divergence and by the
+//! signed epoch super-root. The cluster therefore never trusts a single
+//! backend's story; auditors read all replicas of all shards.
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod epoch;
+pub mod ring;
+pub mod stats;
+pub mod view;
+
+pub use client::ClusterLogClient;
+pub use cluster::LoggerCluster;
+pub use config::ClusterConfig;
+pub use epoch::{EpochSeal, ShardRoot};
+pub use ring::HashRing;
+pub use stats::{ClusterStats, ClusterStatsSnapshot};
+pub use view::{ClusterView, ReplicaDivergence, ReplicaStatus, ShardView};

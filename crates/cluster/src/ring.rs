@@ -1,0 +1,118 @@
+//! Deterministic consistent-hash ring.
+//!
+//! Entries are routed to shards by hashing (publisher identity, topic), so
+//! one publisher's entries for one topic always land on the same shard —
+//! the per-link sequence the auditor reasons about is never split across
+//! shards. Virtual nodes smooth the distribution; everything is derived
+//! from SHA-256, so routing is identical on every process that agrees on
+//! the configuration.
+
+use adlp_crypto::sha256::Sha256;
+use adlp_pubsub::{NodeId, Topic};
+
+/// A fixed consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted (ring position, shard) points.
+    points: Vec<(u64, usize)>,
+}
+
+fn point(label: &[u8], shard: usize, vnode: usize) -> u64 {
+    let mut h = Sha256::new();
+    h.update(label);
+    h.update(&(shard as u64).to_le_bytes());
+    h.update(&(vnode as u64).to_le_bytes());
+    digest_prefix(&h.finalize())
+}
+
+fn digest_prefix(digest: &adlp_crypto::sha256::Digest) -> u64 {
+    let mut v = [0u8; 8];
+    for (dst, src) in v.iter_mut().zip(digest.as_bytes().iter()) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(v)
+}
+
+impl HashRing {
+    /// Builds the ring with `vnodes` virtual nodes per shard.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                points.push((point(b"adlp-cluster/ring", shard, vnode), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The shard owning the (publisher, topic) key.
+    pub fn shard_for(&self, publisher: &NodeId, topic: &Topic) -> usize {
+        let mut h = Sha256::new();
+        h.update(b"adlp-cluster/key");
+        h.update(publisher.as_str().as_bytes());
+        h.update(&[0u8]); // unambiguous separator (NodeId cannot contain NUL)
+        h.update(topic.as_str().as_bytes());
+        let key = digest_prefix(&h.finalize());
+        // First ring point at or after the key, wrapping around.
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        let wrapped = if idx == self.points.len() { 0 } else { idx };
+        self.points.get(wrapped).map_or(0, |&(_, shard)| shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = HashRing::new(5, 16);
+        let b = HashRing::new(5, 16);
+        for i in 0..50 {
+            let id = NodeId::new(format!("node{i}"));
+            let topic = Topic::new(format!("topic{}", i % 7));
+            assert_eq!(a.shard_for(&id, &topic), b.shard_for(&id, &topic));
+        }
+    }
+
+    #[test]
+    fn all_shards_receive_keys() {
+        let ring = HashRing::new(5, 32);
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in 0..500 {
+            let id = NodeId::new(format!("node{i}"));
+            let topic = Topic::new(format!("topic{}", i % 13));
+            *counts.entry(ring.shard_for(&id, &topic)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 5, "every shard must own part of the keyspace");
+        for (&shard, &n) in &counts {
+            assert!(n > 10, "shard {shard} is starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_zero() {
+        let ring = HashRing::new(1, 4);
+        for i in 0..20 {
+            let id = NodeId::new(format!("n{i}"));
+            assert_eq!(ring.shard_for(&id, &Topic::new("t")), 0);
+        }
+    }
+
+    #[test]
+    fn same_link_always_same_shard() {
+        // The property the auditor relies on: a (publisher, topic) link is
+        // never split across shards.
+        let ring = HashRing::new(7, 16);
+        let id = NodeId::new("camera");
+        let topic = Topic::new("image");
+        let first = ring.shard_for(&id, &topic);
+        for _ in 0..10 {
+            assert_eq!(ring.shard_for(&id, &topic), first);
+        }
+    }
+}

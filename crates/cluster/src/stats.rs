@@ -1,0 +1,143 @@
+//! Cluster-level accounting.
+//!
+//! The cluster inherits the substrate's prime directive: degradation is
+//! *counted*, never silent. Every deposit ends up in exactly one of
+//! `acked` (reached its write quorum) or `entries_lost` (did not), so
+//! `submitted == acked + entries_lost` holds at any quiescent point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: AtomicU64,
+    acked: AtomicU64,
+    entries_lost: AtomicU64,
+    failovers: AtomicU64,
+    quorum_latency_ns: AtomicU64,
+    quorum_samples: AtomicU64,
+    shard_depth: Vec<AtomicU64>,
+}
+
+/// Shared, thread-safe cluster counters (cheap to clone).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    inner: Arc<Inner>,
+}
+
+/// A point-in-time copy of [`ClusterStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatsSnapshot {
+    /// Entries handed to the cluster client.
+    pub submitted: u64,
+    /// Entries accepted by at least W live replicas of their shard.
+    pub acked: u64,
+    /// Entries that failed their write quorum — counted, never silent.
+    /// (A sub-quorum entry may still sit on some replicas, but the cluster
+    /// refuses to call it durable.)
+    pub entries_lost: u64,
+    /// Deposits where at least one replica refused but the quorum was
+    /// still met by the survivors.
+    pub failovers: u64,
+    /// Mean wall-clock time to reach the write quorum, in nanoseconds.
+    pub mean_quorum_latency_ns: u64,
+    /// Entries routed to each shard (quorum-acked only).
+    pub shard_depth: Vec<u64>,
+}
+
+impl ClusterStats {
+    /// Creates zeroed counters for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        let shard_depth = (0..shards).map(|_| AtomicU64::new(0)).collect();
+        ClusterStats {
+            inner: Arc::new(Inner {
+                shard_depth,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Records the outcome of one deposit fan-out.
+    pub fn note_deposit(
+        &self,
+        shard: usize,
+        accepted: usize,
+        refused: usize,
+        write_quorum: usize,
+        latency: Duration,
+    ) {
+        let i = &self.inner;
+        i.submitted.fetch_add(1, Ordering::Relaxed);
+        if accepted >= write_quorum {
+            i.acked.fetch_add(1, Ordering::Relaxed);
+            if let Some(depth) = i.shard_depth.get(shard) {
+                depth.fetch_add(1, Ordering::Relaxed);
+            }
+            if refused > 0 {
+                i.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            i.quorum_latency_ns
+                .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+            i.quorum_samples.fetch_add(1, Ordering::Relaxed);
+        } else {
+            i.entries_lost.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries that failed their write quorum so far.
+    pub fn entries_lost(&self) -> u64 {
+        self.inner.entries_lost.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> ClusterStatsSnapshot {
+        let i = &self.inner;
+        let samples = i.quorum_samples.load(Ordering::Relaxed);
+        let mean = if samples == 0 {
+            0
+        } else {
+            i.quorum_latency_ns.load(Ordering::Relaxed) / samples
+        };
+        ClusterStatsSnapshot {
+            submitted: i.submitted.load(Ordering::Relaxed),
+            acked: i.acked.load(Ordering::Relaxed),
+            entries_lost: i.entries_lost.load(Ordering::Relaxed),
+            failovers: i.failovers.load(Ordering::Relaxed),
+            mean_quorum_latency_ns: mean,
+            shard_depth: i
+                .shard_depth
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl ClusterStatsSnapshot {
+    /// The never-silent-loss invariant: every submission is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.acked + self.entries_lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_accounting_balances() {
+        let stats = ClusterStats::new(3);
+        stats.note_deposit(0, 3, 0, 2, Duration::from_micros(5));
+        stats.note_deposit(1, 2, 1, 2, Duration::from_micros(7));
+        stats.note_deposit(2, 1, 2, 2, Duration::from_micros(9));
+        let s = stats.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.acked, 2);
+        assert_eq!(s.entries_lost, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.shard_depth, vec![1, 1, 0]);
+        assert!(s.balanced());
+        assert!(s.mean_quorum_latency_ns > 0);
+    }
+}

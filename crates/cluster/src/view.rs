@@ -1,0 +1,356 @@
+//! Cross-replica comparison: the auditor's view of the cluster.
+//!
+//! Replicas of a shard receive the same entries in the same order (the
+//! client serializes each shard's fan-out), so honest replicas hold
+//! byte-identical logs — possibly truncated, for a replica that crashed or
+//! restarted. That makes the integrity check sharp:
+//!
+//! * byte-identical → **consistent**;
+//! * a strict prefix, a contiguous window (a replica restarted mid-stream
+//!   missed the head), or a strict extension of the quorum log →
+//!   **lagging/ahead**, the fail-stop degradation the trust model
+//!   tolerates;
+//! * *conflicting content* at some index → **diverged**: some replica
+//!   rewrote history. That is tamper evidence naming the shard and replica,
+//!   surfaced before any per-entry classification runs.
+
+use crate::cluster::LoggerCluster;
+use crate::epoch::{empty_shard_root, ShardRoot};
+use adlp_crypto::sha256::Digest;
+use adlp_logger::merkle::MerkleTree;
+use adlp_logger::{LogEntry, LogError};
+
+/// How one replica's log relates to its shard's quorum log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Byte-identical to the quorum log.
+    Consistent,
+    /// A strict prefix or contiguous window of the quorum log —
+    /// crashed/restarted, `behind` records short. Availability loss only.
+    Lagging {
+        /// Records of the quorum log missing from this replica.
+        behind: usize,
+    },
+    /// A strict extension of the quorum log by `extra` records (its peers
+    /// stopped short of it). Availability skew only.
+    Ahead {
+        /// Records beyond the quorum log's length.
+        extra: usize,
+    },
+    /// Conflicting content: this replica's record at
+    /// `first_divergent_index` differs from the quorum log. Tamper
+    /// evidence.
+    Diverged {
+        /// First index where the content conflicts.
+        first_divergent_index: usize,
+    },
+}
+
+/// Tamper evidence: a replica whose log conflicts with its shard's quorum
+/// log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaDivergence {
+    /// Shard of the offending replica.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// First record index where the content conflicts.
+    pub first_divergent_index: usize,
+}
+
+/// One shard's gathered state.
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    /// Shard index.
+    pub shard: usize,
+    /// The quorum log: the record sequence the largest replica group
+    /// agrees on (ties broken toward the longer log).
+    pub records: Vec<Vec<u8>>,
+    /// Per-replica relation to the quorum log.
+    pub statuses: Vec<ReplicaStatus>,
+    /// Merkle root over the quorum log's record hashes (a fixed sentinel
+    /// root for an empty shard).
+    pub root: Digest,
+}
+
+/// The whole cluster, gathered and cross-checked.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// Per-shard views, indexed by shard.
+    pub shards: Vec<ShardView>,
+}
+
+impl ShardView {
+    /// This shard's anchoring input for the epoch super-root.
+    pub fn shard_root(&self) -> ShardRoot {
+        ShardRoot {
+            shard: self.shard,
+            leaf_count: self.records.len(),
+            root: self.root,
+        }
+    }
+}
+
+impl ClusterView {
+    /// Every replica whose content conflicts with its shard's quorum log.
+    pub fn divergences(&self) -> Vec<ReplicaDivergence> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (replica, status) in shard.statuses.iter().enumerate() {
+                if let ReplicaStatus::Diverged {
+                    first_divergent_index,
+                } = status
+                {
+                    out.push(ReplicaDivergence {
+                        shard: shard.shard,
+                        replica,
+                        first_divergent_index: *first_divergent_index,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// (shard, replica, records behind) for every lagging replica.
+    pub fn lagging(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (replica, status) in shard.statuses.iter().enumerate() {
+                if let ReplicaStatus::Lagging { behind } = status {
+                    out.push((shard.shard, replica, *behind));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total records across all shards' quorum logs (shards partition the
+    /// keyspace, so this is a union without duplicates).
+    pub fn total_records(&self) -> usize {
+        self.shards.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Per-shard anchoring inputs, in shard order.
+    pub fn shard_roots(&self) -> Vec<ShardRoot> {
+        self.shards.iter().map(ShardView::shard_root).collect()
+    }
+
+    /// Decodes every quorum-log record across all shards.
+    pub fn entries(&self) -> Vec<Result<LogEntry, LogError>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.records.iter().map(|r| LogEntry::decode(r)))
+            .collect()
+    }
+}
+
+/// Gathers every replica's store and cross-checks the shard groups.
+pub fn gather(cluster: &LoggerCluster) -> ClusterView {
+    let shards = (0..cluster.shard_count())
+        .map(|shard| gather_shard(cluster, shard))
+        .collect();
+    ClusterView { shards }
+}
+
+fn gather_shard(cluster: &LoggerCluster, shard: usize) -> ShardView {
+    let stores: Vec<Vec<Vec<u8>>> = cluster
+        .shard_replicas(shard)
+        .iter()
+        .map(|slot| slot.handle().store().encoded_records())
+        .collect();
+    let records = quorum_log(&stores);
+    let statuses = stores.iter().map(|s| status_of(s, &records)).collect();
+    let root = merkle_root(&records);
+    ShardView {
+        shard,
+        records,
+        statuses,
+        root,
+    }
+}
+
+/// The record sequence the largest replica group agrees on; ties broken
+/// toward the longer log (a lone survivor that kept writing beats equally
+/// sized stale groups).
+fn quorum_log(stores: &[Vec<Vec<u8>>]) -> Vec<Vec<u8>> {
+    let mut best: Option<(usize, &Vec<Vec<u8>>)> = None;
+    for candidate in stores {
+        let count = stores.iter().filter(|s| *s == candidate).count();
+        let better = match best {
+            None => true,
+            Some((best_count, best_ref)) => {
+                count > best_count || (count == best_count && candidate.len() > best_ref.len())
+            }
+        };
+        if better {
+            best = Some((count, candidate));
+        }
+    }
+    best.map(|(_, r)| r.clone()).unwrap_or_default()
+}
+
+fn status_of(records: &[Vec<u8>], reference: &[Vec<u8>]) -> ReplicaStatus {
+    let common = records
+        .iter()
+        .zip(reference.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    if common == records.len() && common == reference.len() {
+        ReplicaStatus::Consistent
+    } else if common == records.len() {
+        ReplicaStatus::Lagging {
+            behind: reference.len() - common,
+        }
+    } else if common == reference.len() {
+        ReplicaStatus::Ahead {
+            extra: records.len() - common,
+        }
+    } else if is_window_of(records, reference) {
+        // A replica restarted mid-stream holds a contiguous *window* of
+        // the quorum log (typically a suffix: it missed the head while
+        // down). Its content never conflicts — availability loss, not
+        // tamper evidence.
+        ReplicaStatus::Lagging {
+            behind: reference.len() - records.len(),
+        }
+    } else {
+        ReplicaStatus::Diverged {
+            first_divergent_index: common,
+        }
+    }
+}
+
+/// Whether `records` appears as a contiguous run inside `reference`.
+fn is_window_of(records: &[Vec<u8>], reference: &[Vec<u8>]) -> bool {
+    if records.len() >= reference.len() {
+        return false;
+    }
+    (0..=reference.len() - records.len()).any(|start| {
+        reference
+            .iter()
+            .skip(start)
+            .take(records.len())
+            .eq(records.iter())
+    })
+}
+
+/// Merkle root over a record sequence (sentinel root when empty, so every
+/// shard contributes a leaf to the super-root).
+pub(crate) fn merkle_root(records: &[Vec<u8>]) -> Digest {
+    if records.is_empty() {
+        return empty_shard_root();
+    }
+    let leaves: Vec<Digest> = records.iter().map(|r| adlp_crypto::sha256(r)).collect();
+    MerkleTree::build(&leaves).root().unwrap_or_else(empty_shard_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use adlp_logger::{Direction, LogEntry};
+    use adlp_pubsub::{NodeId, Topic};
+
+    fn rec(tag: u8) -> Vec<u8> {
+        vec![tag; 8]
+    }
+
+    #[test]
+    fn status_classification() {
+        let reference = vec![rec(1), rec(2), rec(3)];
+        assert_eq!(
+            status_of(&reference, &reference),
+            ReplicaStatus::Consistent
+        );
+        assert_eq!(
+            status_of(&reference[..1], &reference),
+            ReplicaStatus::Lagging { behind: 2 }
+        );
+        assert_eq!(
+            status_of(&[rec(1), rec(2), rec(3), rec(4)], &reference),
+            ReplicaStatus::Ahead { extra: 1 }
+        );
+        assert_eq!(
+            status_of(&[rec(1), rec(9), rec(3)], &reference),
+            ReplicaStatus::Diverged {
+                first_divergent_index: 1
+            }
+        );
+        // A restarted replica holding only the tail is lagging, not
+        // diverged: its content never conflicts.
+        assert_eq!(
+            status_of(&[rec(2), rec(3)], &reference),
+            ReplicaStatus::Lagging { behind: 1 }
+        );
+        // But conflicting content that happens to start elsewhere is not.
+        assert_eq!(
+            status_of(&[rec(3), rec(2)], &reference),
+            ReplicaStatus::Diverged {
+                first_divergent_index: 0
+            }
+        );
+    }
+
+    #[test]
+    fn quorum_log_majority_wins() {
+        let good = vec![rec(1), rec(2)];
+        let bad = vec![rec(1), rec(9)];
+        let stores = vec![good.clone(), good.clone(), bad];
+        assert_eq!(quorum_log(&stores), good);
+    }
+
+    #[test]
+    fn quorum_log_tie_prefers_longer() {
+        let long = vec![rec(1), rec(2), rec(3)];
+        let short = vec![rec(1)];
+        // Tie (every store is unique): longest wins.
+        let stores = vec![short, long.clone()];
+        assert_eq!(quorum_log(&stores), long);
+    }
+
+    #[test]
+    fn gathered_view_flags_tampered_replica() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        let entry = LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            1,
+            1,
+            vec![7u8; 16],
+        );
+        for slot in cluster.shard_replicas(0) {
+            slot.handle().try_submit(entry.clone()).unwrap();
+            slot.handle().flush().unwrap();
+        }
+        // Rewrite history on replica 2 via the existing tamper path.
+        let victim = cluster.replica(0, 2).unwrap();
+        let fake = LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            1,
+            1,
+            vec![9u8; 16],
+        );
+        victim
+            .handle()
+            .store()
+            .tamper_with_record(0, fake.encode())
+            .unwrap();
+
+        let view = cluster.view();
+        let div = view.divergences();
+        assert_eq!(div.len(), 1);
+        assert_eq!(
+            div.first(),
+            Some(&ReplicaDivergence {
+                shard: 0,
+                replica: 2,
+                first_divergent_index: 0
+            })
+        );
+        assert_eq!(view.total_records(), 1);
+    }
+}

@@ -460,7 +460,7 @@ mod tests {
             identity: Some(det.clone()),
             behavior: BehaviorProfile::faithful(),
             subscriber_stores_hash: true,
-            logger: server.handle(),
+            logger: crate::target::DepositTarget::Single(server.handle()),
         })
         .unwrap();
         let interceptor = AdlpInterceptor::new(

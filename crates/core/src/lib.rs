@@ -69,6 +69,7 @@ pub mod keystore;
 pub mod logging;
 pub mod node;
 pub mod protocol;
+pub mod target;
 
 pub use adlp_pubsub::{FaultStats, LinkEvent, LinkHealth};
 pub use behavior::{BehaviorProfile, LinkRole, LogBehavior};
@@ -76,6 +77,7 @@ pub use config::{AdlpConfig, FaultConfig, ReconnectConfig, ResilienceConfig, Sch
 pub use identity::ComponentIdentity;
 pub use keystore::IdentityStore;
 pub use node::{AdlpNode, AdlpNodeBuilder};
+pub use target::DepositTarget;
 
 use std::error::Error;
 use std::fmt;

@@ -10,10 +10,11 @@
 use crate::behavior::{falsify_body, BehaviorProfile, LinkRole, LogBehavior};
 use crate::events::LogEvent;
 use crate::identity::ComponentIdentity;
+use crate::target::DepositTarget;
 use adlp_crypto::rsa::RsaPrivateKey;
 use adlp_crypto::sha256::{binding_digest, sha256, Digest};
 use adlp_crypto::{pkcs1, Signature};
-use adlp_logger::{Direction, LogEntry, LogError, LoggerHandle, PayloadRecord};
+use adlp_logger::{Direction, LogEntry, LogError, PayloadRecord};
 use adlp_pubsub::{NodeId, Topic};
 use crossbeam::channel::Sender;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,8 +64,8 @@ pub(crate) struct LoggingContext {
     pub behavior: BehaviorProfile,
     /// Whether subscribers store `h(I_y)` instead of `I_y`.
     pub subscriber_stores_hash: bool,
-    /// The trusted logger.
-    pub logger: LoggerHandle,
+    /// The deposit destination (single logger or cluster).
+    pub logger: DepositTarget,
 }
 
 impl LoggingThread {
@@ -429,7 +430,7 @@ mod tests {
                 identity: Some(identity),
                 behavior,
                 subscriber_stores_hash: store_hash,
-                logger: server.handle(),
+                logger: DepositTarget::Single(server.handle()),
             },
             server,
         )

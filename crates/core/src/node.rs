@@ -8,6 +8,7 @@ use crate::events::LogEvent;
 use crate::identity::ComponentIdentity;
 use crate::interceptor::{AdlpInterceptor, BaseInterceptor};
 use crate::logging::{LoggingContext, LoggingThread};
+use crate::target::DepositTarget;
 use crate::AdlpError;
 use adlp_crypto::Signature;
 use adlp_logger::LoggerHandle;
@@ -137,6 +138,23 @@ impl AdlpNodeBuilder {
         logger: &LoggerHandle,
         rng: &mut R,
     ) -> Result<AdlpNode, AdlpError> {
+        self.build_with_target(master, DepositTarget::Single(logger.clone()), rng)
+    }
+
+    /// Builds the node against an explicit [`DepositTarget`] — the same
+    /// pipeline as [`AdlpNodeBuilder::build`], but deposits can go to a
+    /// sharded logger cluster instead of a single server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdlpError`] for duplicate ids, key-registration conflicts,
+    /// or transport failures.
+    pub fn build_with_target<R: RngCore + ?Sized>(
+        self,
+        master: &Master,
+        logger: DepositTarget,
+        rng: &mut R,
+    ) -> Result<AdlpNode, AdlpError> {
         let behavior = Arc::new(self.behavior);
         let make_builder = || {
             let mut nb = NodeBuilder::new(self.id.clone())
@@ -205,7 +223,7 @@ impl AdlpNodeBuilder {
             identity,
             logging,
             adlp,
-            logger: logger.clone(),
+            logger,
         })
     }
 }
@@ -218,7 +236,7 @@ pub struct AdlpNode {
     identity: Option<ComponentIdentity>,
     logging: Option<LoggingThread>,
     adlp: Option<Arc<AdlpInterceptor>>,
-    logger: LoggerHandle,
+    logger: DepositTarget,
 }
 
 impl AdlpNode {

@@ -1,0 +1,115 @@
+//! Where deposits go: one trusted logger, or a sharded cluster of them.
+//!
+//! The protocol layer (logging threads, interceptors, flush paths) is
+//! indifferent to the logger's deployment shape. [`DepositTarget`] captures
+//! the two shapes — the paper's single [`LoggerHandle`] and the
+//! quorum-replicated [`ClusterLogClient`] — behind one submit/flush/keys
+//! surface, so a node built for one runs unchanged against the other.
+
+use adlp_cluster::ClusterLogClient;
+use adlp_crypto::RsaPublicKey;
+use adlp_logger::{KeyRegistry, LogEntry, LogError, LoggerHandle};
+use adlp_pubsub::NodeId;
+use std::sync::Arc;
+
+/// The deposit destination a node's logging pipeline writes to.
+#[derive(Debug, Clone)]
+pub enum DepositTarget {
+    /// The paper's deployment: one trusted log server.
+    Single(LoggerHandle),
+    /// A sharded, quorum-replicated logger cluster.
+    Cluster(Arc<ClusterLogClient>),
+}
+
+impl DepositTarget {
+    /// Deposits an entry. Never blocks on logging trouble and never
+    /// errors; both shapes count failed deposits instead of dropping them
+    /// silently.
+    pub fn submit(&self, entry: LogEntry) {
+        match self {
+            DepositTarget::Single(handle) => handle.submit(entry),
+            DepositTarget::Cluster(client) => client.submit(entry),
+        }
+    }
+
+    /// Registers a component key (§V-B step 1). For a cluster the registry
+    /// is shared by every replica of every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::KeyConflict`] for a conflicting registration, or
+    /// [`LogError::ServerClosed`] when a single logger is gone.
+    pub fn register_key(&self, component: &NodeId, key: RsaPublicKey) -> Result<(), LogError> {
+        match self {
+            DepositTarget::Single(handle) => handle.register_key(component, key),
+            DepositTarget::Cluster(client) => client.register_key(component, key),
+        }
+    }
+
+    /// Blocks until previously submitted entries are durably stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when the logger is gone (single)
+    /// or some shard could not confirm a write quorum (cluster).
+    pub fn flush(&self) -> Result<(), LogError> {
+        match self {
+            DepositTarget::Single(handle) => handle.flush(),
+            DepositTarget::Cluster(client) => client.flush(),
+        }
+    }
+
+    /// The key registry subscribers verify publisher signatures against.
+    pub fn keys(&self) -> &KeyRegistry {
+        match self {
+            DepositTarget::Single(handle) => handle.keys(),
+            DepositTarget::Cluster(client) => client.keys(),
+        }
+    }
+}
+
+impl From<&LoggerHandle> for DepositTarget {
+    fn from(handle: &LoggerHandle) -> Self {
+        DepositTarget::Single(handle.clone())
+    }
+}
+
+impl From<Arc<ClusterLogClient>> for DepositTarget {
+    fn from(client: Arc<ClusterLogClient>) -> Self {
+        DepositTarget::Cluster(client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_cluster::{ClusterConfig, LoggerCluster};
+    use adlp_logger::{Direction, LogServer};
+    use adlp_pubsub::Topic;
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![1u8; 8],
+        )
+    }
+
+    #[test]
+    fn both_shapes_deposit_and_flush() {
+        let server = LogServer::spawn();
+        let single = DepositTarget::from(&server.handle());
+        single.submit(entry(1));
+        single.flush().unwrap();
+        assert_eq!(server.handle().store().len(), 1);
+
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        let clustered = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&cluster)));
+        clustered.submit(entry(2));
+        clustered.flush().unwrap();
+        assert_eq!(cluster.view().total_records(), 1);
+    }
+}

@@ -57,18 +57,24 @@ fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
         if ai == 0 {
             continue;
         }
+        // Row `i` of the product lands at limb offset `i`; `out` always has
+        // `b.len() + 1` or more limbs past that point, so the zip below
+        // consumes all of `b` and leaves room for the carry to settle.
+        let (_, row) = out.split_at_mut(i);
+        let mut slots = row.iter_mut();
         let mut carry = 0u128;
-        for (j, &bj) in b.iter().enumerate() {
-            let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + carry;
-            out[i + j] = t as u64;
+        for (&bj, slot) in b.iter().zip(&mut slots) {
+            let t = u128::from(ai) * u128::from(bj) + u128::from(*slot) + carry;
+            *slot = t as u64;
             carry = t >> 64;
         }
-        let mut k = i + b.len();
-        while carry != 0 {
-            let t = u128::from(out[k]) + carry;
-            out[k] = t as u64;
+        for slot in slots {
+            if carry == 0 {
+                break;
+            }
+            let t = u128::from(*slot) + carry;
+            *slot = t as u64;
             carry = t >> 64;
-            k += 1;
         }
     }
     out
@@ -101,19 +107,27 @@ fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
     out
 }
 
-/// `acc[offset..] += src` with carry propagation; `acc` must be long enough.
+/// `acc[offset..] += src` with carry propagation; `acc` must be long enough
+/// for the sum (all callers size it to hold the full product).
 fn add_into(acc: &mut [u64], src: &[u64], offset: usize) {
+    let (_, dst) = acc.split_at_mut(offset);
+    let mut slots = dst.iter_mut();
     let mut carry = 0u64;
-    let mut i = 0;
-    while i < src.len() || carry != 0 {
-        let idx = offset + i;
-        let add = src.get(i).copied().unwrap_or(0);
-        let (s1, c1) = acc[idx].overflowing_add(add);
+    for (&s, slot) in src.iter().zip(&mut slots) {
+        let (s1, c1) = slot.overflowing_add(s);
         let (s2, c2) = s1.overflowing_add(carry);
-        acc[idx] = s2;
+        *slot = s2;
         carry = u64::from(c1) + u64::from(c2);
-        i += 1;
     }
+    for slot in slots {
+        if carry == 0 {
+            break;
+        }
+        let (s, c) = slot.overflowing_add(carry);
+        *slot = s;
+        carry = u64::from(c);
+    }
+    debug_assert_eq!(carry, 0, "add_into accumulator too short");
 }
 
 pub(crate) fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
@@ -202,6 +216,7 @@ impl Sub<&BigUint> for &BigUint {
     ///
     /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
     fn sub(self, rhs: &BigUint) -> BigUint {
+        // adlp-lint: allow(no-panic-paths) — the panic is the documented operator contract; checked_sub is the fallible form
         self.checked_sub(rhs).expect("BigUint subtraction underflow")
     }
 }
@@ -290,14 +305,14 @@ impl Shr<usize> for &BigUint {
             return BigUint::zero();
         }
         let bit_shift = shift % 64;
-        let src = &self.limbs[limb_shift..];
+        let src = self.limbs.get(limb_shift..).unwrap_or(&[]);
         if bit_shift == 0 {
             return BigUint::from_limbs(src.to_vec());
         }
         let mut out = Vec::with_capacity(src.len());
-        for i in 0..src.len() {
+        for (i, &lo) in src.iter().enumerate() {
             let hi = src.get(i + 1).copied().unwrap_or(0);
-            out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            out.push((lo >> bit_shift) | (hi << (64 - bit_shift)));
         }
         BigUint::from_limbs(out)
     }

@@ -70,7 +70,11 @@ impl BigUint {
         let mut t0 = (BigUint::zero(), false); // (magnitude, negative?)
         let mut t1 = (BigUint::one(), false);
         while !r1.is_zero() {
-            let (q, r2) = r0.div_rem(&r1).expect("r1 non-zero");
+            // The loop guard keeps `r1` non-zero, so division cannot fail;
+            // surface the typed error anyway rather than panicking.
+            let Ok((q, r2)) = r0.div_rem(&r1) else {
+                return Err(CryptoError::DivisionByZero);
+            };
             // t2 = t0 - q * t1 over signed values.
             let qt1 = &q * &t1.0;
             let t2 = signed_sub(&t0, &(qt1, t1.1));
@@ -111,8 +115,11 @@ impl BigUint {
             return Ok(BigUint::zero());
         }
         if !m.is_even() {
-            let mont = Montgomery::new(m).expect("odd modulus checked");
-            return Ok(mont.mod_pow(self, exp));
+            // `Montgomery::new` only fails for a zero modulus, ruled out
+            // above; fall through to the plain path rather than panicking.
+            if let Ok(mont) = Montgomery::new(m) {
+                return Ok(mont.mod_pow(self, exp));
+            }
         }
         Ok(self.mod_pow_plain(exp, m))
     }

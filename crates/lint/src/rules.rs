@@ -26,9 +26,15 @@ pub const ALL: &[Rule] = &[
         rationale: "a panicking component is indistinguishable from a hiding one \
                     in the audit model (Lemma 2), so protocol crates must not panic",
         applies: |p| {
-            ["crates/core/src/", "crates/pubsub/src/", "crates/logger/src/", "crates/crypto/src/"]
-                .iter()
-                .any(|pre| p.starts_with(pre))
+            [
+                "crates/core/src/",
+                "crates/pubsub/src/",
+                "crates/logger/src/",
+                "crates/crypto/src/",
+                "crates/cluster/src/",
+            ]
+            .iter()
+            .any(|pre| p.starts_with(pre))
         },
         check: no_panic_paths,
     },

@@ -16,26 +16,40 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ADLPLOG1";
 
+fn io_err(what: &str) -> impl Fn(std::io::Error) -> LogError + '_ {
+    move |e| LogError::Io(format!("{what}: {e}"))
+}
+
 /// Writes the whole store to `path` (atomically via a sibling temp file).
+/// A failure mid-write removes the orphaned temp file before returning.
 ///
 /// # Errors
 ///
-/// Returns [`LogError::ServerClosed`] on I/O failure (the logging substrate
-/// deliberately folds I/O problems into one "logger unavailable" class).
+/// Returns [`LogError::Io`] with the underlying OS error detail.
 pub fn save_store(store: &LogStore, path: &Path) -> Result<(), LogError> {
     let tmp = path.with_extension("tmp");
-    let io_err = |_| LogError::ServerClosed;
-    {
-        let mut w = BufWriter::new(File::create(&tmp).map_err(io_err)?);
-        w.write_all(MAGIC).map_err(io_err)?;
-        for encoded in store.encoded_records() {
-            w.write_all(&(encoded.len() as u32).to_le_bytes())
-                .map_err(io_err)?;
-            w.write_all(&encoded).map_err(io_err)?;
-        }
-        w.flush().map_err(io_err)?;
+    let result = write_records(store, &tmp).and_then(|()| {
+        std::fs::rename(&tmp, path).map_err(io_err("rename log file into place"))
+    });
+    if result.is_err() {
+        // Best-effort cleanup: the primary failure is what the caller needs;
+        // a leftover temp file must not shadow it (or survive to confuse a
+        // later recovery pass).
+        // adlp-lint: allow(discarded-fallible) — cleanup of an orphan after a reported failure; nothing further to do if it also fails
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path).map_err(io_err)
+    result
+}
+
+fn write_records(store: &LogStore, tmp: &Path) -> Result<(), LogError> {
+    let mut w = BufWriter::new(File::create(tmp).map_err(io_err("create log temp file"))?);
+    w.write_all(MAGIC).map_err(io_err("write log magic"))?;
+    for encoded in store.encoded_records() {
+        w.write_all(&(encoded.len() as u32).to_le_bytes())
+            .map_err(io_err("write record length"))?;
+        w.write_all(&encoded).map_err(io_err("write record"))?;
+    }
+    w.flush().map_err(io_err("flush log file"))
 }
 
 /// Appends any records not yet on disk to an existing log file (creating
@@ -44,14 +58,12 @@ pub fn save_store(store: &LogStore, path: &Path) -> Result<(), LogError> {
 /// # Errors
 ///
 /// Returns [`LogError::Malformed`] when the on-disk file disagrees with
-/// the in-memory store prefix, or [`LogError::ServerClosed`] on I/O
-/// failure.
+/// the in-memory store prefix, or [`LogError::Io`] on I/O failure.
 pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
-    let io_err = |_| LogError::ServerClosed;
-    let on_disk = match load_encoded(path) {
-        Ok(records) => records,
-        Err(LogError::ServerClosed) => Vec::new(), // no file yet
-        Err(e) => return Err(e),
+    let on_disk = if path.exists() {
+        load_encoded(path)?
+    } else {
+        Vec::new() // no file yet
     };
     let memory = store.encoded_records();
     if on_disk.len() > memory.len() {
@@ -66,18 +78,18 @@ pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
         .create(true)
         .append(true)
         .open(path)
-        .map_err(io_err)?;
+        .map_err(io_err("open log file for append"))?;
     if on_disk.is_empty() {
-        file.write_all(MAGIC).map_err(io_err)?;
+        file.write_all(MAGIC).map_err(io_err("write log magic"))?;
     }
     // `on_disk.len() <= memory.len()` was checked above.
     let fresh = memory.get(on_disk.len()..).unwrap_or(&[]);
     for encoded in fresh {
         file.write_all(&(encoded.len() as u32).to_le_bytes())
-            .map_err(io_err)?;
-        file.write_all(encoded).map_err(io_err)?;
+            .map_err(io_err("write record length"))?;
+        file.write_all(encoded).map_err(io_err("write record"))?;
     }
-    file.flush().map_err(io_err)?;
+    file.flush().map_err(io_err("flush log file"))?;
     Ok(fresh.len())
 }
 
@@ -86,7 +98,8 @@ pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
 /// # Errors
 ///
 /// Returns [`LogError::Malformed`] for structural corruption and
-/// [`LogError::ServerClosed`] for I/O failure. Chain verification always
+/// [`LogError::Io`] for I/O failure (including a missing file, which
+/// carries the OS's not-found detail). Chain verification always
 /// succeeds for a freshly rebuilt chain — use the returned store's
 /// [`LogStore::verify_chain`] against separately retained commitments
 /// (e.g. a Merkle root) to detect *content* tampering.
@@ -102,23 +115,31 @@ pub fn load_store(path: &Path) -> Result<LogStore, LogError> {
 }
 
 fn load_encoded(path: &Path) -> Result<Vec<Vec<u8>>, LogError> {
-    let io_err = |_| LogError::ServerClosed;
-    let file = File::open(path).map_err(io_err)?;
+    let file = File::open(path).map_err(io_err("open log file"))?;
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(io_err)?;
+    r.read_exact(&mut magic)
+        .map_err(|_| LogError::Malformed("log file (truncated magic)"))?;
     if &magic != MAGIC {
         return Err(LogError::Malformed("log file (magic)"));
     }
     let mut out = Vec::new();
     loop {
-        let mut len_buf = [0u8; 4];
-        match r.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-            Err(_) => return Err(LogError::ServerClosed),
+        // A clean end of file lands exactly on a record boundary; stray
+        // trailing bytes that cannot form a length prefix are corruption,
+        // not a shorter log.
+        let mut first = [0u8; 1];
+        match r.read(&mut first) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(io_err("read record length")(e)),
         }
-        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut rest = [0u8; 3];
+        r.read_exact(&mut rest)
+            .map_err(|_| LogError::Malformed("log file (truncated length prefix)"))?;
+        let [b0] = first;
+        let [b1, b2, b3] = rest;
+        let len = u32::from_le_bytes([b0, b1, b2, b3]) as usize;
         if len > 128 * 1024 * 1024 {
             return Err(LogError::Malformed("log file (oversized record)"));
         }
@@ -271,11 +292,30 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_server_closed() {
+    fn missing_file_is_io_with_detail() {
         let dir = tmpdir();
-        assert!(matches!(
-            load_store(&dir.join("nope.adlp")),
-            Err(LogError::ServerClosed)
-        ));
+        match load_store(&dir.join("nope.adlp")) {
+            Err(LogError::Io(detail)) => assert!(detail.contains("open log file")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_save_removes_orphan_tmp_file() {
+        let dir = tmpdir();
+        // Target "file" is a directory, so the final rename must fail after
+        // the temp file was fully written.
+        let path = dir.join("log.adlp");
+        std::fs::create_dir_all(&path).unwrap();
+        let store = LogStore::new();
+        store.append(&entry(1));
+        match save_store(&store, &path) {
+            Err(LogError::Io(detail)) => assert!(detail.contains("rename")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "mid-write failure must not leave an orphaned temp file"
+        );
     }
 }

@@ -10,7 +10,7 @@
 //! The client is built for server outages: entries are handed to a worker
 //! thread that owns the socket. While the server is unreachable the worker
 //! buffers entries in memory up to [`ReconnectConfig::buffer_capacity`]
-//! (overflow is counted in [`ClientStats::spilled`], never silently lost
+//! (overflow is counted in [`ClientStatsSnapshot::spilled`](crate::stats::ClientStatsSnapshot::spilled), never silently lost
 //! from the books), redials with exponential backoff, re-registers every
 //! previously registered key on reconnect, and then drains the buffer. A
 //! delivered entry is one fully written to the socket; frames in flight
@@ -43,7 +43,7 @@ const TAG_ERR: u8 = 4;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReconnectConfig {
     /// Entries buffered in memory while the server is unreachable; the
-    /// excess is dropped and counted in [`ClientStats::spilled`].
+    /// excess is dropped and counted in [`ClientStatsSnapshot::spilled`](crate::stats::ClientStatsSnapshot::spilled).
     pub buffer_capacity: usize,
     /// Initial redial delay; doubles per failed attempt.
     pub redial_backoff: Duration,

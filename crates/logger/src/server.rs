@@ -44,6 +44,21 @@ impl LoggerHandle {
         }
     }
 
+    /// Like [`LoggerHandle::submit`], but reports whether a live server
+    /// accepted the entry instead of counting the loss here. Replicated
+    /// deployments (`adlp-cluster`) use this to observe per-replica
+    /// acceptance for quorum accounting; the caller owns the loss
+    /// bookkeeping for a refused entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when the server thread is gone.
+    pub fn try_submit(&self, entry: LogEntry) -> Result<(), LogError> {
+        self.tx
+            .send(Command::Append(Box::new(entry)))
+            .map_err(|_| LogError::ServerClosed)
+    }
+
     /// Registers a component's public key (paper §V-B step 1), waiting for
     /// the server's acknowledgement.
     ///
@@ -129,8 +144,19 @@ impl LogServer {
     ///
     /// Returns [`LogError::Io`] when the OS refuses to create the thread.
     pub fn try_spawn() -> Result<Self, LogError> {
+        Self::try_spawn_with_keys(KeyRegistry::new())
+    }
+
+    /// Like [`LogServer::try_spawn`], but shares an externally owned
+    /// [`KeyRegistry`] instead of creating a fresh one. Replica groups
+    /// (`adlp-cluster`) spawn every backend over one registry so a key
+    /// registered once is honored by all replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
+    pub fn try_spawn_with_keys(keys: KeyRegistry) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let keys = KeyRegistry::new();
         let stats = LogStats::new();
         let store = LogStore::new();
         let handle = LoggerHandle {

@@ -24,4 +24,4 @@ pub mod scenario;
 pub use app::{fanout_app, self_driving_app, AppSpec, DriveSpec, NodeSpec, PubSpec};
 pub use data::PayloadKind;
 pub use metrics::{CpuProbe, ThreadCpuProbe};
-pub use scenario::{Scenario, ScenarioReport};
+pub use scenario::{ClusterRun, Scenario, ScenarioReport};

@@ -4,11 +4,16 @@
 
 use crate::app::{AppSpec, DriveSpec};
 use crate::metrics::{CpuProbe, ThreadCpuProbe};
-use adlp_audit::{AuditReport, Auditor};
-use adlp_core::{
-    AdlpNode, AdlpNodeBuilder, BehaviorProfile, FaultConfig, LinkEvent, ResilienceConfig, Scheme,
+use adlp_audit::{AuditReport, Auditor, ClusterAuditReport, ClusterAuditor};
+use adlp_cluster::{
+    ClusterConfig, ClusterLogClient, ClusterStatsSnapshot, ClusterView, EpochSeal, LoggerCluster,
 };
-use adlp_logger::{LogServer, LoggerHandle};
+use adlp_core::{
+    AdlpNode, AdlpNodeBuilder, BehaviorProfile, DepositTarget, FaultConfig, LinkEvent,
+    ResilienceConfig, Scheme,
+};
+use adlp_crypto::{RsaKeyPair, RsaPublicKey};
+use adlp_logger::{KeyRegistry, LogServer, LoggerHandle};
 use adlp_pubsub::stats::StatsSnapshot;
 use adlp_pubsub::{Master, Publisher, SubscribeOptions, TransportKind};
 use adlp_logger::stats::VolumeSnapshot;
@@ -43,6 +48,19 @@ pub struct Scenario {
     callback_delays: BTreeMap<String, Duration>,
     /// Kill the trusted logger this long into the measurement window.
     logger_outage_after: Option<Duration>,
+    /// Deposit into a sharded, replicated cluster instead of one server.
+    cluster: Option<ClusterConfig>,
+    /// (shard, replica, offset into the window) crash injections.
+    replica_kills: Vec<(usize, usize, Duration)>,
+    /// (shard, replica, offset into the window) rolling-restart steps.
+    replica_restarts: Vec<(usize, usize, Duration)>,
+}
+
+/// A mid-window disruption, ordered by its offset into the window.
+enum MidRunAction {
+    KillLogger,
+    KillReplica(usize, usize),
+    RestartReplica(usize, usize),
 }
 
 /// Everything measured during a run.
@@ -77,14 +95,51 @@ pub struct ScenarioReport {
     /// torn down mid-measurement). Counted so dropped traffic is visible
     /// in the report instead of silently vanishing.
     pub publish_failures: u64,
+    /// Cluster-mode artifacts (`None` for single-logger runs).
+    pub cluster: Option<ClusterRun>,
+}
+
+/// What a cluster-mode run leaves behind for analysis.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// Quorum/failover/loss accounting over the whole run.
+    pub stats: ClusterStatsSnapshot,
+    /// The gathered, cross-checked cluster state at teardown.
+    pub view: ClusterView,
+    /// The epoch seal cut at teardown.
+    pub seal: EpochSeal,
+    /// Public half of the sealing key (for seal verification).
+    pub sealing_key: RsaPublicKey,
+    /// The cluster-wide key registry.
+    pub keys: KeyRegistry,
 }
 
 impl ScenarioReport {
-    /// Runs the auditor over everything this scenario logged.
+    /// Runs the auditor over everything this scenario logged. In cluster
+    /// mode this is the entry-level audit over the merged quorum logs; use
+    /// [`ScenarioReport::cluster_audit`] for the full replica/seal layer.
     pub fn audit(&self) -> AuditReport {
+        if let Some(c) = &self.cluster {
+            return ClusterAuditor::new(c.keys.clone())
+                .with_topology(self.topology.iter().cloned())
+                .audit_view(&c.view)
+                .report;
+        }
         Auditor::new(self.logger.keys().clone())
             .with_topology(self.topology.iter().cloned())
             .audit_store(self.logger.store())
+    }
+
+    /// The full cluster audit: replica divergence, epoch-seal verification
+    /// against the run's seal, and the entry-level report. `None` for
+    /// single-logger runs.
+    pub fn cluster_audit(&self) -> Option<ClusterAuditReport> {
+        let c = self.cluster.as_ref()?;
+        Some(
+            ClusterAuditor::new(c.keys.clone())
+                .with_topology(self.topology.iter().cloned())
+                .audit_sealed_view(&c.view, &c.seal, &c.sealing_key),
+        )
     }
 
     /// System-wide log generation rate in Mb/s (Table IV's quantity).
@@ -132,7 +187,32 @@ impl Scenario {
             queue_sizes: BTreeMap::new(),
             callback_delays: BTreeMap::new(),
             logger_outage_after: None,
+            cluster: None,
+            replica_kills: Vec::new(),
+            replica_restarts: Vec::new(),
         }
+    }
+
+    /// Deposits into a sharded, quorum-replicated logger cluster instead of
+    /// a single trusted server. The report then carries a [`ClusterRun`].
+    pub fn cluster(mut self, config: ClusterConfig) -> Self {
+        self.cluster = Some(config);
+        self
+    }
+
+    /// Crashes one cluster replica this far into the measurement window
+    /// (fail-stop; no effect on single-logger runs).
+    pub fn kill_replica_after(mut self, shard: usize, replica: usize, after: Duration) -> Self {
+        self.replica_kills.push((shard, replica, after));
+        self
+    }
+
+    /// Restarts one cluster replica (fresh and empty — a lagging follower)
+    /// this far into the measurement window. Combined with
+    /// [`Scenario::kill_replica_after`] this scripts a rolling restart.
+    pub fn restart_replica_after(mut self, shard: usize, replica: usize, after: Duration) -> Self {
+        self.replica_restarts.push((shard, replica, after));
+        self
     }
 
     /// Installs fault-tolerance knobs (ack deadlines, retries, socket
@@ -239,6 +319,19 @@ impl Scenario {
         let handle = server.handle();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
 
+        // Deposit destination: the single server, or a replicated cluster
+        // (with a deterministic, seed-derived sealing key).
+        let cluster_rt = self.cluster.as_ref().map(|config| {
+            let cluster = LoggerCluster::spawn(config.clone()).expect("spawn cluster");
+            let client = Arc::new(ClusterLogClient::in_proc(&cluster));
+            let sealing = RsaKeyPair::generate(self.key_bits, &mut rng);
+            (cluster, client, sealing)
+        });
+        let target = match &cluster_rt {
+            Some((_, client, _)) => DepositTarget::Cluster(Arc::clone(client)),
+            None => DepositTarget::Single(handle.clone()),
+        };
+
         // Build nodes.
         let mut nodes: BTreeMap<String, Arc<AdlpNode>> = BTreeMap::new();
         for spec in &self.app.nodes {
@@ -263,7 +356,7 @@ impl Scenario {
                 builder = builder.faults(faults.clone());
             }
             let node = builder
-                .build(&master, &handle, &mut rng)
+                .build_with_target(&master, target.clone(), &mut rng)
                 .expect("node construction");
             nodes.insert(spec.id.clone(), Arc::new(node));
         }
@@ -382,6 +475,9 @@ impl Scenario {
         // Warmup, then measure.
         std::thread::sleep(self.warmup);
         handle.stats().reset();
+        if let Some((_, client, _)) = &cluster_rt {
+            client.volume().reset();
+        }
         let cpu = CpuProbe::start();
         let node_cpu = self
             .cpu_node
@@ -389,14 +485,40 @@ impl Scenario {
             .map(ThreadCpuProbe::for_node);
         // adlp-lint: allow(sim-determinism) — the measurement window is wall-clock by definition (Table IV reports real rates); protocol state stays seed-driven
         let t0 = Instant::now();
-        match self.logger_outage_after {
-            Some(after) if after < self.duration => {
-                std::thread::sleep(after);
-                server.kill();
-                std::thread::sleep(self.duration - after);
-            }
-            _ => std::thread::sleep(self.duration),
+        let mut actions: Vec<(Duration, MidRunAction)> = Vec::new();
+        if let Some(after) = self.logger_outage_after {
+            actions.push((after, MidRunAction::KillLogger));
         }
+        for &(shard, replica, after) in &self.replica_kills {
+            actions.push((after, MidRunAction::KillReplica(shard, replica)));
+        }
+        for &(shard, replica, after) in &self.replica_restarts {
+            actions.push((after, MidRunAction::RestartReplica(shard, replica)));
+        }
+        actions.sort_by_key(|&(at, _)| at);
+        let mut waited = Duration::ZERO;
+        for (at, action) in actions {
+            if at >= self.duration {
+                break;
+            }
+            std::thread::sleep(at.saturating_sub(waited));
+            waited = at;
+            match action {
+                MidRunAction::KillLogger => server.kill(),
+                MidRunAction::KillReplica(shard, replica) => {
+                    if let Some((cluster, _, _)) = &cluster_rt {
+                        cluster.kill_replica(shard, replica);
+                    }
+                }
+                MidRunAction::RestartReplica(shard, replica) => {
+                    if let Some((cluster, _, _)) = &cluster_rt {
+                        // adlp-lint: allow(discarded-fallible) — a restart that fails mid-scenario shows up as a still-dead replica in the report
+                        let _ = cluster.restart_replica(shard, replica);
+                    }
+                }
+            }
+        }
+        std::thread::sleep(self.duration.saturating_sub(waited));
         let elapsed = t0.elapsed();
         let process_cpu_percent = cpu.utilization_percent();
         let node_cpu_percent = node_cpu.map(|p| p.utilization_percent());
@@ -435,11 +557,35 @@ impl Scenario {
             latency_samples_ns.insert(k, samples);
         }
 
+        // Cluster teardown: gather the replicas and cut the epoch seal.
+        let cluster_volume = cluster_rt
+            .as_ref()
+            .map(|(_, client, _)| client.volume().snapshot());
+        let cluster_run = cluster_rt.map(|(cluster, client, sealing)| {
+            let view = cluster.view();
+            let seal = cluster
+                .seal_epoch(sealing.private_key())
+                .expect("seal epoch");
+            ClusterRun {
+                stats: client.stats().snapshot(),
+                view,
+                seal,
+                sealing_key: sealing.public_key().clone(),
+                keys: cluster.keys().clone(),
+            }
+        });
+        // In cluster mode the single server idles; volume and depth come
+        // from the cluster's quorum-acked accounting.
+        let (volume, store_len) = match (&cluster_run, cluster_volume) {
+            (Some(c), Some(v)) => (v, c.view.total_records()),
+            _ => (handle.stats().snapshot(), handle.store().len()),
+        };
+
         ScenarioReport {
             elapsed,
-            volume: handle.stats().snapshot(),
+            volume,
             node_stats,
-            store_len: handle.store().len(),
+            store_len,
             process_cpu_percent,
             node_cpu_percent,
             logger: handle,
@@ -448,6 +594,7 @@ impl Scenario {
             latency_samples_ns,
             link_events,
             publish_failures: publish_failures.load(Ordering::Relaxed),
+            cluster: cluster_run,
         }
     }
 }
