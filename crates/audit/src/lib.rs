@@ -15,7 +15,9 @@
 //! * [`collusion`] — collusion groups (Definition 1): maximal-group
 //!   computation over known or suspected collusion edges;
 //! * [`provenance`] — reconstruction of the proven data-flow graph and
-//!   backward tracing from a faulty output to its upstream evidence.
+//!   backward tracing from a faulty output to its upstream evidence;
+//! * [`recovery`] — post-crash classification of a recovered log against a
+//!   retained commitment: intact, truncated tail, or tamper evidence.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod classify;
 pub mod collusion;
 pub mod incremental;
 pub mod provenance;
+pub mod recovery;
 pub mod render;
 
 pub use auditor::{AuditReport, Auditor, ComponentVerdict, Violation, ViolationKind};
@@ -50,3 +53,6 @@ pub use classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
 pub use collusion::CollusionGroups;
 pub use incremental::AuditSession;
 pub use provenance::{FlowEdge, ImpactNode, ProvenanceGraph, ProvenanceNode};
+pub use recovery::{
+    verify_recovered_store, RecoveryCheck, RecoveryVerdict, RetainedCommitment,
+};

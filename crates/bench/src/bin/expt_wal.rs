@@ -1,0 +1,31 @@
+//! WAL overhead: what a durable acknowledgement costs, over real files.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_wal
+//! ```
+//!
+//! Three modes: no WAL (volatile logger, acks on acceptance), WAL without
+//! explicit syncs, and WAL synced on every append. Prints the table and
+//! writes `BENCH_wal.json` to the working directory (override with
+//! `ADLP_WAL_JSON`). Environment knobs: `ADLP_WAL_ENTRIES` (default 5000).
+
+use adlp_bench::experiments::wal_overhead;
+use adlp_bench::report::{print_wal, wal_json};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let entries = env_usize("ADLP_WAL_ENTRIES", 5000);
+    let rows = wal_overhead(entries);
+    print_wal(&rows);
+    let path = std::env::var("ADLP_WAL_JSON").unwrap_or_else(|_| "BENCH_wal.json".into());
+    match std::fs::write(&path, wal_json(&rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

@@ -450,6 +450,106 @@ pub fn cluster_throughput(window: Duration, key_bits: usize) -> Vec<ClusterRow> 
     rows
 }
 
+// ---------------------------------------------------------------------------
+// WAL overhead — durable acknowledgement cost: no WAL / WAL / WAL + fsync
+// ---------------------------------------------------------------------------
+
+/// One row of the WAL-overhead experiment.
+#[derive(Debug, Clone)]
+pub struct WalRow {
+    /// Durability mode: `off`, `wal`, or `wal+fsync`.
+    pub mode: &'static str,
+    /// Entries submitted through the durable-ack path.
+    pub entries: usize,
+    /// Durably acknowledged deposits per second.
+    pub entries_per_sec: f64,
+    /// Mean wall-clock time from submission to durable acknowledgement,
+    /// microseconds.
+    pub mean_ack_latency_us: f64,
+    /// Final WAL file size on disk (0 when the WAL is off).
+    pub wal_bytes: u64,
+}
+
+/// Measures what durable acknowledgements cost over real files: a volatile
+/// logger (acks on acceptance), a WAL without explicit syncs (acks mean
+/// "in the WAL"), and a WAL synced per append (acks survive power loss).
+/// Each durable mode runs in its own temp directory, removed afterwards.
+pub fn wal_overhead(entries: usize) -> Vec<WalRow> {
+    use adlp_logger::durable::WAL_FILE;
+    use adlp_logger::{
+        DurabilityConfig, FsStorage, KeyRegistry, LogEntry, LogServer, Storage, SyncPolicy,
+    };
+    use adlp_pubsub::{NodeId, Topic};
+    use std::sync::Arc;
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![0xA5; 256],
+        )
+    }
+
+    fn drive(handle: &adlp_logger::LoggerHandle, entries: usize) -> (f64, f64) {
+        let started = Instant::now();
+        let mut in_call = Duration::ZERO;
+        for i in 0..entries {
+            let t = Instant::now();
+            handle
+                .submit_durable(entry(i as u64))
+                .expect("no faults injected");
+            in_call += t.elapsed();
+        }
+        let secs = started.elapsed().as_secs_f64();
+        (
+            entries as f64 / secs,
+            in_call.as_secs_f64() * 1e6 / entries as f64,
+        )
+    }
+
+    let mut rows = Vec::new();
+
+    let volatile = LogServer::spawn();
+    let (eps, lat) = drive(&volatile.handle(), entries);
+    rows.push(WalRow {
+        mode: "off",
+        entries,
+        entries_per_sec: eps,
+        mean_ack_latency_us: lat,
+        wal_bytes: 0,
+    });
+
+    for (mode, policy) in [
+        ("wal", SyncPolicy::Never),
+        ("wal+fsync", SyncPolicy::EveryAppend),
+    ] {
+        let root = std::env::temp_dir().join(format!(
+            "adlp-bench-wal-{}-{mode}",
+            std::process::id()
+        ));
+        let storage: Arc<dyn Storage> =
+            Arc::new(FsStorage::open(&root).expect("temp storage root"));
+        let config = DurabilityConfig::new(Arc::clone(&storage)).fsync(policy);
+        let spawned =
+            LogServer::try_spawn_durable(KeyRegistry::new(), &config).expect("durable spawn");
+        let (eps, lat) = drive(&spawned.server.handle(), entries);
+        let wal_bytes = storage.size_of(WAL_FILE).ok().flatten().unwrap_or(0);
+        spawned.server.kill();
+        let _ = std::fs::remove_dir_all(&root);
+        rows.push(WalRow {
+            mode,
+            entries,
+            entries_per_sec: eps,
+            mean_ack_latency_us: lat,
+            wal_bytes,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +568,26 @@ mod tests {
         // Both replication settings appear for every shard count.
         assert!(rows.iter().filter(|r| r.replicas == 3).count() == 3);
         assert!(rows.iter().filter(|r| r.replicas == 1).count() == 3);
+    }
+
+    #[test]
+    fn wal_overhead_shape() {
+        let rows = wal_overhead(200);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.mode).collect::<Vec<_>>(),
+            ["off", "wal", "wal+fsync"]
+        );
+        for r in &rows {
+            assert_eq!(r.entries, 200);
+            assert!(r.entries_per_sec > 0.0, "{r:?}");
+            assert!(r.mean_ack_latency_us > 0.0, "{r:?}");
+        }
+        assert_eq!(rows[0].wal_bytes, 0, "volatile mode writes no WAL");
+        // Each durable mode persisted every acked entry: magic plus 200
+        // frames of (8-byte header + 8-byte index + encoded entry).
+        assert!(rows[1].wal_bytes > 200 * 16, "{:?}", rows[1]);
+        assert_eq!(rows[1].wal_bytes, rows[2].wal_bytes, "same entries, same WAL");
     }
 
     #[test]

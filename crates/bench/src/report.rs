@@ -143,6 +143,41 @@ pub fn cluster_json(rows: &[ClusterRow]) -> String {
     out
 }
 
+pub fn print_wal(rows: &[WalRow]) {
+    println!("== WAL: durable-acknowledgement overhead ==");
+    println!(
+        "{:<11} {:>9} {:>12} {:>12} {:>12}",
+        "Mode", "Entries", "Entries/s", "Ack(us)", "WAL bytes"
+    );
+    for r in rows {
+        println!(
+            "{:<11} {:>9} {:>12.1} {:>12.2} {:>12}",
+            r.mode, r.entries, r.entries_per_sec, r.mean_ack_latency_us, r.wal_bytes
+        );
+    }
+    println!();
+}
+
+/// Serializes WAL-overhead rows as a JSON document (hand-rolled: the
+/// workspace carries no serialization dependency).
+pub fn wal_json(rows: &[WalRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"wal_overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"entries\": {}, \"entries_per_sec\": {:.3}, \
+             \"mean_ack_latency_us\": {:.3}, \"wal_bytes\": {}}}{}\n",
+            r.mode,
+            r.entries,
+            r.entries_per_sec,
+            r.mean_ack_latency_us,
+            r.wal_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 pub fn print_table4(window: Duration, key_bits: usize) {
     println!("== Table IV: system-wide log generation rate ==");
     println!("{:<8} {:>12}", "Scheme", "Mb/s");

@@ -19,6 +19,12 @@ use std::time::{Duration, Instant};
 pub trait ReplicaSink: Send + Sync + fmt::Debug {
     /// Attempts to deliver `entry`; returns whether a live replica took it.
     fn deposit(&self, entry: &LogEntry) -> bool;
+    /// Like [`ReplicaSink::deposit`], but only returns `true` once the
+    /// replica reports the entry *durable* (in its synced WAL). Sinks
+    /// without a durability notion fall back to plain acceptance.
+    fn deposit_durable(&self, entry: &LogEntry) -> bool {
+        self.deposit(entry)
+    }
     /// Blocks until previously accepted entries are stored (best effort);
     /// returns whether the replica confirmed.
     fn flush_replica(&self) -> bool;
@@ -33,6 +39,10 @@ struct SlotSink {
 impl ReplicaSink for SlotSink {
     fn deposit(&self, entry: &LogEntry) -> bool {
         self.slot.handle().try_submit(entry.clone()).is_ok()
+    }
+
+    fn deposit_durable(&self, entry: &LogEntry) -> bool {
+        self.slot.handle().submit_durable(entry.clone()).is_ok()
     }
 
     fn flush_replica(&self) -> bool {
@@ -82,6 +92,13 @@ impl ReplicaSink for RemoteReplicaSink {
     }
 }
 
+/// What one deposit fan-out produced.
+struct FanOutOutcome {
+    shard: usize,
+    accepted: usize,
+    quorate: bool,
+}
+
 /// A shard's replica lanes plus the per-shard ordering lock.
 struct ShardLanes {
     /// Serializes fan-outs so all replicas see entries in one order —
@@ -113,7 +130,9 @@ pub struct ClusterLogClient {
 }
 
 impl ClusterLogClient {
-    /// An in-process client over a [`LoggerCluster`]'s replica slots.
+    /// An in-process client over a [`LoggerCluster`]'s replica slots. The
+    /// client shares the cluster's [`ClusterStats`], so deposit accounting
+    /// and replica durability counters read from one place.
     pub fn in_proc(cluster: &LoggerCluster) -> Self {
         let sinks = (0..cluster.shard_count())
             .map(|shard| {
@@ -124,7 +143,12 @@ impl ClusterLogClient {
                     .collect()
             })
             .collect();
-        Self::from_sinks(cluster.config().clone(), cluster.keys().clone(), sinks)
+        Self::from_sinks_with_stats(
+            cluster.config().clone(),
+            cluster.keys().clone(),
+            sinks,
+            cluster.stats().clone(),
+        )
     }
 
     /// A client over arbitrary sinks (one inner `Vec` per shard). Used by
@@ -134,8 +158,19 @@ impl ClusterLogClient {
         keys: KeyRegistry,
         sinks: Vec<Vec<Box<dyn ReplicaSink>>>,
     ) -> Self {
-        let ring = HashRing::new(config.shards, config.vnodes);
         let stats = ClusterStats::new(config.shards);
+        Self::from_sinks_with_stats(config, keys, sinks, stats)
+    }
+
+    /// Like [`ClusterLogClient::from_sinks`], but accounting into
+    /// externally owned counters (e.g. a [`LoggerCluster`]'s own stats).
+    pub fn from_sinks_with_stats(
+        config: ClusterConfig,
+        keys: KeyRegistry,
+        sinks: Vec<Vec<Box<dyn ReplicaSink>>>,
+        stats: ClusterStats,
+    ) -> Self {
+        let ring = HashRing::new(config.shards, config.vnodes);
         let shards = sinks
             .into_iter()
             .map(|replicas| ShardLanes {
@@ -195,13 +230,45 @@ impl ClusterLogClient {
     /// [`adlp_logger::LoggerHandle::submit`], all degradation is counted
     /// ([`ClusterStats`]), never silent.
     pub fn submit(&self, entry: LogEntry) {
+        self.fan_out(&entry, false);
+    }
+
+    /// Deposits an entry and only reports success once a write quorum of
+    /// replicas reports it *durable* (synced into their WALs) — the
+    /// ack-after-durable path. Accounting is identical to
+    /// [`ClusterLogClient::submit`]; a sub-quorum outcome is both counted
+    /// and returned as an error so the caller can refuse its own ack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when fewer than W replicas made the entry
+    /// durable.
+    pub fn submit_durable(&self, entry: LogEntry) -> Result<(), LogError> {
+        let outcome = self.fan_out(&entry, true);
+        if outcome.quorate {
+            Ok(())
+        } else {
+            Err(LogError::Io(format!(
+                "durable write quorum not reached on shard {} ({} acks < W={})",
+                outcome.shard, outcome.accepted, self.config.write_quorum
+            )))
+        }
+    }
+
+    /// One routed, serialized fan-out; returns the quorum outcome. All
+    /// accounting (stats + quorum-acked volume) happens here.
+    fn fan_out(&self, entry: &LogEntry, durable: bool) -> FanOutOutcome {
         let shard_idx = self.ring.shard_for(&entry.component, &entry.topic);
         let Some(lane) = self.shards.get(shard_idx) else {
             // Unreachable by construction (the ring only emits known
             // shards), but if it ever happens the loss is still counted.
             self.stats
                 .note_deposit(shard_idx, 0, 0, self.config.write_quorum, Duration::ZERO);
-            return;
+            return FanOutOutcome {
+                shard: shard_idx,
+                accepted: 0,
+                quorate: false,
+            };
         };
         let encoded_len = entry.encoded_len();
         let started = Instant::now();
@@ -209,7 +276,12 @@ impl ClusterLogClient {
         let mut accepted = 0usize;
         let mut refused = 0usize;
         for sink in &lane.replicas {
-            if sink.deposit(&entry) {
+            let took = if durable {
+                sink.deposit_durable(entry)
+            } else {
+                sink.deposit(entry)
+            };
+            if took {
                 accepted += 1;
             } else {
                 refused += 1;
@@ -223,8 +295,14 @@ impl ClusterLogClient {
             self.config.write_quorum,
             started.elapsed(),
         );
-        if accepted >= self.config.write_quorum {
+        let quorate = accepted >= self.config.write_quorum;
+        if quorate {
             self.volume.record(&entry.component, &entry.topic, encoded_len);
+        }
+        FanOutOutcome {
+            shard: shard_idx,
+            accepted,
+            quorate,
         }
     }
 

@@ -2,21 +2,28 @@
 
 use crate::config::ClusterConfig;
 use crate::epoch::EpochSeal;
+use crate::stats::ClusterStats;
 use crate::view::{self, ClusterView};
 use adlp_crypto::rsa::RsaPrivateKey;
-use adlp_logger::{KeyRegistry, LogError, LogServer, LoggerHandle};
+use adlp_logger::{
+    DurabilityConfig, DurabilityStats, KeyRegistry, LogError, LogServer, LoggerHandle, Recovery,
+    Storage, SyncPolicy,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One replica backend of one shard. The inner [`LogServer`] can be killed
-/// (simulated crash) and later replaced by a fresh, empty server — the
-/// fail-stop lifecycle the trust model allows replicas.
+/// (simulated crash) and later replaced by a fresh server — the fail-stop
+/// lifecycle the trust model allows replicas. A *durable* slot keeps its
+/// [`DurabilityConfig`], so a restart reopens the same storage device and
+/// recovers the acked prefix instead of starting empty.
 #[derive(Debug)]
 pub struct ReplicaSlot {
     shard: usize,
     index: usize,
     server: Mutex<LogServer>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl ReplicaSlot {
@@ -41,18 +48,35 @@ impl ReplicaSlot {
         self.server.lock().kill();
     }
 
-    /// Replaces a (killed) replica with a fresh, *empty* server sharing the
-    /// cluster key registry — a rolling-restart step. The restarted replica
-    /// re-enters as a lagging follower; it must never masquerade as having
-    /// history it does not hold.
+    /// Replaces a (killed) replica with a fresh server sharing the cluster
+    /// key registry — a rolling-restart step. A durable slot reopens its
+    /// storage and recovers the acked prefix (returning what recovery
+    /// found); a volatile slot comes back *empty*. Either way the restarted
+    /// replica re-enters as a lagging follower; it never masquerades as
+    /// having history it does not hold.
     ///
     /// # Errors
     ///
-    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
-    pub fn restart(&self, keys: KeyRegistry) -> Result<(), LogError> {
-        let fresh = LogServer::try_spawn_with_keys(keys)?;
-        *self.server.lock() = fresh;
-        Ok(())
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread or
+    /// the storage device refuses recovery outright.
+    pub fn restart(&self, keys: KeyRegistry) -> Result<Option<Recovery>, LogError> {
+        match &self.durability {
+            Some(config) => {
+                let spawned = LogServer::try_spawn_durable(keys, config)?;
+                *self.server.lock() = spawned.server;
+                Ok(Some(spawned.recovery))
+            }
+            None => {
+                let fresh = LogServer::try_spawn_with_keys(keys)?;
+                *self.server.lock() = fresh;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Whether this slot persists its log across restarts.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 }
 
@@ -66,10 +90,11 @@ pub struct LoggerCluster {
     keys: KeyRegistry,
     shards: Vec<Vec<Arc<ReplicaSlot>>>,
     epoch: AtomicU64,
+    stats: ClusterStats,
 }
 
 impl LoggerCluster {
-    /// Spawns `shards × replicas` backends.
+    /// Spawns `shards × replicas` volatile backends.
     ///
     /// # Errors
     ///
@@ -78,6 +103,7 @@ impl LoggerCluster {
     pub fn spawn(config: ClusterConfig) -> Result<Self, LogError> {
         config.validate()?;
         let keys = KeyRegistry::new();
+        let stats = ClusterStats::new(config.shards);
         let mut shards = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let mut replicas = Vec::with_capacity(config.replicas);
@@ -87,6 +113,7 @@ impl LoggerCluster {
                     shard,
                     index,
                     server: Mutex::new(server),
+                    durability: None,
                 }));
             }
             shards.push(replicas);
@@ -96,7 +123,67 @@ impl LoggerCluster {
             keys,
             shards,
             epoch: AtomicU64::new(0),
+            stats,
         })
+    }
+
+    /// Spawns `shards × replicas` *durable* backends, one storage device per
+    /// replica (`storages` holds one inner `Vec` per shard). Every replica
+    /// recovers whatever its device already holds, and all replicas share
+    /// one [`DurabilityStats`] — also wired into this cluster's
+    /// [`ClusterStats`], so fsync failures and truncated records anywhere in
+    /// the fleet surface in cluster snapshots live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for an invalid configuration or a
+    /// `storages` shape that disagrees with it, and [`LogError::Io`] when a
+    /// backend thread cannot be created or a device refuses recovery.
+    pub fn spawn_durable(
+        config: ClusterConfig,
+        storages: Vec<Vec<Arc<dyn Storage>>>,
+        fsync: SyncPolicy,
+        rotate_every: usize,
+    ) -> Result<Self, LogError> {
+        config.validate()?;
+        if storages.len() != config.shards || storages.iter().any(|s| s.len() != config.replicas) {
+            return Err(LogError::Malformed("cluster storages (shape)"));
+        }
+        let keys = KeyRegistry::new();
+        let durability = DurabilityStats::default();
+        let stats = ClusterStats::with_durability(config.shards, durability.clone());
+        let mut shards = Vec::with_capacity(config.shards);
+        for (shard, shard_storages) in storages.into_iter().enumerate() {
+            let mut replicas = Vec::with_capacity(config.replicas);
+            for (index, storage) in shard_storages.into_iter().enumerate() {
+                let slot_config = DurabilityConfig::new(storage)
+                    .fsync(fsync)
+                    .rotate_every(rotate_every)
+                    .counters(durability.clone());
+                let spawned = LogServer::try_spawn_durable(keys.clone(), &slot_config)?;
+                replicas.push(Arc::new(ReplicaSlot {
+                    shard,
+                    index,
+                    server: Mutex::new(spawned.server),
+                    durability: Some(slot_config),
+                }));
+            }
+            shards.push(replicas);
+        }
+        Ok(LoggerCluster {
+            config,
+            keys,
+            shards,
+            epoch: AtomicU64::new(0),
+            stats,
+        })
+    }
+
+    /// Cluster-level accounting (shared with clients built over this
+    /// cluster; for a durable cluster, also fed by every replica's storage
+    /// counters).
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
     }
 
     /// The cluster configuration.
@@ -135,17 +222,66 @@ impl LoggerCluster {
         }
     }
 
-    /// Restarts one replica as a fresh, empty follower.
+    /// Restarts one replica. A durable slot reopens its storage device and
+    /// recovers the acked prefix (`Some(recovery)` reports what it found);
+    /// a volatile slot comes back empty (`None`). Either way it rejoins as
+    /// a lagging follower — use [`LoggerCluster::catch_up_replica`] to bring
+    /// it back to the quorum log.
     ///
     /// # Errors
     ///
     /// Returns [`LogError::NoSuchEntry`] for an unknown slot and
-    /// [`LogError::Io`] when the replacement thread cannot be created.
-    pub fn restart_replica(&self, shard: usize, replica: usize) -> Result<(), LogError> {
+    /// [`LogError::Io`] when the replacement thread cannot be created or
+    /// the storage device refuses recovery.
+    pub fn restart_replica(
+        &self,
+        shard: usize,
+        replica: usize,
+    ) -> Result<Option<Recovery>, LogError> {
         let slot = self
             .replica(shard, replica)
             .ok_or(LogError::NoSuchEntry(replica))?;
         slot.restart(self.keys.clone())
+    }
+
+    /// Brings a lagging replica back to its shard's quorum log by adopting
+    /// the records it is missing. The replica's current log must be a
+    /// *prefix* of the quorum log — anything else (diverged content, a
+    /// replica ahead of the quorum, or a mid-stream window with a hole at
+    /// the head) is refused rather than papered over: catch-up repairs
+    /// availability, it must never manufacture agreement.
+    ///
+    /// Returns the number of records adopted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::NoSuchEntry`] for an unknown slot,
+    /// [`LogError::Malformed`] when the replica's log is not a prefix of
+    /// the quorum log, and submission errors from the adoption path.
+    pub fn catch_up_replica(&self, shard: usize, replica: usize) -> Result<usize, LogError> {
+        let slot = self
+            .replica(shard, replica)
+            .ok_or(LogError::NoSuchEntry(replica))?;
+        let view = self.view();
+        let quorum = view
+            .shards
+            .get(shard)
+            .map(|s| s.records.clone())
+            .ok_or(LogError::NoSuchEntry(shard))?;
+        let handle = slot.handle();
+        let have = handle.store().encoded_records();
+        if have.len() > quorum.len() {
+            return Err(LogError::Malformed("catch-up (replica ahead of quorum)"));
+        }
+        if have.iter().zip(quorum.iter()).any(|(a, b)| a != b) {
+            return Err(LogError::Malformed("catch-up (replica not a quorum prefix)"));
+        }
+        let missing = quorum.get(have.len()..).unwrap_or(&[]);
+        for record in missing {
+            handle.adopt_encoded(record.clone())?;
+        }
+        handle.flush()?;
+        Ok(missing.len())
     }
 
     /// Gathers every replica's store and cross-checks them (see
@@ -231,5 +367,81 @@ mod tests {
         let mut config = ClusterConfig::new(2);
         config.write_quorum = 3;
         assert!(LoggerCluster::spawn(config).is_err());
+    }
+
+    #[test]
+    fn durable_replica_restart_recovers_and_catches_up() {
+        use crate::client::ClusterLogClient;
+        use adlp_logger::MemStorage;
+
+        let config = ClusterConfig::replicated(1);
+        let devices: Vec<Vec<Arc<MemStorage>>> = (0..config.shards)
+            .map(|_| (0..config.replicas).map(|_| Arc::new(MemStorage::new())).collect())
+            .collect();
+        let storages: Vec<Vec<Arc<dyn Storage>>> = devices
+            .iter()
+            .map(|shard| {
+                shard
+                    .iter()
+                    .map(|d| Arc::clone(d) as Arc<dyn Storage>)
+                    .collect()
+            })
+            .collect();
+        let cluster =
+            LoggerCluster::spawn_durable(config, storages, SyncPolicy::EveryAppend, 1024).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        for seq in 0..5 {
+            client.submit_durable(entry(seq)).unwrap();
+        }
+        client.flush().unwrap();
+
+        // Crash one replica: fail-stop plus a power cut on its device.
+        cluster.kill_replica(0, 2);
+        devices[0][2].crash();
+        for seq in 5..8 {
+            client.submit_durable(entry(seq)).unwrap();
+        }
+        client.flush().unwrap();
+
+        // The restarted replica recovers its acked prefix — not empty.
+        let recovery = cluster
+            .restart_replica(0, 2)
+            .unwrap()
+            .expect("durable slot must report recovery");
+        assert_eq!(recovery.records_truncated, 0, "every append was synced");
+        let slot = cluster.replica(0, 2).unwrap();
+        assert_eq!(slot.handle().store().len(), 5, "acked prefix recovered");
+
+        // It rejoins lagging (never diverged), then catches up to quorum.
+        let view = cluster.view();
+        assert!(view.divergences().is_empty());
+        assert_eq!(view.lagging(), vec![(0, 2, 3)]);
+        assert_eq!(cluster.catch_up_replica(0, 2).unwrap(), 3);
+        let view = cluster.view();
+        assert!(view.divergences().is_empty());
+        assert!(view.lagging().is_empty());
+
+        let s = cluster.stats().snapshot();
+        assert!(s.balanced());
+        assert_eq!(s.acked, 8);
+    }
+
+    #[test]
+    fn catch_up_refuses_diverged_replica() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        for slot in cluster.shard_replicas(0) {
+            slot.handle().try_submit(entry(1)).unwrap();
+            slot.handle().flush().unwrap();
+        }
+        let victim = cluster.replica(0, 2).unwrap();
+        victim
+            .handle()
+            .store()
+            .tamper_with_record(0, entry(9).encode())
+            .unwrap();
+        assert!(matches!(
+            cluster.catch_up_replica(0, 2),
+            Err(LogError::Malformed("catch-up (replica not a quorum prefix)"))
+        ));
     }
 }

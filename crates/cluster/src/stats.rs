@@ -5,6 +5,7 @@
 //! `acked` (reached its write quorum) or `entries_lost` (did not), so
 //! `submitted == acked + entries_lost` holds at any quiescent point.
 
+use adlp_logger::DurabilityStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,6 +25,7 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     inner: Arc<Inner>,
+    durability: DurabilityStats,
 }
 
 /// A point-in-time copy of [`ClusterStats`].
@@ -42,6 +44,13 @@ pub struct ClusterStatsSnapshot {
     pub failovers: u64,
     /// Mean wall-clock time to reach the write quorum, in nanoseconds.
     pub mean_quorum_latency_ns: u64,
+    /// WAL syncs / snapshot replaces refused by replica storage devices —
+    /// storage errors are counted, never discarded.
+    pub fsync_failures: u64,
+    /// Replica WAL appends that failed outright (e.g. torn writes).
+    pub wal_append_failures: u64,
+    /// Records lost to torn/corrupt tails across replica recoveries.
+    pub records_truncated: u64,
     /// Entries routed to each shard (quorum-acked only).
     pub shard_depth: Vec<u64>,
 }
@@ -49,13 +58,27 @@ pub struct ClusterStatsSnapshot {
 impl ClusterStats {
     /// Creates zeroed counters for `shards` shards.
     pub fn new(shards: usize) -> Self {
+        Self::with_durability(shards, DurabilityStats::default())
+    }
+
+    /// Creates counters whose durability side is shared with `durability` —
+    /// a durable cluster hands the same counters to every replica's
+    /// `DurabilityConfig`, so replica-level storage failures surface here
+    /// live.
+    pub fn with_durability(shards: usize, durability: DurabilityStats) -> Self {
         let shard_depth = (0..shards).map(|_| AtomicU64::new(0)).collect();
         ClusterStats {
             inner: Arc::new(Inner {
                 shard_depth,
                 ..Inner::default()
             }),
+            durability,
         }
+    }
+
+    /// The shared durability counters.
+    pub fn durability(&self) -> &DurabilityStats {
+        &self.durability
     }
 
     /// Records the outcome of one deposit fan-out.
@@ -94,17 +117,20 @@ impl ClusterStats {
     pub fn snapshot(&self) -> ClusterStatsSnapshot {
         let i = &self.inner;
         let samples = i.quorum_samples.load(Ordering::Relaxed);
-        let mean = if samples == 0 {
-            0
-        } else {
-            i.quorum_latency_ns.load(Ordering::Relaxed) / samples
-        };
+        let mean = i
+            .quorum_latency_ns
+            .load(Ordering::Relaxed)
+            .checked_div(samples)
+            .unwrap_or(0);
         ClusterStatsSnapshot {
             submitted: i.submitted.load(Ordering::Relaxed),
             acked: i.acked.load(Ordering::Relaxed),
             entries_lost: i.entries_lost.load(Ordering::Relaxed),
             failovers: i.failovers.load(Ordering::Relaxed),
             mean_quorum_latency_ns: mean,
+            fsync_failures: self.durability.fsync_failures(),
+            wal_append_failures: self.durability.wal_append_failures(),
+            records_truncated: self.durability.records_truncated(),
             shard_depth: i
                 .shard_depth
                 .iter()

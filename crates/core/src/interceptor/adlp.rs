@@ -461,6 +461,7 @@ mod tests {
             behavior: BehaviorProfile::faithful(),
             subscriber_stores_hash: true,
             logger: crate::target::DepositTarget::Single(server.handle()),
+            ack_after_durable: false,
         })
         .unwrap();
         let interceptor = AdlpInterceptor::new(

@@ -32,6 +32,7 @@ pub struct LoggingThread {
     tx: Sender<Command>,
     worker: Option<JoinHandle<()>>,
     lost: Arc<AtomicU64>,
+    deposit_failures: Arc<AtomicU64>,
 }
 
 /// A cloneable submitter for transport hooks.
@@ -66,6 +67,9 @@ pub(crate) struct LoggingContext {
     pub subscriber_stores_hash: bool,
     /// The deposit destination (single logger or cluster).
     pub logger: DepositTarget,
+    /// Deposit through [`DepositTarget::submit_durable`] and count
+    /// rejections, instead of the fire-and-forget path.
+    pub ack_after_durable: bool,
 }
 
 impl LoggingThread {
@@ -76,6 +80,8 @@ impl LoggingThread {
     /// Returns [`LogError::Io`] when the OS refuses to create the thread.
     pub(crate) fn spawn(ctx: LoggingContext) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
+        let deposit_failures = Arc::new(AtomicU64::new(0));
+        let failures = Arc::clone(&deposit_failures);
         let worker = std::thread::Builder::new()
             .name(format!("lg-{}", ctx.node_id))
             .spawn(move || {
@@ -83,7 +89,16 @@ impl LoggingThread {
                     match cmd {
                         Command::Event(event) => {
                             if let Some(entry) = build_entry(&ctx, *event) {
-                                ctx.logger.submit(entry);
+                                if ctx.ack_after_durable {
+                                    // The durable path reports refusals;
+                                    // like every other degradation they are
+                                    // counted, never silent.
+                                    if ctx.logger.submit_durable(entry).is_err() {
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                } else {
+                                    ctx.logger.submit(entry);
+                                }
                             }
                         }
                         Command::Flush(reply) => {
@@ -98,6 +113,7 @@ impl LoggingThread {
             tx,
             worker: Some(worker),
             lost: Arc::new(AtomicU64::new(0)),
+            deposit_failures,
         })
     }
 
@@ -112,6 +128,12 @@ impl LoggingThread {
     /// Events that could not be enqueued because the worker was gone.
     pub fn events_lost(&self) -> u64 {
         self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Entries the logger refused to make durable (ack-after-durable mode
+    /// only; the fire-and-forget path counts losses at the logger instead).
+    pub fn deposit_failures(&self) -> u64 {
+        self.deposit_failures.load(Ordering::Relaxed)
     }
 
     /// Blocks until all previously submitted events were handed to the
@@ -431,6 +453,7 @@ mod tests {
                 behavior,
                 subscriber_stores_hash: store_hash,
                 logger: DepositTarget::Single(server.handle()),
+                ack_after_durable: false,
             },
             server,
         )

@@ -36,6 +36,7 @@ pub struct AdlpNodeBuilder {
     base_stores_hash: bool,
     resilience: ResilienceConfig,
     faults: Option<FaultConfig>,
+    ack_after_durable: bool,
 }
 
 impl AdlpNodeBuilder {
@@ -52,7 +53,18 @@ impl AdlpNodeBuilder {
             base_stores_hash: false,
             resilience: ResilienceConfig::default(),
             faults: None,
+            ack_after_durable: false,
         }
+    }
+
+    /// Deposits through the durable path: the logging thread only treats an
+    /// entry as delivered once the logger reports it synced to its WAL (or
+    /// WAL-acked by a write quorum, for a cluster target). Refused deposits
+    /// are counted ([`AdlpNode::deposit_failures`]). Default off — the
+    /// paper's fire-and-forget deposit.
+    pub fn ack_after_durable(mut self, yes: bool) -> Self {
+        self.ack_after_durable = yes;
+        self
     }
 
     /// Configures ack deadlines, retries and I/O timeouts for links this
@@ -178,6 +190,7 @@ impl AdlpNodeBuilder {
                     behavior: (*behavior).clone(),
                     subscriber_stores_hash: self.base_stores_hash,
                     logger: logger.clone(),
+                    ack_after_durable: self.ack_after_durable,
                 })?;
                 let interceptor = Arc::new(BaseInterceptor::new(
                     Arc::clone(&self.clock),
@@ -200,6 +213,7 @@ impl AdlpNodeBuilder {
                     behavior: (*behavior).clone(),
                     subscriber_stores_hash: config.subscriber_stores_hash,
                     logger: logger.clone(),
+                    ack_after_durable: self.ack_after_durable,
                 })?;
                 let interceptor = Arc::new(
                     AdlpInterceptor::new(
@@ -418,6 +432,12 @@ impl AdlpNode {
     /// only; 0 otherwise).
     pub fn pending_acks(&self) -> usize {
         self.adlp.as_ref().map_or(0, |a| a.pending_count())
+    }
+
+    /// Entries the logger refused to make durable (nodes built with
+    /// [`AdlpNodeBuilder::ack_after_durable`] only; 0 otherwise).
+    pub fn deposit_failures(&self) -> u64 {
+        self.logging.as_ref().map_or(0, LoggingThread::deposit_failures)
     }
 
     /// Messages this node dropped as replays (ADLP only).
@@ -740,6 +760,48 @@ mod tests {
         assert_eq!(pub_entries.len(), 1, "evidence flushed exactly once");
         assert!(pub_entries[0].peer_sig.is_none(), "unproven: no ack");
         assert_eq!(pub_entries[0].peer, Some(NodeId::new("det")));
+    }
+
+    #[test]
+    fn ack_after_durable_deposits_and_counts_refusals() {
+        use adlp_logger::{DurabilityConfig, KeyRegistry, LogServer, MemStorage};
+        let master = Master::new();
+        let spawned = LogServer::try_spawn_durable(
+            KeyRegistry::new(),
+            &DurabilityConfig::new(Arc::new(MemStorage::new())),
+        )
+        .unwrap();
+        let server = spawned.server;
+        let h = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        let p = AdlpNodeBuilder::new("cam")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .ack_after_durable(true)
+            .build(&master, &h, &mut rng)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let s = AdlpNodeBuilder::new("det")
+            .scheme(Scheme::adlp())
+            .key_bits(512)
+            .ack_after_durable(true)
+            .build(&master, &h, &mut rng)
+            .unwrap();
+        let publisher = p.advertise("image").unwrap();
+        let _sub = s.subscribe("image", |_| {}).unwrap();
+        publisher.publish(&[5u8; 64]).unwrap();
+        wait_until(|| p.pending_acks() == 0);
+        p.flush().unwrap();
+        s.flush().unwrap();
+        assert_eq!(h.store().len(), 2);
+        assert_eq!(p.deposit_failures() + s.deposit_failures(), 0);
+
+        // The logger dies: durable deposits are refused — and counted.
+        server.kill();
+        publisher.publish(&[6u8; 64]).unwrap();
+        wait_until(|| p.pending_acks() == 0);
+        assert!(p.flush().is_err(), "flush against a dead logger must fail");
+        assert!(p.deposit_failures() > 0);
     }
 
     #[test]

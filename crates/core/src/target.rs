@@ -32,6 +32,22 @@ impl DepositTarget {
         }
     }
 
+    /// Deposits an entry and only reports success once the logger made it
+    /// *durable*: synced into the single logger's WAL, or WAL-acked by a
+    /// write quorum of cluster replicas. A logger without a durability
+    /// layer acks on acceptance (volatile deployments keep working).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when the logger is gone and
+    /// [`LogError::Io`] when the entry could not be made durable.
+    pub fn submit_durable(&self, entry: LogEntry) -> Result<(), LogError> {
+        match self {
+            DepositTarget::Single(handle) => handle.submit_durable(entry),
+            DepositTarget::Cluster(client) => client.submit_durable(entry),
+        }
+    }
+
     /// Registers a component key (§V-B step 1). For a cluster the registry
     /// is shared by every replica of every shard.
     ///
@@ -110,6 +126,21 @@ mod tests {
         let clustered = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&cluster)));
         clustered.submit(entry(2));
         clustered.flush().unwrap();
+        assert_eq!(cluster.view().total_records(), 1);
+    }
+
+    #[test]
+    fn both_shapes_accept_durable_deposits() {
+        // Volatile loggers ack durable deposits on acceptance, so the
+        // ack-after-durable pipeline runs unchanged against either shape.
+        let server = LogServer::spawn();
+        let single = DepositTarget::from(&server.handle());
+        single.submit_durable(entry(1)).unwrap();
+        assert_eq!(server.handle().store().len(), 1);
+
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        let clustered = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&cluster)));
+        clustered.submit_durable(entry(2)).unwrap();
         assert_eq!(cluster.view().total_records(), 1);
     }
 }

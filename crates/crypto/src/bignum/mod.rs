@@ -103,7 +103,7 @@ impl BigUint {
             let bytes = limb.to_be_bytes();
             if i == self.limbs.len() - 1 {
                 let skip = (limb.leading_zeros() / 8) as usize;
-                out.extend_from_slice(&bytes[skip..]);
+                out.extend_from_slice(bytes.get(skip..).unwrap_or(&[]));
             } else {
                 out.extend_from_slice(&bytes);
             }
@@ -133,16 +133,18 @@ impl BigUint {
     /// Returns [`CryptoError::Malformed`] on non-hex characters.
     pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
         let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
-        let s = s.as_bytes();
-        let mut idx = 0;
+        let mut s = s.as_bytes();
         // Odd-length strings have an implicit leading nibble.
         if s.len() % 2 == 1 {
-            bytes.push(hex_val(s[0])?);
-            idx = 1;
+            if let Some((&first, rest)) = s.split_first() {
+                bytes.push(hex_val(first)?);
+                s = rest;
+            }
         }
-        while idx < s.len() {
-            bytes.push(hex_val(s[idx])? << 4 | hex_val(s[idx + 1])?);
-            idx += 2;
+        for pair in s.chunks_exact(2) {
+            if let [hi, lo] = pair {
+                bytes.push(hex_val(*hi)? << 4 | hex_val(*lo)?);
+            }
         }
         Ok(Self::from_bytes_be(&bytes))
     }
@@ -200,7 +202,7 @@ impl BigUint {
             }
         }
         digits_rev.reverse();
-        String::from_utf8(digits_rev).expect("ascii digits")
+        digits_rev.iter().map(|&d| char::from(d)).collect()
     }
 
     /// Renders as lowercase hexadecimal ("0" for zero).
@@ -254,7 +256,9 @@ impl BigUint {
         if limb >= self.limbs.len() {
             self.limbs.resize(limb + 1, 0);
         }
-        self.limbs[limb] |= 1 << off;
+        if let Some(l) = self.limbs.get_mut(limb) {
+            *l |= 1 << off;
+        }
     }
 
     /// Low 64 bits of the value.

@@ -427,10 +427,13 @@ fn lock_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Call names whose `Result` carries protocol evidence.
+/// Call names whose `Result` carries protocol evidence — including the
+/// durability layer's wal/storage operations, where a discarded failure
+/// silently downgrades "acked durable" to "probably on disk".
 const FALLIBLE_SENDS: &[&str] = &[
     "publish", "submit", "send", "try_send", "send_frame", "append", "flush",
-    "log_event",
+    "log_event", "submit_durable", "adopt_encoded", "sync", "write_replace",
+    "truncate", "truncate_tail",
 ];
 
 /// Rule 5: `let _ = <protocol send / log submission>;` discards delivery

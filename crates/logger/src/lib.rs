@@ -18,8 +18,15 @@
 //!   pushed into the server", §V-B) so that a logger failure can never stall
 //!   the data-distribution side;
 //! * [`stats`] — byte/rate accounting used to reproduce the paper's log
-//!   generation-rate experiments (Figure 15, Table IV).
+//!   generation-rate experiments (Figure 15, Table IV);
+//! * [`storage`] — the byte-level device abstraction (real files,
+//!   in-memory power-failure model, deterministic fault injection);
+//! * [`wal`] — the checksummed, length-prefixed write-ahead log entries
+//!   reach before they are acknowledged;
+//! * [`durable`] — snapshot+WAL rotation and crash recovery tying the
+//!   store, the WAL, and the Merkle commitments together.
 
+pub mod durable;
 pub mod encoding;
 pub mod entry;
 pub mod keyreg;
@@ -28,13 +35,17 @@ pub mod persist;
 pub mod remote;
 pub mod server;
 pub mod stats;
+pub mod storage;
 pub mod store;
+pub mod wal;
 
+pub use durable::{Appended, DurabilityConfig, DurableLog, Recovery, SyncPolicy};
 pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
 pub use keyreg::KeyRegistry;
 pub use remote::{ReconnectConfig, RemoteLogClient, RemoteLogEndpoint};
 pub use server::{LogServer, LoggerHandle};
-pub use stats::{ClientStats, ClientStatsSnapshot, LogStats};
+pub use stats::{ClientStats, ClientStatsSnapshot, DurabilityStats, LogStats};
+pub use storage::{FaultyStorage, FsStorage, MemStorage, Storage, StorageFaultConfig};
 pub use store::{LogStore, TamperEvidence};
 
 use std::error::Error;

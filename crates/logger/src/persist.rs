@@ -7,6 +7,15 @@
 //! detected exactly like in-memory tampering.
 //!
 //! File layout: 8-byte magic ‖ repeated (u32 LE length ‖ encoded entry).
+//!
+//! Loading is torn-tail tolerant: a trailing partial record (the signature
+//! of a crash mid-append) is truncated and *reported* via
+//! [`LoadOutcome::records_truncated`], never a panic or a refused load. Only
+//! a wrong or short magic is a hard error — that file was never ours. Note
+//! the flip side: content tampering that renders a record undecodable also
+//! reads as a torn tail, so callers must still check the reloaded log
+//! against a separately retained commitment (chain head or Merkle root) —
+//! truncation tolerance is for crashes, not a tamper-acceptance loophole.
 
 use crate::store::{LogStore, TamperEvidence};
 use crate::LogError;
@@ -61,7 +70,18 @@ fn write_records(store: &LogStore, tmp: &Path) -> Result<(), LogError> {
 /// the in-memory store prefix, or [`LogError::Io`] on I/O failure.
 pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
     let on_disk = if path.exists() {
-        load_encoded(path)?
+        let raw = load_raw(path)?;
+        if raw.bytes_truncated > 0 {
+            // Repair the torn tail in place so fresh records land on a
+            // record boundary instead of behind unreadable debris.
+            let f = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(io_err("open log file for tail repair"))?;
+            f.set_len(raw.good_bytes)
+                .map_err(io_err("truncate torn log tail"))?;
+        }
+        raw.records
     } else {
         Vec::new() // no file yet
     };
@@ -93,28 +113,75 @@ pub fn append_store(store: &LogStore, path: &Path) -> Result<usize, LogError> {
     Ok(fresh.len())
 }
 
-/// Loads a store from `path`, rebuilding and verifying the hash chain.
+/// Result of a torn-tail-tolerant [`load_store`].
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The recovered store (the longest decodable record prefix).
+    pub store: LogStore,
+    /// Records dropped from the torn/corrupt tail. A tear can hide further
+    /// records behind it, so this counts *at least* the first unreadable
+    /// one.
+    pub records_truncated: u64,
+    /// Bytes dropped from the torn/corrupt tail.
+    pub bytes_truncated: u64,
+}
+
+impl LoadOutcome {
+    /// Whether anything was truncated.
+    pub fn torn(&self) -> bool {
+        self.bytes_truncated > 0 || self.records_truncated > 0
+    }
+}
+
+/// Loads a store from `path`, rebuilding the hash chain. A trailing
+/// partial record — a crash mid-append — is truncated and reported in the
+/// outcome instead of failing the whole load; so is an undecodable record
+/// (everything from it onward is dropped and counted).
 ///
 /// # Errors
 ///
-/// Returns [`LogError::Malformed`] for structural corruption and
-/// [`LogError::Io`] for I/O failure (including a missing file, which
-/// carries the OS's not-found detail). Chain verification always
-/// succeeds for a freshly rebuilt chain — use the returned store's
-/// [`LogStore::verify_chain`] against separately retained commitments
-/// (e.g. a Merkle root) to detect *content* tampering.
-pub fn load_store(path: &Path) -> Result<LogStore, LogError> {
-    let records = load_encoded(path)?;
+/// Returns [`LogError::Malformed`] only when the magic is wrong or short
+/// (the file is not one of ours) and [`LogError::Io`] for I/O failure
+/// (including a missing file, which carries the OS's not-found detail).
+/// Chain verification always succeeds for a freshly rebuilt chain — use
+/// the returned store's [`LogStore::verify_chain`] against separately
+/// retained commitments (e.g. a Merkle root) to detect *content*
+/// tampering.
+pub fn load_store(path: &Path) -> Result<LoadOutcome, LogError> {
+    let raw = load_raw(path)?;
     let store = LogStore::new();
-    for encoded in records {
-        // Reject files with undecodable entries outright.
-        crate::entry::LogEntry::decode(&encoded)?;
-        store.append_encoded(encoded);
+    let mut records_truncated = raw.records_truncated;
+    let mut bytes_truncated = raw.bytes_truncated;
+    for (i, encoded) in raw.records.iter().enumerate() {
+        if crate::entry::LogEntry::decode(encoded).is_err() {
+            // An undecodable record means corruption started here; the
+            // records behind it cannot be trusted to be what was written.
+            let tail = raw.records.get(i..).unwrap_or(&[]);
+            records_truncated += tail.len() as u64;
+            bytes_truncated += tail.iter().map(|r| 4 + r.len() as u64).sum::<u64>();
+            break;
+        }
+        store.append_encoded(encoded.clone());
     }
-    Ok(store)
+    Ok(LoadOutcome {
+        store,
+        records_truncated,
+        bytes_truncated,
+    })
 }
 
-fn load_encoded(path: &Path) -> Result<Vec<Vec<u8>>, LogError> {
+struct RawLoad {
+    /// Framing-valid records, in order.
+    records: Vec<Vec<u8>>,
+    /// File offset where the valid framing ends (magic included).
+    good_bytes: u64,
+    /// Partial records dropped from the tail (0 or 1 at framing level).
+    records_truncated: u64,
+    /// Bytes dropped from the tail.
+    bytes_truncated: u64,
+}
+
+fn load_raw(path: &Path) -> Result<RawLoad, LogError> {
     let file = File::open(path).map_err(io_err("open log file"))?;
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
@@ -123,32 +190,44 @@ fn load_encoded(path: &Path) -> Result<Vec<Vec<u8>>, LogError> {
     if &magic != MAGIC {
         return Err(LogError::Malformed("log file (magic)"));
     }
-    let mut out = Vec::new();
+    let mut raw = RawLoad {
+        records: Vec::new(),
+        good_bytes: 8,
+        records_truncated: 0,
+        bytes_truncated: 0,
+    };
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).map_err(io_err("read log file"))?;
+    let mut offset = 0usize;
     loop {
-        // A clean end of file lands exactly on a record boundary; stray
-        // trailing bytes that cannot form a length prefix are corruption,
-        // not a shorter log.
-        let mut first = [0u8; 1];
-        match r.read(&mut first) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => return Err(io_err("read record length")(e)),
+        let remaining = rest.get(offset..).unwrap_or(&[]);
+        if remaining.is_empty() {
+            break;
         }
-        let mut rest = [0u8; 3];
-        r.read_exact(&mut rest)
-            .map_err(|_| LogError::Malformed("log file (truncated length prefix)"))?;
-        let [b0] = first;
-        let [b1, b2, b3] = rest;
-        let len = u32::from_le_bytes([b0, b1, b2, b3]) as usize;
-        if len > 128 * 1024 * 1024 {
-            return Err(LogError::Malformed("log file (oversized record)"));
+        // A partial length prefix, an absurd length, or a short body all
+        // mean the file ends in a torn record: keep the prefix, count the
+        // tail.
+        let parsed = remaining.split_at_checked(4).and_then(|(len_bytes, body)| {
+            let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+            if len > 128 * 1024 * 1024 {
+                return None;
+            }
+            body.get(..len).map(|record| (record.to_vec(), 4 + len))
+        });
+        match parsed {
+            Some((record, consumed)) => {
+                raw.records.push(record);
+                raw.good_bytes += consumed as u64;
+                offset += consumed;
+            }
+            None => {
+                raw.records_truncated = 1;
+                raw.bytes_truncated = remaining.len() as u64;
+                break;
+            }
         }
-        let mut body = vec![0u8; len];
-        r.read_exact(&mut body)
-            .map_err(|_| LogError::Malformed("log file (truncated record)"))?;
-        out.push(body);
     }
-    Ok(out)
+    Ok(raw)
 }
 
 /// Round-trips a store through disk and confirms the reloaded chain, as a
@@ -159,11 +238,17 @@ fn load_encoded(path: &Path) -> Result<Vec<Vec<u8>>, LogError> {
 /// Propagates save/load errors; returns the reloaded store.
 pub fn checkpoint(store: &LogStore, path: &Path) -> Result<LogStore, LogError> {
     save_store(store, path)?;
-    let reloaded = load_store(path)?;
-    reloaded
+    let outcome = load_store(path)?;
+    if outcome.torn() {
+        // A fresh atomic save must read back whole; a tear here is a
+        // failing device, not a crashed predecessor.
+        return Err(LogError::Malformed("log file (torn after save)"));
+    }
+    outcome
+        .store
         .verify_chain()
         .map_err(|TamperEvidence { .. }| LogError::Malformed("log file (chain)"))?;
-    Ok(reloaded)
+    Ok(outcome.store)
 }
 
 #[cfg(test)]
@@ -205,7 +290,9 @@ mod tests {
             store.append(&entry(i));
         }
         save_store(&store, &path).unwrap();
-        let loaded = load_store(&path).unwrap();
+        let outcome = load_store(&path).unwrap();
+        assert!(!outcome.torn());
+        let loaded = outcome.store;
         assert_eq!(loaded.len(), 25);
         assert_eq!(loaded.entry(7).unwrap(), store.entry(7).unwrap());
         assert_eq!(loaded.head(), store.head());
@@ -226,7 +313,7 @@ mod tests {
         }
         assert_eq!(append_store(&store, &path).unwrap(), 4);
         assert_eq!(append_store(&store, &path).unwrap(), 0);
-        let loaded = load_store(&path).unwrap();
+        let loaded = load_store(&path).unwrap().store;
         assert_eq!(loaded.len(), 9);
         assert_eq!(loaded.head(), store.head());
     }
@@ -260,12 +347,41 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&path, bytes).unwrap();
-        // Either a record fails to decode, or the loaded content differs
-        // from the original (caught against a retained commitment).
-        match load_store(&path) {
-            Err(_) => {}
-            Ok(loaded) => assert_ne!(loaded.head(), store.head()),
+        // Either the corrupt record reads as a truncated tail, or the
+        // loaded content differs from the original (caught against a
+        // retained commitment).
+        let outcome = load_store(&path).unwrap();
+        if !outcome.torn() {
+            assert_ne!(outcome.store.head(), store.head());
         }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmpdir();
+        let path = dir.join("log.adlp");
+        let store = LogStore::new();
+        for i in 0..6 {
+            store.append(&entry(i));
+        }
+        save_store(&store, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut mid-way through the last record's body.
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let outcome = load_store(&path).unwrap();
+        assert_eq!(outcome.store.len(), 5);
+        assert_eq!(outcome.records_truncated, 1);
+        assert!(outcome.bytes_truncated > 0);
+        // append_store repairs the tail and continues from the boundary.
+        let full = LogStore::new();
+        for i in 0..6 {
+            full.append(&entry(i));
+        }
+        assert_eq!(append_store(&full, &path).unwrap(), 1);
+        let healed = load_store(&path).unwrap();
+        assert!(!healed.torn());
+        assert_eq!(healed.store.len(), 6);
+        assert_eq!(healed.store.head(), full.head());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! single-point failure" (§V-B). The server thread encodes, accounts, and
 //! appends each entry to the tamper-evident [`LogStore`].
 
+use crate::durable::{Appended, DurabilityConfig, DurableLog, Recovery};
 use crate::entry::LogEntry;
 use crate::keyreg::KeyRegistry;
 use crate::stats::LogStats;
@@ -18,6 +19,13 @@ use std::thread::JoinHandle;
 
 enum Command {
     Append(Box<LogEntry>),
+    /// Append that is only acknowledged once the entry is as durable as
+    /// the server's [`crate::SyncPolicy`] promises.
+    AppendDurable(Box<LogEntry>, Sender<Result<(), LogError>>),
+    /// Append an already-encoded record through the durable path — used by
+    /// cluster catch-up to transplant quorum records into a lagging
+    /// replica without re-signing anything.
+    Adopt(Vec<u8>, Sender<Result<(), LogError>>),
     RegisterKey(NodeId, Box<RsaPublicKey>, Sender<Result<(), LogError>>),
     Flush(Sender<()>),
     /// Simulates a log-server crash: the worker exits immediately,
@@ -74,6 +82,42 @@ impl LoggerHandle {
         rx.recv().map_err(|_| LogError::ServerClosed)?
     }
 
+    /// Pushes a log entry and waits until it is as durable as the server's
+    /// [`crate::SyncPolicy`] promises — in the WAL (and synced, under
+    /// `EveryAppend`) *before* this returns. On a server without a durable
+    /// backend this degrades to "accepted into the in-memory store".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::ServerClosed`] when the server thread is gone,
+    /// or [`LogError::Io`] when the entry could not be made durable (the
+    /// entry may still be in the volatile store; it must not be treated as
+    /// durably acknowledged).
+    pub fn submit_durable(&self, entry: LogEntry) -> Result<(), LogError> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::AppendDurable(Box::new(entry), tx))
+            .map_err(|_| LogError::ServerClosed)?;
+        rx.recv().map_err(|_| LogError::ServerClosed)?
+    }
+
+    /// Appends an already-encoded record through the durable path, waiting
+    /// for the acknowledgement. Cluster catch-up uses this to copy quorum
+    /// records byte-for-byte into a lagging replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when the bytes do not decode,
+    /// [`LogError::ServerClosed`] when the server is gone, or
+    /// [`LogError::Io`] when durability could not be achieved.
+    pub fn adopt_encoded(&self, encoded: Vec<u8>) -> Result<(), LogError> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::Adopt(encoded, tx))
+            .map_err(|_| LogError::ServerClosed)?;
+        rx.recv().map_err(|_| LogError::ServerClosed)?
+    }
+
     /// Blocks until every entry submitted before this call is stored.
     ///
     /// # Errors
@@ -102,6 +146,16 @@ impl LoggerHandle {
     pub fn store(&self) -> &LogStore {
         &self.store
     }
+}
+
+/// A durable server plus the account of the recovery that produced it.
+#[derive(Debug)]
+pub struct DurableSpawn {
+    /// The running server, its store seeded from recovery.
+    pub server: LogServer,
+    /// What recovery found: replayed/skipped/truncated records and whether
+    /// the snapshot's Merkle root verified.
+    pub recovery: Recovery,
 }
 
 /// The trusted logger service.
@@ -156,9 +210,38 @@ impl LogServer {
     ///
     /// Returns [`LogError::Io`] when the OS refuses to create the thread.
     pub fn try_spawn_with_keys(keys: KeyRegistry) -> Result<Self, LogError> {
+        Self::spawn_inner(keys, LogStats::new(), LogStore::new(), None)
+    }
+
+    /// Spawns a server over a crash-safe backend: recovery runs first
+    /// (snapshot load + WAL replay + torn-tail truncation + Merkle
+    /// reconciliation, see [`DurableLog::open`]), then the server starts on
+    /// the recovered store. Every deposit is WAL-appended *before* the
+    /// store append, so [`LoggerHandle::submit_durable`] acknowledgements
+    /// survive a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for a foreign snapshot/WAL file,
+    /// or [`LogError::Io`] on device failure during recovery or when the
+    /// OS refuses to create the thread.
+    pub fn try_spawn_durable(
+        keys: KeyRegistry,
+        config: &DurabilityConfig,
+    ) -> Result<DurableSpawn, LogError> {
+        let (durable, store, recovery) = DurableLog::open(config)?;
+        let stats = LogStats::with_durability(config.counters.clone());
+        let server = Self::spawn_inner(keys, stats, store, Some(durable))?;
+        Ok(DurableSpawn { server, recovery })
+    }
+
+    fn spawn_inner(
+        keys: KeyRegistry,
+        stats: LogStats,
+        store: LogStore,
+        durable: Option<DurableLog>,
+    ) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
-        let stats = LogStats::new();
-        let store = LogStore::new();
         let handle = LoggerHandle {
             tx,
             keys: keys.clone(),
@@ -167,7 +250,7 @@ impl LogServer {
         };
         let worker = std::thread::Builder::new()
             .name("adlp-log-server".into())
-            .spawn(move || Self::serve(rx, keys, stats, store))
+            .spawn(move || Self::serve(rx, keys, stats, store, durable))
             .map_err(|e| LogError::Io(format!("spawn log server: {e}")))?;
         Ok(LogServer {
             handle,
@@ -175,13 +258,91 @@ impl LogServer {
         })
     }
 
-    fn serve(rx: Receiver<Command>, keys: KeyRegistry, stats: LogStats, store: LogStore) {
+    /// Appends `encoded` through the WAL (when one is configured) and then
+    /// the store, keeping the invariant *store index == WAL index*: an
+    /// entry refused by the WAL never enters the store, so WAL replay is
+    /// gap-free.
+    fn append_pipeline(
+        durable: &mut Option<DurableLog>,
+        store: &LogStore,
+        encoded: &[u8],
+    ) -> Result<Appended, LogError> {
+        let outcome = match durable.as_mut() {
+            Some(d) => {
+                let outcome = d.append(store.len() as u64, encoded)?;
+                store.append_encoded(encoded.to_vec());
+                d.maybe_rotate(store);
+                outcome
+            }
+            None => {
+                store.append_encoded(encoded.to_vec());
+                Appended::SyncSkipped
+            }
+        };
+        Ok(outcome)
+    }
+
+    fn serve(
+        rx: Receiver<Command>,
+        keys: KeyRegistry,
+        stats: LogStats,
+        store: LogStore,
+        mut durable: Option<DurableLog>,
+    ) {
         while let Ok(cmd) = rx.recv() {
             match cmd {
                 Command::Append(entry) => {
                     let encoded = entry.encode();
-                    stats.record(&entry.component, &entry.topic, encoded.len());
-                    store.append_encoded(encoded);
+                    match Self::append_pipeline(&mut durable, &store, &encoded) {
+                        Ok(_) => stats.record(&entry.component, &entry.topic, encoded.len()),
+                        // Refused by the WAL (torn write / dead device):
+                        // the entry is not stored; counted, like a
+                        // submission to a dead server.
+                        Err(_) => stats.note_lost(),
+                    }
+                }
+                Command::AppendDurable(entry, reply) => {
+                    let encoded = entry.encode();
+                    let verdict = match Self::append_pipeline(&mut durable, &store, &encoded) {
+                        Ok(Appended::SyncFailed) => {
+                            // In the WAL and the store, but not provably on
+                            // the platter: stored (indices must stay
+                            // aligned) yet not acknowledged as durable.
+                            stats.record(&entry.component, &entry.topic, encoded.len());
+                            Err(LogError::Io("wal sync failed; entry not durable".into()))
+                        }
+                        Ok(_) => {
+                            stats.record(&entry.component, &entry.topic, encoded.len());
+                            Ok(())
+                        }
+                        Err(e) => {
+                            stats.note_lost();
+                            Err(e)
+                        }
+                    };
+                    // adlp-lint: allow(discarded-fallible) — the depositing caller may have stopped waiting for its verdict
+                    let _ = reply.send(verdict);
+                }
+                Command::Adopt(encoded, reply) => {
+                    let verdict = match LogEntry::decode(&encoded) {
+                        Ok(entry) => match Self::append_pipeline(&mut durable, &store, &encoded) {
+                            Ok(Appended::SyncFailed) => {
+                                stats.record(&entry.component, &entry.topic, encoded.len());
+                                Err(LogError::Io("wal sync failed; entry not durable".into()))
+                            }
+                            Ok(_) => {
+                                stats.record(&entry.component, &entry.topic, encoded.len());
+                                Ok(())
+                            }
+                            Err(e) => {
+                                stats.note_lost();
+                                Err(e)
+                            }
+                        },
+                        Err(e) => Err(e),
+                    };
+                    // adlp-lint: allow(discarded-fallible) — the adopting caller may have stopped waiting for its verdict
+                    let _ = reply.send(verdict);
                 }
                 Command::RegisterKey(component, key, reply) => {
                     // adlp-lint: allow(discarded-fallible) — the registering caller may have stopped waiting for its verdict
@@ -320,6 +481,75 @@ mod tests {
         assert_eq!(h.store().len(), 1);
         // Synchronous operations now report the failure.
         assert!(matches!(h.flush(), Err(LogError::ServerClosed)));
+    }
+
+    #[test]
+    fn durable_server_recovers_acked_entries_after_crash() {
+        use crate::storage::{MemStorage, Storage};
+        use std::sync::Arc;
+        let mem = Arc::new(MemStorage::new());
+        let config = crate::DurabilityConfig::new(mem.clone() as Arc<dyn Storage>);
+        let spawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        let h = spawned.server.handle();
+        for i in 0..20 {
+            h.submit_durable(entry(i, 12)).unwrap();
+        }
+        spawned.server.kill();
+        mem.crash(); // power failure on top of the process crash
+        let respawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        let h2 = respawned.server.handle();
+        assert_eq!(h2.store().len(), 20, "every acked entry must survive");
+        assert!(respawned.recovery.root_verified);
+        assert_eq!(h2.store().entry(13).unwrap().seq, 13);
+        // And the revived server keeps accepting.
+        h2.submit_durable(entry(20, 12)).unwrap();
+        assert_eq!(h2.store().len(), 21);
+    }
+
+    #[test]
+    fn durable_server_fire_and_forget_still_persists() {
+        use crate::storage::{MemStorage, Storage};
+        use std::sync::Arc;
+        let mem = Arc::new(MemStorage::new());
+        let config = crate::DurabilityConfig::new(mem.clone() as Arc<dyn Storage>);
+        let spawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        let h = spawned.server.handle();
+        for i in 0..10 {
+            h.submit(entry(i, 8));
+        }
+        h.flush().unwrap();
+        spawned.server.kill();
+        mem.crash();
+        let respawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        assert_eq!(respawned.server.handle().store().len(), 10);
+    }
+
+    #[test]
+    fn adopt_encoded_transplants_records_durably() {
+        use crate::storage::{MemStorage, Storage};
+        use std::sync::Arc;
+        let donor = LogServer::spawn();
+        let dh = donor.handle();
+        for i in 0..5 {
+            dh.submit(entry(i, 16));
+        }
+        dh.flush().unwrap();
+        let mem = Arc::new(MemStorage::new());
+        let config = crate::DurabilityConfig::new(mem.clone() as Arc<dyn Storage>);
+        let spawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        let h = spawned.server.handle();
+        for encoded in dh.store().encoded_records() {
+            h.adopt_encoded(encoded).unwrap();
+        }
+        assert_eq!(h.store().head(), dh.store().head());
+        assert!(matches!(
+            h.adopt_encoded(vec![0xFF; 3]),
+            Err(LogError::Malformed(_))
+        ));
+        spawned.server.kill();
+        mem.crash();
+        let respawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
+        assert_eq!(respawned.server.handle().store().head(), dh.store().head());
     }
 
     #[test]

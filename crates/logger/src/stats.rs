@@ -82,10 +82,59 @@ impl ClientStats {
     }
 }
 
+/// Shared durability counters: storage-layer failures are *counted*, never
+/// silently discarded. Cloning shares the underlying atomics, so the same
+/// counters can live inside a [`LogStats`], a `DurabilityConfig`, and a
+/// cluster's aggregate view simultaneously.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityStats {
+    fsync_failures: Arc<AtomicU64>,
+    wal_append_failures: Arc<AtomicU64>,
+    records_truncated: Arc<AtomicU64>,
+}
+
+impl DurabilityStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a sync (or snapshot-replace) the device refused.
+    pub fn note_fsync_failure(&self) {
+        self.fsync_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a WAL append that failed outright (e.g. a torn write).
+    pub fn note_wal_append_failure(&self) {
+        self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts records lost to torn/corrupt tails during recovery.
+    pub fn note_records_truncated(&self, n: u64) {
+        self.records_truncated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Syncs/snapshot replaces the device refused so far.
+    pub fn fsync_failures(&self) -> u64 {
+        self.fsync_failures.load(Ordering::Relaxed)
+    }
+
+    /// WAL appends that failed outright so far.
+    pub fn wal_append_failures(&self) -> u64 {
+        self.wal_append_failures.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to torn/corrupt tails across all recoveries so far.
+    pub fn records_truncated(&self) -> u64 {
+        self.records_truncated.load(Ordering::Relaxed)
+    }
+}
+
 /// Thread-safe byte/entry counters.
 #[derive(Debug, Clone, Default)]
 pub struct LogStats {
     inner: Arc<Mutex<StatsInner>>,
+    durability: DurabilityStats,
 }
 
 #[derive(Debug, Default)]
@@ -108,6 +157,12 @@ pub struct VolumeSnapshot {
     /// failure at the log server does not interrupt a normal operation of
     /// the ROS nodes", §V-B) but counted so the loss is observable.
     pub lost: u64,
+    /// WAL syncs / snapshot replaces the storage device refused.
+    pub fsync_failures: u64,
+    /// WAL appends that failed outright (e.g. torn writes).
+    pub wal_append_failures: u64,
+    /// Records lost to torn/corrupt tails during recovery.
+    pub records_truncated: u64,
     /// Per-topic `(entries, bytes)`.
     pub by_topic: Vec<(Topic, u64, u64)>,
     /// Per-component `(entries, bytes)`.
@@ -136,6 +191,20 @@ impl LogStats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates counters whose durability side is shared with `durability`
+    /// (a durable server shares one set with its `DurabilityConfig`).
+    pub fn with_durability(durability: DurabilityStats) -> Self {
+        Self {
+            inner: Arc::default(),
+            durability,
+        }
+    }
+
+    /// The shared durability counters.
+    pub fn durability(&self) -> &DurabilityStats {
+        &self.durability
     }
 
     /// Records an accepted entry of `bytes` encoded bytes.
@@ -175,6 +244,9 @@ impl LogStats {
             entries: s.total_entries,
             bytes: s.total_bytes,
             lost: s.lost,
+            fsync_failures: self.durability.fsync_failures(),
+            wal_append_failures: self.durability.wal_append_failures(),
+            records_truncated: self.durability.records_truncated(),
             by_topic,
             by_component,
         }

@@ -1,9 +1,12 @@
 //! Corruption-path coverage for the on-disk log format.
 //!
-//! Each distinct way a log file can rot — truncation, a foreign or damaged
-//! magic, a flipped length prefix, stray trailing bytes, and mid-record
-//! tampering — must surface as a *distinct* error or tamper evidence, never
-//! as a silently shorter (or different) log.
+//! Two regimes, with a sharp boundary between them: *crash debris* — a
+//! trailing partial record, stray length-prefix bytes, a torn body — is
+//! truncated and **reported** (`LoadOutcome::records_truncated`), never a
+//! refused load and never a panic. *Foreign files* — wrong or short magic —
+//! are hard errors, because they were never a log. Content tampering that
+//! survives framing is caught against a separately retained commitment,
+//! exactly as before.
 
 use adlp_logger::persist::{load_store, save_store};
 use adlp_logger::store::TamperEvidence;
@@ -48,28 +51,33 @@ fn healthy_log(tag: &str) -> (PathBuf, Vec<u8>, LogStore) {
 }
 
 #[test]
-fn truncated_record_is_malformed() {
-    let (path, bytes, _) = healthy_log("trunc");
+fn truncated_record_is_tolerated_and_reported() {
+    let (path, bytes, store) = healthy_log("trunc");
     // Cut the file in the middle of the last record's body.
     std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
-    assert!(matches!(
-        load_store(&path),
-        Err(LogError::Malformed("log file (truncated record)"))
-    ));
+    let outcome = load_store(&path).unwrap();
+    assert_eq!(outcome.store.len(), 9, "only the torn record is dropped");
+    assert_eq!(outcome.records_truncated, 1);
+    assert!(outcome.bytes_truncated > 0);
+    // The surviving prefix is byte-identical to the original log.
+    assert_eq!(
+        outcome.store.encoded_records(),
+        store.encoded_records()[..9].to_vec()
+    );
 }
 
 #[test]
-fn truncated_length_prefix_is_malformed() {
+fn truncated_length_prefix_is_tolerated_and_reported() {
     let (path, bytes, _) = healthy_log("trunclen");
     // Leave 2 stray bytes after a record boundary: too short to even be a
-    // length prefix. A silent loader would just drop them.
+    // length prefix. They are crash debris, truncated and counted.
     let record_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
     let boundary = 8 + 4 + record_len;
     std::fs::write(&path, &bytes[..boundary + 2]).unwrap();
-    assert!(matches!(
-        load_store(&path),
-        Err(LogError::Malformed("log file (truncated length prefix)"))
-    ));
+    let outcome = load_store(&path).unwrap();
+    assert_eq!(outcome.store.len(), 1);
+    assert_eq!(outcome.records_truncated, 1);
+    assert_eq!(outcome.bytes_truncated, 2);
 }
 
 #[test]
@@ -94,24 +102,27 @@ fn short_magic_is_malformed() {
 }
 
 #[test]
-fn flipped_length_prefix_is_detected() {
+fn flipped_length_prefix_truncates_from_the_flip() {
     let (path, mut bytes, _) = healthy_log("lenflip");
-    // Blow the first record's length prefix past the 128 MiB cap.
+    // Blow the first record's length prefix past the 128 MiB cap: nothing
+    // after the flip can be trusted, so the load reports a (near-)empty
+    // log with the loss counted — it must never allocate 4 GiB or panic.
     bytes[11] = 0xFF;
     std::fs::write(&path, &bytes).unwrap();
-    assert!(matches!(
-        load_store(&path),
-        Err(LogError::Malformed("log file (oversized record)"))
-    ));
+    let outcome = load_store(&path).unwrap();
+    assert_eq!(outcome.store.len(), 0);
+    assert!(outcome.records_truncated >= 1);
 
     // A subtler flip — one bit in the low byte — desynchronizes record
-    // framing; the loader must refuse rather than misparse.
-    let (path, mut bytes, _) = healthy_log("lenflip2");
+    // framing; the loader must either truncate there or (if bytes happen
+    // to re-frame) produce content that fails the retained commitment.
+    let (path, mut bytes, original) = healthy_log("lenflip2");
     bytes[8] ^= 0x01;
     std::fs::write(&path, &bytes).unwrap();
+    let outcome = load_store(&path).unwrap();
     assert!(
-        load_store(&path).is_err(),
-        "desynchronized framing must not load"
+        outcome.torn() || outcome.store.head() != original.head(),
+        "desynchronized framing must not reproduce the original log silently"
     );
 }
 
@@ -128,18 +139,19 @@ fn mid_record_tamper_is_caught_by_retained_commitment() {
     let len3 = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
     bytes[offset + 4 + len3 - 1] ^= 0x20;
     std::fs::write(&path, &bytes).unwrap();
-    // Either the record no longer decodes, or the rebuilt chain head
-    // disagrees with the separately retained commitment.
-    match load_store(&path) {
-        Err(e) => assert!(matches!(e, LogError::Malformed(_))),
-        Ok(loaded) => {
-            assert_eq!(loaded.len(), 10, "tamper must not change the record count");
-            assert_ne!(
-                loaded.head(),
-                retained_head,
-                "tampered content must not reproduce the retained head"
-            );
-        }
+    // Either the record reads as corruption (truncated from there, and
+    // reported), or the rebuilt chain head disagrees with the separately
+    // retained commitment. Tampering never passes silently.
+    let outcome = load_store(&path).unwrap();
+    if outcome.torn() {
+        assert!(outcome.store.len() <= 3);
+    } else {
+        assert_eq!(outcome.store.len(), 10);
+        assert_ne!(
+            outcome.store.head(),
+            retained_head,
+            "tampered content must not reproduce the retained head"
+        );
     }
 }
 

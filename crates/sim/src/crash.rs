@@ -1,0 +1,384 @@
+//! Crash-chaos harness: kill loggers and replicas mid-stream, power-cut
+//! their storage, recover, and prove the durability contract held.
+//!
+//! Two deterministic scenarios, both driven entry-by-entry (no wall-clock,
+//! no OS scheduling in the loss accounting):
+//!
+//! * [`run_single_logger_chaos`] — one durable [`LogServer`] over a
+//!   fault-injecting storage device (torn writes, fsync failures). The
+//!   driver streams deposits through the durable-ack path, crashes the
+//!   server *and* the device on a fixed cadence, and recovers. The
+//!   invariant under test: **every entry acked durable is present, in
+//!   order, after every recovery** — and torn tails are truncated and
+//!   counted, never panicked over.
+//! * [`run_cluster_chaos`] — a durable replicated cluster; one replica is
+//!   killed and power-cut mid-stream, restarted later (recovering its
+//!   acked prefix from its own device), and caught back up to the quorum
+//!   log. The invariant: quorum-acked entries survive, the restarted
+//!   replica rejoins as *lagging* (never diverged), and divergence
+//!   attribution for genuine tampering is identical to a crash-free run.
+//!
+//! The cluster scenario injects fsync failures but not torn writes: a torn
+//! append refuses an entry on one replica only, which leaves a *hole* in
+//! that replica's order relative to its peers — real order divergence,
+//! correctly reported as such by the view, but noise for a harness whose
+//! job is to prove crash recovery clean. The single-logger scenario, which
+//! has no cross-replica order to preserve, injects the full fault menu.
+
+use adlp_cluster::{
+    ClusterConfig, ClusterLogClient, ClusterStatsSnapshot, ClusterView, LoggerCluster,
+};
+use adlp_logger::{
+    Direction, DurabilityConfig, DurabilityStats, FaultyStorage, KeyRegistry, LogEntry, LogError,
+    LogServer, LogStore, MemStorage, Recovery, Storage, StorageFaultConfig, SyncPolicy,
+};
+use adlp_pubsub::{NodeId, Topic};
+use std::sync::Arc;
+
+/// Single-logger chaos plan. All fields deterministic; two runs with the
+/// same config produce the same ack set and the same recovered log.
+#[derive(Debug, Clone)]
+pub struct SingleChaosConfig {
+    /// Seed for the storage device's fault stream.
+    pub seed: u64,
+    /// Entries to stream through the durable-ack path.
+    pub entries: usize,
+    /// Crash (kill + power cut + recover) after every this-many entries.
+    pub crash_every: usize,
+    /// Probability an append persists a prefix and reports failure.
+    pub torn_write_rate: f64,
+    /// Probability a sync fails without making bytes durable.
+    pub fsync_failure_rate: f64,
+    /// Snapshot+WAL rotation threshold (small, to exercise rotation under
+    /// crashes).
+    pub rotate_every: usize,
+}
+
+impl SingleChaosConfig {
+    /// A plan exercising torn writes, fsync failures, and rotation.
+    pub fn new(seed: u64) -> Self {
+        SingleChaosConfig {
+            seed,
+            entries: 60,
+            crash_every: 13,
+            torn_write_rate: 0.06,
+            fsync_failure_rate: 0.08,
+            rotate_every: 16,
+        }
+    }
+}
+
+/// What a single-logger chaos run produced.
+#[derive(Debug)]
+pub struct SingleChaosOutcome {
+    /// Encoded entries the logger acked as durable, in submission order.
+    pub acked: Vec<Vec<u8>>,
+    /// Entries submitted (acked + refused).
+    pub submitted: usize,
+    /// Crash/recover cycles performed (including the final one).
+    pub crashes: usize,
+    /// What each recovery found, in order.
+    pub recoveries: Vec<Recovery>,
+    /// The store as recovered after the final crash.
+    pub store: LogStore,
+    /// Shared durability counters (fsync failures, truncated records).
+    pub counters: DurabilityStats,
+}
+
+impl SingleChaosOutcome {
+    /// The durability contract: every acked entry appears in the recovered
+    /// log, in submission order (unacked entries may interleave — an entry
+    /// whose sync failed may still have survived, which is allowed).
+    pub fn acked_survived_in_order(&self) -> bool {
+        let recovered = self.store.encoded_records();
+        let mut cursor = recovered.iter();
+        self.acked.iter().all(|a| cursor.any(|r| r == a))
+    }
+
+    /// Records reported truncated across all recoveries.
+    pub fn records_truncated(&self) -> u64 {
+        self.recoveries.iter().map(|r| r.records_truncated).sum()
+    }
+}
+
+/// Deterministic entry `i` of the chaos stream.
+fn chaos_entry(i: usize) -> LogEntry {
+    LogEntry::naive(
+        NodeId::new(format!("cam{}", i % 3)),
+        Topic::new("image"),
+        Direction::Out,
+        i as u64,
+        1_000 + i as u64,
+        vec![i as u8; 48],
+    )
+}
+
+/// Runs the single-logger crash-chaos scenario.
+///
+/// # Errors
+///
+/// Returns [`LogError`] only for harness-level failures (a backend thread
+/// that cannot spawn). Storage faults and crashes are the point of the
+/// exercise and never error out of the run.
+pub fn run_single_logger_chaos(config: &SingleChaosConfig) -> Result<SingleChaosOutcome, LogError> {
+    let device = Arc::new(MemStorage::new());
+    let faulty: Arc<dyn Storage> = Arc::new(FaultyStorage::new(
+        Arc::clone(&device) as Arc<dyn Storage>,
+        StorageFaultConfig {
+            seed: config.seed,
+            torn_write_rate: config.torn_write_rate,
+            short_write_rate: 0.0,
+            fsync_failure_rate: config.fsync_failure_rate,
+            die_after_ops: None,
+        },
+    ));
+    let counters = DurabilityStats::default();
+    let durability = DurabilityConfig::new(faulty)
+        .fsync(SyncPolicy::EveryAppend)
+        .rotate_every(config.rotate_every)
+        .counters(counters.clone());
+    let keys = KeyRegistry::new();
+
+    let mut spawned = LogServer::try_spawn_durable(keys.clone(), &durability)?;
+    let mut recoveries = vec![spawned.recovery.clone()];
+    let mut acked = Vec::new();
+    let mut crashes = 0usize;
+
+    for i in 0..config.entries {
+        let entry = chaos_entry(i);
+        let encoded = entry.encode();
+        if spawned.server.handle().submit_durable(entry).is_ok() {
+            acked.push(encoded);
+        }
+        if (i + 1) % config.crash_every == 0 {
+            spawned.server.kill();
+            device.crash();
+            crashes += 1;
+            spawned = LogServer::try_spawn_durable(keys.clone(), &durability)?;
+            recoveries.push(spawned.recovery.clone());
+        }
+    }
+
+    // End-of-run crash: whatever was acked must survive this one too.
+    spawned.server.kill();
+    device.crash();
+    crashes += 1;
+    let final_spawn = LogServer::try_spawn_durable(keys, &durability)?;
+    recoveries.push(final_spawn.recovery.clone());
+    let store = final_spawn.server.handle().store().clone();
+    final_spawn.server.kill();
+
+    Ok(SingleChaosOutcome {
+        acked,
+        submitted: config.entries,
+        crashes,
+        recoveries,
+        store,
+        counters,
+    })
+}
+
+/// Cluster chaos plan: a replica crash (with power cut) mid-stream, a
+/// later restart + catch-up, under fsync-failure injection on every
+/// replica device.
+#[derive(Debug, Clone)]
+pub struct ClusterChaosConfig {
+    /// Seed for the replica devices' fault streams (each device derives
+    /// its own).
+    pub seed: u64,
+    /// Entries to stream through the durable quorum path.
+    pub entries: usize,
+    /// Shards (each with 3 replicas, write quorum 2).
+    pub shards: usize,
+    /// Kill + power-cut the victim after this entry (`None`: no crash —
+    /// the control run for classification parity).
+    pub kill_at: Option<usize>,
+    /// Restart + catch up the victim after this entry.
+    pub restart_at: usize,
+    /// (shard, replica) of the victim.
+    pub victim: (usize, usize),
+    /// Probability a sync fails on a replica device.
+    pub fsync_failure_rate: f64,
+}
+
+impl ClusterChaosConfig {
+    /// A plan crashing replica (0, 2) mid-stream. One shard (of three
+    /// replicas, write quorum two): the ring routes by (publisher, topic),
+    /// so a single shard guarantees the victim replica sees traffic on
+    /// both sides of its crash window whatever the seed; multi-shard
+    /// routing is exercised by the cluster crate's own tests.
+    pub fn new(seed: u64) -> Self {
+        ClusterChaosConfig {
+            seed,
+            entries: 40,
+            shards: 1,
+            kill_at: Some(12),
+            restart_at: 28,
+            victim: (0, 2),
+            fsync_failure_rate: 0.05,
+        }
+    }
+
+    /// The same plan with the crash disabled (classification control).
+    pub fn without_crash(mut self) -> Self {
+        self.kill_at = None;
+        self
+    }
+}
+
+/// What a cluster chaos run produced. Holds the cluster itself so callers
+/// can tamper with replicas and re-audit.
+#[derive(Debug)]
+pub struct ClusterChaosOutcome {
+    /// Encoded entries quorum-acked durable, in submission order.
+    pub acked: Vec<Vec<u8>>,
+    /// What the victim's restart recovery found (`None` in control runs).
+    pub recovery: Option<Recovery>,
+    /// Records the victim adopted during catch-up (0 in control runs).
+    pub adopted: usize,
+    /// Whether the victim was strictly lagging (a quorum-log prefix) after
+    /// restart, before catch-up (`true` in control runs).
+    pub rejoined_lagging: bool,
+    /// Final cluster counters.
+    pub stats: ClusterStatsSnapshot,
+    /// The cluster, alive, for post-run tampering and auditing.
+    pub cluster: LoggerCluster,
+}
+
+impl ClusterChaosOutcome {
+    /// The final cross-replica view.
+    pub fn view(&self) -> ClusterView {
+        self.cluster.view()
+    }
+
+    /// Whether every quorum-acked entry is present in some shard's quorum
+    /// log (per-shard order is preserved by the serialized fan-out).
+    pub fn acked_in_quorum_logs(&self) -> bool {
+        let view = self.view();
+        self.acked
+            .iter()
+            .all(|a| view.shards.iter().any(|s| s.records.contains(a)))
+    }
+}
+
+/// Catches a restarted replica up to quorum while its device keeps
+/// injecting fsync failures. A sync failure during adoption still stores
+/// the record (content adoption succeeded; only the durability ack
+/// failed), so retrying recomputes the shrinking gap and never duplicates
+/// an entry. Returns the total number of records adopted.
+fn catch_up_through_faults(
+    cluster: &LoggerCluster,
+    shard: usize,
+    replica: usize,
+) -> Result<usize, LogError> {
+    let before = cluster
+        .replica(shard, replica)
+        .ok_or(LogError::NoSuchEntry(replica))?
+        .handle()
+        .store()
+        .len();
+    let mut last = Err(LogError::ServerClosed);
+    for _ in 0..64 {
+        last = cluster.catch_up_replica(shard, replica);
+        match &last {
+            Ok(_) => break,
+            Err(LogError::Io(_)) => continue,
+            Err(_) => break,
+        }
+    }
+    last?;
+    let after = cluster
+        .replica(shard, replica)
+        .ok_or(LogError::NoSuchEntry(replica))?
+        .handle()
+        .store()
+        .len();
+    Ok(after - before)
+}
+
+/// Runs the cluster crash-chaos scenario.
+///
+/// # Errors
+///
+/// Returns [`LogError`] for harness-level failures (spawn, restart, or a
+/// catch-up the view cannot justify). Storage faults and the planned crash
+/// never error out of the run.
+pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> Result<ClusterChaosOutcome, LogError> {
+    let cluster_config = ClusterConfig::replicated(config.shards);
+    let mut devices: Vec<Vec<Arc<MemStorage>>> = Vec::with_capacity(cluster_config.shards);
+    let mut storages: Vec<Vec<Arc<dyn Storage>>> = Vec::with_capacity(cluster_config.shards);
+    for shard in 0..cluster_config.shards {
+        let mut shard_devices = Vec::with_capacity(cluster_config.replicas);
+        let mut shard_storages: Vec<Arc<dyn Storage>> = Vec::with_capacity(cluster_config.replicas);
+        for replica in 0..cluster_config.replicas {
+            let device = Arc::new(MemStorage::new());
+            let fault_seed = config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((shard * 16 + replica) as u64);
+            shard_storages.push(Arc::new(FaultyStorage::new(
+                Arc::clone(&device) as Arc<dyn Storage>,
+                StorageFaultConfig {
+                    seed: fault_seed,
+                    torn_write_rate: 0.0,
+                    short_write_rate: 0.0,
+                    fsync_failure_rate: config.fsync_failure_rate,
+                    die_after_ops: None,
+                },
+            )));
+            shard_devices.push(device);
+        }
+        devices.push(shard_devices);
+        storages.push(shard_storages);
+    }
+
+    let cluster =
+        LoggerCluster::spawn_durable(cluster_config, storages, SyncPolicy::EveryAppend, 64)?;
+    let client = ClusterLogClient::in_proc(&cluster);
+    let (victim_shard, victim_replica) = config.victim;
+
+    let mut acked = Vec::new();
+    let mut recovery = None;
+    let mut adopted = 0usize;
+    let mut rejoined_lagging = config.kill_at.is_none();
+    for i in 0..config.entries {
+        let entry = chaos_entry(i);
+        let encoded = entry.encode();
+        if client.submit_durable(entry).is_ok() {
+            acked.push(encoded);
+        }
+        if config.kill_at == Some(i) {
+            cluster.kill_replica(victim_shard, victim_replica);
+            devices[victim_shard][victim_replica].crash();
+        }
+        if config.kill_at.is_some() && i == config.restart_at {
+            // The stream is synchronous, so this point is quiescent: no
+            // deposit is in flight while the victim restarts and catches
+            // up.
+            recovery = cluster.restart_replica(victim_shard, victim_replica)?;
+            let view = cluster.view();
+            rejoined_lagging = view
+                .lagging()
+                .iter()
+                .any(|&(s, r, _)| (s, r) == (victim_shard, victim_replica))
+                && view.divergences().is_empty();
+            adopted = catch_up_through_faults(&cluster, victim_shard, victim_replica)?;
+        }
+    }
+    // A failed flush here means only that some tail sync was refused by the
+    // fault injector — content already reached the stores, and the run does
+    // not crash again, so durability of that tail is not under test.
+    if let Err(e @ (LogError::ServerClosed | LogError::Malformed(_))) = client.flush() {
+        return Err(e);
+    }
+
+    let stats = cluster.stats().snapshot();
+    Ok(ClusterChaosOutcome {
+        acked,
+        recovery,
+        adopted,
+        rejoined_lagging,
+        stats,
+        cluster,
+    })
+}

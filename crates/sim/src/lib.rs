@@ -14,14 +14,23 @@
 //!   logs, statistics and an audit;
 //! * [`metrics`] — CPU accounting from `/proc/self/task` (per-node thread
 //!   attribution) and `/proc/self/stat` (process-wide), standing in for the
-//!   paper's per-process `top` measurements.
+//!   paper's per-process `top` measurements;
+//! * [`crash`] — deterministic crash-chaos runners that kill and restart
+//!   durable loggers and cluster replicas mid-stream under storage faults,
+//!   proving no acked entry is ever lost and auditor verdicts are unchanged
+//!   across crashes.
 
 pub mod app;
+pub mod crash;
 pub mod data;
 pub mod metrics;
 pub mod scenario;
 
 pub use app::{fanout_app, self_driving_app, AppSpec, DriveSpec, NodeSpec, PubSpec};
+pub use crash::{
+    run_cluster_chaos, run_single_logger_chaos, ClusterChaosConfig, ClusterChaosOutcome,
+    SingleChaosConfig, SingleChaosOutcome,
+};
 pub use data::PayloadKind;
 pub use metrics::{CpuProbe, ThreadCpuProbe};
 pub use scenario::{ClusterRun, Scenario, ScenarioReport};

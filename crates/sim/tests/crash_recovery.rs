@@ -1,0 +1,204 @@
+//! Crash-chaos acceptance tests: loggers and replicas die and restart
+//! mid-stream under storage faults, and the durability contract holds for
+//! every seed — no acked entry lost, torn tails truncated and counted
+//! (never panicked over), restarted replicas rejoin lagging and catch up,
+//! and tamper classification is identical to a crash-free run.
+
+use adlp_audit::ClusterAuditor;
+use adlp_cluster::ReplicaDivergence;
+use adlp_logger::LogStore;
+use adlp_sim::{
+    run_cluster_chaos, run_single_logger_chaos, ClusterChaosConfig, ClusterChaosOutcome,
+    SingleChaosConfig,
+};
+
+/// Fault seeds every scenario must survive. CI runs all of them.
+const SEEDS: [u64; 4] = [7, 41, 1009, 65537];
+
+#[test]
+fn single_logger_chaos_never_loses_acked_entries() {
+    for seed in SEEDS {
+        let outcome = run_single_logger_chaos(&SingleChaosConfig::new(seed)).unwrap();
+        assert!(
+            !outcome.acked.is_empty(),
+            "seed {seed}: chaos run acked nothing"
+        );
+        assert!(outcome.crashes >= 4, "seed {seed}: schedule broke");
+        assert!(
+            outcome.acked_survived_in_order(),
+            "seed {seed}: an acked entry vanished or reordered across {} crashes",
+            outcome.crashes
+        );
+        assert!(
+            outcome.store.verify_chain().is_ok(),
+            "seed {seed}: recovered chain broken"
+        );
+        // Torn-tail losses are reported, and every recovery's account flows
+        // into the shared durability counters — nothing panics, nothing is
+        // silently absorbed.
+        assert_eq!(
+            outcome.records_truncated(),
+            outcome.counters.records_truncated(),
+            "seed {seed}: recovery reports disagree with durability counters"
+        );
+    }
+}
+
+#[test]
+fn single_logger_faults_actually_fire_across_seeds() {
+    // The harness is only credible if the fault injector bites: across the
+    // seed set some appends must have torn and some syncs must have failed.
+    let mut wal_failures = 0;
+    let mut fsync_failures = 0;
+    for seed in SEEDS {
+        let outcome = run_single_logger_chaos(&SingleChaosConfig::new(seed)).unwrap();
+        wal_failures += outcome.counters.wal_append_failures();
+        fsync_failures += outcome.counters.fsync_failures();
+        assert!(
+            outcome.acked.len() < outcome.submitted,
+            "seed {seed}: every submission acked — faults never fired"
+        );
+    }
+    assert!(wal_failures > 0, "no torn write ever refused an append");
+    assert!(fsync_failures > 0, "no fsync failure ever fired");
+}
+
+#[test]
+fn single_logger_tamper_verdict_matches_crash_free_control() {
+    for seed in &SEEDS[..3] {
+        let outcome = run_single_logger_chaos(&SingleChaosConfig::new(*seed)).unwrap();
+        // Control: the same acked entries in a store that never crashed.
+        let control = LogStore::new();
+        for record in &outcome.acked {
+            control.append_encoded(record.clone());
+        }
+        assert!(control.verify_chain().is_ok());
+
+        // Rewrite the same logical record in both logs.
+        let victim = outcome.acked.len() / 2;
+        let recovered = outcome.store.encoded_records();
+        let position = recovered
+            .iter()
+            .position(|r| r == &outcome.acked[victim])
+            .expect("acked entry present in recovered log");
+        let forged = vec![0xEE; 40];
+        outcome
+            .store
+            .tamper_with_record(position, forged.clone())
+            .unwrap();
+        control.tamper_with_record(victim, forged).unwrap();
+
+        // Both chains indict exactly the rewritten record: surviving a
+        // crash neither hides tampering nor shifts the blame.
+        let chaos_evidence = outcome.store.verify_chain().unwrap_err();
+        let control_evidence = control.verify_chain().unwrap_err();
+        assert_eq!(
+            chaos_evidence.first_bad_index, position,
+            "seed {seed}: chaos log blames the wrong record"
+        );
+        assert_eq!(
+            control_evidence.first_bad_index, victim,
+            "seed {seed}: control log blames the wrong record"
+        );
+    }
+}
+
+#[test]
+fn cluster_replica_rejoins_lagging_and_catches_up() {
+    for seed in SEEDS {
+        let outcome = run_cluster_chaos(&ClusterChaosConfig::new(seed)).unwrap();
+        let recovery = outcome
+            .recovery
+            .as_ref()
+            .expect("durable restart reports a recovery");
+        assert!(
+            recovery.snapshot_records + recovery.wal_replayed > 0,
+            "seed {seed}: victim restarted empty instead of recovering"
+        );
+        assert!(
+            outcome.rejoined_lagging,
+            "seed {seed}: restarted replica was not a clean lagging prefix"
+        );
+        assert!(
+            outcome.adopted > 0,
+            "seed {seed}: catch-up adopted nothing despite the crash window"
+        );
+        assert!(
+            outcome.acked_in_quorum_logs(),
+            "seed {seed}: a quorum-acked entry is missing from the quorum log"
+        );
+        let view = outcome.view();
+        assert!(
+            view.divergences().is_empty(),
+            "seed {seed}: crash recovery manufactured divergence: {:?}",
+            view.divergences()
+        );
+        assert!(
+            view.lagging().is_empty(),
+            "seed {seed}: replica still lagging after catch-up: {:?}",
+            view.lagging()
+        );
+        let audit = ClusterAuditor::new(outcome.cluster.keys().clone()).audit_view(&view);
+        assert!(
+            audit.divergences.is_empty() && audit.undecodable == 0,
+            "seed {seed}: auditor flagged a crash-only run"
+        );
+        assert_eq!(
+            outcome.stats.records_truncated,
+            outcome.recovery.as_ref().map_or(0, |r| r.records_truncated),
+            "seed {seed}: truncation counters out of step with recovery report"
+        );
+    }
+}
+
+#[test]
+fn cluster_tamper_attribution_identical_to_crash_free_run() {
+    for seed in &SEEDS[..3] {
+        let chaos = run_cluster_chaos(&ClusterChaosConfig::new(*seed)).unwrap();
+        let control =
+            run_cluster_chaos(&ClusterChaosConfig::new(*seed).without_crash()).unwrap();
+        assert!(control.recovery.is_none() && control.adopted == 0);
+
+        // Rewrite the same record on the same replica in both clusters.
+        let forged = vec![0xEE; 40];
+        for run in [&chaos, &control] {
+            run.cluster
+                .replica(0, 0)
+                .unwrap()
+                .handle()
+                .store()
+                .tamper_with_record(0, forged.clone())
+                .unwrap();
+        }
+
+        let chaos_view = chaos.view();
+        let control_view = control.view();
+        let expected = ReplicaDivergence {
+            shard: 0,
+            replica: 0,
+            first_divergent_index: 0,
+        };
+        assert_eq!(
+            chaos_view.divergences(),
+            vec![expected.clone()],
+            "seed {seed}: chaos run misattributed the tamper"
+        );
+        assert_eq!(
+            chaos_view.divergences(),
+            control_view.divergences(),
+            "seed {seed}: crash history changed divergence attribution"
+        );
+
+        let audit_of = |run: &ClusterChaosOutcome, view| {
+            ClusterAuditor::new(run.cluster.keys().clone()).audit_view(view)
+        };
+        let chaos_audit = audit_of(&chaos, &chaos_view);
+        let control_audit = audit_of(&control, &control_view);
+        assert_eq!(chaos_audit.divergences, control_audit.divergences);
+        assert_eq!(chaos_audit.undecodable, control_audit.undecodable);
+        assert!(
+            !chaos_audit.all_clear(),
+            "seed {seed}: tampered cluster audited clean"
+        );
+    }
+}

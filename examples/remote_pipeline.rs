@@ -96,6 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reload the checkpoint from disk and audit the final log.
     let reloaded = persist::load_store(&ckpt_path)?;
+    assert!(!reloaded.torn(), "fresh checkpoint must read back whole");
+    let reloaded = reloaded.store;
     println!("reloaded checkpoint: {} entries, chain ok: {}", reloaded.len(), reloaded.verify_chain().is_ok());
 
     let report = Auditor::new(handle.keys().clone())
