@@ -253,6 +253,18 @@ impl LoggerCluster {
     ///
     /// Returns the number of records adopted.
     ///
+    /// **Quiesce the shard first.** Catch-up reads the quorum view and then
+    /// adopts the missing suffix record by record, with no exclusion
+    /// against concurrent deposits to the same shard: a deposit that
+    /// interleaves with the adoption can land at a different position on
+    /// this replica than on its peers, creating exactly the lasting order
+    /// divergence catch-up exists to repair. Drain or pause client
+    /// submissions to the shard for the duration of this call (the
+    /// rolling-restart sim scenarios catch up between deposit waves); a
+    /// divergence produced by ignoring this shows up in the next
+    /// [`LoggerCluster::view`] as a diverged replica, it is not silently
+    /// absorbed.
+    ///
     /// # Errors
     ///
     /// Returns [`LogError::NoSuchEntry`] for an unknown slot,

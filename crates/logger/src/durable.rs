@@ -45,6 +45,13 @@ pub const WAL_FILE: &str = "log.wal";
 /// Default snapshot file name inside a logger's storage.
 pub const SNAPSHOT_FILE: &str = "log.snapshot";
 
+/// Where a snapshot that failed root verification is preserved before
+/// compaction overwrites it, so an auditor can examine the tampered bytes.
+pub const QUARANTINE_SNAPSHOT_FILE: &str = "log.snapshot.quarantine";
+
+/// Where the WAL accompanying a quarantined snapshot is preserved.
+pub const QUARANTINE_WAL_FILE: &str = "log.wal.quarantine";
+
 /// When appended WAL records become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
@@ -140,6 +147,26 @@ pub struct Recovery {
     /// succeeded. When `false` the log still operates; the old snapshot and
     /// repaired WAL remain authoritative.
     pub compacted: bool,
+    /// Whether the on-disk snapshot and WAL were copied aside (to
+    /// [`QUARANTINE_SNAPSHOT_FILE`] / [`QUARANTINE_WAL_FILE`]) because root
+    /// verification failed — compaction must never destroy the only
+    /// physical evidence of tampering. Always `false` when
+    /// [`Recovery::root_verified`].
+    pub quarantined: bool,
+}
+
+/// Copies the (suspect) snapshot and WAL aside under quarantine names so
+/// compaction cannot destroy the physical evidence of tampering.
+fn quarantine_evidence(storage: &Arc<dyn Storage>) -> Result<(), LogError> {
+    for (from, to) in [
+        (SNAPSHOT_FILE, QUARANTINE_SNAPSHOT_FILE),
+        (WAL_FILE, QUARANTINE_WAL_FILE),
+    ] {
+        if let Some(bytes) = storage.read(from)? {
+            storage.write_replace(to, &bytes)?;
+        }
+    }
+    Ok(())
 }
 
 /// Encodes a snapshot of `records` with its Merkle commitment.
@@ -317,29 +344,47 @@ impl DurableLog {
             broken: false,
         };
 
+        // A snapshot that failed root verification is tamper evidence:
+        // copy it (and the WAL) aside before compaction overwrites them,
+        // or a single restart would leave nothing for an auditor to
+        // examine. If even the copy fails, keep the originals in place
+        // instead of compacting over them.
+        let evidence_safe = if recovery.root_verified {
+            true
+        } else {
+            recovery.quarantined = quarantine_evidence(&log.storage).is_ok();
+            recovery.quarantined
+        };
+
         // Compact: persist the recovered state as a fresh snapshot, then
         // reset the WAL. Snapshot MUST land before the reset, or the
         // replayed records would lose their only durable copy.
-        recovery.compacted = match log.write_snapshot(&store) {
-            Ok(()) => match log.wal.reset() {
-                Ok(()) => {
-                    log.wal_good_bytes = 8;
-                    true
-                }
+        recovery.compacted = evidence_safe
+            && match log.write_snapshot(&store) {
+                Ok(()) => match log.wal.reset() {
+                    Ok(()) => {
+                        log.wal_good_bytes = 8;
+                        true
+                    }
+                    Err(_) => {
+                        // Old WAL records are index-covered by the new
+                        // snapshot; only a torn tail needs repairing so new
+                        // appends land on a record boundary.
+                        log.repair_tail();
+                        false
+                    }
+                },
                 Err(_) => {
-                    // Old WAL records are index-covered by the new
-                    // snapshot; only a torn tail needs repairing so new
-                    // appends land on a record boundary.
+                    log.counters.note_fsync_failure();
                     log.repair_tail();
                     false
                 }
-            },
-            Err(_) => {
-                log.counters.note_fsync_failure();
-                log.repair_tail();
-                false
-            }
-        };
+            };
+        if !evidence_safe {
+            // Skipped compaction entirely; still repair a torn tail so new
+            // appends land on a record boundary.
+            log.repair_tail();
+        }
 
         if recovery.records_truncated > 0 {
             log.counters.note_records_truncated(recovery.records_truncated);
@@ -348,10 +393,18 @@ impl DurableLog {
     }
 
     /// Truncates the WAL back to its known-good prefix; marks the log
-    /// broken when even that fails.
+    /// broken when even that fails — or when the tail's length cannot be
+    /// learned at all, because appending blind could land an acked record
+    /// behind an unrepaired tear that replay would never reach.
     fn repair_tail(&mut self) {
-        if self.storage.size_of(self.wal.name()).ok().flatten().unwrap_or(0) <= self.wal_good_bytes
-        {
+        let len = match self.storage.size_of(self.wal.name()) {
+            Ok(len) => len.unwrap_or(0),
+            Err(_) => {
+                self.broken = true;
+                return;
+            }
+        };
+        if len <= self.wal_good_bytes {
             return;
         }
         if self
@@ -609,6 +662,100 @@ mod tests {
         assert_eq!(store2.len(), 4);
         assert_eq!(recovery.records_truncated, 1);
         assert!(!recovery.root_verified);
+    }
+
+    #[test]
+    fn doctored_snapshot_is_quarantined_before_compaction() {
+        let mem = Arc::new(MemStorage::new());
+        let (mut log, store, _) = open_mem(&mem);
+        for i in 0..5u64 {
+            let e = entry(i);
+            log.append(i, &e).unwrap();
+            store.append_encoded(e);
+        }
+        log.rotate(&store).unwrap();
+        let snap = mem.read(SNAPSHOT_FILE).unwrap().unwrap();
+        assert!(mem.corrupt_byte(SNAPSHOT_FILE, snap.len() - 2, 0x01));
+        let tampered = mem.read(SNAPSHOT_FILE).unwrap().unwrap();
+        let (_log2, _store2, recovery) = open_mem(&mem);
+        assert!(!recovery.root_verified);
+        assert!(recovery.quarantined, "tampered snapshot must be preserved");
+        assert!(recovery.compacted, "compaction proceeds once evidence is safe");
+        // The quarantined copy is the tampered artifact byte-for-byte, even
+        // though compaction replaced the live snapshot with a clean one.
+        assert_eq!(
+            mem.read(QUARANTINE_SNAPSHOT_FILE).unwrap().unwrap(),
+            tampered
+        );
+        assert_ne!(mem.read(SNAPSHOT_FILE).unwrap().unwrap(), tampered);
+        // A second restart is clean but the evidence is still on disk.
+        let (_log3, _store3, recovery2) = open_mem(&mem);
+        assert!(recovery2.root_verified);
+        assert!(!recovery2.quarantined);
+        assert_eq!(
+            mem.read(QUARANTINE_SNAPSHOT_FILE).unwrap().unwrap(),
+            tampered
+        );
+    }
+
+    /// Delegates to a [`MemStorage`] but fails `size_of` on demand, to
+    /// drive `repair_tail` into its size-probe-failure path.
+    #[derive(Debug)]
+    struct FlakyProbeStorage {
+        inner: MemStorage,
+        fail_size_of: std::sync::atomic::AtomicBool,
+    }
+
+    impl Storage for FlakyProbeStorage {
+        fn read(&self, name: &str) -> Result<Option<Vec<u8>>, LogError> {
+            self.inner.read(name)
+        }
+        fn append(&self, name: &str, bytes: &[u8]) -> Result<(), LogError> {
+            self.inner.append(name, bytes)
+        }
+        fn sync(&self, name: &str) -> Result<(), LogError> {
+            self.inner.sync(name)
+        }
+        fn truncate(&self, name: &str, len: u64) -> Result<(), LogError> {
+            self.inner.truncate(name, len)
+        }
+        fn write_replace(&self, name: &str, bytes: &[u8]) -> Result<(), LogError> {
+            self.inner.write_replace(name, bytes)
+        }
+        fn remove(&self, name: &str) -> Result<(), LogError> {
+            self.inner.remove(name)
+        }
+        fn size_of(&self, name: &str) -> Result<Option<u64>, LogError> {
+            if self.fail_size_of.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(LogError::Io("size_of failed (test)".into()));
+            }
+            self.inner.size_of(name)
+        }
+    }
+
+    #[test]
+    fn failed_tail_probe_breaks_the_log_instead_of_appending_blind() {
+        let storage = Arc::new(FlakyProbeStorage {
+            inner: MemStorage::new(),
+            fail_size_of: std::sync::atomic::AtomicBool::new(false),
+        });
+        let config = DurabilityConfig::new(storage.clone() as Arc<dyn Storage>);
+        let (mut log, _store, _) = DurableLog::open(&config).unwrap();
+        log.append(0, &entry(0)).unwrap();
+        // From here every size probe fails: the append fails (the WAL
+        // checks the file size first) and the repair cannot even learn
+        // where the tail is — the log must refuse further appends rather
+        // than risk landing one behind an unrepaired tear.
+        storage
+            .fail_size_of
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(log.append(1, &entry(1)).is_err());
+        assert!(log.is_broken());
+        // Even once the device heals, the log stays refused.
+        storage
+            .fail_size_of
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        assert!(log.append(1, &entry(1)).is_err());
     }
 
     #[test]

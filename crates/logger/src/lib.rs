@@ -39,7 +39,10 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use durable::{Appended, DurabilityConfig, DurableLog, Recovery, SyncPolicy};
+pub use durable::{
+    Appended, DurabilityConfig, DurableLog, Recovery, SyncPolicy, QUARANTINE_SNAPSHOT_FILE,
+    QUARANTINE_WAL_FILE,
+};
 pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
 pub use keyreg::KeyRegistry;
 pub use remote::{ReconnectConfig, RemoteLogClient, RemoteLogEndpoint};

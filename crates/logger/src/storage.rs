@@ -115,6 +115,22 @@ impl FsStorage {
     fn path(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }
+
+    /// Makes directory-entry changes (file creation, rename) durable. A
+    /// rename is only crash-durable once the directory itself is synced;
+    /// without this, a power failure can undo [`Storage::write_replace`]
+    /// even though the call reported success. On non-Unix platforms
+    /// directory handles cannot be synced, so this is a no-op there and
+    /// rename durability is filesystem-dependent.
+    fn sync_dir(&self) -> Result<(), LogError> {
+        #[cfg(unix)]
+        {
+            let dir = File::open(&self.root).map_err(io_err("open storage root for sync"))?;
+            dir.sync_all().map_err(io_err("sync storage root"))
+        }
+        #[cfg(not(unix))]
+        Ok(())
+    }
 }
 
 impl Storage for FsStorage {
@@ -127,16 +143,29 @@ impl Storage for FsStorage {
     }
 
     fn append(&self, name: &str, bytes: &[u8]) -> Result<(), LogError> {
+        let path = self.path(name);
+        let created = !path.exists();
         let mut f = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.path(name))
+            .open(path)
             .map_err(io_err("open storage file for append"))?;
-        f.write_all(bytes).map_err(io_err("append storage bytes"))
+        f.write_all(bytes).map_err(io_err("append storage bytes"))?;
+        if created {
+            // The new directory entry must be durable too, or a crash after
+            // a successful sync() could lose the whole file.
+            self.sync_dir()?;
+        }
+        Ok(())
     }
 
     fn sync(&self, name: &str) -> Result<(), LogError> {
-        let f = File::open(self.path(name)).map_err(io_err("open storage file for sync"))?;
+        // A writable handle: Windows' FlushFileBuffers rejects read-only
+        // handles, and sync_all is free to require write access elsewhere.
+        let f = OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(io_err("open storage file for sync"))?;
         f.sync_all().map_err(io_err("sync storage file"))
     }
 
@@ -154,7 +183,12 @@ impl Storage for FsStorage {
             let mut f = File::create(&tmp).map_err(io_err("create storage temp file"))?;
             f.write_all(bytes).map_err(io_err("write storage temp file"))?;
             f.sync_all().map_err(io_err("sync storage temp file"))?;
-            std::fs::rename(&tmp, self.path(name)).map_err(io_err("rename storage file into place"))
+            std::fs::rename(&tmp, self.path(name))
+                .map_err(io_err("rename storage file into place"))?;
+            // Without a directory sync the rename itself may not survive a
+            // power failure — and an un-ordered rotation could then persist
+            // the WAL reset but not the snapshot, losing acked entries.
+            self.sync_dir()
         })();
         if result.is_err() {
             // adlp-lint: allow(discarded-fallible) — cleanup of an orphan after a reported failure; nothing further to do if it also fails
