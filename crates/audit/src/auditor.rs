@@ -21,7 +21,7 @@
 use crate::classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
 use adlp_crypto::pkcs1;
 use adlp_crypto::sha256::{binding_digest, Digest};
-use adlp_logger::{Direction, KeyRegistry, LogEntry, LogStore};
+use adlp_logger::{Direction, GapReceipt, KeyRegistry, LogEntry, LogStore};
 use adlp_pubsub::{NodeId, Topic};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -91,6 +91,9 @@ pub struct AuditReport {
     /// Entries rejected before link analysis (authenticity failures etc.),
     /// with their reasons.
     pub rejected_entries: Vec<(LogEntry, InvalidReason)>,
+    /// Verified gap receipts: signed admissions of shed ranges. Absences
+    /// they cover classify as [`EntryClass::Shed`], not hidden.
+    pub shed: Vec<GapReceipt>,
 }
 
 impl AuditReport {
@@ -105,18 +108,25 @@ impl AuditReport {
     /// Whether every observed entry was classified valid and nothing was
     /// hidden — the ideal system (`L_C* = L_C = L_{V,f}`).
     ///
-    /// Two classes of observation do not spoil a clear report because they
-    /// are not evidence of wrongdoing:
+    /// Three classes of observation do not spoil a clear report because
+    /// they are not evidence of wrongdoing:
     ///
     /// * **sequence gaps** — acknowledgement gating legitimately skips
     ///   per-connection sends (the protocol's non-cooperation penalty);
     /// * **unproven entries** — a publisher whose send was never
     ///   acknowledged (e.g. messages in flight at shutdown) cannot prove
-    ///   it, but is not thereby convicted (Lemma 1 cuts both ways).
+    ///   it, but is not thereby convicted (Lemma 1 cuts both ways);
+    /// * **shed absences** — a verified gap receipt is a signed admission
+    ///   of bounded overload loss, the opposite of hiding.
     ///
-    /// Both still appear in the report for forensic review.
+    /// All still appear in the report for forensic review.
     pub fn all_clear(&self) -> bool {
-        let acceptable = |c: &EntryClass| matches!(c, EntryClass::Valid | EntryClass::Unproven);
+        let acceptable = |c: &EntryClass| {
+            matches!(
+                c,
+                EntryClass::Valid | EntryClass::Unproven | EntryClass::Shed { .. }
+            )
+        };
         self.hidden.is_empty()
             && self.rejected_entries.is_empty()
             && self
@@ -200,15 +210,16 @@ impl Auditor {
     pub fn audit(&self, entries: &[LogEntry]) -> AuditReport {
         let mut report = AuditReport::default();
 
-        // Phase 1: per-entry screening (authenticity, publisher ownership,
-        // duplicates). Aggregated entries are expanded into per-link views.
-        let mut pub_entries: BTreeMap<(Topic, u64, NodeId), PubView<'_>> = BTreeMap::new();
-        let mut sub_entries: BTreeMap<(Topic, u64, NodeId), &LogEntry> = BTreeMap::new();
-        // Naive-scheme publisher entries name no subscriber; they pair by
-        // (topic, seq) with every subscriber record of that transmission.
-        let mut naive_pubs: BTreeMap<(Topic, u64), PubView<'_>> = BTreeMap::new();
-
+        // Phase 0: gap receipts — signed admissions of shed ranges — are
+        // pulled out before link bucketing (a receipt reuses the first shed
+        // seq as its entry seq and would otherwise read as a replay).
+        let mut receipt_candidates: Vec<(GapReceipt, &LogEntry)> = Vec::new();
+        let mut normal: Vec<&LogEntry> = Vec::new();
         for entry in entries {
+            if !GapReceipt::claims_receipt(entry) {
+                normal.push(entry);
+                continue;
+            }
             if let Some(reason) = self.screen(entry) {
                 if reason == InvalidReason::AuthenticityFailure {
                     report.anomalies.push(Anomaly::ImpersonationSuspected {
@@ -220,6 +231,43 @@ impl Auditor {
                 report.rejected_entries.push((entry.clone(), reason));
                 continue;
             }
+            // Decoding enforces the envelope/payload agreement; an unsigned
+            // receipt admits nothing and is rejected outright.
+            match GapReceipt::from_entry(entry).filter(|r| r.well_formed()) {
+                Some(r) if entry.own_sig.is_some() => receipt_candidates.push((r, entry)),
+                _ => report
+                    .rejected_entries
+                    .push((entry.clone(), InvalidReason::InvalidGapReceipt)),
+            }
+        }
+
+        // Phase 1: per-entry screening (authenticity, publisher ownership,
+        // duplicates). Aggregated entries are expanded into per-link views.
+        let mut pub_entries: BTreeMap<(Topic, u64, NodeId), PubView<'_>> = BTreeMap::new();
+        let mut sub_entries: BTreeMap<(Topic, u64, NodeId), &LogEntry> = BTreeMap::new();
+        // Naive-scheme publisher entries name no subscriber; they pair by
+        // (topic, seq) with every subscriber record of that transmission.
+        let mut naive_pubs: BTreeMap<(Topic, u64), PubView<'_>> = BTreeMap::new();
+        // Screened deposits per (component, topic, direction) — the ground
+        // truth a lying receipt contradicts.
+        let mut deposited: HashMap<(NodeId, Topic, Direction), BTreeSet<u64>> = HashMap::new();
+
+        for entry in normal {
+            if let Some(reason) = self.screen(entry) {
+                if reason == InvalidReason::AuthenticityFailure {
+                    report.anomalies.push(Anomaly::ImpersonationSuspected {
+                        claimed: entry.component.clone(),
+                        topic: entry.topic.clone(),
+                        seq: entry.seq,
+                    });
+                }
+                report.rejected_entries.push((entry.clone(), reason));
+                continue;
+            }
+            deposited
+                .entry((entry.component.clone(), entry.topic.clone(), entry.direction))
+                .or_default()
+                .insert(entry.seq);
             match entry.direction {
                 Direction::Out => {
                     if !entry.is_adlp() && entry.peer.is_none() {
@@ -271,6 +319,11 @@ impl Auditor {
             }
         }
 
+        // Phase 1.5: receipt verification — collapse re-delivered
+        // duplicates, then reject receipts that overlap a sibling or
+        // contradict entries the claiming component actually deposited.
+        let shed = Self::verify_receipts(receipt_candidates, &deposited, &mut report);
+
         // Phase 2: per-link confrontation.
         let mut link_keys: BTreeSet<(Topic, u64, NodeId)> = BTreeSet::new();
         link_keys.extend(pub_entries.keys().cloned());
@@ -304,6 +357,7 @@ impl Auditor {
                 &subscriber,
                 pub_side,
                 sub_entries.get(&key).copied(),
+                &shed,
                 &mut report,
             );
             report.hidden.extend(link.hidden.iter().cloned());
@@ -327,15 +381,55 @@ impl Auditor {
                 &NodeId::new("?"),
                 Some(view),
                 None,
+                &shed,
                 &mut report,
             );
             report.links.push(link);
         }
 
         // Phase 3: sequence-gap anomalies per (topic, subscriber).
-        self.detect_gaps(&mut report);
+        self.detect_gaps(&mut report, &shed);
 
+        report.shed = shed;
         report
+    }
+
+    /// Verifies receipt candidates against each other and against actual
+    /// deposits. Identical duplicates are benign (the deposit path
+    /// re-delivers a receipt whose first submission was reported lost);
+    /// overlapping or contradicted receipts are rejected as invalid.
+    fn verify_receipts(
+        mut candidates: Vec<(GapReceipt, &LogEntry)>,
+        deposited: &HashMap<(NodeId, Topic, Direction), BTreeSet<u64>>,
+        report: &mut AuditReport,
+    ) -> Vec<GapReceipt> {
+        let mut seen: Vec<GapReceipt> = Vec::new();
+        candidates.retain(|(r, _)| {
+            if seen.contains(r) {
+                false
+            } else {
+                seen.push(r.clone());
+                true
+            }
+        });
+        let mut verified = Vec::new();
+        for (i, (r, entry)) in candidates.iter().enumerate() {
+            let overlapping = candidates
+                .iter()
+                .enumerate()
+                .any(|(j, (o, _))| i != j && r.overlaps(o));
+            let contradicted = deposited
+                .get(&(r.component.clone(), r.topic.clone(), r.direction))
+                .is_some_and(|seqs| seqs.range(r.first_seq..=r.last_seq).next().is_some());
+            if overlapping || contradicted {
+                report
+                    .rejected_entries
+                    .push(((*entry).clone(), InvalidReason::InvalidGapReceipt));
+            } else {
+                verified.push(r.clone());
+            }
+        }
+        verified
     }
 
     /// Pre-link screening. Returns a rejection reason, if any.
@@ -435,6 +529,7 @@ impl Auditor {
         subscriber: &NodeId,
         pub_view: Option<&PubView<'_>>,
         sub_entry: Option<&LogEntry>,
+        shed: &[GapReceipt],
         report: &mut AuditReport,
     ) -> LinkAudit {
         let mut link = LinkAudit {
@@ -481,19 +576,29 @@ impl Auditor {
                         if ack.hash == p.claimed {
                             link.publisher_entry = Some(EntryClass::Valid);
                             report.record_valid(publisher);
-                            link.hidden.push(HiddenRecord {
-                                component: subscriber.clone(),
-                                direction: Direction::In,
-                                topic: topic.clone(),
-                                seq,
-                                proven_by: publisher.clone(),
-                            });
-                            report.record_violation(
-                                subscriber,
-                                topic,
-                                seq,
-                                ViolationKind::HidReceipt,
-                            );
+                            if let Some((first_seq, last_seq)) =
+                                shed_cover(shed, subscriber, topic, Direction::In, seq)
+                            {
+                                // The subscriber admitted shedding this
+                                // receipt record under overload: bounded,
+                                // accounted loss — no Lemma 2 verdict.
+                                link.subscriber_entry =
+                                    Some(EntryClass::Shed { first_seq, last_seq });
+                            } else {
+                                link.hidden.push(HiddenRecord {
+                                    component: subscriber.clone(),
+                                    direction: Direction::In,
+                                    topic: topic.clone(),
+                                    seq,
+                                    proven_by: publisher.clone(),
+                                });
+                                report.record_violation(
+                                    subscriber,
+                                    topic,
+                                    seq,
+                                    ViolationKind::HidReceipt,
+                                );
+                            }
                         } else {
                             // The subscriber committed to different data
                             // than the publisher claims: the publisher's
@@ -537,17 +642,29 @@ impl Auditor {
             (None, Some(s)) => {
                 // Only the subscriber reported.
                 if s.peer_sig_valid {
-                    // s_x proves the publication (Lemma 2): publisher hid.
+                    // s_x proves the publication (Lemma 2): publisher hid —
+                    // unless it admitted shedding the record.
                     link.subscriber_entry = Some(EntryClass::Valid);
                     report.record_valid(subscriber);
-                    link.hidden.push(HiddenRecord {
-                        component: publisher.clone(),
-                        direction: Direction::Out,
-                        topic: topic.clone(),
-                        seq,
-                        proven_by: subscriber.clone(),
-                    });
-                    report.record_violation(publisher, topic, seq, ViolationKind::HidPublication);
+                    if let Some((first_seq, last_seq)) =
+                        shed_cover(shed, publisher, topic, Direction::Out, seq)
+                    {
+                        link.publisher_entry = Some(EntryClass::Shed { first_seq, last_seq });
+                    } else {
+                        link.hidden.push(HiddenRecord {
+                            component: publisher.clone(),
+                            direction: Direction::Out,
+                            topic: topic.clone(),
+                            seq,
+                            proven_by: subscriber.clone(),
+                        });
+                        report.record_violation(
+                            publisher,
+                            topic,
+                            seq,
+                            ViolationKind::HidPublication,
+                        );
+                    }
                 } else {
                     // Invalid s_x: the subscriber made the record up
                     // (Lemma 1 — fabrication; Figure 8's case (b)).
@@ -682,15 +799,16 @@ impl Auditor {
 
     /// Detects per-link sequence gaps (possible pairwise hiding — the
     /// unobservable collusion case of §III-B).
-    fn detect_gaps(&self, report: &mut AuditReport) {
-        let mut per_link: BTreeMap<(Topic, NodeId), BTreeSet<u64>> = BTreeMap::new();
+    fn detect_gaps(&self, report: &mut AuditReport, shed: &[GapReceipt]) {
+        let mut per_link: BTreeMap<(Topic, NodeId), (BTreeSet<u64>, NodeId)> = BTreeMap::new();
         for l in &report.links {
             per_link
                 .entry((l.topic.clone(), l.subscriber.clone()))
-                .or_default()
+                .or_insert_with(|| (BTreeSet::new(), l.publisher.clone()))
+                .0
                 .insert(l.seq);
         }
-        for ((topic, subscriber), seqs) in per_link {
+        for ((topic, subscriber), (seqs, publisher)) in per_link {
             let (&lo, &hi) = match (seqs.first(), seqs.last()) {
                 (Some(a), Some(b)) => (a, b),
                 _ => continue,
@@ -706,13 +824,23 @@ impl Auditor {
             'scan: for &s in seqs.iter().skip(1) {
                 let mut gap = prev + 1;
                 while gap < s {
-                    missing.push(gap);
-                    if missing.len() >= self.gap_report_limit {
-                        break 'scan;
+                    // A seq either side admitted shedding is accounted for
+                    // — not a possible pairwise hide.
+                    let excused = shed_cover(shed, &publisher, &topic, Direction::Out, gap)
+                        .is_some()
+                        || shed_cover(shed, &subscriber, &topic, Direction::In, gap).is_some();
+                    if !excused {
+                        missing.push(gap);
+                        if missing.len() >= self.gap_report_limit {
+                            break 'scan;
+                        }
                     }
                     gap += 1;
                 }
                 prev = s;
+            }
+            if missing.is_empty() {
+                continue;
             }
             report.anomalies.push(Anomaly::SequenceGap {
                 topic,
@@ -727,4 +855,23 @@ struct PubView<'a> {
     entry: &'a LogEntry,
     /// Index into `entry.acks` when this view came from an aggregated entry.
     ack_of: Option<usize>,
+}
+
+/// Finds the verified receipt (if any) by which `component` admitted
+/// shedding its `direction` entry for `(topic, seq)`.
+fn shed_cover(
+    shed: &[GapReceipt],
+    component: &NodeId,
+    topic: &Topic,
+    direction: Direction,
+    seq: u64,
+) -> Option<(u64, u64)> {
+    shed.iter()
+        .find(|r| {
+            &r.component == component
+                && &r.topic == topic
+                && r.direction == direction
+                && r.covers(seq)
+        })
+        .map(|r| (r.first_seq, r.last_seq))
 }

@@ -16,6 +16,16 @@ pub enum EntryClass {
     /// not provably false either — a faithful publisher facing a
     /// non-acknowledging subscriber produces exactly this.
     Unproven,
+    /// The entry is *absent*, but its absence is covered by a verified gap
+    /// receipt — a signed admission that the owning component's overloaded
+    /// deposit pipeline shed the range `[first_seq, last_seq]`. Bounded,
+    /// accounted loss: not hiding.
+    Shed {
+        /// First sequence number of the covering receipt's range.
+        first_seq: u64,
+        /// Last sequence number of the covering receipt's range.
+        last_seq: u64,
+    },
 }
 
 impl EntryClass {
@@ -51,6 +61,10 @@ pub enum InvalidReason {
     /// Entries conflict in a way no single-component explanation covers;
     /// collusion suspected.
     UnresolvableConflict,
+    /// An entry carries the gap-receipt magic but is malformed, overlaps
+    /// another receipt from the same component, or claims a range in which
+    /// that component demonstrably *did* deposit entries.
+    InvalidGapReceipt,
 }
 
 impl fmt::Display for InvalidReason {
@@ -63,6 +77,9 @@ impl fmt::Display for InvalidReason {
             InvalidReason::FabricatedPeerSignature => "recorded counterpart signature is invalid",
             InvalidReason::DuplicateSeq => "duplicate sequence number (replay)",
             InvalidReason::UnresolvableConflict => "unresolvable conflict (collusion suspected)",
+            InvalidReason::InvalidGapReceipt => {
+                "gap receipt is malformed, overlapping, or contradicts deposited entries"
+            }
         };
         f.write_str(s)
     }
@@ -172,6 +189,7 @@ mod tests {
             InvalidReason::FabricatedPeerSignature,
             InvalidReason::DuplicateSeq,
             InvalidReason::UnresolvableConflict,
+            InvalidReason::InvalidGapReceipt,
         ] {
             assert!(!r.to_string().is_empty());
         }

@@ -68,6 +68,17 @@ impl fmt::Display for Rendered<'_> {
             }
         }
 
+        if !r.shed.is_empty() {
+            writeln!(f, "\n-- shed ranges (signed gap receipts) --")?;
+            for s in &r.shed {
+                writeln!(
+                    f,
+                    "  {} shed its '{}' records {}#{}..={} ({} entries, {})",
+                    s.component, s.direction, s.topic, s.first_seq, s.last_seq, s.count, s.reason
+                )?;
+            }
+        }
+
         if !r.rejected_entries.is_empty() {
             writeln!(f, "\n-- rejected entries --")?;
             for (e, reason) in &r.rejected_entries {

@@ -1,0 +1,277 @@
+//! Gap-receipt audit semantics: a verified receipt converts covered
+//! absences from `Hidden` (a conviction) into `Shed` (an accounted loss),
+//! while malformed, overlapping, or lying receipts are rejected as invalid
+//! and excuse nothing.
+
+use adlp_audit::{Anomaly, Auditor, EntryClass, InvalidReason};
+use adlp_core::ComponentIdentity;
+use adlp_crypto::sha256::{binding_digest, sha256};
+use adlp_logger::{Direction, GapReceipt, KeyRegistry, LogEntry, PayloadRecord, ShedReason};
+use adlp_pubsub::Topic;
+use rand::SeedableRng;
+
+struct Pair {
+    keys: KeyRegistry,
+    publisher: ComponentIdentity,
+    subscriber: ComponentIdentity,
+}
+
+fn pair() -> Pair {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let publisher = ComponentIdentity::generate("pubber", 512, &mut rng);
+    let subscriber = ComponentIdentity::generate("subber", 512, &mut rng);
+    let keys = KeyRegistry::new();
+    keys.register(publisher.id(), publisher.public_key().clone())
+        .unwrap();
+    keys.register(subscriber.id(), subscriber.public_key().clone())
+        .unwrap();
+    Pair {
+        keys,
+        publisher,
+        subscriber,
+    }
+}
+
+fn auditor(p: &Pair) -> Auditor {
+    Auditor::new(p.keys.clone()).with_topology([(Topic::new("t"), p.publisher.id().clone())])
+}
+
+/// Builds the faithful (publisher entry, subscriber entry) pair for `body`.
+fn faithful_entries(p: &Pair, seq: u64, body: &[u8]) -> (LogEntry, LogEntry) {
+    let digest = sha256(body);
+    let bound = binding_digest("t", seq, &digest);
+    let s_x = p.publisher.sign_digest(&bound).unwrap();
+    let s_y = p.subscriber.sign_digest(&bound).unwrap();
+    let pub_entry = LogEntry {
+        component: p.publisher.id().clone(),
+        topic: Topic::new("t"),
+        direction: Direction::Out,
+        seq,
+        timestamp_ns: 100,
+        payload: PayloadRecord::Data(body.to_vec()),
+        own_sig: Some(s_x.clone()),
+        peer_sig: Some(s_y.clone()),
+        peer_hash: Some(digest),
+        peer: Some(p.subscriber.id().clone()),
+        acks: Vec::new(),
+    };
+    let sub_entry = LogEntry {
+        component: p.subscriber.id().clone(),
+        topic: Topic::new("t"),
+        direction: Direction::In,
+        seq,
+        timestamp_ns: 110,
+        payload: PayloadRecord::Hash(digest),
+        own_sig: Some(s_y),
+        peer_sig: Some(s_x),
+        peer_hash: None,
+        peer: Some(p.publisher.id().clone()),
+        acks: Vec::new(),
+    };
+    (pub_entry, sub_entry)
+}
+
+/// Builds a properly signed gap-receipt entry, exactly as the deposit
+/// pipeline does.
+fn receipt_entry(
+    id: &ComponentIdentity,
+    direction: Direction,
+    first: u64,
+    last: u64,
+    reason: ShedReason,
+) -> LogEntry {
+    let r = GapReceipt {
+        component: id.id().clone(),
+        topic: Topic::new("t"),
+        direction,
+        first_seq: first,
+        last_seq: last,
+        count: last - first + 1,
+        reason,
+    };
+    let mut e = r.to_entry(500);
+    let bound = binding_digest("t", e.seq, &e.payload.digest());
+    e.own_sig = Some(id.sign_digest(&bound).unwrap());
+    e
+}
+
+#[test]
+fn subscriber_receipt_converts_hidden_receipt_to_shed() {
+    let p = pair();
+    // Publisher holds the subscriber's valid ack; the subscriber's own
+    // record is absent — normally a HidReceipt conviction (Lemma 2).
+    let (pe, _) = faithful_entries(&p, 1, b"payload");
+    let receipt = receipt_entry(&p.subscriber, Direction::In, 0, 3, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[pe, receipt]);
+    assert_eq!(report.links.len(), 1);
+    assert_eq!(report.links[0].publisher_entry, Some(EntryClass::Valid));
+    assert_eq!(
+        report.links[0].subscriber_entry,
+        Some(EntryClass::Shed {
+            first_seq: 0,
+            last_seq: 3
+        })
+    );
+    assert!(report.hidden.is_empty(), "{report:?}");
+    assert_eq!(report.shed.len(), 1);
+    assert!(report.all_clear(), "{report:?}");
+}
+
+#[test]
+fn publisher_receipt_converts_hidden_publication_to_shed() {
+    let p = pair();
+    // Subscriber holds a valid s_x; the publisher's record is absent —
+    // normally a HidPublication conviction.
+    let (_, se) = faithful_entries(&p, 2, b"payload");
+    let receipt = receipt_entry(&p.publisher, Direction::Out, 2, 4, ShedReason::BreakerOpen);
+    let report = auditor(&p).audit(&[se, receipt]);
+    assert_eq!(report.links.len(), 1);
+    assert_eq!(report.links[0].subscriber_entry, Some(EntryClass::Valid));
+    assert_eq!(
+        report.links[0].publisher_entry,
+        Some(EntryClass::Shed {
+            first_seq: 2,
+            last_seq: 4
+        })
+    );
+    assert!(report.hidden.is_empty());
+    assert!(report.all_clear(), "{report:?}");
+}
+
+#[test]
+fn without_receipt_the_absence_still_convicts() {
+    let p = pair();
+    let (pe, _) = faithful_entries(&p, 1, b"payload");
+    let report = auditor(&p).audit(&[pe]);
+    assert!(!report.hidden.is_empty());
+    assert!(!report.all_clear());
+}
+
+#[test]
+fn unsigned_receipt_is_rejected() {
+    let p = pair();
+    let mut receipt = receipt_entry(&p.subscriber, Direction::In, 0, 3, ShedReason::QueueFull);
+    receipt.own_sig = None;
+    let report = auditor(&p).audit(&[receipt]);
+    assert!(report
+        .rejected_entries
+        .iter()
+        .any(|(_, r)| *r == InvalidReason::InvalidGapReceipt));
+    assert!(report.shed.is_empty());
+    assert!(!report.all_clear());
+}
+
+#[test]
+fn tampered_receipt_fails_authenticity_not_shedding() {
+    // Enlarging the claimed range after signing breaks the binding-digest
+    // signature: the receipt rejects as an authenticity failure and the
+    // forged range excuses nothing.
+    let p = pair();
+    let (pe, _) = faithful_entries(&p, 1, b"payload");
+    let mut receipt = receipt_entry(&p.subscriber, Direction::In, 0, 3, ShedReason::QueueFull);
+    let r = GapReceipt {
+        last_seq: 9,
+        count: 10,
+        ..GapReceipt::from_entry(&receipt).unwrap()
+    };
+    receipt.payload = PayloadRecord::Data(r.to_payload());
+    let report = auditor(&p).audit(&[pe, receipt]);
+    assert!(report
+        .rejected_entries
+        .iter()
+        .any(|(_, r)| *r == InvalidReason::AuthenticityFailure));
+    assert!(report.shed.is_empty());
+    assert!(!report.hidden.is_empty(), "forged receipt must not excuse");
+}
+
+#[test]
+fn receipt_covering_deposited_entries_is_rejected() {
+    // Laundering attempt: the subscriber deposits its real entry for seq 1
+    // *and* a receipt claiming 0..=3 was shed. The receipt contradicts the
+    // deposit and is rejected; nothing is excused by it.
+    let p = pair();
+    let (pe1, se1) = faithful_entries(&p, 1, b"a");
+    let receipt = receipt_entry(&p.subscriber, Direction::In, 0, 3, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[pe1, se1, receipt]);
+    assert!(report
+        .rejected_entries
+        .iter()
+        .any(|(_, r)| *r == InvalidReason::InvalidGapReceipt));
+    assert!(report.shed.is_empty());
+    assert!(!report.all_clear());
+}
+
+#[test]
+fn overlapping_receipts_are_both_rejected() {
+    let p = pair();
+    let r1 = receipt_entry(&p.publisher, Direction::Out, 2, 5, ShedReason::QueueFull);
+    let r2 = receipt_entry(&p.publisher, Direction::Out, 4, 8, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[r1, r2]);
+    let rejected = report
+        .rejected_entries
+        .iter()
+        .filter(|(_, r)| *r == InvalidReason::InvalidGapReceipt)
+        .count();
+    assert_eq!(rejected, 2);
+    assert!(report.shed.is_empty());
+}
+
+#[test]
+fn identical_duplicate_receipts_are_deduped() {
+    // The deposit path re-delivers a receipt whose first submission was
+    // reported lost: two byte-identical copies are one admission, not an
+    // overlap.
+    let p = pair();
+    let (pe, _) = faithful_entries(&p, 1, b"payload");
+    let receipt = receipt_entry(&p.subscriber, Direction::In, 0, 3, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[pe, receipt.clone(), receipt]);
+    assert_eq!(report.shed.len(), 1);
+    assert!(report.rejected_entries.is_empty(), "{report:?}");
+    assert!(report.all_clear(), "{report:?}");
+}
+
+#[test]
+fn sequence_gap_excused_by_covering_receipt() {
+    let p = pair();
+    let (pe1, se1) = faithful_entries(&p, 1, b"a");
+    let (pe4, se4) = faithful_entries(&p, 4, b"d");
+    let receipt = receipt_entry(&p.publisher, Direction::Out, 2, 3, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[pe1, se1, pe4, se4, receipt]);
+    assert!(
+        !report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::SequenceGap { .. })),
+        "{report:?}"
+    );
+    assert!(report.all_clear(), "{report:?}");
+}
+
+#[test]
+fn partially_covered_gap_still_reports_the_rest() {
+    let p = pair();
+    let (pe1, se1) = faithful_entries(&p, 1, b"a");
+    let (pe5, se5) = faithful_entries(&p, 5, b"e");
+    // Receipt covers 2..=3 but seq 4 is unexplained.
+    let receipt = receipt_entry(&p.publisher, Direction::Out, 2, 3, ShedReason::Shutdown);
+    let report = auditor(&p).audit(&[pe1, se1, pe5, se5, receipt]);
+    assert!(report.anomalies.iter().any(|a| matches!(
+        a,
+        Anomaly::SequenceGap { missing, .. } if missing == &vec![4]
+    )));
+}
+
+#[test]
+fn receipt_from_another_component_excuses_nothing() {
+    // The *publisher* admits shedding its Out records; that says nothing
+    // about the subscriber's missing In record, which stays a conviction.
+    let p = pair();
+    let (pe, _) = faithful_entries(&p, 1, b"payload");
+    let receipt = receipt_entry(&p.publisher, Direction::Out, 0, 3, ShedReason::QueueFull);
+    let report = auditor(&p).audit(&[pe, receipt]);
+    assert!(
+        !report.hidden.is_empty(),
+        "wrong component's receipt must not excuse: {report:?}"
+    );
+    assert!(!report.all_clear());
+}

@@ -1,0 +1,35 @@
+//! Overload resilience: throughput, shed accounting and breaker recovery
+//! at 1×, 4× and 16× offered load against a rate-limited logger.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_overload
+//! ```
+//!
+//! The logger serves 50 deposits/s (one per 20 ms); the fan-out app's rate
+//! is scaled so offered load is `factor × 50/s` by construction. Prints
+//! the table and writes `BENCH_overload.json` to the working directory
+//! (override with `ADLP_OVERLOAD_JSON`). Environment knobs:
+//! `ADLP_WINDOW_MS` (default 1500), `ADLP_KEY_BITS` (default 1024).
+
+use adlp_bench::experiments::{overload_resilience, KEY_BITS};
+use adlp_bench::report::{overload_json, print_overload};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let window = Duration::from_millis(env_usize("ADLP_WINDOW_MS", 1500) as u64);
+    let key_bits = env_usize("ADLP_KEY_BITS", KEY_BITS);
+    let rows = overload_resilience(window, key_bits);
+    print_overload(&rows);
+    let path = std::env::var("ADLP_OVERLOAD_JSON").unwrap_or_else(|_| "BENCH_overload.json".into());
+    match std::fs::write(&path, overload_json(&rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

@@ -550,6 +550,110 @@ pub fn wal_overhead(entries: usize) -> Vec<WalRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Overload resilience — throughput, shed rate and recovery at 1×/4×/16×
+// ---------------------------------------------------------------------------
+
+/// One row of the overload-resilience experiment.
+#[derive(Debug, Clone)]
+pub struct OverloadRow {
+    /// Nominal overload factor (offered load ÷ logger service rate).
+    pub factor: usize,
+    /// Offered log-entry arrival rate, entries/s (feeder `out` + sink `in`).
+    pub offered_eps: f64,
+    /// Entries the logger actually serves per second, entries/s.
+    pub service_eps: f64,
+    /// Deposits completed per second of total wall time (warmup + window +
+    /// drain) — sustained throughput under pressure.
+    pub deposited_eps: f64,
+    /// Entries shed by the admission-controlled pipelines.
+    pub shed: u64,
+    /// Shed fraction of all pipeline outcomes (shed ÷ (shed + deposited)).
+    pub shed_rate: f64,
+    /// Gap receipts the auditor verified.
+    pub receipts: u64,
+    /// Entries those receipts admit — must equal `shed` for a clean run.
+    pub receipted_entries: u64,
+    /// Driver ticks skipped by backpressure.
+    pub throttled: u64,
+    /// Circuit-breaker trips across all nodes.
+    pub breaker_trips: u64,
+    /// Circuit-breaker closes (recoveries) across all nodes.
+    pub breaker_closes: u64,
+    /// Wall-clock time to drain the backlog once the load stops, ms.
+    pub drain_ms: f64,
+    /// Whether the audit came back with zero convictions: shed ranges
+    /// verified, no false `Hidden`, no rejected entries.
+    pub audit_clean: bool,
+}
+
+/// Measures the overload-resilient deposit pipeline at 1×, 4× and 16×
+/// offered load. The logger is paced to 50 deposits/s (one per 20 ms) and
+/// the fan-out app's rate is scaled so the *offered* entry rate (feeder
+/// `out` + sink `in`) is `factor × 50/s` — the overload factor is set by
+/// construction. Reports sustained throughput, shed rate, receipt
+/// accounting, breaker lifecycle and backlog-drain time per factor.
+pub fn overload_resilience(window: Duration, key_bits: usize) -> Vec<OverloadRow> {
+    use adlp_core::OverloadConfig;
+    use adlp_pubsub::BreakerConfig;
+
+    const PACE_MS: u64 = 20;
+    let service_eps = 1_000.0 / PACE_MS as f64;
+    let mut rows = Vec::new();
+    for (i, &factor) in [1usize, 4, 16].iter().enumerate() {
+        // Offered = 2 entries per publication (out + in) at `hz`.
+        let hz = service_eps * factor as f64 / 2.0;
+        let seed = 900 + i as u64;
+        let warmup = Duration::from_millis(100);
+        let started = Instant::now();
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(64), 1, hz))
+            .key_bits(key_bits)
+            .seed(seed)
+            .warmup(warmup)
+            .duration(window)
+            .overload(
+                OverloadConfig::with_capacity(16)
+                    .with_watermarks(12, 15)
+                    .with_breaker(
+                        BreakerConfig::default()
+                            .with_trip(4, 8)
+                            .with_cooldown(Duration::from_millis(25))
+                            .with_seed(seed),
+                    ),
+            )
+            .paced_logger(Duration::from_millis(PACE_MS))
+            .run();
+        let wall = started.elapsed();
+        let drain = wall.saturating_sub(warmup + window);
+
+        let deposited: u64 = report.pressure.values().map(|p| p.deposited()).sum();
+        let shed: u64 = report.pressure.values().map(|p| p.entries_shed()).sum();
+        let audit = report.audit();
+        let audit_clean =
+            audit.all_clear() && audit.hidden.is_empty() && audit.rejected_entries.is_empty();
+        rows.push(OverloadRow {
+            factor,
+            offered_eps: 2.0 * hz,
+            service_eps,
+            deposited_eps: deposited as f64 / wall.as_secs_f64(),
+            shed,
+            shed_rate: if deposited + shed == 0 {
+                0.0
+            } else {
+                shed as f64 / (deposited + shed) as f64
+            },
+            receipts: audit.shed.len() as u64,
+            receipted_entries: audit.shed.iter().map(|r| r.count).sum(),
+            throttled: report.publishes_throttled,
+            breaker_trips: report.pressure.values().map(|p| p.breaker_trips()).sum(),
+            breaker_closes: report.pressure.values().map(|p| p.breaker_closes()).sum(),
+            drain_ms: drain.as_secs_f64() * 1e3,
+            audit_clean,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

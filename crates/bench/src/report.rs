@@ -143,6 +143,72 @@ pub fn cluster_json(rows: &[ClusterRow]) -> String {
     out
 }
 
+pub fn print_overload(rows: &[OverloadRow]) {
+    println!("== Overload: admission control, shedding and breaker recovery ==");
+    println!(
+        "{:<7} {:>10} {:>11} {:>8} {:>8} {:>9} {:>10} {:>7} {:>7} {:>9} {:>6}",
+        "Factor",
+        "Offered/s",
+        "Deposits/s",
+        "Shed",
+        "Shed%",
+        "Receipts",
+        "Throttled",
+        "Trips",
+        "Closes",
+        "Drain ms",
+        "Audit"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:>10.1} {:>11.1} {:>8} {:>7.1}% {:>9} {:>10} {:>7} {:>7} {:>9.1} {:>6}",
+            format!("{}x", r.factor),
+            r.offered_eps,
+            r.deposited_eps,
+            r.shed,
+            r.shed_rate * 100.0,
+            r.receipts,
+            r.throttled,
+            r.breaker_trips,
+            r.breaker_closes,
+            r.drain_ms,
+            if r.audit_clean { "clean" } else { "DIRTY" }
+        );
+    }
+    println!();
+}
+
+/// Serializes overload rows as a JSON document (hand-rolled: the workspace
+/// carries no serialization dependency).
+pub fn overload_json(rows: &[OverloadRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"overload_resilience\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"factor\": {}, \"offered_eps\": {:.3}, \"service_eps\": {:.3}, \
+             \"deposited_eps\": {:.3}, \"shed\": {}, \"shed_rate\": {:.4}, \
+             \"receipts\": {}, \"receipted_entries\": {}, \"throttled\": {}, \
+             \"breaker_trips\": {}, \"breaker_closes\": {}, \"drain_ms\": {:.3}, \
+             \"audit_clean\": {}}}{}\n",
+            r.factor,
+            r.offered_eps,
+            r.service_eps,
+            r.deposited_eps,
+            r.shed,
+            r.shed_rate,
+            r.receipts,
+            r.receipted_entries,
+            r.throttled,
+            r.breaker_trips,
+            r.breaker_closes,
+            r.drain_ms,
+            r.audit_clean,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 pub fn print_wal(rows: &[WalRow]) {
     println!("== WAL: durable-acknowledgement overhead ==");
     println!(

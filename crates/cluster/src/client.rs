@@ -6,8 +6,10 @@ use crate::ring::HashRing;
 use crate::stats::ClusterStats;
 use adlp_crypto::RsaPublicKey;
 use adlp_logger::stats::LogStats;
-use adlp_logger::{KeyRegistry, LogEntry, LogError, ReconnectConfig, RemoteLogClient};
-use adlp_pubsub::{NodeId, Topic};
+use adlp_logger::{
+    KeyRegistry, LogEntry, LogError, ReconnectConfig, RemoteLogClient, SubmitOutcome,
+};
+use adlp_pubsub::{Admission, CircuitBreaker, Clock, NodeId, SystemClock, Topic, Transition};
 use parking_lot::Mutex;
 use std::fmt;
 use std::net::SocketAddr;
@@ -28,6 +30,10 @@ pub trait ReplicaSink: Send + Sync + fmt::Debug {
     /// Blocks until previously accepted entries are stored (best effort);
     /// returns whether the replica confirmed.
     fn flush_replica(&self) -> bool;
+    /// Called when the circuit breaker wrapping this lane changes state,
+    /// so sinks with their own per-client accounting (the remote TCP sink)
+    /// can mirror the transition. Default: no accounting of its own.
+    fn note_breaker(&self, _transition: Transition) {}
 }
 
 /// In-process sink over a [`ReplicaSlot`] (the sim/bench path).
@@ -83,12 +89,20 @@ impl RemoteReplicaSink {
 impl ReplicaSink for RemoteReplicaSink {
     fn deposit(&self, entry: &LogEntry) -> bool {
         let mut client = self.client.lock();
-        client.submit(entry);
-        client.stats().snapshot().connected
+        let pushed = client.submit(entry).is_accepted();
+        pushed && client.stats().snapshot().connected
     }
 
     fn flush_replica(&self) -> bool {
         self.client.lock().flush(self.flush_timeout)
+    }
+
+    fn note_breaker(&self, transition: Transition) {
+        let client = self.client.lock();
+        match transition {
+            Transition::Tripped | Transition::Reopened => client.stats().note_breaker_trip(),
+            Transition::Closed => client.stats().note_breaker_close(),
+        }
     }
 }
 
@@ -105,6 +119,11 @@ struct ShardLanes {
     /// the property that makes cross-replica divergence detection sharp.
     order: Mutex<()>,
     replicas: Vec<Box<dyn ReplicaSink>>,
+    /// One circuit breaker per replica lane (empty when breakers are not
+    /// configured). Guarded separately, but only ever touched under the
+    /// `order` lock, so breaker trajectories are as serialized as the
+    /// fan-outs they observe.
+    breakers: Mutex<Vec<CircuitBreaker>>,
 }
 
 impl fmt::Debug for ShardLanes {
@@ -176,15 +195,43 @@ impl ClusterLogClient {
             .map(|replicas| ShardLanes {
                 order: Mutex::new(()),
                 replicas,
+                breakers: Mutex::new(Vec::new()),
             })
             .collect();
-        ClusterLogClient {
+        let client = ClusterLogClient {
             ring,
             config,
             keys,
             shards,
             stats,
             volume: LogStats::new(),
+        };
+        if let Some(breaker_cfg) = client.config.breaker.clone() {
+            client.install_breakers(&breaker_cfg, Arc::new(SystemClock));
+        }
+        client
+    }
+
+    /// (Re)wraps every replica lane in a circuit breaker driven by `clock`
+    /// — tests inject a [`adlp_pubsub::ManualClock`] to walk cooldowns
+    /// deterministically. Each lane's breaker is seeded from `cfg.seed`
+    /// mixed with its shard and replica indices so jitter trajectories are
+    /// reproducible but decorrelated across lanes.
+    pub fn install_breakers(&self, cfg: &adlp_pubsub::BreakerConfig, clock: Arc<dyn Clock>) {
+        for (shard, lane) in self.shards.iter().enumerate() {
+            let breakers = lane
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(replica, _)| {
+                    let seed = cfg
+                        .seed
+                        .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add((replica as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+                    CircuitBreaker::new(cfg.clone().with_seed(seed), Arc::clone(&clock))
+                })
+                .collect();
+            *lane.breakers.lock() = breakers;
         }
     }
 
@@ -228,9 +275,14 @@ impl ClusterLogClient {
     /// replica in one serialized order, and accounts the quorum outcome.
     /// Never blocks on a dead replica and never errors — like
     /// [`adlp_logger::LoggerHandle::submit`], all degradation is counted
-    /// ([`ClusterStats`]), never silent.
-    pub fn submit(&self, entry: LogEntry) {
-        self.fan_out(&entry, false);
+    /// ([`ClusterStats`]) *and* surfaced as a [`SubmitOutcome`], never
+    /// silent. `Lost` means the write quorum was missed.
+    pub fn submit(&self, entry: LogEntry) -> SubmitOutcome {
+        if self.fan_out(&entry, false).quorate {
+            SubmitOutcome::Accepted
+        } else {
+            SubmitOutcome::Lost
+        }
     }
 
     /// Deposits an entry and only reports success once a write quorum of
@@ -273,20 +325,46 @@ impl ClusterLogClient {
         let encoded_len = entry.encoded_len();
         let started = Instant::now();
         let guard = lane.order.lock();
+        let mut breakers = lane.breakers.lock();
         let mut accepted = 0usize;
         let mut refused = 0usize;
-        for sink in &lane.replicas {
+        for (i, sink) in lane.replicas.iter().enumerate() {
+            // An open breaker routes around the replica: the lane counts as
+            // refused for this entry (same as a dead replica), without
+            // paying for the doomed call. Half-open admissions probe it.
+            if let Some(breaker) = breakers.get_mut(i) {
+                match breaker.admit() {
+                    Admission::Rejected => {
+                        refused += 1;
+                        self.stats.note_breaker_rejection();
+                        continue;
+                    }
+                    Admission::Allowed | Admission::Probe => {}
+                }
+            }
             let took = if durable {
                 sink.deposit_durable(entry)
             } else {
                 sink.deposit(entry)
             };
+            if let Some(breaker) = breakers.get_mut(i) {
+                let transition = if took {
+                    breaker.on_success()
+                } else {
+                    breaker.on_failure()
+                };
+                if let Some(t) = transition {
+                    self.stats.note_breaker_transition(t);
+                    sink.note_breaker(t);
+                }
+            }
             if took {
                 accepted += 1;
             } else {
                 refused += 1;
             }
         }
+        drop(breakers);
         drop(guard);
         self.stats.note_deposit(
             shard_idx,
@@ -365,6 +443,8 @@ impl ClusterLogClient {
 mod tests {
     use super::*;
     use adlp_logger::Direction;
+    use adlp_pubsub::{BreakerConfig, ManualClock};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     fn entry(publisher: &str, topic: &str, seq: u64) -> LogEntry {
         LogEntry::naive(
@@ -384,8 +464,8 @@ mod tests {
         cluster.kill_replica(0, 0);
         cluster.kill_replica(1, 2);
         for seq in 0..20 {
-            client.submit(entry("cam", "image", seq));
-            client.submit(entry("lidar", "scan", seq));
+            assert!(client.submit(entry("cam", "image", seq)).is_accepted());
+            assert!(client.submit(entry("lidar", "scan", seq)).is_accepted());
         }
         client.flush().unwrap();
         let s = client.stats().snapshot();
@@ -403,7 +483,7 @@ mod tests {
         cluster.kill_replica(0, 0);
         cluster.kill_replica(0, 1);
         for seq in 0..10 {
-            client.submit(entry("cam", "image", seq));
+            assert_eq!(client.submit(entry("cam", "image", seq)), SubmitOutcome::Lost);
         }
         let s = client.stats().snapshot();
         assert_eq!(s.submitted, 10);
@@ -413,12 +493,77 @@ mod tests {
         assert!(client.flush().is_err(), "sub-quorum flush must not claim durability");
     }
 
+    /// A replica lane whose health the test controls, counting every
+    /// deposit call it actually receives.
+    #[derive(Debug, Default)]
+    struct ScriptedSink {
+        up: AtomicBool,
+        calls: AtomicU64,
+    }
+
+    impl ReplicaSink for Arc<ScriptedSink> {
+        fn deposit(&self, _entry: &LogEntry) -> bool {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.up.load(Ordering::SeqCst)
+        }
+
+        fn flush_replica(&self) -> bool {
+            self.up.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn breaker_routes_around_dead_replica_and_recloses() {
+        let sick = Arc::new(ScriptedSink::default());
+        let healthy = Arc::new(ScriptedSink::default());
+        healthy.up.store(true, Ordering::SeqCst);
+        let config = ClusterConfig::new(1)
+            .with_replicas(2)
+            .with_write_quorum(1)
+            .with_breaker(BreakerConfig::default().with_trip(4, 4));
+        let sinks: Vec<Vec<Box<dyn ReplicaSink>>> = vec![vec![
+            Box::new(Arc::clone(&sick)),
+            Box::new(Arc::clone(&healthy)),
+        ]];
+        let client = ClusterLogClient::from_sinks(config, KeyRegistry::new(), sinks);
+        let clock = Arc::new(ManualClock::new(1));
+        client.install_breakers(&BreakerConfig::default().with_trip(4, 4), clock.clone());
+
+        // Four failures saturate the sick lane's window and trip it.
+        for seq in 0..4 {
+            assert!(client.submit(entry("cam", "image", seq)).is_accepted());
+        }
+        let s = client.stats().snapshot();
+        assert_eq!(s.breaker_trips, 1, "sick lane must trip: {s:?}");
+        assert!(s.failovers >= 4, "quorum met by the healthy survivor");
+
+        // While open, the sick sink is not even called.
+        let calls_when_tripped = sick.calls.load(Ordering::SeqCst);
+        for seq in 4..8 {
+            assert!(client.submit(entry("cam", "image", seq)).is_accepted());
+        }
+        assert_eq!(sick.calls.load(Ordering::SeqCst), calls_when_tripped);
+        assert!(client.stats().snapshot().breaker_rejections >= 4);
+
+        // The replica heals; past the cooldown, half-open probes re-admit
+        // it and the breaker closes after enough successes.
+        sick.up.store(true, Ordering::SeqCst);
+        clock.advance_ns(2_000_000_000);
+        for seq in 8..12 {
+            assert!(client.submit(entry("cam", "image", seq)).is_accepted());
+        }
+        let s = client.stats().snapshot();
+        assert_eq!(s.breaker_closes, 1, "healed lane must re-close: {s:?}");
+        assert!(sick.calls.load(Ordering::SeqCst) > calls_when_tripped);
+        assert!(s.balanced());
+    }
+
     #[test]
     fn shard_depths_track_routing() {
         let cluster = LoggerCluster::spawn(ClusterConfig::new(3)).unwrap();
         let client = ClusterLogClient::in_proc(&cluster);
         for i in 0..30 {
-            client.submit(entry(&format!("node{i}"), "t", 1));
+            assert!(client.submit(entry(&format!("node{i}"), "t", 1)).is_accepted());
         }
         client.flush().unwrap();
         let s = client.stats().snapshot();

@@ -1,6 +1,7 @@
 //! Cluster topology and quorum configuration.
 
 use adlp_logger::LogError;
+use adlp_pubsub::BreakerConfig;
 
 /// Shape of a logger cluster: how many shards, how many replicas per
 /// shard, and how many replica acknowledgements a deposit needs before it
@@ -17,6 +18,12 @@ pub struct ClusterConfig {
     /// Virtual nodes per shard on the hash ring (smooths the key
     /// distribution; purely deterministic).
     pub vnodes: usize,
+    /// When set, every replica lane is wrapped in a circuit breaker seeded
+    /// deterministically from this configuration: a persistently failing
+    /// replica is routed around (fast-fail, counted) and re-admitted
+    /// through half-open probes. `None` (the default) preserves the
+    /// always-attempt fan-out.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl ClusterConfig {
@@ -27,6 +34,7 @@ impl ClusterConfig {
             replicas: 1,
             write_quorum: 1,
             vnodes: 16,
+            breaker: None,
         }
     }
 
@@ -46,6 +54,15 @@ impl ClusterConfig {
     /// Sets the number of virtual ring nodes per shard.
     pub fn with_vnodes(mut self, vnodes: usize) -> Self {
         self.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Wraps every replica lane in a circuit breaker configured by `cfg`
+    /// (each lane gets its own breaker, seeded from `cfg.seed` mixed with
+    /// its shard and replica indices, so trajectories are deterministic
+    /// but decorrelated).
+    pub fn with_breaker(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
         self
     }
 

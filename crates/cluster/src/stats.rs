@@ -18,6 +18,10 @@ struct Inner {
     failovers: AtomicU64,
     quorum_latency_ns: AtomicU64,
     quorum_samples: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_reopens: AtomicU64,
+    breaker_closes: AtomicU64,
+    breaker_rejections: AtomicU64,
     shard_depth: Vec<AtomicU64>,
 }
 
@@ -44,6 +48,16 @@ pub struct ClusterStatsSnapshot {
     pub failovers: u64,
     /// Mean wall-clock time to reach the write quorum, in nanoseconds.
     pub mean_quorum_latency_ns: u64,
+    /// Replica-lane circuit breakers tripped (Closed→Open).
+    pub breaker_trips: u64,
+    /// Half-open probes that failed and re-opened a replica's breaker.
+    pub breaker_reopens: u64,
+    /// Replica-lane breakers closed again after successful probes
+    /// (HalfOpen→Closed) — the recovery signal.
+    pub breaker_closes: u64,
+    /// Per-replica deposit attempts refused up front because the lane's
+    /// breaker was open (the fan-out routed around that replica).
+    pub breaker_rejections: u64,
     /// WAL syncs / snapshot replaces refused by replica storage devices —
     /// storage errors are counted, never discarded.
     pub fsync_failures: u64,
@@ -113,6 +127,23 @@ impl ClusterStats {
         self.inner.entries_lost.load(Ordering::Relaxed)
     }
 
+    /// Records a replica-lane breaker state transition.
+    pub fn note_breaker_transition(&self, transition: adlp_pubsub::Transition) {
+        use adlp_pubsub::Transition;
+        let counter = match transition {
+            Transition::Tripped => &self.inner.breaker_trips,
+            Transition::Reopened => &self.inner.breaker_reopens,
+            Transition::Closed => &self.inner.breaker_closes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-replica deposit refused because the lane's breaker
+    /// was open.
+    pub fn note_breaker_rejection(&self) {
+        self.inner.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough copy of all counters.
     pub fn snapshot(&self) -> ClusterStatsSnapshot {
         let i = &self.inner;
@@ -128,6 +159,10 @@ impl ClusterStats {
             entries_lost: i.entries_lost.load(Ordering::Relaxed),
             failovers: i.failovers.load(Ordering::Relaxed),
             mean_quorum_latency_ns: mean,
+            breaker_trips: i.breaker_trips.load(Ordering::Relaxed),
+            breaker_reopens: i.breaker_reopens.load(Ordering::Relaxed),
+            breaker_closes: i.breaker_closes.load(Ordering::Relaxed),
+            breaker_rejections: i.breaker_rejections.load(Ordering::Relaxed),
             fsync_failures: self.durability.fsync_failures(),
             wal_append_failures: self.durability.wal_append_failures(),
             records_truncated: self.durability.records_truncated(),

@@ -462,6 +462,8 @@ mod tests {
             subscriber_stores_hash: true,
             logger: crate::target::DepositTarget::Single(server.handle()),
             ack_after_durable: false,
+            overload: crate::overload::OverloadConfig::default(),
+            clock: Arc::new(SystemClock),
         })
         .unwrap();
         let interceptor = AdlpInterceptor::new(

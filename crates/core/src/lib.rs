@@ -68,6 +68,7 @@ pub mod interceptor;
 pub mod keystore;
 pub mod logging;
 pub mod node;
+pub mod overload;
 pub mod protocol;
 pub mod target;
 
@@ -77,6 +78,7 @@ pub use config::{AdlpConfig, FaultConfig, ReconnectConfig, ResilienceConfig, Sch
 pub use identity::ComponentIdentity;
 pub use keystore::IdentityStore;
 pub use node::{AdlpNode, AdlpNodeBuilder};
+pub use overload::{OverloadConfig, PressureLevel, QueuePressure, ShedPolicy};
 pub use target::DepositTarget;
 
 use std::error::Error;

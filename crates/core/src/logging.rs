@@ -6,20 +6,39 @@
 //! (§V-B). Transport hooks push [`LogEvent`]s; this thread converts them to
 //! [`LogEntry`]s — applying the node's [`BehaviorProfile`] — and submits
 //! them to the trusted logger.
+//!
+//! # Overload
+//!
+//! The worker keeps a **bounded** deposit queue ([`OverloadConfig`]). When
+//! the logger cannot keep up, overflow is shed by policy (oldest-first or
+//! newest-first), each shed is counted on the shared [`QueuePressure`]
+//! handle, and contiguous shed runs are admitted in **signed gap receipts**
+//! ([`GapReceipt`]) that ride the ordinary deposit path and are never
+//! themselves shed. An optional circuit breaker fast-fails a refusing
+//! target: queue-full sheds and failed deposits feed its failure window,
+//! and while it is open the worker stops hammering the logger until a
+//! half-open probe succeeds.
 
 use crate::behavior::{falsify_body, BehaviorProfile, LinkRole, LogBehavior};
 use crate::events::LogEvent;
 use crate::identity::ComponentIdentity;
+use crate::overload::{OverloadConfig, QueuePressure, ShedPolicy};
 use crate::target::DepositTarget;
 use adlp_crypto::rsa::RsaPrivateKey;
 use adlp_crypto::sha256::{binding_digest, sha256, Digest};
 use adlp_crypto::{pkcs1, Signature};
-use adlp_logger::{Direction, LogEntry, LogError, PayloadRecord};
-use adlp_pubsub::{NodeId, Topic};
-use crossbeam::channel::Sender;
+use adlp_logger::{Direction, GapReceipt, LogEntry, LogError, PayloadRecord, ShedReason};
+use adlp_pubsub::{Admission, BreakerState, CircuitBreaker, Clock, NodeId, Topic};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a stalled worker (breaker open, or the target refusing
+/// receipts) waits for new commands before re-probing, instead of spinning.
+const STALL_PACE: Duration = Duration::from_millis(1);
 
 enum Command {
     Event(Box<LogEvent>),
@@ -33,6 +52,7 @@ pub struct LoggingThread {
     worker: Option<JoinHandle<()>>,
     lost: Arc<AtomicU64>,
     deposit_failures: Arc<AtomicU64>,
+    pressure: QueuePressure,
 }
 
 /// A cloneable submitter for transport hooks.
@@ -70,6 +90,10 @@ pub(crate) struct LoggingContext {
     /// Deposit through [`DepositTarget::submit_durable`] and count
     /// rejections, instead of the fire-and-forget path.
     pub ack_after_durable: bool,
+    /// Bounded-queue / shedding / breaker policy for the deposit pipeline.
+    pub overload: OverloadConfig,
+    /// Clock driving the deposit breaker and stamping gap receipts.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl LoggingThread {
@@ -81,39 +105,39 @@ impl LoggingThread {
     pub(crate) fn spawn(ctx: LoggingContext) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let deposit_failures = Arc::new(AtomicU64::new(0));
-        let failures = Arc::clone(&deposit_failures);
-        let worker = std::thread::Builder::new()
-            .name(format!("lg-{}", ctx.node_id))
-            .spawn(move || {
-                while let Ok(cmd) = rx.recv() {
-                    match cmd {
-                        Command::Event(event) => {
-                            if let Some(entry) = build_entry(&ctx, *event) {
-                                if ctx.ack_after_durable {
-                                    // The durable path reports refusals;
-                                    // like every other degradation they are
-                                    // counted, never silent.
-                                    if ctx.logger.submit_durable(entry).is_err() {
-                                        failures.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                } else {
-                                    ctx.logger.submit(entry);
-                                }
-                            }
-                        }
-                        Command::Flush(reply) => {
-                            // adlp-lint: allow(discarded-fallible) — the flush requester may have timed out; nothing left to acknowledge
-                            let _ = reply.send(());
-                        }
+        let pressure = QueuePressure::new();
+        let worker = {
+            let deposit_failures = Arc::clone(&deposit_failures);
+            let pressure = pressure.clone();
+            std::thread::Builder::new()
+                .name(format!("lg-{}", ctx.node_id))
+                .spawn(move || {
+                    let breaker = ctx
+                        .overload
+                        .breaker
+                        .clone()
+                        .map(|cfg| CircuitBreaker::new(cfg, Arc::clone(&ctx.clock)));
+                    Worker {
+                        ctx,
+                        rx,
+                        queue: VecDeque::new(),
+                        pending_receipts: VecDeque::new(),
+                        draft: None,
+                        breaker,
+                        pressure,
+                        deposit_failures,
+                        stalled: false,
                     }
-                }
-            })
-            .map_err(|e| LogError::Io(format!("spawn logging thread: {e}")))?;
+                    .run();
+                })
+                .map_err(|e| LogError::Io(format!("spawn logging thread: {e}")))?
+        };
         Ok(LoggingThread {
             tx,
             worker: Some(worker),
             lost: Arc::new(AtomicU64::new(0)),
             deposit_failures,
+            pressure,
         })
     }
 
@@ -130,10 +154,18 @@ impl LoggingThread {
         self.lost.load(Ordering::Relaxed)
     }
 
-    /// Entries the logger refused to make durable (ack-after-durable mode
-    /// only; the fire-and-forget path counts losses at the logger instead).
+    /// Entries the deposit target refused: durable-mode rejections plus
+    /// fire-and-forget submissions the target reported as lost (which the
+    /// logger's own stats also count).
     pub fn deposit_failures(&self) -> u64 {
         self.deposit_failures.load(Ordering::Relaxed)
+    }
+
+    /// The shared overload view of this pipeline: queue depth and
+    /// watermark level, shed counts, gap-receipt counts, and deposit
+    /// breaker transitions. Cloning is cheap and shares the counters.
+    pub fn pressure(&self) -> QueuePressure {
+        self.pressure.clone()
     }
 
     /// Blocks until all previously submitted events were handed to the
@@ -157,6 +189,279 @@ impl Drop for LoggingThread {
                 let _ = w.join();
             }
         }
+    }
+}
+
+/// The logging thread's state: a bounded deposit queue, the receipts it
+/// owes for shed ranges, and (optionally) the deposit circuit breaker.
+struct Worker {
+    ctx: LoggingContext,
+    rx: Receiver<Command>,
+    /// Bounded (by `ctx.overload.queue_capacity`) deposit backlog.
+    queue: VecDeque<LogEntry>,
+    /// Signed gap receipts awaiting delivery — never shed, retried until
+    /// delivered or the pipeline ends.
+    pending_receipts: VecDeque<LogEntry>,
+    /// The open (still-coalescing) shed range, if any.
+    draft: Option<GapReceipt>,
+    breaker: Option<CircuitBreaker>,
+    pressure: QueuePressure,
+    deposit_failures: Arc<AtomicU64>,
+    /// Set when the last work round had a backlog but made no progress
+    /// (breaker open / target refusing receipts): the next intake waits
+    /// [`STALL_PACE`] instead of spinning.
+    stalled: bool,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            let mut disconnected = false;
+            let has_backlog = !self.queue.is_empty() || !self.pending_receipts.is_empty();
+            if !has_backlog && self.draft.is_some() {
+                // The pipeline went quiet with an open shed range: emit the
+                // receipt now instead of letting the admission linger.
+                self.finalize_draft();
+            } else if !has_backlog {
+                match self.rx.recv() {
+                    Ok(cmd) => self.handle(cmd),
+                    Err(_) => disconnected = true,
+                }
+            } else if self.stalled {
+                match self.rx.recv_timeout(STALL_PACE) {
+                    Ok(cmd) => self.handle(cmd),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                }
+            }
+            // Eager intake: admission control (not the channel) decides
+            // what is kept, so the unbounded channel never holds a backlog.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(cmd) => self.handle(cmd),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            if disconnected {
+                break;
+            }
+            let progressed = self.work();
+            self.stalled =
+                !progressed && (!self.queue.is_empty() || !self.pending_receipts.is_empty());
+        }
+        self.final_drain();
+    }
+
+    fn handle(&mut self, cmd: Command) {
+        match cmd {
+            Command::Event(event) => {
+                if let Some(entry) = build_entry(&self.ctx, *event) {
+                    self.enqueue(entry);
+                }
+                self.update_depth();
+            }
+            Command::Flush(reply) => {
+                self.full_drain();
+                // adlp-lint: allow(discarded-fallible) — the flush requester may have timed out; nothing left to acknowledge
+                let _ = reply.send(());
+            }
+        }
+    }
+
+    /// Admission control: queue the entry, or shed per policy when full.
+    fn enqueue(&mut self, entry: LogEntry) {
+        if self.queue.len() < self.ctx.overload.queue_capacity {
+            self.queue.push_back(entry);
+            return;
+        }
+        match self.ctx.overload.policy {
+            ShedPolicy::OldestFirst => {
+                if let Some(victim) = self.queue.pop_front() {
+                    self.shed(victim);
+                }
+                self.queue.push_back(entry);
+            }
+            ShedPolicy::NewestFirst => self.shed(entry),
+        }
+    }
+
+    /// Sheds one entry under the current overload condition. A queue-full
+    /// shed is a failure of the deposit pipeline, so it feeds the breaker's
+    /// failure window exactly like a refused deposit: sustained overload
+    /// trips the breaker even while the target still answers.
+    fn shed(&mut self, entry: LogEntry) {
+        let reason = match self.breaker.as_mut().map(CircuitBreaker::state) {
+            Some(BreakerState::Open) => ShedReason::BreakerOpen,
+            _ => ShedReason::QueueFull,
+        };
+        self.breaker_outcome(false);
+        self.shed_with_reason(entry, reason);
+    }
+
+    /// Counts the shed and folds it into a gap-receipt draft. Entries the
+    /// node cannot truthfully receipt — Base scheme (no identity) or a
+    /// component field rewritten by impersonation — are counted but left
+    /// unreceipted: the auditor will (correctly) hold that against them.
+    fn shed_with_reason(&mut self, entry: LogEntry, reason: ShedReason) {
+        self.pressure.note_shed();
+        if self.ctx.identity.is_none() || entry.component != self.ctx.node_id {
+            return;
+        }
+        if let Some(d) = &mut self.draft {
+            if d.topic == entry.topic
+                && d.direction == entry.direction
+                && d.reason == reason
+                && entry.seq == d.last_seq.wrapping_add(1)
+                && d.count < self.ctx.overload.receipt_max_span
+            {
+                d.last_seq = entry.seq;
+                d.count += 1;
+                return;
+            }
+            self.finalize_draft();
+        }
+        self.draft = Some(GapReceipt {
+            component: self.ctx.node_id.clone(),
+            topic: entry.topic.clone(),
+            direction: entry.direction,
+            first_seq: entry.seq,
+            last_seq: entry.seq,
+            count: 1,
+            reason,
+        });
+    }
+
+    /// Signs the open draft (the ordinary binding-digest signature over the
+    /// receipt payload *is* `sign_x(h(first ‖ last ‖ count ‖ reason))`) and
+    /// queues it for delivery.
+    fn finalize_draft(&mut self) {
+        let Some(receipt) = self.draft.take() else {
+            return;
+        };
+        let mut entry = receipt.to_entry(self.ctx.clock.now_ns());
+        let binding = binding_digest(entry.topic.as_str(), entry.seq, &entry.payload.digest());
+        match sign_own(&self.ctx, &binding) {
+            Some(sig) => {
+                entry.own_sig = Some(sig);
+                self.pressure.note_receipt_issued();
+                self.pending_receipts.push_back(entry);
+            }
+            // A receipt we cannot sign is useless to the auditor; count it
+            // as undeliverable rather than deposit an unverifiable claim.
+            None => self.pressure.note_receipts_undeliverable(1),
+        }
+    }
+
+    /// One work round: receipts first (never shed), then queued entries
+    /// while the breaker admits and no fresh commands wait.
+    fn work(&mut self) -> bool {
+        let mut progressed = self.deliver_receipts();
+        while !self.queue.is_empty() && self.rx.is_empty() {
+            if let Some(b) = &mut self.breaker {
+                if matches!(b.admit(), Admission::Rejected) {
+                    break;
+                }
+            }
+            let Some(entry) = self.queue.pop_front() else {
+                break;
+            };
+            self.deposit(entry);
+            // A refused deposit still consumed the entry (the target
+            // counted the loss), so the round made progress either way.
+            progressed = true;
+            self.update_depth();
+        }
+        progressed
+    }
+
+    /// One delivery attempt per pending receipt. Receipts bypass the
+    /// breaker's admission — they are tiny and the whole point of the
+    /// accountability story — but their outcomes still feed it.
+    fn deliver_receipts(&mut self) -> bool {
+        let mut progressed = false;
+        let mut remaining = self.pending_receipts.len();
+        while remaining > 0 {
+            remaining -= 1;
+            let Some(receipt) = self.pending_receipts.pop_front() else {
+                break;
+            };
+            if self.deposit(receipt.clone()) {
+                progressed = true;
+            } else {
+                self.pending_receipts.push_back(receipt);
+            }
+        }
+        progressed
+    }
+
+    /// Hands one entry to the target and feeds the breaker.
+    fn deposit(&mut self, entry: LogEntry) -> bool {
+        let ok = if self.ctx.ack_after_durable {
+            self.ctx.logger.submit_durable(entry).is_ok()
+        } else {
+            self.ctx.logger.submit(entry).is_accepted()
+        };
+        if ok {
+            self.pressure.note_deposited();
+        } else {
+            self.deposit_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.breaker_outcome(ok);
+        ok
+    }
+
+    fn breaker_outcome(&mut self, success: bool) {
+        if let Some(b) = &mut self.breaker {
+            let transition = if success { b.on_success() } else { b.on_failure() };
+            if let Some(t) = transition {
+                self.pressure.note_transition(t);
+            }
+        }
+    }
+
+    /// Flush barrier: finalize the draft and push everything out, bypassing
+    /// the breaker's admission (outcomes still feed it, so flushing through
+    /// a healthy-but-tripped pipeline also heals the breaker).
+    fn full_drain(&mut self) {
+        self.finalize_draft();
+        while let Some(entry) = self.queue.pop_front() {
+            self.deposit(entry);
+        }
+        self.deliver_receipts();
+        self.update_depth();
+    }
+
+    /// Teardown: best-effort full drain, but after the first refusal stop
+    /// hammering a dead target and shed the remainder under a `Shutdown`
+    /// receipt. Receipts that still cannot be delivered are counted.
+    fn final_drain(&mut self) {
+        self.finalize_draft();
+        while let Some(entry) = self.queue.pop_front() {
+            if !self.deposit(entry) {
+                while let Some(rest) = self.queue.pop_front() {
+                    self.shed_with_reason(rest, ShedReason::Shutdown);
+                }
+                self.finalize_draft();
+                break;
+            }
+        }
+        self.deliver_receipts();
+        let undeliverable = self.pending_receipts.len() as u64;
+        if undeliverable > 0 {
+            self.pressure.note_receipts_undeliverable(undeliverable);
+            self.pending_receipts.clear();
+        }
+        self.update_depth();
+    }
+
+    fn update_depth(&mut self) {
+        let cfg = &self.ctx.overload;
+        self.pressure
+            .set_depth(self.queue.len(), cfg.low_watermark, cfg.high_watermark);
     }
 }
 
@@ -454,8 +759,46 @@ mod tests {
                 subscriber_stores_hash: store_hash,
                 logger: DepositTarget::Single(server.handle()),
                 ack_after_durable: false,
+                overload: OverloadConfig::default(),
+                clock: Arc::new(adlp_pubsub::SystemClock),
             },
             server,
+        )
+    }
+
+    /// A worker around `ctx` driven synchronously by the test (the channel
+    /// stays empty), for deterministic overload scenarios.
+    fn worker(ctx: LoggingContext) -> (Worker, Sender<Command>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let breaker = ctx
+            .overload
+            .breaker
+            .clone()
+            .map(|cfg| CircuitBreaker::new(cfg, Arc::clone(&ctx.clock)));
+        (
+            Worker {
+                ctx,
+                rx,
+                queue: VecDeque::new(),
+                pending_receipts: VecDeque::new(),
+                draft: None,
+                breaker,
+                pressure: QueuePressure::new(),
+                deposit_failures: Arc::new(AtomicU64::new(0)),
+                stalled: false,
+            },
+            tx,
+        )
+    }
+
+    fn own_entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("pub"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![seq as u8; 16],
         )
     }
 
@@ -568,6 +911,129 @@ mod tests {
         thread.flush();
         server.handle().flush().unwrap();
         assert_eq!(server.handle().store().len(), 1);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_issues_signed_receipt() {
+        let (mut c, server) = ctx(BehaviorProfile::faithful(), true);
+        c.overload = OverloadConfig::with_capacity(4);
+        let pk = c.identity.as_ref().unwrap().public_key().clone();
+        let (mut w, _tx) = worker(c);
+        for seq in 0..10 {
+            w.enqueue(own_entry(seq));
+        }
+        // Capacity 4 under oldest-first: seqs 0..=5 shed, 6..=9 kept.
+        assert_eq!(w.pressure.entries_shed(), 6);
+        assert_eq!(w.queue.len(), 4);
+        w.full_drain();
+        assert_eq!(w.pressure.receipts_issued(), 1);
+        assert_eq!(w.pressure.deposited(), 5); // 4 entries + 1 receipt
+        server.handle().flush().unwrap();
+        let entries: Vec<LogEntry> = server
+            .handle()
+            .store()
+            .entries()
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        let receipts: Vec<GapReceipt> = entries
+            .iter()
+            .filter_map(GapReceipt::from_entry)
+            .collect();
+        assert_eq!(receipts.len(), 1);
+        let r = &receipts[0];
+        assert!(r.well_formed());
+        assert_eq!((r.first_seq, r.last_seq, r.count), (0, 5, 6));
+        assert_eq!(r.reason, ShedReason::QueueFull);
+        // The receipt passes the auditor's ordinary screening signature:
+        // the component signed its admission of loss.
+        let carried = entries
+            .iter()
+            .find(|e| GapReceipt::claims_receipt(e))
+            .unwrap();
+        assert!(pkcs1::verify_digest(
+            &pk,
+            &binding_digest(
+                carried.topic.as_str(),
+                carried.seq,
+                &carried.payload.digest()
+            ),
+            carried.own_sig.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn newest_first_refuses_arrivals_and_caps_receipt_span() {
+        let (mut c, _server) = ctx(BehaviorProfile::faithful(), true);
+        c.overload = OverloadConfig::with_capacity(2)
+            .with_policy(ShedPolicy::NewestFirst)
+            .with_receipt_span(2);
+        let (mut w, _tx) = worker(c);
+        for seq in 0..6 {
+            w.enqueue(own_entry(seq));
+        }
+        // The queue keeps the unbroken prefix 0..=1; 2..=5 are refused and
+        // split into two receipts by the span cap.
+        assert_eq!(w.queue.len(), 2);
+        assert_eq!(w.pressure.entries_shed(), 4);
+        w.finalize_draft();
+        assert_eq!(w.pressure.receipts_issued(), 2);
+        let ranges: Vec<(u64, u64)> = w
+            .pending_receipts
+            .iter()
+            .filter_map(|e| GapReceipt::from_entry(e))
+            .map(|r| (r.first_seq, r.last_seq))
+            .collect();
+        assert_eq!(ranges, vec![(2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn queue_full_sheds_trip_breaker_and_probes_reclose_it() {
+        let (mut c, server) = ctx(BehaviorProfile::faithful(), true);
+        let clock = adlp_pubsub::ManualClock::new(1);
+        c.clock = Arc::new(clock.clone());
+        c.overload = OverloadConfig::with_capacity(1).with_breaker(
+            adlp_pubsub::BreakerConfig::default()
+                .with_trip(2, 2)
+                .with_cooldown(Duration::from_millis(1)),
+        );
+        let (mut w, _tx) = worker(c);
+        w.enqueue(own_entry(0));
+        w.enqueue(own_entry(1));
+        w.enqueue(own_entry(2));
+        assert_eq!(w.pressure.entries_shed(), 2);
+        assert_eq!(w.pressure.breaker_trips(), 1, "sustained overload trips");
+        // While open, the work round refuses to deposit (fast-fail).
+        assert!(!w.work());
+        assert_eq!(w.queue.len(), 1);
+        // Cooldown elapses: the probe deposits against the healthy logger.
+        clock.advance_ns(10_000_000);
+        assert!(w.work());
+        assert!(w.queue.is_empty());
+        // The receipt delivery supplies the second probe success → Closed.
+        w.finalize_draft();
+        assert!(w.work());
+        assert_eq!(w.pressure.breaker_closes(), 1);
+        server.handle().flush().unwrap();
+        assert_eq!(server.handle().store().len(), 2); // entry 2 + receipt
+    }
+
+    #[test]
+    fn shutdown_receipts_remaining_backlog_on_dead_target() {
+        let (mut c, server) = ctx(BehaviorProfile::faithful(), true);
+        c.overload = OverloadConfig::with_capacity(16);
+        server.kill(); // the target is gone before the backlog drains
+        let (mut w, _tx) = worker(c);
+        for seq in 0..5 {
+            w.enqueue(own_entry(seq));
+        }
+        w.final_drain();
+        // First deposit fails; the remaining 4 are shed under a Shutdown
+        // receipt that itself cannot be delivered — all of it counted.
+        assert_eq!(w.pressure.entries_shed(), 4);
+        assert_eq!(w.pressure.receipts_issued(), 1);
+        assert_eq!(w.pressure.receipts_undeliverable(), 1);
+        assert_eq!(w.pressure.deposited(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::events::LogEvent;
 use crate::identity::ComponentIdentity;
 use crate::interceptor::{AdlpInterceptor, BaseInterceptor};
 use crate::logging::{LoggingContext, LoggingThread};
+use crate::overload::{OverloadConfig, QueuePressure};
 use crate::target::DepositTarget;
 use crate::AdlpError;
 use adlp_crypto::Signature;
@@ -37,6 +38,7 @@ pub struct AdlpNodeBuilder {
     resilience: ResilienceConfig,
     faults: Option<FaultConfig>,
     ack_after_durable: bool,
+    overload: OverloadConfig,
 }
 
 impl AdlpNodeBuilder {
@@ -54,7 +56,17 @@ impl AdlpNodeBuilder {
             resilience: ResilienceConfig::default(),
             faults: None,
             ack_after_durable: false,
+            overload: OverloadConfig::default(),
         }
+    }
+
+    /// Configures the deposit pipeline's overload handling: the bounded
+    /// queue, shed policy, watermarks, and (optionally) a circuit breaker.
+    /// The resulting [`QueuePressure`] is readable through
+    /// [`AdlpNode::queue_pressure`].
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
     }
 
     /// Deposits through the durable path: the logging thread only treats an
@@ -191,6 +203,8 @@ impl AdlpNodeBuilder {
                     subscriber_stores_hash: self.base_stores_hash,
                     logger: logger.clone(),
                     ack_after_durable: self.ack_after_durable,
+                    overload: self.overload.clone(),
+                    clock: Arc::clone(&self.clock),
                 })?;
                 let interceptor = Arc::new(BaseInterceptor::new(
                     Arc::clone(&self.clock),
@@ -214,6 +228,8 @@ impl AdlpNodeBuilder {
                     subscriber_stores_hash: config.subscriber_stores_hash,
                     logger: logger.clone(),
                     ack_after_durable: self.ack_after_durable,
+                    overload: self.overload.clone(),
+                    clock: Arc::clone(&self.clock),
                 })?;
                 let interceptor = Arc::new(
                     AdlpInterceptor::new(
@@ -438,6 +454,18 @@ impl AdlpNode {
     /// [`AdlpNodeBuilder::ack_after_durable`] only; 0 otherwise).
     pub fn deposit_failures(&self) -> u64 {
         self.logging.as_ref().map_or(0, LoggingThread::deposit_failures)
+    }
+
+    /// The deposit pipeline's shared overload view: queue depth and
+    /// watermark level, shed counts, gap-receipt counts, and breaker
+    /// transitions. Publishers poll [`QueuePressure::is_high`] to slow
+    /// their send loops instead of letting the backlog grow. Nodes without
+    /// a logging thread (NoLogging) report a permanently idle handle.
+    pub fn queue_pressure(&self) -> QueuePressure {
+        self.logging
+            .as_ref()
+            .map(LoggingThread::pressure)
+            .unwrap_or_default()
     }
 
     /// Messages this node dropped as replays (ADLP only).

@@ -8,9 +8,11 @@
 
 use adlp_cluster::ClusterLogClient;
 use adlp_crypto::RsaPublicKey;
-use adlp_logger::{KeyRegistry, LogEntry, LogError, LoggerHandle};
+use adlp_logger::{KeyRegistry, LogEntry, LogError, LoggerHandle, SubmitOutcome};
 use adlp_pubsub::NodeId;
+use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The deposit destination a node's logging pipeline writes to.
 #[derive(Debug, Clone)]
@@ -19,16 +21,68 @@ pub enum DepositTarget {
     Single(LoggerHandle),
     /// A sharded, quorum-replicated logger cluster.
     Cluster(Arc<ClusterLogClient>),
+    /// A rate-limited wrapper around either shape, modeling a
+    /// slow-consumer logger: each deposit waits for the pace gate before
+    /// reaching the inner target. Overload scenarios and benches use this
+    /// to make the deposit pipeline the bottleneck deterministically
+    /// (arrival rate vs. `1/min_interval`), without sleeping inside the
+    /// logger itself.
+    Paced {
+        /// The real destination.
+        inner: Box<DepositTarget>,
+        /// Minimum spacing between consecutive deposits.
+        min_interval: Duration,
+        /// When the gate next opens (shared across clones).
+        next_free: Arc<Mutex<Option<Instant>>>,
+    },
 }
 
 impl DepositTarget {
-    /// Deposits an entry. Never blocks on logging trouble and never
-    /// errors; both shapes count failed deposits instead of dropping them
-    /// silently.
-    pub fn submit(&self, entry: LogEntry) {
+    /// Wraps `inner` so consecutive deposits are at least `min_interval`
+    /// apart — a deterministic slow-consumer logger model.
+    pub fn paced(inner: DepositTarget, min_interval: Duration) -> DepositTarget {
+        DepositTarget::Paced {
+            inner: Box::new(inner),
+            min_interval,
+            next_free: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Blocks until the pace gate opens and claims the next slot. No-op
+    /// for unpaced targets.
+    fn pace(&self) {
+        let DepositTarget::Paced {
+            min_interval,
+            next_free,
+            ..
+        } = self
+        else {
+            return;
+        };
+        let wait = {
+            let mut slot = next_free.lock();
+            let now = Instant::now();
+            let start = slot.map_or(now, |t: Instant| t.max(now));
+            *slot = Some(start + *min_interval);
+            start.saturating_duration_since(now)
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Deposits an entry. Never blocks on logging *trouble* (a paced
+    /// target does block on its rate gate) and never errors; every shape
+    /// counts failed deposits — and reports them as an outcome — instead
+    /// of dropping them silently.
+    pub fn submit(&self, entry: LogEntry) -> SubmitOutcome {
         match self {
             DepositTarget::Single(handle) => handle.submit(entry),
             DepositTarget::Cluster(client) => client.submit(entry),
+            DepositTarget::Paced { inner, .. } => {
+                self.pace();
+                inner.submit(entry)
+            }
         }
     }
 
@@ -45,6 +99,10 @@ impl DepositTarget {
         match self {
             DepositTarget::Single(handle) => handle.submit_durable(entry),
             DepositTarget::Cluster(client) => client.submit_durable(entry),
+            DepositTarget::Paced { inner, .. } => {
+                self.pace();
+                inner.submit_durable(entry)
+            }
         }
     }
 
@@ -59,6 +117,7 @@ impl DepositTarget {
         match self {
             DepositTarget::Single(handle) => handle.register_key(component, key),
             DepositTarget::Cluster(client) => client.register_key(component, key),
+            DepositTarget::Paced { inner, .. } => inner.register_key(component, key),
         }
     }
 
@@ -72,6 +131,8 @@ impl DepositTarget {
         match self {
             DepositTarget::Single(handle) => handle.flush(),
             DepositTarget::Cluster(client) => client.flush(),
+            // Flush is a drain barrier, not a deposit: not paced.
+            DepositTarget::Paced { inner, .. } => inner.flush(),
         }
     }
 
@@ -80,6 +141,7 @@ impl DepositTarget {
         match self {
             DepositTarget::Single(handle) => handle.keys(),
             DepositTarget::Cluster(client) => client.keys(),
+            DepositTarget::Paced { inner, .. } => inner.keys(),
         }
     }
 }
@@ -118,15 +180,32 @@ mod tests {
     fn both_shapes_deposit_and_flush() {
         let server = LogServer::spawn();
         let single = DepositTarget::from(&server.handle());
-        single.submit(entry(1));
+        assert!(single.submit(entry(1)).is_accepted());
         single.flush().unwrap();
         assert_eq!(server.handle().store().len(), 1);
 
         let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
         let clustered = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&cluster)));
-        clustered.submit(entry(2));
+        assert!(clustered.submit(entry(2)).is_accepted());
         clustered.flush().unwrap();
         assert_eq!(cluster.view().total_records(), 1);
+    }
+
+    #[test]
+    fn paced_target_spaces_deposits() {
+        let server = LogServer::spawn();
+        let paced = DepositTarget::paced(
+            DepositTarget::from(&server.handle()),
+            Duration::from_millis(5),
+        );
+        let started = Instant::now();
+        for seq in 0..4 {
+            assert!(paced.submit(entry(seq)).is_accepted());
+        }
+        // First deposit is immediate; the next three wait a slot each.
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        paced.flush().unwrap();
+        assert_eq!(server.handle().store().len(), 4);
     }
 
     #[test]

@@ -151,9 +151,12 @@ impl Sha256 {
         let mut input = data;
         if self.buffer_len > 0 {
             let take = (64 - self.buffer_len).min(input.len());
-            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            let (head, tail) = input.split_at_checked(take).unwrap_or((input, &[]));
+            if let Some(dst) = self.buffer.get_mut(self.buffer_len..self.buffer_len + take) {
+                dst.copy_from_slice(head);
+            }
             self.buffer_len += take;
-            input = &input[take..];
+            input = tail;
             if self.buffer_len == 64 {
                 let block = self.buffer;
                 self.compress(&block);
@@ -168,10 +171,14 @@ impl Sha256 {
         }
         let mut chunks = input.chunks_exact(64);
         for block in &mut chunks {
-            self.compress(block.try_into().expect("exact chunk"));
+            if let Ok(block) = block.try_into() {
+                self.compress(block);
+            }
         }
         let rest = chunks.remainder();
-        self.buffer[..rest.len()].copy_from_slice(rest);
+        if let Some(dst) = self.buffer.get_mut(..rest.len()) {
+            dst.copy_from_slice(rest);
+        }
         self.buffer_len = rest.len();
     }
 
@@ -186,39 +193,48 @@ impl Sha256 {
         }
         self.total_len = 0; // avoid double counting; length already captured
         let mut block = self.buffer;
-        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        if let Some(tail) = block.get_mut(56..64) {
+            tail.copy_from_slice(&bit_len.to_be_bytes());
+        }
         self.compress(&block);
 
         let mut out = [0u8; DIGEST_LEN];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         Digest(out)
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            if let Ok(bytes) = chunk.try_into() {
+                *wi = u32::from_be_bytes(bytes);
+            }
         }
+        // Message schedule: every read offset is statically in range for
+        // i in 16..64, so the checked accesses never take their fallback.
         for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            let w15 = w.get(i - 15).copied().unwrap_or(0);
+            let w2 = w.get(i - 2).copied().unwrap_or(0);
+            let w16 = w.get(i - 16).copied().unwrap_or(0);
+            let w7 = w.get(i - 7).copied().unwrap_or(0);
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            if let Some(slot) = w.get_mut(i) {
+                *slot = w16.wrapping_add(s0).wrapping_add(w7).wrapping_add(s1);
+            }
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
+        for (&ki, &wi) in K.iter().zip(w.iter()) {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
             let t1 = h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+                .wrapping_add(ki)
+                .wrapping_add(wi);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = s0.wrapping_add(maj);
@@ -231,14 +247,9 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
     }
 }
 

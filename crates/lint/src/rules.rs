@@ -429,11 +429,14 @@ fn lock_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 
 /// Call names whose `Result` carries protocol evidence — including the
 /// durability layer's wal/storage operations, where a discarded failure
-/// silently downgrades "acked durable" to "probably on disk".
+/// silently downgrades "acked durable" to "probably on disk", and the
+/// overload layer's breaker/shedder verdicts, where a discarded outcome
+/// means an untripped breaker or an uncounted loss.
 const FALLIBLE_SENDS: &[&str] = &[
     "publish", "submit", "send", "try_send", "send_frame", "append", "flush",
     "log_event", "submit_durable", "adopt_encoded", "sync", "write_replace",
-    "truncate", "truncate_tail",
+    "truncate", "truncate_tail", "deposit", "deposit_durable", "admit",
+    "on_success", "on_failure",
 ];
 
 /// Rule 5: `let _ = <protocol send / log submission>;` discards delivery

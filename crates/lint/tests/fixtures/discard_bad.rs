@@ -9,6 +9,36 @@ impl Channel {
     }
 }
 
+pub struct Breaker;
+
+impl Breaker {
+    pub fn admit(&mut self) -> u32 {
+        0
+    }
+    pub fn on_failure(&mut self) -> Option<u32> {
+        None
+    }
+}
+
+pub struct Target;
+
+impl Target {
+    pub fn deposit(&self, _entry: u32) -> bool {
+        false
+    }
+}
+
 pub fn fire_and_forget(ch: &Channel) {
     let _ = ch.send(1);
+}
+
+pub fn untripped_breaker(b: &mut Breaker) {
+    // Discarding the admission verdict bypasses the breaker entirely.
+    let _ = b.admit();
+    // Discarding the transition loses the trip/reopen count.
+    let _ = b.on_failure();
+}
+
+pub fn uncounted_loss(t: &Target) {
+    let _ = t.deposit(7);
 }

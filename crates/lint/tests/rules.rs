@@ -173,7 +173,7 @@ fn discarded_fallible_fires_on_bad_fixture() {
     );
     assert_eq!(
         count(&report, "discarded-fallible"),
-        1,
+        4,
         "diags: {:?}",
         report.diags
     );

@@ -19,6 +19,9 @@
 //!   the data-distribution side;
 //! * [`stats`] — byte/rate accounting used to reproduce the paper's log
 //!   generation-rate experiments (Figure 15, Table IV);
+//! * [`receipt`] — signed gap receipts: when an overloaded pipeline must
+//!   shed entries, it deposits a signed admission of the exact range lost,
+//!   so the auditor can distinguish accountable shedding from hiding;
 //! * [`storage`] — the byte-level device abstraction (real files,
 //!   in-memory power-failure model, deterministic fault injection);
 //! * [`wal`] — the checksummed, length-prefixed write-ahead log entries
@@ -32,6 +35,7 @@ pub mod entry;
 pub mod keyreg;
 pub mod merkle;
 pub mod persist;
+pub mod receipt;
 pub mod remote;
 pub mod server;
 pub mod stats;
@@ -45,9 +49,10 @@ pub use durable::{
 };
 pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
 pub use keyreg::KeyRegistry;
+pub use receipt::{GapReceipt, ShedReason, GAP_RECEIPT_MAGIC};
 pub use remote::{ReconnectConfig, RemoteLogClient, RemoteLogEndpoint};
-pub use server::{LogServer, LoggerHandle};
-pub use stats::{ClientStats, ClientStatsSnapshot, DurabilityStats, LogStats};
+pub use server::{LogServer, LoggerHandle, SubmitOutcome, DEFAULT_QUEUE_BOUND};
+pub use stats::{ClientStats, ClientStatsSnapshot, DurabilityStats, LogStats, VolumeSnapshot};
 pub use storage::{FaultyStorage, FsStorage, MemStorage, Storage, StorageFaultConfig};
 pub use store::{LogStore, TamperEvidence};
 

@@ -18,7 +18,7 @@
 //! fire-and-forget logging.
 
 use crate::entry::LogEntry;
-use crate::server::LoggerHandle;
+use crate::server::{LoggerHandle, SubmitOutcome};
 use crate::stats::ClientStats;
 use crate::LogError;
 use adlp_crypto::RsaPublicKey;
@@ -184,10 +184,13 @@ fn serve_connection(stream: TcpStream, handle: LoggerHandle) {
         match frame.split_first() {
             Some((&TAG_ENTRY, body)) => {
                 if let Ok(entry) = LogEntry::decode(body) {
-                    handle.submit(entry);
+                    // Fire-and-forget contract: a loss is already counted
+                    // in the handle's LogStats; there is no reply channel
+                    // to surface it on (a broken component must not be
+                    // able to stall on us).
+                    let _outcome = handle.submit(entry);
                 }
-                // Fire-and-forget: no reply even for malformed entries (a
-                // broken component must not be able to stall on us).
+                // No reply even for malformed entries.
             }
             Some((&TAG_REGISTER_KEY, body)) => {
                 let reply = register_from_frame(&handle, body);
@@ -291,13 +294,15 @@ impl RemoteLogClient {
     /// Pushes an entry (fire-and-forget). Never blocks on the network;
     /// during an outage the entry is buffered (or counted as spilled once
     /// the buffer is full).
-    pub fn submit(&mut self, entry: &LogEntry) {
+    pub fn submit(&mut self, entry: &LogEntry) -> SubmitOutcome {
         self.stats.note_submitted();
         if self.cmd_tx.send(Cmd::Entry(Box::new(entry.clone()))).is_err() {
             // Worker gone (shutdown race): account for the entry as spilled
             // so the nothing-vanishes-silently invariant holds.
             self.stats.note_spilled();
+            return SubmitOutcome::Lost;
         }
+        SubmitOutcome::Accepted
     }
 
     /// Registers a public key and waits for the server's verdict. The key
@@ -644,7 +649,7 @@ mod tests {
         let endpoint = RemoteLogEndpoint::bind(server.handle()).unwrap();
         let mut client = RemoteLogClient::connect(endpoint.addr()).unwrap();
         for i in 0..20 {
-            client.submit(&entry(i));
+            assert!(client.submit(&entry(i)).is_accepted());
         }
         let h = server.handle();
         wait_until(|| h.store().len() == 20);
@@ -704,7 +709,7 @@ mod tests {
             threads.push(std::thread::spawn(move || {
                 let mut c = RemoteLogClient::connect(addr).unwrap();
                 for i in 0..25 {
-                    c.submit(&entry(t * 100 + i));
+                    assert!(c.submit(&entry(t * 100 + i)).is_accepted());
                 }
                 assert!(c.flush(Duration::from_secs(5)));
             }));
@@ -747,7 +752,7 @@ mod tests {
             .register_key(&NodeId::new("remote_cam"), kp.public_key())
             .unwrap();
         for i in 0..5 {
-            client.submit(&entry(i));
+            assert!(client.submit(&entry(i)).is_accepted());
         }
         let h = server.handle();
         wait_until(|| h.store().len() == 5);
@@ -756,7 +761,7 @@ mod tests {
         drop(endpoint);
         wait_until(|| !client.stats().snapshot().connected);
         for i in 5..15 {
-            client.submit(&entry(i));
+            assert!(client.submit(&entry(i)).is_accepted());
         }
 
         // Restart on the same port with a fresh (empty) server.
@@ -789,7 +794,7 @@ mod tests {
         drop(endpoint);
         wait_until(|| !client.stats().snapshot().connected);
         for i in 0..10 {
-            client.submit(&entry(i));
+            assert!(client.submit(&entry(i)).is_accepted());
         }
         wait_until(|| {
             let s = client.stats().snapshot();

@@ -14,8 +14,43 @@ use crate::store::LogStore;
 use crate::LogError;
 use adlp_crypto::RsaPublicKey;
 use adlp_pubsub::NodeId;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
 use std::thread::JoinHandle;
+
+/// Default bound on the server's fire-and-forget deposit backlog.
+///
+/// Submissions beyond this many queued-but-unprocessed appends are refused
+/// (and counted as `shed`) instead of growing the backlog without limit —
+/// the admission-control half of the overload story. Synchronous commands
+/// (durable appends, adoptions, key registrations, flushes) are exempt:
+/// their callers block on the reply, so they are backpressured naturally.
+pub const DEFAULT_QUEUE_BOUND: usize = 16_384;
+
+/// What became of a fire-and-forget deposit.
+///
+/// The push path is still non-blocking and infallible in the `Result` sense
+/// — a dead logger must not disturb the data distribution system — but the
+/// caller is told (and must acknowledge) when the entry did not reach a
+/// live server, instead of the loss being visible only in [`LogStats`].
+#[must_use = "a lost deposit must be handled (or explicitly acknowledged) by the caller"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Handed to a live server thread. The server may still refuse it at
+    /// admission if its bounded backlog is full — that refusal is counted
+    /// in [`crate::VolumeSnapshot::shed`].
+    Accepted,
+    /// The server thread is gone; the entry was dropped and counted in
+    /// [`crate::VolumeSnapshot::lost`].
+    Lost,
+}
+
+impl SubmitOutcome {
+    /// Whether the entry reached a live server.
+    pub fn is_accepted(self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
 
 enum Command {
     Append(Box<LogEntry>),
@@ -45,11 +80,14 @@ pub struct LoggerHandle {
 impl LoggerHandle {
     /// Pushes a log entry; never blocks on server-side work. A dead logger
     /// must not disturb the data distribution system, so failures do not
-    /// propagate — but they are counted in [`LogStats`], not hidden.
-    pub fn submit(&self, entry: LogEntry) {
+    /// propagate as errors — but they are counted in [`LogStats`] *and*
+    /// surfaced to the caller as [`SubmitOutcome::Lost`], never silent.
+    pub fn submit(&self, entry: LogEntry) -> SubmitOutcome {
         if self.tx.send(Command::Append(Box::new(entry))).is_err() {
             self.stats.note_lost();
+            return SubmitOutcome::Lost;
         }
+        SubmitOutcome::Accepted
     }
 
     /// Like [`LoggerHandle::submit`], but reports whether a live server
@@ -171,15 +209,16 @@ impl LogServer {
     /// # Example
     ///
     /// ```
-    /// use adlp_logger::{LogServer, LogEntry, Direction};
+    /// use adlp_logger::{LogServer, LogEntry, Direction, SubmitOutcome};
     /// use adlp_pubsub::{NodeId, Topic};
     ///
     /// let server = LogServer::spawn();
     /// let handle = server.handle();
-    /// handle.submit(LogEntry::naive(
+    /// let outcome = handle.submit(LogEntry::naive(
     ///     NodeId::new("camera"), Topic::new("image"),
     ///     Direction::Out, 1, 42, vec![0u8; 8],
     /// ));
+    /// assert_eq!(outcome, SubmitOutcome::Accepted);
     /// handle.flush().unwrap();
     /// assert_eq!(handle.store().len(), 1);
     /// ```
@@ -210,7 +249,18 @@ impl LogServer {
     ///
     /// Returns [`LogError::Io`] when the OS refuses to create the thread.
     pub fn try_spawn_with_keys(keys: KeyRegistry) -> Result<Self, LogError> {
-        Self::spawn_inner(keys, LogStats::new(), LogStore::new(), None)
+        Self::spawn_inner(keys, LogStats::new(), LogStore::new(), None, DEFAULT_QUEUE_BOUND)
+    }
+
+    /// Like [`LogServer::try_spawn_with_keys`], but with an explicit bound
+    /// on the fire-and-forget deposit backlog (clamped to at least 1).
+    /// Overload tests use tiny bounds to exercise server-side shedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the OS refuses to create the thread.
+    pub fn try_spawn_bounded(keys: KeyRegistry, queue_bound: usize) -> Result<Self, LogError> {
+        Self::spawn_inner(keys, LogStats::new(), LogStore::new(), None, queue_bound)
     }
 
     /// Spawns a server over a crash-safe backend: recovery runs first
@@ -231,7 +281,7 @@ impl LogServer {
     ) -> Result<DurableSpawn, LogError> {
         let (durable, store, recovery) = DurableLog::open(config)?;
         let stats = LogStats::with_durability(config.counters.clone());
-        let server = Self::spawn_inner(keys, stats, store, Some(durable))?;
+        let server = Self::spawn_inner(keys, stats, store, Some(durable), DEFAULT_QUEUE_BOUND)?;
         Ok(DurableSpawn { server, recovery })
     }
 
@@ -240,6 +290,7 @@ impl LogServer {
         stats: LogStats,
         store: LogStore,
         durable: Option<DurableLog>,
+        queue_bound: usize,
     ) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let handle = LoggerHandle {
@@ -250,7 +301,7 @@ impl LogServer {
         };
         let worker = std::thread::Builder::new()
             .name("adlp-log-server".into())
-            .spawn(move || Self::serve(rx, keys, stats, store, durable))
+            .spawn(move || Self::serve(rx, keys, stats, store, durable, queue_bound.max(1)))
             .map_err(|e| LogError::Io(format!("spawn log server: {e}")))?;
         Ok(LogServer {
             handle,
@@ -282,14 +333,76 @@ impl LogServer {
         Ok(outcome)
     }
 
+    /// Moves one arriving command into the backlog, refusing fire-and-forget
+    /// appends beyond `bound` queued entries (newest-first: the arriving
+    /// entry is the one shed, preserving the oldest backlog — those entries
+    /// were acknowledged into the pipeline first). Refusals are counted,
+    /// never silent. Synchronous commands are always admitted: their
+    /// senders block on the reply, so they cannot pile up unboundedly.
+    fn admit(
+        cmd: Command,
+        backlog: &mut VecDeque<Command>,
+        appends_queued: &mut usize,
+        bound: usize,
+        stats: &LogStats,
+    ) {
+        match cmd {
+            Command::Append(entry) => {
+                if *appends_queued >= bound {
+                    drop(entry);
+                    stats.note_shed();
+                } else {
+                    *appends_queued += 1;
+                    backlog.push_back(Command::Append(entry));
+                }
+            }
+            other => backlog.push_back(other),
+        }
+    }
+
     fn serve(
         rx: Receiver<Command>,
         keys: KeyRegistry,
         stats: LogStats,
         store: LogStore,
         mut durable: Option<DurableLog>,
+        bound: usize,
     ) {
-        while let Ok(cmd) = rx.recv() {
+        // The channel is only a transfer buffer: each iteration eagerly
+        // drains it into an explicit bounded backlog (where admission
+        // control applies), then processes the oldest queued command. FIFO
+        // order is preserved for everything that is admitted.
+        let mut backlog: VecDeque<Command> = VecDeque::new();
+        let mut appends_queued = 0usize;
+        loop {
+            if backlog.is_empty() {
+                match rx.recv() {
+                    Ok(cmd) => Self::admit(cmd, &mut backlog, &mut appends_queued, bound, &stats),
+                    // Every handle is gone and nothing is queued: done.
+                    Err(_) => return,
+                }
+            }
+            let mut disconnected = false;
+            loop {
+                match rx.try_recv() {
+                    Ok(cmd) => Self::admit(cmd, &mut backlog, &mut appends_queued, bound, &stats),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                }
+            }
+            stats.note_queue_depth(appends_queued as u64);
+            let Some(cmd) = backlog.pop_front() else {
+                if disconnected {
+                    return;
+                }
+                continue;
+            };
+            if matches!(cmd, Command::Append(_)) {
+                appends_queued -= 1;
+            }
             match cmd {
                 Command::Append(entry) => {
                     let encoded = entry.encode();
@@ -353,6 +466,11 @@ impl LogServer {
                     let _ = reply.send(());
                 }
                 Command::Terminate => return,
+            }
+            if disconnected && backlog.is_empty() {
+                // The last handle vanished mid-drain; everything admitted
+                // has now been processed.
+                return;
             }
         }
     }
@@ -430,7 +548,7 @@ mod tests {
         let server = LogServer::spawn();
         let h = server.handle();
         for i in 0..100 {
-            h.submit(entry(i, 10));
+            assert_eq!(h.submit(entry(i, 10)), SubmitOutcome::Accepted);
         }
         h.flush().unwrap();
         assert_eq!(h.store().len(), 100);
@@ -461,7 +579,7 @@ mod tests {
         let h = server.handle();
         let e = entry(1, 100);
         let expect = e.encoded_len() as u64;
-        h.submit(e);
+        assert!(h.submit(e).is_accepted());
         h.flush().unwrap();
         assert_eq!(h.stats().snapshot().bytes, expect);
         assert_eq!(h.store().total_bytes(), expect);
@@ -471,13 +589,15 @@ mod tests {
     fn killed_server_never_blocks_clients() {
         let server = LogServer::spawn();
         let h = server.handle();
-        h.submit(entry(1, 8));
+        assert_eq!(h.submit(entry(1, 8)), SubmitOutcome::Accepted);
         h.flush().unwrap();
         server.kill();
-        // Submissions after the crash are lost but never block or panic.
+        // Submissions after the crash are lost but never block or panic —
+        // and the caller is told so.
         for i in 0..100 {
-            h.submit(entry(i, 8));
+            assert_eq!(h.submit(entry(i, 8)), SubmitOutcome::Lost);
         }
+        assert_eq!(h.stats().snapshot().lost, 100);
         assert_eq!(h.store().len(), 1);
         // Synchronous operations now report the failure.
         assert!(matches!(h.flush(), Err(LogError::ServerClosed)));
@@ -515,7 +635,7 @@ mod tests {
         let spawned = LogServer::try_spawn_durable(KeyRegistry::new(), &config).unwrap();
         let h = spawned.server.handle();
         for i in 0..10 {
-            h.submit(entry(i, 8));
+            assert!(h.submit(entry(i, 8)).is_accepted());
         }
         h.flush().unwrap();
         spawned.server.kill();
@@ -531,7 +651,7 @@ mod tests {
         let donor = LogServer::spawn();
         let dh = donor.handle();
         for i in 0..5 {
-            dh.submit(entry(i, 16));
+            assert!(dh.submit(entry(i, 16)).is_accepted());
         }
         dh.flush().unwrap();
         let mem = Arc::new(MemStorage::new());
@@ -553,6 +673,31 @@ mod tests {
     }
 
     #[test]
+    fn bounded_backlog_sheds_newest_and_counts() {
+        // Drive `serve` directly with a pre-loaded channel so the backlog
+        // state is deterministic: ten appends arrive before the worker
+        // processes anything, against a bound of four.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for i in 0..10 {
+            assert!(tx.send(Command::Append(Box::new(entry(i, 8)))).is_ok());
+        }
+        drop(tx);
+        let stats = LogStats::new();
+        let store = LogStore::new();
+        LogServer::serve(rx, KeyRegistry::new(), stats.clone(), store.clone(), None, 4);
+        let snap = stats.snapshot();
+        // The four oldest entries survive; the six newest are shed, counted,
+        // and the backlog never exceeded its bound.
+        assert_eq!(store.len(), 4);
+        assert_eq!(snap.entries, 4);
+        assert_eq!(snap.shed, 6);
+        assert_eq!(snap.queue_high_water, 4);
+        assert_eq!(store.entry(0).unwrap().seq, 0);
+        assert_eq!(store.entry(3).unwrap().seq, 3);
+        assert!(store.verify_chain().is_ok());
+    }
+
+    #[test]
     fn many_concurrent_submitters() {
         let server = LogServer::spawn();
         let h = server.handle();
@@ -561,7 +706,7 @@ mod tests {
             let h = h.clone();
             threads.push(std::thread::spawn(move || {
                 for i in 0..50 {
-                    h.submit(entry(t * 100 + i, 16));
+                    assert!(h.submit(entry(t * 100 + i, 16)).is_accepted());
                 }
             }));
         }

@@ -25,6 +25,8 @@ pub struct ClientStats {
     spilled: AtomicU64,
     reconnects: AtomicU64,
     connected: AtomicBool,
+    breaker_trips: AtomicU64,
+    breaker_closes: AtomicU64,
 }
 
 /// A point-in-time copy of [`ClientStats`].
@@ -42,6 +44,12 @@ pub struct ClientStatsSnapshot {
     pub reconnects: u64,
     /// Whether the socket is currently believed up.
     pub connected: bool,
+    /// Circuit-breaker trips (Closed→Open and HalfOpen→Open) recorded
+    /// against this client by whoever wraps it in a breaker.
+    pub breaker_trips: u64,
+    /// Circuit-breaker closes (HalfOpen→Closed) recorded against this
+    /// client.
+    pub breaker_closes: u64,
 }
 
 impl ClientStats {
@@ -69,6 +77,19 @@ impl ClientStats {
         self.connected.store(up, Ordering::SeqCst);
     }
 
+    /// Counts a circuit-breaker trip (Closed→Open or HalfOpen→Open)
+    /// observed against this client. Public: the breaker wrapping a remote
+    /// replica lives in the caller (e.g. `adlp-cluster`), not here.
+    pub fn note_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a circuit-breaker close (HalfOpen→Closed) observed against
+    /// this client.
+    pub fn note_breaker_close(&self) {
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> ClientStatsSnapshot {
         ClientStatsSnapshot {
@@ -78,6 +99,8 @@ impl ClientStats {
             spilled: self.spilled.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             connected: self.connected.load(Ordering::SeqCst),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,6 +165,8 @@ struct StatsInner {
     total_entries: u64,
     total_bytes: u64,
     lost: u64,
+    shed: u64,
+    queue_high_water: u64,
     by_topic: HashMap<Topic, (u64, u64)>,
     by_component: HashMap<NodeId, (u64, u64)>,
 }
@@ -157,6 +182,12 @@ pub struct VolumeSnapshot {
     /// failure at the log server does not interrupt a normal operation of
     /// the ROS nodes", §V-B) but counted so the loss is observable.
     pub lost: u64,
+    /// Entries refused by the server's bounded deposit queue (admission
+    /// control under overload) — counted, never silent.
+    pub shed: u64,
+    /// Deepest the server's deposit backlog ever got (queued fire-and-forget
+    /// appends); stays at or below the configured queue bound.
+    pub queue_high_water: u64,
     /// WAL syncs / snapshot replaces the storage device refused.
     pub fsync_failures: u64,
     /// WAL appends that failed outright (e.g. torn writes).
@@ -225,6 +256,19 @@ impl LogStats {
         self.inner.lock().lost += 1;
     }
 
+    /// Counts an entry refused by the server's bounded deposit queue.
+    pub(crate) fn note_shed(&self) {
+        self.inner.lock().shed += 1;
+    }
+
+    /// Tracks the deepest observed deposit backlog.
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        let mut s = self.inner.lock();
+        if depth > s.queue_high_water {
+            s.queue_high_water = depth;
+        }
+    }
+
     /// Copies the counters (sorted for determinism).
     pub fn snapshot(&self) -> VolumeSnapshot {
         let s = self.inner.lock();
@@ -244,6 +288,8 @@ impl LogStats {
             entries: s.total_entries,
             bytes: s.total_bytes,
             lost: s.lost,
+            shed: s.shed,
+            queue_high_water: s.queue_high_water,
             fsync_failures: self.durability.fsync_failures(),
             wal_append_failures: self.durability.wal_append_failures(),
             records_truncated: self.durability.records_truncated(),

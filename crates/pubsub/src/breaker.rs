@@ -1,0 +1,410 @@
+//! A deterministic, clock-driven circuit breaker.
+//!
+//! The deposit pipeline treats an unhealthy logging target as a
+//! first-class, state-machine-driven signal instead of an infinite retry
+//! loop. The breaker follows the classic three-state machine:
+//!
+//! ```text
+//!            failure window saturated
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ cooldown elapsed (clock-driven)
+//!     │  reset_after probe successes     ▼
+//!     └────────────────────────────── HalfOpen
+//!                 any probe failure ──▶ Open (cooldown doubled, capped)
+//! ```
+//!
+//! Determinism: the breaker consults only the injected [`Clock`] and a
+//! seeded xorshift generator for cooldown jitter, so a run under
+//! [`ManualClock`](crate::ManualClock) with a fixed seed replays exactly.
+//! The failure window is a 64-bit ring of recent call outcomes — no
+//! wall-clock decay — so the trip point depends only on the outcome
+//! sequence.
+//!
+//! The breaker never acts on its own: callers ask [`CircuitBreaker::admit`]
+//! before a call and report the outcome through
+//! [`CircuitBreaker::on_success`] / [`CircuitBreaker::on_failure`]. Both
+//! report methods return the state [`Transition`] they caused, if any, so
+//! every trip/reopen/close is *counted* by the owner — degradation is never
+//! silent.
+
+use crate::clock::{Clock, TimestampNs};
+use std::sync::Arc;
+
+/// Tunables for one [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Size of the outcome window (clamped to 64; it is a u64 bit ring).
+    pub window: u32,
+    /// Trip when at least this many of the last `window` outcomes failed.
+    pub trip_failures: u32,
+    /// How long the breaker stays open before probing, initially.
+    pub cooldown: std::time::Duration,
+    /// Cooldown ceiling for the exponential reopen backoff.
+    pub max_cooldown: std::time::Duration,
+    /// Consecutive half-open probe successes required to close.
+    pub reset_after: u32,
+    /// Seed for the deterministic cooldown jitter (±12.5% of cooldown).
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            trip_failures: 24,
+            cooldown: std::time::Duration::from_millis(50),
+            max_cooldown: std::time::Duration::from_secs(1),
+            reset_after: 2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Sets the jitter/probe seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trip threshold as `failures` out of `window` outcomes.
+    pub fn with_trip(mut self, failures: u32, window: u32) -> Self {
+        self.trip_failures = failures.max(1);
+        self.window = window.clamp(self.trip_failures, 64);
+        self
+    }
+
+    /// Sets the open-state cooldown before the first half-open probe.
+    pub fn with_cooldown(mut self, cooldown: std::time::Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+}
+
+/// The breaker's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; outcomes feed the failure window.
+    Closed,
+    /// Calls are rejected fast until the cooldown elapses.
+    Open,
+    /// Probes trickle through; successes close, a failure reopens.
+    HalfOpen,
+}
+
+/// A state change caused by a reported outcome. Returned to the caller so
+/// transitions can be counted in its own stats ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed → Open: the failure window saturated.
+    Tripped,
+    /// HalfOpen → Open: a probe failed; cooldown doubled (capped).
+    Reopened,
+    /// HalfOpen → Closed: enough probes succeeded.
+    Closed,
+}
+
+/// Verdict of [`CircuitBreaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a rejected call must be counted or shed by the caller"]
+pub enum Admission {
+    /// Closed: proceed normally.
+    Allowed,
+    /// HalfOpen: proceed, but this call is a health probe.
+    Probe,
+    /// Open: do not call; shed or route around.
+    Rejected,
+}
+
+/// Point-in-time breaker observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Closed→Open transitions so far.
+    pub trips: u64,
+    /// HalfOpen→Open transitions so far.
+    pub reopens: u64,
+    /// HalfOpen→Closed transitions so far.
+    pub closes: u64,
+}
+
+/// The per-target breaker. Not `Sync`-shareable by design: each owner (a
+/// logging-thread worker, a replica lane) drives its own breaker from one
+/// thread, keeping the state machine free of locks.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    state: BreakerState,
+    /// Ring of the last `window` outcomes; bit set = failure.
+    outcomes: u64,
+    filled: u32,
+    /// When the current open period ends.
+    reopen_at: TimestampNs,
+    /// Current cooldown (doubles on reopen, capped).
+    cooldown_ns: u64,
+    /// Consecutive half-open probe successes.
+    probe_successes: u32,
+    /// xorshift state for cooldown jitter.
+    rng: u64,
+    trips: u64,
+    reopens: u64,
+    closes: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker over `clock`.
+    pub fn new(cfg: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        let rng = cfg.seed | 1;
+        let cooldown_ns = cfg.cooldown.as_nanos() as u64;
+        CircuitBreaker {
+            cfg,
+            clock,
+            state: BreakerState::Closed,
+            outcomes: 0,
+            filled: 0,
+            reopen_at: 0,
+            cooldown_ns,
+            probe_successes: 0,
+            rng,
+            trips: 0,
+            reopens: 0,
+            closes: 0,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen when the cooldown elapsed.
+    pub fn state(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open && self.clock.now_ns() >= self.reopen_at {
+            self.state = BreakerState::HalfOpen;
+            self.probe_successes = 0;
+        }
+        self.state
+    }
+
+    /// Asks whether a call may proceed right now.
+    pub fn admit(&mut self) -> Admission {
+        match self.state() {
+            BreakerState::Closed => Admission::Allowed,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => Admission::Rejected,
+        }
+    }
+
+    /// Reports a successful call.
+    pub fn on_success(&mut self) -> Option<Transition> {
+        match self.state() {
+            BreakerState::Closed => {
+                self.push_outcome(false);
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.reset_after {
+                    self.state = BreakerState::Closed;
+                    self.outcomes = 0;
+                    self.filled = 0;
+                    self.cooldown_ns = self.cfg.cooldown.as_nanos() as u64;
+                    self.closes += 1;
+                    Some(Transition::Closed)
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Reports a failed (or shed) call.
+    pub fn on_failure(&mut self) -> Option<Transition> {
+        match self.state() {
+            BreakerState::Closed => {
+                self.push_outcome(true);
+                let window = self.cfg.window.min(64);
+                let mask = if window >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << window) - 1
+                };
+                let failures = (self.outcomes & mask).count_ones();
+                if self.filled >= window && failures >= self.cfg.trip_failures {
+                    self.open_for_cooldown();
+                    self.trips += 1;
+                    Some(Transition::Tripped)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.cooldown_ns = (self.cooldown_ns.saturating_mul(2))
+                    .min(self.cfg.max_cooldown.as_nanos() as u64);
+                self.open_for_cooldown();
+                self.reopens += 1;
+                Some(Transition::Reopened)
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Counters and current state.
+    pub fn snapshot(&mut self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state(),
+            trips: self.trips,
+            reopens: self.reopens,
+            closes: self.closes,
+        }
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        self.outcomes = (self.outcomes << 1) | u64::from(failure);
+        self.filled = (self.filled + 1).min(self.cfg.window.min(64));
+    }
+
+    fn open_for_cooldown(&mut self) {
+        // Deterministic ±12.5% jitter so a fleet of breakers tripped by one
+        // incident does not probe in lockstep.
+        let jitter_span = self.cooldown_ns / 4;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            self.next_rand() % jitter_span
+        };
+        let cooldown = self.cooldown_ns - jitter_span / 2 + jitter;
+        self.reopen_at = self.clock.now_ns().saturating_add(cooldown);
+        self.state = BreakerState::Open;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: tiny, seedable, reproducible.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn breaker(cfg: BreakerConfig, clock: &ManualClock) -> CircuitBreaker {
+        CircuitBreaker::new(cfg, Arc::new(clock.clone()))
+    }
+
+    fn quick_cfg() -> BreakerConfig {
+        BreakerConfig::default()
+            .with_trip(3, 4)
+            .with_cooldown(std::time::Duration::from_micros(100))
+    }
+
+    #[test]
+    fn trips_after_window_saturates() {
+        let clock = ManualClock::new(1_000);
+        let mut b = breaker(quick_cfg(), &clock);
+        assert_eq!(b.admit(), Admission::Allowed);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        // Window of 4 now full with 1 success slot: the 4th failure trips.
+        assert_eq!(b.on_failure(), Some(Transition::Tripped));
+        assert_eq!(b.admit(), Admission::Rejected);
+    }
+
+    #[test]
+    fn successes_keep_it_closed() {
+        let clock = ManualClock::new(1_000);
+        let mut b = breaker(quick_cfg(), &clock);
+        for _ in 0..100 {
+            assert_eq!(b.on_success(), None);
+            assert_eq!(b.on_failure(), None, "isolated failures never trip");
+        }
+        assert_eq!(b.admit(), Admission::Allowed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_after_reset_threshold() {
+        let clock = ManualClock::new(1_000);
+        let mut b = breaker(quick_cfg(), &clock);
+        for _ in 0..4 {
+            let _t = b.on_failure();
+        }
+        assert_eq!(b.admit(), Admission::Rejected);
+        clock.advance_ns(200_000); // past cooldown (+ jitter)
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.on_success(), None);
+        assert_eq!(b.on_success(), Some(Transition::Closed));
+        assert_eq!(b.admit(), Admission::Allowed);
+        let snap = b.snapshot();
+        assert_eq!((snap.trips, snap.reopens, snap.closes), (1, 0, 1));
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_backoff() {
+        let clock = ManualClock::new(1_000);
+        let mut b = breaker(quick_cfg(), &clock);
+        for _ in 0..4 {
+            let _t = b.on_failure();
+        }
+        clock.advance_ns(200_000);
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.on_failure(), Some(Transition::Reopened));
+        assert_eq!(b.admit(), Admission::Rejected);
+        // Cooldown doubled: 100µs is not enough any more.
+        clock.advance_ns(120_000);
+        assert_eq!(b.admit(), Admission::Rejected);
+        clock.advance_ns(200_000);
+        assert_eq!(b.admit(), Admission::Probe);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed: u64| {
+            let clock = ManualClock::new(0);
+            let mut b = breaker(quick_cfg().with_seed(seed), &clock);
+            let mut trace = Vec::new();
+            for i in 0..2_000u64 {
+                clock.advance_ns(10_000);
+                // A deterministic mixed workload: bursts of failures.
+                if (i / 7) % 3 == 0 {
+                    let _t = b.on_failure();
+                } else {
+                    let _t = b.on_success();
+                }
+                trace.push(b.admit());
+            }
+            let snap = b.snapshot();
+            (trace, snap.trips, snap.reopens, snap.closes)
+        };
+        assert_eq!(run(42), run(42));
+        let (_, trips, _, _) = run(42);
+        assert!(trips > 0, "workload must exercise the machine");
+    }
+
+    #[test]
+    fn cooldown_reset_on_close() {
+        let clock = ManualClock::new(0);
+        let mut b = breaker(quick_cfg(), &clock);
+        // Trip, fail a probe (backoff doubles), then recover fully.
+        for _ in 0..4 {
+            let _t = b.on_failure();
+        }
+        clock.advance_ns(200_000);
+        let _p = b.admit();
+        let _t = b.on_failure();
+        clock.advance_ns(400_000);
+        assert_eq!(b.admit(), Admission::Probe);
+        let _t = b.on_success();
+        assert_eq!(b.on_success(), Some(Transition::Closed));
+        // Trip again: the first cooldown applies again (reset on close).
+        for _ in 0..4 {
+            let _t = b.on_failure();
+        }
+        clock.advance_ns(200_000);
+        assert_eq!(b.admit(), Admission::Probe);
+    }
+}

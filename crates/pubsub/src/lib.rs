@@ -41,6 +41,7 @@
 //! # Ok::<(), adlp_pubsub::PubSubError>(())
 //! ```
 
+pub mod breaker;
 pub mod clock;
 pub mod interceptor;
 pub mod master;
@@ -52,6 +53,7 @@ pub mod transport;
 pub mod types;
 pub mod wire;
 
+pub use breaker::{Admission, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, Transition};
 pub use clock::{Clock, ManualClock, OffsetClock, SystemClock};
 pub use interceptor::{ConnectionInfo, LinkInterceptor, NoopInterceptor, RecvOutcome};
 pub use master::Master;

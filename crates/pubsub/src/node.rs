@@ -297,6 +297,7 @@ impl Node {
                             else {
                                 continue;
                             };
+                            // adlp-lint: allow(discarded-fallible) — a peer rejected for a malformed handshake simply isn't admitted; there is no caller to report to on the accept thread
                             let _ = accept_shared.admit(peer_hs, duplex);
                         }
                     })

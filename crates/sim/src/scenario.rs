@@ -10,7 +10,7 @@ use adlp_cluster::{
 };
 use adlp_core::{
     AdlpNode, AdlpNodeBuilder, BehaviorProfile, DepositTarget, FaultConfig, LinkEvent,
-    ResilienceConfig, Scheme,
+    OverloadConfig, QueuePressure, ResilienceConfig, Scheme,
 };
 use adlp_crypto::{RsaKeyPair, RsaPublicKey};
 use adlp_logger::{KeyRegistry, LogServer, LoggerHandle};
@@ -54,6 +54,11 @@ pub struct Scenario {
     replica_kills: Vec<(usize, usize, Duration)>,
     /// (shard, replica, offset into the window) rolling-restart steps.
     replica_restarts: Vec<(usize, usize, Duration)>,
+    /// Overload policy installed on every node's deposit pipeline.
+    overload: Option<OverloadConfig>,
+    /// Minimum spacing between consecutive deposits at the logger — a
+    /// slow-consumer logger shared by all nodes.
+    logger_pace: Option<Duration>,
 }
 
 /// A mid-window disruption, ordered by its offset into the window.
@@ -95,6 +100,13 @@ pub struct ScenarioReport {
     /// torn down mid-measurement). Counted so dropped traffic is visible
     /// in the report instead of silently vanishing.
     pub publish_failures: u64,
+    /// Driver ticks skipped because the publishing node's deposit queue
+    /// was above its high watermark (the pressure-aware send loop slowed
+    /// down instead of buffering unboundedly). Counted, never silent.
+    pub publishes_throttled: u64,
+    /// Per-node deposit-pipeline overload views (depth, sheds, receipts,
+    /// breaker transitions), cumulative over the whole run.
+    pub pressure: BTreeMap<String, QueuePressure>,
     /// Cluster-mode artifacts (`None` for single-logger runs).
     pub cluster: Option<ClusterRun>,
 }
@@ -190,7 +202,29 @@ impl Scenario {
             cluster: None,
             replica_kills: Vec::new(),
             replica_restarts: Vec::new(),
+            overload: None,
+            logger_pace: None,
         }
+    }
+
+    /// Installs an overload policy (bounded deposit queue, shed policy,
+    /// watermarks, optional circuit breaker) on every node. Periodic
+    /// drivers become pressure-aware: while a publisher's queue sits above
+    /// its high watermark they skip ticks (counted in
+    /// [`ScenarioReport::publishes_throttled`]) instead of pushing more
+    /// load into the pipeline.
+    pub fn overload(mut self, config: OverloadConfig) -> Self {
+        self.overload = Some(config);
+        self
+    }
+
+    /// Makes the logger a slow consumer: all deposits (from every node)
+    /// share one rate gate admitting at most one entry per `min_interval`.
+    /// With the arrival rate known, the overload factor is set by
+    /// construction.
+    pub fn paced_logger(mut self, min_interval: Duration) -> Self {
+        self.logger_pace = Some(min_interval);
+        self
     }
 
     /// Deposits into a sharded, quorum-replicated logger cluster instead of
@@ -331,6 +365,12 @@ impl Scenario {
             Some((_, client, _)) => DepositTarget::Cluster(Arc::clone(client)),
             None => DepositTarget::Single(handle.clone()),
         };
+        // The pace gate is created once and cloned into every node, so all
+        // deposits contend for the same slow logger.
+        let target = match self.logger_pace {
+            Some(interval) => DepositTarget::paced(target, interval),
+            None => target,
+        };
 
         // Build nodes.
         let mut nodes: BTreeMap<String, Arc<AdlpNode>> = BTreeMap::new();
@@ -354,6 +394,9 @@ impl Scenario {
                 .resilience(self.resilience.clone());
             if let Some(faults) = self.faults.get(&spec.id) {
                 builder = builder.faults(faults.clone());
+            }
+            if let Some(overload) = &self.overload {
+                builder = builder.overload(overload.clone());
             }
             let node = builder
                 .build_with_target(&master, target.clone(), &mut rng)
@@ -432,8 +475,10 @@ impl Scenario {
             }
         }
 
-        // Periodic drivers.
+        // Periodic drivers (pressure-aware: they watch their node's
+        // deposit-queue pressure and skip ticks while it is high).
         let stop = Arc::new(AtomicBool::new(false));
+        let publishes_throttled = Arc::new(AtomicU64::new(0));
         let mut drivers = Vec::new();
         for spec in &self.app.nodes {
             for p in &spec.publishes {
@@ -444,6 +489,8 @@ impl Scenario {
                 let payload = p.payload;
                 let stop2 = Arc::clone(&stop);
                 let driver_failures = Arc::clone(&publish_failures);
+                let throttled = Arc::clone(&publishes_throttled);
+                let node_pressure = nodes[&spec.id].queue_pressure();
                 let period = Duration::from_secs_f64(1.0 / hz);
                 drivers.push(
                     std::thread::Builder::new()
@@ -453,7 +500,11 @@ impl Scenario {
                             // adlp-lint: allow(sim-determinism) — publish pacing is physical time by design; logical state (ticks, payloads) is seed-driven
                             let mut next = Instant::now();
                             while !stop2.load(Ordering::SeqCst) {
-                                if publisher.publish(&payload.generate(tick)).is_err() {
+                                if node_pressure.is_high() {
+                                    // The deposit pipeline is drowning: hold
+                                    // this tick back instead of feeding it.
+                                    throttled.fetch_add(1, Ordering::Relaxed);
+                                } else if publisher.publish(&payload.generate(tick)).is_err() {
                                     driver_failures.fetch_add(1, Ordering::Relaxed);
                                 }
                                 tick += 1;
@@ -542,9 +593,11 @@ impl Scenario {
 
         let mut node_stats = BTreeMap::new();
         let mut link_events = BTreeMap::new();
+        let mut pressure = BTreeMap::new();
         for (id, node) in &nodes {
             node_stats.insert(id.clone(), node.stats().snapshot());
             link_events.insert(id.clone(), node.take_link_events());
+            pressure.insert(id.clone(), node.queue_pressure());
         }
         let mut mean_latency_ns = BTreeMap::new();
         let mut latency_samples_ns = BTreeMap::new();
@@ -594,6 +647,8 @@ impl Scenario {
             latency_samples_ns,
             link_events,
             publish_failures: publish_failures.load(Ordering::Relaxed),
+            publishes_throttled: publishes_throttled.load(Ordering::Relaxed),
+            pressure,
             cluster: cluster_run,
         }
     }

@@ -162,7 +162,7 @@ fn logger_outage() -> Result<(), Box<dyn std::error::Error>> {
 
     let entry = |seq| LogEntry::naive("cam".into(), Topic::new("t"), Direction::Out, seq, 0, vec![0u8; 64]);
     for seq in 0..6 {
-        client.submit(&entry(seq));
+        assert!(client.submit(&entry(seq)).is_accepted());
     }
     assert!(client.flush(Duration::from_secs(5)));
     println!("  before outage: {:?}", client.stats().snapshot());
@@ -171,11 +171,11 @@ fn logger_outage() -> Result<(), Box<dyn std::error::Error>> {
     server_a.kill();
     let deadline = Instant::now() + Duration::from_secs(10);
     while client.stats().snapshot().connected && Instant::now() < deadline {
-        client.submit(&entry(100));
+        assert!(client.submit(&entry(100)).is_accepted());
         std::thread::sleep(Duration::from_millis(5));
     }
     for seq in 6..16 {
-        client.submit(&entry(seq));
+        assert!(client.submit(&entry(seq)).is_accepted());
     }
     println!("  during outage: {:?}", client.stats().snapshot());
 

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A remote component pushes entries over TCP.
     let mut client = RemoteLogClient::connect(endpoint.addr())?;
     for seq in 1..=10u64 {
-        client.submit(&LogEntry::naive(
+        let outcome = client.submit(&LogEntry::naive(
             NodeId::new("camera"),
             Topic::new("image"),
             Direction::Out,
@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seq * 50_000,
             vec![seq as u8; 128],
         ));
+        assert!(outcome.is_accepted());
     }
     let handle = server.handle();
     while handle.store().len() < 10 {

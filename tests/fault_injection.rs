@@ -16,8 +16,10 @@
 
 use adlp::audit::{AuditReport, EntryClass, ViolationKind};
 use adlp::core::{FaultConfig, ReconnectConfig, ResilienceConfig};
-use adlp::logger::{LogEntry, LogServer, RemoteLogClient, RemoteLogEndpoint};
+use adlp::logger::{Direction, LogEntry, LogServer, RemoteLogClient, RemoteLogEndpoint};
+use adlp::pubsub::{NodeId, Topic};
 use adlp::sim::{fanout_app, PayloadKind, Scenario};
+use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Generous ceiling for one test body; a deadlock anywhere in the
@@ -146,6 +148,103 @@ fn mid_run_logger_outage_with_faults_is_survivable() {
     );
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exact spill accounting under arbitrary outage/reconnect
+    /// interleavings: a phase script alternates the server between up and
+    /// down while the client keeps submitting. At every quiescent point the
+    /// conservation law `submitted == delivered + buffered + spilled` must
+    /// hold, the buffer must drain to zero after the final reconnect, and —
+    /// because the buffer state at each down phase is fully determined by
+    /// the script — the final `spilled` counter must equal the model's
+    /// prediction *exactly*, not just bound it.
+    #[test]
+    fn spilled_is_exactly_accounted_across_outage_interleavings(
+        cap in 1usize..6,
+        phases in proptest::collection::vec((any::<bool>(), 0u64..10), 1..5),
+    ) {
+        let t0 = Instant::now();
+        let entry = |seq: u64| {
+            LogEntry::naive(
+                NodeId::new("cam"),
+                Topic::new("image"),
+                Direction::Out,
+                seq,
+                seq,
+                vec![0xA5; 64],
+            )
+        };
+
+        let mut server = Some(LogServer::spawn());
+        let mut endpoint = Some(
+            RemoteLogEndpoint::bind(server.as_ref().unwrap().handle()).expect("bind"),
+        );
+        let addr = endpoint.as_ref().unwrap().addr();
+        let mut client = RemoteLogClient::connect_with(
+            addr,
+            ReconnectConfig::new()
+                .with_buffer_capacity(cap)
+                .with_redial_backoff(Duration::from_millis(5)),
+        )
+        .expect("connect");
+        let stats = std::sync::Arc::clone(client.stats());
+
+        let mut seq = 0u64;
+        let mut model_buffered = 0u64;
+        let mut model_spilled = 0u64;
+        for &(up, n) in &phases {
+            if up && server.is_none() {
+                // Outage ends: a fresh server on the same address; the
+                // client redials and drains its buffer.
+                let s = LogServer::spawn();
+                endpoint = Some(rebind(s.handle(), addr));
+                server = Some(s);
+                prop_assert!(client.flush(Duration::from_secs(10)), "reconnect flush");
+                model_buffered = 0;
+            } else if !up && server.is_some() {
+                // Outage begins: settle in-flight entries first so the
+                // buffer state entering the outage is exactly zero.
+                prop_assert!(client.flush(Duration::from_secs(10)), "pre-kill flush");
+                drop(endpoint.take());
+                server.take().unwrap().kill();
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while stats.snapshot().connected {
+                    prop_assert!(Instant::now() < deadline, "outage never detected");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            for _ in 0..n {
+                prop_assert!(client.submit(&entry(seq)).is_accepted());
+                seq += 1;
+            }
+            if server.is_none() {
+                // Down-phase submissions fill the bounded buffer; the
+                // overflow is spilled, deterministically.
+                let fits = (cap as u64).saturating_sub(model_buffered).min(n);
+                model_buffered += fits;
+                model_spilled += n - fits;
+            }
+        }
+
+        // Quiesce: bring the server back one last time and drain.
+        if server.is_none() {
+            let s = LogServer::spawn();
+            endpoint = Some(rebind(s.handle(), addr));
+            server = Some(s);
+        }
+        prop_assert!(client.flush(Duration::from_secs(10)), "final flush");
+        let _ = (&endpoint, &server);
+
+        let snap = stats.snapshot();
+        prop_assert_eq!(snap.submitted, seq);
+        prop_assert_eq!(snap.buffered, 0);
+        prop_assert_eq!(snap.delivered + snap.spilled, snap.submitted);
+        prop_assert_eq!(snap.spilled, model_spilled);
+        prop_assert!(t0.elapsed() < WALL_CLOCK_BOUND);
+    }
+}
+
 /// Re-binds the endpoint on `addr`, retrying while the OS releases the
 /// port from the previous listener.
 fn rebind(handle: adlp::logger::LoggerHandle, addr: std::net::SocketAddr) -> RemoteLogEndpoint {
@@ -198,7 +297,7 @@ fn entries_from_a_faulted_run_deposit_or_spill_across_a_server_restart() {
     .expect("connect");
 
     for e in &entries[..first_half] {
-        client.submit(e);
+        assert!(client.submit(e).is_accepted());
     }
     assert!(client.flush(Duration::from_secs(10)), "pre-crash flush");
     assert_eq!(client.stats().snapshot().delivered, first_half as u64);
@@ -214,8 +313,10 @@ fn entries_from_a_faulted_run_deposit_or_spill_across_a_server_restart() {
     }
 
     // Submissions during the outage: 4 buffered, the rest counted spilled.
+    // The worker is still alive, so every push is accepted into the client;
+    // the spill accounting happens inside the worker.
     for e in &entries[first_half..] {
-        client.submit(e);
+        assert!(client.submit(e).is_accepted());
     }
 
     // A fresh server comes up on the same address; the client reconnects
