@@ -12,7 +12,9 @@
 //! lemma of the paper applies unchanged to the clustered deployment.
 
 use crate::auditor::{AuditReport, Auditor};
-use adlp_cluster::{ClusterView, EpochSeal, ReplicaDivergence};
+use adlp_cluster::{
+    ClusterView, EpochSeal, EquivocationProof, ReplicaDivergence, ReplicaKeyring,
+};
 use adlp_crypto::RsaPublicKey;
 use adlp_logger::{KeyRegistry, LogEntry};
 use adlp_pubsub::{NodeId, Topic};
@@ -45,20 +47,47 @@ pub struct ClusterAuditReport {
     pub seal: SealCheck,
     /// Quorum-log records that failed to decode as entries.
     pub undecodable: usize,
+    /// BFT mode: equivocation proofs the auditor *independently
+    /// re-verified* against the replica attestation keyring — each is a
+    /// self-contained conviction of (shard, replica): two valid signatures
+    /// by one replica over conflicting heads at one scope. The first
+    /// provably-malicious verdict in the audit, distinct from mere
+    /// divergence (which is majority comparison, not proof).
+    pub convictions: Vec<EquivocationProof>,
+    /// Claimed equivocation proofs that did NOT verify — a forged or
+    /// mangled proof, or one the auditor holds no attestation keys for.
+    /// Convicts nobody, but spoils a clear report: evidence that fails
+    /// verification is itself an anomaly.
+    pub invalid_convictions: usize,
     /// The ordinary per-component audit over the merged quorum logs.
     pub report: AuditReport,
 }
 
 impl ClusterAuditReport {
-    /// Whether the cluster is clean: no diverged replica, no seal trouble,
-    /// every record decodable, and the entry-level audit all clear.
-    /// Lagging replicas do not spoil a clear report (fail-stop is within
-    /// the trust model).
+    /// Whether the cluster is clean: no diverged replica, no verified or
+    /// dubious equivocation conviction, no seal trouble, every record
+    /// decodable, and the entry-level audit all clear. Lagging replicas do
+    /// not spoil a clear report (fail-stop is within the trust model).
     pub fn all_clear(&self) -> bool {
         self.divergences.is_empty()
+            && self.convictions.is_empty()
+            && self.invalid_convictions == 0
             && matches!(self.seal, SealCheck::NotChecked | SealCheck::Verified)
             && self.undecodable == 0
             && self.report.all_clear()
+    }
+
+    /// (shard, replica) of every replica named by a verified conviction,
+    /// deduplicated in first-seen order.
+    pub fn convicted_replicas(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for proof in &self.convictions {
+            let id = (proof.shard(), proof.replica());
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
     }
 }
 
@@ -66,6 +95,7 @@ impl ClusterAuditReport {
 #[derive(Debug, Clone)]
 pub struct ClusterAuditor {
     inner: Auditor,
+    attestation_keys: Option<ReplicaKeyring>,
 }
 
 impl ClusterAuditor {
@@ -73,6 +103,7 @@ impl ClusterAuditor {
     pub fn new(keys: KeyRegistry) -> Self {
         ClusterAuditor {
             inner: Auditor::new(keys),
+            attestation_keys: None,
         }
     }
 
@@ -81,6 +112,18 @@ impl ClusterAuditor {
     #[must_use]
     pub fn with_topology(mut self, topology: impl IntoIterator<Item = (Topic, NodeId)>) -> Self {
         self.inner = self.inner.with_topology(topology);
+        self
+    }
+
+    /// Supplies the per-replica attestation public keys (BFT mode). With
+    /// these, every equivocation proof riding on a gathered view is
+    /// *independently re-verified* — the auditor never takes the cluster's
+    /// word that a replica equivocated, it checks both signatures itself.
+    /// Without them, any claimed proof counts as unverifiable and spoils a
+    /// clear report.
+    #[must_use]
+    pub fn with_attestation_keys(mut self, keyring: ReplicaKeyring) -> Self {
+        self.attestation_keys = Some(keyring);
         self
     }
 
@@ -125,11 +168,26 @@ impl ClusterAuditor {
                 Err(_) => undecodable += 1,
             }
         }
+        let mut convictions = Vec::new();
+        let mut invalid_convictions = 0usize;
+        for proof in &view.convictions {
+            let verified = self
+                .attestation_keys
+                .as_ref()
+                .is_some_and(|keyring| proof.verify(keyring));
+            if verified {
+                convictions.push(proof.clone());
+            } else {
+                invalid_convictions += 1;
+            }
+        }
         ClusterAuditReport {
             divergences: view.divergences(),
             lagging: view.lagging(),
             seal,
             undecodable,
+            convictions,
+            invalid_convictions,
             report: self.inner.audit(&entries),
         }
     }
@@ -224,6 +282,78 @@ mod tests {
         let report = auditor.audit_sealed_view(&cluster.view(), &seal, kp.public_key());
         assert_eq!(report.seal, SealCheck::ShardMismatch(vec![1]));
         assert!(!report.all_clear());
+    }
+
+    #[test]
+    fn equivocating_replica_is_convicted_with_verified_proof() {
+        use adlp_cluster::AttestationScope;
+
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        fill(&cluster);
+        let ledger = cluster.attestations().unwrap();
+
+        // Replica (0, 2) signs two conflicting heads at the same scope —
+        // the equivocation the BFT deposit path would catch live; here the
+        // ledger observes both statements directly.
+        let attestor = cluster.replica(0, 2).unwrap().attestor().unwrap().clone();
+        let honest = cluster.replica(0, 2).unwrap().attest_head().unwrap().unwrap();
+        let lie = attestor
+            .attest(honest.scope, adlp_crypto::sha256(b"forged history"))
+            .unwrap();
+        ledger.observe(honest);
+        assert!(matches!(
+            ledger.observe(lie),
+            adlp_cluster::Observation::Equivocation(_)
+        ));
+
+        let view = cluster.view();
+        assert_eq!(view.equivocated(), vec![(0, 2)]);
+
+        // The auditor re-verifies the proof itself and names the replica.
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))])
+            .with_attestation_keys(ledger.keyring().clone());
+        let report = auditor.audit_view(&view);
+        assert!(!report.all_clear());
+        assert_eq!(report.convicted_replicas(), vec![(0, 2)]);
+        assert_eq!(report.invalid_convictions, 0);
+        assert_eq!(report.convictions.len(), 1);
+        assert_eq!(report.convictions[0].scope(), AttestationScope::Head { length: 4 });
+        // The equivocating replica's *store* still matches its peers, so
+        // comparison-based divergence is silent — only the signed proof
+        // catches the lie. That is the point.
+        assert!(report.divergences.is_empty());
+
+        // Without attestation keys the claimed proof is unverifiable, and
+        // unverifiable evidence spoils a clear report rather than passing.
+        let blind = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        let blind_report = blind.audit_view(&view);
+        assert!(blind_report.convictions.is_empty());
+        assert_eq!(blind_report.invalid_convictions, 1);
+        assert!(!blind_report.all_clear());
+    }
+
+    #[test]
+    fn forged_conviction_convicts_nobody_but_spoils_clear() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        fill(&cluster);
+        let ledger = cluster.attestations().unwrap();
+
+        // A "proof" pairing two *different* replicas' genuine attestations
+        // is not an equivocation by anyone.
+        let a = cluster.replica(0, 0).unwrap().attest_head().unwrap().unwrap();
+        let b = cluster.replica(0, 1).unwrap().attest_head().unwrap().unwrap();
+        let mut view = cluster.view();
+        view.convictions.push(adlp_cluster::EquivocationProof { first: a, second: b });
+
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))])
+            .with_attestation_keys(ledger.keyring().clone());
+        let report = auditor.audit_view(&view);
+        assert!(report.convictions.is_empty(), "forgery convicts nobody");
+        assert_eq!(report.invalid_convictions, 1);
+        assert!(!report.all_clear(), "but forged evidence is an anomaly");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
 pub use collusion::CollusionGroups;
 pub use incremental::AuditSession;
 pub use provenance::{FlowEdge, ImpactNode, ProvenanceGraph, ProvenanceNode};
+pub use render::{Rendered, RenderedCluster};
 pub use recovery::{
     verify_recovered_store, RecoveryCheck, RecoveryVerdict, RetainedCommitment,
 };

@@ -3,6 +3,7 @@
 
 use crate::auditor::{AuditReport, ViolationKind};
 use crate::classify::{Anomaly, EntryClass};
+use crate::cluster::{ClusterAuditReport, SealCheck};
 use std::fmt;
 
 /// Wrapper that renders an [`AuditReport`] as a forensic summary.
@@ -112,6 +113,78 @@ impl fmt::Display for Rendered<'_> {
     }
 }
 
+/// Wrapper that renders a [`ClusterAuditReport`] — the replica-layer
+/// verdicts (divergence, equivocation convictions, seal state) followed by
+/// the ordinary entry-layer summary.
+pub struct RenderedCluster<'a>(pub &'a ClusterAuditReport);
+
+impl fmt::Display for RenderedCluster<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        writeln!(f, "=== CLUSTER AUDIT ===")?;
+        writeln!(
+            f,
+            "verdict: {}",
+            if r.all_clear() { "ALL CLEAR" } else { "EVIDENCE FOUND" }
+        )?;
+
+        let seal = match &r.seal {
+            SealCheck::NotChecked => "not checked (no seal supplied)".to_string(),
+            SealCheck::Verified => "verified (super-root matches every shard)".to_string(),
+            SealCheck::BadSeal => "BAD SEAL (signature or super-root derivation failed)".to_string(),
+            SealCheck::ShardMismatch(shards) => {
+                format!("SHARD MISMATCH (rollback/rewrite after sealing): shards {shards:?}")
+            }
+        };
+        writeln!(f, "epoch seal: {seal}")?;
+
+        if !r.convictions.is_empty() {
+            writeln!(f, "\n-- equivocation convictions (signatures re-verified) --")?;
+            for proof in &r.convictions {
+                writeln!(
+                    f,
+                    "  shard {} replica {} signed conflicting heads at {} — provably malicious",
+                    proof.shard(),
+                    proof.replica(),
+                    proof.scope()
+                )?;
+            }
+        }
+        if r.invalid_convictions > 0 {
+            writeln!(
+                f,
+                "\n{} claimed equivocation proof(s) FAILED verification — forged evidence or missing attestation keys; convicts nobody, but is itself an anomaly.",
+                r.invalid_convictions
+            )?;
+        }
+
+        if !r.divergences.is_empty() {
+            writeln!(f, "\n-- diverged replicas (conflict with quorum log) --")?;
+            for d in &r.divergences {
+                writeln!(
+                    f,
+                    "  shard {} replica {} diverges from record {} onward",
+                    d.shard, d.replica, d.first_divergent_index
+                )?;
+            }
+        }
+
+        if !r.lagging.is_empty() {
+            writeln!(f, "\n-- lagging replicas (fail-stop; not wrongdoing) --")?;
+            for (shard, replica, behind) in &r.lagging {
+                writeln!(f, "  shard {shard} replica {replica} is {behind} record(s) behind")?;
+            }
+        }
+
+        if r.undecodable > 0 {
+            writeln!(f, "\n{} quorum-log record(s) failed to decode.", r.undecodable)?;
+        }
+
+        writeln!(f, "\n-- entry layer (merged quorum logs) --")?;
+        write!(f, "{}", Rendered(&r.report))
+    }
+}
+
 fn violation_label(kind: ViolationKind) -> &'static str {
     match kind {
         ViolationKind::HidPublication => "hid a publication record",
@@ -184,6 +257,30 @@ mod tests {
         assert!(s.contains("UNFAITHFUL"));
         assert!(s.contains("falsified logged data"));
         assert!(s.contains("hid its 'in' record"));
+    }
+
+    #[test]
+    fn cluster_report_renders_convictions_and_divergence() {
+        let r = ClusterAuditReport {
+            divergences: vec![adlp_cluster::ReplicaDivergence {
+                shard: 0,
+                replica: 1,
+                first_divergent_index: 2,
+            }],
+            lagging: vec![(1, 0, 3)],
+            seal: SealCheck::ShardMismatch(vec![1]),
+            undecodable: 0,
+            convictions: Vec::new(),
+            invalid_convictions: 1,
+            report: AuditReport::default(),
+        };
+        let s = RenderedCluster(&r).to_string();
+        assert!(s.contains("EVIDENCE FOUND"));
+        assert!(s.contains("SHARD MISMATCH"));
+        assert!(s.contains("shard 0 replica 1 diverges from record 2"));
+        assert!(s.contains("shard 1 replica 0 is 3 record(s) behind"));
+        assert!(s.contains("FAILED verification"));
+        assert!(s.contains("AUDIT SUMMARY"));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! BFT overhead: what signed-quorum acknowledgement costs over the crash
+//! quorum, at a fixed replication factor of four.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_bft
+//! ```
+//!
+//! Prints the table and writes `BENCH_bft.json` to the working directory
+//! (override with `ADLP_BFT_JSON`). Environment knobs: `ADLP_WINDOW_MS`
+//! (default 3000), `ADLP_KEY_BITS` (default 1024 — also sizes the
+//! per-replica attestation keys, so both rows pay comparable RSA costs).
+
+use adlp_bench::experiments::{bft_overhead, KEY_BITS};
+use adlp_bench::report::{bft_json, print_bft};
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let window = Duration::from_millis(env_usize("ADLP_WINDOW_MS", 3000) as u64);
+    let key_bits = env_usize("ADLP_KEY_BITS", KEY_BITS);
+    let rows = bft_overhead(window, key_bits);
+    print_bft(&rows);
+    let path = std::env::var("ADLP_BFT_JSON").unwrap_or_else(|_| "BENCH_bft.json".into());
+    match std::fs::write(&path, bft_json(&rows)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

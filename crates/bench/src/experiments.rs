@@ -408,6 +408,11 @@ pub struct ClusterRow {
     pub kbps: f64,
     /// Mean wall-clock time to reach the write quorum, microseconds.
     pub mean_quorum_latency_us: f64,
+    /// 99th-percentile quorum latency, microseconds (nearest-rank over
+    /// acked deposits).
+    pub p99_quorum_latency_us: f64,
+    /// 99.9th-percentile quorum latency, microseconds.
+    pub p999_quorum_latency_us: f64,
     /// Deposits that failed their write quorum (should be 0 here: no
     /// faults are injected).
     pub entries_lost: u64,
@@ -443,9 +448,92 @@ pub fn cluster_throughput(window: Duration, key_bits: usize) -> Vec<ClusterRow> 
                 entries_per_sec: cluster.stats.acked as f64 / secs,
                 kbps: report.volume.bytes as f64 / 1e3 / secs,
                 mean_quorum_latency_us: cluster.stats.mean_quorum_latency_ns as f64 / 1e3,
+                p99_quorum_latency_us: cluster.stats.p99_quorum_latency_ns as f64 / 1e3,
+                p999_quorum_latency_us: cluster.stats.p999_quorum_latency_ns as f64 / 1e3,
                 entries_lost: cluster.stats.entries_lost,
             });
         }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// BFT — what signed-quorum acknowledgement costs over crash quorums
+// ---------------------------------------------------------------------------
+
+/// One row of the BFT-overhead experiment.
+#[derive(Debug, Clone)]
+pub struct BftRow {
+    /// Acknowledgement discipline: `crash` (W-of-R acceptance counting) or
+    /// `bft` (2f+1 matching signed head attestations).
+    pub mode: &'static str,
+    /// Replicas per shard (4 in both rows: the comparison holds the
+    /// replication factor fixed and varies only the ack discipline).
+    pub replicas: usize,
+    /// Acks required per deposit (crash: W; bft: 2f+1).
+    pub quorum: usize,
+    /// Quorum-acknowledged deposits per second.
+    pub entries_per_sec: f64,
+    /// Mean wall-clock time to reach the quorum, microseconds.
+    pub mean_quorum_latency_us: f64,
+    /// 99th-percentile quorum latency, microseconds.
+    pub p99_quorum_latency_us: f64,
+    /// 99.9th-percentile quorum latency, microseconds.
+    pub p999_quorum_latency_us: f64,
+    /// Deposits that missed their quorum (0 expected: no faults injected).
+    pub entries_lost: u64,
+    /// Signed head attestations verified over the run (0 in crash mode).
+    pub attestations_verified: u64,
+    /// Equivocation convictions minted (0 expected: every replica honest).
+    pub equivocations_detected: u64,
+}
+
+/// Measures what Byzantine tolerance costs at deposit time: the same
+/// 4-replica shard run under the crash discipline (W=3 acceptances) and
+/// under BFT (`f = 1`: 2f+1 = 3 *matching signed head attestations*, each
+/// requiring a per-entry flush plus an RSA sign on the replica and a
+/// verify at the ledger). The gap between the rows is the attestation
+/// overhead — the price of surviving a lying replica rather than a dead
+/// one.
+pub fn bft_overhead(window: Duration, key_bits: usize) -> Vec<BftRow> {
+    use adlp_cluster::{BftConfig, ClusterConfig};
+    let configs: [(&'static str, ClusterConfig); 2] = [
+        (
+            "crash",
+            ClusterConfig::new(1).with_replicas(4).with_write_quorum(3),
+        ),
+        (
+            "bft",
+            ClusterConfig::new(1).with_bft(BftConfig::new(1).with_key_bits(key_bits)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (i, (mode, config)) in configs.into_iter().enumerate() {
+        let quorum = config
+            .bft
+            .as_ref()
+            .map_or(config.write_quorum, BftConfig::attest_quorum);
+        let replicas = config.replicas;
+        let report = Scenario::new(fanout_app(PayloadKind::Custom(256), 4, 80.0))
+            .key_bits(key_bits)
+            .duration(window)
+            .seed(700 + i as u64)
+            .cluster(config)
+            .run();
+        let cluster = report.cluster.as_ref().expect("cluster run");
+        let secs = report.elapsed.as_secs_f64();
+        rows.push(BftRow {
+            mode,
+            replicas,
+            quorum,
+            entries_per_sec: cluster.stats.acked as f64 / secs,
+            mean_quorum_latency_us: cluster.stats.mean_quorum_latency_ns as f64 / 1e3,
+            p99_quorum_latency_us: cluster.stats.p99_quorum_latency_ns as f64 / 1e3,
+            p999_quorum_latency_us: cluster.stats.p999_quorum_latency_ns as f64 / 1e3,
+            entries_lost: cluster.stats.entries_lost,
+            attestations_verified: cluster.stats.attestations_verified,
+            equivocations_detected: cluster.stats.equivocations_detected,
+        });
     }
     rows
 }
@@ -672,6 +760,27 @@ mod tests {
         // Both replication settings appear for every shard count.
         assert!(rows.iter().filter(|r| r.replicas == 3).count() == 3);
         assert!(rows.iter().filter(|r| r.replicas == 1).count() == 3);
+    }
+
+    #[test]
+    fn bft_overhead_shape() {
+        let rows = bft_overhead(Duration::from_millis(300), 512);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "crash");
+        assert_eq!(rows[1].mode, "bft");
+        for r in &rows {
+            assert_eq!(r.replicas, 4, "fixed replication factor: {r:?}");
+            assert_eq!(r.quorum, 3, "{r:?}");
+            assert!(r.entries_per_sec > 0.0, "{r:?}");
+            assert_eq!(r.entries_lost, 0, "honest replicas, no faults: {r:?}");
+            assert_eq!(r.equivocations_detected, 0, "{r:?}");
+        }
+        assert_eq!(rows[0].attestations_verified, 0, "crash mode signs nothing");
+        assert!(
+            rows[1].attestations_verified > 0,
+            "bft acks flow through signed attestations: {:?}",
+            rows[1]
+        );
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod report;
 pub mod stats;
 
 pub use experiments::{
-    cluster_throughput, fig13_message_latency, fig14_publisher_cpu, fig15_log_rates, table1_crypto_times,
-    table2_system_cpu, table3_sizes, table4_system_log_rate,
+    bft_overhead, cluster_throughput, fig13_message_latency, fig14_publisher_cpu, fig15_log_rates,
+    table1_crypto_times, table2_system_cpu, table3_sizes, table4_system_log_rate,
 };

@@ -103,17 +103,19 @@ pub fn print_fig15(window: Duration, key_bits: usize) {
 pub fn print_cluster(rows: &[ClusterRow]) {
     println!("== Cluster: deposit throughput by shard/replication config ==");
     println!(
-        "{:<7} {:<9} {:>12} {:>12} {:>14} {:>8}",
-        "Shards", "R/W", "Entries/s", "KB/s", "Quorum(us)", "Lost"
+        "{:<7} {:<9} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "Shards", "R/W", "Entries/s", "KB/s", "Quorum(us)", "p99(us)", "p999(us)", "Lost"
     );
     for r in rows {
         println!(
-            "{:<7} {:<9} {:>12.1} {:>12.2} {:>14.1} {:>8}",
+            "{:<7} {:<9} {:>12.1} {:>12.2} {:>12.1} {:>12.1} {:>12.1} {:>8}",
             r.shards,
             format!("{}/{}", r.replicas, r.write_quorum),
             r.entries_per_sec,
             r.kbps,
             r.mean_quorum_latency_us,
+            r.p99_quorum_latency_us,
+            r.p999_quorum_latency_us,
             r.entries_lost
         );
     }
@@ -128,14 +130,68 @@ pub fn cluster_json(rows: &[ClusterRow]) -> String {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"replicas\": {}, \"write_quorum\": {}, \
              \"entries_per_sec\": {:.3}, \"kbps\": {:.3}, \
-             \"mean_quorum_latency_us\": {:.3}, \"entries_lost\": {}}}{}\n",
+             \"mean_quorum_latency_us\": {:.3}, \"p99_quorum_latency_us\": {:.3}, \
+             \"p999_quorum_latency_us\": {:.3}, \"entries_lost\": {}}}{}\n",
             r.shards,
             r.replicas,
             r.write_quorum,
             r.entries_per_sec,
             r.kbps,
             r.mean_quorum_latency_us,
+            r.p99_quorum_latency_us,
+            r.p999_quorum_latency_us,
             r.entries_lost,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+pub fn print_bft(rows: &[BftRow]) {
+    println!("== BFT: signed-quorum acknowledgement cost vs crash quorum ==");
+    println!(
+        "{:<7} {:<7} {:>12} {:>12} {:>12} {:>12} {:>6} {:>10} {:>7}",
+        "Mode", "R/Q", "Entries/s", "Quorum(us)", "p99(us)", "p999(us)", "Lost", "Attested", "Equivs"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:<7} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>10} {:>7}",
+            r.mode,
+            format!("{}/{}", r.replicas, r.quorum),
+            r.entries_per_sec,
+            r.mean_quorum_latency_us,
+            r.p99_quorum_latency_us,
+            r.p999_quorum_latency_us,
+            r.entries_lost,
+            r.attestations_verified,
+            r.equivocations_detected
+        );
+    }
+    println!();
+}
+
+/// Serializes BFT-overhead rows as a JSON document (hand-rolled: the
+/// workspace carries no serialization dependency).
+pub fn bft_json(rows: &[BftRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"bft_overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"replicas\": {}, \"quorum\": {}, \
+             \"entries_per_sec\": {:.3}, \"mean_quorum_latency_us\": {:.3}, \
+             \"p99_quorum_latency_us\": {:.3}, \"p999_quorum_latency_us\": {:.3}, \
+             \"entries_lost\": {}, \"attestations_verified\": {}, \
+             \"equivocations_detected\": {}}}{}\n",
+            r.mode,
+            r.replicas,
+            r.quorum,
+            r.entries_per_sec,
+            r.mean_quorum_latency_us,
+            r.p99_quorum_latency_us,
+            r.p999_quorum_latency_us,
+            r.entries_lost,
+            r.attestations_verified,
+            r.equivocations_detected,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -1,5 +1,6 @@
 //! The deposit router: shards, fans out, and counts quorums.
 
+use crate::attestation::{AttestationLog, HeadAttestation, Observation};
 use crate::cluster::{LoggerCluster, ReplicaSlot};
 use crate::config::ClusterConfig;
 use crate::ring::HashRing;
@@ -34,6 +35,21 @@ pub trait ReplicaSink: Send + Sync + fmt::Debug {
     /// so sinks with their own per-client accounting (the remote TCP sink)
     /// can mirror the transition. Default: no accounting of its own.
     fn note_breaker(&self, _transition: Transition) {}
+    /// BFT mode: delivers `entry` and returns the replica's *signed head
+    /// attestation* — its sworn statement of the chain head after the
+    /// append. `None` means the replica stayed silent (dead, or Byzantine
+    /// and withholding); a silent replica simply does not count toward the
+    /// `2f+1` attest quorum. The default (sinks without an attestation
+    /// identity) deposits and stays silent, so plugging a crash-only sink
+    /// into a BFT client fails acks loudly rather than faking signatures.
+    fn deposit_attested(&self, entry: &LogEntry, durable: bool) -> Option<HeadAttestation> {
+        if durable {
+            self.deposit_durable(entry);
+        } else {
+            self.deposit(entry);
+        }
+        None
+    }
 }
 
 /// In-process sink over a [`ReplicaSlot`] (the sim/bench path).
@@ -54,6 +70,31 @@ impl ReplicaSink for SlotSink {
     fn flush_replica(&self) -> bool {
         self.slot.handle().flush().is_ok()
     }
+
+    fn deposit_attested(&self, entry: &LogEntry, durable: bool) -> Option<HeadAttestation> {
+        let took = if durable {
+            self.deposit_durable(entry)
+        } else {
+            self.deposit(entry)
+        };
+        if !took {
+            return None;
+        }
+        // The append is processed on the replica's server thread; flush
+        // before reading the head so the attestation covers this entry.
+        // That per-entry round-trip is the honest cost of a signed ack.
+        if !self.flush_replica() {
+            return None;
+        }
+        self.slot.attest_head().ok().flatten()
+    }
+}
+
+/// An in-process sink over one [`ReplicaSlot`] — the honest deposit lane.
+/// Public so fault harnesses can wrap honest lanes next to misbehaving
+/// ones when assembling a [`ClusterLogClient::from_sinks`] client.
+pub fn slot_sink(slot: Arc<ReplicaSlot>) -> Box<dyn ReplicaSink> {
+    Box::new(SlotSink { slot })
 }
 
 /// TCP sink layered on the reconnecting [`RemoteLogClient`] (PR 1): while
@@ -146,6 +187,10 @@ pub struct ClusterLogClient {
     shards: Vec<ShardLanes>,
     stats: ClusterStats,
     volume: LogStats,
+    /// BFT mode: the shared attestation ledger every signed ack flows
+    /// through (split-view detection at deposit time). `None` on a
+    /// crash-quorum client.
+    attestations: Option<AttestationLog>,
 }
 
 impl ClusterLogClient {
@@ -162,12 +207,27 @@ impl ClusterLogClient {
                     .collect()
             })
             .collect();
-        Self::from_sinks_with_stats(
+        let client = Self::from_sinks_with_stats(
             cluster.config().clone(),
             cluster.keys().clone(),
             sinks,
             cluster.stats().clone(),
-        )
+        );
+        match cluster.attestations() {
+            Some(ledger) => client.with_attestations(ledger.clone()),
+            None => client,
+        }
+    }
+
+    /// Wires the BFT attestation ledger (split-view detector) into this
+    /// client, enabling signed-quorum acks when the configuration carries
+    /// a [`crate::attestation::BftConfig`]. [`ClusterLogClient::in_proc`]
+    /// does this automatically; `from_sinks` assemblies (fault harnesses,
+    /// remote clients) wire it explicitly so client and auditor share one
+    /// ledger.
+    pub fn with_attestations(mut self, ledger: AttestationLog) -> Self {
+        self.attestations = Some(ledger);
+        self
     }
 
     /// A client over arbitrary sinks (one inner `Vec` per shard). Used by
@@ -205,6 +265,7 @@ impl ClusterLogClient {
             shards,
             stats,
             volume: LogStats::new(),
+            attestations: None,
         };
         if let Some(breaker_cfg) = client.config.breaker.clone() {
             client.install_breakers(&breaker_cfg, Arc::new(SystemClock));
@@ -309,13 +370,28 @@ impl ClusterLogClient {
 
     /// One routed, serialized fan-out; returns the quorum outcome. All
     /// accounting (stats + quorum-acked volume) happens here.
+    ///
+    /// Crash-quorum mode counts *acceptances* (a live replica took the
+    /// entry). BFT mode counts *matching signed head attestations*: every
+    /// returned attestation is verified and fed through the shared
+    /// attestation ledger (so an equivocating signature convicts its
+    /// signer right here at deposit time), and the entry is acknowledged
+    /// only once `2f+1` attestations agree on one (scope, head). A replica
+    /// that stays silent, fails verification, or signs a head nobody else
+    /// signed simply does not count — it can withhold liveness, never
+    /// forge agreement.
     fn fan_out(&self, entry: &LogEntry, durable: bool) -> FanOutOutcome {
         let shard_idx = self.ring.shard_for(&entry.component, &entry.topic);
+        let bft = match (&self.config.bft, &self.attestations) {
+            (Some(cfg), Some(ledger)) => Some((cfg.attest_quorum(), ledger)),
+            _ => None,
+        };
+        let quorum = bft.as_ref().map_or(self.config.write_quorum, |(q, _)| *q);
         let Some(lane) = self.shards.get(shard_idx) else {
             // Unreachable by construction (the ring only emits known
             // shards), but if it ever happens the loss is still counted.
             self.stats
-                .note_deposit(shard_idx, 0, 0, self.config.write_quorum, Duration::ZERO);
+                .note_deposit(shard_idx, 0, 0, quorum, Duration::ZERO);
             return FanOutOutcome {
                 shard: shard_idx,
                 accepted: 0,
@@ -327,7 +403,7 @@ impl ClusterLogClient {
         let guard = lane.order.lock();
         let mut breakers = lane.breakers.lock();
         let mut accepted = 0usize;
-        let mut refused = 0usize;
+        let mut attestations: Vec<HeadAttestation> = Vec::new();
         for (i, sink) in lane.replicas.iter().enumerate() {
             // An open breaker routes around the replica: the lane counts as
             // refused for this entry (same as a dead replica), without
@@ -335,17 +411,43 @@ impl ClusterLogClient {
             if let Some(breaker) = breakers.get_mut(i) {
                 match breaker.admit() {
                     Admission::Rejected => {
-                        refused += 1;
                         self.stats.note_breaker_rejection();
                         continue;
                     }
                     Admission::Allowed | Admission::Probe => {}
                 }
             }
-            let took = if durable {
-                sink.deposit_durable(entry)
-            } else {
-                sink.deposit(entry)
+            let took = match &bft {
+                None => {
+                    if durable {
+                        sink.deposit_durable(entry)
+                    } else {
+                        sink.deposit(entry)
+                    }
+                }
+                Some((_, ledger)) => match sink.deposit_attested(entry, durable) {
+                    None => false,
+                    Some(att) => {
+                        // Whatever identity the attestation claims, it is
+                        // evidence — run it through the split-view
+                        // detector (a stolen genuine signature lands on
+                        // its true signer's record; a forged one is
+                        // rejected there).
+                        let speaks_as_self = att.shard == shard_idx && att.replica == i;
+                        let observation = ledger.observe(att.clone());
+                        self.stats.note_observation(&observation);
+                        let valid = !matches!(observation, Observation::BadSignature);
+                        // Only a replica speaking verifiably as *itself*
+                        // joins the quorum count — a lane replaying some
+                        // other replica's voice cannot double a vote.
+                        if valid && speaks_as_self {
+                            attestations.push(att);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                },
             };
             if let Some(breaker) = breakers.get_mut(i) {
                 let transition = if took {
@@ -360,26 +462,36 @@ impl ClusterLogClient {
             }
             if took {
                 accepted += 1;
-            } else {
-                refused += 1;
             }
         }
         drop(breakers);
         drop(guard);
-        self.stats.note_deposit(
-            shard_idx,
-            accepted,
-            refused,
-            self.config.write_quorum,
-            started.elapsed(),
-        );
-        let quorate = accepted >= self.config.write_quorum;
+        // BFT: agreement means 2f+1 signatures over the SAME (scope, head)
+        // — a valid signature over a head nobody else signed supports
+        // nothing.
+        let supporting = match &bft {
+            None => accepted,
+            Some(_) => attestations
+                .iter()
+                .map(|a| {
+                    attestations
+                        .iter()
+                        .filter(|b| a.scope == b.scope && a.head == b.head)
+                        .count()
+                })
+                .max()
+                .unwrap_or(0),
+        };
+        let refused = lane.replicas.len().saturating_sub(supporting);
+        self.stats
+            .note_deposit(shard_idx, supporting, refused, quorum, started.elapsed());
+        let quorate = supporting >= quorum;
         if quorate {
             self.volume.record(&entry.component, &entry.topic, encoded_len);
         }
         FanOutOutcome {
             shard: shard_idx,
-            accepted,
+            accepted: supporting,
             quorate,
         }
     }

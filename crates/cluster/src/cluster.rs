@@ -1,15 +1,21 @@
 //! The replica fleet: N shards × R replica [`LogServer`] backends.
 
+use crate::attestation::{
+    AttestationLog, AttestationScope, ReplicaAttestor, ReplicaKeyring,
+};
 use crate::config::ClusterConfig;
 use crate::epoch::EpochSeal;
 use crate::stats::ClusterStats;
 use crate::view::{self, ClusterView};
-use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use adlp_crypto::RsaKeyPair;
 use adlp_logger::{
     DurabilityConfig, DurabilityStats, KeyRegistry, LogError, LogServer, LoggerHandle, Recovery,
     Storage, SyncPolicy,
 };
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,6 +30,10 @@ pub struct ReplicaSlot {
     index: usize,
     server: Mutex<LogServer>,
     durability: Option<DurabilityConfig>,
+    /// BFT mode only: this replica's attestation identity. The keypair
+    /// survives kill/restart — a replica keeps its identity (and its
+    /// accountability) across its fail-stop lifecycle.
+    attestor: Option<Arc<ReplicaAttestor>>,
 }
 
 impl ReplicaSlot {
@@ -78,6 +88,33 @@ impl ReplicaSlot {
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
     }
+
+    /// BFT mode only: this replica's attestation signer. `None` on a
+    /// crash-quorum cluster.
+    pub fn attestor(&self) -> Option<&Arc<ReplicaAttestor>> {
+        self.attestor.as_ref()
+    }
+
+    /// Signs this replica's *current true* chain head at its current log
+    /// length — the honest deposit/view-time attestation. `None` when the
+    /// cluster is not in BFT mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when signing fails.
+    pub fn attest_head(&self) -> Result<Option<crate::attestation::HeadAttestation>, LogError> {
+        match &self.attestor {
+            None => Ok(None),
+            Some(attestor) => {
+                let handle = self.handle();
+                let store = handle.store();
+                let scope = AttestationScope::Head {
+                    length: store.len() as u64,
+                };
+                attestor.attest(scope, store.head()).map(Some)
+            }
+        }
+    }
 }
 
 /// A sharded, replicated trusted-logger cluster.
@@ -91,6 +128,46 @@ pub struct LoggerCluster {
     shards: Vec<Vec<Arc<ReplicaSlot>>>,
     epoch: AtomicU64,
     stats: ClusterStats,
+    /// BFT mode only: the shared split-view detector every attestation in
+    /// the cluster flows through (deposit acks, view gathering, epoch
+    /// countersignatures).
+    attestations: Option<AttestationLog>,
+}
+
+/// Per-replica attestation identities for a BFT cluster, generated
+/// deterministically from the configured seed (deployments would load real
+/// keys; determinism keeps chaos drills replayable).
+struct BftIdentities {
+    attestors: Vec<Vec<Arc<ReplicaAttestor>>>,
+    ledger: AttestationLog,
+}
+
+fn bft_identities(config: &ClusterConfig) -> Option<BftIdentities> {
+    let bft = config.bft.as_ref()?;
+    let mut attestors = Vec::with_capacity(config.shards);
+    let mut public: Vec<Vec<RsaPublicKey>> = Vec::with_capacity(config.shards);
+    for shard in 0..config.shards {
+        let mut row = Vec::with_capacity(config.replicas);
+        let mut pub_row = Vec::with_capacity(config.replicas);
+        for replica in 0..config.replicas {
+            let seed = bft
+                .seed
+                .wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((replica as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let kp = RsaKeyPair::generate(bft.key_bits, &mut rng);
+            pub_row.push(kp.public_key().clone());
+            row.push(Arc::new(ReplicaAttestor::new(
+                shard,
+                replica,
+                kp.into_private_key(),
+            )));
+        }
+        attestors.push(row);
+        public.push(pub_row);
+    }
+    let ledger = AttestationLog::new(ReplicaKeyring::new(public), bft.window);
+    Some(BftIdentities { attestors, ledger })
 }
 
 impl LoggerCluster {
@@ -104,16 +181,23 @@ impl LoggerCluster {
         config.validate()?;
         let keys = KeyRegistry::new();
         let stats = ClusterStats::new(config.shards);
+        let identities = bft_identities(&config);
         let mut shards = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let mut replicas = Vec::with_capacity(config.replicas);
             for index in 0..config.replicas {
                 let server = LogServer::try_spawn_with_keys(keys.clone())?;
+                let attestor = identities
+                    .as_ref()
+                    .and_then(|ids| ids.attestors.get(shard))
+                    .and_then(|row| row.get(index))
+                    .cloned();
                 replicas.push(Arc::new(ReplicaSlot {
                     shard,
                     index,
                     server: Mutex::new(server),
                     durability: None,
+                    attestor,
                 }));
             }
             shards.push(replicas);
@@ -124,6 +208,7 @@ impl LoggerCluster {
             shards,
             epoch: AtomicU64::new(0),
             stats,
+            attestations: identities.map(|ids| ids.ledger),
         })
     }
 
@@ -152,6 +237,7 @@ impl LoggerCluster {
         let keys = KeyRegistry::new();
         let durability = DurabilityStats::default();
         let stats = ClusterStats::with_durability(config.shards, durability.clone());
+        let identities = bft_identities(&config);
         let mut shards = Vec::with_capacity(config.shards);
         for (shard, shard_storages) in storages.into_iter().enumerate() {
             let mut replicas = Vec::with_capacity(config.replicas);
@@ -161,11 +247,17 @@ impl LoggerCluster {
                     .rotate_every(rotate_every)
                     .counters(durability.clone());
                 let spawned = LogServer::try_spawn_durable(keys.clone(), &slot_config)?;
+                let attestor = identities
+                    .as_ref()
+                    .and_then(|ids| ids.attestors.get(shard))
+                    .and_then(|row| row.get(index))
+                    .cloned();
                 replicas.push(Arc::new(ReplicaSlot {
                     shard,
                     index,
                     server: Mutex::new(spawned.server),
                     durability: Some(slot_config),
+                    attestor,
                 }));
             }
             shards.push(replicas);
@@ -176,6 +268,7 @@ impl LoggerCluster {
             shards,
             epoch: AtomicU64::new(0),
             stats,
+            attestations: identities.map(|ids| ids.ledger),
         })
     }
 
@@ -194,6 +287,12 @@ impl LoggerCluster {
     /// The cluster-wide key registry (shared by every replica).
     pub fn keys(&self) -> &KeyRegistry {
         &self.keys
+    }
+
+    /// BFT mode only: the shared attestation ledger (split-view detector).
+    /// `None` on a crash-quorum cluster.
+    pub fn attestations(&self) -> Option<&AttestationLog> {
+        self.attestations.as_ref()
     }
 
     /// Number of shards.
@@ -253,24 +352,50 @@ impl LoggerCluster {
     ///
     /// Returns the number of records adopted.
     ///
-    /// **Quiesce the shard first.** Catch-up reads the quorum view and then
-    /// adopts the missing suffix record by record, with no exclusion
-    /// against concurrent deposits to the same shard: a deposit that
-    /// interleaves with the adoption can land at a different position on
-    /// this replica than on its peers, creating exactly the lasting order
-    /// divergence catch-up exists to repair. Drain or pause client
-    /// submissions to the shard for the duration of this call (the
-    /// rolling-restart sim scenarios catch up between deposit waves); a
-    /// divergence produced by ignoring this shows up in the next
-    /// [`LoggerCluster::view`] as a diverged replica, it is not silently
-    /// absorbed.
+    /// Catch-up is safe against a concurrent deposit: after adopting the
+    /// missing suffix it re-reads the quorum view, and if the adopted log
+    /// is no longer a prefix of (or equal to) the new quorum log — a
+    /// deposit interleaved with the adoption and landed at a different
+    /// position on this replica than on its peers — the adoption is rolled
+    /// back to the pre-catch-up state and the call returns an error. The
+    /// caller retries once the shard is quiet; an interleaved deposit
+    /// never becomes a lasting, unflagged divergence. (For a *durable*
+    /// slot the rollback is in-memory: a crash between the racy adoption
+    /// and the rollback can resurrect the adopted suffix on restart, where
+    /// it surfaces as a lagging/diverged replica in the next view — noisy,
+    /// never silent.)
     ///
     /// # Errors
     ///
     /// Returns [`LogError::NoSuchEntry`] for an unknown slot,
     /// [`LogError::Malformed`] when the replica's log is not a prefix of
-    /// the quorum log, and submission errors from the adoption path.
+    /// the quorum log or when the quorum advanced mid-catch-up (the
+    /// adoption was rolled back), and submission errors from the adoption
+    /// path.
     pub fn catch_up_replica(&self, shard: usize, replica: usize) -> Result<usize, LogError> {
+        self.catch_up_replica_inner(shard, replica, &mut |_| {})
+    }
+
+    /// Test hook: like [`LoggerCluster::catch_up_replica`], but invoking
+    /// `mid_adoption` after each adopted record (with the number adopted so
+    /// far) — lets a test deterministically race a deposit against the
+    /// adoption loop.
+    #[doc(hidden)]
+    pub fn catch_up_replica_with_hook(
+        &self,
+        shard: usize,
+        replica: usize,
+        mid_adoption: &mut dyn FnMut(usize),
+    ) -> Result<usize, LogError> {
+        self.catch_up_replica_inner(shard, replica, mid_adoption)
+    }
+
+    fn catch_up_replica_inner(
+        &self,
+        shard: usize,
+        replica: usize,
+        mid_adoption: &mut dyn FnMut(usize),
+    ) -> Result<usize, LogError> {
         let slot = self
             .replica(shard, replica)
             .ok_or(LogError::NoSuchEntry(replica))?;
@@ -281,7 +406,9 @@ impl LoggerCluster {
             .map(|s| s.records.clone())
             .ok_or(LogError::NoSuchEntry(shard))?;
         let handle = slot.handle();
-        let have = handle.store().encoded_records();
+        let store = handle.store();
+        let have = store.encoded_records();
+        let baseline = have.len();
         if have.len() > quorum.len() {
             return Err(LogError::Malformed("catch-up (replica ahead of quorum)"));
         }
@@ -289,10 +416,28 @@ impl LoggerCluster {
             return Err(LogError::Malformed("catch-up (replica not a quorum prefix)"));
         }
         let missing = quorum.get(have.len()..).unwrap_or(&[]);
-        for record in missing {
+        for (adopted, record) in missing.iter().enumerate() {
             handle.adopt_encoded(record.clone())?;
+            mid_adoption(adopted + 1);
         }
         handle.flush()?;
+        // Re-read the quorum: if it advanced mid-catch-up and our adopted
+        // log is no longer a prefix of it, a deposit interleaved with the
+        // adoption — back the adoption out rather than leave a silent
+        // reorder on this replica.
+        let after = self.view();
+        let quorum_now = after
+            .shards
+            .get(shard)
+            .map(|s| s.records.clone())
+            .ok_or(LogError::NoSuchEntry(shard))?;
+        let ours = store.encoded_records();
+        let still_prefix = ours.len() <= quorum_now.len()
+            && ours.iter().zip(quorum_now.iter()).all(|(a, b)| a == b);
+        if !still_prefix {
+            store.rollback_to(baseline)?;
+            return Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"));
+        }
         Ok(missing.len())
     }
 
@@ -306,6 +451,12 @@ impl LoggerCluster {
     /// anchors them under one signed cross-shard super-root. Epoch numbers
     /// increase monotonically per cluster.
     ///
+    /// In BFT mode every replica additionally *countersigns* its own chain
+    /// head into the epoch ([`AttestationScope::Epoch`]), and the
+    /// countersignatures flow through the attestation ledger: a replica
+    /// that seals one history here after acking another at deposit time
+    /// convicts itself.
+    ///
     /// # Errors
     ///
     /// Returns [`LogError::Malformed`] when signing fails (e.g. an
@@ -313,6 +464,21 @@ impl LoggerCluster {
     pub fn seal_epoch(&self, sealing_key: &RsaPrivateKey) -> Result<EpochSeal, LogError> {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let view = self.view();
+        if let Some(ledger) = &self.attestations {
+            for shard in &self.shards {
+                for slot in shard {
+                    if let Some(attestor) = slot.attestor() {
+                        let handle = slot.handle();
+                        let store = handle.store();
+                        let att = attestor
+                            .attest(AttestationScope::Epoch { epoch }, store.head())
+                            .map_err(|_| LogError::Malformed("epoch seal (countersign)"))?;
+                        let observation = ledger.observe(att);
+                        self.stats.note_observation(&observation);
+                    }
+                }
+            }
+        }
         EpochSeal::build(epoch, view.shard_roots(), sealing_key)
             .map_err(|_| LogError::Malformed("epoch seal (signing)"))
     }
@@ -436,6 +602,110 @@ mod tests {
         let s = cluster.stats().snapshot();
         assert!(s.balanced());
         assert_eq!(s.acked, 8);
+    }
+
+    #[test]
+    fn bft_cluster_acks_with_signed_quorum_and_audits_clean() {
+        use crate::client::ClusterLogClient;
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        assert_eq!(cluster.config().replicas, 4);
+        assert_eq!(cluster.config().write_quorum, 3);
+        let client = ClusterLogClient::in_proc(&cluster);
+        for seq in 0..5 {
+            assert!(client.submit(entry(seq)).is_accepted());
+        }
+        let s = cluster.stats().snapshot();
+        assert_eq!(s.acked, 5);
+        assert_eq!(s.entries_lost, 0);
+        // Every deposit drew a verified attestation from all four replicas.
+        assert_eq!(s.attestations_verified, 20);
+        assert_eq!(s.attestations_rejected, 0);
+        assert_eq!(s.equivocations_detected, 0);
+
+        let view = cluster.view();
+        assert!(view.convictions.is_empty());
+        assert!(view.equivocated().is_empty());
+        assert!(view
+            .shards
+            .iter()
+            .all(|sh| sh.statuses.iter().all(|st| *st == crate::view::ReplicaStatus::Consistent)));
+
+        // Epoch sealing draws a countersignature from every replica, and
+        // honest countersignatures mint no convictions.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let sealer = adlp_crypto::RsaKeyPair::generate(512, &mut rng);
+        let seal = cluster.seal_epoch(sealer.private_key()).unwrap();
+        assert!(seal.verify(sealer.public_key()));
+        let s = cluster.stats().snapshot();
+        assert_eq!(s.equivocations_detected, 0);
+        assert!(s.attestations_verified > 20, "epoch countersignatures observed");
+    }
+
+    #[test]
+    fn bft_cluster_survives_one_silent_replica() {
+        use crate::client::ClusterLogClient;
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        cluster.kill_replica(0, 3);
+        for seq in 0..5 {
+            assert!(
+                client.submit(entry(seq)).is_accepted(),
+                "3 of 4 matching signed heads meet the 2f+1 quorum"
+            );
+        }
+        let s = cluster.stats().snapshot();
+        assert_eq!(s.entries_lost, 0);
+        assert!(s.failovers > 0, "the silent replica is counted, not ignored");
+
+        // Two silent replicas break the 2f+1 quorum: counted loss.
+        cluster.kill_replica(0, 2);
+        assert!(!client.submit(entry(9)).is_accepted());
+        assert_eq!(cluster.stats().snapshot().entries_lost, 1);
+    }
+
+    #[test]
+    fn catch_up_racing_deposit_is_rolled_back_not_absorbed() {
+        use crate::client::ClusterLogClient;
+        use std::sync::Arc as StdArc;
+        let cluster = StdArc::new(LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap());
+        let client = ClusterLogClient::in_proc(&cluster);
+
+        // Replicas 0 and 1 hold [e1, e2]; replica 2 is empty (restarted).
+        for slot in cluster.shard_replicas(0).iter().take(2) {
+            for seq in [1, 2] {
+                slot.handle().try_submit(entry(seq)).unwrap();
+            }
+            slot.handle().flush().unwrap();
+        }
+
+        // Race: after the first adopted record, a deposit fans out to the
+        // whole shard — landing *mid-adoption* on replica 2, at a different
+        // position than on its peers.
+        let cluster2 = StdArc::clone(&cluster);
+        let client_ref = &client;
+        let result = cluster.catch_up_replica_with_hook(0, 2, &mut |adopted| {
+            if adopted == 1 {
+                assert!(client_ref.submit(entry(3)).is_accepted());
+                client_ref.flush().unwrap();
+            }
+        });
+        assert!(
+            matches!(result, Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"))),
+            "interleaved deposit must be detected, got {result:?}"
+        );
+        // The adoption was rolled back: replica 2 is back to its
+        // pre-catch-up state, not left holding a silent reorder.
+        let slot = cluster2.replica(0, 2).unwrap();
+        assert_eq!(slot.handle().store().len(), 0, "rollback to baseline");
+        let view = cluster2.view();
+        assert!(view.divergences().is_empty(), "no lasting divergence");
+
+        // With the shard quiet, a retry adopts everything.
+        assert_eq!(cluster2.catch_up_replica(0, 2).unwrap(), 3);
+        let view = cluster2.view();
+        assert!(view.divergences().is_empty());
+        assert!(view.lagging().is_empty());
     }
 
     #[test]

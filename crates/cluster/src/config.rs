@@ -1,5 +1,6 @@
 //! Cluster topology and quorum configuration.
 
+use crate::attestation::BftConfig;
 use adlp_logger::LogError;
 use adlp_pubsub::BreakerConfig;
 
@@ -24,6 +25,13 @@ pub struct ClusterConfig {
     /// through half-open probes. `None` (the default) preserves the
     /// always-attempt fan-out.
     pub breaker: Option<BreakerConfig>,
+    /// When set, the shard runs in Byzantine-fault-tolerant mode: every
+    /// replica holds an attestation keypair, an acknowledgement needs
+    /// `2f+1` *matching signed head attestations* (not mere acceptances),
+    /// and conflicting signatures become transferable equivocation proofs.
+    /// Requires `replicas ≥ 3f+1`. `None` (the default) is the crash-only
+    /// W-of-R quorum.
+    pub bft: Option<BftConfig>,
 }
 
 impl ClusterConfig {
@@ -35,6 +43,7 @@ impl ClusterConfig {
             write_quorum: 1,
             vnodes: 16,
             breaker: None,
+            bft: None,
         }
     }
 
@@ -73,6 +82,21 @@ impl ClusterConfig {
             .with_write_quorum(2)
     }
 
+    /// Enables BFT mode with budget `bft` (replica count and write quorum
+    /// are raised to `3f+1` / `2f+1` if the current shape is smaller).
+    pub fn with_bft(mut self, bft: BftConfig) -> Self {
+        self.replicas = self.replicas.max(bft.replicas_required());
+        self.write_quorum = self.write_quorum.max(bft.attest_quorum());
+        self.bft = Some(bft);
+        self
+    }
+
+    /// The Byzantine profile: `shards` shards of `3f+1` replicas, acks at
+    /// `2f+1` matching signed heads.
+    pub fn byzantine(shards: usize, f: usize) -> Self {
+        ClusterConfig::new(shards).with_bft(BftConfig::new(f))
+    }
+
     /// Checks the internal consistency of the configuration.
     ///
     /// # Errors
@@ -85,6 +109,14 @@ impl ClusterConfig {
         }
         if self.write_quorum == 0 || self.write_quorum > self.replicas {
             return Err(LogError::Malformed("cluster config (write quorum)"));
+        }
+        if let Some(bft) = &self.bft {
+            if self.replicas < bft.replicas_required() {
+                return Err(LogError::Malformed("cluster config (bft replicas < 3f+1)"));
+            }
+            if self.write_quorum < bft.attest_quorum() {
+                return Err(LogError::Malformed("cluster config (bft quorum < 2f+1)"));
+            }
         }
         Ok(())
     }
@@ -119,5 +151,19 @@ mod tests {
         let mut c = ClusterConfig::replicated(3);
         c.write_quorum = 4;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn byzantine_profile_shapes_the_shard() {
+        let c = ClusterConfig::byzantine(2, 1);
+        assert_eq!((c.shards, c.replicas, c.write_quorum), (2, 4, 3));
+        assert!(c.validate().is_ok());
+        // An under-provisioned BFT shard is refused.
+        let mut small = ClusterConfig::byzantine(1, 1);
+        small.replicas = 3;
+        assert!(small.validate().is_err());
+        let mut weak = ClusterConfig::byzantine(1, 1);
+        weak.write_quorum = 2;
+        assert!(weak.validate().is_err());
     }
 }

@@ -18,7 +18,13 @@
 //! * [`view`] — cross-replica comparison: a gathered [`view::ClusterView`]
 //!   classifies every replica as consistent, lagging (fail-stop; a strict
 //!   prefix of the quorum log), or *diverged* (conflicting content — tamper
-//!   evidence naming the shard and replica).
+//!   evidence naming the shard and replica);
+//! * [`attestation`] — Byzantine mode: per-replica signed head
+//!   attestations, `2f+1`-of-`3f+1` signed-quorum acks, and transferable
+//!   [`attestation::EquivocationProof`]s minted by a shared split-view
+//!   ledger; a convicted replica surfaces as
+//!   [`view::ReplicaStatus::Equivocated`] — the first *provably malicious*
+//!   verdict in the lattice.
 //!
 //! # Trust model
 //!
@@ -26,8 +32,13 @@
 //! crashed or lagging replica only costs redundancy, while any replica that
 //! *rewrites* history is exposed by cross-replica divergence and by the
 //! signed epoch super-root. The cluster therefore never trusts a single
-//! backend's story; auditors read all replicas of all shards.
+//! backend's story; auditors read all replicas of all shards. In BFT mode
+//! the assumption weakens further — up to `f` of `3f+1` replicas per shard
+//! may be *actively malicious* (equivocate, replay, withhold), and every
+//! such behavior ends in either continued liveness or a self-incriminating,
+//! transferable proof, never silent acceptance.
 
+pub mod attestation;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -36,7 +47,11 @@ pub mod ring;
 pub mod stats;
 pub mod view;
 
-pub use client::ClusterLogClient;
+pub use attestation::{
+    AttestationLog, AttestationScope, BftConfig, EquivocationProof, HeadAttestation, Observation,
+    ReplicaAttestor, ReplicaKeyring,
+};
+pub use client::{slot_sink, ClusterLogClient, ReplicaSink};
 pub use cluster::LoggerCluster;
 pub use config::ClusterConfig;
 pub use epoch::{EpochSeal, ShardRoot};

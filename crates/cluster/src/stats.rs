@@ -5,10 +5,17 @@
 //! `acked` (reached its write quorum) or `entries_lost` (did not), so
 //! `submitted == acked + entries_lost` holds at any quiescent point.
 
+use crate::attestation::Observation;
 use adlp_logger::DurabilityStats;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Cap on retained per-deposit latency samples (for percentiles); beyond
+/// it, new samples overwrite a deterministic rotating slot so long runs
+/// stay bounded while the distribution keeps refreshing.
+const LATENCY_SAMPLE_CAP: usize = 100_000;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -22,7 +29,11 @@ struct Inner {
     breaker_reopens: AtomicU64,
     breaker_closes: AtomicU64,
     breaker_rejections: AtomicU64,
+    attestations_verified: AtomicU64,
+    attestations_rejected: AtomicU64,
+    equivocations_detected: AtomicU64,
     shard_depth: Vec<AtomicU64>,
+    latency_samples: Mutex<Vec<u64>>,
 }
 
 /// Shared, thread-safe cluster counters (cheap to clone).
@@ -48,6 +59,19 @@ pub struct ClusterStatsSnapshot {
     pub failovers: u64,
     /// Mean wall-clock time to reach the write quorum, in nanoseconds.
     pub mean_quorum_latency_ns: u64,
+    /// 99th-percentile quorum latency (ns) over the retained sample window.
+    pub p99_quorum_latency_ns: u64,
+    /// 99.9th-percentile quorum latency (ns) over the retained sample
+    /// window.
+    pub p999_quorum_latency_ns: u64,
+    /// BFT mode: signed head attestations whose signature verified.
+    pub attestations_verified: u64,
+    /// BFT mode: attestations discarded for a bad signature (they prove
+    /// nothing about the replica whose identity they claim).
+    pub attestations_rejected: u64,
+    /// BFT mode: equivocation proofs minted — one replica, two validly
+    /// signed conflicting heads at the same scope.
+    pub equivocations_detected: u64,
     /// Replica-lane circuit breakers tripped (Closed→Open).
     pub breaker_trips: u64,
     /// Half-open probes that failed and re-opened a replica's breaker.
@@ -114,11 +138,37 @@ impl ClusterStats {
             if refused > 0 {
                 i.failovers.fetch_add(1, Ordering::Relaxed);
             }
-            i.quorum_latency_ns
-                .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
-            i.quorum_samples.fetch_add(1, Ordering::Relaxed);
+            let ns = latency.as_nanos() as u64;
+            i.quorum_latency_ns.fetch_add(ns, Ordering::Relaxed);
+            let nth = i.quorum_samples.fetch_add(1, Ordering::Relaxed);
+            let mut samples = i.latency_samples.lock();
+            if samples.len() < LATENCY_SAMPLE_CAP {
+                samples.push(ns);
+            } else if let Some(slot) = samples.get_mut(nth as usize % LATENCY_SAMPLE_CAP) {
+                *slot = ns;
+            }
         } else {
             i.entries_lost.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records what the attestation ledger concluded about one observed
+    /// attestation (BFT mode).
+    pub fn note_observation(&self, observation: &Observation) {
+        let i = &self.inner;
+        match observation {
+            Observation::Consistent | Observation::Duplicate => {
+                i.attestations_verified.fetch_add(1, Ordering::Relaxed);
+            }
+            Observation::BadSignature => {
+                i.attestations_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Observation::Equivocation(_) => {
+                // The equivocating signature *did* verify — that is what
+                // makes it a conviction.
+                i.attestations_verified.fetch_add(1, Ordering::Relaxed);
+                i.equivocations_detected.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -153,12 +203,22 @@ impl ClusterStats {
             .load(Ordering::Relaxed)
             .checked_div(samples)
             .unwrap_or(0);
+        let (p99, p999) = {
+            let mut sorted = i.latency_samples.lock().clone();
+            sorted.sort_unstable();
+            (percentile(&sorted, 99.0), percentile(&sorted, 99.9))
+        };
         ClusterStatsSnapshot {
             submitted: i.submitted.load(Ordering::Relaxed),
             acked: i.acked.load(Ordering::Relaxed),
             entries_lost: i.entries_lost.load(Ordering::Relaxed),
             failovers: i.failovers.load(Ordering::Relaxed),
             mean_quorum_latency_ns: mean,
+            p99_quorum_latency_ns: p99,
+            p999_quorum_latency_ns: p999,
+            attestations_verified: i.attestations_verified.load(Ordering::Relaxed),
+            attestations_rejected: i.attestations_rejected.load(Ordering::Relaxed),
+            equivocations_detected: i.equivocations_detected.load(Ordering::Relaxed),
             breaker_trips: i.breaker_trips.load(Ordering::Relaxed),
             breaker_reopens: i.breaker_reopens.load(Ordering::Relaxed),
             breaker_closes: i.breaker_closes.load(Ordering::Relaxed),
@@ -182,6 +242,17 @@ impl ClusterStatsSnapshot {
     }
 }
 
+/// Nearest-rank percentile over an already-sorted sample set (0 when
+/// empty).
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    let index = rank.max(1).min(sorted.len()) - 1;
+    sorted.get(index).copied().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +271,57 @@ mod tests {
         assert_eq!(s.shard_depth, vec![1, 1, 0]);
         assert!(s.balanced());
         assert!(s.mean_quorum_latency_ns > 0);
+        assert_eq!(s.p99_quorum_latency_ns, 7_000, "only acked deposits sample");
+    }
+
+    #[test]
+    fn percentiles_track_the_tail() {
+        let stats = ClusterStats::new(1);
+        // 999 fast deposits and one slow outlier.
+        for _ in 0..999 {
+            stats.note_deposit(0, 1, 0, 1, Duration::from_micros(10));
+        }
+        stats.note_deposit(0, 1, 0, 1, Duration::from_millis(5));
+        let s = stats.snapshot();
+        assert_eq!(s.p99_quorum_latency_ns, 10_000, "p99 sits in the bulk");
+        assert_eq!(s.p999_quorum_latency_ns, 5_000_000, "p999 catches the outlier");
+        assert!(s.mean_quorum_latency_ns > 10_000, "mean is dragged by the tail");
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edges() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 99.9), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 99.9), 100);
+    }
+
+    #[test]
+    fn observation_accounting() {
+        use crate::attestation::{
+            AttestationLog, AttestationScope, ReplicaAttestor, ReplicaKeyring,
+        };
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let kp = adlp_crypto::RsaKeyPair::generate(512, &mut rng);
+        let keyring = ReplicaKeyring::new(vec![vec![kp.public_key().clone()]]);
+        let ledger = AttestationLog::new(keyring, 16);
+        let attestor = ReplicaAttestor::new(0, 0, kp.into_private_key());
+        let stats = ClusterStats::new(1);
+
+        let a = attestor
+            .attest(AttestationScope::Head { length: 1 }, adlp_crypto::sha256(b"a"))
+            .unwrap();
+        let b = attestor
+            .attest(AttestationScope::Head { length: 1 }, adlp_crypto::sha256(b"b"))
+            .unwrap();
+        stats.note_observation(&ledger.observe(a));
+        stats.note_observation(&ledger.observe(b));
+        let s = stats.snapshot();
+        assert_eq!(s.attestations_verified, 2, "both signatures verified");
+        assert_eq!(s.equivocations_detected, 1);
+        assert_eq!(s.attestations_rejected, 0);
     }
 }

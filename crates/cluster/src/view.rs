@@ -14,6 +14,7 @@
 //!   rewrote history. That is tamper evidence naming the shard and replica,
 //!   surfaced before any per-entry classification runs.
 
+use crate::attestation::EquivocationProof;
 use crate::cluster::LoggerCluster;
 use crate::epoch::{empty_shard_root, ShardRoot};
 use adlp_crypto::sha256::Digest;
@@ -32,7 +33,11 @@ pub enum ReplicaStatus {
         behind: usize,
     },
     /// A strict extension of the quorum log by `extra` records (its peers
-    /// stopped short of it). Availability skew only.
+    /// stopped short of it). Availability skew only — but note an
+    /// over-long log is a *self-report*: the extension is excluded from
+    /// the quorum log unless corroborated (see [`ClusterView`] docs), so a
+    /// replica fabricating history inflates only its own status, never the
+    /// audited log.
     Ahead {
         /// Records beyond the quorum log's length.
         extra: usize,
@@ -43,6 +48,14 @@ pub enum ReplicaStatus {
     Diverged {
         /// First index where the content conflicts.
         first_divergent_index: usize,
+    },
+    /// BFT mode: this replica signed two conflicting heads at the same
+    /// scope — *provably malicious*, the only verdict in this lattice
+    /// backed by a transferable cryptographic proof rather than majority
+    /// comparison. Overrides the comparison-based statuses above.
+    Equivocated {
+        /// Verified equivocation proofs naming this replica.
+        convictions: usize,
     },
 }
 
@@ -78,6 +91,10 @@ pub struct ShardView {
 pub struct ClusterView {
     /// Per-shard views, indexed by shard.
     pub shards: Vec<ShardView>,
+    /// BFT mode: every equivocation proof the attestation ledger holds at
+    /// gather time — self-contained evidence an auditor re-verifies
+    /// against the replica keyring (empty on a crash-quorum cluster).
+    pub convictions: Vec<EquivocationProof>,
 }
 
 impl ShardView {
@@ -106,6 +123,19 @@ impl ClusterView {
                         replica,
                         first_divergent_index: *first_divergent_index,
                     });
+                }
+            }
+        }
+        out
+    }
+
+    /// (shard, replica) for every replica convicted of equivocation.
+    pub fn equivocated(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (replica, status) in shard.statuses.iter().enumerate() {
+                if matches!(status, ReplicaStatus::Equivocated { .. }) {
+                    out.push((shard.shard, replica));
                 }
             }
         }
@@ -146,21 +176,53 @@ impl ClusterView {
 }
 
 /// Gathers every replica's store and cross-checks the shard groups.
+///
+/// In BFT mode, gathering is also an *interrogation*: every replica signs
+/// its current chain head into the attestation ledger, so a replica that
+/// told the deposit path one history and shows the gatherer another
+/// convicts itself here. Convicted replicas surface as
+/// [`ReplicaStatus::Equivocated`] and the proofs ride along in
+/// [`ClusterView::convictions`].
 pub fn gather(cluster: &LoggerCluster) -> ClusterView {
     let shards = (0..cluster.shard_count())
         .map(|shard| gather_shard(cluster, shard))
         .collect();
-    ClusterView { shards }
+    let convictions = cluster
+        .attestations()
+        .map(|ledger| ledger.proofs())
+        .unwrap_or_default();
+    ClusterView { shards, convictions }
 }
 
 fn gather_shard(cluster: &LoggerCluster, shard: usize) -> ShardView {
-    let stores: Vec<Vec<Vec<u8>>> = cluster
-        .shard_replicas(shard)
+    let slots = cluster.shard_replicas(shard);
+    let stores: Vec<Vec<Vec<u8>>> = slots
         .iter()
         .map(|slot| slot.handle().store().encoded_records())
         .collect();
     let records = quorum_log(&stores);
-    let statuses = stores.iter().map(|s| status_of(s, &records)).collect();
+    let mut statuses: Vec<ReplicaStatus> =
+        stores.iter().map(|s| status_of(s, &records)).collect();
+    if let Some(ledger) = cluster.attestations() {
+        // Interrogate: every replica countersigns its current true head.
+        for slot in slots {
+            if let Ok(Some(att)) = slot.attest_head() {
+                let observation = ledger.observe(att);
+                cluster.stats().note_observation(&observation);
+            }
+        }
+        // A verified conviction outranks any comparison-based status.
+        let proofs = ledger.proofs();
+        for (replica, status) in statuses.iter_mut().enumerate() {
+            let convictions = proofs
+                .iter()
+                .filter(|p| p.shard() == shard && p.replica() == replica)
+                .count();
+            if convictions > 0 {
+                *status = ReplicaStatus::Equivocated { convictions };
+            }
+        }
+    }
     let root = merkle_root(&records);
     ShardView {
         shard,
@@ -170,24 +232,52 @@ fn gather_shard(cluster: &LoggerCluster, shard: usize) -> ShardView {
     }
 }
 
-/// The record sequence the largest replica group agrees on; ties broken
-/// toward the longer log (a lone survivor that kept writing beats equally
-/// sized stale groups).
+/// The record sequence the largest replica group agrees on. Ties are
+/// broken lexicographically by (equality count, prefix corroboration,
+/// length):
+///
+/// * *prefix corroboration* of a candidate counts the stores that are a
+///   prefix of (or equal to) it — peers whose shorter logs vouch for the
+///   candidate's early history. A lone survivor extending a stale group's
+///   log is corroborated by that group; a replica self-reporting an
+///   over-long log that *conflicts* with its peers corroborates nothing
+///   beyond itself and loses the tie (the symmetric twin of catch-up's
+///   "replica ahead of quorum" refusal — the read path no longer lets an
+///   uncorroborated over-long log become the quorum log merely by being
+///   longest);
+/// * length only breaks ties *within* equally-corroborated candidates.
+///
+/// Residual ambiguity: when a single replica extends the corroborated
+/// prefix, a genuine lone survivor and a fabricated extension are
+/// indistinguishable by content alone. Crash-quorum clusters accept the
+/// extension (availability bias, as before); BFT clusters do not need to
+/// choose — an extension without `2f+1` signed head attestations was
+/// never acknowledged, and the attestation ledger convicts a replica that
+/// signs for history its peers never saw.
 fn quorum_log(stores: &[Vec<Vec<u8>>]) -> Vec<Vec<u8>> {
-    let mut best: Option<(usize, &Vec<Vec<u8>>)> = None;
+    let mut best: Option<(usize, usize, &Vec<Vec<u8>>)> = None;
     for candidate in stores {
         let count = stores.iter().filter(|s| *s == candidate).count();
+        let support = stores
+            .iter()
+            .filter(|s| is_prefix_of(s, candidate))
+            .count();
         let better = match best {
             None => true,
-            Some((best_count, best_ref)) => {
-                count > best_count || (count == best_count && candidate.len() > best_ref.len())
+            Some((best_count, best_support, best_ref)) => {
+                (count, support, candidate.len()) > (best_count, best_support, best_ref.len())
             }
         };
         if better {
-            best = Some((count, candidate));
+            best = Some((count, support, candidate));
         }
     }
-    best.map(|(_, r)| r.clone()).unwrap_or_default()
+    best.map(|(_, _, r)| r.clone()).unwrap_or_default()
+}
+
+/// Whether `shorter` is a (possibly equal) prefix of `longer`.
+fn is_prefix_of(shorter: &[Vec<u8>], longer: &[Vec<u8>]) -> bool {
+    shorter.len() <= longer.len() && shorter.iter().zip(longer.iter()).all(|(a, b)| a == b)
 }
 
 fn status_of(records: &[Vec<u8>], reference: &[Vec<u8>]) -> ReplicaStatus {
@@ -304,9 +394,41 @@ mod tests {
     fn quorum_log_tie_prefers_longer() {
         let long = vec![rec(1), rec(2), rec(3)];
         let short = vec![rec(1)];
-        // Tie (every store is unique): longest wins.
+        // Tie (every store is unique): the lone survivor's extension is
+        // corroborated by the stale prefix, so it still wins.
         let stores = vec![short, long.clone()];
         assert_eq!(quorum_log(&stores), long);
+    }
+
+    #[test]
+    fn quorum_log_uncorroborated_overlong_log_loses_the_tie() {
+        // Three unique stores: a stale prefix, a survivor one record ahead
+        // of it, and a replica self-reporting a *conflicting* over-long
+        // log. The conflicting fabrication corroborates nothing beyond
+        // itself and must not win merely by being longest.
+        let stale = vec![rec(1)];
+        let survivor = vec![rec(1), rec(2)];
+        let fabricated = vec![rec(9), rec(8), rec(7), rec(6)];
+        let stores = vec![stale, survivor.clone(), fabricated];
+        assert_eq!(quorum_log(&stores), survivor);
+    }
+
+    #[test]
+    fn quorum_log_overlong_replica_is_ahead_not_quorum() {
+        // A corroborated pair outvotes a longer self-report that extends
+        // their log: the extension was never acknowledged by anyone else.
+        let agreed = vec![rec(1), rec(2)];
+        let inflated = vec![rec(1), rec(2), rec(3), rec(4)];
+        let stores = vec![agreed.clone(), agreed.clone(), inflated.clone()];
+        assert_eq!(quorum_log(&stores), agreed);
+        // And on the status side the over-long replica is merely Ahead —
+        // its self-reported extension inflates its own status, never the
+        // audited log (the symmetric twin of catch-up's "replica ahead of
+        // quorum" refusal).
+        assert_eq!(
+            status_of(&inflated, &quorum_log(&stores)),
+            ReplicaStatus::Ahead { extra: 2 }
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use identity::ComponentIdentity;
 pub use keystore::IdentityStore;
 pub use node::{AdlpNode, AdlpNodeBuilder};
 pub use overload::{OverloadConfig, PressureLevel, QueuePressure, ShedPolicy};
-pub use target::DepositTarget;
+pub use target::{AckMode, DepositTarget};
 
 use std::error::Error;
 use std::fmt;

@@ -14,6 +14,33 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How a deposit to a [`DepositTarget`] gets acknowledged — the trust
+/// shape the logging pipeline is running against. Nodes and harnesses
+/// read this to label runs and pick protocol expectations (e.g. what a
+/// "lost" deposit means) without matching on the target shape themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// The paper's model: one trusted logger's acceptance is the ack.
+    Single,
+    /// Crash-tolerant cluster: `write` live acceptances of `replicas`
+    /// replicas per shard.
+    Quorum {
+        /// Write quorum W.
+        write: usize,
+        /// Replication factor R.
+        replicas: usize,
+    },
+    /// Byzantine-tolerant cluster: `quorum = 2f+1` *matching signed head
+    /// attestations* of `3f+1` replicas per shard; up to `f` replicas may
+    /// lie without forging an ack.
+    Bft {
+        /// Byzantine replicas tolerated per shard.
+        f: usize,
+        /// Matching signed attestations required per ack (`2f+1`).
+        quorum: usize,
+    },
+}
+
 /// The deposit destination a node's logging pipeline writes to.
 #[derive(Debug, Clone)]
 pub enum DepositTarget {
@@ -136,6 +163,30 @@ impl DepositTarget {
         }
     }
 
+    /// The acknowledgement discipline this target runs: single-logger
+    /// acceptance, W-of-R crash quorum, or 2f+1-of-3f+1 signed BFT quorum.
+    /// Pacing is a rate shape, not a trust shape, so a paced target
+    /// reports its inner target's mode.
+    pub fn ack_mode(&self) -> AckMode {
+        match self {
+            DepositTarget::Single(_) => AckMode::Single,
+            DepositTarget::Cluster(client) => {
+                let config = client.config();
+                match &config.bft {
+                    Some(bft) => AckMode::Bft {
+                        f: bft.f,
+                        quorum: bft.attest_quorum(),
+                    },
+                    None => AckMode::Quorum {
+                        write: config.write_quorum,
+                        replicas: config.replicas,
+                    },
+                }
+            }
+            DepositTarget::Paced { inner, .. } => inner.ack_mode(),
+        }
+    }
+
     /// The key registry subscribers verify publisher signatures against.
     pub fn keys(&self) -> &KeyRegistry {
         match self {
@@ -206,6 +257,28 @@ mod tests {
         assert!(started.elapsed() >= Duration::from_millis(15));
         paced.flush().unwrap();
         assert_eq!(server.handle().store().len(), 4);
+    }
+
+    #[test]
+    fn ack_mode_names_the_trust_shape() {
+        let server = LogServer::spawn();
+        let single = DepositTarget::from(&server.handle());
+        assert_eq!(single.ack_mode(), AckMode::Single);
+
+        let crash = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        let crash_target = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&crash)));
+        assert_eq!(
+            crash_target.ack_mode(),
+            AckMode::Quorum { write: 2, replicas: 3 }
+        );
+
+        let bft = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        let bft_target = DepositTarget::from(Arc::new(ClusterLogClient::in_proc(&bft)));
+        assert_eq!(bft_target.ack_mode(), AckMode::Bft { f: 1, quorum: 3 });
+
+        // Pacing wraps the rate, not the trust shape.
+        let paced = DepositTarget::paced(bft_target, Duration::from_millis(1));
+        assert_eq!(paced.ack_mode(), AckMode::Bft { f: 1, quorum: 3 });
     }
 
     #[test]

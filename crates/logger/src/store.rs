@@ -159,6 +159,25 @@ impl LogStore {
         Ok(())
     }
 
+    /// Truncates the store back to `len` records, undoing later appends.
+    /// Chain values of the surviving prefix are untouched (they were never
+    /// a function of the removed suffix). Used by cluster catch-up to back
+    /// out an adoption that raced a concurrent deposit — never by the
+    /// normal append path, which stays append-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::NoSuchEntry`] when `len` exceeds the current
+    /// record count (rollback can only shrink).
+    pub fn rollback_to(&self, len: usize) -> Result<(), LogError> {
+        let mut records = self.records.write();
+        if len > records.len() {
+            return Err(LogError::NoSuchEntry(len));
+        }
+        records.truncate(len);
+        Ok(())
+    }
+
     /// Test/forensics helper: overwrite the raw bytes of a record *without*
     /// updating the chain, simulating an attacker with storage access.
     #[doc(hidden)]

@@ -1,0 +1,313 @@
+//! Byzantine-fault chaos harness: a replica that *lies* rather than dies.
+//!
+//! The crash harness ([`crate::crash`]) proves the cluster survives
+//! replicas that stop; this one proves it survives replicas that keep
+//! talking and misbehave. One replica of a `3f+1` BFT shard is replaced by
+//! a scripted traitor while the other `3f` stay honest, and the run is
+//! driven entry-by-entry (no wall clock, no scheduling in the accounting).
+//! Every scripted behavior must end in one of exactly two outcomes:
+//!
+//! * **continued liveness** — the `2f+1` honest attest-quorum acks every
+//!   deposit, the traitor's noise costing nothing but redundancy; or
+//! * **a verified conviction** — the traitor's own conflicting signatures
+//!   form a transferable [`adlp_cluster::EquivocationProof`] naming the
+//!   exact (shard, replica), re-verified independently by the auditor.
+//!
+//! Never silent acceptance: a lie either fails to gather a quorum or
+//! convicts its signer.
+//!
+//! The traitor *stores* honestly in every mode — its store matches the
+//! quorum log byte for byte, so comparison-based divergence detection sees
+//! nothing. Only the signed-attestation layer catches it, which is the
+//! point of the exercise.
+
+use adlp_audit::{ClusterAuditReport, ClusterAuditor};
+use adlp_cluster::cluster::ReplicaSlot;
+use adlp_cluster::{
+    slot_sink, AttestationScope, ClusterConfig, ClusterLogClient, ClusterStatsSnapshot, EpochSeal,
+    HeadAttestation, LoggerCluster, ReplicaSink,
+};
+use adlp_crypto::{sha256, RsaKeyPair, RsaPublicKey};
+use adlp_logger::{Direction, LogEntry, LogError};
+use adlp_pubsub::{NodeId, Topic};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+/// What the scripted traitor does with its voice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Control: every replica honest. Must run conviction-free.
+    Honest,
+    /// Stores each entry honestly but signs a *forged* chain head to the
+    /// client at every deposit, while its honest store answers view-time
+    /// interrogation — two valid signatures over conflicting heads at one
+    /// scope. Liveness holds (the honest `2f+1` agree) and the conflict is
+    /// a self-incriminating equivocation proof.
+    Equivocate,
+    /// Captures its first genuine attestation and replays it for every
+    /// later deposit — an attempt to ack new entries with an old sworn
+    /// statement. The stale scope never matches the honest group, so the
+    /// replay supports nothing; replaying one's own consistent statement
+    /// is not equivocation, so the outcome is pure liveness.
+    StaleReplay,
+    /// Honest all run long, then countersigns a *second, conflicting*
+    /// epoch root after sealing — a split-brain seal offered to some
+    /// external party. Epoch scopes are never pruned, so the conflict
+    /// convicts no matter how late it surfaces.
+    ConflictingSeal,
+    /// Stores honestly but never attests — pure withholding. Silence is
+    /// indistinguishable from death, costs one vote of redundancy, and
+    /// convicts nobody.
+    Silent,
+}
+
+impl fmt::Display for ByzantineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ByzantineMode::Honest => "honest",
+            ByzantineMode::Equivocate => "equivocate",
+            ByzantineMode::StaleReplay => "stale-replay",
+            ByzantineMode::ConflictingSeal => "conflicting-seal",
+            ByzantineMode::Silent => "silent",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Deterministic Byzantine chaos plan. Two runs with the same config
+/// produce the same ack set, the same ledger, and the same convictions.
+#[derive(Debug, Clone)]
+pub struct ByzantineChaosConfig {
+    /// Seed for the epoch sealing key (replica attestation keys derive
+    /// from the cluster's own [`adlp_cluster::BftConfig`] seed).
+    pub seed: u64,
+    /// Entries to stream through the signed-quorum deposit path.
+    pub entries: usize,
+    /// The traitor's script.
+    pub mode: ByzantineMode,
+    /// Replica index (within the single shard) played by the traitor.
+    pub traitor: usize,
+    /// Fault tolerance: the shard runs `3f+1` replicas, acks at `2f+1`.
+    pub f: usize,
+}
+
+impl ByzantineChaosConfig {
+    /// A plan with one traitor (replica 2) in a `f = 1` shard of four.
+    pub fn new(seed: u64, mode: ByzantineMode) -> Self {
+        ByzantineChaosConfig {
+            seed,
+            entries: 24,
+            mode,
+            traitor: 2,
+            f: 1,
+        }
+    }
+}
+
+/// What a Byzantine chaos run produced. Holds the cluster alive so tests
+/// can interrogate the view and re-audit.
+#[derive(Debug)]
+pub struct ByzantineChaosOutcome {
+    /// Deposits the signed quorum acknowledged.
+    pub acked: usize,
+    /// Deposits that missed the attest quorum (counted, never silent).
+    pub lost: usize,
+    /// Final cluster counters (attestation verdicts included).
+    pub stats: ClusterStatsSnapshot,
+    /// The epoch seal cut at end of run (countersigned by every replica).
+    pub seal: EpochSeal,
+    /// Public half of the sealing key, for seal verification.
+    pub sealing_key: RsaPublicKey,
+    /// The cluster, alive, for view gathering and auditing.
+    pub cluster: LoggerCluster,
+}
+
+impl ByzantineChaosOutcome {
+    /// Audits the final state: seal verification, cross-replica
+    /// comparison, and independent re-verification of every equivocation
+    /// proof against the replica attestation keyring.
+    pub fn audit(&self) -> ClusterAuditReport {
+        let mut auditor = ClusterAuditor::new(self.cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        if let Some(ledger) = self.cluster.attestations() {
+            auditor = auditor.with_attestation_keys(ledger.keyring().clone());
+        }
+        auditor.audit_sealed_view(&self.cluster.view(), &self.seal, &self.sealing_key)
+    }
+
+    /// (shard, replica) pairs convicted by a verified equivocation proof.
+    pub fn convicted(&self) -> Vec<(usize, usize)> {
+        self.audit().convicted_replicas()
+    }
+}
+
+/// Deterministic entry `i` of the chaos stream (single publisher/topic so
+/// the whole stream exercises one shard's signed quorum).
+fn chaos_entry(i: usize) -> LogEntry {
+    LogEntry::naive(
+        NodeId::new("cam"),
+        Topic::new("image"),
+        Direction::Out,
+        i as u64,
+        1_000 + i as u64,
+        vec![i as u8; 48],
+    )
+}
+
+/// The scripted traitor lane: stores honestly, lies (or stays silent) in
+/// what it *signs*.
+struct TraitorSink {
+    slot: Arc<ReplicaSlot>,
+    mode: ByzantineMode,
+    /// `StaleReplay`: the first genuine attestation, replayed forever.
+    replay: Mutex<Option<HeadAttestation>>,
+}
+
+impl fmt::Debug for TraitorSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraitorSink").field("mode", &self.mode).finish()
+    }
+}
+
+impl ReplicaSink for TraitorSink {
+    fn deposit(&self, entry: &LogEntry) -> bool {
+        self.slot.handle().try_submit(entry.clone()).is_ok()
+    }
+
+    fn deposit_durable(&self, entry: &LogEntry) -> bool {
+        self.slot.handle().submit_durable(entry.clone()).is_ok()
+    }
+
+    fn flush_replica(&self) -> bool {
+        self.slot.handle().flush().is_ok()
+    }
+
+    fn deposit_attested(&self, entry: &LogEntry, durable: bool) -> Option<HeadAttestation> {
+        let took = if durable {
+            self.deposit_durable(entry)
+        } else {
+            self.deposit(entry)
+        };
+        if !took || !self.flush_replica() {
+            return None;
+        }
+        match self.mode {
+            ByzantineMode::Honest | ByzantineMode::ConflictingSeal => {
+                self.slot.attest_head().ok().flatten()
+            }
+            ByzantineMode::Silent => None,
+            ByzantineMode::Equivocate => {
+                // Sign the *true* length with a *forged* head: the claim
+                // stays scope-compatible with the honest group (so the
+                // conflict is attributable, not just noise) while the
+                // content is a lie.
+                let attestor = Arc::clone(self.slot.attestor()?);
+                let handle = self.slot.handle();
+                let length = handle.store().len() as u64;
+                let mut preimage = Vec::with_capacity(24);
+                preimage.extend_from_slice(b"equivocated head #");
+                preimage.extend_from_slice(&length.to_le_bytes());
+                attestor
+                    .attest(AttestationScope::Head { length }, sha256(&preimage))
+                    .ok()
+            }
+            ByzantineMode::StaleReplay => {
+                let mut replay = self.replay.lock();
+                if replay.is_none() {
+                    *replay = self.slot.attest_head().ok().flatten();
+                }
+                replay.clone()
+            }
+        }
+    }
+}
+
+/// Runs the Byzantine chaos scenario.
+///
+/// # Errors
+///
+/// Returns [`LogError`] only for harness-level failures (spawn, seal, or a
+/// BFT cluster missing its attestation ledger). The traitor's misbehavior
+/// is the point of the exercise and never errors out of the run.
+pub fn run_byzantine_chaos(
+    config: &ByzantineChaosConfig,
+) -> Result<ByzantineChaosOutcome, LogError> {
+    let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, config.f))?;
+    let ledger = cluster
+        .attestations()
+        .cloned()
+        .ok_or(LogError::Malformed("byzantine chaos (no attestation ledger)"))?;
+
+    let mut lanes: Vec<Box<dyn ReplicaSink>> = Vec::new();
+    for (i, slot) in cluster.shard_replicas(0).iter().enumerate() {
+        if i == config.traitor && config.mode != ByzantineMode::Honest {
+            lanes.push(Box::new(TraitorSink {
+                slot: Arc::clone(slot),
+                mode: config.mode,
+                replay: Mutex::new(None),
+            }));
+        } else {
+            lanes.push(slot_sink(Arc::clone(slot)));
+        }
+    }
+    let client = ClusterLogClient::from_sinks_with_stats(
+        cluster.config().clone(),
+        cluster.keys().clone(),
+        vec![lanes],
+        cluster.stats().clone(),
+    )
+    .with_attestations(ledger);
+
+    let mut acked = 0usize;
+    let mut lost = 0usize;
+    for i in 0..config.entries {
+        if client.submit(chaos_entry(i)).is_accepted() {
+            acked += 1;
+        } else {
+            lost += 1;
+        }
+    }
+    client.flush()?;
+
+    // Seal the epoch: every replica countersigns, and in BFT mode the
+    // seal's own view gathering interrogates every replica's signed head —
+    // the moment an equivocating traitor's deposit-time lies meet its
+    // store's sworn truth.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sealing = RsaKeyPair::generate(512, &mut rng);
+    let seal = cluster.seal_epoch(sealing.private_key())?;
+
+    if config.mode == ByzantineMode::ConflictingSeal {
+        // The traitor countersigned the honest seal above; now it signs a
+        // *different* root for the same epoch to some other audience.
+        // Feeding that statement back through the shared ledger models the
+        // audience forwarding the evidence.
+        if let Some(attestor) = cluster
+            .shard_replicas(0)
+            .get(config.traitor)
+            .and_then(|slot| slot.attestor())
+        {
+            let forged = attestor.attest(
+                AttestationScope::Epoch { epoch: seal.epoch },
+                sha256(b"split-brain epoch root"),
+            )?;
+            if let Some(shared) = cluster.attestations() {
+                let observation = shared.observe(forged);
+                cluster.stats().note_observation(&observation);
+            }
+        }
+    }
+
+    let stats = cluster.stats().snapshot();
+    Ok(ByzantineChaosOutcome {
+        acked,
+        lost,
+        stats,
+        seal,
+        sealing_key: sealing.public_key().clone(),
+        cluster,
+    })
+}

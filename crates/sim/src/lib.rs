@@ -18,15 +18,23 @@
 //! * [`crash`] — deterministic crash-chaos runners that kill and restart
 //!   durable loggers and cluster replicas mid-stream under storage faults,
 //!   proving no acked entry is ever lost and auditor verdicts are unchanged
-//!   across crashes.
+//!   across crashes;
+//! * [`byzantine`] — scripted-traitor runners for the BFT cluster mode: a
+//!   replica that equivocates, replays stale attestations, splits the
+//!   epoch seal, or goes silent must end in continued liveness or a
+//!   verified equivocation conviction — never silent acceptance.
 
 pub mod app;
+pub mod byzantine;
 pub mod crash;
 pub mod data;
 pub mod metrics;
 pub mod scenario;
 
 pub use app::{fanout_app, self_driving_app, AppSpec, DriveSpec, NodeSpec, PubSpec};
+pub use byzantine::{
+    run_byzantine_chaos, ByzantineChaosConfig, ByzantineChaosOutcome, ByzantineMode,
+};
 pub use crash::{
     run_cluster_chaos, run_single_logger_chaos, ClusterChaosConfig, ClusterChaosOutcome,
     SingleChaosConfig, SingleChaosOutcome,

@@ -1,0 +1,147 @@
+//! Byzantine chaos suite: the acceptance proofs for the BFT cluster mode.
+//!
+//! Every scripted traitor behavior, across multiple seeds, must end in
+//! continued liveness (the honest `2f+1` quorum keeps acking) or a
+//! verified equivocation conviction naming the exact (shard, replica) —
+//! never silent acceptance of a lie.
+
+use adlp_cluster::{AttestationScope, ReplicaStatus};
+use adlp_sim::{run_byzantine_chaos, ByzantineChaosConfig, ByzantineMode};
+
+const SEEDS: [u64; 4] = [11, 23, 37, 49];
+
+#[test]
+fn honest_control_runs_conviction_free() {
+    for seed in SEEDS {
+        let out = run_byzantine_chaos(&ByzantineChaosConfig::new(seed, ByzantineMode::Honest))
+            .expect("chaos run");
+        assert_eq!(out.lost, 0, "seed {seed}: honest 3f+1 must ack everything");
+        assert_eq!(out.acked, 24);
+        let audit = out.audit();
+        assert!(
+            audit.all_clear(),
+            "seed {seed}: honest run must audit clean: {audit:?}"
+        );
+        assert!(audit.convicted_replicas().is_empty());
+        let stats = out.cluster.stats().snapshot();
+        assert_eq!(stats.equivocations_detected, 0, "seed {seed}");
+        assert!(
+            stats.attestations_verified > 0,
+            "seed {seed}: acks must have flowed through signed attestations"
+        );
+        assert_eq!(stats.attestations_rejected, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn equivocating_replica_is_convicted_not_believed() {
+    for seed in SEEDS {
+        let out = run_byzantine_chaos(&ByzantineChaosConfig::new(seed, ByzantineMode::Equivocate))
+            .expect("chaos run");
+        // Liveness: the forged heads never match the honest group, so the
+        // 2f+1 honest replicas carry every ack.
+        assert_eq!(out.lost, 0, "seed {seed}: 3 honest of 4 is a 2f+1 quorum");
+
+        // Conviction: the traitor's deposit-time lie and its store's
+        // view-time truth are two valid signatures over conflicting heads
+        // at one scope — independently re-verified by the auditor.
+        let audit = out.audit();
+        assert!(!audit.all_clear(), "seed {seed}");
+        assert_eq!(
+            audit.convicted_replicas(),
+            vec![(0, 2)],
+            "seed {seed}: conviction must name the exact traitor"
+        );
+        assert_eq!(audit.invalid_convictions, 0, "seed {seed}");
+        assert!(audit
+            .convictions
+            .iter()
+            .all(|p| matches!(p.scope(), AttestationScope::Head { .. })));
+
+        // The traitor stored honestly, so content comparison sees nothing:
+        // only the attestation layer catches it.
+        assert!(
+            audit.divergences.is_empty(),
+            "seed {seed}: an equivocator with an honest store must not show as diverged"
+        );
+        let view = out.cluster.view();
+        assert!(
+            view.shards[0]
+                .statuses
+                .iter()
+                .enumerate()
+                .all(|(i, s)| (i == 2) == matches!(s, ReplicaStatus::Equivocated { .. })),
+            "seed {seed}: exactly the traitor carries the Equivocated verdict: {:?}",
+            view.shards[0].statuses
+        );
+        assert!(
+            out.stats.equivocations_detected >= 1,
+            "seed {seed}: {:?}",
+            out.stats
+        );
+    }
+}
+
+#[test]
+fn stale_attestation_replay_supports_nothing() {
+    for seed in SEEDS {
+        let out = run_byzantine_chaos(&ByzantineChaosConfig::new(seed, ByzantineMode::StaleReplay))
+            .expect("chaos run");
+        // Liveness: a year-old sworn statement cannot ack today's entry —
+        // its scope never matches the honest group — but the honest 2f+1
+        // still carry every deposit.
+        assert_eq!(out.lost, 0, "seed {seed}");
+        // Replaying one's own consistent statement is not equivocation:
+        // no conviction, and the run audits clean.
+        let audit = out.audit();
+        assert!(audit.convicted_replicas().is_empty(), "seed {seed}");
+        assert!(audit.all_clear(), "seed {seed}: {audit:?}");
+        // The replay was counted as a refusal on all but the first
+        // deposit (its vote supported nothing).
+        assert!(
+            out.stats.failovers >= 23,
+            "seed {seed}: stale replays must be counted as non-supporting: {:?}",
+            out.stats
+        );
+    }
+}
+
+#[test]
+fn conflicting_epoch_seal_convicts_the_signer() {
+    for seed in SEEDS {
+        let out =
+            run_byzantine_chaos(&ByzantineChaosConfig::new(seed, ByzantineMode::ConflictingSeal))
+                .expect("chaos run");
+        assert_eq!(out.lost, 0, "seed {seed}: deposits were honest all run");
+        let audit = out.audit();
+        assert!(!audit.all_clear(), "seed {seed}");
+        assert_eq!(audit.convicted_replicas(), vec![(0, 2)], "seed {seed}");
+        assert!(
+            audit
+                .convictions
+                .iter()
+                .any(|p| matches!(p.scope(), AttestationScope::Epoch { .. })),
+            "seed {seed}: the conviction must be at epoch-seal scope"
+        );
+        // The honest seal itself still verifies — the traitor's second
+        // signature convicts it without un-sealing the epoch.
+        assert_eq!(audit.seal, adlp_audit::SealCheck::Verified, "seed {seed}");
+        assert!(out.stats.equivocations_detected >= 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn silent_replica_costs_redundancy_not_liveness() {
+    for seed in SEEDS {
+        let out = run_byzantine_chaos(&ByzantineChaosConfig::new(seed, ByzantineMode::Silent))
+            .expect("chaos run");
+        assert_eq!(out.lost, 0, "seed {seed}: 2f+1 honest voices suffice");
+        assert_eq!(out.acked, 24, "seed {seed}");
+        // Withholding is indistinguishable from death: counted as
+        // failover redundancy loss, convicting nobody.
+        assert!(out.stats.failovers >= 24, "seed {seed}: {:?}", out.stats);
+        let audit = out.audit();
+        assert!(audit.convicted_replicas().is_empty(), "seed {seed}");
+        assert!(audit.all_clear(), "seed {seed}: {audit:?}");
+    }
+}
