@@ -25,6 +25,23 @@
 //! an epoch). The [`AttestationLog`] is the split-view detector: it
 //! remembers the first validly-signed head seen per (replica, scope) and
 //! turns any later conflicting signature into a proof.
+//!
+//! Two refinements keep the detector *sound* (it convicts only liars):
+//!
+//! * every attestation carries a signed **incarnation** counter, bumped by
+//!   the cluster when it rolls a replica's log back (catch-up backing out a
+//!   racy adoption). Heads signed across a sanctioned rollback live in
+//!   different incarnations and never conflict — an honest replica that
+//!   re-reaches the same length with different (correct) content after a
+//!   rollback is not an equivocator. The ledger is the incarnation
+//!   authority: a replica claiming an incarnation the cluster never granted
+//!   it is rejected ([`Observation::BadIncarnation`]), so a Byzantine
+//!   replica cannot dodge conviction by bumping its own counter;
+//! * window pruning advances only on **quorum-corroborated** progress: the
+//!   horizon derives from the highest head length at least `attest_quorum`
+//!   replicas of the shard have validly signed, never from the length a
+//!   single attestation claims — one replica inflating its self-reported
+//!   length cannot flush its own prior statements out of the detector.
 
 use adlp_crypto::pkcs1;
 use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
@@ -34,6 +51,7 @@ use adlp_logger::encoding::{read_bytes, read_uvarint, write_bytes, write_uvarint
 use adlp_logger::LogError;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Byzantine fault budget of a shard.
@@ -144,16 +162,20 @@ impl std::fmt::Display for AttestationScope {
 /// A replica's signed statement: "my log at `scope` has head `head`".
 ///
 /// The signature is PKCS#1 v1.5 over
-/// `h("adlp-cluster/attestation" ‖ shard ‖ replica ‖ scope ‖ head)`, so an
-/// attestation binds the speaking replica's identity, what it speaks
-/// about, and the commitment — nothing can be transplanted between
-/// replicas or scopes.
+/// `h("adlp-cluster/attestation" ‖ shard ‖ replica ‖ incarnation ‖ scope ‖
+/// head)`, so an attestation binds the speaking replica's identity, its
+/// rollback incarnation, what it speaks about, and the commitment —
+/// nothing can be transplanted between replicas, incarnations, or scopes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeadAttestation {
     /// Shard of the attesting replica.
     pub shard: usize,
     /// Replica index within the shard.
     pub replica: usize,
+    /// The replica's rollback incarnation when it signed (see the module
+    /// docs): statements from different incarnations never conflict, and a
+    /// claimed incarnation the cluster never granted is rejected.
+    pub incarnation: u64,
     /// What the head covers.
     pub scope: AttestationScope,
     /// The attested entry-chain head.
@@ -165,6 +187,7 @@ pub struct HeadAttestation {
 fn attestation_digest(
     shard: usize,
     replica: usize,
+    incarnation: u64,
     scope: &AttestationScope,
     head: &Digest,
 ) -> Digest {
@@ -172,6 +195,7 @@ fn attestation_digest(
     h.update(b"adlp-cluster/attestation");
     h.update(&(shard as u64).to_le_bytes());
     h.update(&(replica as u64).to_le_bytes());
+    h.update(&incarnation.to_le_bytes());
     h.update(&[scope.tag()]);
     h.update(&scope.value().to_le_bytes());
     h.update(head.as_bytes());
@@ -184,16 +208,25 @@ impl HeadAttestation {
     pub fn verify(&self, key: &RsaPublicKey) -> bool {
         pkcs1::verify_digest(
             key,
-            &attestation_digest(self.shard, self.replica, &self.scope, &self.head),
+            &attestation_digest(
+                self.shard,
+                self.replica,
+                self.incarnation,
+                &self.scope,
+                &self.head,
+            ),
             &self.signature,
         )
     }
 
-    /// Whether two attestations by the same replica over the same scope
-    /// commit to different heads — the equivocation condition.
+    /// Whether two attestations by the same replica, in the same
+    /// incarnation, over the same scope commit to different heads — the
+    /// equivocation condition. Statements separated by a sanctioned
+    /// rollback (different incarnations) never conflict.
     pub fn conflicts_with(&self, other: &HeadAttestation) -> bool {
         self.shard == other.shard
             && self.replica == other.replica
+            && self.incarnation == other.incarnation
             && self.scope == other.scope
             && self.head != other.head
     }
@@ -203,6 +236,7 @@ impl HeadAttestation {
         let mut out = Vec::with_capacity(64 + self.signature.len());
         write_uvarint(&mut out, self.shard as u64);
         write_uvarint(&mut out, self.replica as u64);
+        write_uvarint(&mut out, self.incarnation);
         out.push(self.scope.tag());
         write_uvarint(&mut out, self.scope.value());
         out.extend_from_slice(self.head.as_bytes());
@@ -219,6 +253,7 @@ impl HeadAttestation {
         let mut input = bytes;
         let shard = read_uvarint(&mut input)? as usize;
         let replica = read_uvarint(&mut input)? as usize;
+        let incarnation = read_uvarint(&mut input)?;
         let (tag, rest) = input
             .split_first()
             .ok_or(LogError::Malformed("attestation (scope tag)"))?;
@@ -236,6 +271,7 @@ impl HeadAttestation {
         Ok(HeadAttestation {
             shard,
             replica,
+            incarnation,
             scope,
             head,
             signature,
@@ -250,15 +286,21 @@ pub struct ReplicaAttestor {
     shard: usize,
     replica: usize,
     key: RsaPrivateKey,
+    /// Current rollback incarnation, stamped into every signature. The
+    /// cluster advances it (via [`ReplicaAttestor::set_incarnation`]) when
+    /// it rolls this replica's log back; the attestor itself never bumps it.
+    incarnation: AtomicU64,
 }
 
 impl ReplicaAttestor {
-    /// Creates an attestor for (shard, replica) holding `key`.
+    /// Creates an attestor for (shard, replica) holding `key`, starting at
+    /// incarnation 0.
     pub fn new(shard: usize, replica: usize, key: RsaPrivateKey) -> Self {
         ReplicaAttestor {
             shard,
             replica,
             key,
+            incarnation: AtomicU64::new(0),
         }
     }
 
@@ -275,12 +317,14 @@ impl ReplicaAttestor {
     /// Returns [`LogError::Malformed`] when signing fails (e.g. an
     /// undersized key).
     pub fn attest(&self, scope: AttestationScope, head: Digest) -> Result<HeadAttestation, LogError> {
-        let digest = attestation_digest(self.shard, self.replica, &scope, &head);
+        let incarnation = self.incarnation.load(Ordering::SeqCst);
+        let digest = attestation_digest(self.shard, self.replica, incarnation, &scope, &head);
         let signature = pkcs1::sign_digest(&self.key, &digest)
             .map_err(|_| LogError::Malformed("attestation (signing)"))?;
         Ok(HeadAttestation {
             shard: self.shard,
             replica: self.replica,
+            incarnation,
             scope,
             head,
             signature,
@@ -295,6 +339,19 @@ impl ReplicaAttestor {
     /// Replica index this attestor speaks for.
     pub fn replica(&self) -> usize {
         self.replica
+    }
+
+    /// The incarnation currently stamped into signatures.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// Advances the signing incarnation. Called by the cluster after it
+    /// rolls this replica's log back (paired with
+    /// [`AttestationLog::note_rollback`], which grants the new number) —
+    /// never by the replica on its own initiative.
+    pub fn set_incarnation(&self, incarnation: u64) {
+        self.incarnation.store(incarnation, Ordering::SeqCst);
     }
 }
 
@@ -396,6 +453,11 @@ pub enum Observation {
     /// the attestation is discarded (it proves nothing about the replica,
     /// whose key never signed it).
     BadSignature,
+    /// Valid signature claiming an incarnation the cluster never granted
+    /// the replica — discarded like a bad signature. Only the cluster
+    /// advances incarnations (on sanctioned rollbacks), so a replica
+    /// cannot launder a contradiction by bumping its own counter.
+    BadIncarnation,
     /// Valid signature conflicting with a previously recorded one: the
     /// replica equivocated, and here is the conviction.
     Equivocation(Box<EquivocationProof>),
@@ -403,10 +465,16 @@ pub enum Observation {
 
 #[derive(Debug, Default)]
 struct LedgerInner {
-    /// First validly-signed head seen per (shard, replica, scope).
-    seen: BTreeMap<(usize, usize, AttestationScope), HeadAttestation>,
+    /// First validly-signed head seen per (shard, replica, incarnation,
+    /// scope).
+    seen: BTreeMap<(usize, usize, u64, AttestationScope), HeadAttestation>,
     /// Convictions, in detection order (deduplicated per replica+scope).
     proofs: Vec<EquivocationProof>,
+    /// Highest incarnation granted per (shard, replica); absent means 0.
+    incarnations: BTreeMap<(usize, usize), u64>,
+    /// Highest validly-signed head length per (shard, replica) — the input
+    /// to the quorum-corroborated pruning horizon.
+    max_head: BTreeMap<(usize, usize), u64>,
 }
 
 /// The split-view detector: a shared ledger of every validly-signed head
@@ -415,22 +483,29 @@ struct LedgerInner {
 /// signature becomes an [`EquivocationProof`].
 ///
 /// Cheap to clone (shared state); bounded per replica by the BFT window
-/// (old head scopes are pruned as the log grows — pruned history is still
-/// covered by epoch scopes and by store comparison).
+/// (old head scopes are pruned as *quorum-corroborated* progress passes
+/// them — pruned history is still covered by epoch scopes and by store
+/// comparison).
 #[derive(Debug, Clone)]
 pub struct AttestationLog {
     keyring: ReplicaKeyring,
     window: usize,
+    /// How many replicas of a shard must have signed a length before the
+    /// pruning horizon may advance past it (the BFT attest quorum). A
+    /// single replica's self-reported length never moves the horizon.
+    attest_quorum: usize,
     inner: Arc<Mutex<LedgerInner>>,
 }
 
 impl AttestationLog {
     /// Creates an empty ledger verifying against `keyring`, retaining
-    /// `window` head scopes per replica.
-    pub fn new(keyring: ReplicaKeyring, window: usize) -> Self {
+    /// `window` head scopes per replica behind the highest length that
+    /// `attest_quorum` replicas of the shard have validly signed.
+    pub fn new(keyring: ReplicaKeyring, window: usize, attest_quorum: usize) -> Self {
         AttestationLog {
             keyring,
             window: window.max(1),
+            attest_quorum: attest_quorum.max(1),
             inner: Arc::new(Mutex::new(LedgerInner::default())),
         }
     }
@@ -440,16 +515,22 @@ impl AttestationLog {
         &self.keyring
     }
 
-    /// Records one attestation: verifies its signature, checks it against
-    /// every prior statement by the same replica at the same scope, and
-    /// returns what was learned. Equivocations are retained (see
-    /// [`AttestationLog::proofs`]).
+    /// Records one attestation: verifies its signature, checks its claimed
+    /// incarnation was actually granted, checks it against every prior
+    /// statement by the same replica in the same incarnation at the same
+    /// scope, and returns what was learned. Equivocations are retained
+    /// (see [`AttestationLog::proofs`]).
     pub fn observe(&self, att: HeadAttestation) -> Observation {
         if !self.keyring.verify(&att) {
             return Observation::BadSignature;
         }
-        let key = (att.shard, att.replica, att.scope);
+        let identity = (att.shard, att.replica);
         let mut inner = self.inner.lock();
+        let granted = inner.incarnations.get(&identity).copied().unwrap_or(0);
+        if att.incarnation > granted {
+            return Observation::BadIncarnation;
+        }
+        let key = (att.shard, att.replica, att.incarnation, att.scope);
         if let Some(prior) = inner.seen.get(&key) {
             if prior.head == att.head {
                 return Observation::Duplicate;
@@ -469,16 +550,47 @@ impl AttestationLog {
             return Observation::Equivocation(Box::new(proof));
         }
         inner.seen.insert(key, att.clone());
-        // Prune old head scopes for this replica, keeping the window.
+        // Prune old head scopes for this replica, keeping the window — but
+        // advance the horizon only on *quorum-corroborated* length: the
+        // attest_quorum-th largest validly-signed length across the shard's
+        // replicas. One replica signing an inflated Head{huge} cannot flush
+        // its own earlier statements out of the detector.
         if let AttestationScope::Head { length } = att.scope {
-            let horizon = length.saturating_sub(self.window as u64);
-            inner.seen.retain(|(s, r, scope), _| {
+            let max = inner.max_head.entry(identity).or_insert(0);
+            *max = (*max).max(length);
+            let mut lengths: Vec<u64> = inner
+                .max_head
+                .iter()
+                .filter(|((s, _), _)| *s == att.shard)
+                .map(|(_, l)| *l)
+                .collect();
+            lengths.sort_unstable_by(|a, b| b.cmp(a));
+            let corroborated = lengths
+                .get(self.attest_quorum.saturating_sub(1))
+                .copied()
+                .unwrap_or(0);
+            let horizon = corroborated.saturating_sub(self.window as u64);
+            inner.seen.retain(|(s, r, _, scope), _| {
                 !(*s == att.shard
                     && *r == att.replica
                     && matches!(scope, AttestationScope::Head { length: l } if *l < horizon))
             });
         }
         Observation::Consistent
+    }
+
+    /// Grants (shard, replica) its next rollback incarnation and returns
+    /// it. The cluster calls this when it sanctions a rollback of the
+    /// replica's log (catch-up backing out a racy adoption), then advances
+    /// the replica's [`ReplicaAttestor`] to the returned number — heads
+    /// signed before and after the rollback stop being comparable, so the
+    /// honest post-rollback re-signature at a reused length is not an
+    /// equivocation.
+    pub fn note_rollback(&self, shard: usize, replica: usize) -> u64 {
+        let mut inner = self.inner.lock();
+        let granted = inner.incarnations.entry((shard, replica)).or_insert(0);
+        *granted += 1;
+        *granted
     }
 
     /// Every conviction recorded so far (at most one per replica+scope).
@@ -635,7 +747,7 @@ mod tests {
     fn ledger_detects_split_view_and_rejects_bad_signatures() {
         let kp = keypair(6);
         let keyring = ring_of(&[(0, 0, &kp)]);
-        let ledger = AttestationLog::new(keyring, 64);
+        let ledger = AttestationLog::new(keyring, 64, 1);
         let attestor = ReplicaAttestor::new(0, 0, keypair_private(&kp));
 
         let honest = attestor
@@ -668,7 +780,7 @@ mod tests {
     fn ledger_prunes_old_head_scopes_but_keeps_epochs() {
         let kp = keypair(8);
         let keyring = ring_of(&[(0, 0, &kp)]);
-        let ledger = AttestationLog::new(keyring, 4);
+        let ledger = AttestationLog::new(keyring, 4, 1);
         let attestor = ReplicaAttestor::new(0, 0, keypair_private(&kp));
         let epoch = attestor
             .attest(AttestationScope::Epoch { epoch: 1 }, head(1))
@@ -691,5 +803,87 @@ mod tests {
             .attest(AttestationScope::Epoch { epoch: 1 }, head(98))
             .unwrap();
         assert!(matches!(ledger.observe(epoch_lie), Observation::Equivocation(_)));
+    }
+
+    #[test]
+    fn inflated_self_reported_length_cannot_flush_prior_statements() {
+        // Two replicas, attest quorum 2: the pruning horizon only advances
+        // on lengths both have signed. Replica 0 signs Head{3}, then an
+        // inflated Head{1_000_000} — under the old claimed-length horizon
+        // that single statement would have flushed Head{3} from the seen
+        // map, letting it re-sign a conflicting head at 3 undetected.
+        let kp = keypair(10);
+        let peer = keypair(11);
+        let keyring = ring_of(&[(0, 0, &kp), (0, 1, &peer)]);
+        let ledger = AttestationLog::new(keyring, 4, 2);
+        let attestor = ReplicaAttestor::new(0, 0, keypair_private(&kp));
+        let honest_peer = ReplicaAttestor::new(0, 1, keypair_private(&peer));
+
+        let first = attestor
+            .attest(AttestationScope::Head { length: 3 }, head(1))
+            .unwrap();
+        assert_eq!(ledger.observe(first), Observation::Consistent);
+        let peer_att = honest_peer
+            .attest(AttestationScope::Head { length: 3 }, head(1))
+            .unwrap();
+        assert_eq!(ledger.observe(peer_att), Observation::Consistent);
+
+        // The inflated claim verifies (it is the replica's own signature)
+        // but corroborates nothing: the quorum-corroborated length stays 3.
+        let inflated = attestor
+            .attest(AttestationScope::Head { length: 1_000_000 }, head(50))
+            .unwrap();
+        assert_eq!(ledger.observe(inflated), Observation::Consistent);
+
+        // Head{3} is still on record: the conflicting re-signature convicts.
+        let lie = attestor
+            .attest(AttestationScope::Head { length: 3 }, head(2))
+            .unwrap();
+        assert!(matches!(ledger.observe(lie), Observation::Equivocation(_)));
+        assert!(ledger.convicts(0, 0));
+    }
+
+    #[test]
+    fn rollback_incarnations_separate_statements_and_self_bumps_are_refused() {
+        let kp = keypair(12);
+        let keyring = ring_of(&[(0, 0, &kp)]);
+        let ledger = AttestationLog::new(keyring, 64, 1);
+        let attestor = ReplicaAttestor::new(0, 0, keypair_private(&kp));
+
+        // A replica bumping its own incarnation (no sanctioned rollback) is
+        // refused: the statement is discarded, recorded nowhere.
+        attestor.set_incarnation(1);
+        let premature = attestor
+            .attest(AttestationScope::Head { length: 2 }, head(1))
+            .unwrap();
+        assert_eq!(ledger.observe(premature), Observation::BadIncarnation);
+        attestor.set_incarnation(0);
+
+        let before = attestor
+            .attest(AttestationScope::Head { length: 2 }, head(1))
+            .unwrap();
+        assert_eq!(ledger.observe(before.clone()), Observation::Consistent);
+
+        // Sanctioned rollback: the cluster grants incarnation 1, and the
+        // honest re-signature at the same length with different content is
+        // a fresh statement, not an equivocation.
+        let granted = ledger.note_rollback(0, 0);
+        assert_eq!(granted, 1);
+        attestor.set_incarnation(granted);
+        let after = attestor
+            .attest(AttestationScope::Head { length: 2 }, head(2))
+            .unwrap();
+        assert_eq!(ledger.observe(after.clone()), Observation::Consistent);
+        assert!(ledger.proofs().is_empty(), "cross-incarnation heads never conflict");
+
+        // Within the new incarnation the detector is as sharp as ever.
+        let lie = attestor
+            .attest(AttestationScope::Head { length: 2 }, head(3))
+            .unwrap();
+        assert!(matches!(ledger.observe(lie), Observation::Equivocation(_)));
+
+        // And a proof straddling incarnations does not verify as one.
+        let proof = EquivocationProof { first: before, second: after };
+        assert!(!proof.verify(ledger.keyring()));
     }
 }

@@ -224,7 +224,9 @@ impl ClusterLogClient {
     /// a [`crate::attestation::BftConfig`]. [`ClusterLogClient::in_proc`]
     /// does this automatically; `from_sinks` assemblies (fault harnesses,
     /// remote clients) wire it explicitly so client and auditor share one
-    /// ledger.
+    /// ledger. A client whose configuration is BFT but that never received
+    /// a ledger refuses every deposit (counted as lost) rather than
+    /// silently downgrading to unsigned crash-quorum counting.
     pub fn with_attestations(mut self, ledger: AttestationLog) -> Self {
         self.attestations = Some(ledger);
         self
@@ -377,14 +379,36 @@ impl ClusterLogClient {
     /// attestation ledger (so an equivocating signature convicts its
     /// signer right here at deposit time), and the entry is acknowledged
     /// only once `2f+1` attestations agree on one (scope, head). A replica
-    /// that stays silent, fails verification, or signs a head nobody else
-    /// signed simply does not count — it can withhold liveness, never
-    /// forge agreement.
+    /// that stays silent, fails verification, claims an ungranted
+    /// incarnation, or signs a head nobody else signed simply does not
+    /// count — it can withhold liveness, never forge agreement. A BFT
+    /// configuration with no attestation ledger wired refuses outright:
+    /// signed-quorum trust is never silently downgraded.
     fn fan_out(&self, entry: &LogEntry, durable: bool) -> FanOutOutcome {
         let shard_idx = self.ring.shard_for(&entry.component, &entry.topic);
         let bft = match (&self.config.bft, &self.attestations) {
             (Some(cfg), Some(ledger)) => Some((cfg.attest_quorum(), ledger)),
-            _ => None,
+            (Some(cfg), None) => {
+                // A BFT configuration without an attestation ledger cannot
+                // verify a single signature. Refuse the deposit — counted
+                // as lost, surfaced as a failed ack — instead of silently
+                // downgrading a "BFT" client to unsigned crash-quorum
+                // trust. `in_proc` wires the ledger automatically;
+                // `from_sinks` assemblies must call `with_attestations`.
+                self.stats.note_deposit(
+                    shard_idx,
+                    0,
+                    self.config.replicas,
+                    cfg.attest_quorum(),
+                    Duration::ZERO,
+                );
+                return FanOutOutcome {
+                    shard: shard_idx,
+                    accepted: 0,
+                    quorate: false,
+                };
+            }
+            (None, _) => None,
         };
         let quorum = bft.as_ref().map_or(self.config.write_quorum, |(q, _)| *q);
         let Some(lane) = self.shards.get(shard_idx) else {
@@ -436,7 +460,10 @@ impl ClusterLogClient {
                         let speaks_as_self = att.shard == shard_idx && att.replica == i;
                         let observation = ledger.observe(att.clone());
                         self.stats.note_observation(&observation);
-                        let valid = !matches!(observation, Observation::BadSignature);
+                        let valid = !matches!(
+                            observation,
+                            Observation::BadSignature | Observation::BadIncarnation
+                        );
                         // Only a replica speaking verifiably as *itself*
                         // joins the quorum count — a lane replaying some
                         // other replica's voice cannot double a vote.
@@ -668,6 +695,50 @@ mod tests {
         assert_eq!(s.breaker_closes, 1, "healed lane must re-close: {s:?}");
         assert!(sick.calls.load(Ordering::SeqCst) > calls_when_tripped);
         assert!(s.balanced());
+    }
+
+    #[test]
+    fn bft_client_without_ledger_refuses_instead_of_downgrading() {
+        use crate::cluster::LoggerCluster;
+        // A BFT cluster, but the client is assembled via from_sinks and
+        // never wired to the attestation ledger: it must not quietly fall
+        // back to counting unsigned acceptances against the 2f+1 quorum.
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        let sinks: Vec<Vec<Box<dyn ReplicaSink>>> = vec![cluster
+            .shard_replicas(0)
+            .iter()
+            .map(|slot| crate::client::slot_sink(Arc::clone(slot)))
+            .collect()];
+        let client =
+            ClusterLogClient::from_sinks(cluster.config().clone(), cluster.keys().clone(), sinks);
+
+        for seq in 0..3 {
+            assert_eq!(
+                client.submit(entry("cam", "image", seq)),
+                SubmitOutcome::Lost,
+                "misassembled BFT client must refuse, not downgrade"
+            );
+        }
+        let s = client.stats().snapshot();
+        assert_eq!(s.entries_lost, 3);
+        assert_eq!(s.acked, 0);
+        assert!(s.balanced());
+        // No replica even saw the entries: the refusal is at the trust
+        // boundary, before any fan-out.
+        for slot in cluster.shard_replicas(0) {
+            assert_eq!(slot.handle().store().len(), 0);
+        }
+
+        // The same assembly with the ledger wired works.
+        let sinks: Vec<Vec<Box<dyn ReplicaSink>>> = vec![cluster
+            .shard_replicas(0)
+            .iter()
+            .map(|slot| crate::client::slot_sink(Arc::clone(slot)))
+            .collect()];
+        let wired =
+            ClusterLogClient::from_sinks(cluster.config().clone(), cluster.keys().clone(), sinks)
+                .with_attestations(cluster.attestations().unwrap().clone());
+        assert!(wired.submit(entry("cam", "image", 9)).is_accepted());
     }
 
     #[test]

@@ -166,7 +166,7 @@ fn bft_identities(config: &ClusterConfig) -> Option<BftIdentities> {
         attestors.push(row);
         public.push(pub_row);
     }
-    let ledger = AttestationLog::new(ReplicaKeyring::new(public), bft.window);
+    let ledger = AttestationLog::new(ReplicaKeyring::new(public), bft.window, bft.attest_quorum());
     Some(BftIdentities { attestors, ledger })
 }
 
@@ -350,36 +350,45 @@ impl LoggerCluster {
     /// the head) is refused rather than papered over: catch-up repairs
     /// availability, it must never manufacture agreement.
     ///
-    /// Returns the number of records adopted.
+    /// Returns the number of records the replica gained.
     ///
     /// Catch-up is safe against a concurrent deposit: after adopting the
-    /// missing suffix it re-reads the quorum view, and if the adopted log
-    /// is no longer a prefix of (or equal to) the new quorum log — a
-    /// deposit interleaved with the adoption and landed at a different
-    /// position on this replica than on its peers — the adoption is rolled
-    /// back to the pre-catch-up state and the call returns an error. The
-    /// caller retries once the shard is quiet; an interleaved deposit
-    /// never becomes a lasting, unflagged divergence. (For a *durable*
-    /// slot the rollback is in-memory: a crash between the racy adoption
-    /// and the rollback can resurrect the adopted suffix on restart, where
-    /// it surfaces as a lagging/diverged replica in the next view — noisy,
-    /// never silent.)
+    /// missing suffix it re-reads the quorum log, and if the adopted log is
+    /// no longer a prefix of (or equal to) it — a deposit interleaved with
+    /// the adoption and landed at a different position on this replica than
+    /// on its peers — the adoption is rolled back to the pre-catch-up state
+    /// and retried against the fresh quorum (a bounded number of times, so
+    /// a single race self-heals without caller involvement). Both quorum
+    /// reads are *quiet* — no BFT attestation interrogation — so the
+    /// replica never swears to a transient mid-repair state, and each
+    /// rollback advances the replica's attestation incarnation (see
+    /// [`crate::attestation`]): an honest post-rollback re-signature at a
+    /// reused length is a fresh statement, never a self-conviction.
+    ///
+    /// Rollbacks run on the replica's server thread and are durable on a
+    /// durable slot (fresh snapshot, WAL reset), so neither a retry's WAL
+    /// replay nor a crash recovery can resurrect the rolled-back suffix.
+    /// A rollback also discards any deposit that landed mid-adoption on
+    /// this replica; until the retry (which re-adopts it from the quorum
+    /// log) or — if every attempt is raced — a later catch-up succeeds,
+    /// such an entry sits one replica below its acked quorum count. That
+    /// window is visible: the replica shows as lagging in every view.
     ///
     /// # Errors
     ///
     /// Returns [`LogError::NoSuchEntry`] for an unknown slot,
     /// [`LogError::Malformed`] when the replica's log is not a prefix of
-    /// the quorum log or when the quorum advanced mid-catch-up (the
-    /// adoption was rolled back), and submission errors from the adoption
-    /// path.
+    /// the quorum log or when deposits raced every adoption attempt (the
+    /// replica is left at its pre-catch-up state; retry once the shard is
+    /// quieter), and submission errors from the adoption path.
     pub fn catch_up_replica(&self, shard: usize, replica: usize) -> Result<usize, LogError> {
         self.catch_up_replica_inner(shard, replica, &mut |_| {})
     }
 
     /// Test hook: like [`LoggerCluster::catch_up_replica`], but invoking
-    /// `mid_adoption` after each adopted record (with the number adopted so
-    /// far) — lets a test deterministically race a deposit against the
-    /// adoption loop.
+    /// `mid_adoption` after each adopted record (with the cumulative number
+    /// adopted across all attempts, rolled-back adoptions included) — lets
+    /// a test deterministically race a deposit against the adoption loop.
     #[doc(hidden)]
     pub fn catch_up_replica_with_hook(
         &self,
@@ -390,6 +399,9 @@ impl LoggerCluster {
         self.catch_up_replica_inner(shard, replica, mid_adoption)
     }
 
+    /// Adoption attempts before catch-up reports the shard too busy.
+    const CATCH_UP_ATTEMPTS: usize = 3;
+
     fn catch_up_replica_inner(
         &self,
         shard: usize,
@@ -399,46 +411,60 @@ impl LoggerCluster {
         let slot = self
             .replica(shard, replica)
             .ok_or(LogError::NoSuchEntry(replica))?;
-        let view = self.view();
-        let quorum = view
-            .shards
-            .get(shard)
-            .map(|s| s.records.clone())
-            .ok_or(LogError::NoSuchEntry(shard))?;
         let handle = slot.handle();
         let store = handle.store();
-        let have = store.encoded_records();
-        let baseline = have.len();
-        if have.len() > quorum.len() {
-            return Err(LogError::Malformed("catch-up (replica ahead of quorum)"));
+        let baseline = store.len();
+        let mut adopted_total = 0usize;
+        for _ in 0..Self::CATCH_UP_ATTEMPTS {
+            // Quiet quorum read: catch-up must not interrogate attestations
+            // over a state it may roll back.
+            let quorum =
+                view::quorum_records(self, shard).ok_or(LogError::NoSuchEntry(shard))?;
+            let have = store.encoded_records();
+            if have.len() > quorum.len() {
+                return Err(LogError::Malformed("catch-up (replica ahead of quorum)"));
+            }
+            if have.iter().zip(quorum.iter()).any(|(a, b)| a != b) {
+                return Err(LogError::Malformed("catch-up (replica not a quorum prefix)"));
+            }
+            let missing = quorum.get(have.len()..).unwrap_or(&[]);
+            for record in missing {
+                handle.adopt_encoded(record.clone())?;
+                adopted_total += 1;
+                mid_adoption(adopted_total);
+            }
+            handle.flush()?;
+            // Re-read the quorum (again quietly): if it advanced and our
+            // adopted log is no longer a prefix of it, a deposit
+            // interleaved with the adoption — back the adoption out and
+            // try again against the fresh quorum rather than leave a
+            // silent reorder on this replica.
+            let quorum_now =
+                view::quorum_records(self, shard).ok_or(LogError::NoSuchEntry(shard))?;
+            let ours = store.encoded_records();
+            let still_prefix = ours.len() <= quorum_now.len()
+                && ours.iter().zip(quorum_now.iter()).all(|(a, b)| a == b);
+            if still_prefix {
+                return Ok(ours.len() - baseline);
+            }
+            self.rollback_replica(slot, baseline)?;
         }
-        if have.iter().zip(quorum.iter()).any(|(a, b)| a != b) {
-            return Err(LogError::Malformed("catch-up (replica not a quorum prefix)"));
+        Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"))
+    }
+
+    /// Rolls a replica's log back to `len` (durably, on the server thread)
+    /// and, in BFT mode, advances its attestation incarnation so heads
+    /// signed before and after the rollback stop being comparable. Order
+    /// matters: the log is truncated back to the quorum-agreed prefix
+    /// *before* the bump, so any attestation signed in between covers
+    /// unchanged content (a duplicate at worst, never a conflict).
+    fn rollback_replica(&self, slot: &Arc<ReplicaSlot>, len: usize) -> Result<(), LogError> {
+        slot.handle().rollback_to(len)?;
+        if let (Some(ledger), Some(attestor)) = (&self.attestations, slot.attestor()) {
+            let incarnation = ledger.note_rollback(slot.shard(), slot.index());
+            attestor.set_incarnation(incarnation);
         }
-        let missing = quorum.get(have.len()..).unwrap_or(&[]);
-        for (adopted, record) in missing.iter().enumerate() {
-            handle.adopt_encoded(record.clone())?;
-            mid_adoption(adopted + 1);
-        }
-        handle.flush()?;
-        // Re-read the quorum: if it advanced mid-catch-up and our adopted
-        // log is no longer a prefix of it, a deposit interleaved with the
-        // adoption — back the adoption out rather than leave a silent
-        // reorder on this replica.
-        let after = self.view();
-        let quorum_now = after
-            .shards
-            .get(shard)
-            .map(|s| s.records.clone())
-            .ok_or(LogError::NoSuchEntry(shard))?;
-        let ours = store.encoded_records();
-        let still_prefix = ours.len() <= quorum_now.len()
-            && ours.iter().zip(quorum_now.iter()).all(|(a, b)| a == b);
-        if !still_prefix {
-            store.rollback_to(baseline)?;
-            return Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"));
-        }
-        Ok(missing.len())
+        Ok(())
     }
 
     /// Gathers every replica's store and cross-checks them (see
@@ -665,7 +691,7 @@ mod tests {
     }
 
     #[test]
-    fn catch_up_racing_deposit_is_rolled_back_not_absorbed() {
+    fn catch_up_racing_deposit_is_rolled_back_and_retried() {
         use crate::client::ClusterLogClient;
         use std::sync::Arc as StdArc;
         let cluster = StdArc::new(LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap());
@@ -681,8 +707,10 @@ mod tests {
 
         // Race: after the first adopted record, a deposit fans out to the
         // whole shard — landing *mid-adoption* on replica 2, at a different
-        // position than on its peers.
-        let cluster2 = StdArc::clone(&cluster);
+        // position than on its peers. The racy adoption is rolled back and
+        // the internal retry re-adopts everything (raced entry included)
+        // from the fresh quorum log — one call, no silent reorder, and no
+        // acked entry left below quorum.
         let client_ref = &client;
         let result = cluster.catch_up_replica_with_hook(0, 2, &mut |adopted| {
             if adopted == 1 {
@@ -690,22 +718,136 @@ mod tests {
                 client_ref.flush().unwrap();
             }
         });
-        assert!(
-            matches!(result, Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"))),
-            "interleaved deposit must be detected, got {result:?}"
-        );
-        // The adoption was rolled back: replica 2 is back to its
-        // pre-catch-up state, not left holding a silent reorder.
-        let slot = cluster2.replica(0, 2).unwrap();
-        assert_eq!(slot.handle().store().len(), 0, "rollback to baseline");
-        let view = cluster2.view();
-        assert!(view.divergences().is_empty(), "no lasting divergence");
-
-        // With the shard quiet, a retry adopts everything.
-        assert_eq!(cluster2.catch_up_replica(0, 2).unwrap(), 3);
-        let view = cluster2.view();
+        assert_eq!(result.unwrap(), 3, "retry absorbs the raced deposit too");
+        let slot = cluster.replica(0, 2).unwrap();
+        assert_eq!(slot.handle().store().len(), 3);
+        let view = cluster.view();
         assert!(view.divergences().is_empty());
         assert!(view.lagging().is_empty());
+    }
+
+    #[test]
+    fn catch_up_gives_up_cleanly_when_every_attempt_is_raced() {
+        use crate::client::ClusterLogClient;
+        use std::sync::Arc as StdArc;
+        let cluster = StdArc::new(LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap());
+        let client = ClusterLogClient::in_proc(&cluster);
+        for slot in cluster.shard_replicas(0).iter().take(2) {
+            for seq in [1, 2] {
+                slot.handle().try_submit(entry(seq)).unwrap();
+            }
+            slot.handle().flush().unwrap();
+        }
+
+        // A deposit races *every* adopted record: catch-up exhausts its
+        // retries, leaves the replica at its pre-catch-up baseline (not
+        // holding a reorder), and reports the shard too busy.
+        let client_ref = &client;
+        let mut next_seq = 10u64;
+        let result = cluster.catch_up_replica_with_hook(0, 2, &mut |_| {
+            assert!(client_ref.submit(entry(next_seq)).is_accepted());
+            client_ref.flush().unwrap();
+            next_seq += 1;
+        });
+        assert!(
+            matches!(result, Err(LogError::Malformed("catch-up (quorum advanced mid-catch-up)"))),
+            "persistent racing must surface, got {result:?}"
+        );
+        let slot = cluster.replica(0, 2).unwrap();
+        assert_eq!(slot.handle().store().len(), 0, "rolled back to baseline");
+        let view = cluster.view();
+        assert!(view.divergences().is_empty(), "no lasting divergence");
+
+        // Once the shard is quiet, a fresh call adopts everything.
+        assert!(cluster.catch_up_replica(0, 2).unwrap() >= 2);
+        assert!(cluster.view().lagging().is_empty());
+    }
+
+    #[test]
+    fn bft_catch_up_rollback_never_convicts_an_honest_replica() {
+        use crate::client::ClusterLogClient;
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+
+        // Replicas 0, 1, 3 hold [e1, e2]; replica 2 is empty (restarted).
+        for (i, slot) in cluster.shard_replicas(0).iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            for seq in [1, 2] {
+                slot.handle().try_submit(entry(seq)).unwrap();
+            }
+            slot.handle().flush().unwrap();
+        }
+
+        // A signed-quorum deposit races the adoption: the racy state is
+        // rolled back and re-adopted. The replica's log passes through two
+        // *different* contents at the same length — which must never read
+        // as an equivocation, because catch-up reads the quorum quietly
+        // and the rollback advanced the attestation incarnation.
+        let client_ref = &client;
+        let result = cluster.catch_up_replica_with_hook(0, 2, &mut |adopted| {
+            if adopted == 1 {
+                assert!(client_ref.submit(entry(3)).is_accepted());
+                client_ref.flush().unwrap();
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+
+        // Views (interrogations) before and after more signed deposits:
+        // nobody is convicted, nothing equivocated.
+        let view = cluster.view();
+        assert!(view.convictions.is_empty(), "honest repair must not convict");
+        assert!(view.equivocated().is_empty());
+        assert!(client.submit(entry(4)).is_accepted());
+        let view = cluster.view();
+        assert!(view.convictions.is_empty());
+        assert!(view.equivocated().is_empty());
+        assert!(view.divergences().is_empty());
+        assert_eq!(cluster.stats().snapshot().equivocations_detected, 0);
+    }
+
+    #[test]
+    fn durable_catch_up_rollback_survives_crash_recovery() {
+        use adlp_logger::MemStorage;
+
+        let config = ClusterConfig::replicated(1);
+        let devices: Vec<Vec<Arc<MemStorage>>> = (0..config.shards)
+            .map(|_| (0..config.replicas).map(|_| Arc::new(MemStorage::new())).collect())
+            .collect();
+        let storages: Vec<Vec<Arc<dyn Storage>>> = devices
+            .iter()
+            .map(|shard| {
+                shard
+                    .iter()
+                    .map(|d| Arc::clone(d) as Arc<dyn Storage>)
+                    .collect()
+            })
+            .collect();
+        let cluster =
+            LoggerCluster::spawn_durable(config, storages, SyncPolicy::EveryAppend, 1024).unwrap();
+
+        // The replica durably appends three records, then catch-up-style
+        // rollback truncates it to one — snapshot rewritten, WAL reset.
+        let slot = cluster.replica(0, 2).unwrap();
+        for seq in [1, 2, 3] {
+            slot.handle().submit_durable(entry(seq)).unwrap();
+        }
+        slot.handle().rollback_to(1).unwrap();
+        assert_eq!(slot.handle().store().len(), 1);
+
+        // Post-rollback appends land at the truncated indices; a crash and
+        // recovery must replay exactly [e1, e9] — never resurrect the
+        // rolled-back [e2, e3] under or over the retry's records.
+        slot.handle().submit_durable(entry(9)).unwrap();
+        cluster.kill_replica(0, 2);
+        devices[0][2].crash();
+        cluster.restart_replica(0, 2).unwrap();
+        let store = cluster.replica(0, 2).unwrap().handle().store().clone();
+        assert_eq!(store.len(), 2, "rollback is durable: {:?}", store.len());
+        assert_eq!(store.entry(0).unwrap().seq, 1);
+        assert_eq!(store.entry(1).unwrap().seq, 9);
+        assert!(store.verify_chain().is_ok());
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl ClusterStats {
             Observation::Consistent | Observation::Duplicate => {
                 i.attestations_verified.fetch_add(1, Ordering::Relaxed);
             }
-            Observation::BadSignature => {
+            Observation::BadSignature | Observation::BadIncarnation => {
                 i.attestations_rejected.fetch_add(1, Ordering::Relaxed);
             }
             Observation::Equivocation(_) => {
@@ -307,7 +307,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let kp = adlp_crypto::RsaKeyPair::generate(512, &mut rng);
         let keyring = ReplicaKeyring::new(vec![vec![kp.public_key().clone()]]);
-        let ledger = AttestationLog::new(keyring, 16);
+        let ledger = AttestationLog::new(keyring, 16, 1);
         let attestor = ReplicaAttestor::new(0, 0, kp.into_private_key());
         let stats = ClusterStats::new(1);
 

@@ -194,6 +194,24 @@ pub fn gather(cluster: &LoggerCluster) -> ClusterView {
     ClusterView { shards, convictions }
 }
 
+/// One shard's quorum log, gathered *quietly* — no BFT attestation
+/// interrogation. Catch-up uses this for its before/after quorum reads:
+/// interrogating mid-repair would make the caught-up replica swear to a
+/// transient adopted state that a rollback may later undo, and the honest
+/// post-rollback re-signature at the same length would then read as an
+/// equivocation — a false conviction minted by the repair path itself.
+pub(crate) fn quorum_records(cluster: &LoggerCluster, shard: usize) -> Option<Vec<Vec<u8>>> {
+    if shard >= cluster.shard_count() {
+        return None;
+    }
+    let stores: Vec<Vec<Vec<u8>>> = cluster
+        .shard_replicas(shard)
+        .iter()
+        .map(|slot| slot.handle().store().encoded_records())
+        .collect();
+    Some(quorum_log(&stores))
+}
+
 fn gather_shard(cluster: &LoggerCluster, shard: usize) -> ShardView {
     let slots = cluster.shard_replicas(shard);
     let stores: Vec<Vec<Vec<u8>>> = slots

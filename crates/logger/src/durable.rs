@@ -486,6 +486,43 @@ impl DurableLog {
         }
     }
 
+    /// Makes a store *rollback* durable: persists the truncated store as a
+    /// fresh snapshot, then resets the WAL so the rolled-back suffix cannot
+    /// be replayed over the truncation on recovery.
+    ///
+    /// Unlike [`DurableLog::rotate`], failure here is **not** benign. After
+    /// a rotation a stale WAL is merely redundant (replay skips its records
+    /// by index); after a rollback it still holds the discarded suffix at
+    /// indices the truncated store will reuse, so replaying it would
+    /// resurrect exactly the records the rollback removed — and bury the
+    /// records appended after it. Any failure therefore marks the log
+    /// broken (further appends refused) rather than leaving a device whose
+    /// recovery would silently contradict the in-memory log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the snapshot could not be replaced or
+    /// the WAL could not be reset; the log is broken either way.
+    pub fn rollback(&mut self, store: &LogStore) -> Result<(), LogError> {
+        if let Err(e) = self.write_snapshot(store) {
+            self.broken = true;
+            self.counters.note_fsync_failure();
+            return Err(e);
+        }
+        self.appended_since_rotate = 0;
+        match self.wal.reset() {
+            Ok(()) => {
+                self.wal_good_bytes = 8;
+                Ok(())
+            }
+            Err(e) => {
+                self.broken = true;
+                self.counters.note_fsync_failure();
+                Err(e)
+            }
+        }
+    }
+
     fn write_snapshot(&self, store: &LogStore) -> Result<(), LogError> {
         let bytes = encode_snapshot(&store.encoded_records());
         self.storage.write_replace(SNAPSHOT_FILE, &bytes)

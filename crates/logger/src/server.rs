@@ -61,6 +61,11 @@ enum Command {
     /// cluster catch-up to transplant quorum records into a lagging
     /// replica without re-signing anything.
     Adopt(Vec<u8>, Sender<Result<(), LogError>>),
+    /// Truncate the store back to a length, durably (snapshot + WAL reset
+    /// on a durable server) — used by cluster catch-up to back out an
+    /// adoption that raced a concurrent deposit. Runs on the server thread,
+    /// so it serializes with appends instead of racing them.
+    Rollback(usize, Sender<Result<(), LogError>>),
     RegisterKey(NodeId, Box<RsaPublicKey>, Sender<Result<(), LogError>>),
     Flush(Sender<()>),
     /// Simulates a log-server crash: the worker exits immediately,
@@ -152,6 +157,28 @@ impl LoggerHandle {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.tx
             .send(Command::Adopt(encoded, tx))
+            .map_err(|_| LogError::ServerClosed)?;
+        rx.recv().map_err(|_| LogError::ServerClosed)?
+    }
+
+    /// Truncates the log back to `len` records, undoing later appends —
+    /// the cluster catch-up rollback path. On a durable server the
+    /// truncation is made durable too (fresh snapshot, WAL reset), so a
+    /// later recovery cannot resurrect the rolled-back suffix; a rollback
+    /// whose durable half fails marks the device broken rather than
+    /// leaving disk and memory silently divergent. Never used by the
+    /// normal append path, which stays append-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::NoSuchEntry`] when `len` exceeds the current
+    /// record count, [`LogError::ServerClosed`] when the server thread is
+    /// gone, or [`LogError::Io`] when the truncation could not be made
+    /// durable.
+    pub fn rollback_to(&self, len: usize) -> Result<(), LogError> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::Rollback(len, tx))
             .map_err(|_| LogError::ServerClosed)?;
         rx.recv().map_err(|_| LogError::ServerClosed)?
     }
@@ -455,6 +482,17 @@ impl LogServer {
                         Err(e) => Err(e),
                     };
                     // adlp-lint: allow(discarded-fallible) — the adopting caller may have stopped waiting for its verdict
+                    let _ = reply.send(verdict);
+                }
+                Command::Rollback(len, reply) => {
+                    let verdict = match store.rollback_to(len) {
+                        Ok(()) => match durable.as_mut() {
+                            Some(d) => d.rollback(&store),
+                            None => Ok(()),
+                        },
+                        Err(e) => Err(e),
+                    };
+                    // adlp-lint: allow(discarded-fallible) — the rolling-back caller may have stopped waiting for its verdict
                     let _ = reply.send(verdict);
                 }
                 Command::RegisterKey(component, key, reply) => {

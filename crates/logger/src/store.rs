@@ -165,6 +165,12 @@ impl LogStore {
     /// out an adoption that raced a concurrent deposit — never by the
     /// normal append path, which stays append-only.
     ///
+    /// This truncates the **in-memory** store only. A durable server must
+    /// roll back via [`crate::LoggerHandle::rollback_to`], which also
+    /// rewrites the persisted snapshot and resets the WAL — otherwise the
+    /// device still holds the rolled-back suffix and a recovery (or even a
+    /// crash-free retry's WAL replay) resurrects it.
+    ///
     /// # Errors
     ///
     /// Returns [`LogError::NoSuchEntry`] when `len` exceeds the current
