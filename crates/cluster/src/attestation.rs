@@ -48,7 +48,7 @@ use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use adlp_crypto::sha256::{Digest, Sha256};
 use adlp_crypto::Signature;
 use adlp_logger::encoding::{read_bytes, read_uvarint, write_bytes, write_uvarint};
-use adlp_logger::LogError;
+use adlp_logger::{LogError, Storage};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -279,8 +279,83 @@ impl HeadAttestation {
     }
 }
 
+/// The slice of an attestor's state that must survive a restart for the
+/// replica to keep speaking safely (§3.11): its signing incarnation and the
+/// highest head it ever signed. A replica that loses this and comes back at
+/// incarnation 0 with an empty log would re-sign small lengths against its
+/// own durable past and convict itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestorState {
+    /// The rollback incarnation stamped into signatures.
+    pub incarnation: u64,
+    /// The highest [`AttestationScope::Head`] length ever signed.
+    pub signed_len: u64,
+    /// The head signed at `signed_len` (`None` before the first signature).
+    pub signed_head: Option<Digest>,
+}
+
+impl AttestorState {
+    /// Serializes the state for [`Storage::write_replace`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        write_uvarint(&mut out, self.incarnation);
+        write_uvarint(&mut out, self.signed_len);
+        match &self.signed_head {
+            None => out.push(0),
+            Some(head) => {
+                out.push(1);
+                out.extend_from_slice(head.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a persisted state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for truncated or invalid bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, LogError> {
+        let mut input = bytes;
+        let incarnation = read_uvarint(&mut input)?;
+        let signed_len = read_uvarint(&mut input)?;
+        let (flag, rest) = input
+            .split_first()
+            .ok_or(LogError::Malformed("attestor state (head flag)"))?;
+        let signed_head = match flag {
+            0 => None,
+            1 => Some(
+                Digest::from_slice(rest.get(..32).unwrap_or(rest))
+                    .ok_or(LogError::Malformed("attestor state (head)"))?,
+            ),
+            _ => return Err(LogError::Malformed("attestor state (head flag)")),
+        };
+        Ok(AttestorState {
+            incarnation,
+            signed_len,
+            signed_head,
+        })
+    }
+}
+
+/// The mutable, restart-critical half of an attestor, kept under one lock
+/// so every persisted snapshot is internally consistent.
+#[derive(Debug)]
+struct AttestorDurable {
+    signed_len: u64,
+    signed_head: Option<Digest>,
+    /// Where the state persists (device + file name); `None` runs volatile.
+    binding: Option<(Arc<dyn Storage>, String)>,
+}
+
 /// The signing half of one replica's attestation identity. Survives
-/// restarts (a replica keeps its identity across its fail-stop lifecycle).
+/// restarts (a replica keeps its identity across its fail-stop lifecycle),
+/// and — once bound to a storage device via
+/// [`ReplicaAttestor::bind_storage`] — persists its incarnation and
+/// last-signed head through the same write-replace discipline as snapshots
+/// (§3.9), so even a replica whose *log* is volatile resumes from its
+/// durable attestation state instead of re-signing history it no longer
+/// holds.
 #[derive(Debug)]
 pub struct ReplicaAttestor {
     shard: usize,
@@ -290,17 +365,99 @@ pub struct ReplicaAttestor {
     /// cluster advances it (via [`ReplicaAttestor::set_incarnation`]) when
     /// it rolls this replica's log back; the attestor itself never bumps it.
     incarnation: AtomicU64,
+    durable: Mutex<AttestorDurable>,
 }
 
 impl ReplicaAttestor {
     /// Creates an attestor for (shard, replica) holding `key`, starting at
-    /// incarnation 0.
+    /// incarnation 0 with no storage binding.
     pub fn new(shard: usize, replica: usize, key: RsaPrivateKey) -> Self {
         ReplicaAttestor {
             shard,
             replica,
             key,
             incarnation: AtomicU64::new(0),
+            durable: Mutex::new(AttestorDurable {
+                signed_len: 0,
+                signed_head: None,
+                binding: None,
+            }),
+        }
+    }
+
+    /// Binds the attestor to a storage device: any previously persisted
+    /// state under `name` is resumed (the persisted incarnation and signed
+    /// length are adopted if ahead of the in-memory ones), and every future
+    /// head signature or incarnation grant is persisted before it takes
+    /// effect. Returns the state in force after the merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the device refuses the read or the
+    /// initial persist, and [`LogError::Malformed`] for a corrupt state
+    /// file (fail closed: better to refuse than to resume from garbage).
+    pub fn bind_storage(
+        &self,
+        storage: Arc<dyn Storage>,
+        name: impl Into<String>,
+    ) -> Result<AttestorState, LogError> {
+        let name = name.into();
+        let resumed = match storage.read(&name)? {
+            Some(bytes) => Some(AttestorState::decode(&bytes)?),
+            None => None,
+        };
+        let merged = {
+            let mut durable = self.durable.lock();
+            if let Some(state) = resumed {
+                if state.incarnation > self.incarnation.load(Ordering::SeqCst) {
+                    self.incarnation.store(state.incarnation, Ordering::SeqCst);
+                }
+                if state.signed_len > durable.signed_len
+                    || (durable.signed_head.is_none() && state.signed_head.is_some())
+                {
+                    durable.signed_len = durable.signed_len.max(state.signed_len);
+                    durable.signed_head = state.signed_head;
+                }
+            }
+            durable.binding = Some((storage, name));
+            AttestorState {
+                incarnation: self.incarnation.load(Ordering::SeqCst),
+                signed_len: durable.signed_len,
+                signed_head: durable.signed_head,
+            }
+        };
+        self.persist()?;
+        Ok(merged)
+    }
+
+    /// The restart-critical state currently in force.
+    pub fn state(&self) -> AttestorState {
+        let durable = self.durable.lock();
+        AttestorState {
+            incarnation: self.incarnation.load(Ordering::SeqCst),
+            signed_len: durable.signed_len,
+            signed_head: durable.signed_head,
+        }
+    }
+
+    /// Writes the current state through the binding, if any. Called with no
+    /// locks held; snapshots the state and binding under the lock, then
+    /// performs the device write outside it.
+    fn persist(&self) -> Result<(), LogError> {
+        let (binding, state) = {
+            let durable = self.durable.lock();
+            (
+                durable.binding.clone(),
+                AttestorState {
+                    incarnation: self.incarnation.load(Ordering::SeqCst),
+                    signed_len: durable.signed_len,
+                    signed_head: durable.signed_head,
+                },
+            )
+        };
+        match binding {
+            None => Ok(()),
+            Some((storage, name)) => storage.write_replace(&name, &state.encode()),
         }
     }
 
@@ -315,12 +472,31 @@ impl ReplicaAttestor {
     /// # Errors
     ///
     /// Returns [`LogError::Malformed`] when signing fails (e.g. an
-    /// undersized key).
+    /// undersized key) and [`LogError::Io`] when the attestor is bound to a
+    /// storage device that refuses to record the statement — record first,
+    /// speak second: a head signature is only released once the durable
+    /// state covering it is on the device, so no restart can leave the
+    /// replica ignorant of what it already swore to.
     pub fn attest(&self, scope: AttestationScope, head: Digest) -> Result<HeadAttestation, LogError> {
         let incarnation = self.incarnation.load(Ordering::SeqCst);
         let digest = attestation_digest(self.shard, self.replica, incarnation, &scope, &head);
         let signature = pkcs1::sign_digest(&self.key, &digest)
             .map_err(|_| LogError::Malformed("attestation (signing)"))?;
+        if let AttestationScope::Head { length } = scope {
+            let advanced = {
+                let mut durable = self.durable.lock();
+                if length >= durable.signed_len {
+                    durable.signed_len = length;
+                    durable.signed_head = Some(head);
+                    true
+                } else {
+                    false
+                }
+            };
+            if advanced {
+                self.persist()?;
+            }
+        }
         Ok(HeadAttestation {
             shard: self.shard,
             replica: self.replica,
@@ -350,8 +526,16 @@ impl ReplicaAttestor {
     /// rolls this replica's log back (paired with
     /// [`AttestationLog::note_rollback`], which grants the new number) —
     /// never by the replica on its own initiative.
-    pub fn set_incarnation(&self, incarnation: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when a bound storage device refuses to
+    /// persist the grant; the in-memory incarnation still advances (the
+    /// grant is the ledger's, losing it merely costs a re-grant on the
+    /// next restart).
+    pub fn set_incarnation(&self, incarnation: u64) -> Result<(), LogError> {
         self.incarnation.store(incarnation, Ordering::SeqCst);
+        self.persist()
     }
 }
 
@@ -844,6 +1028,77 @@ mod tests {
     }
 
     #[test]
+    fn attestor_state_roundtrips_and_resumes_across_process_loss() {
+        use adlp_logger::MemStorage;
+
+        let device: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let kp = keypair(20);
+
+        // First life: bind, sign heads, receive an incarnation grant.
+        let attestor = ReplicaAttestor::new(0, 1, keypair_private(&kp));
+        assert_eq!(
+            attestor.bind_storage(Arc::clone(&device), "attestor").unwrap(),
+            AttestorState { incarnation: 0, signed_len: 0, signed_head: None }
+        );
+        attestor
+            .attest(AttestationScope::Head { length: 7 }, head(7))
+            .unwrap();
+        // A smaller length never regresses the durable high-water mark.
+        attestor
+            .attest(AttestationScope::Head { length: 3 }, head(3))
+            .unwrap();
+        attestor.set_incarnation(2).unwrap();
+        drop(attestor);
+
+        // Second life (fresh process): the same device resumes the state —
+        // the incarnation and last-signed head survived.
+        let reborn = ReplicaAttestor::new(0, 1, keypair_private(&kp));
+        let resumed = reborn.bind_storage(Arc::clone(&device), "attestor").unwrap();
+        assert_eq!(
+            resumed,
+            AttestorState { incarnation: 2, signed_len: 7, signed_head: Some(head(7)) }
+        );
+        assert_eq!(reborn.incarnation(), 2);
+        assert_eq!(reborn.state(), resumed);
+
+        // Epoch scopes are not head progress: they must not disturb it.
+        reborn
+            .attest(AttestationScope::Epoch { epoch: 9 }, head(9))
+            .unwrap();
+        assert_eq!(reborn.state().signed_len, 7);
+
+        // The raw bytes also round-trip standalone, and truncations are
+        // refused rather than resumed from.
+        let encoded = reborn.state().encode();
+        assert_eq!(AttestorState::decode(&encoded).unwrap(), reborn.state());
+        for cut in 0..encoded.len() {
+            assert!(
+                AttestorState::decode(&encoded[..cut]).is_err(),
+                "truncation at {cut} must fail closed"
+            );
+        }
+    }
+
+    #[test]
+    fn attest_fails_closed_when_the_state_device_refuses() {
+        use adlp_logger::{FaultyStorage, MemStorage, StorageFaultConfig};
+
+        let mut cfg = StorageFaultConfig::none(5);
+        cfg.die_after_ops = Some(2); // survives bind (read + persist), then dies
+        let device: Arc<dyn Storage> =
+            Arc::new(FaultyStorage::new(Arc::new(MemStorage::new()), cfg));
+        let kp = keypair(21);
+        let attestor = ReplicaAttestor::new(0, 0, keypair_private(&kp));
+        attestor.bind_storage(device, "attestor").unwrap();
+
+        // Record first, speak second: if the device cannot record the
+        // statement, the signature is withheld.
+        assert!(attestor
+            .attest(AttestationScope::Head { length: 1 }, head(1))
+            .is_err());
+    }
+
+    #[test]
     fn rollback_incarnations_separate_statements_and_self_bumps_are_refused() {
         let kp = keypair(12);
         let keyring = ring_of(&[(0, 0, &kp)]);
@@ -852,12 +1107,12 @@ mod tests {
 
         // A replica bumping its own incarnation (no sanctioned rollback) is
         // refused: the statement is discarded, recorded nowhere.
-        attestor.set_incarnation(1);
+        attestor.set_incarnation(1).unwrap();
         let premature = attestor
             .attest(AttestationScope::Head { length: 2 }, head(1))
             .unwrap();
         assert_eq!(ledger.observe(premature), Observation::BadIncarnation);
-        attestor.set_incarnation(0);
+        attestor.set_incarnation(0).unwrap();
 
         let before = attestor
             .attest(AttestationScope::Head { length: 2 }, head(1))
@@ -869,7 +1124,7 @@ mod tests {
         // a fresh statement, not an equivocation.
         let granted = ledger.note_rollback(0, 0);
         assert_eq!(granted, 1);
-        attestor.set_incarnation(granted);
+        attestor.set_incarnation(granted).unwrap();
         let after = attestor
             .attest(AttestationScope::Head { length: 2 }, head(2))
             .unwrap();

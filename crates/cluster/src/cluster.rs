@@ -10,8 +10,8 @@ use crate::view::{self, ClusterView};
 use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use adlp_crypto::RsaKeyPair;
 use adlp_logger::{
-    DurabilityConfig, DurabilityStats, KeyRegistry, LogError, LogServer, LoggerHandle, Recovery,
-    Storage, SyncPolicy,
+    DurabilityConfig, DurabilityStats, KeyRegistry, LogError, LogServer, LoggerHandle, MemStorage,
+    Recovery, Storage, SyncPolicy,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -134,6 +134,11 @@ pub struct LoggerCluster {
     attestations: Option<AttestationLog>,
 }
 
+/// File name the attestor's restart-critical state persists under on a
+/// replica's storage device (alongside the WAL and snapshot files, never
+/// clashing with them).
+const ATTESTOR_STATE_FILE: &str = "attestor";
+
 /// Per-replica attestation identities for a BFT cluster, generated
 /// deterministically from the configured seed (deployments would load real
 /// keys; determinism keeps chaos drills replayable).
@@ -192,6 +197,13 @@ impl LoggerCluster {
                     .and_then(|ids| ids.attestors.get(shard))
                     .and_then(|row| row.get(index))
                     .cloned();
+                if let Some(att) = &attestor {
+                    // Even with a volatile log, the attestation identity
+                    // gets a small durable device of its own (think TPM /
+                    // NVRAM): the incarnation and last-signed head survive
+                    // the replica's fail-stop lifecycle.
+                    att.bind_storage(Arc::new(MemStorage::new()), ATTESTOR_STATE_FILE)?;
+                }
                 replicas.push(Arc::new(ReplicaSlot {
                     shard,
                     index,
@@ -242,7 +254,7 @@ impl LoggerCluster {
         for (shard, shard_storages) in storages.into_iter().enumerate() {
             let mut replicas = Vec::with_capacity(config.replicas);
             for (index, storage) in shard_storages.into_iter().enumerate() {
-                let slot_config = DurabilityConfig::new(storage)
+                let slot_config = DurabilityConfig::new(Arc::clone(&storage))
                     .fsync(fsync)
                     .rotate_every(rotate_every)
                     .counters(durability.clone());
@@ -252,6 +264,12 @@ impl LoggerCluster {
                     .and_then(|ids| ids.attestors.get(shard))
                     .and_then(|row| row.get(index))
                     .cloned();
+                if let Some(att) = &attestor {
+                    // The attestation state shares the replica's storage
+                    // device, under its own file — same write-replace
+                    // durability as snapshots, resumed on re-open.
+                    att.bind_storage(Arc::clone(&storage), ATTESTOR_STATE_FILE)?;
+                }
                 replicas.push(Arc::new(ReplicaSlot {
                     shard,
                     index,
@@ -340,7 +358,31 @@ impl LoggerCluster {
         let slot = self
             .replica(shard, replica)
             .ok_or(LogError::NoSuchEntry(replica))?;
-        slot.restart(self.keys.clone())
+        let recovery = slot.restart(self.keys.clone())?;
+        self.reconcile_restarted_attestor(slot)?;
+        Ok(recovery)
+    }
+
+    /// BFT mode only: if a restarted replica's recovered log is shorter
+    /// than the highest head its attestor ever signed (a volatile log, or a
+    /// recovery that truncated unsynced records), the replica has lost
+    /// attested history. Re-signing those small lengths in the old
+    /// incarnation would convict it of equivocation against its own past —
+    /// so the cluster sanctions the loss exactly like a catch-up rollback:
+    /// a fresh incarnation, granted by the ledger and persisted by the
+    /// attestor. The durable signed-length record is what makes this
+    /// detectable at all; without it a restarted replica could not know it
+    /// ever spoke.
+    fn reconcile_restarted_attestor(&self, slot: &Arc<ReplicaSlot>) -> Result<(), LogError> {
+        let (Some(ledger), Some(attestor)) = (&self.attestations, slot.attestor()) else {
+            return Ok(());
+        };
+        let recovered = slot.handle().store().len() as u64;
+        if recovered < attestor.state().signed_len {
+            let incarnation = ledger.note_rollback(slot.shard(), slot.index());
+            attestor.set_incarnation(incarnation)?;
+        }
+        Ok(())
     }
 
     /// Brings a lagging replica back to its shard's quorum log by adopting
@@ -462,7 +504,7 @@ impl LoggerCluster {
         slot.handle().rollback_to(len)?;
         if let (Some(ledger), Some(attestor)) = (&self.attestations, slot.attestor()) {
             let incarnation = ledger.note_rollback(slot.shard(), slot.index());
-            attestor.set_incarnation(incarnation);
+            attestor.set_incarnation(incarnation)?;
         }
         Ok(())
     }
@@ -688,6 +730,54 @@ mod tests {
         cluster.kill_replica(0, 2);
         assert!(!client.submit(entry(9)).is_accepted());
         assert_eq!(cluster.stats().snapshot().entries_lost, 1);
+    }
+
+    #[test]
+    fn bft_replica_restarted_mid_run_neither_self_convicts_nor_loses_incarnation() {
+        use crate::client::ClusterLogClient;
+        let cluster = LoggerCluster::spawn(ClusterConfig::byzantine(1, 1)).unwrap();
+        let client = ClusterLogClient::in_proc(&cluster);
+        for seq in 0..3 {
+            assert!(client.submit(entry(seq)).is_accepted());
+        }
+        let slot = cluster.replica(0, 1).unwrap().clone();
+        let attestor = slot.attestor().unwrap().clone();
+        assert_eq!(attestor.state().signed_len, 3);
+        assert_eq!(attestor.incarnation(), 0);
+
+        // Crash and restart: the volatile log is gone, but the attestor's
+        // durable state is not — the cluster sees recovered length 0 against
+        // signed length 3 and sanctions the loss with a fresh incarnation.
+        cluster.kill_replica(0, 1);
+        cluster.restart_replica(0, 1).unwrap();
+        assert_eq!(attestor.incarnation(), 1, "restart granted a fresh incarnation");
+        assert_eq!(attestor.state().signed_len, 3, "durable signed head survived");
+
+        // A deposit lands while the replica is still empty: it appends at
+        // local length 1 and re-signs Head{1} with *different* content than
+        // it signed at length 1 before the restart. In the old incarnation
+        // that is an equivocation against its own past; in the granted one
+        // it is a fresh statement. Nobody is convicted.
+        assert!(client.submit(entry(9)).is_accepted());
+        let view = cluster.view();
+        assert!(view.convictions.is_empty(), "honest restart must not convict");
+        assert!(view.equivocated().is_empty());
+        assert_eq!(cluster.stats().snapshot().equivocations_detected, 0);
+
+        // A second restart clears the (unavoidably diverged) mid-run log;
+        // the incarnation keeps ratcheting, never resets, and catch-up
+        // brings the replica back to the quorum with a clean view.
+        cluster.kill_replica(0, 1);
+        cluster.restart_replica(0, 1).unwrap();
+        assert_eq!(attestor.incarnation(), 2, "incarnation ratchets, never resets");
+        assert!(cluster.catch_up_replica(0, 1).unwrap() >= 4);
+        assert!(client.submit(entry(10)).is_accepted());
+        let view = cluster.view();
+        assert!(view.convictions.is_empty());
+        assert!(view.equivocated().is_empty());
+        assert!(view.divergences().is_empty());
+        assert!(view.lagging().is_empty());
+        assert_eq!(cluster.stats().snapshot().equivocations_detected, 0);
     }
 
     #[test]

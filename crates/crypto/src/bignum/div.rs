@@ -26,8 +26,8 @@ impl BigUint {
         if self < divisor {
             return Ok((BigUint::zero(), self.clone()));
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+        if let [d] = divisor.limbs.as_slice() {
+            let (q, r) = self.div_rem_u64(*d);
             return Ok((q, BigUint::from_u64(r)));
         }
         Ok(knuth_d(self, divisor))
@@ -42,9 +42,9 @@ impl BigUint {
         assert!(d != 0, "division by zero");
         let mut quotient = vec![0u64; self.limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | u128::from(self.limbs[i]);
-            quotient[i] = (cur / u128::from(d)) as u64;
+        for (q, &limb) in quotient.iter_mut().rev().zip(self.limbs.iter().rev()) {
+            let cur = (rem << 64) | u128::from(limb);
+            *q = (cur / u128::from(d)) as u64;
             rem = cur % u128::from(d);
         }
         (BigUint::from_limbs(quotient), rem as u64)
@@ -56,28 +56,44 @@ impl BigUint {
     }
 }
 
-/// Knuth Algorithm D for multi-limb divisors.
+/// Knuth Algorithm D for multi-limb divisors (`v.limbs.len() ≥ 2`, both
+/// operands normalized, `u ≥ v` — guaranteed by `div_rem`). Written with
+/// slice patterns and zipped windows so no arithmetic step can panic on
+/// out-of-range access.
 fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
     let n = v.limbs.len();
-    let m = u.limbs.len() - n;
+    let m = u.limbs.len().saturating_sub(n);
 
     // D1: normalize so the divisor's top limb has its high bit set.
-    let shift = v.limbs[n - 1].leading_zeros() as usize;
+    let shift = v.limbs.last().map_or(0, |top| top.leading_zeros() as usize);
     let vn = (v << shift).limbs;
     let mut un = (u << shift).limbs;
     un.resize(u.limbs.len() + 1, 0); // extra high limb for the algorithm
 
-    let mut q = vec![0u64; m + 1];
-    let v_top = u128::from(vn[n - 1]);
-    let v_next = u128::from(vn[n - 2]);
+    // Top two normalized divisor limbs; the multi-limb path guarantees
+    // n ≥ 2, so the pattern always matches.
+    let [.., v_next, v_top] = vn.as_slice() else {
+        return (BigUint::zero(), u.clone());
+    };
+    let (v_top, v_next) = (u128::from(*v_top), u128::from(*v_next));
 
-    // D2-D7: main loop over quotient digits.
+    // D2-D7: main loop over quotient digits, highest first.
+    let mut q_rev = Vec::with_capacity(m + 1);
     for j in (0..=m).rev() {
+        // The active dividend window un[j ..= j+n]: n+1 limbs, always in
+        // range because un was resized to u.limbs.len()+1 ≥ j+n+1.
+        let Some(win) = un.get_mut(j..=j + n) else {
+            break;
+        };
         // D3: estimate the quotient digit from the top two dividend limbs.
         // With a normalized divisor, clamping the estimate to b-1 leaves it
         // at most 2 above the true digit (Knuth Theorem B), so the
         // correction loop below runs at most twice.
-        let num = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+        let [.., third, second, top] = &*win else {
+            break; // n ≥ 2 ⇒ the window has ≥ 3 limbs
+        };
+        let num = (u128::from(*top) << 64) | u128::from(*second);
+        let num_third = u128::from(*third);
         let mut qhat = num / v_top;
         let mut rhat = num % v_top;
         if qhat > u128::from(u64::MAX) {
@@ -85,42 +101,51 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
             rhat = num - qhat * v_top;
         }
         while rhat <= u128::from(u64::MAX)
-            && qhat * v_next > ((rhat << 64) | u128::from(un[j + n - 2]))
+            && qhat * v_next > ((rhat << 64) | num_third)
         {
             qhat -= 1;
             rhat += v_top;
         }
 
-        // D4: multiply-subtract qhat * v from the dividend window.
+        // D4: multiply-subtract qhat * v from the dividend window (the
+        // zip covers the n low limbs; the window's top limb takes the
+        // final carry/borrow).
         let mut borrow = 0i128;
         let mut carry = 0u128;
-        for i in 0..n {
-            let p = qhat * u128::from(vn[i]) + carry;
+        for (ui, &vi) in win.iter_mut().zip(vn.iter()) {
+            let p = qhat * u128::from(vi) + carry;
             carry = p >> 64;
-            let t = i128::from(un[j + i]) - i128::from(p as u64) - borrow;
-            un[j + i] = t as u64;
+            let t = i128::from(*ui) - i128::from(p as u64) - borrow;
+            *ui = t as u64;
             borrow = i64::from(t < 0) as i128;
         }
-        let t = i128::from(un[j + n]) - i128::from(carry as u64) - borrow;
-        un[j + n] = t as u64;
+        let mut t = 0i128;
+        if let Some(top) = win.last_mut() {
+            t = i128::from(*top) - i128::from(carry as u64) - borrow;
+            *top = t as u64;
+        }
 
         // D5-D6: if we overshot (rare), add the divisor back once.
         if t < 0 {
             qhat -= 1;
             let mut carry = 0u128;
-            for i in 0..n {
-                let s = u128::from(un[j + i]) + u128::from(vn[i]) + carry;
-                un[j + i] = s as u64;
+            for (ui, &vi) in win.iter_mut().zip(vn.iter()) {
+                let s = u128::from(*ui) + u128::from(vi) + carry;
+                *ui = s as u64;
                 carry = s >> 64;
             }
-            un[j + n] = un[j + n].wrapping_add(carry as u64);
+            if let Some(top) = win.last_mut() {
+                *top = top.wrapping_add(carry as u64);
+            }
         }
-        q[j] = qhat as u64;
+        q_rev.push(qhat as u64);
     }
+    q_rev.reverse();
 
-    // D8: denormalize the remainder.
-    let r = BigUint::from_limbs(un[..n].to_vec()) >> shift;
-    (BigUint::from_limbs(q), r)
+    // D8: denormalize the remainder (the low n limbs of un).
+    un.truncate(n);
+    let r = BigUint::from_limbs(un) >> shift;
+    (BigUint::from_limbs(q_rev), r)
 }
 
 impl Rem<&BigUint> for &BigUint {

@@ -42,11 +42,14 @@ impl Montgomery {
         let limbs = n.limbs.clone();
         let s = limbs.len();
         // Newton iteration for the inverse of n[0] mod 2^64 (5 steps suffice).
-        let mut inv = limbs[0];
+        // A non-zero modulus always has a low limb; the odd fallback keeps the
+        // iteration well-defined regardless.
+        let n0 = limbs.first().copied().unwrap_or(1);
+        let mut inv = n0;
         for _ in 0..6 {
-            inv = inv.wrapping_mul(2u64.wrapping_sub(limbs[0].wrapping_mul(inv)));
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
         }
-        debug_assert_eq!(limbs[0].wrapping_mul(inv), 1);
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
         let r2 = (BigUint::one() << (2 * 64 * s)).rem_internal(n);
         let mut r2_limbs = r2.limbs;
         r2_limbs.resize(s, 0);
@@ -65,42 +68,52 @@ impl Montgomery {
 
     /// CIOS Montgomery product of two fully-reduced, `s`-limb operands.
     /// Returns `a·b·R^{-1} mod n` as `s` limbs.
+    ///
+    /// The accumulator is the `s` limbs of `t` plus two scalar high limbs
+    /// (`t_hi`, `t_hi2`), so every limb access is a zip over slices of equal
+    /// length — no index arithmetic, nothing to go out of range.
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let s = self.n.len();
         debug_assert!(a.len() == s && b.len() == s);
-        let mut t = vec![0u64; s + 2];
+        let mut t = vec![0u64; s];
+        let mut t_hi = 0u64; // accumulator limb s
+        let mut t_hi2 = 0u64; // accumulator limb s+1
         for &ai in a {
             // t += ai * b
             let mut carry = 0u128;
-            for j in 0..s {
-                let sum = u128::from(t[j]) + u128::from(ai) * u128::from(b[j]) + carry;
-                t[j] = sum as u64;
+            for (tj, &bj) in t.iter_mut().zip(b.iter()) {
+                let sum = u128::from(*tj) + u128::from(ai) * u128::from(bj) + carry;
+                *tj = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = u128::from(t[s]) + carry;
-            t[s] = sum as u64;
-            t[s + 1] += (sum >> 64) as u64;
+            let sum = u128::from(t_hi) + carry;
+            t_hi = sum as u64;
+            t_hi2 += (sum >> 64) as u64;
 
-            // m chosen so that (t + m·n) ≡ 0 mod 2^64; add m·n and shift.
-            let m = t[0].wrapping_mul(self.n0inv);
-            let sum = u128::from(t[0]) + u128::from(m) * u128::from(self.n[0]);
-            let mut carry = sum >> 64;
-            for j in 1..s {
-                let sum = u128::from(t[j]) + u128::from(m) * u128::from(self.n[j]) + carry;
-                t[j - 1] = sum as u64;
+            // m chosen so that (t + m·n) ≡ 0 mod 2^64: add m·n aligned
+            // (forcing the low limb to zero), then shift down one limb.
+            let m = t.first().map_or(0, |&t0| t0.wrapping_mul(self.n0inv));
+            let mut carry = 0u128;
+            for (tj, &nj) in t.iter_mut().zip(self.n.iter()) {
+                let sum = u128::from(*tj) + u128::from(m) * u128::from(nj) + carry;
+                *tj = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = u128::from(t[s]) + carry;
-            t[s - 1] = sum as u64;
-            t[s] = t[s + 1] + (sum >> 64) as u64;
-            t[s + 1] = 0;
+            let sum = u128::from(t_hi) + carry;
+            // Divide by 2^64: rotate the zeroed low limb out and replace it
+            // with what was accumulator limb s.
+            t.rotate_left(1);
+            if let Some(top) = t.last_mut() {
+                *top = sum as u64;
+            }
+            t_hi = t_hi2 + (sum >> 64) as u64;
+            t_hi2 = 0;
         }
-        // Final conditional subtraction: result < 2n at this point.
-        if t[s] != 0 || cmp_limbs(&t[..s], &self.n) != std::cmp::Ordering::Less {
-            let borrow = super::arith::sub_limbs_in_place(&mut t[..s], &self.n);
-            let _ = t[s].wrapping_sub(borrow);
+        // Final conditional subtraction: result < 2n at this point, so one
+        // subtraction of n cancels the high limb and fits in s limbs.
+        if t_hi != 0 || cmp_limbs(&t, &self.n) != std::cmp::Ordering::Less {
+            let _borrow = super::arith::sub_limbs_in_place(&mut t, &self.n);
         }
-        t.truncate(s);
         t
     }
 
@@ -116,7 +129,9 @@ impl Montgomery {
     #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, a: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.n.len()];
-        one[0] = 1;
+        if let Some(low) = one.first_mut() {
+            *low = 1;
+        }
         BigUint::from_limbs(self.mont_mul(a, &one))
     }
 
@@ -136,23 +151,36 @@ impl Montgomery {
         // table[i] = base^i in Montgomery form
         let mut table = Vec::with_capacity(16);
         let mut one = vec![0u64; self.n.len()];
-        one[0] = 1;
+        if let Some(low) = one.first_mut() {
+            *low = 1;
+        }
         table.push(self.mont_mul(&one, &self.r2)); // R mod n == mont(1)
         table.push(base_m.clone());
-        for i in 2..16 {
-            table.push(self.mont_mul(&table[i - 1], &base_m));
+        while table.len() < 16 {
+            let next = match table.last() {
+                Some(prev) => self.mont_mul(prev, &base_m),
+                None => break,
+            };
+            table.push(next);
         }
 
         let bits = exp.bits();
         let windows = bits.div_ceil(4);
-        let mut acc = table[window_at(exp, windows - 1)].clone();
+        // window_at yields 0..=15 and the table holds 16 entries, so the
+        // lookups always hit; the fallbacks only keep the accesses total.
+        let mut acc = table
+            .get(window_at(exp, windows - 1))
+            .cloned()
+            .unwrap_or_default();
         for w in (0..windows - 1).rev() {
             for _ in 0..4 {
                 acc = self.mont_mul(&acc, &acc);
             }
             let digit = window_at(exp, w);
             if digit != 0 {
-                acc = self.mont_mul(&acc, &table[digit]);
+                if let Some(entry) = table.get(digit) {
+                    acc = self.mont_mul(&acc, entry);
+                }
             }
         }
         self.from_mont(&acc)

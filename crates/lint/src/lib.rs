@@ -18,8 +18,11 @@
 //! `// adlp-lint: allow(rule-id) — reason`, reason required.
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 
 use lexer::{lex, TokKind, Token};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -36,6 +39,10 @@ pub struct Diagnostic {
     pub col: u32,
     /// What was matched and why it is a problem.
     pub message: String,
+    /// For flow rules: the witness path (call chain / lock cycle / taint
+    /// flow) that produced the finding, outermost first. Empty for the
+    /// token-local rules.
+    pub witness: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -44,7 +51,11 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}:{}: [{}] {}",
             self.path, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        if !self.witness.is_empty() {
+            write!(f, " [witness: {}]", self.witness.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -62,6 +73,8 @@ pub struct FileCtx {
     attr_regions: Vec<(usize, usize)>,
     /// Token-index ranges of function bodies, with the function name.
     fn_regions: Vec<(usize, usize, String)>,
+    /// Token-index ranges of `impl` blocks with the owner type name.
+    impl_regions: Vec<(usize, usize, String)>,
     /// Line → rule-ids suppressed on that line (via the line itself or a
     /// standalone allow comment directly above).
     allows: HashMap<u32, HashSet<String>>,
@@ -86,6 +99,7 @@ impl FileCtx {
         let attr_regions = find_attr_regions(&toks);
         let test_regions = find_test_regions(&toks, &attr_regions);
         let fn_regions = find_fn_regions(&toks);
+        let impl_regions = find_impl_regions(&toks);
         let (allows, bad_allows) = collect_allows(&comments, source);
         FileCtx {
             path: path.to_owned(),
@@ -93,6 +107,7 @@ impl FileCtx {
             test_regions,
             attr_regions,
             fn_regions,
+            impl_regions,
             allows,
             bad_allows,
         }
@@ -115,6 +130,20 @@ impl FileCtx {
             .filter(|&&(s, e, _)| i >= s && i < e)
             .last()
             .map(|(_, _, name)| name.as_str())
+    }
+
+    /// Owner type of the innermost `impl` block containing token `i`.
+    pub fn impl_owner_at(&self, i: usize) -> Option<String> {
+        self.impl_regions
+            .iter()
+            .filter(|&&(s, e, _)| i >= s && i < e)
+            .max_by_key(|&&(s, _, _)| s)
+            .map(|(_, _, name)| name.clone())
+    }
+
+    /// The cached `impl` regions (start, end, owner type).
+    pub fn impl_regions(&self) -> &[(usize, usize, String)] {
+        &self.impl_regions
     }
 
     /// Whether `rule` is suppressed at `line` by an inline allow.
@@ -214,7 +243,7 @@ fn find_test_regions(toks: &[Token], attrs: &[(usize, usize)]) -> Vec<(usize, us
 }
 
 /// Index one past the delimiter matching the opener at `open`.
-fn matching_close(toks: &[Token], open: usize, op: &str, cl: &str) -> usize {
+pub(crate) fn matching_close(toks: &[Token], open: usize, op: &str, cl: &str) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {
@@ -254,6 +283,57 @@ fn find_fn_regions(toks: &[Token]) -> Vec<(usize, usize, String)> {
             }
         }
         i += 1;
+    }
+    out
+}
+
+/// Records `impl Type { … }` / `impl Trait for Type { … }` spans with the
+/// owner type name, tracking angle-bracket depth so generic parameters
+/// never masquerade as the owner.
+fn find_impl_regions(toks: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            let t = &toks[j];
+            if t.is_punct("<") || t.is_punct("<<") {
+                angle += if t.text == "<<" { 2 } else { 1 };
+            } else if t.is_punct(">") || t.is_punct(">>") {
+                angle -= if t.text == ">>" { 2 } else { 1 };
+            } else if angle <= 0 && t.kind == TokKind::Ident {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if t.text == "where" {
+                    break;
+                } else if saw_for {
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct("{") {
+            let end = matching_close(toks, j, "{", "}");
+            if let Some(name) = after_for.or(last_ident) {
+                out.push((i, end, name));
+            }
+            i = j + 1;
+        } else {
+            i = j + 1;
+        }
     }
     out
 }
@@ -325,35 +405,82 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// Runs every applicable rule over one file.
+/// Runs every applicable rule over one file. The flow rules still run —
+/// the file is treated as a one-file workspace — so fixtures exercise
+/// them, but cross-file calls stay unresolved.
 pub fn analyze(path: &str, source: &str) -> FileReport {
-    let ctx = FileCtx::new(path, source);
+    let mut reports = analyze_files(vec![(path.to_owned(), source.to_owned())]);
+    reports.remove(path).unwrap_or(FileReport {
+        diags: Vec::new(),
+        suppressed: 0,
+    })
+}
+
+/// Analyzes a set of files as one workspace: per-file token rules first,
+/// then the call-graph flow rules (lock-order-cycles, unverified-wire-taint,
+/// ack-before-durable, transitive no-panic-paths) over all of them.
+pub fn analyze_files(files: Vec<(String, String)>) -> BTreeMap<String, FileReport> {
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|(path, source)| FileCtx::new(path, source))
+        .collect();
+
     let mut raw: Vec<Diagnostic> = Vec::new();
-    for rule in rules::ALL {
-        if (rule.applies)(path) {
-            (rule.check)(&ctx, &mut raw);
+    for ctx in &ctxs {
+        for rule in rules::ALL {
+            if (rule.applies)(&ctx.path) {
+                (rule.check)(ctx, &mut raw);
+            }
+        }
+        for (line, msg) in &ctx.bad_allows {
+            raw.push(Diagnostic {
+                rule: "suppression-missing-reason",
+                path: ctx.path.clone(),
+                line: *line,
+                col: 1,
+                message: msg.clone(),
+                witness: Vec::new(),
+            });
         }
     }
-    for (line, msg) in &ctx.bad_allows {
-        raw.push(Diagnostic {
-            rule: "suppression-missing-reason",
-            path: path.to_owned(),
-            line: *line,
-            col: 1,
-            message: msg.clone(),
-        });
+
+    let ws = graph::Workspace::build(ctxs);
+    let summaries = summary::compute(&ws);
+    for rule in rules::FLOW {
+        (rule.check)(&ws, &summaries, &mut raw);
     }
-    let mut diags = Vec::new();
-    let mut suppressed = 0usize;
+
+    let mut out: BTreeMap<String, FileReport> = BTreeMap::new();
+    for ctx in &ws.files {
+        out.insert(
+            ctx.path.clone(),
+            FileReport {
+                diags: Vec::new(),
+                suppressed: 0,
+            },
+        );
+    }
     for d in raw {
-        if ctx.is_allowed(d.rule, d.line) {
-            suppressed += 1;
+        let allowed = ws
+            .files
+            .iter()
+            .find(|c| c.path == d.path)
+            .is_some_and(|c| c.is_allowed(d.rule, d.line));
+        let Some(report) = out.get_mut(&d.path) else {
+            continue;
+        };
+        if allowed {
+            report.suppressed += 1;
         } else {
-            diags.push(d);
+            report.diags.push(d);
         }
     }
-    diags.sort_by_key(|d| (d.line, d.col));
-    FileReport { diags, suppressed }
+    for report in out.values_mut() {
+        report
+            .diags
+            .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    }
+    out
 }
 
 /// Recursively collects the workspace `.rs` files to scan, skipping build
@@ -385,9 +512,10 @@ pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
 }
 
 /// Scans the workspace rooted at `root`; returns per-file reports keyed by
-/// relative path, in deterministic order.
+/// relative path, in deterministic order. All files are analyzed together
+/// so the flow rules see the cross-crate call graph.
 pub fn scan_workspace(root: &Path) -> BTreeMap<String, FileReport> {
-    let mut out = BTreeMap::new();
+    let mut files = Vec::new();
     for file in workspace_files(root) {
         let Ok(source) = std::fs::read_to_string(&file) else {
             continue;
@@ -397,10 +525,9 @@ pub fn scan_workspace(root: &Path) -> BTreeMap<String, FileReport> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let report = analyze(&rel, &source);
-        out.insert(rel, report);
+        files.push((rel, source));
     }
-    out
+    analyze_files(files)
 }
 
 /// Aggregates reports into baseline-shaped counts: `"path:rule"` → n.

@@ -8,9 +8,11 @@
 //! * `--write-baseline` — rewrite `lint-baseline.toml` from the scan.
 //! * `--all` — print every diagnostic, baseline-covered or not.
 //! * `--list-rules` — describe the rules and exit.
+//! * `--explain RULE` — print a rule's invariant and suppression policy.
+//! * `--format json` — machine-readable findings for CI annotation.
 
 use adlp_lint::baseline::{Baseline, Delta};
-use adlp_lint::{analyze, count_by_key, rules, scan_workspace, FileReport};
+use adlp_lint::{analyze_files, count_by_key, rules, scan_workspace, Diagnostic, FileReport};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +22,8 @@ struct Args {
     write_baseline: bool,
     all: bool,
     list_rules: bool,
+    json: bool,
+    explain: Option<String>,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -28,6 +32,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: adlp-lint [--deny] [--write-baseline] [--all] [--list-rules]\n\
+         \x20                [--explain RULE] [--format text|json]\n\
          \x20                [--root DIR] [--baseline FILE] [paths…]"
     );
     std::process::exit(2);
@@ -39,6 +44,8 @@ fn parse_args() -> Args {
         write_baseline: false,
         all: false,
         list_rules: false,
+        json: false,
+        explain: None,
         root: None,
         baseline: None,
         paths: Vec::new(),
@@ -50,6 +57,12 @@ fn parse_args() -> Args {
             "--write-baseline" => args.write_baseline = true,
             "--all" => args.all = true,
             "--list-rules" => args.list_rules = true,
+            "--explain" => args.explain = Some(it.next().unwrap_or_else(|| usage())),
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                _ => usage(),
+            },
             "--root" => args.root = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
@@ -60,6 +73,90 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Escapes a string for JSON output (the hand-rolled subset this CLI
+/// needs: quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the full report as one stable-sorted JSON document.
+fn print_json(
+    reports: &BTreeMap<String, FileReport>,
+    deltas: &[Delta],
+    total: usize,
+    suppressed: usize,
+) {
+    let mut findings: Vec<&Diagnostic> = reports
+        .values()
+        .flat_map(|r| r.diags.iter())
+        .collect();
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+    });
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, d) in findings.iter().enumerate() {
+        let witness = d
+            .witness
+            .iter()
+            .map(|w| json_str(w))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"message\": {}, \"witness\": [{}]}}{}\n",
+            json_str(&d.path),
+            d.line,
+            d.col,
+            json_str(d.rule),
+            json_str(&d.message),
+            witness,
+            if i + 1 < findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let list = |pred: &dyn Fn(&Delta) -> Option<String>| {
+        deltas
+            .iter()
+            .filter_map(pred)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let regressions = list(&|d| match d {
+        Delta::Regression(key, base, cur) => Some(format!(
+            "{{\"key\": {}, \"baseline\": {base}, \"current\": {cur}}}",
+            json_str(key)
+        )),
+        _ => None,
+    });
+    let stale = list(&|d| match d {
+        Delta::Stale(key, base, cur) => Some(format!(
+            "{{\"key\": {}, \"baseline\": {base}, \"current\": {cur}}}",
+            json_str(key)
+        )),
+        _ => None,
+    });
+    out.push_str(&format!("  \"regressions\": [{regressions}],\n"));
+    out.push_str(&format!("  \"stale\": [{stale}],\n"));
+    out.push_str(&format!(
+        "  \"total\": {total},\n  \"suppressed\": {suppressed}\n}}"
+    ));
+    println!("{out}");
 }
 
 /// Walks upward from the current directory to the workspace root (the
@@ -85,7 +182,26 @@ fn main() -> ExitCode {
         for r in rules::ALL {
             println!("{:<22} {}", r.id, r.rationale);
         }
+        for r in rules::FLOW {
+            if rules::by_id(r.id).is_none() {
+                println!("{:<22} {} (flow)", r.id, r.rationale);
+            }
+        }
         return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &args.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{rule}\n{}\n\n{text}", "-".repeat(rule.len()));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "adlp-lint: unknown rule `{rule}` (see --list-rules for the set)"
+                );
+                ExitCode::from(2)
+            }
+        };
     }
 
     let Some(root) = args.root.clone().or_else(find_root) else {
@@ -93,11 +209,12 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    // Scan: the whole workspace, or just the paths given.
+    // Scan: the whole workspace, or just the paths given (analyzed
+    // together, so the flow rules see calls across the given set).
     let reports: BTreeMap<String, FileReport> = if args.paths.is_empty() {
         scan_workspace(&root)
     } else {
-        let mut out = BTreeMap::new();
+        let mut files = Vec::new();
         for p in &args.paths {
             let Ok(source) = std::fs::read_to_string(p) else {
                 eprintln!("adlp-lint: cannot read {}", p.display());
@@ -108,9 +225,9 @@ fn main() -> ExitCode {
                 .unwrap_or(p)
                 .to_string_lossy()
                 .replace('\\', "/");
-            out.insert(rel.clone(), analyze(&rel, &source));
+            files.push((rel, source));
         }
-        out
+        analyze_files(files)
     };
 
     let counts = count_by_key(&reports);
@@ -174,6 +291,9 @@ fn main() -> ExitCode {
         match d {
             Delta::Regression(key, base, cur) => {
                 regressions += 1;
+                if args.json {
+                    continue;
+                }
                 println!("REGRESSION {key}: {cur} violation(s), baseline allows {base}");
                 // Show the offending diagnostics for regressed keys.
                 if let Some((path, rule)) = key.rsplit_once(':') {
@@ -186,15 +306,29 @@ fn main() -> ExitCode {
             }
             Delta::Stale(key, base, cur) => {
                 stale += 1;
-                println!(
-                    "STALE {key}: baseline records {base} but only {cur} remain — \
-                     run --write-baseline to ratchet down"
-                );
+                if args.json {
+                    continue;
+                }
+                if *cur == 0 {
+                    println!(
+                        "STALE {key}: baseline records {base} but 0 remain — delete \
+                         the line `\"{key}\" = {base}` from lint-baseline.toml (or \
+                         run --write-baseline)"
+                    );
+                } else {
+                    println!(
+                        "STALE {key}: baseline records {base} but only {cur} remain — \
+                         lower the line to `\"{key}\" = {cur}` in lint-baseline.toml \
+                         (or run --write-baseline)"
+                    );
+                }
             }
         }
     }
 
-    if args.all {
+    if args.json {
+        print_json(&reports, &deltas, total, suppressed);
+    } else if args.all {
         for report in reports.values() {
             for d in &report.diags {
                 println!("{d}");
@@ -202,12 +336,14 @@ fn main() -> ExitCode {
         }
     }
 
-    println!(
-        "adlp-lint: {files_scanned} files, {total} violation(s) \
-         ({} baselined), {suppressed} suppressed inline, \
-         {regressions} regression(s), {stale} stale baseline key(s)",
-        baseline.total(),
-    );
+    if !args.json {
+        println!(
+            "adlp-lint: {files_scanned} files, {total} violation(s) \
+             ({} baselined), {suppressed} suppressed inline, \
+             {regressions} regression(s), {stale} stale baseline key(s)",
+            baseline.total(),
+        );
+    }
 
     if args.deny && (regressions > 0 || stale > 0) {
         eprintln!(

@@ -1,0 +1,36 @@
+// Known-bad fixture for `ack-before-durable`: the deposit gauge is acked
+// *before* the durable submit, so a crash between the two acknowledges
+// an entry that never reached the WAL.
+
+pub struct Gauge {
+    deposited: u64,
+    lost: u64,
+}
+
+impl Gauge {
+    pub fn note_deposited(&mut self) {
+        self.deposited += 1;
+    }
+
+    pub fn note_lost(&mut self) {
+        self.lost += 1;
+    }
+}
+
+pub struct Logger;
+
+impl Logger {
+    pub fn submit_durable(&self, entry: &[u8]) -> Result<(), ()> {
+        if entry.is_empty() {
+            return Err(());
+        }
+        Ok(())
+    }
+}
+
+pub fn deposit(gauge: &mut Gauge, logger: &Logger, entry: &[u8]) {
+    gauge.note_deposited();
+    if logger.submit_durable(entry).is_err() {
+        gauge.note_lost();
+    }
+}

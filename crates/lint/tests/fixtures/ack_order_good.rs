@@ -1,0 +1,36 @@
+// Known-good twin of ack_order_bad.rs: the ack follows the durable
+// write, and the failure branch counts the loss instead of acking.
+
+pub struct Gauge {
+    deposited: u64,
+    lost: u64,
+}
+
+impl Gauge {
+    pub fn note_deposited(&mut self) {
+        self.deposited += 1;
+    }
+
+    pub fn note_lost(&mut self) {
+        self.lost += 1;
+    }
+}
+
+pub struct Logger;
+
+impl Logger {
+    pub fn submit_durable(&self, entry: &[u8]) -> Result<(), ()> {
+        if entry.is_empty() {
+            return Err(());
+        }
+        Ok(())
+    }
+}
+
+pub fn deposit(gauge: &mut Gauge, logger: &Logger, entry: &[u8]) {
+    if logger.submit_durable(entry).is_ok() {
+        gauge.note_deposited();
+    } else {
+        gauge.note_lost();
+    }
+}

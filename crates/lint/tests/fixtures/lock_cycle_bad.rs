@@ -1,0 +1,40 @@
+// Known-bad fixture for `lock-order-cycles`: `submit` holds Client.inner
+// while `observe` takes Ledger.state, and `audit` holds Ledger.state
+// while `touch` re-takes Client.inner — opposite acquisition orders, so
+// the interprocedural lock graph has a cycle.
+
+use std::sync::Mutex;
+
+pub struct Client {
+    inner: Mutex<u64>,
+}
+
+pub struct Ledger {
+    state: Mutex<u64>,
+}
+
+impl Client {
+    pub fn submit(&self, ledger: &Ledger) {
+        let guard = self.inner.lock();
+        ledger.observe();
+        drop(guard);
+    }
+
+    pub fn touch(&self) {
+        let guard = self.inner.lock();
+        drop(guard);
+    }
+}
+
+impl Ledger {
+    pub fn observe(&self) {
+        let guard = self.state.lock();
+        drop(guard);
+    }
+
+    pub fn audit(&self, client: &Client) {
+        let guard = self.state.lock();
+        client.touch();
+        drop(guard);
+    }
+}

@@ -1,0 +1,40 @@
+// Known-good twin of lock_cycle_bad.rs: every path acquires Client.inner
+// before Ledger.state (one global order), so the acquisition graph is
+// acyclic — `audit` releases the client lock via `touch` *before* taking
+// the ledger lock.
+
+use std::sync::Mutex;
+
+pub struct Client {
+    inner: Mutex<u64>,
+}
+
+pub struct Ledger {
+    state: Mutex<u64>,
+}
+
+impl Client {
+    pub fn submit(&self, ledger: &Ledger) {
+        let guard = self.inner.lock();
+        ledger.observe();
+        drop(guard);
+    }
+
+    pub fn touch(&self) {
+        let guard = self.inner.lock();
+        drop(guard);
+    }
+}
+
+impl Ledger {
+    pub fn observe(&self) {
+        let guard = self.state.lock();
+        drop(guard);
+    }
+
+    pub fn audit(&self, client: &Client) {
+        client.touch();
+        let guard = self.state.lock();
+        drop(guard);
+    }
+}

@@ -1,0 +1,12 @@
+// Caller half of the transitive no-panic fixture pair: protocol-crate
+// code calling into an out-of-scope helper that panics. The call to
+// `hottest_sample` must be flagged transitively; the call to
+// `safe_sample` must not.
+
+pub fn summarize(xs: &[u64]) -> u64 {
+    hottest_sample(xs)
+}
+
+pub fn summarize_safely(xs: &[u64]) -> u64 {
+    safe_sample(xs)
+}

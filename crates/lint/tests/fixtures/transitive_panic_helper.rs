@@ -1,0 +1,11 @@
+// Helper half of the transitive no-panic fixture pair: lives under a
+// virtual bench path (outside the no-panic scope), so its own unwrap is
+// not reported at the definition — only the call from protocol code is.
+
+pub fn hottest_sample(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap()
+}
+
+pub fn safe_sample(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap_or(0)
+}

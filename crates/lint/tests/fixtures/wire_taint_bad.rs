@@ -1,0 +1,27 @@
+// Known-bad fixture for `unverified-wire-taint`: a frame read off the
+// socket flows straight into the tamper-evident store without passing
+// any decode/verify/checksum step.
+
+use std::io::Read;
+
+pub struct Store {
+    entries: Vec<Vec<u8>>,
+}
+
+impl Store {
+    pub fn append_encoded(&mut self, body: Vec<u8>) -> Result<u64, ()> {
+        self.entries.push(body);
+        Ok(0)
+    }
+}
+
+pub fn read_frame<R: Read>(sock: &mut R) -> Result<Vec<u8>, ()> {
+    let mut body = vec![0u8; 16];
+    sock.read_exact(&mut body).map_err(|_| ())?;
+    Ok(body)
+}
+
+pub fn ingest<R: Read>(store: &mut Store, sock: &mut R) -> Result<u64, ()> {
+    let body = read_frame(sock)?;
+    store.append_encoded(body)
+}

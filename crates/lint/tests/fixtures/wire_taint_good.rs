@@ -1,0 +1,43 @@
+// Known-good twin of wire_taint_bad.rs: the frame is decoded (every ADLP
+// decoder validates framing + checksum and fails closed) before the
+// bytes reach the append sink.
+
+use std::io::Read;
+
+pub struct Store {
+    entries: Vec<Vec<u8>>,
+}
+
+impl Store {
+    pub fn append_encoded(&mut self, body: Vec<u8>) -> Result<u64, ()> {
+        self.entries.push(body);
+        Ok(0)
+    }
+}
+
+pub struct Entry {
+    pub kind: u8,
+}
+
+impl Entry {
+    pub fn decode(body: &[u8]) -> Result<Entry, ()> {
+        let kind = body.first().copied().ok_or(())?;
+        if kind > 3 {
+            return Err(());
+        }
+        Ok(Entry { kind })
+    }
+}
+
+pub fn read_frame<R: Read>(sock: &mut R) -> Result<Vec<u8>, ()> {
+    let mut body = vec![0u8; 16];
+    sock.read_exact(&mut body).map_err(|_| ())?;
+    Ok(body)
+}
+
+pub fn ingest<R: Read>(store: &mut Store, sock: &mut R) -> Result<u64, ()> {
+    let body = read_frame(sock)?;
+    let entry = Entry::decode(&body)?;
+    let _ = entry.kind;
+    store.append_encoded(body)
+}
