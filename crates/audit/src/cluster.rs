@@ -18,6 +18,7 @@ use adlp_cluster::{
 use adlp_crypto::RsaPublicKey;
 use adlp_logger::{KeyRegistry, LogEntry};
 use adlp_pubsub::{NodeId, Topic};
+use adlp_witness::{SplitViewProof, SthKeyring};
 
 /// Whether/how an epoch seal was checked.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +60,16 @@ pub struct ClusterAuditReport {
     /// Convicts nobody, but spoils a clear report: evidence that fails
     /// verification is itself an anomaly.
     pub invalid_convictions: usize,
+    /// Witness-subsystem evidence the auditor *independently re-verified*
+    /// against the logger STH keyring: two valid signatures by one log over
+    /// conflicting tree heads at one size — the log showed different
+    /// histories to different observers (DESIGN.md §3.12). Like
+    /// [`ClusterAuditReport::convictions`], each is a self-contained
+    /// conviction naming the log.
+    pub split_views: Vec<SplitViewProof>,
+    /// Claimed split-view proofs that did NOT verify — forged, mangled, or
+    /// lacking STH keys. Convicts no log, but spoils a clear report.
+    pub invalid_split_views: usize,
     /// The ordinary per-component audit over the merged quorum logs.
     pub report: AuditReport,
 }
@@ -72,6 +83,8 @@ impl ClusterAuditReport {
         self.divergences.is_empty()
             && self.convictions.is_empty()
             && self.invalid_convictions == 0
+            && self.split_views.is_empty()
+            && self.invalid_split_views == 0
             && matches!(self.seal, SealCheck::NotChecked | SealCheck::Verified)
             && self.undecodable == 0
             && self.report.all_clear()
@@ -89,6 +102,18 @@ impl ClusterAuditReport {
         }
         out
     }
+
+    /// Identity of every log named by a verified split-view proof,
+    /// deduplicated in first-seen order.
+    pub fn convicted_logs(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for proof in &self.split_views {
+            if !out.contains(proof.log()) {
+                out.push(proof.log().clone());
+            }
+        }
+        out
+    }
 }
 
 /// An [`Auditor`] extended with cluster-level evidence gathering.
@@ -96,6 +121,7 @@ impl ClusterAuditReport {
 pub struct ClusterAuditor {
     inner: Auditor,
     attestation_keys: Option<ReplicaKeyring>,
+    sth_keys: Option<SthKeyring>,
 }
 
 impl ClusterAuditor {
@@ -104,6 +130,7 @@ impl ClusterAuditor {
         ClusterAuditor {
             inner: Auditor::new(keys),
             attestation_keys: None,
+            sth_keys: None,
         }
     }
 
@@ -127,9 +154,33 @@ impl ClusterAuditor {
         self
     }
 
+    /// Supplies the per-log STH public keys (witness mode). With these,
+    /// every split-view proof handed in as evidence is *independently
+    /// re-verified* — both signatures checked, conflict condition
+    /// re-derived — before it convicts a log. Without them, any claimed
+    /// proof counts as unverifiable and spoils a clear report.
+    #[must_use]
+    pub fn with_sth_keys(mut self, keyring: SthKeyring) -> Self {
+        self.sth_keys = Some(keyring);
+        self
+    }
+
     /// Audits a gathered cluster view without an epoch seal.
     pub fn audit_view(&self, view: &ClusterView) -> ClusterAuditReport {
-        self.run(view, SealCheck::NotChecked)
+        self.run(view, SealCheck::NotChecked, &[])
+    }
+
+    /// Audits a gathered cluster view, folding in split-view evidence
+    /// collected by the witness set or by light clients. Each proof is
+    /// re-verified against the STH keyring supplied via
+    /// [`ClusterAuditor::with_sth_keys`]; the auditor never takes a
+    /// witness's word for a conviction.
+    pub fn audit_view_with_evidence(
+        &self,
+        view: &ClusterView,
+        evidence: &[SplitViewProof],
+    ) -> ClusterAuditReport {
+        self.run(view, SealCheck::NotChecked, evidence)
     }
 
     /// Audits a gathered cluster view against a sealed epoch: the seal
@@ -156,10 +207,15 @@ impl ClusterAuditor {
                 SealCheck::ShardMismatch(mismatched)
             }
         };
-        self.run(view, check)
+        self.run(view, check, &[])
     }
 
-    fn run(&self, view: &ClusterView, seal: SealCheck) -> ClusterAuditReport {
+    fn run(
+        &self,
+        view: &ClusterView,
+        seal: SealCheck,
+        evidence: &[SplitViewProof],
+    ) -> ClusterAuditReport {
         let mut entries: Vec<LogEntry> = Vec::with_capacity(view.total_records());
         let mut undecodable = 0usize;
         for decoded in view.entries() {
@@ -181,6 +237,22 @@ impl ClusterAuditor {
                 invalid_convictions += 1;
             }
         }
+        let mut split_views: Vec<SplitViewProof> = Vec::new();
+        let mut invalid_split_views = 0usize;
+        for proof in evidence {
+            let verified = self
+                .sth_keys
+                .as_ref()
+                .is_some_and(|keyring| proof.verify(keyring));
+            if !verified {
+                invalid_split_views += 1;
+            } else if !split_views
+                .iter()
+                .any(|p| p.log() == proof.log() && p.size() == proof.size())
+            {
+                split_views.push(proof.clone());
+            }
+        }
         ClusterAuditReport {
             divergences: view.divergences(),
             lagging: view.lagging(),
@@ -188,6 +260,8 @@ impl ClusterAuditor {
             undecodable,
             convictions,
             invalid_convictions,
+            split_views,
+            invalid_split_views,
             report: self.inner.audit(&entries),
         }
     }
@@ -354,6 +428,70 @@ mod tests {
         assert!(report.convictions.is_empty(), "forgery convicts nobody");
         assert_eq!(report.invalid_convictions, 1);
         assert!(!report.all_clear(), "but forged evidence is an anomaly");
+    }
+
+    #[test]
+    fn witness_split_view_evidence_convicts_the_log() {
+        use adlp_logger::sth::TreeHeadSigner;
+
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        fill(&cluster);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let sth_keys = adlp_witness::SthKeyring::new()
+            .with_log(NodeId::new("logger"), kp.public_key().clone());
+
+        // The logger's own key signed two conflicting heads at one size —
+        // the evidence a witness or light client hands the auditor.
+        let signer = TreeHeadSigner::new(
+            NodeId::new("logger"),
+            adlp_crypto::rsa::RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap(),
+        );
+        let proof = SplitViewProof {
+            first: signer.sign(1, 4, adlp_crypto::sha256(b"honest")).unwrap(),
+            second: signer.sign(2, 4, adlp_crypto::sha256(b"forked")).unwrap(),
+        };
+
+        let auditor = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))])
+            .with_sth_keys(sth_keys);
+        // Duplicate evidence for one (log, size) is folded into one
+        // conviction.
+        let report =
+            auditor.audit_view_with_evidence(&cluster.view(), &[proof.clone(), proof.clone()]);
+        assert!(!report.all_clear());
+        assert_eq!(report.split_views.len(), 1);
+        assert_eq!(report.invalid_split_views, 0);
+        assert_eq!(report.convicted_logs(), vec![NodeId::new("logger")]);
+
+        // A forged proof (one half re-signed by a different key) convicts
+        // nobody but spoils a clear report.
+        let imposter = RsaKeyPair::generate(512, &mut rng);
+        let forger = TreeHeadSigner::new(
+            NodeId::new("logger"),
+            adlp_crypto::rsa::RsaPrivateKey::from_bytes(&imposter.private_key().to_bytes())
+                .unwrap(),
+        );
+        let forged = SplitViewProof {
+            first: proof.first.clone(),
+            second: forger.sign(2, 4, adlp_crypto::sha256(b"forked")).unwrap(),
+        };
+        let report =
+            auditor.audit_view_with_evidence(&cluster.view(), std::slice::from_ref(&forged));
+        assert!(report.split_views.is_empty(), "forgery convicts no log");
+        assert_eq!(report.invalid_split_views, 1);
+        assert!(!report.all_clear(), "but forged evidence is an anomaly");
+
+        // Without STH keys even genuine evidence is unverifiable.
+        let blind = ClusterAuditor::new(cluster.keys().clone())
+            .with_topology([(Topic::new("image"), NodeId::new("cam"))]);
+        let blind_report = blind.audit_view_with_evidence(&cluster.view(), &[proof]);
+        assert!(blind_report.split_views.is_empty());
+        assert_eq!(blind_report.invalid_split_views, 1);
+        assert!(!blind_report.all_clear());
+
+        // No evidence: the clean cluster still audits clear.
+        assert!(auditor.audit_view(&cluster.view()).all_clear());
     }
 
     #[test]

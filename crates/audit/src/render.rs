@@ -158,6 +158,25 @@ impl fmt::Display for RenderedCluster<'_> {
             )?;
         }
 
+        if !r.split_views.is_empty() {
+            writeln!(f, "\n-- split-view convictions (STH signatures re-verified) --")?;
+            for proof in &r.split_views {
+                writeln!(
+                    f,
+                    "  log {} signed conflicting tree heads at size {} — showed different histories to different observers",
+                    proof.log(),
+                    proof.size()
+                )?;
+            }
+        }
+        if r.invalid_split_views > 0 {
+            writeln!(
+                f,
+                "\n{} claimed split-view proof(s) FAILED verification — forged evidence or missing STH keys; convicts no log, but is itself an anomaly.",
+                r.invalid_split_views
+            )?;
+        }
+
         if !r.divergences.is_empty() {
             writeln!(f, "\n-- diverged replicas (conflict with quorum log) --")?;
             for d in &r.divergences {
@@ -272,6 +291,8 @@ mod tests {
             undecodable: 0,
             convictions: Vec::new(),
             invalid_convictions: 1,
+            split_views: Vec::new(),
+            invalid_split_views: 1,
             report: AuditReport::default(),
         };
         let s = RenderedCluster(&r).to_string();
@@ -280,6 +301,7 @@ mod tests {
         assert!(s.contains("shard 0 replica 1 diverges from record 2"));
         assert!(s.contains("shard 1 replica 0 is 3 record(s) behind"));
         assert!(s.contains("FAILED verification"));
+        assert!(s.contains("split-view proof(s) FAILED verification"));
         assert!(s.contains("AUDIT SUMMARY"));
     }
 

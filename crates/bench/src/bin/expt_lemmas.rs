@@ -89,8 +89,8 @@ fn main() {
 
     println!("== Protocol analysis: unfaithful behaviors vs a faithful counterpart ==");
     println!(
-        "{:<24} {:<18} {:<18} {:<8}  {}",
-        "behavior", "expected culprit", "convicted", "match", "paper claim"
+        "{:<24} {:<18} {:<18} {:<8}  paper claim",
+        "behavior", "expected culprit", "convicted", "match"
     );
     for row in rows {
         let report = Scenario::new(fanout_app(PayloadKind::Custom(256), 1, 40.0))

@@ -742,6 +742,107 @@ pub fn overload_resilience(window: Duration, key_bits: usize) -> Vec<OverloadRow
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Witness gossip — convergence time and light-client verify overhead vs f
+// ---------------------------------------------------------------------------
+
+/// One row of the witness-gossip experiment (one witness-set size).
+#[derive(Debug, Clone)]
+pub struct GossipRow {
+    /// Fault tolerance: the set runs `2f + 1` witnesses, quorum `f + 1`.
+    pub f: usize,
+    /// Witness-set size (`2f + 1`).
+    pub witnesses: usize,
+    /// Cosign quorum (`f + 1`).
+    pub quorum: usize,
+    /// Gossip rounds until every live witness agreed on the head.
+    pub converged_rounds: usize,
+    /// Wall-clock time of those rounds, ms (includes injected link delays).
+    pub converge_ms: f64,
+    /// Gossip frames the link faults dropped or delayed during convergence.
+    pub link_faults: u64,
+    /// Ack-path audits the light client ran.
+    pub light_audits: usize,
+    /// Mean cost of one light-client ack audit, µs: fetch + signature
+    /// verify + consistency verify + inclusion-proof verify.
+    pub light_audit_us: f64,
+}
+
+/// Measures what retiring the trusted auditor costs: gossip convergence
+/// time for witness sets of growing `f` under seeded link faults (15%
+/// drop, 20% × 5 ms delay), and the per-ack overhead a light client pays
+/// to verify inclusion + consistency itself instead of trusting the
+/// logger's acknowledgement.
+pub fn gossip_overhead(entries: usize, audits: usize, key_bits: usize) -> Vec<GossipRow> {
+    use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+    use adlp_logger::LogStore;
+    use adlp_pubsub::{FaultConfig, NodeId};
+    use adlp_witness::{LightClient, SthKeyring, TreeHeadSource, WitnessNet, WitnessNetConfig};
+    use std::sync::Arc;
+
+    let log_id = NodeId::new("logger");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x905517);
+    let kp = RsaKeyPair::generate(key_bits, &mut rng);
+    let sth_keys = SthKeyring::new().with_log(log_id.clone(), kp.public_key().clone());
+    let store = LogStore::new();
+    for i in 0..entries {
+        store.append_encoded(vec![i as u8; 16]);
+    }
+    let sth_key = adlp_crypto::rsa::RsaPrivateKey::from_bytes(&kp.private_key().to_bytes())
+        .expect("round-tripped key");
+    let publisher = Arc::new(SthPublisher::new(
+        TreeHeadSigner::new(log_id.clone(), sth_key),
+        store,
+    ));
+
+    let mut rows = Vec::new();
+    for f in [1usize, 2, 3] {
+        let config = WitnessNetConfig::new(f).with_seed(0x905517 + f as u64).with_fault(
+            FaultConfig::seeded(0x905517 + f as u64)
+                .with_drop_rate(0.15)
+                .with_delay(0.2, Duration::from_millis(5)),
+        );
+        let n = config.witnesses;
+        let quorum = config.witness_quorum();
+        let sources: Vec<Vec<Arc<dyn TreeHeadSource>>> = (0..n)
+            .map(|_| vec![Arc::clone(&publisher) as Arc<dyn TreeHeadSource>])
+            .collect();
+        let net = WitnessNet::new(config, sth_keys.clone(), sources);
+        let started = Instant::now();
+        let converged_rounds = net
+            .run_until_converged(64)
+            .expect("honest gossip converges within 64 rounds");
+        let converge_ms = started.elapsed().as_secs_f64() * 1e3;
+        let stats = net.fault_stats();
+        let link_faults = stats.dropped.load(std::sync::atomic::Ordering::Relaxed)
+            + stats.delayed.load(std::sync::atomic::Ordering::Relaxed);
+
+        // The light client's per-ack bill, amortized over `audits` acks of
+        // the newest entry (each audit re-fetches and re-verifies a signed
+        // head — the cost of believing nobody).
+        let light = LightClient::new(sth_keys.clone());
+        let started = Instant::now();
+        for _ in 0..audits {
+            light
+                .audit_ack(publisher.as_ref(), entries as u64 - 1)
+                .expect("honest ack verifies");
+        }
+        let light_audit_us = started.elapsed().as_secs_f64() * 1e6 / audits as f64;
+
+        rows.push(GossipRow {
+            f,
+            witnesses: n,
+            quorum,
+            converged_rounds,
+            converge_ms,
+            link_faults,
+            light_audits: audits,
+            light_audit_us,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,5 +969,17 @@ mod tests {
         // paper's "only ~1% over base" headline (loose bound for noise).
         assert!(adlp_agg < base * 1.4, "base={base} adlp_agg={adlp_agg}");
         assert!(adlp > adlp_agg, "per-ack must exceed aggregated");
+    }
+
+    #[test]
+    fn gossip_converges_and_audits_at_every_f() {
+        let rows = gossip_overhead(8, 3, 512);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.witnesses, 2 * r.f + 1);
+            assert_eq!(r.quorum, r.f + 1);
+            assert!(r.converged_rounds >= 1, "{r:?}");
+            assert!(r.light_audit_us > 0.0, "{r:?}");
+        }
     }
 }

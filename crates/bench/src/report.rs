@@ -199,6 +199,52 @@ pub fn bft_json(rows: &[BftRow]) -> String {
     out
 }
 
+pub fn print_gossip(rows: &[GossipRow]) {
+    println!("== Witness gossip: convergence and light-client audit cost vs f ==");
+    println!(
+        "{:<3} {:<5} {:>8} {:>12} {:>11} {:>8} {:>14}",
+        "f", "N/Q", "Rounds", "Converge ms", "LinkFaults", "Audits", "Audit µs/ack"
+    );
+    for r in rows {
+        println!(
+            "{:<3} {:<5} {:>8} {:>12.1} {:>11} {:>8} {:>14.1}",
+            r.f,
+            format!("{}/{}", r.witnesses, r.quorum),
+            r.converged_rounds,
+            r.converge_ms,
+            r.link_faults,
+            r.light_audits,
+            r.light_audit_us
+        );
+    }
+    println!();
+}
+
+/// Serializes witness-gossip rows as a JSON document (hand-rolled: the
+/// workspace carries no serialization dependency).
+pub fn gossip_json(rows: &[GossipRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"gossip_overhead\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"f\": {}, \"witnesses\": {}, \"quorum\": {}, \
+             \"converged_rounds\": {}, \"converge_ms\": {:.3}, \
+             \"link_faults\": {}, \"light_audits\": {}, \
+             \"light_audit_us\": {:.3}}}{}\n",
+            r.f,
+            r.witnesses,
+            r.quorum,
+            r.converged_rounds,
+            r.converge_ms,
+            r.link_faults,
+            r.light_audits,
+            r.light_audit_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 pub fn print_overload(rows: &[OverloadRow]) {
     println!("== Overload: admission control, shedding and breaker recovery ==");
     println!(

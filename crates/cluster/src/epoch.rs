@@ -12,6 +12,15 @@ use adlp_crypto::rsa::RsaPrivateKey;
 use adlp_crypto::sha256::{Digest, Sha256};
 use adlp_crypto::{pkcs1, CryptoError, RsaPublicKey, Signature};
 use adlp_logger::merkle::MerkleTree;
+use adlp_logger::sth::{SignedTreeHead, TreeHeadSigner};
+use adlp_logger::LogError;
+use adlp_pubsub::NodeId;
+
+/// The log identity a shard's tree head is published under — the name
+/// witnesses and light clients track per shard.
+pub fn shard_log_id(shard: usize) -> NodeId {
+    NodeId::new(format!("adlp-shard-{shard}"))
+}
 
 /// The sentinel root an empty shard contributes, so every shard always
 /// occupies its leaf position in the super-root.
@@ -103,6 +112,32 @@ impl EpochSeal {
             )
     }
 
+    /// Derives one [`SignedTreeHead`] per anchored shard, signed by the
+    /// cluster's STH key. The heads let the witness set and light clients
+    /// track each shard as an ordinary log (identity
+    /// [`shard_log_id`]`(i)`), while the super-root signature keeps the
+    /// shards mutually bound: a shard that later shows a different head at
+    /// the same size is convicted by the usual split-view pair, and a seal
+    /// omitting a shard fails [`EpochSeal::verify`] re-derivation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures (e.g. an undersized key).
+    pub fn shard_heads(&self, sth_key: &RsaPrivateKey) -> Result<Vec<SignedTreeHead>, LogError> {
+        self.shard_roots
+            .iter()
+            .map(|r| {
+                let key = RsaPrivateKey::from_bytes(&sth_key.to_bytes())
+                    .map_err(|_| LogError::Malformed("shard sth key"))?;
+                TreeHeadSigner::new(shard_log_id(r.shard), key).sign(
+                    self.epoch,
+                    r.leaf_count as u64,
+                    r.root,
+                )
+            })
+            .collect()
+    }
+
     /// Verifies one shard's *live* state against the seal: the shard's
     /// gathered quorum root and length must match what was anchored. A
     /// mismatch means the shard's history changed after sealing (rollback
@@ -169,6 +204,30 @@ mod tests {
         assert!(!seal.verify_shard(1, &rollback, 2));
         assert!(!seal.verify_shard(1, &adlp_crypto::sha256(&[1u8; 4]), 99));
         assert!(!seal.verify_shard(9, &rollback, 0));
+    }
+
+    #[test]
+    fn shard_heads_are_witnessable_and_conflict_on_rollback() {
+        let kp = keypair();
+        let seal = EpochSeal::build(3, roots(), kp.private_key()).unwrap();
+        let heads = seal.shard_heads(kp.private_key()).unwrap();
+        assert_eq!(heads.len(), 3);
+        for (head, anchored) in heads.iter().zip(roots()) {
+            assert_eq!(head.log, shard_log_id(anchored.shard));
+            assert_eq!(head.epoch, 3);
+            assert_eq!(head.size, anchored.leaf_count as u64);
+            assert_eq!(head.root, anchored.root);
+            assert!(head.verify(kp.public_key()));
+        }
+
+        // A rewritten shard at the same length yields a conflicting head —
+        // the split-view condition witnesses convict on.
+        let mut rewritten = roots();
+        rewritten[2].root = adlp_crypto::sha256(b"rewritten");
+        let forked = EpochSeal::build(4, rewritten, kp.private_key()).unwrap();
+        let forked_heads = forked.shard_heads(kp.private_key()).unwrap();
+        assert!(heads[2].conflicts_with(&forked_heads[2]));
+        assert!(!heads[0].conflicts_with(&forked_heads[0]), "untouched shards stay consistent");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use adlp_crypto::sha256::{binding_digest, sha256};
 use adlp_crypto::{pkcs1, Signature};
 use adlp_logger::{AckRecord, KeyRegistry};
 use adlp_pubsub::{Clock, ConnectionInfo, LinkInterceptor, NodeId, RecvOutcome, Topic};
+use adlp_witness::AckProbe;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -53,6 +54,9 @@ pub struct AdlpInterceptor {
     last_seen: Mutex<HashMap<(Topic, NodeId), u64>>,
     /// Key registry for online acknowledgement verification (optional).
     keys: Option<KeyRegistry>,
+    /// Light-client probe auditing the logger on every accepted
+    /// acknowledgement (optional; DESIGN.md §3.12).
+    light: Option<Arc<AckProbe>>,
     /// Count of messages dropped as replays.
     replays_dropped: AtomicU64,
     /// Count of acknowledgements ignored as invalid.
@@ -94,6 +98,7 @@ impl AdlpInterceptor {
             pending: Mutex::new(HashMap::new()),
             last_seen: Mutex::new(HashMap::new()),
             keys: None,
+            light: None,
             replays_dropped: AtomicU64::new(0),
             invalid_acks: AtomicU64::new(0),
             sign_failures: AtomicU64::new(0),
@@ -106,6 +111,26 @@ impl AdlpInterceptor {
     pub fn with_keys(mut self, keys: KeyRegistry) -> Self {
         self.keys = Some(keys);
         self
+    }
+
+    /// Attaches a light-client probe: every accepted acknowledgement then
+    /// also pulls the logger's latest signed tree head, verifies it
+    /// (signature + consistency with the previously trusted head), and
+    /// demands an inclusion proof for the newest record — retiring the
+    /// trusted post-hoc auditor on the hot path. Failures are counted in
+    /// [`AdlpInterceptor::sth_verify_failures`], never panicked over.
+    pub fn with_light_client(mut self, probe: Arc<AckProbe>) -> Self {
+        self.light = Some(probe);
+        self
+    }
+
+    /// Signed-tree-head verifications (signature, consistency, split view,
+    /// inclusion) that failed on the ack path so far; 0 when no light
+    /// client is attached.
+    pub fn sth_verify_failures(&self) -> u64 {
+        self.light
+            .as_ref()
+            .map_or(0, |probe| probe.client().sth_verify_failures())
     }
 
     /// Messages dropped by the replay defense so far.
@@ -375,6 +400,16 @@ impl LinkInterceptor for AdlpInterceptor {
             return; // unsolicited ack
         };
 
+        // Light-client audit (§3.12): an accepted acknowledgement implies
+        // the logger has (claimed to have) logged the exchange, so demand
+        // its latest signed tree head and an inclusion proof now, while the
+        // counterpart is still live. A failed audit never blocks the data
+        // path — it increments `sth_verify_failures` and, on a split view,
+        // retains the transferable conviction as evidence.
+        if let Some(probe) = &self.light {
+            let _ = probe.audit_ack();
+        }
+
         if self.config.aggregated_publisher_log {
             let mut current = self.current.lock();
             if let Some(cur) = current.get_mut(&conn.topic) {
@@ -569,6 +604,60 @@ mod tests {
         let good = crate::protocol::encode_ack(&digest, &sig);
         f.interceptor.on_return(&conn, good);
         assert_eq!(f.interceptor.pending_count(), 0);
+    }
+
+    #[test]
+    fn light_client_audits_on_ack_and_counts_failures() {
+        use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+        use adlp_logger::LogStore;
+        use adlp_witness::{AckProbe, LightClient, SthKeyring};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let sth_kp = adlp_crypto::RsaKeyPair::generate(512, &mut rng);
+        let other_kp = adlp_crypto::RsaKeyPair::generate(512, &mut rng);
+        let store = LogStore::new();
+        store.append_encoded(vec![1; 16]);
+        let publisher = Arc::new(SthPublisher::new(
+            TreeHeadSigner::new(
+                NodeId::new("logger"),
+                adlp_crypto::rsa::RsaPrivateKey::from_bytes(&sth_kp.private_key().to_bytes())
+                    .unwrap(),
+            ),
+            store.clone(),
+        ));
+
+        let run = |trusted_key: &adlp_crypto::RsaPublicKey| {
+            let client = Arc::new(LightClient::new(
+                SthKeyring::new().with_log(NodeId::new("logger"), trusted_key.clone()),
+            ));
+            let f = fixture(AdlpConfig::default());
+            let interceptor = f
+                .interceptor
+                .with_light_client(Arc::new(AckProbe::new(Arc::clone(&client), publisher.clone())));
+            let conn = ConnectionInfo {
+                topic: Topic::new("plan"),
+                publisher: NodeId::new("det"),
+                subscriber: NodeId::new("cam"),
+                peer_fields: Handshake::new().with("adlp_sig_len", "64"),
+            };
+            let mut body = Vec::new();
+            body.extend_from_slice(&1u64.to_le_bytes());
+            body.extend_from_slice(&9u64.to_le_bytes());
+            let _ = interceptor.on_send(&conn, body.clone());
+            let digest = sha256(&body);
+            let sig = f
+                .sub_identity
+                .sign_digest(&binding_digest("plan", 1, &digest))
+                .unwrap();
+            interceptor.on_return(&conn, crate::protocol::encode_ack(&digest, &sig));
+            assert_eq!(interceptor.pending_count(), 0, "audit never blocks the path");
+            (interceptor.sth_verify_failures(), client.verified_acks())
+        };
+
+        // Trusting the logger's real key: the ack-path audit passes.
+        assert_eq!(run(sth_kp.public_key()), (0, 1));
+        // Trusting a different key: the head is rejected and counted.
+        assert_eq!(run(other_kp.public_key()), (1, 0));
     }
 
     #[test]

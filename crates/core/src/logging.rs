@@ -981,7 +981,7 @@ mod tests {
         let ranges: Vec<(u64, u64)> = w
             .pending_receipts
             .iter()
-            .filter_map(|e| GapReceipt::from_entry(e))
+            .filter_map(GapReceipt::from_entry)
             .map(|r| (r.first_seq, r.last_seq))
             .collect();
         assert_eq!(ranges, vec![(2, 3), (4, 5)]);

@@ -50,9 +50,16 @@ impl BigUint {
         (BigUint::from_limbs(quotient), rem as u64)
     }
 
-    /// `self mod m`, panicking on zero modulus (internal fast path).
+    /// `self mod m` (internal fast path). A zero modulus yields `self`
+    /// unchanged — the `gcd(x, 0) = x` convention — so the operation is
+    /// total; every arithmetic call site passes a nonzero modulus anyway
+    /// (Montgomery contexts and modular inverses reject zero at
+    /// construction).
     pub(crate) fn rem_internal(&self, m: &BigUint) -> BigUint {
-        self.div_rem(m).expect("zero modulus").1
+        match self.div_rem(m) {
+            Ok((_, r)) => r,
+            Err(_) => self.clone(),
+        }
     }
 }
 
@@ -150,9 +157,9 @@ fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
 
 impl Rem<&BigUint> for &BigUint {
     type Output = BigUint;
-    /// # Panics
-    ///
-    /// Panics if `rhs` is zero; use [`BigUint::div_rem`] for a fallible API.
+    /// Total remainder: `x % 0` is `x` (the Euclidean `gcd(x, 0) = x`
+    /// convention); use [`BigUint::div_rem`] to treat a zero divisor as an
+    /// error instead.
     fn rem(self, rhs: &BigUint) -> BigUint {
         self.rem_internal(rhs)
     }
@@ -167,6 +174,13 @@ mod tests {
     fn division_by_zero_is_error() {
         let a = BigUint::from_u64(5);
         assert_eq!(a.div_rem(&BigUint::zero()), Err(CryptoError::DivisionByZero));
+    }
+
+    #[test]
+    fn rem_by_zero_is_identity_not_panic() {
+        let a = BigUint::from_u64(5);
+        assert_eq!(&a % &BigUint::zero(), a);
+        assert!(BigUint::zero().rem_internal(&BigUint::zero()).is_zero());
     }
 
     #[test]

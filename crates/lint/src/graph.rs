@@ -146,9 +146,9 @@ fn collect_fns(fi: usize, ctx: &FileCtx, out: &mut Vec<FnDef>) {
                 let end = crate::matching_close(toks, j, "{", "}");
                 let owner = impls
                     .iter()
-                    .filter(|&&(s, e, _)| i >= s && i < e)
-                    .map(|(_, _, n)| n.clone())
-                    .last();
+                    .rev()
+                    .find(|&&(s, e, _)| i >= s && i < e)
+                    .map(|(_, _, n)| n.clone());
                 out.push(FnDef {
                     file: fi,
                     name,

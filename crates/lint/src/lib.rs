@@ -127,8 +127,8 @@ impl FileCtx {
     pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
         self.fn_regions
             .iter()
-            .filter(|&&(s, e, _)| i >= s && i < e)
-            .last()
+            .rev()
+            .find(|&&(s, e, _)| i >= s && i < e)
             .map(|(_, _, name)| name.as_str())
     }
 
@@ -392,7 +392,7 @@ fn collect_allows(
             .map(|l| l.trim_start().starts_with("//"))
             .unwrap_or(false);
         if own_line {
-            allows.entry(c.line + 1).or_default().extend(rules.into_iter());
+            allows.entry(c.line + 1).or_default().extend(rules);
         }
     }
     (allows, bad)

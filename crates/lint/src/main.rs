@@ -3,8 +3,9 @@
 //! Modes:
 //! * default — scan, print a summary and any divergence from the
 //!   baseline; exit 0 regardless (informational).
-//! * `--deny` — exit 1 on any regression against the baseline *or* any
-//!   stale baseline entry (the CI gate).
+//! * `--deny` — exit 1 on any regression against the baseline, any stale
+//!   baseline entry, *or any baseline entry at all* — the baseline was
+//!   burned down to zero and the CI gate keeps it there.
 //! * `--write-baseline` — rewrite `lint-baseline.toml` from the scan.
 //! * `--all` — print every diagnostic, baseline-covered or not.
 //! * `--list-rules` — describe the rules and exit.
@@ -349,6 +350,19 @@ fn main() -> ExitCode {
         eprintln!(
             "adlp-lint: failing (--deny): fix regressions and/or re-run \
              --write-baseline for ratcheted keys"
+        );
+        return ExitCode::FAILURE;
+    }
+    // The debt is paid off: the baseline reached zero and stays there.
+    // Under --deny a non-empty baseline fails even without a regression,
+    // so accepted debt can never be quietly reintroduced by rewriting the
+    // baseline file.
+    if args.deny && baseline.total() > 0 {
+        eprintln!(
+            "adlp-lint: failing (--deny): {} lint-baseline.toml entries — the \
+             baseline is permanently empty; fix the findings instead of \
+             baselining them",
+            baseline.total()
         );
         return ExitCode::FAILURE;
     }

@@ -936,7 +936,8 @@ pub fn explain(id: &str) -> Option<&'static str> {
         "unverified-wire-taint" => {
             "Invariant: bytes read from transport or storage must pass a\n\
              verify/checksum/decode step before reaching the tamper-evident sinks\n\
-             (append_encoded/adopt_encoded/submit/submit_durable/append_pipeline);\n\
+             (append_encoded/adopt_encoded/submit/submit_durable/append_pipeline,\n\
+             and the witness layer's STH adoption: adopt_head/observe_head);\n\
              ADLP decoders validate framing and checksums and fail closed, so a\n\
              structured decode counts as verification.\n\
              Matches: a token-order flow inside one function from a read source\n\

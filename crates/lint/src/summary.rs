@@ -59,9 +59,12 @@ pub fn is_verifier(name: &str) -> bool {
 }
 
 /// Sinks that chain/commit bytes into the tamper-evident structures.
+/// `adopt_head`/`observe_head` are the witness layer's STH-adoption
+/// sinks: a gossiped head must be structurally decoded (framing +
+/// checksum) before a witness or light client even considers it.
 pub const TAINT_SINKS: &[&str] = &[
     "append_encoded", "adopt_encoded", "append_pipeline", "submit",
-    "submit_durable",
+    "submit_durable", "adopt_head", "observe_head",
 ];
 
 /// Durable-write operations (ack-gating events for `ack-before-durable`).

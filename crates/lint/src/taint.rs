@@ -102,6 +102,7 @@ fn in_scope(path: &str) -> bool {
         "crates/cluster/src/",
         "crates/pubsub/src/",
         "crates/core/src/",
+        "crates/witness/src/",
     ]
     .iter()
     .any(|pre| path.starts_with(pre))

@@ -1,0 +1,28 @@
+// Known-bad fixture for `unverified-wire-taint` on the witness layer: a
+// gossip frame read off the socket is handed to the STH adoption sink
+// without passing the framing decode — the witness would cosign bytes
+// nobody checksummed or signature-checked.
+
+use std::io::Read;
+
+pub struct Witness {
+    heads: Vec<Vec<u8>>,
+}
+
+impl Witness {
+    pub fn adopt_head(&mut self, frame: Vec<u8>) -> Result<(), ()> {
+        self.heads.push(frame);
+        Ok(())
+    }
+}
+
+pub fn read_frame<R: Read>(sock: &mut R) -> Result<Vec<u8>, ()> {
+    let mut body = vec![0u8; 64];
+    sock.read_exact(&mut body).map_err(|_| ())?;
+    Ok(body)
+}
+
+pub fn gossip_in<R: Read>(witness: &mut Witness, sock: &mut R) -> Result<(), ()> {
+    let frame = read_frame(sock)?;
+    witness.adopt_head(frame)
+}

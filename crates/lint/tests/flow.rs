@@ -106,6 +106,40 @@ fn wire_taint_accepts_good_fixture() {
     assert_clean(&report, "wire_taint_good.rs");
 }
 
+#[test]
+fn wire_taint_fires_on_raw_sth_adoption() {
+    // The witness crate is in scope and `adopt_head` is a sink: a gossip
+    // frame flowing from the socket to STH adoption without a decode
+    // step must fire.
+    let report = analyze(
+        "crates/witness/src/fixture.rs",
+        include_str!("fixtures/sth_taint_bad.rs"),
+    );
+    assert_eq!(
+        count(&report, "unverified-wire-taint"),
+        1,
+        "diags: {:?}",
+        report.diags
+    );
+    let diag = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "unverified-wire-taint")
+        .expect("taint diagnostic");
+    assert_eq!(diag.witness.len(), 2, "witness: {:?}", diag.witness);
+    assert!(diag.witness[0].contains("read_frame"));
+    assert!(diag.witness[1].contains("adopt_head"));
+}
+
+#[test]
+fn wire_taint_accepts_decoded_sth_adoption() {
+    let report = analyze(
+        "crates/witness/src/fixture.rs",
+        include_str!("fixtures/sth_taint_good.rs"),
+    );
+    assert_clean(&report, "sth_taint_good.rs");
+}
+
 // ---- rule: ack-before-durable --------------------------------------------
 
 #[test]

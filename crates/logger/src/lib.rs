@@ -24,6 +24,9 @@
 //!   so the auditor can distinguish accountable shedding from hiding;
 //! * [`storage`] — the byte-level device abstraction (real files,
 //!   in-memory power-failure model, deterministic fault injection);
+//! * [`sth`] — signed tree heads: the logger's periodic signed Merkle
+//!   commitment, with inclusion/consistency proof serving for the witness
+//!   and light-client layers (`adlp-witness`);
 //! * [`wal`] — the checksummed, length-prefixed write-ahead log entries
 //!   reach before they are acknowledged;
 //! * [`durable`] — snapshot+WAL rotation and crash recovery tying the
@@ -41,6 +44,7 @@ pub mod server;
 pub mod stats;
 pub mod storage;
 pub mod store;
+pub mod sth;
 pub mod wal;
 
 pub use durable::{
@@ -55,6 +59,7 @@ pub use server::{LogServer, LoggerHandle, SubmitOutcome, DEFAULT_QUEUE_BOUND};
 pub use stats::{ClientStats, ClientStatsSnapshot, DurabilityStats, LogStats, VolumeSnapshot};
 pub use storage::{FaultyStorage, FsStorage, MemStorage, Storage, StorageFaultConfig};
 pub use store::{LogStore, TamperEvidence};
+pub use sth::{SignedTreeHead, SthPublisher, TreeHeadSigner, STH_MAGIC};
 
 use std::error::Error;
 use std::fmt;

@@ -337,6 +337,87 @@ mod tests {
     }
 
     #[test]
+    fn truncated_or_padded_proof_fails_for_every_size() {
+        // A verifier that stops early on a short path (or ignores surplus
+        // nodes) would accept forged proofs; sweep the corruption over
+        // power-of-two and ragged tree sizes alike.
+        for n in [2usize, 3, 5, 8, 9, 16, 31] {
+            let l = leaves(n);
+            let t = MerkleTree::build(&l);
+            let root = t.root().unwrap();
+            for (i, leaf) in l.iter().enumerate() {
+                let good = t.prove(i).unwrap();
+                assert!(MerkleTree::verify(&root, n, leaf, &good), "n={n} i={i}");
+
+                let mut truncated = good.clone();
+                if truncated.siblings.pop().is_some() {
+                    assert!(
+                        !MerkleTree::verify(&root, n, leaf, &truncated),
+                        "truncated path accepted: n={n} i={i}"
+                    );
+                }
+
+                let mut padded = good.clone();
+                padded.siblings.push(sha256(b"surplus"));
+                assert!(
+                    !MerkleTree::verify(&root, n, leaf, &padded),
+                    "padded path accepted: n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_shape_bound_to_claimed_tree_size() {
+        // `leaf_count` dictates the fold shape: any claimed size whose
+        // audit path for index 3 has a different length than size 8's must
+        // be rejected. (Shape-coincident sizes — e.g. 7, where leaf 3's
+        // path is identical — fold to the same root; binding the *exact*
+        // size is the signed tree head's job, which covers `size` under
+        // the logger's signature.)
+        let l = leaves(8);
+        let t = MerkleTree::build(&l);
+        let root = t.root().unwrap();
+        let proof = t.prove(3).unwrap();
+        for wrong_n in [0usize, 1, 2, 3, 9, 16, 33] {
+            assert!(
+                !MerkleTree::verify(&root, wrong_n, &l[3], &proof),
+                "size {wrong_n} accepted a size-8 proof"
+            );
+        }
+    }
+
+    #[test]
+    fn proof_from_one_tree_rejected_by_another() {
+        // Reusing a valid proof from a sibling log (same index, same leaf
+        // preimage position, different history) must not transplant.
+        let a = leaves(8);
+        let mut b = a.clone();
+        b[6] = sha256(b"divergent-history");
+        let ta = MerkleTree::build(&a);
+        let tb = MerkleTree::build(&b);
+        let proof_a = ta.prove(2).unwrap();
+        // Valid at home…
+        assert!(MerkleTree::verify(&ta.root().unwrap(), 8, &a[2], &proof_a));
+        // …rejected against the other tree's root, even though leaf 2 is
+        // identical in both logs.
+        assert!(!MerkleTree::verify(&tb.root().unwrap(), 8, &b[2], &proof_a));
+    }
+
+    #[test]
+    fn sibling_order_swap_fails() {
+        // Swapping two path nodes preserves the multiset of hashes but not
+        // the root; a verifier folding in the wrong order would miss this.
+        let l = leaves(16);
+        let t = MerkleTree::build(&l);
+        let root = t.root().unwrap();
+        let mut proof = t.prove(5).unwrap();
+        assert!(proof.siblings.len() >= 2);
+        proof.siblings.swap(0, 1);
+        assert!(!MerkleTree::verify(&root, 16, &l[5], &proof));
+    }
+
+    #[test]
     fn root_changes_with_any_leaf() {
         let l = leaves(9);
         let base = MerkleTree::build(&l).root().unwrap();

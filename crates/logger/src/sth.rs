@@ -1,0 +1,405 @@
+//! Signed tree heads: the logger's periodic public commitment.
+//!
+//! A trusted auditor can compare stores after the fact; a *witnessed* log
+//! removes the trust. The logger periodically signs a **tree head** — the
+//! RFC 6962-style Merkle root over its records at an exact size — and
+//! publishes it. Anyone holding the logger's public key can then demand an
+//! inclusion proof ("my entry is under that root") and a consistency proof
+//! ("that root is an append-only extension of the last root I saw"), so a
+//! logger that shows different histories to different observers must sign
+//! two conflicting heads at the same size — a self-incriminating pair, by
+//! the same discipline as `adlp-cluster`'s head attestations.
+//!
+//! This module is the logger half of the witness subsystem (DESIGN.md
+//! §3.12): the [`SignedTreeHead`] statement itself, the [`TreeHeadSigner`]
+//! (mechanism, not policy — the split-view sim driver signs lies with it),
+//! and the [`SthPublisher`] serving proofs straight off a [`LogStore`]. The
+//! gossip, cosigning, and light-client verification halves live in
+//! `adlp-witness`, which consumes these types.
+
+use crate::encoding::{read_bytes, read_str, read_uvarint, write_bytes, write_str, write_uvarint};
+use crate::merkle::{ConsistencyProof, InclusionProof, MerkleTree};
+use crate::store::LogStore;
+use crate::LogError;
+use adlp_crypto::pkcs1;
+use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use adlp_crypto::sha256::{Digest, Sha256};
+use adlp_crypto::Signature;
+use adlp_pubsub::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic prefix of an encoded signed tree head (wire framing version 1).
+pub const STH_MAGIC: &[u8; 8] = b"ADLPSTH1";
+
+/// Root of the empty tree (RFC 6962: the hash of the empty string), used
+/// for a size-0 head so "I have logged nothing yet" is still a signed,
+/// conflict-checkable statement.
+pub fn empty_tree_root() -> Digest {
+    Sha256::new().finalize()
+}
+
+fn sth_digest(log: &NodeId, epoch: u64, size: u64, root: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"adlp-witness/sth");
+    h.update(&(log.as_str().len() as u64).to_le_bytes());
+    h.update(log.as_str().as_bytes());
+    h.update(&epoch.to_le_bytes());
+    h.update(&size.to_le_bytes());
+    h.update(root.as_bytes());
+    h.finalize()
+}
+
+/// First four bytes of SHA-256 over the payload — the same cheap
+/// corruption tripwire the WAL uses, so a flipped bit is rejected before
+/// the (expensive) signature check even runs.
+fn framing_checksum(payload: &[u8]) -> [u8; 4] {
+    let digest = adlp_crypto::sha256(payload);
+    let mut out = [0u8; 4];
+    for (byte, src) in out.iter_mut().zip(digest.as_bytes()) {
+        *byte = *src;
+    }
+    out
+}
+
+/// The logger's signed statement: "my log named `log`, at epoch `epoch`,
+/// has exactly `size` records under Merkle root `root`".
+///
+/// The signature is PKCS#1 v1.5 over
+/// `h("adlp-witness/sth" ‖ log ‖ epoch ‖ size ‖ root)`, binding the
+/// speaking log's identity to the commitment — a head cannot be
+/// transplanted between logs, epochs, or sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedTreeHead {
+    /// Identity of the log this head commits (a single logger, or one
+    /// shard of a cluster).
+    pub log: NodeId,
+    /// Emission epoch (monotone per log; informational — conflicts are
+    /// judged by `size`, the quantity proofs are anchored to).
+    pub epoch: u64,
+    /// Number of records the head commits to.
+    pub size: u64,
+    /// Merkle root over the first `size` record hashes.
+    pub root: Digest,
+    /// The log's signature over the head digest.
+    pub signature: Signature,
+}
+
+impl SignedTreeHead {
+    /// Verifies the signature under `key` (the log's public STH key).
+    pub fn verify(&self, key: &RsaPublicKey) -> bool {
+        pkcs1::verify_digest(
+            key,
+            &sth_digest(&self.log, self.epoch, self.size, &self.root),
+            &self.signature,
+        )
+    }
+
+    /// Whether two heads by the same log at the same size commit to
+    /// different roots — the split-view condition. An append-only log can
+    /// only ever have one root per size, so two validly-signed conflicting
+    /// heads convict the log no matter which epochs they claim.
+    pub fn conflicts_with(&self, other: &SignedTreeHead) -> bool {
+        self.log == other.log && self.size == other.size && self.root != other.root
+    }
+
+    /// Serializes the head for gossip: `STH_MAGIC ‖ checksum ‖ payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + self.signature.len());
+        write_str(&mut payload, self.log.as_str());
+        write_uvarint(&mut payload, self.epoch);
+        write_uvarint(&mut payload, self.size);
+        payload.extend_from_slice(self.root.as_bytes());
+        write_bytes(&mut payload, self.signature.as_bytes());
+        let mut out = Vec::with_capacity(STH_MAGIC.len() + 4 + payload.len());
+        out.extend_from_slice(STH_MAGIC);
+        out.extend_from_slice(&framing_checksum(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes a gossiped head. Every framing defect — wrong magic,
+    /// checksum mismatch, truncation, trailing bytes — is refused; a frame
+    /// that decodes is still *untrusted* until [`SignedTreeHead::verify`]
+    /// passes under the log's key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for anything but a byte-exact frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, LogError> {
+        let (magic, rest) = bytes
+            .split_at_checked(STH_MAGIC.len())
+            .ok_or(LogError::Malformed("sth (magic)"))?;
+        if magic != STH_MAGIC {
+            return Err(LogError::Malformed("sth (magic)"));
+        }
+        let (checksum, payload) = rest
+            .split_at_checked(4)
+            .ok_or(LogError::Malformed("sth (checksum)"))?;
+        if checksum != framing_checksum(payload) {
+            return Err(LogError::Malformed("sth (checksum)"));
+        }
+        let mut input = payload;
+        let log = NodeId::new(read_str(&mut input)?);
+        let epoch = read_uvarint(&mut input)?;
+        let size = read_uvarint(&mut input)?;
+        let (root_bytes, rest) = input
+            .split_at_checked(32)
+            .ok_or(LogError::Malformed("sth (root)"))?;
+        input = rest;
+        let root = Digest::from_slice(root_bytes).ok_or(LogError::Malformed("sth (root)"))?;
+        let signature = Signature::from_bytes(read_bytes(&mut input)?.to_vec());
+        if !input.is_empty() {
+            return Err(LogError::Malformed("sth (trailing bytes)"));
+        }
+        Ok(SignedTreeHead {
+            log,
+            epoch,
+            size,
+            root,
+            signature,
+        })
+    }
+}
+
+/// The signing half of a log's STH identity.
+///
+/// Like `ReplicaAttestor::attest`, [`TreeHeadSigner::sign`] is deliberately
+/// *mechanism, not policy*: an honest logger only signs its true store
+/// root, while the split-view sim driver signs whatever forked root it
+/// wants to show — the protocol's claim is that the fork becomes a
+/// transferable conviction, not that forking is impossible.
+#[derive(Debug)]
+pub struct TreeHeadSigner {
+    log: NodeId,
+    key: RsaPrivateKey,
+}
+
+impl TreeHeadSigner {
+    /// Creates a signer speaking for `log`.
+    pub fn new(log: NodeId, key: RsaPrivateKey) -> Self {
+        TreeHeadSigner { log, key }
+    }
+
+    /// The log identity this signer speaks for.
+    pub fn log(&self) -> &NodeId {
+        &self.log
+    }
+
+    /// Signs a head at (epoch, size, root).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when signing fails (e.g. an
+    /// undersized key).
+    pub fn sign(&self, epoch: u64, size: u64, root: Digest) -> Result<SignedTreeHead, LogError> {
+        let digest = sth_digest(&self.log, epoch, size, &root);
+        let signature =
+            pkcs1::sign_digest(&self.key, &digest).map_err(|_| LogError::Malformed("sth (signing)"))?;
+        Ok(SignedTreeHead {
+            log: self.log.clone(),
+            epoch,
+            size,
+            root,
+            signature,
+        })
+    }
+}
+
+/// The logger-side publication service: emits signed heads over a
+/// [`LogStore`] and serves the inclusion/consistency proofs light clients
+/// and witnesses demand against them.
+///
+/// Proofs are always computed against an explicit *size* (a prefix of the
+/// store), never "whatever the store holds right now" — a proof must match
+/// the head it was requested for even if the store has grown since.
+#[derive(Debug)]
+pub struct SthPublisher {
+    signer: TreeHeadSigner,
+    store: LogStore,
+    epoch: AtomicU64,
+}
+
+impl SthPublisher {
+    /// Creates a publisher emitting heads for `store` under `signer`'s
+    /// identity, starting at epoch 0.
+    pub fn new(signer: TreeHeadSigner, store: LogStore) -> Self {
+        SthPublisher {
+            signer,
+            store,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The log identity heads are emitted under.
+    pub fn log(&self) -> &NodeId {
+        self.signer.log()
+    }
+
+    /// Signs and returns the head of the store as it stands, advancing the
+    /// epoch counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when signing fails.
+    pub fn emit(&self) -> Result<SignedTreeHead, LogError> {
+        let hashes = self.store.record_hashes();
+        let root = MerkleTree::build(&hashes).root().unwrap_or_else(empty_tree_root);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.signer.sign(epoch, hashes.len() as u64, root)
+    }
+
+    /// Inclusion proof for record `index` against the tree at `size`
+    /// records, together with the leaf hash it proves. `None` when the
+    /// store has not reached `size` or the index is out of range.
+    pub fn prove_inclusion(&self, index: u64, size: u64) -> Option<(Digest, InclusionProof)> {
+        if index >= size {
+            return None;
+        }
+        let hashes = self.store.record_hashes();
+        let prefix = hashes.get(..size as usize)?;
+        let leaf = *prefix.get(index as usize)?;
+        let tree = MerkleTree::build(prefix);
+        let proof = tree.prove(index as usize)?;
+        Some((leaf, proof))
+    }
+
+    /// Consistency proof that the tree at `new_size` extends the tree at
+    /// `old_size`. `None` when the store has not reached `new_size` or the
+    /// range is degenerate.
+    pub fn prove_consistency(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof> {
+        if old_size == 0 || old_size > new_size {
+            return None;
+        }
+        let hashes = self.store.record_hashes();
+        let prefix = hashes.get(..new_size as usize)?;
+        MerkleTree::prove_consistency(prefix, old_size as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::RsaKeyPair;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    fn signer(log: &str, kp: &RsaKeyPair) -> TreeHeadSigner {
+        TreeHeadSigner::new(
+            NodeId::new(log),
+            RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap(),
+        )
+    }
+
+    fn filled_store(n: usize) -> LogStore {
+        let store = LogStore::new();
+        for i in 0..n {
+            store.append_encoded(vec![i as u8; 16]);
+        }
+        store
+    }
+
+    #[test]
+    fn sth_roundtrip_and_verification() {
+        let kp = keypair(1);
+        let sth = signer("logger", &kp).sign(3, 7, adlp_crypto::sha256(b"root")).unwrap();
+        assert!(sth.verify(kp.public_key()));
+        assert!(!sth.verify(keypair(2).public_key()));
+        let decoded = SignedTreeHead::decode(&sth.encode()).unwrap();
+        assert_eq!(decoded, sth);
+        assert!(decoded.verify(kp.public_key()));
+        // Truncations are refused, never panicked over.
+        for cut in 0..sth.encode().len() {
+            assert!(SignedTreeHead::decode(&sth.encode()[..cut]).is_err());
+        }
+        // Trailing bytes are refused (a frame is byte-exact).
+        let mut padded = sth.encode();
+        padded.push(0);
+        assert!(SignedTreeHead::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn sth_binds_log_epoch_size_and_root() {
+        let kp = keypair(3);
+        let sth = signer("logger", &kp).sign(1, 5, adlp_crypto::sha256(b"r")).unwrap();
+        let mut renamed = sth.clone();
+        renamed.log = NodeId::new("imposter");
+        assert!(!renamed.verify(kp.public_key()));
+        let mut resized = sth.clone();
+        resized.size = 6;
+        assert!(!resized.verify(kp.public_key()));
+        let mut reepoched = sth.clone();
+        reepoched.epoch = 2;
+        assert!(!reepoched.verify(kp.public_key()));
+        let mut rerooted = sth.clone();
+        rerooted.root = adlp_crypto::sha256(b"other");
+        assert!(!rerooted.verify(kp.public_key()));
+    }
+
+    #[test]
+    fn conflict_is_same_log_same_size_different_root() {
+        let kp = keypair(4);
+        let s = signer("logger", &kp);
+        let a = s.sign(1, 5, adlp_crypto::sha256(b"a")).unwrap();
+        let b = s.sign(2, 5, adlp_crypto::sha256(b"b")).unwrap();
+        assert!(a.conflicts_with(&b), "same size, different roots conflict across epochs");
+        let same = s.sign(3, 5, adlp_crypto::sha256(b"a")).unwrap();
+        assert!(!a.conflicts_with(&same));
+        let grown = s.sign(4, 6, adlp_crypto::sha256(b"b")).unwrap();
+        assert!(!a.conflicts_with(&grown), "different sizes never conflict");
+        let other = signer("other", &kp).sign(1, 5, adlp_crypto::sha256(b"b")).unwrap();
+        assert!(!a.conflicts_with(&other), "different logs never conflict");
+    }
+
+    #[test]
+    fn publisher_emits_heads_proofs_verify_against_them() {
+        let kp = keypair(5);
+        let store = filled_store(5);
+        let publisher = SthPublisher::new(signer("logger", &kp), store.clone());
+
+        let first = publisher.emit().unwrap();
+        assert_eq!((first.epoch, first.size), (0, 5));
+        assert!(first.verify(kp.public_key()));
+
+        // Every record proves into the head it was committed under.
+        for index in 0..5 {
+            let (leaf, proof) = publisher.prove_inclusion(index, first.size).unwrap();
+            assert!(MerkleTree::verify(&first.root, first.size as usize, &leaf, &proof));
+        }
+
+        // Growth: the new head is provably consistent with the old one.
+        store.append_encoded(vec![9; 16]);
+        store.append_encoded(vec![10; 16]);
+        let second = publisher.emit().unwrap();
+        assert_eq!((second.epoch, second.size), (1, 7));
+        let consistency = publisher.prove_consistency(first.size, second.size).unwrap();
+        assert!(MerkleTree::verify_consistency(&first.root, &second.root, &consistency));
+        // Old inclusion proofs still serve against the old size.
+        let (leaf, proof) = publisher.prove_inclusion(2, first.size).unwrap();
+        assert!(MerkleTree::verify(&first.root, first.size as usize, &leaf, &proof));
+    }
+
+    #[test]
+    fn publisher_refuses_out_of_range_proof_requests() {
+        let kp = keypair(6);
+        let publisher = SthPublisher::new(signer("logger", &kp), filled_store(4));
+        assert!(publisher.prove_inclusion(0, 5).is_none(), "size beyond the store");
+        assert!(publisher.prove_inclusion(4, 4).is_none(), "index beyond the size");
+        assert!(publisher.prove_consistency(0, 4).is_none(), "degenerate old size");
+        assert!(publisher.prove_consistency(3, 5).is_none(), "new size beyond the store");
+        assert!(publisher.prove_consistency(4, 3).is_none(), "shrinking range");
+    }
+
+    #[test]
+    fn empty_store_signs_the_empty_tree_root() {
+        let kp = keypair(7);
+        let publisher = SthPublisher::new(signer("logger", &kp), LogStore::new());
+        let sth = publisher.emit().unwrap();
+        assert_eq!(sth.size, 0);
+        assert_eq!(sth.root, empty_tree_root());
+        assert!(sth.verify(kp.public_key()));
+    }
+}

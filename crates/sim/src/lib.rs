@@ -22,7 +22,11 @@
 //! * [`byzantine`] — scripted-traitor runners for the BFT cluster mode: a
 //!   replica that equivocates, replays stale attestations, splits the
 //!   epoch seal, or goes silent must end in continued liveness or a
-//!   verified equivocation conviction — never silent acceptance.
+//!   verified equivocation conviction — never silent acceptance;
+//! * [`witness`] — chaos runners for the witness subsystem (DESIGN.md
+//!   §3.12): a split-view logger, a forging witness, and a partitioned
+//!   witness set must end in continued liveness or an auditor-re-verified
+//!   split-view conviction naming the exact log.
 
 pub mod app;
 pub mod byzantine;
@@ -30,6 +34,7 @@ pub mod crash;
 pub mod data;
 pub mod metrics;
 pub mod scenario;
+pub mod witness;
 
 pub use app::{fanout_app, self_driving_app, AppSpec, DriveSpec, NodeSpec, PubSpec};
 pub use byzantine::{
@@ -42,3 +47,4 @@ pub use crash::{
 pub use data::PayloadKind;
 pub use metrics::{CpuProbe, ThreadCpuProbe};
 pub use scenario::{ClusterRun, Scenario, ScenarioReport};
+pub use witness::{run_witness_chaos, WitnessChaosConfig, WitnessChaosOutcome, WitnessMode};

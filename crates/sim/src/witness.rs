@@ -1,0 +1,294 @@
+//! Witness-subsystem chaos harness: a logger that lies to *some* of its
+//! observers, a witness that forges, a partition that silences.
+//!
+//! The byzantine harness ([`crate::byzantine`]) attacks the replica layer;
+//! this one attacks the *accountability* layer introduced in DESIGN.md
+//! §3.12: signed tree heads, the gossiping witness set, and light-client
+//! ack audits. Every scripted attack must end in one of exactly two
+//! outcomes:
+//!
+//! * **continued liveness** — the live `f + 1`-of-`2f + 1` witness quorum
+//!   keeps cosigning the honest head, forged gossip costing nothing but a
+//!   rejection counter; or
+//! * **a transferable conviction** — the lying logger's own two signatures
+//!   at one size form a [`SplitViewProof`] that the [`ClusterAuditor`]
+//!   independently re-verifies, naming the exact log.
+//!
+//! Never silent acceptance, and never a false conviction: a forged head
+//! (signed by anyone but the log's key) is discarded at the signature
+//! check, so it can convict nobody.
+//!
+//! Like every chaos harness here the run is entry-driven and seeded — two
+//! runs with the same config produce the same gossip decisions, the same
+//! convictions, and the same counters.
+
+use adlp_audit::{ClusterAuditReport, ClusterAuditor};
+use adlp_cluster::{ClusterConfig, LoggerCluster};
+use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_crypto::RsaKeyPair;
+use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+use adlp_logger::{LogError, LogStore};
+use adlp_pubsub::{FaultConfig, NodeId, Topic};
+use adlp_witness::{
+    CosignedHead, LightClient, SplitViewProof, SthKeyring, TreeHeadSource, WitnessNet,
+    WitnessNetConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+/// What the scripted adversary does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessMode {
+    /// Control: one honest logger, every witness served the same view,
+    /// gossip links under seeded drop/delay faults. Must converge,
+    /// cosign-quorum the true head, and run conviction-free with zero
+    /// light-client verification failures.
+    Honest,
+    /// The logger maintains a *forked* store — same length, one record
+    /// rewritten — and serves the fork to a minority of witnesses (and to
+    /// one of the two light clients) while showing the rest the truth.
+    /// Both views are signed by the logger's own key, so gossip assembles
+    /// a transferable split-view conviction naming the logger.
+    SplitViewLogger,
+    /// One witness turns traitor: every round it gossips heads for the
+    /// logger's identity signed with its *own* key, plus mangled frames.
+    /// Honest witnesses discard the forgeries at the signature check —
+    /// liveness holds, nobody is convicted.
+    EquivocatingWitness,
+    /// `f` witnesses are partitioned away mid-run. The remaining
+    /// `f + 1`-of-`2f + 1` still converge and cosign-quorum the head;
+    /// healing the partition re-converges the full set.
+    PartitionedWitnesses,
+}
+
+impl fmt::Display for WitnessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WitnessMode::Honest => "honest",
+            WitnessMode::SplitViewLogger => "split-view-logger",
+            WitnessMode::EquivocatingWitness => "equivocating-witness",
+            WitnessMode::PartitionedWitnesses => "partitioned-witnesses",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Deterministic witness chaos plan.
+#[derive(Debug, Clone)]
+pub struct WitnessChaosConfig {
+    /// Seed for logger/witness key generation and link-fault injection.
+    pub seed: u64,
+    /// Records in the logger's store at the start of the run.
+    pub entries: usize,
+    /// The adversary's script.
+    pub mode: WitnessMode,
+    /// Witness-set fault tolerance: `2f + 1` witnesses, quorum `f + 1`.
+    pub f: usize,
+    /// Gossip rounds to run (the harness never waits on wall-clock
+    /// convergence in attack modes, where convergence is impossible by
+    /// design).
+    pub rounds: usize,
+}
+
+impl WitnessChaosConfig {
+    /// A plan with `f = 1` (three witnesses) over a 12-record log.
+    pub fn new(seed: u64, mode: WitnessMode) -> Self {
+        WitnessChaosConfig {
+            seed,
+            entries: 12,
+            mode,
+            f: 1,
+            rounds: 6,
+        }
+    }
+}
+
+/// What a witness chaos run produced.
+#[derive(Debug)]
+pub struct WitnessChaosOutcome {
+    /// Rounds gossip took to converge (`None` when the mode makes
+    /// convergence impossible — a split view never reconciles).
+    pub converged_after: Option<usize>,
+    /// The highest head that gathered an `f + 1` cosign quorum among the
+    /// live witnesses.
+    pub witnessed: Option<CosignedHead>,
+    /// Split-view convictions assembled anywhere (witness set + light
+    /// clients), deduplicated per (log, size).
+    pub proofs: Vec<SplitViewProof>,
+    /// Gossip frames discarded for bad signatures, summed over the set.
+    pub rejected: u64,
+    /// Gossip frames that failed wire framing (magic/checksum).
+    pub undecodable: u64,
+    /// Ack-path verifications the light clients performed successfully.
+    pub light_verified: u64,
+    /// Ack-path verifications that failed (the interceptor-visible
+    /// `sth_verify_failures` counter).
+    pub sth_verify_failures: u64,
+    /// The cluster-auditor verdict with the run's evidence folded in.
+    pub report: ClusterAuditReport,
+    /// The witness set, alive, for further interrogation.
+    pub net: WitnessNet,
+}
+
+impl WitnessChaosOutcome {
+    /// Logs named by an auditor-verified split-view conviction.
+    pub fn convicted_logs(&self) -> Vec<NodeId> {
+        self.report.convicted_logs()
+    }
+}
+
+/// The log identity every scenario runs under.
+fn logger_id() -> NodeId {
+    NodeId::new("logger")
+}
+
+fn filled_store(entries: usize, fork_at: Option<usize>) -> LogStore {
+    let store = LogStore::new();
+    for i in 0..entries {
+        let body = match fork_at {
+            Some(at) if at == i => vec![0xF0, i as u8, 0xF0, i as u8],
+            _ => vec![i as u8; 16],
+        };
+        store.append_encoded(body);
+    }
+    store
+}
+
+fn sth_private(kp: &RsaKeyPair) -> Result<RsaPrivateKey, LogError> {
+    RsaPrivateKey::from_bytes(&kp.private_key().to_bytes())
+        .map_err(|_| LogError::Malformed("witness chaos (sth key)"))
+}
+
+fn publisher_for(kp: &RsaKeyPair, store: LogStore) -> Result<Arc<SthPublisher>, LogError> {
+    Ok(Arc::new(SthPublisher::new(
+        TreeHeadSigner::new(logger_id(), sth_private(kp)?),
+        store,
+    )))
+}
+
+/// Runs the witness chaos scenario.
+///
+/// # Errors
+///
+/// Returns [`LogError`] only for harness-level failures (key derivation,
+/// cluster spawn). Adversarial behavior is the point of the exercise and
+/// never errors out of the run.
+pub fn run_witness_chaos(config: &WitnessChaosConfig) -> Result<WitnessChaosOutcome, LogError> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x717E55);
+    let logger_kp = RsaKeyPair::generate(512, &mut rng);
+    let sth_keys = SthKeyring::new().with_log(logger_id(), logger_kp.public_key().clone());
+
+    let honest: Arc<SthPublisher> = publisher_for(&logger_kp, filled_store(config.entries, None))?;
+    // The forked view: same length, one record rewritten, signed by the
+    // SAME logger key — the lie only split-view detection can catch.
+    let forked: Arc<SthPublisher> =
+        publisher_for(&logger_kp, filled_store(config.entries, Some(config.entries / 2)))?;
+
+    let net_config = WitnessNetConfig::new(config.f).with_seed(config.seed).with_fault(
+        // Seeded link chaos on every gossip link: drops and delays, which
+        // round-based re-broadcast must ride out.
+        FaultConfig::seeded(config.seed)
+            .with_drop_rate(0.15)
+            .with_delay(0.2, std::time::Duration::from_millis(5)),
+    );
+    let n = net_config.witnesses;
+    let sources: Vec<Vec<Arc<dyn TreeHeadSource>>> = (0..n)
+        .map(|w| {
+            let source = match config.mode {
+                // The minority (the last f witnesses) is shown the fork.
+                WitnessMode::SplitViewLogger if w >= n - config.f => Arc::clone(&forked),
+                _ => Arc::clone(&honest),
+            };
+            vec![source as Arc<dyn TreeHeadSource>]
+        })
+        .collect();
+    let mut net = WitnessNet::new(net_config, sth_keys.clone(), sources);
+
+    if config.mode == WitnessMode::PartitionedWitnesses {
+        for w in 0..config.f {
+            net.sever(w);
+        }
+    }
+
+    // The traitor's imposter key: NOT the logger's, so its forged heads
+    // must die at the receivers' signature check.
+    let traitor_signer = {
+        let mut traitor_rng = StdRng::seed_from_u64(config.seed ^ 0x7124);
+        let traitor_kp = RsaKeyPair::generate(512, &mut traitor_rng);
+        TreeHeadSigner::new(logger_id(), sth_private(&traitor_kp)?)
+    };
+
+    let mut converged_after = None;
+    for round in 1..=config.rounds {
+        if config.mode == WitnessMode::EquivocatingWitness {
+            // The traitor (last witness) gossips a head for the LOGGER's
+            // identity signed with its OWN witness key, plus a mangled
+            // frame. Receivers must discard both.
+            let forged = traitor_signer.sign(
+                round as u64,
+                config.entries as u64,
+                adlp_crypto::sha256(b"history the logger never had"),
+            )?;
+            net.inject(n - 1, &forged.encode());
+            let mut mangled = forged.encode();
+            if let Some(byte) = mangled.last_mut() {
+                *byte ^= 0x55;
+            }
+            net.inject(n - 1, &mangled);
+        }
+        net.round();
+        if converged_after.is_none() && net.converged() {
+            converged_after = Some(round);
+        }
+    }
+    if config.mode == WitnessMode::PartitionedWitnesses {
+        // Heal and re-converge: the returning minority catches up from
+        // gossip alone.
+        for w in 0..config.f {
+            net.heal(w);
+        }
+        net.run_until_converged(config.rounds);
+    }
+
+    // Light clients: one audits the honest view; under a split-view
+    // logger a second client is shown the fork AFTER trusting the honest
+    // head — the ack-path detection publishers get for free.
+    let light = Arc::new(LightClient::new(sth_keys.clone()));
+    for _ in 0..3 {
+        let _ = light.audit_ack(honest.as_ref(), config.entries as u64 - 1);
+    }
+    if config.mode == WitnessMode::SplitViewLogger {
+        let _ = light.audit_ack(forked.as_ref(), config.entries as u64 - 1);
+    }
+
+    // Fold every conviction — gossip-assembled and light-client-assembled
+    // — into the cluster auditor, which re-verifies each proof itself.
+    let mut proofs = net.proofs();
+    for proof in light.evidence() {
+        if !proofs
+            .iter()
+            .any(|p| p.log() == proof.log() && p.size() == proof.size())
+        {
+            proofs.push(proof);
+        }
+    }
+    let cluster = LoggerCluster::spawn(ClusterConfig::new(1))?;
+    let auditor = ClusterAuditor::new(cluster.keys().clone())
+        .with_topology([(Topic::new("image"), logger_id())])
+        .with_sth_keys(sth_keys);
+    let report = auditor.audit_view_with_evidence(&cluster.view(), &proofs);
+
+    Ok(WitnessChaosOutcome {
+        converged_after,
+        witnessed: net.witnessed(&logger_id()),
+        proofs,
+        rejected: net.rejected(),
+        undecodable: net.undecodable(),
+        light_verified: light.verified_acks(),
+        sth_verify_failures: light.sth_verify_failures(),
+        report,
+        net,
+    })
+}

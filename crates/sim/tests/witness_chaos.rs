@@ -1,0 +1,128 @@
+//! Witness chaos suite: the acceptance proofs for the witness subsystem
+//! (DESIGN.md §3.12).
+//!
+//! Across multiple seeds, every scripted attack must end in continued
+//! liveness (the `f + 1`-of-`2f + 1` live quorum keeps cosigning the
+//! honest head) or an auditor-re-verified split-view conviction naming
+//! the exact log — never silent acceptance of a fork, and never a false
+//! conviction from forged gossip.
+
+use adlp_pubsub::NodeId;
+use adlp_sim::{run_witness_chaos, WitnessChaosConfig, WitnessMode};
+
+const SEEDS: [u64; 4] = [11, 23, 37, 49];
+
+#[test]
+fn honest_runs_converge_conviction_free_with_zero_verify_failures() {
+    for seed in SEEDS {
+        let out = run_witness_chaos(&WitnessChaosConfig::new(seed, WitnessMode::Honest))
+            .expect("chaos run");
+        assert!(
+            out.converged_after.is_some(),
+            "seed {seed}: gossip must converge under link faults"
+        );
+        let witnessed = out.witnessed.as_ref().expect("quorum-cosigned head");
+        assert_eq!(witnessed.sth.size, 12, "seed {seed}: the true head is witnessed");
+        assert!(out.proofs.is_empty(), "seed {seed}: no convictions in an honest run");
+        assert_eq!(out.rejected, 0, "seed {seed}");
+        assert_eq!(
+            out.sth_verify_failures, 0,
+            "seed {seed}: honest acks must verify cleanly"
+        );
+        assert_eq!(out.light_verified, 3, "seed {seed}");
+        assert!(
+            out.report.all_clear(),
+            "seed {seed}: honest run must audit clean: {:?}",
+            out.report
+        );
+    }
+}
+
+#[test]
+fn split_view_logger_is_convicted_by_its_own_signatures() {
+    for seed in SEEDS {
+        let out = run_witness_chaos(&WitnessChaosConfig::new(seed, WitnessMode::SplitViewLogger))
+            .expect("chaos run");
+        // Gossip assembled a transferable conviction.
+        assert!(
+            !out.proofs.is_empty(),
+            "seed {seed}: the fork must be detected by gossip"
+        );
+        // The auditor RE-VERIFIED the proof itself and names exactly the
+        // lying logger — nothing else.
+        assert!(!out.report.all_clear(), "seed {seed}");
+        assert_eq!(
+            out.convicted_logs(),
+            vec![NodeId::new("logger")],
+            "seed {seed}: the conviction must name exactly the split-view logger"
+        );
+        assert_eq!(
+            out.report.invalid_split_views, 0,
+            "seed {seed}: every folded proof is genuine"
+        );
+        // The light client shown the fork after trusting the truth also
+        // caught it on the ack path.
+        assert!(
+            out.sth_verify_failures >= 1,
+            "seed {seed}: the forked ack must fail light-client verification"
+        );
+        // The honest-view audits still verified — detection, not outage.
+        assert_eq!(out.light_verified, 3, "seed {seed}");
+    }
+}
+
+#[test]
+fn forged_witness_gossip_is_rejected_not_believed() {
+    for seed in SEEDS {
+        let out =
+            run_witness_chaos(&WitnessChaosConfig::new(seed, WitnessMode::EquivocatingWitness))
+                .expect("chaos run");
+        // The forged heads died at the signature check, the mangled frames
+        // at the framing check.
+        assert!(
+            out.rejected >= 1,
+            "seed {seed}: forged heads must be counted as rejected"
+        );
+        assert!(
+            out.undecodable >= 1,
+            "seed {seed}: mangled frames must be counted as undecodable"
+        );
+        // No false conviction: a forgery carries no logger signature, so
+        // it can convict nobody.
+        assert!(
+            out.proofs.is_empty(),
+            "seed {seed}: forged gossip must never assemble a conviction"
+        );
+        assert!(out.report.all_clear(), "seed {seed}: {:?}", out.report);
+        // Liveness: the honest quorum still witnessed the true head.
+        assert!(out.converged_after.is_some(), "seed {seed}");
+        assert_eq!(
+            out.witnessed.as_ref().expect("quorum head").sth.size,
+            12,
+            "seed {seed}"
+        );
+        assert_eq!(out.sth_verify_failures, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn partitioned_witness_set_retains_liveness_with_f_unreachable() {
+    for seed in SEEDS {
+        let out =
+            run_witness_chaos(&WitnessChaosConfig::new(seed, WitnessMode::PartitionedWitnesses))
+                .expect("chaos run");
+        // With f of 2f+1 severed the remaining f+1 converged and reached
+        // the cosign quorum — and after healing the full set agrees.
+        assert!(
+            out.converged_after.is_some(),
+            "seed {seed}: the live majority must converge during the partition"
+        );
+        assert!(out.net.converged(), "seed {seed}: the healed set must re-converge");
+        assert_eq!(out.net.live().len(), 3, "seed {seed}: all witnesses healed");
+        let witnessed = out.witnessed.as_ref().expect("liveness under f missing");
+        assert_eq!(witnessed.sth.size, 12, "seed {seed}");
+        assert!(out.proofs.is_empty(), "seed {seed}");
+        assert!(out.report.all_clear(), "seed {seed}: {:?}", out.report);
+        assert_eq!(out.sth_verify_failures, 0, "seed {seed}");
+    }
+}

@@ -1,0 +1,466 @@
+//! The witness set: a full gossip mesh over the faulty-injectable
+//! transport.
+//!
+//! Witnesses run in **rounds** (entry-driven, not wall-clock-driven, like
+//! every other chaos harness here): each live witness polls its view of the
+//! logger(s), broadcasts every head it has adopted — plus both halves of
+//! every conviction it holds — to every live peer over a
+//! `FaultyTransport`-wrapped link, then drains its inbox, funneling each
+//! decoded frame through the same verify-then-adopt path polled heads take.
+//! Dropped or reordered gossip frames are simply re-sent next round, so
+//! convergence is eventual under any fault mix that keeps links alive.
+
+use crate::proof::{CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
+use crate::witness::{SthObservation, TreeHeadSource, Witness};
+use adlp_crypto::rsa::RsaKeyPair;
+use adlp_logger::sth::SignedTreeHead;
+use adlp_pubsub::transport::faults::{FaultConfig, FaultStats, FaultyTransport};
+use adlp_pubsub::transport::{duplex_pair, FrameDuplex};
+use adlp_pubsub::NodeId;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shape of a witness set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WitnessNetConfig {
+    /// Witnesses tolerated unreachable (or misbehaving): the set runs
+    /// `2f + 1` witnesses and a head counts as witnessed once `f + 1`
+    /// distinct witnesses cosigned it — any witnessed head was vouched for
+    /// by at least one honest, reachable witness.
+    pub f: usize,
+    /// Total witnesses (defaults to `2f + 1`; may be raised, never below).
+    pub witnesses: usize,
+    /// RSA modulus width of the per-witness keys (512 is test/bench grade).
+    pub key_bits: usize,
+    /// Seed for deterministic witness-key generation.
+    pub seed: u64,
+    /// Fault injection applied to every gossip link.
+    pub fault: FaultConfig,
+}
+
+impl WitnessNetConfig {
+    /// A witness set tolerating `f` unreachable witnesses (`f ≥ 1`).
+    pub fn new(f: usize) -> Self {
+        let f = f.max(1);
+        WitnessNetConfig {
+            f,
+            witnesses: 2 * f + 1,
+            key_bits: 512,
+            seed: 0x57_17,
+            fault: FaultConfig::default(),
+        }
+    }
+
+    /// Raises the witness count (clamped to at least `2f + 1`).
+    pub fn with_witnesses(mut self, n: usize) -> Self {
+        self.witnesses = n.max(2 * self.f + 1);
+        self
+    }
+
+    /// Sets the witness-key generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Applies a fault config to every gossip link.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Cosignatures needed for a head to count as witnessed: `f + 1`.
+    pub fn witness_quorum(&self) -> usize {
+        self.f + 1
+    }
+}
+
+/// The full witness mesh plus each witness's private view of the logger(s).
+///
+/// Sources are **per witness** deliberately: a split-view logger is
+/// modeled as different witnesses being served different
+/// [`TreeHeadSource`]s, which is exactly the attack gossip exists to catch.
+pub struct WitnessNet {
+    config: WitnessNetConfig,
+    witnesses: Vec<Arc<Witness>>,
+    keyring: WitnessKeyring,
+    /// `senders[i][j]` is witness `i`'s (fault-wrapped) endpoint toward
+    /// witness `j`; `inboxes[j][i]` is the matching receive endpoint.
+    senders: Vec<Vec<Option<FrameDuplex>>>,
+    inboxes: Vec<Vec<Option<FrameDuplex>>>,
+    sources: Vec<Vec<Arc<dyn TreeHeadSource>>>,
+    severed: Vec<bool>,
+    stats: Arc<FaultStats>,
+    undecodable: AtomicU64,
+}
+
+impl std::fmt::Debug for WitnessNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WitnessNet")
+            .field("config", &self.config)
+            .field("severed", &self.severed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WitnessNet {
+    /// Builds the witness set: deterministic per-witness keys from
+    /// `config.seed`, and a fault-wrapped link for every ordered witness
+    /// pair. `sources[w]` is witness `w`'s private view of each log it
+    /// watches (hand every witness the same `Arc` for an honest logger).
+    pub fn new(
+        config: WitnessNetConfig,
+        loggers: SthKeyring,
+        sources: Vec<Vec<Arc<dyn TreeHeadSource>>>,
+    ) -> Self {
+        let n = config.witnesses;
+        let mut keys = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ (0x5EED << 8) ^ i as u64);
+            keys.push(RsaKeyPair::generate(config.key_bits, &mut rng));
+        }
+        let keyring = WitnessKeyring::new(keys.iter().map(|k| k.public_key().clone()).collect());
+        let witnesses: Vec<Arc<Witness>> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, kp)| Arc::new(Witness::new(i, kp.into_private_key(), loggers.clone())))
+            .collect();
+
+        let stats = Arc::new(FaultStats::default());
+        let mut senders: Vec<Vec<Option<FrameDuplex>>> = (0..n).map(|_| vec![None; n]).collect();
+        let mut inboxes: Vec<Vec<Option<FrameDuplex>>> = (0..n).map(|_| vec![None; n]).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (near, far) = duplex_pair();
+                let near = if config.fault.is_transparent() {
+                    near
+                } else {
+                    FaultyTransport::wrap(
+                        near,
+                        config.fault.clone(),
+                        (i as u64) << 16 | j as u64,
+                        Arc::clone(&stats),
+                        || {},
+                    )
+                };
+                senders[i][j] = Some(near);
+                inboxes[j][i] = Some(far);
+            }
+        }
+        let mut sources = sources;
+        sources.resize_with(n, Vec::new);
+        WitnessNet {
+            severed: vec![false; n],
+            config,
+            witnesses,
+            keyring,
+            senders,
+            inboxes,
+            sources,
+            stats,
+            undecodable: AtomicU64::new(0),
+        }
+    }
+
+    /// The set's shape.
+    pub fn config(&self) -> &WitnessNetConfig {
+        &self.config
+    }
+
+    /// The public keys of the witness set, for light clients and auditors.
+    pub fn keyring(&self) -> &WitnessKeyring {
+        &self.keyring
+    }
+
+    /// Witness `w`, for inspection.
+    pub fn witness(&self, w: usize) -> Option<&Arc<Witness>> {
+        self.witnesses.get(w)
+    }
+
+    /// Fault-injection counters across all gossip links.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Gossip frames that failed framing (magic/checksum/truncation).
+    pub fn undecodable(&self) -> u64 {
+        self.undecodable.load(Ordering::Relaxed)
+    }
+
+    /// Partitions witness `w` away: it stops polling, gossiping, and
+    /// draining until [`WitnessNet::heal`].
+    pub fn sever(&mut self, w: usize) {
+        if let Some(s) = self.severed.get_mut(w) {
+            *s = true;
+        }
+    }
+
+    /// Reconnects witness `w`.
+    pub fn heal(&mut self, w: usize) {
+        if let Some(s) = self.severed.get_mut(w) {
+            *s = false;
+        }
+    }
+
+    /// Indices of the currently reachable witnesses.
+    pub fn live(&self) -> Vec<usize> {
+        (0..self.witnesses.len())
+            .filter(|&w| !self.severed[w])
+            .collect()
+    }
+
+    /// Sends an arbitrary frame from witness `from` to every live peer,
+    /// over the same fault-wrapped links honest gossip uses. This is the
+    /// chaos-harness hook for a *traitor* witness: forged heads, mangled
+    /// frames — whatever it injects must be rejected by the receivers'
+    /// verify-then-adopt path, never believed.
+    pub fn inject(&self, from: usize, frame: &[u8]) {
+        for &j in &self.live() {
+            if j == from {
+                continue;
+            }
+            if let Some(Some(link)) = self.senders.get(from).map(|row| &row[j]) {
+                link.send(frame.to_vec());
+            }
+        }
+    }
+
+    /// One gossip round: poll, broadcast, settle, drain. Returns how many
+    /// frames were adopted (newly learned heads) this round.
+    pub fn round(&self) -> usize {
+        // Poll: every live witness pulls each of its sources.
+        for &w in &self.live() {
+            for source in &self.sources[w] {
+                self.witnesses[w].poll(source.as_ref());
+            }
+        }
+        // Broadcast: adopted heads plus both halves of every conviction.
+        for &i in &self.live() {
+            let mut frames: Vec<Vec<u8>> = self.witnesses[i]
+                .latest_heads()
+                .iter()
+                .map(SignedTreeHead::encode)
+                .collect();
+            frames.extend(self.witnesses[i].conviction_heads().iter().map(SignedTreeHead::encode));
+            for &j in &self.live() {
+                if i == j {
+                    continue;
+                }
+                if let Some(link) = &self.senders[i][j] {
+                    for frame in &frames {
+                        link.send(frame.clone());
+                    }
+                }
+            }
+        }
+        // Settle: give the per-link injector threads (delay/reorder) time
+        // to flush; frames they still hold are re-sent next round anyway.
+        if !self.config.fault.is_transparent() {
+            std::thread::sleep(self.config.fault.max_delay + Duration::from_millis(25));
+        }
+        // Drain: decode, then verify-and-adopt through the witness.
+        let mut adopted = 0;
+        for &j in &self.live() {
+            for i in 0..self.witnesses.len() {
+                let Some(inbox) = &self.inboxes[j][i] else {
+                    continue;
+                };
+                while let Ok(frame) = inbox.rx.try_recv() {
+                    match SignedTreeHead::decode(&frame) {
+                        Err(_) => {
+                            self.undecodable.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(sth) => {
+                            let consistency = {
+                                let cur = self.witnesses[j].latest_head(&sth.log);
+                                match cur {
+                                    Some(cur) if sth.size > cur.size => self.sources[j]
+                                        .iter()
+                                        .find(|s| s.log_id() == sth.log)
+                                        .and_then(|s| s.consistency(cur.size, sth.size)),
+                                    _ => None,
+                                }
+                            };
+                            if self.witnesses[j].adopt_head(sth, consistency.as_ref())
+                                == SthObservation::Adopted
+                            {
+                                adopted += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        adopted
+    }
+
+    /// Runs rounds until every live witness agrees on every tracked log's
+    /// latest head, or `max_rounds` elapse. Returns the rounds consumed,
+    /// or `None` when convergence was not reached.
+    pub fn run_until_converged(&self, max_rounds: usize) -> Option<usize> {
+        for round in 1..=max_rounds {
+            self.round();
+            if self.converged() {
+                return Some(round);
+            }
+        }
+        None
+    }
+
+    /// Whether every live witness holds an identical latest head for every
+    /// log any live witness tracks.
+    pub fn converged(&self) -> bool {
+        let live = self.live();
+        let mut logs: Vec<NodeId> = Vec::new();
+        for &w in &live {
+            for head in self.witnesses[w].latest_heads() {
+                if !logs.contains(&head.log) {
+                    logs.push(head.log.clone());
+                }
+            }
+        }
+        if logs.is_empty() {
+            return false;
+        }
+        logs.iter().all(|log| {
+            let mut heads = live
+                .iter()
+                .map(|&w| self.witnesses[w].latest_head(log))
+                .collect::<Vec<_>>();
+            let Some(Some(first)) = heads.pop() else {
+                return false;
+            };
+            heads.iter().all(|h| {
+                h.as_ref()
+                    .is_some_and(|h| h.size == first.size && h.root == first.root)
+            })
+        })
+    }
+
+    /// The highest head of `log` that gathered a cosign quorum across the
+    /// live witnesses, with the endorsements backing it.
+    pub fn witnessed(&self, log: &NodeId) -> Option<CosignedHead> {
+        let live = self.live();
+        let mut candidates: Vec<SignedTreeHead> = Vec::new();
+        for &w in &live {
+            if let Some(head) = self.witnesses[w].latest_head(log) {
+                if !candidates
+                    .iter()
+                    .any(|c| c.size == head.size && c.root == head.root)
+                {
+                    candidates.push(head);
+                }
+            }
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.size));
+        for candidate in candidates {
+            let cosignatures: Vec<_> = live
+                .iter()
+                .filter_map(|&w| self.witnesses[w].cosignature(log, candidate.size))
+                .filter(|c| c.root == candidate.root)
+                .collect();
+            if cosignatures.len() >= self.config.witness_quorum() {
+                return Some(CosignedHead {
+                    sth: candidate,
+                    cosignatures,
+                });
+            }
+        }
+        None
+    }
+
+    /// Every conviction assembled anywhere in the set, deduplicated per
+    /// (log, size).
+    pub fn proofs(&self) -> Vec<SplitViewProof> {
+        let mut out: Vec<SplitViewProof> = Vec::new();
+        for w in &self.witnesses {
+            for proof in w.proofs() {
+                if !out
+                    .iter()
+                    .any(|p| p.log() == proof.log() && p.size() == proof.size())
+                {
+                    out.push(proof);
+                }
+            }
+        }
+        out
+    }
+
+    /// Gossip frames discarded for bad signatures, summed over the set.
+    pub fn rejected(&self) -> u64 {
+        self.witnesses.iter().map(|w| w.rejected()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::rsa::RsaPrivateKey;
+    use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+    use adlp_logger::LogStore;
+
+    fn logger_setup(seed: u64) -> (RsaKeyPair, SthKeyring, LogStore, Arc<SthPublisher>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let keyring = SthKeyring::new().with_log(NodeId::new("logger"), kp.public_key().clone());
+        let store = LogStore::new();
+        for i in 0..4u8 {
+            store.append_encoded(vec![i; 16]);
+        }
+        let publisher = Arc::new(SthPublisher::new(
+            TreeHeadSigner::new(
+                NodeId::new("logger"),
+                RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap(),
+            ),
+            store.clone(),
+        ));
+        (kp, keyring, store, publisher)
+    }
+
+    #[test]
+    fn honest_net_converges_and_reaches_quorum() {
+        let (_kp, keyring, store, publisher) = logger_setup(7);
+        let config = WitnessNetConfig::new(1).with_seed(7);
+        let n = config.witnesses;
+        let sources: Vec<Vec<Arc<dyn TreeHeadSource>>> = (0..n)
+            .map(|_| vec![Arc::clone(&publisher) as Arc<dyn TreeHeadSource>])
+            .collect();
+        let net = WitnessNet::new(config, keyring.clone(), sources);
+
+        assert!(net.run_until_converged(8).is_some());
+        let log = NodeId::new("logger");
+        let witnessed = net.witnessed(&log).expect("quorum-cosigned head");
+        assert_eq!(witnessed.sth.size, 4);
+        assert!(witnessed.witnessed_by(&keyring, net.keyring(), net.config().witness_quorum()));
+        assert!(net.proofs().is_empty());
+        assert_eq!(net.rejected(), 0);
+
+        // The log grows; the set re-converges on the larger head.
+        store.append_encoded(vec![9; 16]);
+        assert!(net.run_until_converged(8).is_some());
+        assert_eq!(net.witnessed(&log).expect("new head").sth.size, 5);
+    }
+
+    #[test]
+    fn severed_minority_does_not_block_the_quorum() {
+        let (_kp, keyring, _store, publisher) = logger_setup(8);
+        let config = WitnessNetConfig::new(1).with_seed(8);
+        let n = config.witnesses;
+        let f = config.f;
+        let sources: Vec<Vec<Arc<dyn TreeHeadSource>>> = (0..n)
+            .map(|_| vec![Arc::clone(&publisher) as Arc<dyn TreeHeadSource>])
+            .collect();
+        let mut net = WitnessNet::new(config, keyring, sources);
+        for w in 0..f {
+            net.sever(w);
+        }
+        assert!(net.run_until_converged(8).is_some());
+        let witnessed = net.witnessed(&NodeId::new("logger")).expect("liveness under f missing");
+        assert_eq!(witnessed.sth.size, 4);
+    }
+}

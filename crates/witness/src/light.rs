@@ -1,0 +1,349 @@
+//! Light clients: publishers and subscribers auditing on the ack path.
+//!
+//! A light client never replays the log; it holds one verified head per
+//! log and, on every acknowledgement, (1) pulls the logger's latest head,
+//! (2) verifies its signature and RFC 6962 consistency from the head it
+//! already trusts, and (3) demands an inclusion proof for the freshly
+//! acked record against that head. Every failure is counted — the
+//! interceptor surfaces the count as `sth_verify_failures` — and a pair of
+//! validly-signed conflicting heads becomes the same transferable
+//! [`SplitViewProof`] evidence the witness set assembles.
+
+use crate::proof::{SplitViewProof, SthKeyring};
+use crate::witness::TreeHeadSource;
+use adlp_logger::merkle::{ConsistencyProof, MerkleTree};
+use adlp_logger::sth::SignedTreeHead;
+use adlp_pubsub::NodeId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Why a light client refused a head or an ack audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LightClientError {
+    /// The source offered no head.
+    NoHead,
+    /// The head's signature does not verify under the log's key.
+    BadSignature,
+    /// The head conflicts with the trusted head at the same size — the
+    /// conviction is retained as evidence.
+    SplitView,
+    /// The head advances the log but no valid consistency proof was
+    /// available.
+    InconsistentHistory,
+    /// The acked record's inclusion proof was missing or failed.
+    BadInclusion,
+}
+
+#[derive(Debug, Default)]
+struct LightInner {
+    latest: BTreeMap<NodeId, SignedTreeHead>,
+    evidence: Vec<SplitViewProof>,
+}
+
+/// Client-side STH verification state. Cheap to share behind an [`Arc`];
+/// one instance serves every connection of a node.
+#[derive(Debug)]
+pub struct LightClient {
+    loggers: SthKeyring,
+    inner: Mutex<LightInner>,
+    verify_failures: AtomicU64,
+    verified_acks: AtomicU64,
+}
+
+impl LightClient {
+    /// Creates a light client trusting the logger keys in `loggers`.
+    pub fn new(loggers: SthKeyring) -> Self {
+        LightClient {
+            loggers,
+            inner: Mutex::new(LightInner::default()),
+            verify_failures: AtomicU64::new(0),
+            verified_acks: AtomicU64::new(0),
+        }
+    }
+
+    fn fail(&self, err: LightClientError) -> LightClientError {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        err
+    }
+
+    /// Verifies one head — signature, split-view check against the trusted
+    /// head, and consistency when it advances the log — and adopts it on
+    /// success. Failures are counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason the head was refused; on
+    /// [`LightClientError::SplitView`] the transferable conviction is
+    /// retained (see [`LightClient::evidence`]).
+    pub fn observe_head(
+        &self,
+        sth: SignedTreeHead,
+        consistency: Option<&ConsistencyProof>,
+    ) -> Result<(), LightClientError> {
+        if !self.loggers.verify(&sth) {
+            return Err(self.fail(LightClientError::BadSignature));
+        }
+        let mut inner = self.inner.lock();
+        match inner.latest.get(&sth.log) {
+            None => {
+                inner.latest.insert(sth.log.clone(), sth);
+                Ok(())
+            }
+            Some(cur) if sth.size == cur.size => {
+                if sth.root == cur.root {
+                    Ok(())
+                } else {
+                    let proof = SplitViewProof {
+                        first: cur.clone(),
+                        second: sth,
+                    };
+                    let known = inner
+                        .evidence
+                        .iter()
+                        .any(|p| p.log() == proof.log() && p.size() == proof.size());
+                    if !known {
+                        inner.evidence.push(proof);
+                    }
+                    drop(inner);
+                    Err(self.fail(LightClientError::SplitView))
+                }
+            }
+            Some(cur) if sth.size < cur.size => {
+                // An older head is fine only if the *trusted* head extends
+                // it; without a proof the client simply keeps what it has.
+                Ok(())
+            }
+            Some(cur) => match consistency {
+                Some(proof) if MerkleTree::verify_consistency(&cur.root, &sth.root, proof) => {
+                    inner.latest.insert(sth.log.clone(), sth);
+                    Ok(())
+                }
+                _ => {
+                    drop(inner);
+                    Err(self.fail(LightClientError::InconsistentHistory))
+                }
+            },
+        }
+    }
+
+    /// The full ack-path audit: pull the source's latest head, verify and
+    /// adopt it, then verify the inclusion of record `index` (the freshly
+    /// acked one) under it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first check that failed; every failure is counted.
+    pub fn audit_ack(&self, source: &dyn TreeHeadSource, index: u64) -> Result<(), LightClientError> {
+        let Some(sth) = source.latest() else {
+            return Err(self.fail(LightClientError::NoHead));
+        };
+        let consistency = {
+            let inner = self.inner.lock();
+            match inner.latest.get(&sth.log) {
+                Some(cur) if sth.size > cur.size => source.consistency(cur.size, sth.size),
+                _ => None,
+            }
+        };
+        self.observe_head(sth.clone(), consistency.as_ref())?;
+        if index >= sth.size {
+            return Err(self.fail(LightClientError::BadInclusion));
+        }
+        let Some((leaf, proof)) = source.inclusion(index, sth.size) else {
+            return Err(self.fail(LightClientError::BadInclusion));
+        };
+        if !MerkleTree::verify(&sth.root, sth.size as usize, &leaf, &proof) {
+            return Err(self.fail(LightClientError::BadInclusion));
+        }
+        self.verified_acks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The trusted head for `log`, if any.
+    pub fn latest_head(&self, log: &NodeId) -> Option<SignedTreeHead> {
+        self.inner.lock().latest.get(log).cloned()
+    }
+
+    /// Failed verifications (signature, consistency, split view,
+    /// inclusion) so far.
+    pub fn sth_verify_failures(&self) -> u64 {
+        self.verify_failures.load(Ordering::Relaxed)
+    }
+
+    /// Acks that passed the full audit.
+    pub fn verified_acks(&self) -> u64 {
+        self.verified_acks.load(Ordering::Relaxed)
+    }
+
+    /// Split-view convictions this client assembled.
+    pub fn evidence(&self) -> Vec<SplitViewProof> {
+        self.inner.lock().evidence.clone()
+    }
+}
+
+/// A [`LightClient`] bound to the source it audits against — the hook the
+/// `adlp-core` interceptor invokes on every acknowledged send.
+pub struct AckProbe {
+    client: Arc<LightClient>,
+    source: Arc<dyn TreeHeadSource>,
+    acked: AtomicU64,
+}
+
+impl AckProbe {
+    /// Binds `client` to `source`.
+    pub fn new(client: Arc<LightClient>, source: Arc<dyn TreeHeadSource>) -> Self {
+        AckProbe {
+            client,
+            source,
+            acked: AtomicU64::new(0),
+        }
+    }
+
+    /// The bound light client (counters and evidence live there).
+    pub fn client(&self) -> &Arc<LightClient> {
+        &self.client
+    }
+
+    /// Audits the latest acknowledged record: the probe tracks how many
+    /// acks it has seen and demands inclusion of the newest record the
+    /// head covers. Returns whether the audit passed.
+    pub fn audit_ack(&self) -> bool {
+        self.acked.fetch_add(1, Ordering::Relaxed);
+        let Some(sth) = self.source.latest() else {
+            // Count through the client so the interceptor's counter moves.
+            return self
+                .client
+                .audit_ack(&NoSource, 0)
+                .is_ok();
+        };
+        let index = sth.size.saturating_sub(1);
+        self.client.audit_ack(&*self.source, index).is_ok()
+    }
+}
+
+/// A source with nothing to offer — used to route "no head" through the
+/// counted failure path.
+struct NoSource;
+
+impl TreeHeadSource for NoSource {
+    fn log_id(&self) -> NodeId {
+        NodeId::new("")
+    }
+    fn latest(&self) -> Option<SignedTreeHead> {
+        None
+    }
+    fn consistency(&self, _old: u64, _new: u64) -> Option<ConsistencyProof> {
+        None
+    }
+    fn inclusion(
+        &self,
+        _index: u64,
+        _size: u64,
+    ) -> Option<(adlp_crypto::sha256::Digest, adlp_logger::merkle::InclusionProof)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::rsa::RsaPrivateKey;
+    use adlp_crypto::RsaKeyPair;
+    use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+    use adlp_logger::LogStore;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    fn private(kp: &RsaKeyPair) -> RsaPrivateKey {
+        RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap()
+    }
+
+    fn setup(seed: u64, entries: usize) -> (RsaKeyPair, SthKeyring, LogStore, SthPublisher) {
+        let kp = keypair(seed);
+        let keyring = SthKeyring::new().with_log(NodeId::new("logger"), kp.public_key().clone());
+        let store = LogStore::new();
+        for i in 0..entries {
+            store.append_encoded(vec![i as u8; 16]);
+        }
+        let publisher = SthPublisher::new(
+            TreeHeadSigner::new(NodeId::new("logger"), private(&kp)),
+            store.clone(),
+        );
+        (kp, keyring, store, publisher)
+    }
+
+    #[test]
+    fn honest_ack_path_verifies_cleanly() {
+        let (_kp, keyring, store, publisher) = setup(1, 3);
+        let client = LightClient::new(keyring);
+
+        assert_eq!(client.audit_ack(&publisher, 2), Ok(()));
+        store.append_encoded(vec![7; 16]);
+        assert_eq!(client.audit_ack(&publisher, 3), Ok(()));
+        assert_eq!(client.verified_acks(), 2);
+        assert_eq!(client.sth_verify_failures(), 0);
+        assert!(client.evidence().is_empty());
+        assert_eq!(client.latest_head(&NodeId::new("logger")).unwrap().size, 4);
+    }
+
+    #[test]
+    fn split_view_against_the_trusted_head_is_counted_and_retained() {
+        let (kp, keyring, _store, publisher) = setup(2, 4);
+        let client = LightClient::new(keyring.clone());
+        assert_eq!(client.audit_ack(&publisher, 3), Ok(()));
+
+        // The logger now shows this client a forked head at the same size.
+        let liar = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let forked = liar.sign(9, 4, adlp_crypto::sha256(b"fork")).unwrap();
+        assert_eq!(
+            client.observe_head(forked, None),
+            Err(LightClientError::SplitView)
+        );
+        assert_eq!(client.sth_verify_failures(), 1);
+        let evidence = client.evidence();
+        assert_eq!(evidence.len(), 1);
+        assert!(evidence[0].verify(&keyring), "evidence is transferable");
+    }
+
+    #[test]
+    fn unproven_advance_and_forgeries_are_refused() {
+        let (kp, keyring, _store, publisher) = setup(3, 3);
+        let client = LightClient::new(keyring);
+        assert_eq!(client.audit_ack(&publisher, 2), Ok(()));
+
+        let signer = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let advance = signer.sign(9, 6, adlp_crypto::sha256(b"ahead")).unwrap();
+        assert_eq!(
+            client.observe_head(advance, None),
+            Err(LightClientError::InconsistentHistory)
+        );
+
+        let imposter = TreeHeadSigner::new(NodeId::new("logger"), private(&keypair(4)));
+        let forged = imposter.sign(0, 9, adlp_crypto::sha256(b"x")).unwrap();
+        assert_eq!(
+            client.observe_head(forged, None),
+            Err(LightClientError::BadSignature)
+        );
+        assert_eq!(client.sth_verify_failures(), 2);
+        // The trusted head never moved.
+        assert_eq!(client.latest_head(&NodeId::new("logger")).unwrap().size, 3);
+    }
+
+    #[test]
+    fn ack_probe_drives_the_client_through_the_source() {
+        let (_kp, keyring, store, publisher) = setup(5, 2);
+        let client = Arc::new(LightClient::new(keyring));
+        let probe = AckProbe::new(Arc::clone(&client), Arc::new(publisher));
+
+        assert!(probe.audit_ack());
+        store.append_encoded(vec![3; 16]);
+        assert!(probe.audit_ack());
+        assert_eq!(client.verified_acks(), 2);
+        assert_eq!(client.sth_verify_failures(), 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! One witness: verify, remember, cosign, convict.
+
+use crate::proof::{Cosignature, SplitViewProof, SthKeyring};
+use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_crypto::sha256::Digest;
+use adlp_logger::merkle::{ConsistencyProof, InclusionProof, MerkleTree};
+use adlp_logger::sth::{SignedTreeHead, SthPublisher};
+use adlp_pubsub::NodeId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a witness or light client fetches heads and proofs from — the
+/// logger's proof-serving endpoint, abstracted so the split-view sim can
+/// serve *different* sources to different observers.
+pub trait TreeHeadSource: Send + Sync {
+    /// Identity of the log this source speaks for.
+    fn log_id(&self) -> NodeId;
+
+    /// The log's current signed head.
+    fn latest(&self) -> Option<SignedTreeHead>;
+
+    /// Proof that the tree at `new_size` extends the tree at `old_size`.
+    fn consistency(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof>;
+
+    /// Inclusion proof (and leaf hash) for record `index` in the tree at
+    /// `size`.
+    fn inclusion(&self, index: u64, size: u64) -> Option<(Digest, InclusionProof)>;
+}
+
+impl TreeHeadSource for SthPublisher {
+    fn log_id(&self) -> NodeId {
+        self.log().clone()
+    }
+
+    fn latest(&self) -> Option<SignedTreeHead> {
+        self.emit().ok()
+    }
+
+    fn consistency(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof> {
+        self.prove_consistency(old_size, new_size)
+    }
+
+    fn inclusion(&self, index: u64, size: u64) -> Option<(Digest, InclusionProof)> {
+        self.prove_inclusion(index, size)
+    }
+}
+
+/// What [`Witness::adopt_head`] concluded about one head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SthObservation {
+    /// Verified (signature + consistency) and adopted as the log's latest
+    /// head; the witness cosigned it.
+    Adopted,
+    /// A validly-signed repeat of an already-recorded (log, size, root).
+    Duplicate,
+    /// Validly signed but older than the adopted head, and consistent with
+    /// what was recorded at that size.
+    Stale,
+    /// The signature does not verify under the claimed log's key — the
+    /// head is discarded (it proves nothing about the log, whose key never
+    /// signed it).
+    BadSignature,
+    /// Validly signed and ahead of the adopted head, but no valid
+    /// consistency proof was supplied: recorded for split-view detection,
+    /// *not* adopted and *not* cosigned.
+    Unproven,
+    /// The source had no head to offer.
+    NoHead,
+    /// Valid signature conflicting with a previously recorded head at the
+    /// same size: the log equivocated, and here is the conviction.
+    SplitView(Box<SplitViewProof>),
+}
+
+#[derive(Debug, Default)]
+struct WitnessInner {
+    /// First validly-signed head seen per (log, size) — the split-view
+    /// detector's memory.
+    seen: BTreeMap<(NodeId, u64), SignedTreeHead>,
+    /// Highest consistency-verified head per log.
+    latest: BTreeMap<NodeId, SignedTreeHead>,
+    /// This witness's endorsement per adopted (log, size).
+    cosigs: BTreeMap<(NodeId, u64), Cosignature>,
+    /// Convictions, in detection order (deduplicated per log + size).
+    proofs: Vec<SplitViewProof>,
+}
+
+/// One member of the witness set.
+///
+/// A witness never trusts a gossiped or polled head until the log's
+/// signature verifies, and never *endorses* (cosigns) one until it has also
+/// verified RFC 6962 consistency from the last head it endorsed — but it
+/// remembers every *validly-signed* head it ever saw, because two of them
+/// at the same size with different roots are a [`SplitViewProof`] no matter
+/// which one "wins" adoption.
+#[derive(Debug)]
+pub struct Witness {
+    id: usize,
+    key: RsaPrivateKey,
+    loggers: SthKeyring,
+    rejected: AtomicU64,
+    unproven: AtomicU64,
+    inner: Mutex<WitnessInner>,
+}
+
+impl Witness {
+    /// Creates witness `id` signing with `key` and trusting the logger
+    /// keys in `loggers`.
+    pub fn new(id: usize, key: RsaPrivateKey, loggers: SthKeyring) -> Self {
+        Witness {
+            id,
+            key,
+            loggers,
+            rejected: AtomicU64::new(0),
+            unproven: AtomicU64::new(0),
+            inner: Mutex::new(WitnessInner::default()),
+        }
+    }
+
+    /// This witness's index in the set.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Records one head: verifies its signature, checks it against every
+    /// prior validly-signed head at the same (log, size), verifies the
+    /// consistency proof when the head advances the log, and cosigns on
+    /// adoption. This is the *only* way a head enters a witness's state —
+    /// gossip frames and poll results both funnel through it after
+    /// decoding.
+    pub fn adopt_head(
+        &self,
+        sth: SignedTreeHead,
+        consistency: Option<&ConsistencyProof>,
+    ) -> SthObservation {
+        if !self.loggers.verify(&sth) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return SthObservation::BadSignature;
+        }
+        let mut inner = self.inner.lock();
+        let key = (sth.log.clone(), sth.size);
+        if let Some(prior) = inner.seen.get(&key) {
+            if prior.root == sth.root {
+                return SthObservation::Duplicate;
+            }
+            let proof = SplitViewProof {
+                first: prior.clone(),
+                second: sth,
+            };
+            let already = inner
+                .proofs
+                .iter()
+                .any(|p| p.log() == proof.log() && p.size() == proof.size());
+            if !already {
+                inner.proofs.push(proof.clone());
+            }
+            return SthObservation::SplitView(Box::new(proof));
+        }
+        inner.seen.insert(key, sth.clone());
+        let verdict = match inner.latest.get(&sth.log) {
+            // Trust-on-first-use: the first verified head anchors the
+            // consistency chain (there is no history to check it against).
+            None => SthObservation::Adopted,
+            Some(cur) if sth.size < cur.size => SthObservation::Stale,
+            // Equal size with an unseen root was handled above as a split
+            // view; equal size can only reach here as a fresh duplicate.
+            Some(cur) if sth.size == cur.size => SthObservation::Duplicate,
+            Some(cur) => match consistency {
+                Some(proof) if MerkleTree::verify_consistency(&cur.root, &sth.root, proof) => {
+                    SthObservation::Adopted
+                }
+                _ => SthObservation::Unproven,
+            },
+        };
+        match verdict {
+            SthObservation::Adopted => {
+                match Cosignature::sign(self.id, &self.key, sth.log.clone(), sth.size, sth.root) {
+                    Ok(cosig) => {
+                        inner.cosigs.insert((sth.log.clone(), sth.size), cosig);
+                        inner.latest.insert(sth.log.clone(), sth);
+                        SthObservation::Adopted
+                    }
+                    Err(_) => {
+                        // A witness that cannot endorse does not adopt: its
+                        // "latest" is always a head it actually vouched for.
+                        self.unproven.fetch_add(1, Ordering::Relaxed);
+                        SthObservation::Unproven
+                    }
+                }
+            }
+            SthObservation::Unproven => {
+                self.unproven.fetch_add(1, Ordering::Relaxed);
+                SthObservation::Unproven
+            }
+            other => other,
+        }
+    }
+
+    /// Polls a source for its latest head, fetching the consistency proof
+    /// this witness needs to advance, and adopts the result.
+    pub fn poll(&self, source: &dyn TreeHeadSource) -> SthObservation {
+        let Some(sth) = source.latest() else {
+            return SthObservation::NoHead;
+        };
+        let consistency = {
+            let inner = self.inner.lock();
+            match inner.latest.get(&sth.log) {
+                Some(cur) if sth.size > cur.size => source.consistency(cur.size, sth.size),
+                _ => None,
+            }
+        };
+        self.adopt_head(sth, consistency.as_ref())
+    }
+
+    /// The latest consistency-verified head this witness holds for `log`.
+    pub fn latest_head(&self, log: &NodeId) -> Option<SignedTreeHead> {
+        self.inner.lock().latest.get(log).cloned()
+    }
+
+    /// Every log this witness currently tracks, with its adopted head.
+    pub fn latest_heads(&self) -> Vec<SignedTreeHead> {
+        self.inner.lock().latest.values().cloned().collect()
+    }
+
+    /// This witness's endorsement of (log, size), if it adopted that head.
+    pub fn cosignature(&self, log: &NodeId, size: u64) -> Option<Cosignature> {
+        self.inner.lock().cosigs.get(&(log.clone(), size)).cloned()
+    }
+
+    /// Every conviction this witness assembled (at most one per log+size).
+    pub fn proofs(&self) -> Vec<SplitViewProof> {
+        self.inner.lock().proofs.clone()
+    }
+
+    /// Both halves of every conviction, for gossiping onward: peers
+    /// re-derive the conviction from the conflicting heads themselves.
+    pub fn conviction_heads(&self) -> Vec<SignedTreeHead> {
+        let inner = self.inner.lock();
+        inner
+            .proofs
+            .iter()
+            .flat_map(|p| [p.first.clone(), p.second.clone()])
+            .collect()
+    }
+
+    /// Heads discarded for a bad signature.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Validly-signed heads refused adoption for lack of a consistency
+    /// proof.
+    pub fn unproven(&self) -> u64 {
+        self.unproven.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_crypto::RsaKeyPair;
+    use adlp_logger::sth::TreeHeadSigner;
+    use adlp_logger::LogStore;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    fn private(kp: &RsaKeyPair) -> RsaPrivateKey {
+        RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap()
+    }
+
+    fn publisher(kp: &RsaKeyPair, entries: usize) -> (SthPublisher, LogStore) {
+        let store = LogStore::new();
+        for i in 0..entries {
+            store.append_encoded(vec![i as u8; 16]);
+        }
+        let publisher =
+            SthPublisher::new(TreeHeadSigner::new(NodeId::new("logger"), private(kp)), store.clone());
+        (publisher, store)
+    }
+
+    fn witness_for(kp: &RsaKeyPair) -> Witness {
+        let loggers = SthKeyring::new().with_log(NodeId::new("logger"), kp.public_key().clone());
+        Witness::new(0, private(&keypair(99)), loggers)
+    }
+
+    #[test]
+    fn witness_adopts_consistent_growth_and_cosigns() {
+        let kp = keypair(1);
+        let (publisher, store) = publisher(&kp, 3);
+        let w = witness_for(&kp);
+
+        assert_eq!(w.poll(&publisher), SthObservation::Adopted);
+        let first = w.latest_head(&NodeId::new("logger")).unwrap();
+        assert_eq!(first.size, 3);
+        assert!(w.cosignature(&NodeId::new("logger"), 3).is_some());
+
+        // Re-polling an unchanged log re-signs the same (size, root) under
+        // a fresh epoch: a duplicate, not a conflict.
+        assert_eq!(w.poll(&publisher), SthObservation::Duplicate);
+
+        // Growth: the consistency proof is fetched from the source and
+        // verified before adoption.
+        for i in 0..2u8 {
+            store.append_encoded(vec![0xA0 + i; 16]);
+        }
+        assert_eq!(w.poll(&publisher), SthObservation::Adopted);
+        assert_eq!(w.latest_head(&NodeId::new("logger")).unwrap().size, 5);
+        assert!(w.proofs().is_empty());
+        assert_eq!(w.rejected(), 0);
+    }
+
+    #[test]
+    fn witness_refuses_unproven_advance_but_remembers_it() {
+        let kp = keypair(2);
+        let signer = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let w = witness_for(&kp);
+
+        let first = signer.sign(0, 3, adlp_crypto::sha256(b"a")).unwrap();
+        assert_eq!(w.adopt_head(first, None), SthObservation::Adopted);
+
+        // An advance with no consistency proof is recorded, not adopted.
+        let advance = signer.sign(1, 5, adlp_crypto::sha256(b"b")).unwrap();
+        assert_eq!(w.adopt_head(advance.clone(), None), SthObservation::Unproven);
+        assert_eq!(w.latest_head(&NodeId::new("logger")).unwrap().size, 3);
+        assert!(w.cosignature(&NodeId::new("logger"), 5).is_none());
+        assert_eq!(w.unproven(), 1);
+
+        // …but it still arms the split-view detector at that size.
+        let conflicting = signer.sign(2, 5, adlp_crypto::sha256(b"c")).unwrap();
+        let obs = w.adopt_head(conflicting, None);
+        assert!(matches!(obs, SthObservation::SplitView(_)));
+        assert_eq!(w.proofs().len(), 1);
+    }
+
+    #[test]
+    fn witness_convicts_split_view_and_discards_forgeries() {
+        let kp = keypair(3);
+        let signer = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let loggers = SthKeyring::new().with_log(NodeId::new("logger"), kp.public_key().clone());
+        let w = Witness::new(1, private(&keypair(98)), loggers.clone());
+
+        let a = signer.sign(0, 4, adlp_crypto::sha256(b"a")).unwrap();
+        let b = signer.sign(1, 4, adlp_crypto::sha256(b"b")).unwrap();
+        assert_eq!(w.adopt_head(a.clone(), None), SthObservation::Adopted);
+        let obs = w.adopt_head(b, None);
+        let SthObservation::SplitView(proof) = obs else {
+            panic!("expected a split-view conviction, got {obs:?}");
+        };
+        assert!(proof.verify(&loggers), "the conviction is transferable");
+        assert_eq!(proof.log(), &NodeId::new("logger"));
+        assert_eq!(w.conviction_heads().len(), 2);
+
+        // A forged head (imposter key) is discarded, never recorded.
+        let imposter = TreeHeadSigner::new(NodeId::new("logger"), private(&keypair(4)));
+        let forged = imposter.sign(9, 6, adlp_crypto::sha256(b"x")).unwrap();
+        assert_eq!(w.adopt_head(forged, None), SthObservation::BadSignature);
+        assert_eq!(w.rejected(), 1);
+        assert_eq!(w.proofs().len(), 1, "forgery must not add convictions");
+
+        // Stale heads are tolerated when consistent with what was seen.
+        let old = signer.sign(5, 4, adlp_crypto::sha256(b"a")).unwrap();
+        assert_eq!(w.adopt_head(old, None), SthObservation::Duplicate);
+    }
+}
