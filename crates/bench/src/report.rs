@@ -202,19 +202,32 @@ pub fn bft_json(rows: &[BftRow]) -> String {
 pub fn print_gossip(rows: &[GossipRow]) {
     println!("== Witness gossip: convergence and light-client audit cost vs f ==");
     println!(
-        "{:<3} {:<5} {:>8} {:>12} {:>11} {:>8} {:>14}",
-        "f", "N/Q", "Rounds", "Converge ms", "LinkFaults", "Audits", "Audit µs/ack"
+        "{:<7} {:<3} {:<5} {:>8} {:>12} {:>8} {:>9} {:>13} {:>10} {:>10}",
+        "Transp",
+        "f",
+        "N/Q",
+        "Rounds",
+        "Converge ms",
+        "Faults",
+        "Audit µs",
+        "p99/p99.9 µs",
+        "Audits",
+        "Heal ms"
     );
     for r in rows {
         println!(
-            "{:<3} {:<5} {:>8} {:>12.1} {:>11} {:>8} {:>14.1}",
+            "{:<7} {:<3} {:<5} {:>8} {:>12.1} {:>8} {:>9.1} {:>13} {:>10} {:>10}",
+            r.transport,
             r.f,
             format!("{}/{}", r.witnesses, r.quorum),
             r.converged_rounds,
             r.converge_ms,
             r.link_faults,
+            r.light_audit_us,
+            format!("{:.0}/{:.0}", r.light_audit_p99_us, r.light_audit_p999_us),
             r.light_audits,
-            r.light_audit_us
+            r.heal_converge_ms
+                .map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}")),
         );
     }
     println!();
@@ -225,19 +238,27 @@ pub fn print_gossip(rows: &[GossipRow]) {
 pub fn gossip_json(rows: &[GossipRow]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"gossip_overhead\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let heal = r
+            .heal_converge_ms
+            .map_or_else(|| "null".to_string(), |ms| format!("{ms:.3}"));
         out.push_str(&format!(
-            "    {{\"f\": {}, \"witnesses\": {}, \"quorum\": {}, \
-             \"converged_rounds\": {}, \"converge_ms\": {:.3}, \
-             \"link_faults\": {}, \"light_audits\": {}, \
-             \"light_audit_us\": {:.3}}}{}\n",
+            "    {{\"transport\": \"{}\", \"f\": {}, \"witnesses\": {}, \
+             \"quorum\": {}, \"converged_rounds\": {}, \"converge_ms\": {:.3}, \
+             \"link_faults\": {}, \"heal_converge_ms\": {}, \
+             \"light_audits\": {}, \"light_audit_us\": {:.3}, \
+             \"light_audit_p99_us\": {:.3}, \"light_audit_p999_us\": {:.3}}}{}\n",
+            r.transport,
             r.f,
             r.witnesses,
             r.quorum,
             r.converged_rounds,
             r.converge_ms,
             r.link_faults,
+            heal,
             r.light_audits,
             r.light_audit_us,
+            r.light_audit_p99_us,
+            r.light_audit_p999_us,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -11,6 +11,21 @@ pub fn mean_std(samples: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
+/// Nearest-rank percentile (`p` in `[0, 100]`): the smallest sample such
+/// that at least `p`% of the data is at or below it. The conventional
+/// tail-latency estimator — no interpolation, so a reported p99 is always
+/// a latency that actually happened.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
 /// Formats a byte count with thousands separators (paper-style tables).
 pub fn fmt_bytes(n: u64) -> String {
     let s = n.to_string();
@@ -34,6 +49,22 @@ mod tests {
         assert!((m - 5.0).abs() < 1e-12);
         assert!((s - 2.0).abs() < 1e-12);
         assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&data, 50.0), 50.0);
+        assert_eq!(percentile(&data, 99.0), 99.0);
+        assert_eq!(percentile(&data, 99.9), 100.0);
+        assert_eq!(percentile(&data, 100.0), 100.0);
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        // A reported percentile is always an observed sample.
+        let odd = [3.0, 1.0, 7.0];
+        for p in [0.0, 33.0, 66.0, 99.0] {
+            assert!(odd.contains(&percentile(&odd, p)));
+        }
     }
 
     #[test]

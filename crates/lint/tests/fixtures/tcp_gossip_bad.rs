@@ -1,0 +1,40 @@
+// Known-bad fixture for `unverified-wire-taint` on the TCP witness-ingest
+// path: `recv_gossip_frame` is the funnel every socket frame re-surfaces
+// through (the accept-loop readers just push raw bytes into the inbox),
+// so its return value is wire data. Handing it straight to the STH
+// adoption sink skips the framing decode — the witness would consider a
+// head nobody checksummed or signature-checked.
+
+use std::collections::VecDeque;
+
+pub struct Witness {
+    heads: Vec<Vec<u8>>,
+}
+
+impl Witness {
+    pub fn adopt_head(&mut self, frame: Vec<u8>) -> Result<(), ()> {
+        self.heads.push(frame);
+        Ok(())
+    }
+}
+
+pub struct GossipNode {
+    inbox: VecDeque<Vec<u8>>,
+    witness: Witness,
+}
+
+impl GossipNode {
+    pub fn recv_gossip_frame(&mut self) -> Option<Vec<u8>> {
+        self.inbox.pop_front()
+    }
+
+    pub fn drain_round(&mut self) -> usize {
+        let mut adopted = 0;
+        while let Some(frame) = self.recv_gossip_frame() {
+            if self.witness.adopt_head(frame).is_ok() {
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+}

@@ -140,6 +140,40 @@ fn wire_taint_accepts_decoded_sth_adoption() {
     assert_clean(&report, "sth_taint_good.rs");
 }
 
+#[test]
+fn wire_taint_fires_on_raw_tcp_gossip_ingest() {
+    // `recv_gossip_frame` is a taint source even though its body is just
+    // a channel pop: the accept-loop readers feed it raw socket bytes, so
+    // draining it straight into `adopt_head` must fire.
+    let report = analyze(
+        "crates/witness/src/fixture.rs",
+        include_str!("fixtures/tcp_gossip_bad.rs"),
+    );
+    assert_eq!(
+        count(&report, "unverified-wire-taint"),
+        1,
+        "diags: {:?}",
+        report.diags
+    );
+    let diag = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "unverified-wire-taint")
+        .expect("taint diagnostic");
+    assert_eq!(diag.witness.len(), 2, "witness: {:?}", diag.witness);
+    assert!(diag.witness[0].contains("recv_gossip_frame"));
+    assert!(diag.witness[1].contains("adopt_head"));
+}
+
+#[test]
+fn wire_taint_accepts_decoded_tcp_gossip_ingest() {
+    let report = analyze(
+        "crates/witness/src/fixture.rs",
+        include_str!("fixtures/tcp_gossip_good.rs"),
+    );
+    assert_clean(&report, "tcp_gossip_good.rs");
+}
+
 // ---- rule: ack-before-durable --------------------------------------------
 
 #[test]

@@ -67,10 +67,23 @@ enum Command {
     /// so it serializes with appends instead of racing them.
     Rollback(usize, Sender<Result<(), LogError>>),
     RegisterKey(NodeId, Box<RsaPublicKey>, Sender<Result<(), LogError>>),
+    /// Seal an STH epoch now (requires an attached publisher). Runs on the
+    /// server thread, so the sealed head reflects a quiesced prefix — no
+    /// append is half-applied when the head is signed.
+    SealEpoch(Sender<Result<crate::sth::SignedTreeHead, LogError>>),
     Flush(Sender<()>),
     /// Simulates a log-server crash: the worker exits immediately,
     /// abandoning anything still queued.
     Terminate,
+}
+
+/// An STH publisher attached to a log server, with its pacing policy.
+#[derive(Debug, Clone)]
+struct SthAttachment {
+    publisher: std::sync::Arc<crate::sth::SthPublisher>,
+    /// Seal an epoch automatically after this many appends; 0 = only on
+    /// explicit [`LoggerHandle::seal_epoch`] calls.
+    seal_every: u64,
 }
 
 /// Cheap-to-clone handle components use to talk to the server.
@@ -80,6 +93,8 @@ pub struct LoggerHandle {
     keys: KeyRegistry,
     stats: LogStats,
     store: LogStore,
+    /// Shared with the server thread, which reads it on every append.
+    sth: std::sync::Arc<parking_lot::Mutex<Option<SthAttachment>>>,
 }
 
 impl LoggerHandle {
@@ -211,6 +226,41 @@ impl LoggerHandle {
     pub fn store(&self) -> &LogStore {
         &self.store
     }
+
+    /// Attaches an STH publisher to the server: the server seals an epoch
+    /// through it after every `seal_every` appends (0 = manual sealing
+    /// only, via [`LoggerHandle::seal_epoch`]). The publisher should be
+    /// [`crate::sth::SthPublisher::paced`] and built over this server's
+    /// store — pacing is the whole point of routing emission through the
+    /// append loop instead of signing on every observer probe.
+    pub fn attach_sth(&self, publisher: std::sync::Arc<crate::sth::SthPublisher>, seal_every: u64) {
+        *self.sth.lock() = Some(SthAttachment {
+            publisher,
+            seal_every,
+        });
+    }
+
+    /// The attached STH publisher, for wiring witnesses and light clients.
+    pub fn sth(&self) -> Option<std::sync::Arc<crate::sth::SthPublisher>> {
+        self.sth.lock().as_ref().map(|a| std::sync::Arc::clone(&a.publisher))
+    }
+
+    /// Seals an STH epoch on the server thread, after everything already
+    /// queued ahead of this call has been applied. Returns the sealed head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when no publisher is attached or
+    /// signing fails, and [`LogError::Io`] when the server is gone.
+    pub fn seal_epoch(&self) -> Result<crate::sth::SignedTreeHead, LogError> {
+        let (reply, verdict) = crossbeam::channel::bounded(1);
+        self.tx
+            .send(Command::SealEpoch(reply))
+            .map_err(|_| LogError::Io("log server unavailable".into()))?;
+        verdict
+            .recv()
+            .map_err(|_| LogError::Io("log server dropped the seal".into()))?
+    }
 }
 
 /// A durable server plus the account of the recovery that produced it.
@@ -320,15 +370,17 @@ impl LogServer {
         queue_bound: usize,
     ) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
+        let sth = std::sync::Arc::new(parking_lot::Mutex::new(None));
         let handle = LoggerHandle {
             tx,
             keys: keys.clone(),
             stats: stats.clone(),
             store: store.clone(),
+            sth: std::sync::Arc::clone(&sth),
         };
         let worker = std::thread::Builder::new()
             .name("adlp-log-server".into())
-            .spawn(move || Self::serve(rx, keys, stats, store, durable, queue_bound.max(1)))
+            .spawn(move || Self::serve(rx, keys, stats, store, durable, queue_bound.max(1), sth))
             .map_err(|e| LogError::Io(format!("spawn log server: {e}")))?;
         Ok(LogServer {
             handle,
@@ -394,6 +446,7 @@ impl LogServer {
         store: LogStore,
         mut durable: Option<DurableLog>,
         bound: usize,
+        sth: std::sync::Arc<parking_lot::Mutex<Option<SthAttachment>>>,
     ) {
         // The channel is only a transfer buffer: each iteration eagerly
         // drains it into an explicit bounded backlog (where admission
@@ -401,6 +454,22 @@ impl LogServer {
         // order is preserved for everything that is admitted.
         let mut backlog: VecDeque<Command> = VecDeque::new();
         let mut appends_queued = 0usize;
+        // Appends applied since the last automatic epoch seal.
+        let mut appends_since_seal = 0u64;
+        // Seals an epoch when the attachment's pacing says it is due.
+        // Failures (signing refused) are not fatal to the append path: the
+        // previous sealed head simply stays in force, which observers treat
+        // as a quiet epoch.
+        let maybe_seal = |appends_since_seal: &mut u64| {
+            let attachment = sth.lock().clone();
+            if let Some(a) = attachment {
+                if a.seal_every > 0 && *appends_since_seal >= a.seal_every {
+                    // adlp-lint: allow(discarded-fallible) — a refused seal leaves the prior epoch head in force, which is a legal (stale) view
+                    let _ = a.publisher.seal_epoch();
+                    *appends_since_seal = 0;
+                }
+            }
+        };
         loop {
             if backlog.is_empty() {
                 match rx.recv() {
@@ -434,7 +503,11 @@ impl LogServer {
                 Command::Append(entry) => {
                     let encoded = entry.encode();
                     match Self::append_pipeline(&mut durable, &store, &encoded) {
-                        Ok(_) => stats.record(&entry.component, &entry.topic, encoded.len()),
+                        Ok(_) => {
+                            stats.record(&entry.component, &entry.topic, encoded.len());
+                            appends_since_seal += 1;
+                            maybe_seal(&mut appends_since_seal);
+                        }
                         // Refused by the WAL (torn write / dead device):
                         // the entry is not stored; counted, like a
                         // submission to a dead server.
@@ -449,10 +522,12 @@ impl LogServer {
                             // the platter: stored (indices must stay
                             // aligned) yet not acknowledged as durable.
                             stats.record(&entry.component, &entry.topic, encoded.len());
+                            appends_since_seal += 1;
                             Err(LogError::Io("wal sync failed; entry not durable".into()))
                         }
                         Ok(_) => {
                             stats.record(&entry.component, &entry.topic, encoded.len());
+                            appends_since_seal += 1;
                             Ok(())
                         }
                         Err(e) => {
@@ -460,6 +535,7 @@ impl LogServer {
                             Err(e)
                         }
                     };
+                    maybe_seal(&mut appends_since_seal);
                     // adlp-lint: allow(discarded-fallible) — the depositing caller may have stopped waiting for its verdict
                     let _ = reply.send(verdict);
                 }
@@ -468,10 +544,12 @@ impl LogServer {
                         Ok(entry) => match Self::append_pipeline(&mut durable, &store, &encoded) {
                             Ok(Appended::SyncFailed) => {
                                 stats.record(&entry.component, &entry.topic, encoded.len());
+                                appends_since_seal += 1;
                                 Err(LogError::Io("wal sync failed; entry not durable".into()))
                             }
                             Ok(_) => {
                                 stats.record(&entry.component, &entry.topic, encoded.len());
+                                appends_since_seal += 1;
                                 Ok(())
                             }
                             Err(e) => {
@@ -481,6 +559,7 @@ impl LogServer {
                         },
                         Err(e) => Err(e),
                     };
+                    maybe_seal(&mut appends_since_seal);
                     // adlp-lint: allow(discarded-fallible) — the adopting caller may have stopped waiting for its verdict
                     let _ = reply.send(verdict);
                 }
@@ -498,6 +577,17 @@ impl LogServer {
                 Command::RegisterKey(component, key, reply) => {
                     // adlp-lint: allow(discarded-fallible) — the registering caller may have stopped waiting for its verdict
                     let _ = reply.send(keys.register(&component, *key));
+                }
+                Command::SealEpoch(reply) => {
+                    let verdict = match sth.lock().clone() {
+                        Some(a) => {
+                            appends_since_seal = 0;
+                            a.publisher.seal_epoch()
+                        }
+                        None => Err(LogError::Malformed("no sth publisher attached")),
+                    };
+                    // adlp-lint: allow(discarded-fallible) — the sealing caller may have stopped waiting for its head
+                    let _ = reply.send(verdict);
                 }
                 Command::Flush(reply) => {
                     // adlp-lint: allow(discarded-fallible) — the flush caller may have stopped waiting; nothing to recover
@@ -624,6 +714,50 @@ mod tests {
     }
 
     #[test]
+    fn attached_publisher_is_epoch_paced_by_the_append_loop() {
+        use crate::sth::{SthPublisher, TreeHeadSigner};
+        use std::sync::Arc;
+
+        let server = LogServer::spawn();
+        let h = server.handle();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let key = adlp_crypto::rsa::RsaPrivateKey::from_bytes(&kp.private_key().to_bytes())
+            .unwrap();
+        let publisher = Arc::new(
+            SthPublisher::new(TreeHeadSigner::new(NodeId::new("log"), key), h.store().clone())
+                .paced(),
+        );
+
+        // No attachment yet: sealing through the handle is refused.
+        assert!(h.seal_epoch().is_err());
+
+        h.attach_sth(Arc::clone(&publisher), 4);
+        assert!(h.sth().is_some());
+        assert!(publisher.latest_head().is_none(), "nothing sealed yet");
+
+        // Three appends: below the pacing threshold, still nothing sealed.
+        for i in 0..3 {
+            assert!(h.submit(entry(i, 8)).is_accepted());
+        }
+        h.flush().unwrap();
+        assert!(publisher.latest_head().is_none());
+
+        // The fourth append crosses the threshold: the server seals.
+        assert!(h.submit(entry(3, 8)).is_accepted());
+        h.flush().unwrap();
+        assert_eq!(publisher.latest_head().expect("auto-sealed").size, 4);
+
+        // Manual sealing works and reflects everything queued before it.
+        for i in 4..6 {
+            assert!(h.submit(entry(i, 8)).is_accepted());
+        }
+        let sealed = h.seal_epoch().unwrap();
+        assert_eq!(sealed.size, 6);
+        assert_eq!(publisher.latest_head().unwrap(), sealed);
+    }
+
+    #[test]
     fn killed_server_never_blocks_clients() {
         let server = LogServer::spawn();
         let h = server.handle();
@@ -722,7 +856,7 @@ mod tests {
         drop(tx);
         let stats = LogStats::new();
         let store = LogStore::new();
-        LogServer::serve(rx, KeyRegistry::new(), stats.clone(), store.clone(), None, 4);
+        LogServer::serve(rx, KeyRegistry::new(), stats.clone(), store.clone(), None, 4, std::sync::Arc::new(parking_lot::Mutex::new(None)));
         let snap = stats.snapshot();
         // The four oldest entries survive; the six newest are shed, counted,
         // and the backlog never exceeded its bound.

@@ -212,27 +212,83 @@ impl TreeHeadSigner {
 /// Proofs are always computed against an explicit *size* (a prefix of the
 /// store), never "whatever the store holds right now" — a proof must match
 /// the head it was requested for even if the store has grown since.
+///
+/// A publisher runs in one of two pacing modes:
+///
+/// * **on-demand** (the default): [`SthPublisher::latest_head`] signs the
+///   store's current head fresh on every call — every probe costs an RSA
+///   signature, and two probes a microsecond apart can observe different
+///   sizes;
+/// * **epoch-paced** ([`SthPublisher::paced`]): heads are only minted by
+///   [`SthPublisher::seal_epoch`] — typically driven by the log server's
+///   append counter — and `latest_head` serves the last sealed head.
+///   Witnesses and light clients then all see the *same* head between
+///   seals, which is what lets a federation converge instead of chasing a
+///   moving target, and bounds signing cost to one signature per epoch no
+///   matter how many observers poll.
 #[derive(Debug)]
 pub struct SthPublisher {
     signer: TreeHeadSigner,
     store: LogStore,
     epoch: AtomicU64,
+    /// `Some` = epoch-paced: the last sealed head (None until the first
+    /// seal). `None` = on-demand emission.
+    sealed: Option<parking_lot::Mutex<Option<SignedTreeHead>>>,
 }
 
 impl SthPublisher {
     /// Creates a publisher emitting heads for `store` under `signer`'s
-    /// identity, starting at epoch 0.
+    /// identity, starting at epoch 0, in on-demand mode.
     pub fn new(signer: TreeHeadSigner, store: LogStore) -> Self {
         SthPublisher {
             signer,
             store,
             epoch: AtomicU64::new(0),
+            sealed: None,
         }
+    }
+
+    /// Switches the publisher to epoch-paced mode: heads are only minted
+    /// by [`SthPublisher::seal_epoch`], and [`SthPublisher::latest_head`]
+    /// serves the last sealed head (or nothing before the first seal).
+    pub fn paced(mut self) -> Self {
+        self.sealed = Some(parking_lot::Mutex::new(None));
+        self
+    }
+
+    /// Whether this publisher is epoch-paced.
+    pub fn is_paced(&self) -> bool {
+        self.sealed.is_some()
     }
 
     /// The log identity heads are emitted under.
     pub fn log(&self) -> &NodeId {
         self.signer.log()
+    }
+
+    /// Signs the store's head as it stands and — in paced mode — installs
+    /// it as the head [`SthPublisher::latest_head`] serves until the next
+    /// seal. In on-demand mode this is equivalent to [`SthPublisher::emit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when signing fails.
+    pub fn seal_epoch(&self) -> Result<SignedTreeHead, LogError> {
+        let sth = self.emit()?;
+        if let Some(sealed) = &self.sealed {
+            *sealed.lock() = Some(sth.clone());
+        }
+        Ok(sth)
+    }
+
+    /// The head observers should verify against right now: the last sealed
+    /// head in paced mode (`None` before the first seal), or a
+    /// freshly-signed head of the current store in on-demand mode.
+    pub fn latest_head(&self) -> Option<SignedTreeHead> {
+        match &self.sealed {
+            Some(sealed) => sealed.lock().clone(),
+            None => self.emit().ok(),
+        }
     }
 
     /// Signs and returns the head of the store as it stands, advancing the
@@ -391,6 +447,43 @@ mod tests {
         assert!(publisher.prove_consistency(0, 4).is_none(), "degenerate old size");
         assert!(publisher.prove_consistency(3, 5).is_none(), "new size beyond the store");
         assert!(publisher.prove_consistency(4, 3).is_none(), "shrinking range");
+    }
+
+    #[test]
+    fn paced_publisher_serves_only_sealed_heads() {
+        let kp = keypair(8);
+        let store = filled_store(3);
+        let publisher = SthPublisher::new(signer("logger", &kp), store.clone()).paced();
+        assert!(publisher.is_paced());
+        assert!(publisher.latest_head().is_none(), "nothing sealed yet");
+
+        let first = publisher.seal_epoch().unwrap();
+        assert_eq!((first.epoch, first.size), (0, 3));
+        assert_eq!(publisher.latest_head().unwrap(), first);
+
+        // Growth is invisible to observers until the next seal.
+        store.append_encoded(vec![9; 16]);
+        assert_eq!(publisher.latest_head().unwrap(), first);
+
+        let second = publisher.seal_epoch().unwrap();
+        assert_eq!((second.epoch, second.size), (1, 4));
+        assert_eq!(publisher.latest_head().unwrap(), second);
+
+        // Proofs still serve against sealed sizes.
+        let consistency = publisher.prove_consistency(first.size, second.size).unwrap();
+        assert!(MerkleTree::verify_consistency(&first.root, &second.root, &consistency));
+    }
+
+    #[test]
+    fn on_demand_publisher_signs_fresh_heads() {
+        let kp = keypair(9);
+        let store = filled_store(2);
+        let publisher = SthPublisher::new(signer("logger", &kp), store.clone());
+        assert!(!publisher.is_paced());
+        assert_eq!(publisher.latest_head().unwrap().size, 2);
+        store.append_encoded(vec![7; 16]);
+        // No seal needed: the next probe sees the growth immediately.
+        assert_eq!(publisher.latest_head().unwrap().size, 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! in which case a send to a full queue drops the frame instead of
 //! blocking, bounding publisher-side memory under slow subscribers.
 
+pub mod chaos;
 pub mod faults;
 pub mod inproc;
 pub mod tcp;

@@ -26,7 +26,11 @@
 //! * [`witness`] — chaos runners for the witness subsystem (DESIGN.md
 //!   §3.12): a split-view logger, a forging witness, and a partitioned
 //!   witness set must end in continued liveness or an auditor-re-verified
-//!   split-view conviction naming the exact log.
+//!   split-view conviction naming the exact log;
+//! * [`witness_tcp`] — the same scenarios over real TCP sockets under a
+//!   seeded chaos proxy (DESIGN.md §3.13), plus the restart drill: a
+//!   witness killed mid-run must resume from durable state with its TOFU
+//!   anchor and cosign high-water mark intact.
 
 pub mod app;
 pub mod byzantine;
@@ -35,6 +39,7 @@ pub mod data;
 pub mod metrics;
 pub mod scenario;
 pub mod witness;
+pub mod witness_tcp;
 
 pub use app::{fanout_app, self_driving_app, AppSpec, DriveSpec, NodeSpec, PubSpec};
 pub use byzantine::{
@@ -48,3 +53,7 @@ pub use data::PayloadKind;
 pub use metrics::{CpuProbe, ThreadCpuProbe};
 pub use scenario::{ClusterRun, Scenario, ScenarioReport};
 pub use witness::{run_witness_chaos, WitnessChaosConfig, WitnessChaosOutcome, WitnessMode};
+pub use witness_tcp::{
+    run_tcp_witness_chaos, RestartDrill, TcpWitnessChaosConfig, TcpWitnessChaosOutcome,
+    TcpWitnessMode,
+};

@@ -1,0 +1,449 @@
+//! Witness chaos over real TCP (DESIGN.md §3.13): the in-process
+//! scenarios of [`crate::witness`], re-run across actual sockets with the
+//! network itself misbehaving — plus the one failure mode an in-process
+//! mesh cannot stage: a witness killed mid-run and restarted from nothing
+//! but its key and its storage device.
+//!
+//! Every link in the federation crosses a seeded
+//! [`ChaosProxy`](adlp_pubsub::transport::chaos::ChaosProxy): connection
+//! resets mid-frame, byte-boundary splits, delays, reorders, slow-loris
+//! stalls, refused dials. The acceptance bar is unchanged from the lab
+//! mesh — continued liveness or a transferable conviction, never silent
+//! acceptance, never a false conviction — with one addition, the
+//! **restart-under-chaos invariant**: a witness restarted from durable
+//! state never re-anchors trust-on-first-use onto a different head, never
+//! cosigns below its durable high-water mark, and the healed federation
+//! reconverges to the `f + 1` cosign quorum.
+//!
+//! Light clients ride along in every scenario through
+//! [`LightClient::audit_ack_witnessed`]: while the federation can produce
+//! a quorum-cosigned head they audit against it; while it cannot
+//! (partition) they degrade to *counted* direct-STH evidence-retention
+//! mode — `cosign_quorum_unavailable` moves, trust never silently widens
+//! — and recover on heal.
+
+use adlp_audit::{ClusterAuditReport, ClusterAuditor};
+use adlp_cluster::{ClusterConfig, LoggerCluster};
+use adlp_crypto::rsa::RsaPrivateKey;
+use adlp_crypto::RsaKeyPair;
+use adlp_logger::sth::{SignedTreeHead, SthPublisher, TreeHeadSigner};
+use adlp_logger::{LogError, LogStore};
+use adlp_pubsub::transport::chaos::ChaosConfig;
+use adlp_pubsub::{NodeId, Topic};
+use adlp_witness::{
+    CosignedHead, LightClient, SplitViewProof, SthKeyring, TcpGossipConfig, TcpWitnessFed,
+    TreeHeadSource, WitnessNetConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the scripted adversary — or the scripted crash — does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpWitnessMode {
+    /// Control: honest logger, every socket under the full chaos menu.
+    /// Must converge, cosign-quorum the true head, zero convictions.
+    Honest,
+    /// The logger serves a forked view to a minority of witnesses. The
+    /// fork must be convicted by the logger's own two signatures, over
+    /// sockets that reset and reorder.
+    SplitViewLogger,
+    /// One witness gossips forged heads (its own key over the logger's
+    /// identity) and mangled frames through the same chaotic links.
+    /// Receivers must reject both; nobody is convicted.
+    EquivocatingWitness,
+    /// First `f` witnesses are severed (liveness must hold), then one
+    /// more (the cosign quorum is gone — light clients must *degrade*,
+    /// counted). Healing must re-converge the full set and recover the
+    /// clients.
+    PartitionedWitnesses,
+    /// A witness is killed mid-run (power cut: sockets reset, storage
+    /// truncated to what was synced), the log grows during the outage,
+    /// and the witness restarts from its durable state. The restart
+    /// invariant must hold: same TOFU anchor, high-water mark never
+    /// regresses, federation reconverges — and a post-restart split-view
+    /// temptation at the remembered size is *convicted*, not re-anchored.
+    RestartingWitness,
+}
+
+impl fmt::Display for TcpWitnessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TcpWitnessMode::Honest => "honest",
+            TcpWitnessMode::SplitViewLogger => "split-view-logger",
+            TcpWitnessMode::EquivocatingWitness => "equivocating-witness",
+            TcpWitnessMode::PartitionedWitnesses => "partitioned-witnesses",
+            TcpWitnessMode::RestartingWitness => "restarting-witness",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Deterministic plan for one TCP witness chaos run.
+#[derive(Debug, Clone)]
+pub struct TcpWitnessChaosConfig {
+    /// Seed for key generation, socket chaos, and gossip jitter.
+    pub seed: u64,
+    /// Records in the logger's store at the start of the run.
+    pub entries: usize,
+    /// The adversary's script.
+    pub mode: TcpWitnessMode,
+    /// Witness-set fault tolerance: `2f + 1` witnesses, quorum `f + 1`.
+    pub f: usize,
+    /// Gossip rounds per phase (storm, outage, recovery).
+    pub rounds: usize,
+}
+
+impl TcpWitnessChaosConfig {
+    /// A plan with `f = 1` (three witnesses) over an 8-record log.
+    pub fn new(seed: u64, mode: TcpWitnessMode) -> Self {
+        TcpWitnessChaosConfig {
+            seed,
+            entries: 8,
+            mode,
+            f: 1,
+            rounds: 6,
+        }
+    }
+}
+
+/// Before/after snapshot of the restarted witness's durable promises.
+#[derive(Debug, Clone)]
+pub struct RestartDrill {
+    /// Which witness was killed and restarted.
+    pub witness: usize,
+    /// Its TOFU anchor before the power cut.
+    pub anchor_before: Option<SignedTreeHead>,
+    /// Its TOFU anchor after resuming from storage.
+    pub anchor_after: Option<SignedTreeHead>,
+    /// Its cosignature high-water mark before the power cut.
+    pub high_water_before: u64,
+    /// Its cosignature high-water mark after resuming.
+    pub high_water_after: u64,
+}
+
+impl RestartDrill {
+    /// The restart invariant: the resumed witness kept its anchor and its
+    /// high-water mark never regressed.
+    pub fn invariant_holds(&self) -> bool {
+        self.anchor_before.is_some()
+            && self.anchor_before == self.anchor_after
+            && self.high_water_after >= self.high_water_before
+    }
+}
+
+/// What a TCP witness chaos run produced.
+#[derive(Debug)]
+pub struct TcpWitnessChaosOutcome {
+    /// Rounds until every live witness agreed on the latest head (`None`
+    /// when the mode makes convergence impossible by design).
+    pub converged_after: Option<usize>,
+    /// The highest head with an `f + 1` cosign quorum at the end.
+    pub witnessed: Option<CosignedHead>,
+    /// Convictions assembled anywhere (federation + light client),
+    /// deduplicated per (log, size).
+    pub proofs: Vec<SplitViewProof>,
+    /// Gossip frames discarded for bad signatures.
+    pub rejected: u64,
+    /// Gossip frames that failed framing or decoding.
+    pub undecodable: u64,
+    /// Reconnects across the federation's peer links.
+    pub reconnects: u64,
+    /// Socket faults the chaos proxies actually injected.
+    pub chaos_faults: u64,
+    /// Ack audits the light client completed successfully.
+    pub light_verified: u64,
+    /// Ack audits that failed (interceptor-visible counter).
+    pub sth_verify_failures: u64,
+    /// Audits spent in counted degraded mode (quorum unreachable).
+    pub cosign_quorum_unavailable: u64,
+    /// Degraded→quorate transitions after heals.
+    pub quorum_recoveries: u64,
+    /// The restart drill's before/after snapshot (restarting mode only).
+    pub restart: Option<RestartDrill>,
+    /// The cluster-auditor verdict with the run's evidence folded in.
+    pub report: ClusterAuditReport,
+    /// The federation, alive, for further interrogation.
+    pub fed: TcpWitnessFed,
+}
+
+impl TcpWitnessChaosOutcome {
+    /// Logs named by an auditor-verified split-view conviction.
+    pub fn convicted_logs(&self) -> Vec<NodeId> {
+        self.report.convicted_logs()
+    }
+}
+
+fn logger_id() -> NodeId {
+    NodeId::new("logger")
+}
+
+fn filled_store(entries: usize, fork_at: Option<usize>) -> LogStore {
+    let store = LogStore::new();
+    for i in 0..entries {
+        let body = match fork_at {
+            Some(at) if at == i => vec![0xF0, i as u8, 0xF0, i as u8],
+            _ => vec![i as u8; 16],
+        };
+        store.append_encoded(body);
+    }
+    store
+}
+
+fn sth_private(kp: &RsaKeyPair) -> Result<RsaPrivateKey, LogError> {
+    RsaPrivateKey::from_bytes(&kp.private_key().to_bytes())
+        .map_err(|_| LogError::Malformed("tcp witness chaos (sth key)"))
+}
+
+/// The full socket-chaos menu, rates chosen so every fault class fires
+/// across a run while round-based re-broadcast still converges.
+fn chaos_menu(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    }
+    .with_reset_rate(0.03)
+    .with_split_rate(0.35)
+    .with_delay(0.10, Duration::from_millis(3))
+    .with_reorder_rate(0.05)
+    .with_stall(0.02, Duration::from_millis(8))
+    .with_connect_reset_rate(0.05)
+}
+
+/// Runs one TCP witness chaos scenario.
+///
+/// # Errors
+///
+/// Returns [`LogError`] only for harness-level failures (key derivation,
+/// socket setup, cluster spawn). Adversarial behavior and injected chaos
+/// are the point of the exercise and never error out of the run.
+pub fn run_tcp_witness_chaos(
+    config: &TcpWitnessChaosConfig,
+) -> Result<TcpWitnessChaosOutcome, LogError> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7C9_717E);
+    let logger_kp = RsaKeyPair::generate(512, &mut rng);
+    let sth_keys = SthKeyring::new().with_log(logger_id(), logger_kp.public_key().clone());
+
+    let honest_store = filled_store(config.entries, None);
+    let forked_store = filled_store(config.entries, Some(config.entries / 2));
+    let honest = Arc::new(SthPublisher::new(
+        TreeHeadSigner::new(logger_id(), sth_private(&logger_kp)?),
+        honest_store.clone(),
+    ));
+    let forked = Arc::new(SthPublisher::new(
+        TreeHeadSigner::new(logger_id(), sth_private(&logger_kp)?),
+        forked_store.clone(),
+    ));
+
+    let net_config = WitnessNetConfig::new(config.f).with_seed(config.seed);
+    let n = net_config.witnesses;
+    let quorum = net_config.witness_quorum();
+    let sources: Vec<Vec<Arc<dyn TreeHeadSource>>> = (0..n)
+        .map(|w| {
+            let source = match config.mode {
+                // The minority (the last f witnesses) is shown the fork.
+                TcpWitnessMode::SplitViewLogger if w >= n - config.f => Arc::clone(&forked),
+                _ => Arc::clone(&honest),
+            };
+            vec![source as Arc<dyn TreeHeadSource>]
+        })
+        .collect();
+    let mut fed = TcpWitnessFed::spawn(
+        net_config,
+        TcpGossipConfig::default(),
+        chaos_menu(config.seed ^ 0xC_4A05),
+        sth_keys.clone(),
+        sources,
+    )?;
+
+    // The traitor's imposter key: NOT the logger's, so its forged heads
+    // must die at the receivers' signature check.
+    let traitor_signer = {
+        let mut traitor_rng = StdRng::seed_from_u64(config.seed ^ 0x7124);
+        let traitor_kp = RsaKeyPair::generate(512, &mut traitor_rng);
+        TreeHeadSigner::new(logger_id(), sth_private(&traitor_kp)?)
+    };
+
+    // The mutable federation handle (kill/restart) must stay free, so the
+    // audit helper borrows it per call rather than capturing it.
+    let light = Arc::new(LightClient::new(sth_keys.clone()));
+    let audit = |fed: &TcpWitnessFed, witnessed: Option<CosignedHead>| {
+        // adlp-lint: allow(discarded-fallible) — audit verdicts land in
+        // the client's counters, which the assertions read directly
+        let _ = light.audit_ack_witnessed(
+            honest.as_ref(),
+            honest_store.len() as u64 - 1,
+            witnessed.as_ref(),
+            fed.keyring(),
+            quorum,
+        );
+    };
+
+    // Phase 1: the storm. Gossip under the full chaos menu; the log grows
+    // a record per round so consistency proofs are exercised live.
+    let mut converged_after = None;
+    for round in 1..=config.rounds {
+        if config.mode == TcpWitnessMode::EquivocatingWitness {
+            let forged = traitor_signer.sign(
+                round as u64,
+                honest_store.len() as u64,
+                adlp_crypto::sha256(b"history the logger never had"),
+            )?;
+            fed.inject(n - 1, &forged.encode());
+            let mut mangled = forged.encode();
+            if let Some(byte) = mangled.last_mut() {
+                *byte ^= 0x55;
+            }
+            fed.inject(n - 1, &mangled);
+        }
+        fed.round();
+        if converged_after.is_none() && fed.converged() {
+            converged_after = Some(round);
+        }
+        if round <= 2 {
+            honest_store.append_encoded(vec![0xA0, round as u8]);
+            forked_store.append_encoded(vec![0xA0, round as u8]);
+        }
+    }
+    // Ride out any growth still in flight (pointless under a split view,
+    // which never reconciles by design).
+    if config.mode != TcpWitnessMode::SplitViewLogger {
+        if let Some(extra) = fed.run_until_converged(config.rounds) {
+            converged_after.get_or_insert(config.rounds + extra);
+        }
+    }
+
+    // Phase 2: the mode's signature move.
+    let mut restart = None;
+    match config.mode {
+        TcpWitnessMode::PartitionedWitnesses => {
+            // f severed: the remaining f+1 must stay live AND quorate.
+            for w in 0..config.f {
+                fed.sever_witness(w);
+            }
+            fed.run_until_converged(config.rounds);
+            audit(&fed, fed.witnessed(&logger_id()));
+            // One more severed: the cosign quorum is gone. The client must
+            // DEGRADE — counted, still collecting direct evidence — not
+            // silently trust the bare logger head.
+            fed.sever_witness(config.f);
+            for _ in 0..2 {
+                audit(&fed, None);
+            }
+            // Heal everything: full set re-converges, client recovers.
+            for w in 0..=config.f {
+                fed.heal_witness(w);
+            }
+            let healed = fed.run_until_converged(config.rounds * 2);
+            converged_after = converged_after.or(healed);
+            audit(&fed, fed.witnessed(&logger_id()));
+        }
+        TcpWitnessMode::RestartingWitness => {
+            let victim = n - 1;
+            let before = fed
+                .witness(victim)
+                .map(|w| (w.anchor(&logger_id()), w.cosign_high_water(&logger_id())));
+            let (anchor_before, high_water_before) = before.unwrap_or((None, 0));
+            // Power cut: sockets reset, storage truncated to synced.
+            fed.kill(victim);
+            // The log grows while the witness is dark; the survivors keep
+            // the quorum alive (f+1 of 2f+1 still standing).
+            honest_store.append_encoded(vec![0xB0; 8]);
+            honest_store.append_encoded(vec![0xB1; 8]);
+            fed.run_until_converged(config.rounds);
+            audit(&fed, fed.witnessed(&logger_id()));
+            // Restart from key + storage alone; proxies re-target the
+            // fresh port, gossip catches the witness up.
+            fed.restart(victim)?;
+            let after = fed
+                .witness(victim)
+                .map(|w| (w.anchor(&logger_id()), w.cosign_high_water(&logger_id())));
+            let (anchor_after, high_water_after) = after.unwrap_or((None, 0));
+            restart = Some(RestartDrill {
+                witness: victim,
+                anchor_before,
+                anchor_after,
+                high_water_before,
+                high_water_after,
+            });
+            converged_after = fed.run_until_converged(config.rounds * 2);
+            // The temptation: a fork at a size the restarted witness has
+            // durably seen, signed by the logger's real key. An amnesiac
+            // witness would re-anchor; a durable one convicts.
+            let tempt_size = honest_store.len() as u64;
+            while forked_store.len() < tempt_size as usize {
+                forked_store.append_encoded(vec![0xB0; 8]);
+            }
+            // Injected from witness 0's network position so the restarted
+            // witness itself receives the fork; sent twice so socket chaos
+            // cannot eat the only copy, and convictions spread via the
+            // conviction-head gossip anyway.
+            let fork_head = forked.emit()?;
+            fed.inject(0, &fork_head.encode());
+            fed.round();
+            fed.inject(0, &fork_head.encode());
+            for _ in 0..3 {
+                fed.round();
+            }
+        }
+        _ => {}
+    }
+
+    // Every mode ends with witnessed audits; under an honest federation
+    // they are quorum-backed and clean.
+    audit(&fed, fed.witnessed(&logger_id()));
+    if config.mode == TcpWitnessMode::SplitViewLogger {
+        // A client shown the fork AFTER trusting the honest head catches
+        // the lie on the ack path.
+        // adlp-lint: allow(discarded-fallible) — the refusal is the point; it lands in the counters
+        let _ = light.audit_ack(forked.as_ref(), forked_store.len() as u64 - 1);
+    }
+
+    // Fold every conviction into the cluster auditor, which re-verifies
+    // each proof itself before convicting anyone.
+    let mut proofs = fed.proofs();
+    for proof in light.evidence() {
+        if !proofs
+            .iter()
+            .any(|p| p.log() == proof.log() && p.size() == proof.size())
+        {
+            proofs.push(proof);
+        }
+    }
+    let cluster = LoggerCluster::spawn(ClusterConfig::new(1))?;
+    let auditor = ClusterAuditor::new(cluster.keys().clone())
+        .with_topology([(Topic::new("image"), logger_id())])
+        .with_sth_keys(sth_keys);
+    let report = auditor.audit_view_with_evidence(&cluster.view(), &proofs);
+
+    let chaos_faults = {
+        let mut total = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(proxy) = fed.proxy(i, j) {
+                    total += proxy.stats().total_faults();
+                }
+            }
+        }
+        total
+    };
+
+    Ok(TcpWitnessChaosOutcome {
+        converged_after,
+        witnessed: fed.witnessed(&logger_id()),
+        proofs,
+        rejected: fed.rejected(),
+        undecodable: fed.undecodable(),
+        reconnects: fed.reconnects(),
+        chaos_faults,
+        light_verified: light.verified_acks(),
+        sth_verify_failures: light.sth_verify_failures(),
+        cosign_quorum_unavailable: light.cosign_quorum_unavailable(),
+        quorum_recoveries: light.quorum_recoveries(),
+        restart,
+        report,
+        fed,
+    })
+}

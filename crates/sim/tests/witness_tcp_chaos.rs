@@ -1,0 +1,239 @@
+//! TCP witness chaos suite: the acceptance proofs for DESIGN.md §3.13.
+//!
+//! Every scenario of the in-process suite (`witness_chaos.rs`) re-run
+//! over real localhost sockets behind seeded chaos proxies — resets,
+//! splits, delays, reorders, stalls, refused dials — plus the drill the
+//! lab mesh cannot stage: a witness killed mid-run and restarted from
+//! nothing but its key and its storage device.
+//!
+//! The restart-under-chaos invariant, across every seed:
+//!
+//! * the restarted witness never re-TOFUs onto a different anchor,
+//! * its cosign high-water mark never regresses,
+//! * the federation reconverges to the `f + 1` cosign quorum after every
+//!   partition heals,
+//! * zero false convictions, and every genuine split view convicted.
+
+use adlp_pubsub::NodeId;
+use adlp_sim::{run_tcp_witness_chaos, TcpWitnessChaosConfig, TcpWitnessMode};
+
+const SEEDS: [u64; 4] = [11, 23, 37, 49];
+
+#[test]
+fn honest_federation_converges_over_chaotic_sockets() {
+    for seed in SEEDS {
+        let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(seed, TcpWitnessMode::Honest))
+            .expect("chaos run");
+        assert!(
+            out.converged_after.is_some(),
+            "seed {seed}: gossip must converge through socket chaos"
+        );
+        let witnessed = out.witnessed.as_ref().expect("quorum-cosigned head");
+        assert_eq!(
+            witnessed.sth.size, 10,
+            "seed {seed}: the true head (8 seeded + 2 grown) is witnessed"
+        );
+        assert!(out.proofs.is_empty(), "seed {seed}: no convictions in an honest run");
+        assert_eq!(out.rejected, 0, "seed {seed}");
+        assert_eq!(
+            out.sth_verify_failures, 0,
+            "seed {seed}: honest acks must verify cleanly"
+        );
+        assert!(out.light_verified >= 1, "seed {seed}");
+        assert_eq!(
+            out.cosign_quorum_unavailable, 0,
+            "seed {seed}: the quorum never went away"
+        );
+        assert!(out.report.all_clear(), "seed {seed}: {:?}", out.report);
+    }
+}
+
+#[test]
+fn split_view_logger_is_convicted_over_tcp() {
+    for seed in SEEDS {
+        let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(
+            seed,
+            TcpWitnessMode::SplitViewLogger,
+        ))
+        .expect("chaos run");
+        assert!(
+            !out.proofs.is_empty(),
+            "seed {seed}: the fork must be detected through chaotic gossip"
+        );
+        assert!(!out.report.all_clear(), "seed {seed}");
+        assert_eq!(
+            out.convicted_logs(),
+            vec![NodeId::new("logger")],
+            "seed {seed}: the conviction names exactly the split-view logger"
+        );
+        assert_eq!(
+            out.report.invalid_split_views, 0,
+            "seed {seed}: every folded proof is genuine"
+        );
+        assert!(
+            out.sth_verify_failures >= 1,
+            "seed {seed}: the forked ack must fail light-client verification"
+        );
+        assert!(
+            out.light_verified >= 1,
+            "seed {seed}: detection, not outage — honest audits still pass"
+        );
+    }
+}
+
+#[test]
+fn forged_gossip_is_rejected_not_believed_over_tcp() {
+    for seed in SEEDS {
+        let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(
+            seed,
+            TcpWitnessMode::EquivocatingWitness,
+        ))
+        .expect("chaos run");
+        assert!(
+            out.rejected >= 1,
+            "seed {seed}: forged heads must be counted as rejected"
+        );
+        assert!(
+            out.undecodable >= 1,
+            "seed {seed}: mangled frames must be counted as undecodable"
+        );
+        assert!(
+            out.proofs.is_empty(),
+            "seed {seed}: forged gossip must never assemble a conviction"
+        );
+        assert!(out.report.all_clear(), "seed {seed}: {:?}", out.report);
+        assert!(out.converged_after.is_some(), "seed {seed}");
+        assert_eq!(
+            out.witnessed.as_ref().expect("quorum head").sth.size,
+            10,
+            "seed {seed}"
+        );
+        assert_eq!(out.sth_verify_failures, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn partition_degrades_light_clients_counted_and_heals_to_quorum() {
+    for seed in SEEDS {
+        let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(
+            seed,
+            TcpWitnessMode::PartitionedWitnesses,
+        ))
+        .expect("chaos run");
+        // Liveness through the f-partition, reconvergence after heal.
+        assert!(
+            out.converged_after.is_some(),
+            "seed {seed}: the healed federation must re-converge"
+        );
+        assert!(out.fed.converged(), "seed {seed}");
+        let witnessed = out.witnessed.as_ref().expect("post-heal quorum head");
+        assert_eq!(witnessed.sth.size, 10, "seed {seed}");
+        // Degradation was COUNTED while the quorum was gone — never
+        // silent trust — and recovery fired exactly once on heal.
+        assert!(
+            out.cosign_quorum_unavailable >= 2,
+            "seed {seed}: quorum loss must be counted"
+        );
+        assert_eq!(
+            out.quorum_recoveries, 1,
+            "seed {seed}: the client recovers once when the quorum returns"
+        );
+        assert!(
+            out.light_verified >= 3,
+            "seed {seed}: direct audits kept verifying during degradation — evidence retention, not outage"
+        );
+        assert!(out.proofs.is_empty(), "seed {seed}");
+        assert!(out.report.all_clear(), "seed {seed}: {:?}", out.report);
+        assert_eq!(out.sth_verify_failures, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn restarted_witness_keeps_its_promises_under_chaos() {
+    for seed in SEEDS {
+        let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(
+            seed,
+            TcpWitnessMode::RestartingWitness,
+        ))
+        .expect("chaos run");
+        let drill = out.restart.as_ref().expect("restart drill ran");
+        // The restart invariant: same TOFU anchor byte-for-byte, and a
+        // high-water mark that never regressed across the power cut.
+        assert!(
+            drill.invariant_holds(),
+            "seed {seed}: restart invariant violated: {drill:?}"
+        );
+        assert_eq!(
+            out.fed.restarts(drill.witness),
+            1,
+            "seed {seed}: exactly one restart was drilled"
+        );
+        // The federation reconverged around the resumed witness, on heads
+        // grown while it was dark.
+        assert!(
+            out.converged_after.is_some(),
+            "seed {seed}: the federation must reconverge after the restart"
+        );
+        assert_eq!(
+            out.fed.live().len(),
+            out.fed.config().witnesses,
+            "seed {seed}: every witness is back"
+        );
+        // Liveness never lapsed: the survivors held the cosign quorum, so
+        // the light client never had to degrade.
+        assert_eq!(
+            out.cosign_quorum_unavailable, 0,
+            "seed {seed}: f+1 survivors keep the quorum alive"
+        );
+        // The post-restart temptation — the logger's own fork at a size
+        // the witness durably remembers — was CONVICTED, not re-anchored.
+        assert!(
+            !out.proofs.is_empty(),
+            "seed {seed}: the temptation fork must be convicted"
+        );
+        assert_eq!(
+            out.convicted_logs(),
+            vec![NodeId::new("logger")],
+            "seed {seed}"
+        );
+        assert_eq!(
+            out.report.invalid_split_views, 0,
+            "seed {seed}: zero false convictions"
+        );
+        // The restarted witness ITSELF holds the conviction — it remembered
+        // the honest head and refused to re-anchor onto the fork.
+        assert!(
+            !out
+                .fed
+                .witness(drill.witness)
+                .expect("victim present")
+                .proofs()
+                .is_empty(),
+            "seed {seed}: the restarted witness must convict the temptation fork"
+        );
+        // And the anchor map across the whole federation still agrees on
+        // one anchor per log.
+        let anchors = out.fed.anchors();
+        let victim_anchor = anchors[&drill.witness]
+            .get(&NodeId::new("logger"))
+            .expect("anchor survived");
+        assert_eq!(
+            Some(victim_anchor),
+            drill.anchor_after.as_ref(),
+            "seed {seed}: the durable anchor is the federation-visible one"
+        );
+    }
+}
+
+/// Chaos must actually be engaging the wire — otherwise the suite proves
+/// nothing about robustness. One seed suffices; the counter is summed
+/// over every proxy in the run.
+#[test]
+fn chaos_proxies_actually_injected_faults() {
+    let out = run_tcp_witness_chaos(&TcpWitnessChaosConfig::new(11, TcpWitnessMode::Honest))
+        .expect("chaos run");
+    assert!(
+        out.chaos_faults > 0,
+        "the chaos menu injected no socket faults — the suite is toothless"
+    );
+}

@@ -397,6 +397,12 @@ impl WitnessNet {
     }
 }
 
+impl crate::light::WitnessedHeadSource for WitnessNet {
+    fn witnessed(&self, log: &NodeId) -> Option<CosignedHead> {
+        WitnessNet::witnessed(self, log)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,9 +33,13 @@
 pub mod gossip;
 pub mod light;
 pub mod proof;
+pub mod state;
+pub mod tcp;
 pub mod witness;
 
 pub use gossip::{WitnessNet, WitnessNetConfig};
-pub use light::{AckProbe, LightClient};
+pub use light::{AckProbe, LightClient, WitnessedHeadSource};
 pub use proof::{Cosignature, CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
+pub use state::{LogWitnessRecord, WitnessState};
+pub use tcp::{TcpGossipConfig, TcpWitnessFed, TcpWitnessNode};
 pub use witness::{SthObservation, TreeHeadSource, Witness};

@@ -9,15 +9,24 @@
 //! validly-signed conflicting heads becomes the same transferable
 //! [`SplitViewProof`] evidence the witness set assembles.
 
-use crate::proof::{SplitViewProof, SthKeyring};
+use crate::proof::{CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
 use crate::witness::TreeHeadSource;
 use adlp_logger::merkle::{ConsistencyProof, MerkleTree};
 use adlp_logger::sth::SignedTreeHead;
 use adlp_pubsub::NodeId;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Where a light client asks for the current quorum-cosigned head of a
+/// log — a witness federation, typically. `None` when fewer than the
+/// cosign quorum of witnesses currently agree (partition, restarts), which
+/// the client treats as *counted degradation*, never as silent trust.
+pub trait WitnessedHeadSource: Send + Sync {
+    /// The highest head of `log` currently backed by a cosign quorum.
+    fn witnessed(&self, log: &NodeId) -> Option<CosignedHead>;
+}
 
 /// Why a light client refused a head or an ack audit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,10 +45,27 @@ pub enum LightClientError {
     BadInclusion,
 }
 
+impl std::fmt::Display for LightClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            LightClientError::NoHead => "source offered no signed tree head",
+            LightClientError::BadSignature => "tree-head signature does not verify",
+            LightClientError::SplitView => "split view detected; conviction retained",
+            LightClientError::InconsistentHistory => "no valid consistency proof for advance",
+            LightClientError::BadInclusion => "ack inclusion proof missing or invalid",
+        };
+        f.write_str(what)
+    }
+}
+
+impl std::error::Error for LightClientError {}
+
 #[derive(Debug, Default)]
 struct LightInner {
     latest: BTreeMap<NodeId, SignedTreeHead>,
     evidence: Vec<SplitViewProof>,
+    /// Logs currently audited without witness quorum backing.
+    degraded: BTreeSet<NodeId>,
 }
 
 /// Client-side STH verification state. Cheap to share behind an [`Arc`];
@@ -50,6 +76,8 @@ pub struct LightClient {
     inner: Mutex<LightInner>,
     verify_failures: AtomicU64,
     verified_acks: AtomicU64,
+    quorum_unavailable: AtomicU64,
+    quorum_recoveries: AtomicU64,
 }
 
 impl LightClient {
@@ -60,6 +88,8 @@ impl LightClient {
             inner: Mutex::new(LightInner::default()),
             verify_failures: AtomicU64::new(0),
             verified_acks: AtomicU64::new(0),
+            quorum_unavailable: AtomicU64::new(0),
+            quorum_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -160,6 +190,83 @@ impl LightClient {
         Ok(())
     }
 
+    /// The ack-path audit with witness backing: prefer the federation's
+    /// quorum-cosigned head, degrade gracefully when the quorum is gone.
+    ///
+    /// When `witnessed` carries a head for this log backed by at least
+    /// `quorum` distinct, validly-signed witnesses, the client adopts it
+    /// (through the usual signature / split-view / consistency gauntlet)
+    /// and the log leaves degraded mode — a transition counted in
+    /// [`LightClient::quorum_recoveries`]. When it does not — partition,
+    /// restarting witnesses, fewer than `f + 1` cosigners reachable — the
+    /// client does **not** silently trust the bare logger head: it counts
+    /// the round in [`LightClient::cosign_quorum_unavailable`], marks the
+    /// log degraded, and continues in evidence-retention mode.
+    ///
+    /// In *both* cases the direct [`LightClient::audit_ack`] still runs:
+    /// degraded mode changes what the client can vouch for (no quorum
+    /// backing), never what evidence it collects. A split-view logger is
+    /// convicted by the direct path even while the federation is dark.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first direct-audit check that failed; every failure is
+    /// counted.
+    pub fn audit_ack_witnessed(
+        &self,
+        source: &dyn TreeHeadSource,
+        index: u64,
+        witnessed: Option<&CosignedHead>,
+        witnesses: &WitnessKeyring,
+        quorum: usize,
+    ) -> Result<(), LightClientError> {
+        let log = source.log_id();
+        let quorate = witnessed
+            .filter(|head| head.sth.log == log)
+            .filter(|head| head.witnessed_by(&self.loggers, witnesses, quorum));
+        match quorate {
+            Some(head) => {
+                let consistency = {
+                    let inner = self.inner.lock();
+                    match inner.latest.get(&head.sth.log) {
+                        Some(cur) if head.sth.size > cur.size => {
+                            source.consistency(cur.size, head.sth.size)
+                        }
+                        _ => None,
+                    }
+                };
+                // adlp-lint: allow(discarded-fallible) — a refused witnessed head (split view, unproven advance) is already counted and its conviction retained inside observe_head; the direct audit below still decides the call's verdict
+                let _ = self.observe_head(head.sth.clone(), consistency.as_ref());
+                let mut inner = self.inner.lock();
+                if inner.degraded.remove(&log) {
+                    self.quorum_recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.quorum_unavailable.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock().degraded.insert(log.clone());
+            }
+        }
+        self.audit_ack(source, index)
+    }
+
+    /// Whether `log` is currently audited without witness quorum backing.
+    pub fn is_degraded(&self, log: &NodeId) -> bool {
+        self.inner.lock().degraded.contains(log)
+    }
+
+    /// Witnessed audits that found fewer than the cosign quorum backing
+    /// the head — rounds spent in evidence-retention mode.
+    pub fn cosign_quorum_unavailable(&self) -> u64 {
+        self.quorum_unavailable.load(Ordering::Relaxed)
+    }
+
+    /// Degraded→quorate transitions: the federation healed and the client
+    /// resumed quorum-backed auditing.
+    pub fn quorum_recoveries(&self) -> u64 {
+        self.quorum_recoveries.load(Ordering::Relaxed)
+    }
+
     /// The trusted head for `log`, if any.
     pub fn latest_head(&self, log: &NodeId) -> Option<SignedTreeHead> {
         self.inner.lock().latest.get(log).cloned()
@@ -187,6 +294,7 @@ impl LightClient {
 pub struct AckProbe {
     client: Arc<LightClient>,
     source: Arc<dyn TreeHeadSource>,
+    federation: Option<(Arc<dyn WitnessedHeadSource>, WitnessKeyring, usize)>,
     acked: AtomicU64,
 }
 
@@ -196,8 +304,23 @@ impl AckProbe {
         AckProbe {
             client,
             source,
+            federation: None,
             acked: AtomicU64::new(0),
         }
+    }
+
+    /// Additionally consults `federation` for a quorum-cosigned head on
+    /// every audit: the probe runs [`LightClient::audit_ack_witnessed`]
+    /// instead of the bare direct audit, degrading (counted) whenever the
+    /// federation cannot produce `quorum` cosigners.
+    pub fn with_federation(
+        mut self,
+        federation: Arc<dyn WitnessedHeadSource>,
+        witnesses: WitnessKeyring,
+        quorum: usize,
+    ) -> Self {
+        self.federation = Some((federation, witnesses, quorum));
+        self
     }
 
     /// The bound light client (counters and evidence live there).
@@ -218,7 +341,21 @@ impl AckProbe {
                 .is_ok();
         };
         let index = sth.size.saturating_sub(1);
-        self.client.audit_ack(&*self.source, index).is_ok()
+        match &self.federation {
+            Some((fed, witnesses, quorum)) => {
+                let witnessed = fed.witnessed(&self.source.log_id());
+                self.client
+                    .audit_ack_witnessed(
+                        &*self.source,
+                        index,
+                        witnessed.as_ref(),
+                        witnesses,
+                        *quorum,
+                    )
+                    .is_ok()
+            }
+            None => self.client.audit_ack(&*self.source, index).is_ok(),
+        }
     }
 }
 
@@ -332,6 +469,141 @@ mod tests {
         assert_eq!(client.sth_verify_failures(), 2);
         // The trusted head never moved.
         assert_eq!(client.latest_head(&NodeId::new("logger")).unwrap().size, 3);
+    }
+
+    /// Three witness keypairs plus a keyring over them, and a closure
+    /// minting a quorum-cosigned head for the publisher's current tree.
+    fn witness_set(seed: u64) -> (Vec<RsaKeyPair>, WitnessKeyring) {
+        let keypairs: Vec<RsaKeyPair> = (0..3).map(|i| keypair(seed + 100 + i)).collect();
+        let keyring = WitnessKeyring::new(keypairs.iter().map(|kp| kp.public_key().clone()).collect());
+        (keypairs, keyring)
+    }
+
+    fn cosigned(head: &SignedTreeHead, keypairs: &[RsaKeyPair], endorsers: &[usize]) -> CosignedHead {
+        let cosignatures = endorsers
+            .iter()
+            .map(|&w| {
+                crate::proof::Cosignature::sign(
+                    w,
+                    &private(&keypairs[w]),
+                    head.log.clone(),
+                    head.size,
+                    head.root,
+                )
+                .unwrap()
+            })
+            .collect();
+        CosignedHead {
+            sth: head.clone(),
+            cosignatures,
+        }
+    }
+
+    #[test]
+    fn missing_quorum_degrades_and_heal_recovers() {
+        let (_kp, keyring, store, publisher) = setup(6, 3);
+        let (wkeys, witnesses) = witness_set(6);
+        let client = LightClient::new(keyring);
+        let log = NodeId::new("logger");
+
+        // Federation dark: no cosigned head at all. The direct audit still
+        // verifies the ack (evidence retention), but the round is counted
+        // as degraded — never silent trust.
+        assert_eq!(
+            client.audit_ack_witnessed(&publisher, 2, None, &witnesses, 2),
+            Ok(())
+        );
+        assert!(client.is_degraded(&log));
+        assert_eq!(client.cosign_quorum_unavailable(), 1);
+        assert_eq!(client.quorum_recoveries(), 0);
+        assert_eq!(client.verified_acks(), 1);
+
+        // One cosigner is short of the f+1 = 2 quorum: still degraded.
+        let head = publisher.emit().unwrap();
+        assert_eq!(
+            client.audit_ack_witnessed(
+                &publisher,
+                2,
+                Some(&cosigned(&head, &wkeys, &[0])),
+                &witnesses,
+                2
+            ),
+            Ok(())
+        );
+        assert_eq!(client.cosign_quorum_unavailable(), 2);
+        assert!(client.is_degraded(&log));
+
+        // The federation heals: a 2-of-3 cosigned head clears degraded
+        // mode and the transition is counted exactly once.
+        store.append_encoded(vec![9; 16]);
+        let head = publisher.emit().unwrap();
+        assert_eq!(
+            client.audit_ack_witnessed(
+                &publisher,
+                3,
+                Some(&cosigned(&head, &wkeys, &[0, 2])),
+                &witnesses,
+                2
+            ),
+            Ok(())
+        );
+        assert!(!client.is_degraded(&log));
+        assert_eq!(client.quorum_recoveries(), 1);
+        assert_eq!(client.cosign_quorum_unavailable(), 2);
+        assert_eq!(client.latest_head(&log).unwrap().size, 4);
+
+        // Staying quorate does not mint more recoveries.
+        assert_eq!(
+            client.audit_ack_witnessed(
+                &publisher,
+                3,
+                Some(&cosigned(&head, &wkeys, &[1, 2])),
+                &witnesses,
+                2
+            ),
+            Ok(())
+        );
+        assert_eq!(client.quorum_recoveries(), 1);
+    }
+
+    #[test]
+    fn forged_cosignatures_do_not_count_toward_quorum() {
+        let (_kp, keyring, _store, publisher) = setup(7, 3);
+        let (wkeys, witnesses) = witness_set(7);
+        let client = LightClient::new(keyring);
+        let head = publisher.emit().unwrap();
+
+        // Witness 1's endorsement is signed with witness 0's key: only one
+        // *valid* distinct endorsement remains, below the quorum of two.
+        let mut fake = cosigned(&head, &wkeys, &[0, 0]);
+        fake.cosignatures[1].witness = 1;
+        assert_eq!(
+            client.audit_ack_witnessed(&publisher, 2, Some(&fake), &witnesses, 2),
+            Ok(())
+        );
+        assert!(client.is_degraded(&NodeId::new("logger")));
+        assert_eq!(client.cosign_quorum_unavailable(), 1);
+    }
+
+    #[test]
+    fn probe_with_federation_reports_degradation_through_the_client() {
+        let (_kp, keyring, _store, publisher) = setup(8, 2);
+        let (_wkeys, witnesses) = witness_set(8);
+        let client = Arc::new(LightClient::new(keyring));
+
+        /// A federation that never produces a quorum.
+        struct Dark;
+        impl WitnessedHeadSource for Dark {
+            fn witnessed(&self, _log: &NodeId) -> Option<CosignedHead> {
+                None
+            }
+        }
+
+        let probe = AckProbe::new(Arc::clone(&client), Arc::new(publisher))
+            .with_federation(Arc::new(Dark), witnesses, 2);
+        assert!(probe.audit_ack(), "direct audit still verifies the ack");
+        assert_eq!(client.cosign_quorum_unavailable(), 1);
+        assert!(client.is_degraded(&NodeId::new("logger")));
     }
 
     #[test]

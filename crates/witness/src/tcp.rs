@@ -1,0 +1,982 @@
+//! Witness gossip over real TCP (§3.13): the federation the lab mesh
+//! grows up into.
+//!
+//! [`crate::gossip::WitnessNet`] proved the *protocol* under in-process
+//! fault injection; this module carries the same verify-then-adopt
+//! discipline across real sockets. Each [`TcpWitnessNode`] owns a
+//! listener, accepts inbound gossip connections, and maintains one
+//! outbound `PeerLink` per peer with the PR 1 reconnect posture:
+//! exponential backoff with seeded jitter, per-peer health states, and
+//! re-broadcast healing — every round re-sends the node's full adopted
+//! view, so a link that died mid-round is made whole the first round
+//! after it reconnects.
+//!
+//! Frames are the existing length-prefixed wire discipline
+//! ([`adlp_pubsub::wire`]) carrying self-authenticating
+//! [`SignedTreeHead`] encodings (magic ‖ checksum ‖ signed payload), so
+//! links need no handshake: a frame is trusted exactly as far as its
+//! signatures, whoever delivered it. Every received frame funnels
+//! through [`TcpWitnessNode::recv_gossip_frame`] →
+//! [`SignedTreeHead::decode`] → [`Witness::adopt_head`]; nothing reaches
+//! witness state any other way (the adlp-lint wire-taint rule pins this
+//! path).
+//!
+//! [`TcpWitnessFed`] assembles the full federation for tests, benches and
+//! the example: every ordered pair of witnesses is linked through a
+//! [`ChaosProxy`], so partitions, resets, splits, and slow-loris stalls
+//! are available on every link uniformly, and a restarted node's fresh
+//! ephemeral port is healed by re-targeting the proxies that point at it.
+
+use crate::gossip::WitnessNetConfig;
+use crate::proof::{CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
+use crate::witness::{SthObservation, TreeHeadSource, Witness};
+use adlp_crypto::rsa::{RsaKeyPair, RsaPrivateKey};
+use adlp_logger::storage::MemStorage;
+use adlp_logger::sth::SignedTreeHead;
+use adlp_logger::LogError;
+use adlp_pubsub::transport::chaos::{ChaosConfig, ChaosProxy};
+use adlp_pubsub::wire::{read_frame, write_frame};
+use adlp_pubsub::{NodeId, PubSubError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for one node's TCP gossip endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpGossipConfig {
+    /// Seed for dial jitter (combined with the witness index).
+    pub seed: u64,
+    /// Per-dial connect deadline.
+    pub dial_timeout: Duration,
+    /// Initial redial backoff after a link failure.
+    pub backoff: Duration,
+    /// Backoff ceiling (doubling stops here).
+    pub max_backoff: Duration,
+    /// Write deadline on outbound gossip sockets (a peer that stops
+    /// draining is treated as down, not waited on forever).
+    pub write_timeout: Duration,
+    /// How long a round lets frames traverse the wire before draining.
+    pub settle: Duration,
+}
+
+impl Default for TcpGossipConfig {
+    fn default() -> Self {
+        TcpGossipConfig {
+            seed: 0x7C9,
+            dial_timeout: Duration::from_millis(250),
+            backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(500),
+            settle: Duration::from_millis(40),
+        }
+    }
+}
+
+/// Observable health of one outbound peer link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// A live socket is open to the peer.
+    Connected,
+    /// The last attempt failed; the next dial waits out a jittered
+    /// backoff.
+    Backoff,
+    /// No socket and the link is clear to dial.
+    Down,
+}
+
+/// One outbound gossip link with reconnect state.
+struct PeerLink {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    failures: u64,
+    reconnects: u64,
+    /// Set after the first successful connection, so a later success
+    /// counts as a *re*connect.
+    ever_connected: bool,
+    backoff: Duration,
+    next_dial_at: Instant,
+}
+
+impl PeerLink {
+    fn new(addr: SocketAddr) -> Self {
+        PeerLink {
+            addr,
+            stream: None,
+            failures: 0,
+            reconnects: 0,
+            ever_connected: false,
+            backoff: Duration::ZERO,
+            next_dial_at: Instant::now(),
+        }
+    }
+
+    fn health(&self) -> PeerHealth {
+        if self.stream.is_some() {
+            PeerHealth::Connected
+        } else if Instant::now() < self.next_dial_at {
+            PeerHealth::Backoff
+        } else {
+            PeerHealth::Down
+        }
+    }
+
+    /// Marks the link failed and schedules the next dial with exponential
+    /// backoff and seeded jitter (±50%), so a flapping federation does not
+    /// thundering-herd its way back.
+    fn mark_failed(&mut self, config: &TcpGossipConfig, rng: &mut StdRng) {
+        self.stream = None;
+        self.failures += 1;
+        self.backoff = if self.backoff.is_zero() {
+            config.backoff
+        } else {
+            (self.backoff * 2).min(config.max_backoff)
+        };
+        let jitter_pct = 50 + (rng.next_u64() % 101); // 50..=150
+        let wait = self.backoff.mul_f64(jitter_pct as f64 / 100.0);
+        self.next_dial_at = Instant::now() + wait;
+    }
+
+    fn mark_connected(&mut self, stream: TcpStream) {
+        if self.ever_connected {
+            self.reconnects += 1;
+        }
+        self.ever_connected = true;
+        self.failures = 0;
+        self.backoff = Duration::ZERO;
+        self.stream = Some(stream);
+    }
+}
+
+#[derive(Debug, Default)]
+struct NodeStats {
+    undecodable: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    send_failures: AtomicU64,
+}
+
+/// One witness with a real TCP gossip endpoint.
+pub struct TcpWitnessNode {
+    witness: Arc<Witness>,
+    sources: Vec<Arc<dyn TreeHeadSource>>,
+    config: TcpGossipConfig,
+    addr: SocketAddr,
+    inbox: Receiver<Vec<u8>>,
+    peers: Mutex<Vec<PeerLink>>,
+    rng: Mutex<StdRng>,
+    shutdown: Arc<AtomicBool>,
+    /// Accepted inbound sockets, so [`TcpWitnessNode::kill`] can unblock
+    /// their reader threads.
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    stats: Arc<NodeStats>,
+}
+
+impl std::fmt::Debug for TcpWitnessNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpWitnessNode")
+            .field("witness", &self.witness.id())
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpWitnessNode {
+    /// Binds a listener on an ephemeral localhost port and starts the
+    /// accept loop. `sources` is this witness's private view of the logs
+    /// it polls directly (may be empty for a gossip-only witness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn spawn(
+        witness: Arc<Witness>,
+        sources: Vec<Arc<dyn TreeHeadSource>>,
+        config: TcpGossipConfig,
+    ) -> Result<Self, PubSubError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (inbox_tx, inbox) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(NodeStats::default());
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let accepted = Arc::clone(&accepted);
+            let stats = Arc::clone(&stats);
+            let id = witness.id();
+            thread::Builder::new()
+                .name(format!("witness-{id}-accept"))
+                .spawn(move || accept_loop(listener, inbox_tx, shutdown, accepted, stats))
+                .map_err(|e| PubSubError::Io(format!("spawn witness accept loop: {e}")))?;
+        }
+        let rng = StdRng::seed_from_u64(config.seed ^ ((witness.id() as u64) << 20) ^ 0x7C9);
+        Ok(TcpWitnessNode {
+            witness,
+            sources,
+            config,
+            addr,
+            inbox,
+            peers: Mutex::new(Vec::new()),
+            rng: Mutex::new(rng),
+            shutdown,
+            accepted,
+            stats,
+        })
+    }
+
+    /// The address peers (or their chaos proxies) dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The witness this node speaks for.
+    pub fn witness(&self) -> &Arc<Witness> {
+        &self.witness
+    }
+
+    /// Replaces the outbound peer list (addresses to dial — typically
+    /// chaos-proxy fronts, not the peers' real listeners).
+    pub fn set_peers(&self, addrs: Vec<SocketAddr>) {
+        *self.peers.lock() = addrs.into_iter().map(PeerLink::new).collect();
+    }
+
+    /// Health of every outbound link, in peer order.
+    pub fn peer_health(&self) -> Vec<PeerHealth> {
+        self.peers.lock().iter().map(PeerLink::health).collect()
+    }
+
+    /// Total successful re-dials after a link death, across peers.
+    pub fn reconnects(&self) -> u64 {
+        self.peers.lock().iter().map(|p| p.reconnects).sum()
+    }
+
+    /// Gossip frames that failed [`SignedTreeHead`] decoding.
+    pub fn undecodable(&self) -> u64 {
+        self.stats.undecodable.load(Ordering::Relaxed)
+    }
+
+    /// Pulls the next raw gossip frame from the inbound queue, if any.
+    ///
+    /// This is the single ingest point for TCP gossip bytes; everything it
+    /// returns must pass [`SignedTreeHead::decode`] (and the witness's
+    /// verify-then-adopt path) before touching state — the adlp-lint
+    /// `unverified-wire-taint` rule treats this function as a taint
+    /// source.
+    pub fn recv_gossip_frame(&self) -> Option<Vec<u8>> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Poll own sources, then broadcast this node's full adopted view
+    /// (latest heads plus both halves of every conviction) to every peer.
+    /// Dead links redial through their backoff schedule; a link that
+    /// reconnects receives the full view immediately — that *is* the
+    /// re-broadcast healing, since gossip frames are idempotent.
+    pub fn emit_round(&self) {
+        for source in &self.sources {
+            self.witness.poll(source.as_ref());
+        }
+        let mut frames: Vec<Vec<u8>> = self
+            .witness
+            .latest_heads()
+            .iter()
+            .map(SignedTreeHead::encode)
+            .collect();
+        frames.extend(
+            self.witness
+                .conviction_heads()
+                .iter()
+                .map(SignedTreeHead::encode),
+        );
+        if frames.is_empty() {
+            return;
+        }
+        let mut peers = self.peers.lock();
+        let mut rng = self.rng.lock();
+        for peer in peers.iter_mut() {
+            if peer.stream.is_none() {
+                if Instant::now() < peer.next_dial_at {
+                    continue;
+                }
+                match TcpStream::connect_timeout(&peer.addr, self.config.dial_timeout) {
+                    Ok(stream) => {
+                        // adlp-lint: allow(discarded-fallible) — nodelay and deadlines are best-effort tuning
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                        peer.mark_connected(stream);
+                    }
+                    Err(_) => {
+                        peer.mark_failed(&self.config, &mut rng);
+                        continue;
+                    }
+                }
+            }
+            let Some(stream) = peer.stream.as_mut() else {
+                continue;
+            };
+            let mut failed = false;
+            for frame in &frames {
+                if write_frame(stream, frame).is_err() {
+                    failed = true;
+                    break;
+                }
+                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            if failed {
+                self.stats.send_failures.fetch_add(1, Ordering::Relaxed);
+                peer.mark_failed(&self.config, &mut rng);
+            }
+        }
+    }
+
+    /// Drains the inbound queue: decode each frame, fetch the consistency
+    /// proof this witness needs from its own sources, and adopt. Returns
+    /// how many heads were newly adopted.
+    pub fn drain_round(&self) -> usize {
+        let mut adopted = 0;
+        while let Some(frame) = self.recv_gossip_frame() {
+            match SignedTreeHead::decode(&frame) {
+                Err(_) => {
+                    self.stats.undecodable.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(sth) => {
+                    let consistency = match self.witness.latest_head(&sth.log) {
+                        Some(cur) if sth.size > cur.size => self
+                            .sources
+                            .iter()
+                            .find(|s| s.log_id() == sth.log)
+                            .and_then(|s| s.consistency(cur.size, sth.size)),
+                        _ => None,
+                    };
+                    if self.witness.adopt_head(sth, consistency.as_ref())
+                        == SthObservation::Adopted
+                    {
+                        adopted += 1;
+                    }
+                }
+            }
+        }
+        adopted
+    }
+
+    /// Shuts the node down: the listener stops accepting, every inbound
+    /// socket is reset (unblocking its reader thread), and every outbound
+    /// link is dropped. The [`Witness`] itself survives — whether its
+    /// *state* survives is the storage binding's problem, which is the
+    /// whole point of §3.13.
+    pub fn kill(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for stream in self.accepted.lock().drain(..) {
+            // adlp-lint: allow(discarded-fallible) — the socket may already be dead, which is the desired end state
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.peers.lock().clear();
+    }
+}
+
+impl Drop for TcpWitnessNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inbox: Sender<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    stats: Arc<NodeStats>,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => return,
+        };
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        {
+            let mut conns = accepted.lock();
+            conns.push(registered);
+            if conns.len() > 256 {
+                conns.retain(|s| s.peer_addr().is_ok());
+            }
+        }
+        let inbox = inbox.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        // adlp-lint: allow(discarded-fallible) — a reader that cannot spawn just loses this connection; the peer redials
+        let _ = thread::Builder::new()
+            .name("witness-gossip-reader".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(stream);
+                // Raw frames go straight to the inbox; decoding and
+                // verification happen on the drain side, behind
+                // `recv_gossip_frame`.
+                while let Ok(Some(frame)) = read_frame(&mut reader) {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                    if inbox.send(frame).is_err() {
+                        return;
+                    }
+                }
+            });
+    }
+}
+
+/// A full witness federation over localhost TCP, every ordered link
+/// fronted by a [`ChaosProxy`], every witness bound to its own
+/// [`MemStorage`] for crash/restart drills.
+pub struct TcpWitnessFed {
+    config: WitnessNetConfig,
+    tcp: TcpGossipConfig,
+    loggers: SthKeyring,
+    keyring: WitnessKeyring,
+    keys: Vec<RsaKeyPair>,
+    witnesses: Vec<Arc<Witness>>,
+    nodes: Vec<Option<TcpWitnessNode>>,
+    /// `proxies[i][j]` fronts witness `j`'s listener for dials from
+    /// witness `i`.
+    proxies: Vec<Vec<Option<ChaosProxy>>>,
+    storages: Vec<Arc<MemStorage>>,
+    sources: Vec<Vec<Arc<dyn TreeHeadSource>>>,
+    /// Witnesses restarted so far, per index (distinguishes a crash from
+    /// a permanent departure in assertions).
+    restarts: Vec<u64>,
+}
+
+impl std::fmt::Debug for TcpWitnessFed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpWitnessFed")
+            .field("config", &self.config)
+            .field("live", &self.live())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpWitnessFed {
+    /// Builds the federation: deterministic witness keys from
+    /// `config.seed` (same derivation as [`crate::gossip::WitnessNet`]),
+    /// one TCP node per witness, a chaos proxy on every ordered link, and
+    /// a storage binding per witness (record-first-speak-second from the
+    /// first cosignature on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from listener/proxy setup and storage
+    /// errors from the initial state persist.
+    pub fn spawn(
+        config: WitnessNetConfig,
+        tcp: TcpGossipConfig,
+        chaos: ChaosConfig,
+        loggers: SthKeyring,
+        sources: Vec<Vec<Arc<dyn TreeHeadSource>>>,
+    ) -> Result<Self, LogError> {
+        let n = config.witnesses;
+        let mut keys = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng =
+                StdRng::seed_from_u64(config.seed ^ (0x5EED << 8) ^ i as u64);
+            keys.push(RsaKeyPair::generate(config.key_bits, &mut rng));
+        }
+        let keyring =
+            WitnessKeyring::new(keys.iter().map(|k| k.public_key().clone()).collect());
+        let storages: Vec<Arc<MemStorage>> =
+            (0..n).map(|_| Arc::new(MemStorage::new())).collect();
+        let mut witnesses = Vec::with_capacity(n);
+        for (i, kp) in keys.iter().enumerate() {
+            let key = RsaPrivateKey::from_bytes(&kp.private_key().to_bytes())
+                .map_err(|_| LogError::Malformed("witness key"))?;
+            let witness = Arc::new(Witness::new(i, key, loggers.clone()));
+            witness.bind_storage(storages[i].clone(), "witness-state")?;
+            witnesses.push(witness);
+        }
+        let mut sources = sources;
+        sources.resize_with(n, Vec::new);
+
+        let io_err = |e: PubSubError| LogError::Io(format!("witness federation: {e}"));
+        let mut nodes = Vec::with_capacity(n);
+        for w in 0..n {
+            let node = TcpWitnessNode::spawn(
+                Arc::clone(&witnesses[w]),
+                sources[w].clone(),
+                TcpGossipConfig {
+                    seed: tcp.seed ^ config.seed,
+                    ..tcp.clone()
+                },
+            )
+            .map_err(io_err)?;
+            nodes.push(Some(node));
+        }
+        let mut proxies: Vec<Vec<Option<ChaosProxy>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for (j, node) in nodes.iter().enumerate() {
+                let proxy = if i == j {
+                    None
+                } else {
+                    let target = node.as_ref().expect("node just spawned").addr();
+                    let link_chaos = ChaosConfig {
+                        seed: chaos.seed ^ ((i as u64) << 16) ^ j as u64,
+                        ..chaos.clone()
+                    };
+                    Some(ChaosProxy::spawn(target, link_chaos).map_err(io_err)?)
+                };
+                row.push(proxy);
+            }
+            proxies.push(row);
+        }
+        let fed = TcpWitnessFed {
+            config,
+            tcp,
+            loggers,
+            keyring,
+            keys,
+            witnesses,
+            nodes,
+            proxies,
+            storages,
+            sources,
+            restarts: vec![0; n],
+        };
+        for w in 0..n {
+            fed.wire_peers(w);
+        }
+        Ok(fed)
+    }
+
+    /// Points node `w` at its peers' proxy fronts.
+    fn wire_peers(&self, w: usize) {
+        let Some(node) = self.nodes[w].as_ref() else {
+            return;
+        };
+        let addrs: Vec<SocketAddr> = (0..self.config.witnesses)
+            .filter(|&j| j != w)
+            .filter_map(|j| self.proxies[w][j].as_ref().map(|p| p.addr()))
+            .collect();
+        node.set_peers(addrs);
+    }
+
+    /// The set's shape.
+    pub fn config(&self) -> &WitnessNetConfig {
+        &self.config
+    }
+
+    /// The witness set's public keys.
+    pub fn keyring(&self) -> &WitnessKeyring {
+        &self.keyring
+    }
+
+    /// Witness `w`, for inspection (present even while its node is down).
+    pub fn witness(&self, w: usize) -> Option<&Arc<Witness>> {
+        self.witnesses.get(w)
+    }
+
+    /// Witness `w`'s TCP node, if currently running.
+    pub fn node(&self, w: usize) -> Option<&TcpWitnessNode> {
+        self.nodes.get(w).and_then(|n| n.as_ref())
+    }
+
+    /// Witness `w`'s state device (survives kills; crash-truncated on
+    /// [`TcpWitnessFed::kill`]).
+    pub fn storage(&self, w: usize) -> &Arc<MemStorage> {
+        &self.storages[w]
+    }
+
+    /// Indices of the witnesses whose nodes are currently running.
+    pub fn live(&self) -> Vec<usize> {
+        (0..self.witnesses.len())
+            .filter(|&w| self.nodes[w].is_some())
+            .collect()
+    }
+
+    /// How many times witness `w` has been restarted.
+    pub fn restarts(&self, w: usize) -> u64 {
+        self.restarts.get(w).copied().unwrap_or(0)
+    }
+
+    /// The chaos proxy fronting `to`'s listener for dials from `from`.
+    pub fn proxy(&self, from: usize, to: usize) -> Option<&ChaosProxy> {
+        self.proxies.get(from).and_then(|row| row.get(to)).and_then(|p| p.as_ref())
+    }
+
+    /// Severs every link to and from witness `w` (full partition).
+    pub fn sever_witness(&self, w: usize) {
+        for i in 0..self.config.witnesses {
+            if let Some(p) = self.proxy(i, w) {
+                p.sever();
+            }
+            if let Some(p) = self.proxy(w, i) {
+                p.sever();
+            }
+        }
+    }
+
+    /// Heals every link to and from witness `w`.
+    pub fn heal_witness(&self, w: usize) {
+        for i in 0..self.config.witnesses {
+            if let Some(p) = self.proxy(i, w) {
+                p.heal();
+            }
+            if let Some(p) = self.proxy(w, i) {
+                p.heal();
+            }
+        }
+    }
+
+    /// Kills witness `w`'s node like a power cut: sockets reset, process
+    /// state gone, and the state device keeps only what was synced
+    /// ([`MemStorage::crash`]). The durable write-replace discipline means
+    /// everything the witness ever *spoke* is still there.
+    pub fn kill(&mut self, w: usize) {
+        if let Some(node) = self.nodes[w].take() {
+            node.kill();
+        }
+        self.storages[w].crash();
+    }
+
+    /// Restarts witness `w` from nothing but its key and its storage
+    /// device: a fresh [`Witness`] resumes the durable state via
+    /// [`Witness::bind_storage`], a fresh node binds a fresh port, and
+    /// every proxy pointing at the old port is re-targeted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors (corrupt state fails closed) and socket
+    /// errors from the new listener.
+    pub fn restart(&mut self, w: usize) -> Result<(), LogError> {
+        if self.nodes[w].is_some() {
+            return Err(LogError::Malformed("restart of a live witness"));
+        }
+        let key = RsaPrivateKey::from_bytes(&self.keys[w].private_key().to_bytes())
+            .map_err(|_| LogError::Malformed("witness key"))?;
+        let witness = Arc::new(Witness::new(w, key, self.loggers.clone()));
+        witness.bind_storage(self.storages[w].clone(), "witness-state")?;
+        let node = TcpWitnessNode::spawn(
+            Arc::clone(&witness),
+            self.sources[w].clone(),
+            TcpGossipConfig {
+                seed: self.tcp.seed ^ self.config.seed ^ (self.restarts[w] + 1),
+                ..self.tcp.clone()
+            },
+        )
+        .map_err(|e| LogError::Io(format!("witness restart: {e}")))?;
+        for i in 0..self.config.witnesses {
+            if let Some(p) = self.proxy(i, w) {
+                p.set_target(node.addr());
+            }
+        }
+        self.witnesses[w] = witness;
+        self.nodes[w] = Some(node);
+        self.restarts[w] += 1;
+        self.wire_peers(w);
+        Ok(())
+    }
+
+    /// Injects a raw frame from witness `from`'s network position toward
+    /// every peer, through the same chaos proxies honest gossip crosses —
+    /// the traitor hook: whatever arrives must be rejected by the
+    /// receivers' verify-then-adopt path, never believed.
+    pub fn inject(&self, from: usize, frame: &[u8]) {
+        for j in 0..self.config.witnesses {
+            if j == from {
+                continue;
+            }
+            let Some(proxy) = self.proxy(from, j) else {
+                continue;
+            };
+            if let Ok(mut stream) =
+                TcpStream::connect_timeout(&proxy.addr(), self.tcp.dial_timeout)
+            {
+                // adlp-lint: allow(discarded-fallible) — a traitor's frame being lost is indistinguishable from it being dropped by chaos, and equally acceptable
+                let _ = write_frame(&mut stream, frame);
+                let _ = stream.shutdown(Shutdown::Write);
+            }
+        }
+    }
+
+    /// One federation round: every live node polls + broadcasts, frames
+    /// settle across the real sockets, then every live node drains.
+    /// Returns how many heads were newly adopted anywhere.
+    pub fn round(&self) -> usize {
+        for &w in &self.live() {
+            if let Some(node) = self.nodes[w].as_ref() {
+                node.emit_round();
+            }
+        }
+        thread::sleep(self.tcp.settle);
+        let mut adopted = 0;
+        for &w in &self.live() {
+            if let Some(node) = self.nodes[w].as_ref() {
+                adopted += node.drain_round();
+            }
+        }
+        adopted
+    }
+
+    /// Runs rounds until every live witness agrees on every tracked log's
+    /// latest head, or `max_rounds` elapse. Returns the rounds consumed.
+    pub fn run_until_converged(&self, max_rounds: usize) -> Option<usize> {
+        for round in 1..=max_rounds {
+            self.round();
+            if self.converged() {
+                return Some(round);
+            }
+        }
+        None
+    }
+
+    /// Whether every live witness holds an identical latest head for
+    /// every log any live witness tracks.
+    pub fn converged(&self) -> bool {
+        let live = self.live();
+        if live.is_empty() {
+            return false;
+        }
+        let mut logs: Vec<NodeId> = Vec::new();
+        for &w in &live {
+            for head in self.witnesses[w].latest_heads() {
+                if !logs.contains(&head.log) {
+                    logs.push(head.log.clone());
+                }
+            }
+        }
+        if logs.is_empty() {
+            return false;
+        }
+        logs.iter().all(|log| {
+            let mut heads = live
+                .iter()
+                .map(|&w| self.witnesses[w].latest_head(log))
+                .collect::<Vec<_>>();
+            let Some(Some(first)) = heads.pop() else {
+                return false;
+            };
+            heads.iter().all(|h| {
+                h.as_ref()
+                    .is_some_and(|h| h.size == first.size && h.root == first.root)
+            })
+        })
+    }
+
+    /// The highest head of `log` with an f+1 cosign quorum across live
+    /// witnesses.
+    pub fn witnessed(&self, log: &NodeId) -> Option<CosignedHead> {
+        let live = self.live();
+        let mut candidates: Vec<SignedTreeHead> = Vec::new();
+        for &w in &live {
+            if let Some(head) = self.witnesses[w].latest_head(log) {
+                if !candidates
+                    .iter()
+                    .any(|c| c.size == head.size && c.root == head.root)
+                {
+                    candidates.push(head);
+                }
+            }
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.size));
+        for candidate in candidates {
+            let cosignatures: Vec<_> = live
+                .iter()
+                .filter_map(|&w| self.witnesses[w].cosignature(log, candidate.size))
+                .filter(|c| c.root == candidate.root)
+                .collect();
+            if cosignatures.len() >= self.config.witness_quorum() {
+                return Some(CosignedHead {
+                    sth: candidate,
+                    cosignatures,
+                });
+            }
+        }
+        None
+    }
+
+    /// Every conviction assembled anywhere in the federation,
+    /// deduplicated per (log, size).
+    pub fn proofs(&self) -> Vec<SplitViewProof> {
+        let mut out: Vec<SplitViewProof> = Vec::new();
+        for w in &self.witnesses {
+            for proof in w.proofs() {
+                if !out
+                    .iter()
+                    .any(|p| p.log() == proof.log() && p.size() == proof.size())
+                {
+                    out.push(proof);
+                }
+            }
+        }
+        out
+    }
+
+    /// Frames discarded for bad signatures, summed over the federation.
+    pub fn rejected(&self) -> u64 {
+        self.witnesses.iter().map(|w| w.rejected()).sum()
+    }
+
+    /// Frames that failed framing/decoding, summed over live nodes.
+    pub fn undecodable(&self) -> u64 {
+        self.live()
+            .iter()
+            .filter_map(|&w| self.nodes[w].as_ref())
+            .map(|n| n.undecodable())
+            .sum()
+    }
+
+    /// Reconnects across all live nodes' peer links.
+    pub fn reconnects(&self) -> u64 {
+        self.live()
+            .iter()
+            .filter_map(|&w| self.nodes[w].as_ref())
+            .map(|n| n.reconnects())
+            .sum()
+    }
+
+    /// Anchor map across the federation, for restart-invariant
+    /// assertions: witness index → (log → anchor head).
+    pub fn anchors(&self) -> BTreeMap<usize, BTreeMap<NodeId, SignedTreeHead>> {
+        let mut out = BTreeMap::new();
+        for (w, witness) in self.witnesses.iter().enumerate() {
+            let state = witness.state();
+            out.insert(
+                w,
+                state
+                    .logs
+                    .into_iter()
+                    .map(|(log, record)| (log, record.anchor))
+                    .collect(),
+            );
+        }
+        out
+    }
+}
+
+impl crate::light::WitnessedHeadSource for TcpWitnessFed {
+    fn witnessed(&self, log: &NodeId) -> Option<CosignedHead> {
+        TcpWitnessFed::witnessed(self, log)
+    }
+}
+
+impl Drop for TcpWitnessFed {
+    fn drop(&mut self) {
+        for node in self.nodes.iter().flatten() {
+            node.kill();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_logger::sth::{SthPublisher, TreeHeadSigner};
+    use adlp_logger::LogStore;
+
+    fn logger_setup(seed: u64) -> (SthKeyring, LogStore, Arc<SthPublisher>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let keyring =
+            SthKeyring::new().with_log(NodeId::new("logger"), kp.public_key().clone());
+        let store = LogStore::new();
+        for i in 0..4u8 {
+            store.append_encoded(vec![i; 16]);
+        }
+        let publisher = Arc::new(SthPublisher::new(
+            TreeHeadSigner::new(
+                NodeId::new("logger"),
+                RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap(),
+            ),
+            store.clone(),
+        ));
+        (keyring, store, publisher)
+    }
+
+    fn honest_sources(
+        n: usize,
+        publisher: &Arc<SthPublisher>,
+    ) -> Vec<Vec<Arc<dyn TreeHeadSource>>> {
+        (0..n)
+            .map(|_| vec![Arc::clone(publisher) as Arc<dyn TreeHeadSource>])
+            .collect()
+    }
+
+    #[test]
+    fn tcp_federation_converges_and_reaches_quorum() {
+        let (keyring, store, publisher) = logger_setup(41);
+        let config = WitnessNetConfig::new(1).with_seed(41);
+        let n = config.witnesses;
+        let fed = TcpWitnessFed::spawn(
+            config,
+            TcpGossipConfig::default(),
+            ChaosConfig::seeded(41),
+            keyring.clone(),
+            honest_sources(n, &publisher),
+        )
+        .unwrap();
+
+        assert!(fed.run_until_converged(10).is_some());
+        let log = NodeId::new("logger");
+        let witnessed = fed.witnessed(&log).expect("quorum over TCP");
+        assert_eq!(witnessed.sth.size, 4);
+        assert!(witnessed.witnessed_by(
+            &keyring,
+            fed.keyring(),
+            fed.config().witness_quorum()
+        ));
+        assert!(fed.proofs().is_empty());
+
+        store.append_encoded(vec![9; 16]);
+        assert!(fed.run_until_converged(10).is_some());
+        assert_eq!(fed.witnessed(&log).expect("new head").sth.size, 5);
+    }
+
+    #[test]
+    fn killed_witness_restarts_with_its_anchors() {
+        let (keyring, store, publisher) = logger_setup(43);
+        let config = WitnessNetConfig::new(1).with_seed(43);
+        let n = config.witnesses;
+        let mut fed = TcpWitnessFed::spawn(
+            config,
+            TcpGossipConfig::default(),
+            ChaosConfig::seeded(43),
+            keyring,
+            honest_sources(n, &publisher),
+        )
+        .unwrap();
+        assert!(fed.run_until_converged(10).is_some());
+        let log = NodeId::new("logger");
+        let anchor_before = fed.witness(2).unwrap().anchor(&log).expect("anchored");
+        let high_before = fed.witness(2).unwrap().cosign_high_water(&log);
+
+        fed.kill(2);
+        store.append_encoded(vec![7; 16]);
+        assert!(fed.run_until_converged(10).is_some(), "survivors converge");
+
+        fed.restart(2).unwrap();
+        let restored = fed.witness(2).unwrap();
+        assert_eq!(
+            restored.anchor(&log).expect("anchor survived the crash"),
+            anchor_before,
+            "a restarted witness must not re-TOFU"
+        );
+        assert!(restored.cosign_high_water(&log) >= high_before);
+        assert!(fed.run_until_converged(12).is_some(), "rejoin converges");
+        assert_eq!(fed.witnessed(&log).expect("quorum after rejoin").sth.size, 5);
+        assert_eq!(fed.restarts(2), 1);
+    }
+}

@@ -1,14 +1,18 @@
 //! One witness: verify, remember, cosign, convict.
 
 use crate::proof::{Cosignature, SplitViewProof, SthKeyring};
+use crate::state::{LogWitnessRecord, WitnessState};
 use adlp_crypto::rsa::RsaPrivateKey;
 use adlp_crypto::sha256::Digest;
 use adlp_logger::merkle::{ConsistencyProof, InclusionProof, MerkleTree};
+use adlp_logger::storage::Storage;
 use adlp_logger::sth::{SignedTreeHead, SthPublisher};
+use adlp_logger::LogError;
 use adlp_pubsub::NodeId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Where a witness or light client fetches heads and proofs from — the
 /// logger's proof-serving endpoint, abstracted so the split-view sim can
@@ -34,7 +38,9 @@ impl TreeHeadSource for SthPublisher {
     }
 
     fn latest(&self) -> Option<SignedTreeHead> {
-        self.emit().ok()
+        // On-demand publishers sign fresh; epoch-paced ones serve the last
+        // sealed head, so every observer sees the same head between seals.
+        self.latest_head()
     }
 
     fn consistency(&self, old_size: u64, new_size: u64) -> Option<ConsistencyProof> {
@@ -67,6 +73,11 @@ pub enum SthObservation {
     Unproven,
     /// The source had no head to offer.
     NoHead,
+    /// The head verified and would have been adopted, but the durable
+    /// state device refused the record-first write: the witness fails
+    /// closed — no adoption, no cosignature — rather than endorse a head
+    /// a restart would forget.
+    StateUnavailable,
     /// Valid signature conflicting with a previously recorded head at the
     /// same size: the log equivocated, and here is the conviction.
     SplitView(Box<SplitViewProof>),
@@ -83,6 +94,42 @@ struct WitnessInner {
     cosigs: BTreeMap<(NodeId, u64), Cosignature>,
     /// Convictions, in detection order (deduplicated per log + size).
     proofs: Vec<SplitViewProof>,
+    /// The first head ever adopted per log — the durable TOFU anchor.
+    anchors: BTreeMap<NodeId, SignedTreeHead>,
+    /// Largest size ever cosigned per log (the durable high-water mark).
+    cosign_high: BTreeMap<NodeId, u64>,
+    /// Where restart-critical state persists; `None` runs volatile.
+    binding: Option<(Arc<dyn Storage>, String)>,
+}
+
+/// The restart-critical snapshot of the witness's current state (§3.13).
+fn durable_snapshot(inner: &WitnessInner) -> WitnessState {
+    let mut logs = BTreeMap::new();
+    for (log, latest) in &inner.latest {
+        let anchor = inner
+            .anchors
+            .get(log)
+            .cloned()
+            .unwrap_or_else(|| latest.clone());
+        let high = inner
+            .cosign_high
+            .get(log)
+            .copied()
+            .unwrap_or(latest.size)
+            .max(latest.size);
+        logs.insert(
+            log.clone(),
+            LogWitnessRecord {
+                anchor,
+                latest: latest.clone(),
+                cosign_high_water: high,
+            },
+        );
+    }
+    WitnessState {
+        logs,
+        proofs: inner.proofs.clone(),
+    }
 }
 
 /// One member of the witness set.
@@ -100,6 +147,7 @@ pub struct Witness {
     loggers: SthKeyring,
     rejected: AtomicU64,
     unproven: AtomicU64,
+    state_persist_failures: AtomicU64,
     inner: Mutex<WitnessInner>,
 }
 
@@ -113,8 +161,118 @@ impl Witness {
             loggers,
             rejected: AtomicU64::new(0),
             unproven: AtomicU64::new(0),
+            state_persist_failures: AtomicU64::new(0),
             inner: Mutex::new(WitnessInner::default()),
         }
+    }
+
+    /// Binds the witness to a storage device (§3.13): any previously
+    /// persisted state under `name` is resumed — TOFU anchors, latest
+    /// consistency-verified heads, cosign high-water marks, and
+    /// convictions all come back, the restored tips are re-endorsed
+    /// (PKCS#1 v1.5 signing is deterministic, so the re-minted
+    /// cosignature is byte-identical to the pre-crash one), and the
+    /// split-view detector is re-armed with the restored heads — and
+    /// every future adoption persists *before* the cosignature becomes
+    /// visible (record first, speak second).
+    ///
+    /// A restarted witness bound to its old state therefore never
+    /// re-anchors: the restored `latest` keeps the trust-on-first-use
+    /// branch from ever firing again for a known log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the device refuses the read or the
+    /// initial persist, and [`LogError::Malformed`] when the state file is
+    /// corrupt, its heads fail signature verification under the trusted
+    /// keyring, or a restored conviction does not verify — the witness
+    /// fails closed rather than resume from garbage.
+    pub fn bind_storage(
+        &self,
+        storage: Arc<dyn Storage>,
+        name: impl Into<String>,
+    ) -> Result<WitnessState, LogError> {
+        let name = name.into();
+        let resumed = match storage.read(&name)? {
+            Some(bytes) => Some(WitnessState::decode(&bytes)?),
+            None => None,
+        };
+        let mut inner = self.inner.lock();
+        if let Some(state) = resumed {
+            for (log, record) in &state.logs {
+                // The state device is not a signature authority: restored
+                // heads must still verify under the trusted keyring.
+                if !self.loggers.verify(&record.anchor) || !self.loggers.verify(&record.latest) {
+                    return Err(LogError::Malformed("witness state (head signature)"));
+                }
+                let keep = |cur: Option<&SignedTreeHead>| {
+                    cur.is_none_or(|c| record.latest.size > c.size)
+                };
+                inner.anchors.entry(log.clone()).or_insert_with(|| record.anchor.clone());
+                if keep(inner.latest.get(log)) {
+                    inner.latest.insert(log.clone(), record.latest.clone());
+                }
+                let high = inner.cosign_high.entry(log.clone()).or_insert(0);
+                *high = (*high).max(record.cosign_high_water).max(record.latest.size);
+                inner
+                    .seen
+                    .entry((log.clone(), record.anchor.size))
+                    .or_insert_with(|| record.anchor.clone());
+                inner
+                    .seen
+                    .entry((log.clone(), record.latest.size))
+                    .or_insert_with(|| record.latest.clone());
+                if let Ok(cosig) = Cosignature::sign(
+                    self.id,
+                    &self.key,
+                    log.clone(),
+                    record.latest.size,
+                    record.latest.root,
+                ) {
+                    inner.cosigs.insert((log.clone(), record.latest.size), cosig);
+                }
+            }
+            for proof in state.proofs {
+                if !proof.verify(&self.loggers) {
+                    return Err(LogError::Malformed("witness state (conviction)"));
+                }
+                let already = inner
+                    .proofs
+                    .iter()
+                    .any(|p| p.log() == proof.log() && p.size() == proof.size());
+                if !already {
+                    inner
+                        .seen
+                        .entry((proof.log().clone(), proof.size()))
+                        .or_insert_with(|| proof.first.clone());
+                    inner.proofs.push(proof);
+                }
+            }
+        }
+        inner.binding = Some((storage.clone(), name.clone()));
+        let snapshot = durable_snapshot(&inner);
+        storage.write_replace(&name, &snapshot.encode())?;
+        Ok(snapshot)
+    }
+
+    /// The restart-critical state currently in force.
+    pub fn state(&self) -> WitnessState {
+        durable_snapshot(&self.inner.lock())
+    }
+
+    /// The durable TOFU anchor for `log`, if one was ever adopted.
+    pub fn anchor(&self, log: &NodeId) -> Option<SignedTreeHead> {
+        self.inner.lock().anchors.get(log).cloned()
+    }
+
+    /// The largest tree size this witness ever cosigned for `log`.
+    pub fn cosign_high_water(&self, log: &NodeId) -> u64 {
+        self.inner.lock().cosign_high.get(log).copied().unwrap_or(0)
+    }
+
+    /// Adoptions refused because the state device would not record them.
+    pub fn state_persist_failures(&self) -> u64 {
+        self.state_persist_failures.load(Ordering::Relaxed)
     }
 
     /// This witness's index in the set.
@@ -153,6 +311,19 @@ impl Witness {
                 .any(|p| p.log() == proof.log() && p.size() == proof.size());
             if !already {
                 inner.proofs.push(proof.clone());
+                // Convictions are transferable evidence; persist them
+                // best-effort (the proof still reaches the caller and the
+                // gossip layer even when the device refuses — unlike a
+                // cosignature, a conviction is the *log's* own signatures,
+                // not a statement this witness could later contradict).
+                if let Some((storage, name)) = inner.binding.clone() {
+                    if storage
+                        .write_replace(&name, &durable_snapshot(&inner).encode())
+                        .is_err()
+                    {
+                        self.state_persist_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             return SthObservation::SplitView(Box::new(proof));
         }
@@ -174,8 +345,48 @@ impl Witness {
         };
         match verdict {
             SthObservation::Adopted => {
+                // Belt-and-suspenders alongside the restored `latest`: the
+                // durable high-water mark is a floor no endorsement may
+                // dip under, even if the maps ever disagree.
+                let high = inner.cosign_high.get(&sth.log).copied().unwrap_or(0);
+                if sth.size < high {
+                    self.unproven.fetch_add(1, Ordering::Relaxed);
+                    return SthObservation::Stale;
+                }
                 match Cosignature::sign(self.id, &self.key, sth.log.clone(), sth.size, sth.root) {
                     Ok(cosig) => {
+                        // Record first, speak second: the adoption (new
+                        // latest, anchor, high-water mark) must be durable
+                        // before the cosignature becomes visible. A device
+                        // refusal fails closed — no adoption, no
+                        // endorsement — though the head stays in `seen`,
+                        // where remembering more only arms the split-view
+                        // detector.
+                        if let Some((storage, name)) = inner.binding.clone() {
+                            let mut state = durable_snapshot(&inner);
+                            let anchor = inner
+                                .anchors
+                                .get(&sth.log)
+                                .cloned()
+                                .unwrap_or_else(|| sth.clone());
+                            state.logs.insert(
+                                sth.log.clone(),
+                                LogWitnessRecord {
+                                    anchor,
+                                    latest: sth.clone(),
+                                    cosign_high_water: high.max(sth.size),
+                                },
+                            );
+                            if storage.write_replace(&name, &state.encode()).is_err() {
+                                self.state_persist_failures.fetch_add(1, Ordering::Relaxed);
+                                return SthObservation::StateUnavailable;
+                            }
+                        }
+                        inner
+                            .anchors
+                            .entry(sth.log.clone())
+                            .or_insert_with(|| sth.clone());
+                        inner.cosign_high.insert(sth.log.clone(), high.max(sth.size));
                         inner.cosigs.insert((sth.log.clone(), sth.size), cosig);
                         inner.latest.insert(sth.log.clone(), sth);
                         SthObservation::Adopted
@@ -364,5 +575,95 @@ mod tests {
         // Stale heads are tolerated when consistent with what was seen.
         let old = signer.sign(5, 4, adlp_crypto::sha256(b"a")).unwrap();
         assert_eq!(w.adopt_head(old, None), SthObservation::Duplicate);
+    }
+
+    #[test]
+    fn bound_witness_fails_closed_when_the_device_refuses() {
+        use adlp_logger::storage::{FaultyStorage, MemStorage, Storage, StorageFaultConfig};
+
+        let kp = keypair(5);
+        let signer = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let w = witness_for(&kp);
+        let storage = Arc::new(MemStorage::new());
+        w.bind_storage(storage.clone(), "witness-state").unwrap();
+
+        let first = signer.sign(0, 3, adlp_crypto::sha256(b"a")).unwrap();
+        assert_eq!(w.adopt_head(first, None), SthObservation::Adopted);
+        assert!(w.cosignature(&NodeId::new("logger"), 3).is_some());
+
+        // Rebind through a device that dies immediately: the next adoption
+        // must fail closed — no new latest, no cosignature at the new size.
+        let dying = Arc::new(FaultyStorage::new(
+            storage.clone(),
+            StorageFaultConfig {
+                die_after_ops: Some(0),
+                ..StorageFaultConfig::none(1)
+            },
+        ));
+        let w2 = witness_for(&kp);
+        assert!(
+            w2.bind_storage(dying.clone() as Arc<dyn Storage>, "w2").is_err(),
+            "a dead device must refuse the bind itself"
+        );
+
+        // A witness bound to a device that dies *after* the bind refuses
+        // later adoptions with StateUnavailable.
+        let dying_later = Arc::new(FaultyStorage::new(
+            Arc::new(MemStorage::new()),
+            StorageFaultConfig {
+                die_after_ops: Some(2),
+                ..StorageFaultConfig::none(2)
+            },
+        ));
+        let w3 = witness_for(&kp);
+        w3.bind_storage(dying_later as Arc<dyn Storage>, "w3").unwrap();
+        let head = signer.sign(0, 3, adlp_crypto::sha256(b"a")).unwrap();
+        assert_eq!(w3.adopt_head(head, None), SthObservation::StateUnavailable);
+        assert_eq!(w3.state_persist_failures(), 1);
+        assert!(
+            w3.latest_head(&NodeId::new("logger")).is_none(),
+            "no adoption without a durable record"
+        );
+        assert!(w3.cosignature(&NodeId::new("logger"), 3).is_none());
+    }
+
+    #[test]
+    fn restarted_witness_keeps_anchor_and_high_water() {
+        use adlp_logger::storage::MemStorage;
+
+        let kp = keypair(6);
+        let signer = TreeHeadSigner::new(NodeId::new("logger"), private(&kp));
+        let log = NodeId::new("logger");
+        let storage = Arc::new(MemStorage::new());
+
+        let w = witness_for(&kp);
+        w.bind_storage(storage.clone(), "witness-state").unwrap();
+        let anchor = signer.sign(0, 3, adlp_crypto::sha256(b"a")).unwrap();
+        assert_eq!(w.adopt_head(anchor.clone(), None), SthObservation::Adopted);
+        let cosig_before = w.cosignature(&log, 3).unwrap();
+
+        // Power cut: only synced state survives; write_replace synced it.
+        storage.crash();
+
+        let w2 = witness_for(&kp);
+        let resumed = w2.bind_storage(storage, "witness-state").unwrap();
+        assert_eq!(resumed.logs.get(&log).unwrap().anchor, anchor);
+        assert_eq!(w2.anchor(&log).unwrap(), anchor);
+        assert_eq!(w2.cosign_high_water(&log), 3);
+        // Deterministic signing: the re-minted endorsement is the same
+        // statement as the pre-crash one.
+        assert_eq!(w2.cosignature(&log, 3).unwrap(), cosig_before);
+
+        // The TOFU branch must never fire again: a *different* root at a
+        // larger size without consistency is refused, and a conflicting
+        // head at the anchored size is a conviction, not a new anchor.
+        let unproven = signer.sign(1, 5, adlp_crypto::sha256(b"b")).unwrap();
+        assert_eq!(w2.adopt_head(unproven, None), SthObservation::Unproven);
+        assert_eq!(w2.latest_head(&log).unwrap().size, 3);
+        let conflicting = signer.sign(2, 3, adlp_crypto::sha256(b"x")).unwrap();
+        assert!(matches!(
+            w2.adopt_head(conflicting, None),
+            SthObservation::SplitView(_)
+        ));
     }
 }

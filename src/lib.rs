@@ -64,3 +64,4 @@ pub use adlp_crypto as crypto;
 pub use adlp_logger as logger;
 pub use adlp_pubsub as pubsub;
 pub use adlp_sim as sim;
+pub use adlp_witness as witness;
