@@ -41,6 +41,7 @@ pub mod causality;
 pub mod cluster;
 pub mod classify;
 pub mod collusion;
+pub mod forensic;
 pub mod incremental;
 pub mod provenance;
 pub mod recovery;
@@ -51,6 +52,7 @@ pub use causality::{CausalityChecker, CausalityViolation, FlowStep};
 pub use cluster::{ClusterAuditReport, ClusterAuditor, SealCheck};
 pub use classify::{Anomaly, EntryClass, HiddenRecord, InvalidReason, LinkAudit};
 pub use collusion::CollusionGroups;
+pub use forensic::{canonical_report_bytes, contestable_verdicts, ContestedVerdict};
 pub use incremental::AuditSession;
 pub use provenance::{FlowEdge, ImpactNode, ProvenanceGraph, ProvenanceNode};
 pub use render::{Rendered, RenderedCluster};

@@ -1,0 +1,40 @@
+//! Dispute-escalation cost: what a contested verdict costs to litigate —
+//! end-to-end resolution latency for each adversarial scenario of
+//! DESIGN.md §3.14 (wrongful conviction overturned by replay, forged
+//! evidence, a bribed resolver forcing escalation at doubled stakes, an
+//! evidence-withholding claimant, a ledger power-cut mid-escalation) —
+//! and what the always-on forensic recording tap that makes those
+//! disputes winnable costs the hot deposit path.
+//!
+//! ```text
+//! cargo run --release -p adlp-bench --bin expt_dispute
+//! ```
+//!
+//! Prints both tables and writes `BENCH_dispute.json` to the working
+//! directory (override with `ADLP_DISPUTE_JSON`). Environment knobs:
+//! `ADLP_DISPUTE_REPS` (litigations timed per scenario, default 3),
+//! `ADLP_RECORDING_ENTRIES` (deposits per throughput mode, default 2000).
+
+use adlp_bench::experiments::{dispute_resolution, recording_overhead};
+use adlp_bench::report::{dispute_json, print_dispute, print_recording};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let reps = env_usize("ADLP_DISPUTE_REPS", 3);
+    let entries = env_usize("ADLP_RECORDING_ENTRIES", 2000);
+    let resolution = dispute_resolution(reps);
+    let recording = recording_overhead(entries);
+    print_dispute(&resolution);
+    print_recording(&recording);
+    let path = std::env::var("ADLP_DISPUTE_JSON").unwrap_or_else(|_| "BENCH_dispute.json".into());
+    match std::fs::write(&path, dispute_json(&resolution, &recording)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

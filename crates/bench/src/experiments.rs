@@ -985,6 +985,209 @@ pub fn tcp_gossip_overhead(entries: usize, audits: usize, key_bits: usize) -> Ve
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Dispute escalation — resolution latency vs rounds, recording-tap overhead
+// ---------------------------------------------------------------------------
+
+/// One row of the dispute-resolution experiment: one adversarial scenario
+/// litigated end-to-end (traffic + recording + audit + court).
+#[derive(Debug, Clone)]
+pub struct DisputeRow {
+    /// Scenario label (the same matrix the `dispute-chaos` CI job runs).
+    pub scenario: &'static str,
+    /// Full litigations timed.
+    pub reps: usize,
+    /// Rounds fought (1 = the initial panel settled it).
+    pub rounds: u32,
+    /// Escalation rounds granted by the ledger.
+    pub escalations: u64,
+    /// Total stake posted across all rounds (base 16, doubling per round).
+    pub total_staked: u64,
+    /// Settled outcome: `"upheld"` or `"overturned"`.
+    pub outcome: &'static str,
+    /// Mean wall-clock of one full litigation, ms: recorded traffic run,
+    /// audit, evidence assembly, every vote round, proof verification.
+    pub resolve_ms: f64,
+    /// Stdev of the litigation wall-clock, ms.
+    pub resolve_std_ms: f64,
+    /// Whether the transferable resolution proof verified under the
+    /// resolver keyring in every rep.
+    pub proof_verifies: bool,
+    /// Whether replaying the recorded window twice was byte-identical in
+    /// every rep that carried a window in evidence.
+    pub replay_deterministic: bool,
+}
+
+/// Times the full dispute pipeline for each adversarial scenario of
+/// DESIGN.md §3.14 — the price of a contested verdict, from recorded
+/// traffic to a transferable resolution proof. Scenarios that deadlock the
+/// initial panel (bribed resolver, crash mid-escalation) pay for a second
+/// round at doubled stakes; the rows show that cost directly.
+pub fn dispute_resolution(reps: usize) -> Vec<DisputeRow> {
+    use adlp_dispute::Outcome;
+    use adlp_sim::dispute::{
+        bribed_resolver, crash_mid_escalation, forged_evidence, withholding_claimant,
+        wrongful_conviction, DisputeRunReport,
+    };
+
+    // The same seeds the dispute-chaos CI job pins.
+    const SEEDS: [u64; 4] = [5, 19, 101, 977];
+    type Run = fn(u64) -> DisputeRunReport;
+    let scenarios: [(&'static str, Run); 5] = [
+        ("wrongful-conviction", wrongful_conviction),
+        ("forged-evidence", forged_evidence),
+        ("bribed-resolver", bribed_resolver),
+        ("withholding-claimant", withholding_claimant),
+        ("crash-mid-escalation", crash_mid_escalation),
+    ];
+
+    let mut rows = Vec::new();
+    for (scenario, run) in scenarios {
+        let mut samples = Vec::with_capacity(reps);
+        let mut proof_verifies = true;
+        let mut replay_deterministic = true;
+        let mut last: Option<DisputeRunReport> = None;
+        for rep in 0..reps {
+            let seed = SEEDS[rep % SEEDS.len()];
+            let t = Instant::now();
+            let report = run(seed);
+            samples.push(t.elapsed().as_secs_f64() * 1e3);
+            proof_verifies &= report.proof_verifies;
+            replay_deterministic &= report.replay_deterministic;
+            last = Some(report);
+        }
+        let report = last.expect("reps >= 1");
+        let (resolve_ms, resolve_std_ms) = mean_std(&samples);
+        rows.push(DisputeRow {
+            scenario,
+            reps,
+            rounds: report.rounds,
+            escalations: report.counters.escalations,
+            total_staked: report.total_staked,
+            outcome: match report.outcome {
+                Outcome::Upheld => "upheld",
+                Outcome::Overturned => "overturned",
+            },
+            resolve_ms,
+            resolve_std_ms,
+            proof_verifies,
+            replay_deterministic,
+        });
+    }
+    rows
+}
+
+/// One row of the recording-overhead experiment: the deposit path with and
+/// without the forensic recording tap.
+#[derive(Debug, Clone)]
+pub struct RecordingRow {
+    /// `"untapped"` (no recorder) or `"recorded"` (forensic tap attached).
+    pub mode: &'static str,
+    /// Entries pushed through the durable-ack deposit path.
+    pub entries: usize,
+    /// Durably acknowledged deposits per second.
+    pub entries_per_sec: f64,
+    /// Mean wall-clock from submission to durable acknowledgement, µs.
+    pub mean_ack_latency_us: f64,
+    /// Frames the recorder captured (0 when untapped).
+    pub frames_recorded: u64,
+    /// Time to extract the full-epoch evidence window, ms (recorded only).
+    pub extract_ms: Option<f64>,
+    /// Time to deterministically replay + re-audit that window, ms
+    /// (recorded only).
+    pub replay_ms: Option<f64>,
+}
+
+/// Measures what the always-on forensic tap costs the hot deposit path —
+/// the recording that makes disputes winnable must be close to free when
+/// nobody is litigating. Also times the cold path it buys: extracting an
+/// evidence window and deterministically re-auditing it (run twice to
+/// confirm byte-identical canonical reports).
+pub fn recording_overhead(entries: usize) -> Vec<RecordingRow> {
+    use adlp_dispute::{replay_window, ReplayContext};
+    use adlp_logger::recording::Recorder;
+    use adlp_logger::storage::MemStorage;
+    use adlp_logger::{KeyRegistry, LogEntry, LogServer, Storage};
+    use adlp_pubsub::{NodeId, Topic};
+    use std::sync::Arc;
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            Direction::Out,
+            seq,
+            seq,
+            vec![0xA5; 256],
+        )
+    }
+
+    fn drive(handle: &adlp_logger::LoggerHandle, entries: usize) -> (f64, f64) {
+        let started = Instant::now();
+        let mut in_call = Duration::ZERO;
+        for i in 0..entries {
+            let t = Instant::now();
+            handle
+                .submit_durable(entry(i as u64))
+                .expect("no faults injected");
+            in_call += t.elapsed();
+        }
+        let secs = started.elapsed().as_secs_f64();
+        (
+            entries as f64 / secs,
+            in_call.as_secs_f64() * 1e6 / entries as f64,
+        )
+    }
+
+    let mut rows = Vec::new();
+
+    let untapped = LogServer::spawn();
+    let (eps, lat) = drive(&untapped.handle(), entries);
+    rows.push(RecordingRow {
+        mode: "untapped",
+        entries,
+        entries_per_sec: eps,
+        mean_ack_latency_us: lat,
+        frames_recorded: 0,
+        extract_ms: None,
+        replay_ms: None,
+    });
+
+    let recorded = LogServer::spawn();
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let recorder = Arc::new(Recorder::new(storage, "bench-recording"));
+    recorded.handle().attach_recorder(Arc::clone(&recorder));
+    let (eps, lat) = drive(&recorded.handle(), entries);
+
+    let t = Instant::now();
+    let window = recorder
+        .extract_window(0, u64::MAX)
+        .expect("recording extracts");
+    let extract_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let ctx = ReplayContext::new(KeyRegistry::new());
+    let t = Instant::now();
+    let first = replay_window(&window, &ctx).expect("window replays");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    let second = replay_window(&window, &ctx).expect("window replays twice");
+    assert_eq!(
+        first.canonical_bytes(),
+        second.canonical_bytes(),
+        "replay must be deterministic"
+    );
+
+    rows.push(RecordingRow {
+        mode: "recorded",
+        entries,
+        entries_per_sec: eps,
+        mean_ack_latency_us: lat,
+        frames_recorded: recorder.frames_recorded(),
+        extract_ms: Some(extract_ms),
+        replay_ms: Some(replay_ms),
+    });
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1111,6 +1314,40 @@ mod tests {
         // paper's "only ~1% over base" headline (loose bound for noise).
         assert!(adlp_agg < base * 1.4, "base={base} adlp_agg={adlp_agg}");
         assert!(adlp > adlp_agg, "per-ack must exceed aggregated");
+    }
+
+    #[test]
+    fn dispute_resolution_shape() {
+        let rows = dispute_resolution(1);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.resolve_ms > 0.0, "{r:?}");
+            assert!(r.proof_verifies, "{r:?}");
+            assert!(r.replay_deterministic, "{r:?}");
+        }
+        let wrongful = &rows[0];
+        assert_eq!(wrongful.outcome, "overturned", "{wrongful:?}");
+        assert_eq!(wrongful.rounds, 1, "{wrongful:?}");
+        let bribed = rows.iter().find(|r| r.scenario == "bribed-resolver").unwrap();
+        assert_eq!(bribed.rounds, 2, "deadlock forces escalation: {bribed:?}");
+        assert_eq!(bribed.escalations, 1, "{bribed:?}");
+        assert_eq!(bribed.total_staked, 16 + 32, "stakes double: {bribed:?}");
+    }
+
+    #[test]
+    fn recording_overhead_shape() {
+        let rows = recording_overhead(200);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "untapped");
+        assert_eq!(rows[1].mode, "recorded");
+        for r in &rows {
+            assert_eq!(r.entries, 200);
+            assert!(r.entries_per_sec > 0.0, "{r:?}");
+            assert!(r.mean_ack_latency_us > 0.0, "{r:?}");
+        }
+        assert_eq!(rows[0].frames_recorded, 0, "no tap, no frames");
+        assert_eq!(rows[1].frames_recorded, 200, "every deposit framed");
+        assert!(rows[1].extract_ms.is_some() && rows[1].replay_ms.is_some());
     }
 
     #[test]

@@ -367,6 +367,102 @@ pub fn wal_json(rows: &[WalRow]) -> String {
     out
 }
 
+pub fn print_dispute(rows: &[DisputeRow]) {
+    println!("== Dispute escalation: resolution latency vs rounds ==");
+    println!(
+        "{:<22} {:>6} {:>7} {:>6} {:>7} {:>11} {:>16} {:>6} {:>7}",
+        "Scenario", "Rounds", "Escal", "Stake", "Verdict", "Resolve ms", "(stdev)", "Proof", "Replay"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>6} {:>7} {:>6} {:>7} {:>11.1} {:>16} {:>6} {:>7}",
+            r.scenario,
+            r.rounds,
+            r.escalations,
+            r.total_staked,
+            r.outcome,
+            r.resolve_ms,
+            format!("({:.1})", r.resolve_std_ms),
+            if r.proof_verifies { "ok" } else { "FAIL" },
+            if r.replay_deterministic { "det" } else { "DIVG" },
+        );
+    }
+    println!();
+}
+
+pub fn print_recording(rows: &[RecordingRow]) {
+    println!("== Forensic recording: deposit-path overhead and replay cost ==");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>11} {:>10}",
+        "Mode", "Entries", "Entries/s", "Ack(us)", "Frames", "Extract ms", "Replay ms"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>9} {:>12.1} {:>12.2} {:>8} {:>11} {:>10}",
+            r.mode,
+            r.entries,
+            r.entries_per_sec,
+            r.mean_ack_latency_us,
+            r.frames_recorded,
+            r.extract_ms
+                .map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}")),
+            r.replay_ms
+                .map_or_else(|| "-".to_string(), |ms| format!("{ms:.2}")),
+        );
+    }
+    println!();
+}
+
+/// Serializes the dispute experiment (resolution + recording-overhead
+/// sections) as one JSON document (hand-rolled: the workspace carries no
+/// serialization dependency).
+pub fn dispute_json(resolution: &[DisputeRow], recording: &[RecordingRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"dispute_escalation\",\n  \"resolution\": [\n");
+    for (i, r) in resolution.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"reps\": {}, \"rounds\": {}, \
+             \"escalations\": {}, \"total_staked\": {}, \"outcome\": \"{}\", \
+             \"resolve_ms\": {:.3}, \"resolve_std_ms\": {:.3}, \
+             \"proof_verifies\": {}, \"replay_deterministic\": {}}}{}\n",
+            r.scenario,
+            r.reps,
+            r.rounds,
+            r.escalations,
+            r.total_staked,
+            r.outcome,
+            r.resolve_ms,
+            r.resolve_std_ms,
+            r.proof_verifies,
+            r.replay_deterministic,
+            if i + 1 == resolution.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"recording\": [\n");
+    for (i, r) in recording.iter().enumerate() {
+        let extract = r
+            .extract_ms
+            .map_or_else(|| "null".to_string(), |ms| format!("{ms:.3}"));
+        let replay = r
+            .replay_ms
+            .map_or_else(|| "null".to_string(), |ms| format!("{ms:.3}"));
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"entries\": {}, \"entries_per_sec\": {:.3}, \
+             \"mean_ack_latency_us\": {:.3}, \"frames_recorded\": {}, \
+             \"extract_ms\": {}, \"replay_ms\": {}}}{}\n",
+            r.mode,
+            r.entries,
+            r.entries_per_sec,
+            r.mean_ack_latency_us,
+            r.frames_recorded,
+            extract,
+            replay,
+            if i + 1 == recording.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 pub fn print_table4(window: Duration, key_bits: usize) {
     println!("== Table IV: system-wide log generation rate ==");
     println!("{:<8} {:>12}", "Scheme", "Mb/s");

@@ -11,7 +11,7 @@ use adlp_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use adlp_crypto::RsaKeyPair;
 use adlp_logger::{
     DurabilityConfig, DurabilityStats, KeyRegistry, LogError, LogServer, LoggerHandle, MemStorage,
-    Recovery, Storage, SyncPolicy,
+    Recorder, Recovery, RecordingWindow, Storage, SyncPolicy,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -132,6 +132,12 @@ pub struct LoggerCluster {
     /// the cluster flows through (deposit acks, view gathering, epoch
     /// countersignatures).
     attestations: Option<AttestationLog>,
+    /// Per-shard forensic recorders (None until
+    /// [`LoggerCluster::attach_shard_recorders`]); each is shared by every
+    /// replica of its shard, so the shard's deposit stream survives
+    /// individual replica crashes. Replay dedups the byte-identical frames
+    /// the fan-out produces.
+    recorders: Mutex<Vec<Option<Arc<Recorder>>>>,
 }
 
 /// File name the attestor's restart-critical state persists under on a
@@ -214,6 +220,7 @@ impl LoggerCluster {
             }
             shards.push(replicas);
         }
+        let shard_count = config.shards;
         Ok(LoggerCluster {
             config,
             keys,
@@ -221,6 +228,7 @@ impl LoggerCluster {
             epoch: AtomicU64::new(0),
             stats,
             attestations: identities.map(|ids| ids.ledger),
+            recorders: Mutex::new(vec![None; shard_count]),
         })
     }
 
@@ -280,6 +288,7 @@ impl LoggerCluster {
             }
             shards.push(replicas);
         }
+        let shard_count = config.shards;
         Ok(LoggerCluster {
             config,
             keys,
@@ -287,6 +296,7 @@ impl LoggerCluster {
             epoch: AtomicU64::new(0),
             stats,
             attestations: identities.map(|ids| ids.ledger),
+            recorders: Mutex::new(vec![None; shard_count]),
         })
     }
 
@@ -360,7 +370,74 @@ impl LoggerCluster {
             .ok_or(LogError::NoSuchEntry(replica))?;
         let recovery = slot.restart(self.keys.clone())?;
         self.reconcile_restarted_attestor(slot)?;
+        // The fresh server starts with no recording tap; rejoin it to the
+        // shard's recorder so the forensic stream keeps flowing.
+        if let Some(rec) = self.shard_recorder(shard) {
+            slot.handle().attach_recorder(rec);
+        }
         Ok(recovery)
+    }
+
+    /// Attaches one forensic [`Recorder`] per shard (one storage device
+    /// each, files named `recording-shard<N>`): from now on every entry
+    /// deposited to, or adopted by, *any replica* of a shard is also framed
+    /// into that shard's recording under the epoch currently in force. The
+    /// per-replica fan-out writes byte-identical frames; replay-side
+    /// deduplication (see `adlp-dispute`) collapses them, which is what
+    /// keeps the recording complete across individual replica crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when `storages` does not hold
+    /// exactly one device per shard.
+    pub fn attach_shard_recorders(
+        &self,
+        storages: Vec<Arc<dyn Storage>>,
+    ) -> Result<(), LogError> {
+        if storages.len() != self.shards.len() {
+            return Err(LogError::Malformed("shard recorders (shape)"));
+        }
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut recorders = self.recorders.lock();
+        for (shard, ((storage, replicas), rec_slot)) in storages
+            .into_iter()
+            .zip(self.shards.iter())
+            .zip(recorders.iter_mut())
+            .enumerate()
+        {
+            let rec = Arc::new(Recorder::new(storage, format!("recording-shard{shard}")));
+            rec.set_epoch(epoch);
+            for slot in replicas {
+                slot.handle().attach_recorder(Arc::clone(&rec));
+            }
+            *rec_slot = Some(rec);
+        }
+        Ok(())
+    }
+
+    /// One shard's recorder, if recording is attached.
+    pub fn shard_recorder(&self, shard: usize) -> Option<Arc<Recorder>> {
+        self.recorders.lock().get(shard).cloned().flatten()
+    }
+
+    /// Extracts the transferable `[epoch_from, epoch_to]` recording window
+    /// for one shard — the byte blob a dispute party posts as evidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when no recorder is attached to the
+    /// shard or the range is inverted, and [`LogError::Io`] on device
+    /// failure.
+    pub fn extract_recording(
+        &self,
+        shard: usize,
+        epoch_from: u64,
+        epoch_to: u64,
+    ) -> Result<RecordingWindow, LogError> {
+        let rec = self
+            .shard_recorder(shard)
+            .ok_or(LogError::Malformed("shard recording (not attached)"))?;
+        rec.extract_window(epoch_from, epoch_to)
     }
 
     /// BFT mode only: if a restarted replica's recovered log is shorter
@@ -531,6 +608,12 @@ impl LoggerCluster {
     /// undersized sealing key).
     pub fn seal_epoch(&self, sealing_key: &RsaPrivateKey) -> Result<EpochSeal, LogError> {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // Entries recorded from here on belong to the new epoch, so a
+        // dispute window `[e, e]` covers exactly the traffic between seal
+        // `e-1` and seal `e`.
+        for rec in self.recorders.lock().iter().flatten() {
+            rec.set_epoch(epoch);
+        }
         let view = self.view();
         if let Some(ledger) = &self.attestations {
             for shard in &self.shards {
@@ -585,6 +668,59 @@ mod tests {
         slot.handle().try_submit(entry(3)).unwrap();
         slot.handle().flush().unwrap();
         assert_eq!(slot.handle().store().len(), 1, "restart is empty (lagging)");
+    }
+
+    #[test]
+    fn shard_recorders_capture_deposits_and_follow_epochs() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(2)).unwrap();
+        let devices: Vec<Arc<dyn Storage>> = (0..cluster.shard_count())
+            .map(|_| Arc::new(MemStorage::new()) as Arc<dyn Storage>)
+            .collect();
+        cluster.attach_shard_recorders(devices).unwrap();
+
+        let slot = cluster.replica(0, 0).unwrap().clone();
+        slot.handle().try_submit(entry(1)).unwrap();
+        slot.handle().flush().unwrap();
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sealing = RsaKeyPair::generate(512, &mut rng);
+        cluster.seal_epoch(sealing.private_key()).unwrap();
+
+        slot.handle().try_submit(entry(2)).unwrap();
+        slot.handle().flush().unwrap();
+
+        let rec = cluster.shard_recorder(0).unwrap();
+        let replay = rec.replay().unwrap();
+        assert_eq!(replay.frames.len(), 2);
+        assert_eq!(replay.frames[0].epoch, 0);
+        assert_eq!(replay.frames[1].epoch, 1);
+
+        // Window extraction returns only the second epoch's frame, as a
+        // verifiable recording of its own.
+        let window = cluster.extract_recording(0, 1, 1).unwrap();
+        assert!(window.verify());
+        assert_eq!(window.replay().unwrap().frames.len(), 1);
+
+        // A restarted replica rejoins the shard recorder.
+        cluster.kill_replica(0, 0);
+        cluster.restart_replica(0, 0).unwrap();
+        let slot = cluster.replica(0, 0).unwrap().clone();
+        slot.handle().try_submit(entry(3)).unwrap();
+        slot.handle().flush().unwrap();
+        assert_eq!(rec.replay().unwrap().frames.len(), 3);
+    }
+
+    #[test]
+    fn extract_recording_without_recorder_is_refused() {
+        let cluster = LoggerCluster::spawn(ClusterConfig::replicated(1)).unwrap();
+        assert!(matches!(
+            cluster.extract_recording(0, 0, 0),
+            Err(LogError::Malformed(_))
+        ));
+        assert!(cluster
+            .attach_shard_recorders(vec![])
+            .is_err());
     }
 
     #[test]

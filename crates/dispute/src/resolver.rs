@@ -1,0 +1,504 @@
+//! Resolvers: independent re-verification and signed, transferable votes.
+//!
+//! A resolver never votes on testimony. Its verdict on a contested
+//! conviction is *re-derived* from the evidence set alone:
+//!
+//! * proof-carried convictions ([`ContestedVerdict::SplitView`],
+//!   [`ContestedVerdict::Equivocation`]) stand iff a *verifying* proof for
+//!   the convicted identity exists among the evidence — a forged proof
+//!   convicts nobody, and a conviction nobody can re-prove falls;
+//! * [`ContestedVerdict::Hidden`] convictions fall only on **positive
+//!   exoneration**: some sound recording window, replayed with the real
+//!   auditor, must show the accused's entry present and valid. Torn or
+//!   unverifiable windows are non-probative and fail toward the standing
+//!   verdict, so withholding or corrupting evidence never overturns
+//!   anything.
+//!
+//! Every decision is a [`SignedVote`]: domain-separated, bound to the
+//! dispute, the round, and a digest of the exact evidence set judged — as
+//! transferable as the proofs it rules on.
+
+use std::collections::BTreeMap;
+
+use adlp_audit::ContestedVerdict;
+use adlp_cluster::ReplicaKeyring;
+use adlp_crypto::{pkcs1, Digest, RsaPrivateKey, RsaPublicKey, Sha256, Signature};
+use adlp_logger::encoding::{read_bytes, read_str, read_uvarint, write_bytes, write_str, write_uvarint};
+use adlp_logger::LogError;
+use adlp_pubsub::NodeId;
+use adlp_witness::SthKeyring;
+
+use crate::evidence::{evidence_set_digest, Evidence, SignedEvidence};
+use crate::replay::{replay_window, ReplayContext};
+
+/// Domain separator for vote signatures.
+const VOTE_DOMAIN: &[u8] = b"adlp-dispute/vote";
+
+/// A resolver's verdict on a contested conviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// The conviction stands.
+    Uphold,
+    /// The conviction is overturned.
+    Overturn,
+}
+
+impl Vote {
+    fn byte(self) -> u8 {
+        match self {
+            Vote::Uphold => 0,
+            Vote::Overturn => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, LogError> {
+        match b {
+            0 => Ok(Vote::Uphold),
+            1 => Ok(Vote::Overturn),
+            _ => Err(LogError::Malformed("vote (value)")),
+        }
+    }
+}
+
+fn vote_digest(
+    resolver: &NodeId,
+    dispute: u64,
+    round: u32,
+    vote: Vote,
+    evidence_digest: &Digest,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(VOTE_DOMAIN);
+    let mut buf = Vec::with_capacity(64);
+    write_str(&mut buf, resolver.as_str());
+    write_uvarint(&mut buf, dispute);
+    write_uvarint(&mut buf, u64::from(round));
+    buf.push(vote.byte());
+    buf.extend_from_slice(evidence_digest.as_bytes());
+    h.update(&buf);
+    h.finalize()
+}
+
+/// A signed, transferable resolver decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedVote {
+    /// The voting resolver.
+    pub resolver: NodeId,
+    /// The dispute voted on.
+    pub dispute: u64,
+    /// The escalation round the resolver joined in.
+    pub round: u32,
+    /// The verdict.
+    pub vote: Vote,
+    /// Digest of the exact evidence set the resolver judged
+    /// ([`evidence_set_digest`]); a vote cannot be replayed against a
+    /// different set.
+    pub evidence_digest: Digest,
+    /// The resolver's signature over all of the above.
+    pub signature: Signature,
+}
+
+impl SignedVote {
+    /// Verifies the vote against the resolver's public key.
+    pub fn verify(&self, key: &RsaPublicKey) -> bool {
+        let digest = vote_digest(
+            &self.resolver,
+            self.dispute,
+            self.round,
+            self.vote,
+            &self.evidence_digest,
+        );
+        pkcs1::verify_digest(key, &digest, &self.signature)
+    }
+
+    /// Serializes the vote.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        write_str(&mut out, self.resolver.as_str());
+        write_uvarint(&mut out, self.dispute);
+        write_uvarint(&mut out, u64::from(self.round));
+        out.push(self.vote.byte());
+        out.extend_from_slice(self.evidence_digest.as_bytes());
+        write_bytes(&mut out, self.signature.as_bytes());
+        out
+    }
+
+    /// Deserializes a vote, consuming from `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] on truncated bytes.
+    pub fn decode(input: &mut &[u8]) -> Result<Self, LogError> {
+        let resolver = NodeId::new(read_str(input)?);
+        let dispute = read_uvarint(input)?;
+        let round = u32::try_from(read_uvarint(input)?)
+            .map_err(|_| LogError::Malformed("vote (round)"))?;
+        let (&v, rest) = input.split_first().ok_or(LogError::Malformed("vote (value)"))?;
+        *input = rest;
+        let vote = Vote::from_byte(v)?;
+        if input.len() < 32 {
+            return Err(LogError::Malformed("vote (evidence digest)"));
+        }
+        let (digest_bytes, rest) = input.split_at(32);
+        *input = rest;
+        let evidence_digest = Digest::from_slice(digest_bytes)
+            .ok_or(LogError::Malformed("vote (evidence digest)"))?;
+        let signature = Signature::from_bytes(read_bytes(input)?.to_vec());
+        Ok(SignedVote {
+            resolver,
+            dispute,
+            round,
+            vote,
+            evidence_digest,
+            signature,
+        })
+    }
+}
+
+/// The resolver identities and public keys a ledger (or any third party)
+/// verifies votes against. Iteration order — used for deterministic panel
+/// selection — is the sorted identity order.
+#[derive(Debug, Clone, Default)]
+pub struct ResolverKeyring {
+    keys: BTreeMap<NodeId, RsaPublicKey>,
+}
+
+impl ResolverKeyring {
+    /// An empty keyring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resolver's public key.
+    pub fn insert(&mut self, resolver: NodeId, key: RsaPublicKey) {
+        self.keys.insert(resolver, key);
+    }
+
+    /// Builder-style [`ResolverKeyring::insert`].
+    pub fn with_resolver(mut self, resolver: NodeId, key: RsaPublicKey) -> Self {
+        self.insert(resolver, key);
+        self
+    }
+
+    /// The key registered for `resolver`.
+    pub fn key(&self, resolver: &NodeId) -> Option<&RsaPublicKey> {
+        self.keys.get(resolver)
+    }
+
+    /// Verifies a vote under its claimed resolver's key. Unknown resolvers
+    /// never verify.
+    pub fn verify(&self, vote: &SignedVote) -> bool {
+        self.key(&vote.resolver).is_some_and(|key| vote.verify(key))
+    }
+
+    /// All registered resolvers, sorted — the panel-selection pool.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.keys.keys().cloned().collect()
+    }
+
+    /// Number of registered resolvers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no resolver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Everything a resolver needs to re-verify evidence: STH keys for
+/// split-view proofs, the replica keyring for equivocation proofs, and a
+/// replay context for recordings.
+#[derive(Debug, Clone)]
+pub struct ResolverContext {
+    /// Keys signed tree heads are verified under.
+    pub sth_keys: SthKeyring,
+    /// Keys replica head attestations are verified under.
+    pub replica_keys: ReplicaKeyring,
+    /// Key registry + topology for deterministic replays.
+    pub replay: ReplayContext,
+}
+
+impl ResolverContext {
+    /// A context that can judge recordings but holds no proof keys (every
+    /// proof-carried conviction then falls to "no verifying proof").
+    pub fn new(replay: ReplayContext) -> Self {
+        ResolverContext {
+            sth_keys: SthKeyring::new(),
+            replica_keys: ReplicaKeyring::new(Vec::new()),
+            replay,
+        }
+    }
+
+    /// Adds STH keys.
+    pub fn with_sth_keys(mut self, keys: SthKeyring) -> Self {
+        self.sth_keys = keys;
+        self
+    }
+
+    /// Adds replica attestation keys.
+    pub fn with_replica_keys(mut self, keys: ReplicaKeyring) -> Self {
+        self.replica_keys = keys;
+        self
+    }
+}
+
+/// One member of a dispute panel.
+#[derive(Debug)]
+pub struct Resolver {
+    id: NodeId,
+    key: RsaPrivateKey,
+}
+
+impl Resolver {
+    /// A resolver with its signing identity.
+    pub fn new(id: NodeId, key: RsaPrivateKey) -> Self {
+        Resolver { id, key }
+    }
+
+    /// The resolver's identity.
+    pub fn id(&self) -> &NodeId {
+        &self.id
+    }
+
+    /// Independently re-derives the verdict on `claim` from `evidence`.
+    /// Pure: same claim, same evidence, same context → same vote, for
+    /// every resolver.
+    pub fn evaluate(
+        claim: &ContestedVerdict,
+        evidence: &[SignedEvidence],
+        ctx: &ResolverContext,
+    ) -> Vote {
+        match claim {
+            ContestedVerdict::SplitView { log, size } => {
+                let proven = evidence.iter().any(|ev| match &ev.evidence {
+                    Evidence::SplitView(proof) => {
+                        proof.log() == log && proof.size() == *size && proof.verify(&ctx.sth_keys)
+                    }
+                    _ => false,
+                });
+                if proven {
+                    Vote::Uphold
+                } else {
+                    Vote::Overturn
+                }
+            }
+            ContestedVerdict::Equivocation { shard, replica } => {
+                let proven = evidence.iter().any(|ev| match &ev.evidence {
+                    Evidence::Equivocation(proof) => {
+                        proof.shard() as u64 == *shard
+                            && proof.replica() as u64 == *replica
+                            && proof.verify(&ctx.replica_keys)
+                    }
+                    _ => false,
+                });
+                if proven {
+                    Vote::Uphold
+                } else {
+                    Vote::Overturn
+                }
+            }
+            ContestedVerdict::Hidden { .. } => {
+                // The conviction stands unless some *sound* replayed window
+                // positively exonerates. Forged frames fail the auditor's
+                // authenticity screen inside the replay; torn or
+                // range-smuggling windows fail `verify()`; both are
+                // non-probative and leave the verdict standing.
+                for ev in evidence {
+                    let Evidence::Recording(window) = &ev.evidence else {
+                        continue;
+                    };
+                    if !window.verify() {
+                        continue;
+                    }
+                    let Ok(replay) = replay_window(window, &ctx.replay) else {
+                        continue;
+                    };
+                    if !replay.sound() {
+                        continue;
+                    }
+                    if claim.exonerated_by(&replay.report) {
+                        return Vote::Overturn;
+                    }
+                }
+                Vote::Uphold
+            }
+        }
+    }
+
+    /// Signs a vote for `dispute`/`round` over the given evidence set.
+    /// Exposed separately from [`Resolver::judge`] so a simulation can
+    /// model a bribed resolver casting a vote its own evaluation does not
+    /// support — the protocol tolerates that; it does not prevent it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] if signing fails.
+    pub fn cast(
+        &self,
+        dispute: u64,
+        round: u32,
+        vote: Vote,
+        evidence: &[SignedEvidence],
+    ) -> Result<SignedVote, LogError> {
+        let evidence_digest = evidence_set_digest(evidence);
+        let digest = vote_digest(&self.id, dispute, round, vote, &evidence_digest);
+        let signature = pkcs1::sign_digest(&self.key, &digest)
+            .map_err(|_| LogError::Malformed("vote (signing)"))?;
+        Ok(SignedVote {
+            resolver: self.id.clone(),
+            dispute,
+            round,
+            vote,
+            evidence_digest,
+            signature,
+        })
+    }
+
+    /// [`Resolver::evaluate`] then [`Resolver::cast`]: the honest-resolver
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] if signing fails.
+    pub fn judge(
+        &self,
+        dispute: u64,
+        round: u32,
+        claim: &ContestedVerdict,
+        evidence: &[SignedEvidence],
+        ctx: &ResolverContext,
+    ) -> Result<SignedVote, LogError> {
+        let vote = Self::evaluate(claim, evidence, ctx);
+        self.cast(dispute, round, vote, evidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adlp_logger::KeyRegistry;
+    use adlp_crypto::RsaKeyPair;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ctx() -> ResolverContext {
+        ResolverContext::new(ReplayContext::new(KeyRegistry::new()))
+    }
+
+    #[test]
+    fn vote_roundtrips_and_verifies() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pair = RsaKeyPair::generate(512, &mut rng);
+        let public = pair.public_key().clone();
+        let resolver = Resolver::new(NodeId::new("resolver-0"), pair.into_private_key());
+        let vote = resolver.cast(9, 1, Vote::Overturn, &[]).unwrap();
+        assert!(vote.verify(&public));
+
+        let keyring =
+            ResolverKeyring::new().with_resolver(NodeId::new("resolver-0"), public.clone());
+        assert!(keyring.verify(&vote));
+
+        let bytes = vote.encode();
+        let mut input = bytes.as_slice();
+        let back = SignedVote::decode(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back, vote);
+
+        for cut in 0..bytes.len() {
+            let mut input = &bytes[..cut];
+            assert!(SignedVote::decode(&mut input).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_or_rebound_votes_never_verify() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let pair = RsaKeyPair::generate(512, &mut rng);
+        let public = pair.public_key().clone();
+        let resolver = Resolver::new(NodeId::new("resolver-0"), pair.into_private_key());
+        let mut vote = resolver.cast(9, 0, Vote::Uphold, &[]).unwrap();
+
+        // Unknown resolver: empty keyring.
+        assert!(!ResolverKeyring::new().verify(&vote));
+
+        // Rebinding the vote to another dispute or round breaks it.
+        let keyring =
+            ResolverKeyring::new().with_resolver(NodeId::new("resolver-0"), public.clone());
+        vote.dispute = 10;
+        assert!(!keyring.verify(&vote));
+        vote.dispute = 9;
+        vote.round = 3;
+        assert!(!keyring.verify(&vote));
+        vote.round = 0;
+        vote.vote = Vote::Overturn;
+        assert!(!keyring.verify(&vote));
+    }
+
+    #[test]
+    fn proof_carried_claims_need_a_verifying_proof() {
+        // No evidence at all: a split-view conviction nobody can re-prove
+        // falls; a hidden-entry conviction nobody can exonerate stands.
+        let split = ContestedVerdict::SplitView {
+            log: NodeId::new("logger-a"),
+            size: 5,
+        };
+        assert_eq!(Resolver::evaluate(&split, &[], &ctx()), Vote::Overturn);
+
+        let hidden = ContestedVerdict::Hidden {
+            component: NodeId::new("cam"),
+            direction: adlp_logger::Direction::Out,
+            topic: adlp_pubsub::Topic::new("image"),
+            seq: 1,
+        };
+        assert_eq!(Resolver::evaluate(&hidden, &[], &ctx()), Vote::Uphold);
+
+        let equiv = ContestedVerdict::Equivocation { shard: 0, replica: 1 };
+        assert_eq!(Resolver::evaluate(&equiv, &[], &ctx()), Vote::Overturn);
+    }
+
+    #[test]
+    fn torn_recording_evidence_is_non_probative() {
+        use adlp_logger::recording::{encode_frame, RECORDING_MAGIC};
+        use adlp_logger::{LogEntry, RecordingWindow};
+        use adlp_pubsub::Topic;
+
+        let mut rng = StdRng::seed_from_u64(23);
+        let pair = RsaKeyPair::generate(512, &mut rng);
+        let entry = LogEntry::naive(
+            NodeId::new("cam"),
+            Topic::new("image"),
+            adlp_logger::Direction::Out,
+            1,
+            1,
+            vec![1; 8],
+        )
+        .encode();
+        let mut bytes = RECORDING_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(1, &entry));
+        bytes.extend_from_slice(&encode_frame(2, &entry));
+        bytes.truncate(bytes.len() - 3);
+        let torn = RecordingWindow {
+            epoch_from: 1,
+            epoch_to: 2,
+            bytes,
+        };
+        assert!(!torn.verify());
+        let ev = SignedEvidence::sign(
+            NodeId::new("cam"),
+            1,
+            0,
+            Evidence::Recording(torn),
+            pair.private_key(),
+        )
+        .unwrap();
+        let hidden = ContestedVerdict::Hidden {
+            component: NodeId::new("cam"),
+            direction: adlp_logger::Direction::Out,
+            topic: Topic::new("image"),
+            seq: 1,
+        };
+        // Truncation detected → window non-probative → verdict stands.
+        assert_eq!(Resolver::evaluate(&hidden, &[ev], &ctx()), Vote::Uphold);
+    }
+}

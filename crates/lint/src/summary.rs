@@ -66,9 +66,13 @@ pub fn is_verifier(name: &str) -> bool {
 /// `adopt_head`/`observe_head` are the witness layer's STH-adoption
 /// sinks: a gossiped head must be structurally decoded (framing +
 /// checksum) before a witness or light client even considers it.
+/// `adopt_proof`/`observe_conviction` are the conviction-gossip ingests,
+/// and `submit_evidence`/`submit_vote` admit material into the dispute
+/// ledger — all of them must only ever see structurally decoded input.
 pub const TAINT_SINKS: &[&str] = &[
     "append_encoded", "adopt_encoded", "append_pipeline", "submit",
-    "submit_durable", "adopt_head", "observe_head",
+    "submit_durable", "adopt_head", "observe_head", "adopt_proof",
+    "observe_conviction", "submit_evidence", "submit_vote",
 ];
 
 /// Durable-write operations (ack-gating events for `ack-before-durable`).

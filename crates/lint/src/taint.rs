@@ -103,6 +103,7 @@ fn in_scope(path: &str) -> bool {
         "crates/pubsub/src/",
         "crates/core/src/",
         "crates/witness/src/",
+        "crates/dispute/src/",
     ]
     .iter()
     .any(|pre| path.starts_with(pre))

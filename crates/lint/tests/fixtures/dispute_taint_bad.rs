@@ -1,0 +1,62 @@
+// Known-bad fixture for `unverified-wire-taint` on the dispute-evidence
+// and conviction-gossip ingest paths: bytes pulled off the wire reach a
+// ledger/witness admission sink (`submit_evidence`, `adopt_proof`)
+// without passing a structural decode — the court would consider
+// evidence nobody checksummed, the witness a conviction nobody verified.
+
+use std::collections::VecDeque;
+
+pub struct DisputeLedger {
+    evidence: Vec<Vec<u8>>,
+}
+
+impl DisputeLedger {
+    pub fn submit_evidence(&mut self, id: u64, ev: Vec<u8>) -> Result<(), ()> {
+        let _ = id;
+        self.evidence.push(ev);
+        Ok(())
+    }
+}
+
+pub struct Witness {
+    proofs: Vec<Vec<u8>>,
+}
+
+impl Witness {
+    pub fn adopt_proof(&mut self, frame: Vec<u8>) -> Option<bool> {
+        self.proofs.push(frame);
+        Some(true)
+    }
+}
+
+pub struct CourtNode {
+    inbox: VecDeque<Vec<u8>>,
+    ledger: DisputeLedger,
+    witness: Witness,
+}
+
+impl CourtNode {
+    pub fn recv_gossip_frame(&mut self) -> Option<Vec<u8>> {
+        self.inbox.pop_front()
+    }
+
+    pub fn drain_evidence(&mut self) -> usize {
+        let mut admitted = 0;
+        while let Some(frame) = self.recv_gossip_frame() {
+            if self.ledger.submit_evidence(0, frame).is_ok() {
+                admitted += 1;
+            }
+        }
+        admitted
+    }
+
+    pub fn drain_convictions(&mut self) -> usize {
+        let mut adopted = 0;
+        while let Some(frame) = self.recv_gossip_frame() {
+            if self.witness.adopt_proof(frame) == Some(true) {
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+}

@@ -174,6 +174,39 @@ fn wire_taint_accepts_decoded_tcp_gossip_ingest() {
     assert_clean(&report, "tcp_gossip_good.rs");
 }
 
+#[test]
+fn wire_taint_fires_on_raw_dispute_ingest() {
+    // Wire bytes handed straight to the dispute-evidence and
+    // conviction-adoption sinks — one diagnostic per raw flow.
+    let report = analyze(
+        "crates/dispute/src/fixture.rs",
+        include_str!("fixtures/dispute_taint_bad.rs"),
+    );
+    assert_eq!(
+        count(&report, "unverified-wire-taint"),
+        2,
+        "diags: {:?}",
+        report.diags
+    );
+    let witnesses: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "unverified-wire-taint")
+        .flat_map(|d| d.witness.iter())
+        .collect();
+    assert!(witnesses.iter().any(|w| w.contains("submit_evidence")));
+    assert!(witnesses.iter().any(|w| w.contains("adopt_proof")));
+}
+
+#[test]
+fn wire_taint_accepts_decoded_dispute_ingest() {
+    let report = analyze(
+        "crates/dispute/src/fixture.rs",
+        include_str!("fixtures/dispute_taint_good.rs"),
+    );
+    assert_clean(&report, "dispute_taint_good.rs");
+}
+
 // ---- rule: ack-before-durable --------------------------------------------
 
 #[test]

@@ -39,6 +39,7 @@ pub mod keyreg;
 pub mod merkle;
 pub mod persist;
 pub mod receipt;
+pub mod recording;
 pub mod remote;
 pub mod server;
 pub mod stats;
@@ -54,6 +55,9 @@ pub use durable::{
 pub use entry::{AckRecord, Direction, LogEntry, PayloadRecord};
 pub use keyreg::KeyRegistry;
 pub use receipt::{GapReceipt, ShedReason, GAP_RECEIPT_MAGIC};
+pub use recording::{
+    RecordedFrame, Recorder, RecordingReplay, RecordingWindow, RECORDING_MAGIC,
+};
 pub use remote::{ReconnectConfig, RemoteLogClient, RemoteLogEndpoint};
 pub use server::{LogServer, LoggerHandle, SubmitOutcome, DEFAULT_QUEUE_BOUND};
 pub use stats::{ClientStats, ClientStatsSnapshot, DurabilityStats, LogStats, VolumeSnapshot};

@@ -1,0 +1,511 @@
+//! Recording of full signed message streams for replay forensics.
+//!
+//! A dispute over an audit verdict needs the *exact traffic the verdict
+//! concerns*, not whatever happens to still be in a store: the recording
+//! pipeline taps the deposit path and persists every encoded entry —
+//! signatures and all — through the §3.9 [`Storage`] layer, tagged with
+//! the epoch in force when it was deposited. Any `[epoch_from, epoch_to]`
+//! window can later be extracted as a self-contained, transferable byte
+//! blob and deterministically re-audited (see `adlp-dispute`).
+//!
+//! ## Frame format
+//!
+//! The framing mirrors the WAL's crash discipline (`crate::wal`):
+//!
+//! ```text
+//! recording := magic "ADLPREC1" ‖ frame*
+//! frame     := u32 LE payload_len ‖ 4-byte checksum ‖ payload
+//! payload   := u64 LE epoch ‖ encoded log entry
+//! ```
+//!
+//! The checksum is the first four bytes of SHA-256 over the payload.
+//! Replay accepts the longest valid frame prefix; a torn or truncated
+//! tail is **detected and counted, never silently accepted** — a replayed
+//! recording always says whether it is complete, so a truncated recording
+//! can never masquerade as a full window (it is refused as dispute
+//! evidence instead of being mis-audited). Only a wrong magic is a hard
+//! error: that file is not a recording at all.
+//!
+//! Recording is an observability tap, not a durability gate: a failed
+//! append is counted on the [`Recorder`] and never fails the deposit it
+//! shadows.
+
+use crate::storage::Storage;
+use crate::LogError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies a recording file on any [`Storage`] backend.
+pub const RECORDING_MAGIC: &[u8; 8] = b"ADLPREC1";
+
+/// Upper bound on one frame's payload, mirroring the WAL's cap so a
+/// corrupted length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_LEN: usize = 128 * 1024 * 1024;
+
+/// One replayed frame: the epoch the entry was deposited under and the
+/// encoded entry bytes (signatures included — the frame is exactly what
+/// the logger was given).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedFrame {
+    /// Epoch in force when the entry was recorded.
+    pub epoch: u64,
+    /// Encoded log entry, byte-for-byte as deposited.
+    pub entry: Vec<u8>,
+}
+
+fn checksum(payload: &[u8]) -> [u8; 4] {
+    let digest = adlp_crypto::sha256(payload);
+    let mut c = [0u8; 4];
+    for (dst, src) in c.iter_mut().zip(digest.as_bytes()) {
+        *dst = *src;
+    }
+    c
+}
+
+/// Encodes one frame (length ‖ checksum ‖ epoch ‖ entry) into a single
+/// buffer. Public so property tests can round-trip the framing directly.
+pub fn encode_frame(epoch: u64, entry: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + entry.len());
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload.extend_from_slice(entry);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes the frame starting at `bytes`; returns the frame and how many
+/// bytes it consumed, or `None` when the bytes do not form a complete,
+/// checksum-valid frame (a torn tail, from the caller's viewpoint).
+pub fn decode_frame(bytes: &[u8]) -> Option<(RecordedFrame, usize)> {
+    let (header, rest) = bytes.split_at_checked(8)?;
+    let (len_bytes, check) = header.split_at_checked(4)?;
+    let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+    if !(8..=MAX_FRAME_LEN).contains(&len) {
+        return None;
+    }
+    let payload = rest.get(..len)?;
+    if checksum(payload) != check {
+        return None;
+    }
+    let (epoch_bytes, entry) = payload.split_at_checked(8)?;
+    let epoch = u64::from_le_bytes(epoch_bytes.try_into().ok()?);
+    Some((
+        RecordedFrame {
+            epoch,
+            entry: entry.to_vec(),
+        },
+        8 + len,
+    ))
+}
+
+/// Outcome of replaying a recording: the longest valid frame prefix plus
+/// an account of what the torn tail (if any) cost.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingReplay {
+    /// Valid frames, in file order.
+    pub frames: Vec<RecordedFrame>,
+    /// Frames discarded from the tail (a tear can hide further frames
+    /// behind it, so this counts *at least* the first unreadable one).
+    pub frames_truncated: u64,
+    /// Bytes discarded from the tail.
+    pub bytes_truncated: u64,
+    /// File offset where the valid prefix ends (magic included).
+    pub good_bytes: u64,
+}
+
+impl RecordingReplay {
+    /// Whether the recording carried a torn/corrupt tail. A torn replay is
+    /// still usable for inspection but is **not** probative of absence —
+    /// frames behind the tear are unknowable.
+    pub fn torn(&self) -> bool {
+        self.bytes_truncated > 0
+    }
+
+    /// The inclusive epoch range the valid frames span, or `None` when
+    /// empty.
+    pub fn epoch_span(&self) -> Option<(u64, u64)> {
+        let first = self.frames.iter().map(|f| f.epoch).min()?;
+        let last = self.frames.iter().map(|f| f.epoch).max()?;
+        Some((first, last))
+    }
+
+    /// Frames whose epoch falls in `[epoch_from, epoch_to]`, in file order.
+    pub fn window(&self, epoch_from: u64, epoch_to: u64) -> Vec<&RecordedFrame> {
+        self.frames
+            .iter()
+            .filter(|f| (epoch_from..=epoch_to).contains(&f.epoch))
+            .collect()
+    }
+}
+
+/// Replays recording bytes directly (the transferable-window path: a
+/// dispute resolver receives bytes, not a storage device). Accepts the
+/// longest valid prefix; tails are counted, never fatal.
+///
+/// # Errors
+///
+/// Returns [`LogError::Malformed`] only when the magic is wrong — the
+/// bytes are not a recording, as opposed to a recording that lost its
+/// tail.
+pub fn replay_bytes(bytes: &[u8]) -> Result<RecordingReplay, LogError> {
+    let mut replay = RecordingReplay::default();
+    let Some((magic, mut rest)) = bytes.split_at_checked(8) else {
+        replay.frames_truncated = u64::from(!bytes.is_empty());
+        replay.bytes_truncated = bytes.len() as u64;
+        return Ok(replay);
+    };
+    if magic != RECORDING_MAGIC {
+        return Err(LogError::Malformed("recording (magic)"));
+    }
+    replay.good_bytes = 8;
+    while !rest.is_empty() {
+        match decode_frame(rest) {
+            Some((frame, consumed)) => {
+                replay.frames.push(frame);
+                replay.good_bytes += consumed as u64;
+                rest = rest.get(consumed..).unwrap_or(&[]);
+            }
+            None => {
+                replay.frames_truncated += 1;
+                replay.bytes_truncated = rest.len() as u64;
+                break;
+            }
+        }
+    }
+    Ok(replay)
+}
+
+/// A transferable slice of a recording: every frame whose epoch falls in
+/// `[epoch_from, epoch_to]`, re-framed under the recording magic so the
+/// window is itself a complete, checksummed recording. This is the byte
+/// blob a dispute party posts as evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingWindow {
+    /// First epoch the window claims to cover (inclusive).
+    pub epoch_from: u64,
+    /// Last epoch the window claims to cover (inclusive).
+    pub epoch_to: u64,
+    /// A complete recording (magic ‖ frames) holding exactly the window's
+    /// frames.
+    pub bytes: Vec<u8>,
+}
+
+impl RecordingWindow {
+    /// Builds a window from already-replayed frames.
+    pub fn from_frames<'a>(
+        epoch_from: u64,
+        epoch_to: u64,
+        frames: impl IntoIterator<Item = &'a RecordedFrame>,
+    ) -> Self {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(RECORDING_MAGIC);
+        for f in frames {
+            bytes.extend_from_slice(&encode_frame(f.epoch, &f.entry));
+        }
+        RecordingWindow {
+            epoch_from,
+            epoch_to,
+            bytes,
+        }
+    }
+
+    /// Replays the window's own bytes. A window whose replay is torn, or
+    /// whose frames stray outside the claimed `[epoch_from, epoch_to]`, is
+    /// corrupt or dishonestly assembled; `verify` distinguishes that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when the bytes are not a recording.
+    pub fn replay(&self) -> Result<RecordingReplay, LogError> {
+        replay_bytes(&self.bytes)
+    }
+
+    /// Whether the window is internally sound: replays without a torn
+    /// tail, and every frame's epoch lies inside the claimed range. This
+    /// is the *integrity* check — it cannot prove the window is complete
+    /// (only a counterpart recording could contradict it), but a window
+    /// failing it must never be treated as probative.
+    pub fn verify(&self) -> bool {
+        match self.replay() {
+            Ok(r) => {
+                !r.torn()
+                    && r.frames
+                        .iter()
+                        .all(|f| (self.epoch_from..=self.epoch_to).contains(&f.epoch))
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Counters a [`Recorder`] keeps; failures are visible, never fatal.
+#[derive(Debug, Default)]
+struct RecorderCounters {
+    frames: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Records encoded entries (with the epoch in force) into one file of a
+/// [`Storage`] backend. Cloneable-by-`Arc`; safe to share across the
+/// server thread and epoch-sealing callers.
+#[derive(Debug)]
+pub struct Recorder {
+    storage: Arc<dyn Storage>,
+    name: String,
+    epoch: AtomicU64,
+    sync_every: u64,
+    since_sync: AtomicU64,
+    counters: RecorderCounters,
+}
+
+impl Recorder {
+    /// Binds a recorder to `name` on `storage`, starting at epoch 0 and
+    /// syncing every 32 frames. Nothing is touched until the first record.
+    pub fn new(storage: Arc<dyn Storage>, name: impl Into<String>) -> Self {
+        Recorder {
+            storage,
+            name: name.into(),
+            epoch: AtomicU64::new(0),
+            sync_every: 32,
+            since_sync: AtomicU64::new(0),
+            counters: RecorderCounters::default(),
+        }
+    }
+
+    /// Sets the sync cadence: `0` never syncs automatically (callers sync
+    /// explicitly), `1` syncs every frame.
+    pub fn with_sync_every(mut self, frames: u64) -> Self {
+        self.sync_every = frames;
+        self
+    }
+
+    /// The file name this recording occupies.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the epoch subsequently recorded frames are tagged with (driven
+    /// by epoch sealing).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// The epoch currently in force.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Frames successfully recorded.
+    pub fn frames_recorded(&self) -> u64 {
+        self.counters.frames.load(Ordering::SeqCst)
+    }
+
+    /// Append/sync failures (counted; the deposit they shadowed was not
+    /// affected).
+    pub fn failures(&self) -> u64 {
+        self.counters.failed.load(Ordering::SeqCst)
+    }
+
+    /// Records one encoded entry under the current epoch. Device failures
+    /// are counted, never propagated: recording must not take down the
+    /// deposit path it observes.
+    pub fn record(&self, encoded: &[u8]) {
+        let frame = encode_frame(self.epoch(), encoded);
+        let write = (|| -> Result<(), LogError> {
+            let existing = self.storage.size_of(&self.name)?.unwrap_or(0);
+            if existing == 0 {
+                let mut first = Vec::with_capacity(8 + frame.len());
+                first.extend_from_slice(RECORDING_MAGIC);
+                first.extend_from_slice(&frame);
+                self.storage.append(&self.name, &first)?;
+            } else {
+                self.storage.append(&self.name, &frame)?;
+            }
+            if self.sync_every > 0 {
+                let due = self.since_sync.fetch_add(1, Ordering::SeqCst) + 1;
+                if due >= self.sync_every {
+                    self.since_sync.store(0, Ordering::SeqCst);
+                    self.storage.sync(&self.name)?;
+                }
+            }
+            Ok(())
+        })();
+        match write {
+            Ok(()) => {
+                self.counters.frames.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                self.counters.failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Makes every recorded frame durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] when the device refuses the sync.
+    pub fn sync(&self) -> Result<(), LogError> {
+        self.storage.sync(&self.name)
+    }
+
+    /// Replays the whole recording from storage (longest valid prefix;
+    /// tails counted, never fatal; a missing file is an empty recording).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] when the file is not a recording,
+    /// or [`LogError::Io`] when the device fails.
+    pub fn replay(&self) -> Result<RecordingReplay, LogError> {
+        match self.storage.read(&self.name)? {
+            Some(bytes) => replay_bytes(&bytes),
+            None => Ok(RecordingReplay::default()),
+        }
+    }
+
+    /// Extracts the transferable `[epoch_from, epoch_to]` window from this
+    /// recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for a malformed range or a file
+    /// that is not a recording, and [`LogError::Io`] on device failure.
+    pub fn extract_window(
+        &self,
+        epoch_from: u64,
+        epoch_to: u64,
+    ) -> Result<RecordingWindow, LogError> {
+        if epoch_from > epoch_to {
+            return Err(LogError::Malformed("recording window (range)"));
+        }
+        let replay = self.replay()?;
+        Ok(RecordingWindow::from_frames(
+            epoch_from,
+            epoch_to,
+            replay.window(epoch_from, epoch_to),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn mem_recorder() -> (Arc<MemStorage>, Recorder) {
+        let mem = Arc::new(MemStorage::new());
+        let rec = Recorder::new(mem.clone() as Arc<dyn Storage>, "rec").with_sync_every(1);
+        (mem, rec)
+    }
+
+    #[test]
+    fn record_replay_roundtrip_with_epochs() {
+        let (_, rec) = mem_recorder();
+        rec.record(b"entry-a");
+        rec.set_epoch(3);
+        rec.record(b"entry-b");
+        rec.record(b"entry-c");
+        let replay = rec.replay().unwrap();
+        assert_eq!(replay.frames.len(), 3);
+        assert!(!replay.torn());
+        assert_eq!(replay.frames[0].epoch, 0);
+        assert_eq!(replay.frames[1].epoch, 3);
+        assert_eq!(replay.frames[2].entry, b"entry-c");
+        assert_eq!(replay.epoch_span(), Some((0, 3)));
+        assert_eq!(rec.frames_recorded(), 3);
+        assert_eq!(rec.failures(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let (_, rec) = mem_recorder();
+        let replay = rec.replay().unwrap();
+        assert!(replay.frames.is_empty());
+        assert!(!replay.torn());
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_counted() {
+        let (mem, rec) = mem_recorder();
+        for i in 0..5u8 {
+            rec.record(&[i; 16]);
+        }
+        let full = mem.read("rec").unwrap().unwrap();
+        let frame_len = 8 + 8 + 16;
+        let cut = full.len() - frame_len / 2;
+        mem.write_replace("rec", &full[..cut]).unwrap();
+        let replay = rec.replay().unwrap();
+        assert_eq!(replay.frames.len(), 4);
+        assert_eq!(replay.frames_truncated, 1);
+        assert!(replay.torn());
+    }
+
+    #[test]
+    fn wrong_magic_is_a_hard_error() {
+        let (mem, rec) = mem_recorder();
+        mem.write_replace("rec", b"NOTAREC1rest").unwrap();
+        assert!(matches!(
+            rec.replay(),
+            Err(LogError::Malformed("recording (magic)"))
+        ));
+    }
+
+    #[test]
+    fn window_extraction_is_a_complete_recording() {
+        let (_, rec) = mem_recorder();
+        for epoch in 0..4u64 {
+            rec.set_epoch(epoch);
+            rec.record(format!("entry-{epoch}").as_bytes());
+        }
+        let window = rec.extract_window(1, 2).unwrap();
+        assert!(window.verify());
+        let replay = window.replay().unwrap();
+        assert_eq!(replay.frames.len(), 2);
+        assert!(replay.frames.iter().all(|f| (1..=2).contains(&f.epoch)));
+    }
+
+    #[test]
+    fn truncated_window_fails_verification() {
+        let (_, rec) = mem_recorder();
+        rec.set_epoch(1);
+        rec.record(b"only-frame-here");
+        let mut window = rec.extract_window(1, 1).unwrap();
+        window.bytes.truncate(window.bytes.len() - 3);
+        assert!(!window.verify());
+    }
+
+    #[test]
+    fn window_with_out_of_range_epoch_fails_verification() {
+        let frame = RecordedFrame {
+            epoch: 9,
+            entry: b"smuggled".to_vec(),
+        };
+        let window = RecordingWindow::from_frames(1, 2, [&frame]);
+        assert!(!window.verify());
+    }
+
+    #[test]
+    fn inverted_range_is_malformed() {
+        let (_, rec) = mem_recorder();
+        assert!(matches!(
+            rec.extract_window(2, 1),
+            Err(LogError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn recording_failures_are_counted_not_fatal() {
+        use crate::storage::{FaultyStorage, StorageFaultConfig};
+        let mut plan = StorageFaultConfig::none(7);
+        // size_of + append for the first record, then die.
+        plan.die_after_ops = Some(2);
+        let dev = Arc::new(FaultyStorage::new(Arc::new(MemStorage::new()), plan));
+        let rec = Recorder::new(dev as Arc<dyn Storage>, "rec").with_sync_every(0);
+        rec.record(b"ok");
+        rec.record(b"lost");
+        assert_eq!(rec.frames_recorded(), 1);
+        assert_eq!(rec.failures(), 1);
+    }
+}

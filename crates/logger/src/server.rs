@@ -95,6 +95,10 @@ pub struct LoggerHandle {
     store: LogStore,
     /// Shared with the server thread, which reads it on every append.
     sth: std::sync::Arc<parking_lot::Mutex<Option<SthAttachment>>>,
+    /// Forensic recording tap, shared with the server thread: every entry
+    /// that enters the store is also framed into the recording (failures
+    /// counted on the recorder, never fatal to the deposit).
+    recorder: std::sync::Arc<parking_lot::Mutex<Option<std::sync::Arc<crate::recording::Recorder>>>>,
 }
 
 impl LoggerHandle {
@@ -245,6 +249,20 @@ impl LoggerHandle {
         self.sth.lock().as_ref().map(|a| std::sync::Arc::clone(&a.publisher))
     }
 
+    /// Attaches a forensic [`crate::recording::Recorder`]: from now on,
+    /// every entry that enters the store (fire-and-forget, durable, or
+    /// adopted) is also framed into the recording under the recorder's
+    /// current epoch. Recording failures are counted on the recorder and
+    /// never disturb the deposit they shadow.
+    pub fn attach_recorder(&self, recorder: std::sync::Arc<crate::recording::Recorder>) {
+        *self.recorder.lock() = Some(recorder);
+    }
+
+    /// The attached recorder, for epoch bumps and window extraction.
+    pub fn recorder(&self) -> Option<std::sync::Arc<crate::recording::Recorder>> {
+        self.recorder.lock().clone()
+    }
+
     /// Seals an STH epoch on the server thread, after everything already
     /// queued ahead of this call has been applied. Returns the sealed head.
     ///
@@ -371,16 +389,20 @@ impl LogServer {
     ) -> Result<Self, LogError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let sth = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let recorder = std::sync::Arc::new(parking_lot::Mutex::new(None));
         let handle = LoggerHandle {
             tx,
             keys: keys.clone(),
             stats: stats.clone(),
             store: store.clone(),
             sth: std::sync::Arc::clone(&sth),
+            recorder: std::sync::Arc::clone(&recorder),
         };
         let worker = std::thread::Builder::new()
             .name("adlp-log-server".into())
-            .spawn(move || Self::serve(rx, keys, stats, store, durable, queue_bound.max(1), sth))
+            .spawn(move || {
+                Self::serve(rx, keys, stats, store, durable, queue_bound.max(1), sth, recorder)
+            })
             .map_err(|e| LogError::Io(format!("spawn log server: {e}")))?;
         Ok(LogServer {
             handle,
@@ -439,6 +461,7 @@ impl LogServer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn serve(
         rx: Receiver<Command>,
         keys: KeyRegistry,
@@ -447,6 +470,7 @@ impl LogServer {
         mut durable: Option<DurableLog>,
         bound: usize,
         sth: std::sync::Arc<parking_lot::Mutex<Option<SthAttachment>>>,
+        recorder: std::sync::Arc<parking_lot::Mutex<Option<std::sync::Arc<crate::recording::Recorder>>>>,
     ) {
         // The channel is only a transfer buffer: each iteration eagerly
         // drains it into an explicit bounded backlog (where admission
@@ -468,6 +492,14 @@ impl LogServer {
                     let _ = a.publisher.seal_epoch();
                     *appends_since_seal = 0;
                 }
+            }
+        };
+        // Forensic tap: every entry that entered the store is also framed
+        // into the recording (when one is attached). The recorder counts
+        // its own failures — recording never fails the deposit it shadows.
+        let record_tap = |encoded: &[u8]| {
+            if let Some(r) = recorder.lock().clone() {
+                r.record(encoded);
             }
         };
         loop {
@@ -505,6 +537,7 @@ impl LogServer {
                     match Self::append_pipeline(&mut durable, &store, &encoded) {
                         Ok(_) => {
                             stats.record(&entry.component, &entry.topic, encoded.len());
+                            record_tap(&encoded);
                             appends_since_seal += 1;
                             maybe_seal(&mut appends_since_seal);
                         }
@@ -522,11 +555,13 @@ impl LogServer {
                             // the platter: stored (indices must stay
                             // aligned) yet not acknowledged as durable.
                             stats.record(&entry.component, &entry.topic, encoded.len());
+                            record_tap(&encoded);
                             appends_since_seal += 1;
                             Err(LogError::Io("wal sync failed; entry not durable".into()))
                         }
                         Ok(_) => {
                             stats.record(&entry.component, &entry.topic, encoded.len());
+                            record_tap(&encoded);
                             appends_since_seal += 1;
                             Ok(())
                         }
@@ -544,11 +579,13 @@ impl LogServer {
                         Ok(entry) => match Self::append_pipeline(&mut durable, &store, &encoded) {
                             Ok(Appended::SyncFailed) => {
                                 stats.record(&entry.component, &entry.topic, encoded.len());
+                                record_tap(&encoded);
                                 appends_since_seal += 1;
                                 Err(LogError::Io("wal sync failed; entry not durable".into()))
                             }
                             Ok(_) => {
                                 stats.record(&entry.component, &entry.topic, encoded.len());
+                                record_tap(&encoded);
                                 appends_since_seal += 1;
                                 Ok(())
                             }
@@ -856,7 +893,16 @@ mod tests {
         drop(tx);
         let stats = LogStats::new();
         let store = LogStore::new();
-        LogServer::serve(rx, KeyRegistry::new(), stats.clone(), store.clone(), None, 4, std::sync::Arc::new(parking_lot::Mutex::new(None)));
+        LogServer::serve(
+            rx,
+            KeyRegistry::new(),
+            stats.clone(),
+            store.clone(),
+            None,
+            4,
+            std::sync::Arc::new(parking_lot::Mutex::new(None)),
+            std::sync::Arc::new(parking_lot::Mutex::new(None)),
+        );
         let snap = stats.snapshot();
         // The four oldest entries survive; the six newest are shed, counted,
         // and the backlog never exceeded its bound.

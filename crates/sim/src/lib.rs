@@ -30,12 +30,17 @@
 //! * [`witness_tcp`] — the same scenarios over real TCP sockets under a
 //!   seeded chaos proxy (DESIGN.md §3.13), plus the restart drill: a
 //!   witness killed mid-run must resume from durable state with its TOFU
-//!   anchor and cosign high-water mark intact.
+//!   anchor and cosign high-water mark intact;
+//! * [`dispute`] — dispute-chaos scenarios (DESIGN.md §3.14): contested
+//!   audit verdicts litigated through the dispute ledger with recorded
+//!   traffic as evidence, under forged evidence, bribed resolvers,
+//!   evidence-withholding claimants, and crashes mid-escalation.
 
 pub mod app;
 pub mod byzantine;
 pub mod crash;
 pub mod data;
+pub mod dispute;
 pub mod metrics;
 pub mod scenario;
 pub mod witness;

@@ -39,7 +39,10 @@ pub mod witness;
 
 pub use gossip::{WitnessNet, WitnessNetConfig};
 pub use light::{AckProbe, LightClient, WitnessedHeadSource};
-pub use proof::{Cosignature, CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
+pub use proof::{
+    decode_conviction_frame, encode_conviction_frame, Cosignature, CosignedHead, SplitViewProof,
+    SthKeyring, WitnessKeyring, SPLIT_VIEW_FRAME_MAGIC,
+};
 pub use state::{LogWitnessRecord, WitnessState};
 pub use tcp::{TcpGossipConfig, TcpWitnessFed, TcpWitnessNode};
 pub use witness::{SthObservation, TreeHeadSource, Witness};

@@ -287,6 +287,31 @@ impl LightClient {
     pub fn evidence(&self) -> Vec<SplitViewProof> {
         self.inner.lock().evidence.clone()
     }
+
+    /// Ingests a transferable conviction gossiped by the witness layer —
+    /// how a client that never saw the fork itself learns a log it uses is
+    /// convicted. The proof is re-verified under the client's own logger
+    /// keyring; a proof that does not verify is counted as a signature
+    /// failure and discarded. Returns whether the conviction was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LightClientError::BadSignature`] when the proof does not
+    /// verify under this client's keyring.
+    pub fn observe_conviction(&self, proof: SplitViewProof) -> Result<bool, LightClientError> {
+        if !proof.verify(&self.loggers) {
+            return Err(self.fail(LightClientError::BadSignature));
+        }
+        let mut inner = self.inner.lock();
+        let known = inner
+            .evidence
+            .iter()
+            .any(|p| p.log() == proof.log() && p.size() == proof.size());
+        if !known {
+            inner.evidence.push(proof);
+        }
+        Ok(!known)
+    }
 }
 
 /// A [`LightClient`] bound to the source it audits against — the hook the

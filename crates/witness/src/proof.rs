@@ -103,6 +103,29 @@ impl SplitViewProof {
     }
 }
 
+/// Magic prefix distinguishing a gossiped split-view conviction frame from
+/// a signed-tree-head frame on the witness gossip wire.
+pub const SPLIT_VIEW_FRAME_MAGIC: &[u8; 8] = b"ADLPSVP1";
+
+/// Encodes a conviction for gossip: magic prefix plus the transferable
+/// proof bytes. Peers that never saw the fork re-verify before adopting.
+pub fn encode_conviction_frame(proof: &SplitViewProof) -> Vec<u8> {
+    let mut out = SPLIT_VIEW_FRAME_MAGIC.to_vec();
+    out.extend_from_slice(&proof.encode());
+    out
+}
+
+/// Decodes a gossiped conviction frame.
+///
+/// Returns `None` when the bytes are not a conviction frame at all (no
+/// magic — the caller should try other frame types), `Some(Err(_))` when
+/// the magic matches but the proof body is malformed, and `Some(Ok(_))`
+/// for a well-formed frame. Decoding does **not** verify the proof.
+pub fn decode_conviction_frame(bytes: &[u8]) -> Option<Result<SplitViewProof, LogError>> {
+    let body = bytes.strip_prefix(SPLIT_VIEW_FRAME_MAGIC.as_slice())?;
+    Some(SplitViewProof::decode(body))
+}
+
 fn cosign_digest(witness: usize, log: &NodeId, size: u64, root: &Digest) -> Digest {
     let mut h = Sha256::new();
     h.update(b"adlp-witness/cosign");

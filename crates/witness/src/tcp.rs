@@ -28,7 +28,10 @@
 //! ephemeral port is healed by re-targeting the proxies that point at it.
 
 use crate::gossip::WitnessNetConfig;
-use crate::proof::{CosignedHead, SplitViewProof, SthKeyring, WitnessKeyring};
+use crate::proof::{
+    decode_conviction_frame, encode_conviction_frame, CosignedHead, SplitViewProof, SthKeyring,
+    WitnessKeyring,
+};
 use crate::witness::{SthObservation, TreeHeadSource, Witness};
 use adlp_crypto::rsa::{RsaKeyPair, RsaPrivateKey};
 use adlp_logger::storage::MemStorage;
@@ -77,6 +80,38 @@ impl Default for TcpGossipConfig {
             write_timeout: Duration::from_millis(500),
             settle: Duration::from_millis(40),
         }
+    }
+}
+
+impl TcpGossipConfig {
+    /// Derives a configuration sized for links with up to `latency` of
+    /// one-way delay (queueing, chaos injection, WAN hops). Every deadline
+    /// scales conservatively *up* from the default — a config tuned for a
+    /// slow link is always safe on a fast one, just less eager:
+    ///
+    /// * `settle` stretches to cover four link traversals beyond the
+    ///   default, so a round still lets delayed frames land before the
+    ///   drain;
+    /// * `dial_timeout` / `write_timeout` grow to at least eight
+    ///   traversals, so a merely-slow peer is not declared dead;
+    /// * `max_backoff` grows with the link, so redial pressure matches the
+    ///   timescale the link actually heals on.
+    pub fn for_link_latency(latency: Duration) -> Self {
+        let d = TcpGossipConfig::default();
+        TcpGossipConfig {
+            settle: d.settle + latency * 4,
+            dial_timeout: d.dial_timeout.max(latency * 8),
+            write_timeout: d.write_timeout.max(latency * 8),
+            max_backoff: d.max_backoff.max(latency * 4),
+            ..d
+        }
+    }
+
+    /// Overrides the settle window (how long a round lets frames traverse
+    /// the wire before draining).
+    pub fn with_settle(mut self, settle: Duration) -> Self {
+        self.settle = settle;
+        self
     }
 }
 
@@ -161,6 +196,9 @@ struct NodeStats {
     frames_sent: AtomicU64,
     frames_received: AtomicU64,
     send_failures: AtomicU64,
+    convictions_sent: AtomicU64,
+    convictions_ingested: AtomicU64,
+    convictions_rejected: AtomicU64,
 }
 
 /// One witness with a real TCP gossip endpoint.
@@ -264,6 +302,22 @@ impl TcpWitnessNode {
         self.stats.undecodable.load(Ordering::Relaxed)
     }
 
+    /// Conviction frames this node broadcast to peers.
+    pub fn convictions_sent(&self) -> u64 {
+        self.stats.convictions_sent.load(Ordering::Relaxed)
+    }
+
+    /// Gossiped convictions verified and newly adopted by this witness.
+    pub fn convictions_ingested(&self) -> u64 {
+        self.stats.convictions_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Conviction frames refused: malformed body, or a proof that failed
+    /// re-verification under this witness's logger keyring.
+    pub fn convictions_rejected(&self) -> u64 {
+        self.stats.convictions_rejected.load(Ordering::Relaxed)
+    }
+
     /// Pulls the next raw gossip frame from the inbound queue, if any.
     ///
     /// This is the single ingest point for TCP gossip bytes; everything it
@@ -276,25 +330,36 @@ impl TcpWitnessNode {
     }
 
     /// Poll own sources, then broadcast this node's full adopted view
-    /// (latest heads plus both halves of every conviction) to every peer.
-    /// Dead links redial through their backoff schedule; a link that
-    /// reconnects receives the full view immediately — that *is* the
-    /// re-broadcast healing, since gossip frames are idempotent.
+    /// (latest heads, both halves of every conviction, and each conviction
+    /// as an assembled transferable proof frame) to every peer. Dead links
+    /// redial through their backoff schedule; a link that reconnects
+    /// receives the full view immediately — that *is* the re-broadcast
+    /// healing, since gossip frames are idempotent.
     pub fn emit_round(&self) {
         for source in &self.sources {
             self.witness.poll(source.as_ref());
         }
-        let mut frames: Vec<Vec<u8>> = self
+        // Assembled convictions lead the round: one self-contained frame
+        // teaches a peer the conviction (after it re-verifies the proof)
+        // even if the conflicting heads themselves never reach it, and
+        // before the head replay below would re-derive it pairwise.
+        let mut frames: Vec<(Vec<u8>, bool)> = self
             .witness
-            .latest_heads()
+            .proofs()
             .iter()
-            .map(SignedTreeHead::encode)
+            .map(|p| (encode_conviction_frame(p), true))
             .collect();
+        frames.extend(
+            self.witness
+                .latest_heads()
+                .iter()
+                .map(|h| (h.encode(), false)),
+        );
         frames.extend(
             self.witness
                 .conviction_heads()
                 .iter()
-                .map(SignedTreeHead::encode),
+                .map(|h| (h.encode(), false)),
         );
         if frames.is_empty() {
             return;
@@ -323,12 +388,15 @@ impl TcpWitnessNode {
                 continue;
             };
             let mut failed = false;
-            for frame in &frames {
+            for (frame, is_conviction) in &frames {
                 if write_frame(stream, frame).is_err() {
                     failed = true;
                     break;
                 }
                 self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                if *is_conviction {
+                    self.stats.convictions_sent.fetch_add(1, Ordering::Relaxed);
+                }
             }
             if failed {
                 self.stats.send_failures.fetch_add(1, Ordering::Relaxed);
@@ -343,6 +411,26 @@ impl TcpWitnessNode {
     pub fn drain_round(&self) -> usize {
         let mut adopted = 0;
         while let Some(frame) = self.recv_gossip_frame() {
+            // Conviction frames are self-describing (magic-prefixed) and
+            // re-verified by the witness before adoption; anything else is
+            // a signed tree head.
+            if let Some(decoded) = decode_conviction_frame(&frame) {
+                match decoded {
+                    Ok(proof) => match self.witness.adopt_proof(proof) {
+                        Some(true) => {
+                            self.stats.convictions_ingested.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Some(false) => {}
+                        None => {
+                            self.stats.convictions_rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    Err(_) => {
+                        self.stats.convictions_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                continue;
+            }
             match SignedTreeHead::decode(&frame) {
                 Err(_) => {
                     self.stats.undecodable.fetch_add(1, Ordering::Relaxed);
@@ -978,5 +1066,124 @@ mod tests {
         assert!(fed.run_until_converged(12).is_some(), "rejoin converges");
         assert_eq!(fed.witnessed(&log).expect("quorum after rejoin").sth.size, 5);
         assert_eq!(fed.restarts(2), 1);
+    }
+
+    #[test]
+    fn conviction_gossip_reaches_nodes_that_never_saw_the_fork() {
+        use crate::light::{LightClient, LightClientError};
+        use crate::proof::SPLIT_VIEW_FRAME_MAGIC;
+        use adlp_crypto::rsa::RsaKeyPair;
+
+        let mut rng = StdRng::seed_from_u64(47);
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let log = NodeId::new("logger");
+        let keyring = SthKeyring::new().with_log(log.clone(), kp.public_key().clone());
+        let signer = TreeHeadSigner::new(
+            log.clone(),
+            RsaPrivateKey::from_bytes(&kp.private_key().to_bytes()).unwrap(),
+        );
+        let config = WitnessNetConfig::new(1).with_seed(47);
+        let n = config.witnesses;
+        let fed = TcpWitnessFed::spawn(
+            config,
+            TcpGossipConfig::default(),
+            ChaosConfig::seeded(47),
+            keyring.clone(),
+            (0..n).map(|_| Vec::new()).collect(),
+        )
+        .unwrap();
+
+        // Only witness 0 ever sees the two conflicting heads; everyone
+        // else must learn the conviction from the gossiped proof frame.
+        let a = signer.sign(0, 4, adlp_crypto::sha256(b"a")).unwrap();
+        let b = signer.sign(1, 4, adlp_crypto::sha256(b"b")).unwrap();
+        let w0 = fed.witness(0).unwrap();
+        assert_eq!(w0.adopt_head(a, None), SthObservation::Adopted);
+        assert!(matches!(w0.adopt_head(b, None), SthObservation::SplitView(_)));
+
+        for _ in 0..4 {
+            fed.round();
+        }
+        for w in 0..n {
+            let proofs = fed.witness(w).unwrap().proofs();
+            assert_eq!(proofs.len(), 1, "witness {w} holds the conviction");
+            assert!(proofs[0].verify(&keyring), "conviction stays transferable");
+        }
+        assert!(fed.node(0).unwrap().convictions_sent() >= 1);
+        assert!((1..n).any(|w| fed.node(w).unwrap().convictions_ingested() >= 1));
+
+        // A light client that never observed either head learns it too.
+        let client = LightClient::new(keyring.clone());
+        let proof = fed.witness(n - 1).unwrap().proofs().remove(0);
+        assert_eq!(client.observe_conviction(proof.clone()), Ok(true));
+        assert_eq!(client.observe_conviction(proof), Ok(false), "dedup");
+        assert_eq!(client.evidence().len(), 1);
+
+        // A forged conviction — right shape, imposter key — is refused by
+        // every ingest path, as is an outright-garbage conviction frame.
+        let imposter = TreeHeadSigner::new(
+            log.clone(),
+            RsaKeyPair::generate(512, &mut rng).into_private_key(),
+        );
+        let forged = SplitViewProof {
+            first: imposter.sign(0, 9, adlp_crypto::sha256(b"fa")).unwrap(),
+            second: imposter.sign(1, 9, adlp_crypto::sha256(b"fb")).unwrap(),
+        };
+        assert_eq!(
+            client.observe_conviction(forged.clone()),
+            Err(LightClientError::BadSignature)
+        );
+        let rejected = |fed: &TcpWitnessFed| -> u64 {
+            (0..n)
+                .map(|w| fed.node(w).unwrap().convictions_rejected())
+                .sum()
+        };
+        let before = rejected(&fed);
+        fed.inject(0, &encode_conviction_frame(&forged));
+        let mut garbage = SPLIT_VIEW_FRAME_MAGIC.to_vec();
+        garbage.extend_from_slice(b"not a proof");
+        fed.inject(0, &garbage);
+        for _ in 0..4 {
+            fed.round();
+        }
+        assert!(rejected(&fed) > before, "injected frames counted as rejected");
+        for w in 0..n {
+            assert_eq!(
+                fed.witness(w).unwrap().proofs().len(),
+                1,
+                "forgeries never become convictions"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_settle_window_converges_at_ten_times_default_latency() {
+        // Every chunk on every link is delayed by up to 10× the default
+        // chaos latency bound — far beyond the default 40ms settle window.
+        let latency = Duration::from_millis(200);
+        let tcp = TcpGossipConfig::for_link_latency(latency);
+        assert_eq!(tcp.settle, Duration::from_millis(840));
+        assert!(tcp.dial_timeout >= latency * 8);
+        assert!(tcp.write_timeout >= latency * 8);
+        assert!(tcp.max_backoff >= latency * 4);
+        // The builder override composes with the derived config.
+        assert_eq!(
+            tcp.clone().with_settle(Duration::from_millis(900)).settle,
+            Duration::from_millis(900)
+        );
+
+        let (keyring, _store, publisher) = logger_setup(53);
+        let config = WitnessNetConfig::new(1).with_seed(53);
+        let n = config.witnesses;
+        let chaos = ChaosConfig::seeded(53).with_delay(1.0, latency);
+        let fed =
+            TcpWitnessFed::spawn(config, tcp, chaos, keyring.clone(), honest_sources(n, &publisher))
+                .unwrap();
+        assert!(
+            fed.run_until_converged(6).is_some(),
+            "federation converges despite 10× link latency"
+        );
+        let witnessed = fed.witnessed(&NodeId::new("logger")).expect("quorum");
+        assert_eq!(witnessed.sth.size, 4);
     }
 }

@@ -443,6 +443,37 @@ impl Witness {
         self.inner.lock().proofs.clone()
     }
 
+    /// Adopts a transferable conviction assembled elsewhere — the gossip
+    /// ingest for re-broadcast split-view proofs. The proof is re-verified
+    /// under this witness's logger keyring before anything is stored:
+    /// `None` means rejected (counted), `Some(false)` a duplicate, and
+    /// `Some(true)` a newly-learned conviction (persisted best-effort,
+    /// like the locally-assembled kind).
+    pub fn adopt_proof(&self, proof: SplitViewProof) -> Option<bool> {
+        if !proof.verify(&self.loggers) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let already = inner
+            .proofs
+            .iter()
+            .any(|p| p.log() == proof.log() && p.size() == proof.size());
+        if already {
+            return Some(false);
+        }
+        inner.proofs.push(proof);
+        if let Some((storage, name)) = inner.binding.clone() {
+            if storage
+                .write_replace(&name, &durable_snapshot(&inner).encode())
+                .is_err()
+            {
+                self.state_persist_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Some(true)
+    }
+
     /// Both halves of every conviction, for gossiping onward: peers
     /// re-derive the conviction from the conflicting heads themselves.
     pub fn conviction_heads(&self) -> Vec<SignedTreeHead> {
