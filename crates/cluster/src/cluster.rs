@@ -608,9 +608,15 @@ impl LoggerCluster {
     /// undersized sealing key).
     pub fn seal_epoch(&self, sealing_key: &RsaPrivateKey) -> Result<EpochSeal, LogError> {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        // Entries recorded from here on belong to the new epoch, so a
-        // dispute window `[e, e]` covers exactly the traffic between seal
-        // `e-1` and seal `e`.
+        // Entries recorded from here on belong to the new epoch. The
+        // recorder bump is best-effort with respect to concurrent
+        // deposits: replica server threads keep depositing while we walk
+        // the recorders, so an entry landing in that window may still be
+        // tagged with the old epoch even though it follows the seal
+        // logically. A dispute window `[e, e]` therefore covers the
+        // traffic between seal `e-1` and seal `e` up to that seal-edge
+        // skew; quiesce deposits around the seal when an exact epoch
+        // boundary matters forensically.
         for rec in self.recorders.lock().iter().flatten() {
             rec.set_epoch(epoch);
         }

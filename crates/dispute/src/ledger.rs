@@ -21,8 +21,12 @@
 //! ledger state is re-encoded and [`Storage::write_replace`]d before the
 //! call returns `Ok`, so a crash at any point between calls resumes from
 //! exactly the last acknowledged state ([`DisputeLedger::bind_storage`]).
-//! A finalized dispute yields a [`ResolutionProof`] — the full signed vote
-//! set — verifiable by any third party holding the resolver keyring.
+//! A finalized dispute yields a [`ResolutionProof`] — the contested claim
+//! plus the full signed vote set — verifiable by any third party holding
+//! the resolver keyring. Every vote is signed over the ledger instance,
+//! the dispute id, **and a digest of the claim itself**, so a proof's
+//! votes cannot be re-presented under a different claim (or another
+//! ledger's same-numbered dispute) and still verify.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -34,7 +38,7 @@ use adlp_logger::{KeyRegistry, LogError, Storage};
 use adlp_pubsub::NodeId;
 
 use crate::evidence::{evidence_set_digest, SignedEvidence};
-use crate::resolver::{ResolverKeyring, SignedVote, Vote};
+use crate::resolver::{claim_digest, ResolverKeyring, SignedVote, Vote};
 
 /// Storage file the ledger persists its full state under.
 pub const DISPUTE_STATE_FILE: &str = "dispute-ledger";
@@ -110,8 +114,15 @@ impl Outcome {
 /// Ledger policy knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct DisputeConfig {
+    /// Identifier of this ledger instance. Dispute ids are ledger-local
+    /// sequence numbers; the instance id goes under every vote signature
+    /// so votes (and [`ResolutionProof`]s) from one ledger can never be
+    /// replayed against another ledger's same-numbered dispute. Deployments
+    /// running several ledgers under one resolver keyring must give each a
+    /// distinct instance.
+    pub instance: u64,
     /// Stake the claimant posts to open (round 0); each escalation to
-    /// round *r* costs `base_stake << r`.
+    /// round *r* costs `base_stake << r` (saturating at `u64::MAX`).
     pub base_stake: u64,
     /// Panel size at round 0. Must be odd.
     pub initial_panel: usize,
@@ -125,6 +136,7 @@ pub struct DisputeConfig {
 impl Default for DisputeConfig {
     fn default() -> Self {
         DisputeConfig {
+            instance: 0,
             base_stake: 16,
             initial_panel: 3,
             escalation_step: 2,
@@ -324,6 +336,9 @@ impl Dispute {
 /// over, a resolution needs no trusted narrator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResolutionProof {
+    /// The ledger instance the dispute was fought on
+    /// ([`DisputeConfig::instance`]).
+    pub instance: u64,
     /// The dispute settled.
     pub dispute: u64,
     /// The conviction that was contested.
@@ -339,18 +354,22 @@ pub struct ResolutionProof {
 impl ResolutionProof {
     /// Verifies the resolution: an odd number of votes from distinct
     /// resolvers, all signatures valid under `keyring`, all bound to this
-    /// dispute and one evidence set, and the claimed outcome held by a
-    /// strict supermajority. A "resolution" failing any of it proves
-    /// nothing.
+    /// instance, this dispute, **a digest of this proof's own `claim`**
+    /// (recomputed here, so swapping the claim breaks every vote), and one
+    /// evidence set, with the claimed outcome held by a strict
+    /// supermajority. A "resolution" failing any of it proves nothing.
     pub fn verify(&self, keyring: &ResolverKeyring) -> bool {
         if self.votes.is_empty() || self.votes.len().is_multiple_of(2) {
             return false;
         }
+        let expected_claim = claim_digest(&self.claim);
         let mut resolvers = BTreeSet::new();
         let evidence_digest = &self.votes[0].evidence_digest;
         for vote in &self.votes {
-            if vote.dispute != self.dispute
+            if vote.instance != self.instance
+                || vote.dispute != self.dispute
                 || u64::from(vote.round) >= u64::from(self.rounds)
+                || vote.claim_digest != expected_claim
                 || &vote.evidence_digest != evidence_digest
                 || !resolvers.insert(vote.resolver.clone())
                 || !keyring.verify(vote)
@@ -372,6 +391,7 @@ impl ResolutionProof {
     /// Serializes the resolution.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256);
+        write_uvarint(&mut out, self.instance);
         write_uvarint(&mut out, self.dispute);
         write_bytes(&mut out, &self.claim.encode());
         out.push(self.outcome.byte());
@@ -390,6 +410,7 @@ impl ResolutionProof {
     /// Returns [`LogError::Malformed`] on truncated or invalid bytes.
     pub fn decode(bytes: &[u8]) -> Result<Self, LogError> {
         let mut input = bytes;
+        let instance = read_uvarint(&mut input)?;
         let dispute = read_uvarint(&mut input)?;
         let mut claim_bytes = read_bytes(&mut input)?;
         let claim = ContestedVerdict::decode(&mut claim_bytes)?;
@@ -407,6 +428,7 @@ impl ResolutionProof {
             votes.push(SignedVote::decode(&mut vote_bytes)?);
         }
         Ok(ResolutionProof {
+            instance,
             dispute,
             claim,
             outcome,
@@ -507,9 +529,20 @@ impl DisputeLedger {
         self.disputes.keys().copied().collect()
     }
 
-    /// Stake required to open (round 0) or escalate to `round`.
+    /// Stake required to open (round 0) or escalate to `round`. Saturates
+    /// at `u64::MAX` instead of overflowing, so under an unbounded
+    /// `max_rounds` late escalations stay unboundedly expensive rather
+    /// than wrapping to free.
     pub fn required_stake(&self, round: u32) -> u64 {
-        self.config.base_stake << round.min(63)
+        if round >= 64 {
+            return if self.config.base_stake == 0 { 0 } else { u64::MAX };
+        }
+        let shifted = self.config.base_stake << round;
+        if shifted >> round != self.config.base_stake {
+            u64::MAX
+        } else {
+            shifted
+        }
     }
 
     /// Opens a dispute contesting `claim`. The claimant posts the round-0
@@ -629,7 +662,8 @@ impl DisputeLedger {
     /// Ingests one signed vote. Rejected (and counted) unless the dispute
     /// is evaluating, the resolver sits on the panel for exactly
     /// `vote.round`, has not voted before, the signature verifies, and the
-    /// vote is bound to the frozen evidence set's digest.
+    /// vote is bound to this ledger instance, the dispute's claim digest,
+    /// and the frozen evidence set's digest.
     ///
     /// Returns the dispute's phase after the vote: [`Phase::Finalizing`]
     /// once a supermajority holds, [`Phase::Evaluating`] otherwise (a
@@ -648,9 +682,13 @@ impl DisputeLedger {
             self.counters.votes_rejected += 1;
             return Err(LogError::Malformed("dispute vote (phase)"));
         }
-        if vote.dispute != id {
+        if vote.instance != self.config.instance || vote.dispute != id {
             self.counters.votes_rejected += 1;
             return Err(LogError::Malformed("dispute vote (binding)"));
+        }
+        if vote.claim_digest != claim_digest(&dispute.claim) {
+            self.counters.votes_rejected += 1;
+            return Err(LogError::Malformed("dispute vote (claim digest)"));
         }
         if !dispute
             .panel
@@ -779,6 +817,7 @@ impl DisputeLedger {
         let dispute = self.disputes.get(&id)?;
         let outcome = dispute.outcome?;
         (dispute.phase == Phase::Finalized).then(|| ResolutionProof {
+            instance: self.config.instance,
             dispute: id,
             claim: dispute.claim.clone(),
             outcome,
@@ -932,10 +971,12 @@ mod tests {
     }
 
     fn vote_all(b: &mut Bench, id: u64, panel: &[NodeId], round: u32, vote: Vote) -> Phase {
-        let evidence = b.ledger.dispute(id).unwrap().evidence.clone();
-        let mut phase = b.ledger.dispute(id).unwrap().phase;
+        let dispute = b.ledger.dispute(id).unwrap().clone();
+        let mut phase = dispute.phase;
         for r in panel {
-            let signed = b.resolvers[r].cast(id, round, vote, &evidence).unwrap();
+            let signed = b.resolvers[r]
+                .cast(0, id, round, vote, &dispute.claim, &dispute.evidence)
+                .unwrap();
             phase = b.ledger.submit_vote(id, signed).unwrap();
         }
         phase
@@ -973,11 +1014,13 @@ mod tests {
 
         // 2–1: complete round, no strict supermajority (6 > 6 fails).
         let phase = {
-            let evidence = b.ledger.dispute(id).unwrap().evidence.clone();
+            let dispute = b.ledger.dispute(id).unwrap().clone();
             let mut phase = Phase::Evaluating;
             for (i, r) in panel.iter().enumerate() {
                 let v = if i == 0 { Vote::Overturn } else { Vote::Uphold };
-                let signed = b.resolvers[r].cast(id, 0, v, &evidence).unwrap();
+                let signed = b.resolvers[r]
+                    .cast(0, id, 0, v, &dispute.claim, &dispute.evidence)
+                    .unwrap();
                 phase = b.ledger.submit_vote(id, signed).unwrap();
             }
             phase
@@ -1043,22 +1086,39 @@ mod tests {
             .submit_evidence(id, recording_evidence(&b, id, 0))
             .is_err());
 
-        // Votes: non-panelist resolver key, duplicate, stale digest.
-        let evidence = b.ledger.dispute(id).unwrap().evidence.clone();
+        // Votes: duplicate, stale digest, wrong round, wrong claim, wrong
+        // ledger instance.
+        let dispute = b.ledger.dispute(id).unwrap().clone();
         let first = &panel[0];
-        let good = b.resolvers[first].cast(id, 0, Vote::Uphold, &evidence).unwrap();
+        let good = b.resolvers[first]
+            .cast(0, id, 0, Vote::Uphold, &dispute.claim, &dispute.evidence)
+            .unwrap();
         b.ledger.submit_vote(id, good.clone()).unwrap();
         assert!(b.ledger.submit_vote(id, good).is_err()); // duplicate
         let mut stale = b.resolvers[&panel[1]]
-            .cast(id, 0, Vote::Uphold, &evidence)
+            .cast(0, id, 0, Vote::Uphold, &dispute.claim, &dispute.evidence)
             .unwrap();
         stale.evidence_digest = adlp_crypto::sha256(b"different set");
         assert!(b.ledger.submit_vote(id, stale).is_err()); // digest + signature break
         let wrong_round = b.resolvers[&panel[1]]
-            .cast(id, 3, Vote::Uphold, &evidence)
+            .cast(0, id, 3, Vote::Uphold, &dispute.claim, &dispute.evidence)
             .unwrap();
         assert!(b.ledger.submit_vote(id, wrong_round).is_err());
-        assert_eq!(b.ledger.counters().votes_rejected, 3);
+        // Honestly signed, but over a different claim than the dispute's.
+        let other_claim = ContestedVerdict::SplitView {
+            log: NodeId::new("logger-b"),
+            size: 9,
+        };
+        let wrong_claim = b.resolvers[&panel[1]]
+            .cast(0, id, 0, Vote::Uphold, &other_claim, &dispute.evidence)
+            .unwrap();
+        assert!(b.ledger.submit_vote(id, wrong_claim).is_err());
+        // Honestly signed, but on another ledger instance.
+        let wrong_instance = b.resolvers[&panel[1]]
+            .cast(5, id, 0, Vote::Uphold, &dispute.claim, &dispute.evidence)
+            .unwrap();
+        assert!(b.ledger.submit_vote(id, wrong_instance).is_err());
+        assert_eq!(b.ledger.counters().votes_rejected, 5);
         assert_eq!(b.ledger.counters().votes_accepted, 1);
     }
 
@@ -1082,10 +1142,12 @@ mod tests {
             .submit_evidence(id, recording_evidence(&b, id, 0))
             .unwrap();
         let panel = b.ledger.convene(id).unwrap();
-        let evidence = b.ledger.dispute(id).unwrap().evidence.clone();
+        let dispute = b.ledger.dispute(id).unwrap().clone();
         for (i, r) in panel.iter().enumerate() {
             let v = if i == 0 { Vote::Overturn } else { Vote::Uphold };
-            let signed = b.resolvers[r].cast(id, 0, v, &evidence).unwrap();
+            let signed = b.resolvers[r]
+                .cast(0, id, 0, v, &dispute.claim, &dispute.evidence)
+                .unwrap();
             b.ledger.submit_vote(id, signed).unwrap();
         }
         let added = b.ledger.escalate(id, b.claimant.clone()).unwrap();
@@ -1108,7 +1170,9 @@ mod tests {
 
         // The escalated round concludes on the resumed ledger.
         for r in &added {
-            let signed = b.resolvers[r].cast(id, 1, Vote::Uphold, &evidence).unwrap();
+            let signed = b.resolvers[r]
+                .cast(0, id, 1, Vote::Uphold, &dispute.claim, &dispute.evidence)
+                .unwrap();
             resumed.submit_vote(id, signed).unwrap();
         }
         let proof = resumed.finalize(id).unwrap();
@@ -1134,6 +1198,19 @@ mod tests {
         let mut flipped = proof.clone();
         flipped.outcome = Outcome::Overturned;
         assert!(!flipped.verify(&b.keyring));
+        // A swapped claim breaks every vote's claim-digest binding: a
+        // genuine settled proof cannot be re-presented as settling some
+        // other conviction.
+        let mut swapped = proof.clone();
+        swapped.claim = ContestedVerdict::SplitView {
+            log: NodeId::new("some-other-logger"),
+            size: 999,
+        };
+        assert!(!swapped.verify(&b.keyring));
+        // A re-homed instance breaks the votes' ledger binding.
+        let mut rehomed = proof.clone();
+        rehomed.instance = 42;
+        assert!(!rehomed.verify(&b.keyring));
         // An even vote set proves nothing.
         let mut even = proof.clone();
         even.votes.pop();
@@ -1148,6 +1225,54 @@ mod tests {
     }
 
     #[test]
+    fn votes_do_not_transfer_across_ledger_instances() {
+        // Two ledgers share a resolver pool but run as distinct instances;
+        // their same-numbered disputes even contest the same claim. Votes
+        // settled on instance A must not assemble into a proof that
+        // verifies as instance B's dispute (or vice versa).
+        let mut a = bench(3, 38);
+        let config_b = DisputeConfig {
+            instance: 1,
+            ..DisputeConfig::default()
+        };
+        let mut ledger_b = DisputeLedger::new(config_b).with_resolvers(a.keyring.clone());
+        let id_b = ledger_b.open(a.claimant.clone(), claim()).unwrap();
+        ledger_b.convene(id_b).unwrap();
+
+        let id = a.ledger.open(a.claimant.clone(), claim()).unwrap();
+        let panel = a.ledger.convene(id).unwrap();
+        assert_eq!(id, id_b, "the attack needs colliding ledger-local ids");
+        vote_all(&mut a, id, &panel, 0, Vote::Uphold);
+        let proof = a.ledger.finalize(id).unwrap();
+        assert!(proof.verify(&a.keyring));
+
+        // Instance A's votes are rejected by ledger B's ingest...
+        let stray = proof.votes[0].clone();
+        assert!(ledger_b.submit_vote(id_b, stray).is_err());
+        // ...and a proof claiming they settled instance B does not verify.
+        let mut transplanted = proof.clone();
+        transplanted.instance = 1;
+        assert!(!transplanted.verify(&a.keyring));
+    }
+
+    #[test]
+    fn required_stake_saturates_instead_of_overflowing() {
+        let b = bench(3, 39);
+        assert_eq!(b.ledger.required_stake(0), 16);
+        assert_eq!(b.ledger.required_stake(3), 128);
+        // base 16 = 2^4: the shift runs out of bits at round 60.
+        assert_eq!(b.ledger.required_stake(59), 16u64 << 59);
+        assert_eq!(b.ledger.required_stake(60), u64::MAX);
+        assert_eq!(b.ledger.required_stake(64), u64::MAX);
+        assert_eq!(b.ledger.required_stake(u32::MAX), u64::MAX);
+        let free = DisputeLedger::new(DisputeConfig {
+            base_stake: 0,
+            ..DisputeConfig::default()
+        });
+        assert_eq!(free.required_stake(u32::MAX), 0);
+    }
+
+    #[test]
     fn dispute_state_roundtrips() {
         let mut b = bench(5, 37);
         let id = b.ledger.open(b.claimant.clone(), claim()).unwrap();
@@ -1155,9 +1280,9 @@ mod tests {
             .submit_evidence(id, recording_evidence(&b, id, 0))
             .unwrap();
         let panel = b.ledger.convene(id).unwrap();
-        let evidence = b.ledger.dispute(id).unwrap().evidence.clone();
+        let dispute = b.ledger.dispute(id).unwrap().clone();
         let signed = b.resolvers[&panel[0]]
-            .cast(id, 0, Vote::Overturn, &evidence)
+            .cast(0, id, 0, Vote::Overturn, &dispute.claim, &dispute.evidence)
             .unwrap();
         b.ledger.submit_vote(id, signed).unwrap();
 

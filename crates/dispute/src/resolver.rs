@@ -15,8 +15,11 @@
 //!   anything.
 //!
 //! Every decision is a [`SignedVote`]: domain-separated, bound to the
-//! dispute, the round, and a digest of the exact evidence set judged — as
-//! transferable as the proofs it rules on.
+//! ledger instance, the dispute, the round, a digest of the exact claim
+//! judged, and a digest of the exact evidence set judged — as
+//! transferable as the proofs it rules on. Binding the claim digest is
+//! what makes a [`crate::ResolutionProof`] non-reusable: a vote cast on
+//! one contested verdict can never be presented as settling another.
 
 use std::collections::BTreeMap;
 
@@ -60,20 +63,31 @@ impl Vote {
     }
 }
 
+/// Digest of an encoded contested verdict: the claim binding every vote
+/// (and every [`crate::ResolutionProof`] check) goes through.
+pub fn claim_digest(claim: &ContestedVerdict) -> Digest {
+    adlp_crypto::sha256(&claim.encode())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn vote_digest(
+    instance: u64,
     resolver: &NodeId,
     dispute: u64,
     round: u32,
     vote: Vote,
+    claim_digest: &Digest,
     evidence_digest: &Digest,
 ) -> Digest {
     let mut h = Sha256::new();
     h.update(VOTE_DOMAIN);
-    let mut buf = Vec::with_capacity(64);
+    let mut buf = Vec::with_capacity(128);
+    write_uvarint(&mut buf, instance);
     write_str(&mut buf, resolver.as_str());
     write_uvarint(&mut buf, dispute);
     write_uvarint(&mut buf, u64::from(round));
     buf.push(vote.byte());
+    buf.extend_from_slice(claim_digest.as_bytes());
     buf.extend_from_slice(evidence_digest.as_bytes());
     h.update(&buf);
     h.finalize()
@@ -84,12 +98,20 @@ fn vote_digest(
 pub struct SignedVote {
     /// The voting resolver.
     pub resolver: NodeId,
+    /// The ledger instance the dispute lives on
+    /// ([`crate::DisputeConfig::instance`]); dispute ids are ledger-local
+    /// sequence numbers, so without this a vote could be replayed against
+    /// another ledger's same-numbered dispute.
+    pub instance: u64,
     /// The dispute voted on.
     pub dispute: u64,
     /// The escalation round the resolver joined in.
     pub round: u32,
     /// The verdict.
     pub vote: Vote,
+    /// Digest of the exact contested verdict judged ([`claim_digest`]); a
+    /// vote cannot be presented as settling a different claim.
+    pub claim_digest: Digest,
     /// Digest of the exact evidence set the resolver judged
     /// ([`evidence_set_digest`]); a vote cannot be replayed against a
     /// different set.
@@ -102,10 +124,12 @@ impl SignedVote {
     /// Verifies the vote against the resolver's public key.
     pub fn verify(&self, key: &RsaPublicKey) -> bool {
         let digest = vote_digest(
+            self.instance,
             &self.resolver,
             self.dispute,
             self.round,
             self.vote,
+            &self.claim_digest,
             &self.evidence_digest,
         );
         pkcs1::verify_digest(key, &digest, &self.signature)
@@ -113,11 +137,13 @@ impl SignedVote {
 
     /// Serializes the vote.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128);
+        let mut out = Vec::with_capacity(160);
         write_str(&mut out, self.resolver.as_str());
+        write_uvarint(&mut out, self.instance);
         write_uvarint(&mut out, self.dispute);
         write_uvarint(&mut out, u64::from(self.round));
         out.push(self.vote.byte());
+        out.extend_from_slice(self.claim_digest.as_bytes());
         out.extend_from_slice(self.evidence_digest.as_bytes());
         write_bytes(&mut out, self.signature.as_bytes());
         out
@@ -130,29 +156,36 @@ impl SignedVote {
     /// Returns [`LogError::Malformed`] on truncated bytes.
     pub fn decode(input: &mut &[u8]) -> Result<Self, LogError> {
         let resolver = NodeId::new(read_str(input)?);
+        let instance = read_uvarint(input)?;
         let dispute = read_uvarint(input)?;
         let round = u32::try_from(read_uvarint(input)?)
             .map_err(|_| LogError::Malformed("vote (round)"))?;
         let (&v, rest) = input.split_first().ok_or(LogError::Malformed("vote (value)"))?;
         *input = rest;
         let vote = Vote::from_byte(v)?;
-        if input.len() < 32 {
-            return Err(LogError::Malformed("vote (evidence digest)"));
-        }
-        let (digest_bytes, rest) = input.split_at(32);
-        *input = rest;
-        let evidence_digest = Digest::from_slice(digest_bytes)
-            .ok_or(LogError::Malformed("vote (evidence digest)"))?;
+        let claim_digest = read_digest(input, "vote (claim digest)")?;
+        let evidence_digest = read_digest(input, "vote (evidence digest)")?;
         let signature = Signature::from_bytes(read_bytes(input)?.to_vec());
         Ok(SignedVote {
             resolver,
+            instance,
             dispute,
             round,
             vote,
+            claim_digest,
             evidence_digest,
             signature,
         })
     }
+}
+
+fn read_digest(input: &mut &[u8], what: &'static str) -> Result<Digest, LogError> {
+    if input.len() < 32 {
+        return Err(LogError::Malformed(what));
+    }
+    let (digest_bytes, rest) = input.split_at(32);
+    *input = rest;
+    Digest::from_slice(digest_bytes).ok_or(LogError::Malformed(what))
 }
 
 /// The resolver identities and public keys a ledger (or any third party)
@@ -327,30 +360,44 @@ impl Resolver {
         }
     }
 
-    /// Signs a vote for `dispute`/`round` over the given evidence set.
-    /// Exposed separately from [`Resolver::judge`] so a simulation can
-    /// model a bribed resolver casting a vote its own evaluation does not
-    /// support — the protocol tolerates that; it does not prevent it.
+    /// Signs a vote for `dispute`/`round` on ledger `instance`, bound to
+    /// the exact claim and evidence set judged. Exposed separately from
+    /// [`Resolver::judge`] so a simulation can model a bribed resolver
+    /// casting a vote its own evaluation does not support — the protocol
+    /// tolerates that; it does not prevent it.
     ///
     /// # Errors
     ///
     /// Returns [`LogError::Malformed`] if signing fails.
     pub fn cast(
         &self,
+        instance: u64,
         dispute: u64,
         round: u32,
         vote: Vote,
+        claim: &ContestedVerdict,
         evidence: &[SignedEvidence],
     ) -> Result<SignedVote, LogError> {
+        let claim_digest = claim_digest(claim);
         let evidence_digest = evidence_set_digest(evidence);
-        let digest = vote_digest(&self.id, dispute, round, vote, &evidence_digest);
+        let digest = vote_digest(
+            instance,
+            &self.id,
+            dispute,
+            round,
+            vote,
+            &claim_digest,
+            &evidence_digest,
+        );
         let signature = pkcs1::sign_digest(&self.key, &digest)
             .map_err(|_| LogError::Malformed("vote (signing)"))?;
         Ok(SignedVote {
             resolver: self.id.clone(),
+            instance,
             dispute,
             round,
             vote,
+            claim_digest,
             evidence_digest,
             signature,
         })
@@ -364,6 +411,7 @@ impl Resolver {
     /// Returns [`LogError::Malformed`] if signing fails.
     pub fn judge(
         &self,
+        instance: u64,
         dispute: u64,
         round: u32,
         claim: &ContestedVerdict,
@@ -371,7 +419,7 @@ impl Resolver {
         ctx: &ResolverContext,
     ) -> Result<SignedVote, LogError> {
         let vote = Self::evaluate(claim, evidence, ctx);
-        self.cast(dispute, round, vote, evidence)
+        self.cast(instance, dispute, round, vote, claim, evidence)
     }
 }
 
@@ -386,13 +434,20 @@ mod tests {
         ResolverContext::new(ReplayContext::new(KeyRegistry::new()))
     }
 
+    fn claim() -> ContestedVerdict {
+        ContestedVerdict::SplitView {
+            log: NodeId::new("logger-a"),
+            size: 5,
+        }
+    }
+
     #[test]
     fn vote_roundtrips_and_verifies() {
         let mut rng = StdRng::seed_from_u64(21);
         let pair = RsaKeyPair::generate(512, &mut rng);
         let public = pair.public_key().clone();
         let resolver = Resolver::new(NodeId::new("resolver-0"), pair.into_private_key());
-        let vote = resolver.cast(9, 1, Vote::Overturn, &[]).unwrap();
+        let vote = resolver.cast(0, 9, 1, Vote::Overturn, &claim(), &[]).unwrap();
         assert!(vote.verify(&public));
 
         let keyring =
@@ -417,22 +472,34 @@ mod tests {
         let pair = RsaKeyPair::generate(512, &mut rng);
         let public = pair.public_key().clone();
         let resolver = Resolver::new(NodeId::new("resolver-0"), pair.into_private_key());
-        let mut vote = resolver.cast(9, 0, Vote::Uphold, &[]).unwrap();
+        let mut vote = resolver.cast(7, 9, 0, Vote::Uphold, &claim(), &[]).unwrap();
 
         // Unknown resolver: empty keyring.
         assert!(!ResolverKeyring::new().verify(&vote));
 
-        // Rebinding the vote to another dispute or round breaks it.
+        // Rebinding the vote to another ledger instance, dispute, round,
+        // claim, or verdict breaks it.
         let keyring =
             ResolverKeyring::new().with_resolver(NodeId::new("resolver-0"), public.clone());
+        vote.instance = 8;
+        assert!(!keyring.verify(&vote));
+        vote.instance = 7;
         vote.dispute = 10;
         assert!(!keyring.verify(&vote));
         vote.dispute = 9;
         vote.round = 3;
         assert!(!keyring.verify(&vote));
         vote.round = 0;
+        vote.claim_digest = claim_digest(&ContestedVerdict::SplitView {
+            log: NodeId::new("logger-b"),
+            size: 5,
+        });
+        assert!(!keyring.verify(&vote));
+        vote.claim_digest = claim_digest(&claim());
         vote.vote = Vote::Overturn;
         assert!(!keyring.verify(&vote));
+        vote.vote = Vote::Uphold;
+        assert!(keyring.verify(&vote), "restored binding verifies again");
     }
 
     #[test]

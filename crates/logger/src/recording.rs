@@ -146,15 +146,15 @@ impl RecordingReplay {
 ///
 /// # Errors
 ///
-/// Returns [`LogError::Malformed`] only when the magic is wrong — the
-/// bytes are not a recording, as opposed to a recording that lost its
-/// tail.
+/// Returns [`LogError::Malformed`] only when the magic is wrong or absent
+/// (including empty or shorter-than-magic input) — the bytes are not a
+/// recording at all, as opposed to a recording that lost its tail. Every
+/// real recording starts with the magic, so bytes without one must never
+/// "verify" as an (empty) recording.
 pub fn replay_bytes(bytes: &[u8]) -> Result<RecordingReplay, LogError> {
     let mut replay = RecordingReplay::default();
     let Some((magic, mut rest)) = bytes.split_at_checked(8) else {
-        replay.frames_truncated = u64::from(!bytes.is_empty());
-        replay.bytes_truncated = bytes.len() as u64;
-        return Ok(replay);
+        return Err(LogError::Malformed("recording (magic)"));
     };
     if magic != RECORDING_MAGIC {
         return Err(LogError::Malformed("recording (magic)"));
@@ -258,6 +258,12 @@ pub struct Recorder {
     sync_every: u64,
     since_sync: AtomicU64,
     counters: RecorderCounters,
+    /// Serializes the size_of-then-append pair in [`Recorder::record`]:
+    /// one recorder is shared across every replica server thread of a
+    /// shard, and two concurrent *first* records could otherwise both see
+    /// an empty file and both prepend the magic — a mid-file magic tears
+    /// every later frame off the replay.
+    append_lock: parking_lot::Mutex<()>,
 }
 
 impl Recorder {
@@ -271,6 +277,7 @@ impl Recorder {
             sync_every: 32,
             since_sync: AtomicU64::new(0),
             counters: RecorderCounters::default(),
+            append_lock: parking_lot::Mutex::new(()),
         }
     }
 
@@ -314,14 +321,17 @@ impl Recorder {
     pub fn record(&self, encoded: &[u8]) {
         let frame = encode_frame(self.epoch(), encoded);
         let write = (|| -> Result<(), LogError> {
-            let existing = self.storage.size_of(&self.name)?.unwrap_or(0);
-            if existing == 0 {
-                let mut first = Vec::with_capacity(8 + frame.len());
-                first.extend_from_slice(RECORDING_MAGIC);
-                first.extend_from_slice(&frame);
-                self.storage.append(&self.name, &first)?;
-            } else {
-                self.storage.append(&self.name, &frame)?;
+            {
+                let _serialized = self.append_lock.lock();
+                let existing = self.storage.size_of(&self.name)?.unwrap_or(0);
+                if existing == 0 {
+                    let mut first = Vec::with_capacity(8 + frame.len());
+                    first.extend_from_slice(RECORDING_MAGIC);
+                    first.extend_from_slice(&frame);
+                    self.storage.append(&self.name, &first)?;
+                } else {
+                    self.storage.append(&self.name, &frame)?;
+                }
             }
             if self.sync_every > 0 {
                 let due = self.since_sync.fetch_add(1, Ordering::SeqCst) + 1;
@@ -450,6 +460,60 @@ mod tests {
             rec.replay(),
             Err(LogError::Malformed("recording (magic)"))
         ));
+    }
+
+    #[test]
+    fn missing_magic_is_a_hard_error_not_an_empty_recording() {
+        // Bytes without a complete magic are not a recording at all: empty
+        // and shorter-than-magic inputs must be refused, never replayed as
+        // a clean empty recording.
+        assert!(matches!(
+            replay_bytes(&[]),
+            Err(LogError::Malformed("recording (magic)"))
+        ));
+        assert!(matches!(
+            replay_bytes(b"ADLP"),
+            Err(LogError::Malformed("recording (magic)"))
+        ));
+        let window = RecordingWindow {
+            epoch_from: 0,
+            epoch_to: 0,
+            bytes: Vec::new(),
+        };
+        assert!(!window.verify());
+        // The magic alone is a valid (empty) recording — a real window
+        // with no frames in range.
+        let empty = RecordingWindow::from_frames(0, 0, []);
+        assert!(empty.verify());
+    }
+
+    #[test]
+    fn concurrent_first_records_write_exactly_one_magic() {
+        use std::sync::Barrier;
+        for _ in 0..16 {
+            let mem = Arc::new(MemStorage::new());
+            let rec = Arc::new(
+                Recorder::new(mem.clone() as Arc<dyn Storage>, "rec").with_sync_every(0),
+            );
+            let threads = 4;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let rec = Arc::clone(&rec);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        rec.record(&[i as u8; 16]);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let replay = rec.replay().unwrap();
+            assert!(!replay.torn(), "a doubled magic tears the replay");
+            assert_eq!(replay.frames.len(), threads);
+        }
     }
 
     #[test]

@@ -282,6 +282,7 @@ impl Court {
                 continue;
             }
             let resolver = self.resolver(member);
+            let instance = self.config.instance;
             let vote = if bribed.contains(member) {
                 let honest =
                     Resolver::evaluate(&dispute.claim, &dispute.evidence, &self.ctx);
@@ -290,11 +291,11 @@ impl Court {
                     Vote::Overturn => Vote::Uphold,
                 };
                 resolver
-                    .cast(id, *round, flipped, &dispute.evidence)
+                    .cast(instance, id, *round, flipped, &dispute.claim, &dispute.evidence)
                     .expect("bribed vote")
             } else {
                 resolver
-                    .judge(id, *round, &dispute.claim, &dispute.evidence, &self.ctx)
+                    .judge(instance, id, *round, &dispute.claim, &dispute.evidence, &self.ctx)
                     .expect("honest vote")
             };
             phase = self.ledger.submit_vote(id, vote).expect("vote accepted");
